@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"roadrunner/internal/repro"
+	"roadrunner/internal/sim"
+	"roadrunner/internal/textplot"
+)
+
+const defaultAblationRounds = 20
+
+func ablationRounds(rounds int) int {
+	if rounds <= 0 {
+		return defaultAblationRounds
+	}
+	return rounds
+}
+
+func printRows(title string, rows []repro.Row) {
+	fmt.Printf("== %s ==\n", title)
+	var table [][]string
+	labels := make([]string, len(rows))
+	accs := make([]float64, len(rows))
+	for i, r := range rows {
+		labels[i] = r.Param
+		accs[i] = r.FinalAcc
+		table = append(table, []string{
+			r.Param,
+			fmt.Sprintf("%.3f", r.FinalAcc),
+			fmt.Sprintf("%.1f", r.AvgExchanges),
+			fmt.Sprintf("%.1f", r.AvgContribs),
+			fmt.Sprintf("%.0f", r.SimEnd),
+			fmt.Sprintf("%.2f", r.V2CMB),
+			fmt.Sprintf("%.2f", r.V2XMB),
+			fmt.Sprintf("%.0f", r.Discarded),
+		})
+	}
+	fmt.Print(textplot.Table(
+		[]string{"param", "acc", "exch/rnd", "contrib/rnd", "end[s]", "v2c MB", "v2x MB", "discarded"},
+		table))
+	fmt.Println("\nfinal accuracy by parameter:")
+	fmt.Print(textplot.Bars(labels, accs, 40))
+	fmt.Println()
+}
+
+func writeRowsCSV(path string, rows []repro.Row) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer func() { _ = f.Close() }()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"param", "final_acc", "avg_exchanges", "avg_contribs", "sim_end_s", "v2c_mb", "v2x_mb", "discarded"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		row := []string{
+			r.Param,
+			formatF(r.FinalAcc),
+			formatF(r.AvgExchanges),
+			formatF(r.AvgContribs),
+			formatF(r.SimEnd),
+			formatF(r.V2CMB),
+			formatF(r.V2XMB),
+			formatF(r.Discarded),
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	fmt.Printf("wrote %s\n", path)
+	return w.Error()
+}
+
+func ablationA(rounds int, seed uint64, outDir string) error {
+	rows, err := repro.AblationRoundDuration(ablationRounds(rounds), seed,
+		[]sim.Duration{50, 100, 200, 400})
+	if err != nil {
+		return err
+	}
+	printRows("Ablation A: OPP round duration (more exchange opportunity vs longer runs & churn)", rows)
+	return writeRowsCSV(filepath.Join(outDir, "ablation_a_round_duration.csv"), rows)
+}
+
+func ablationB(rounds int, seed uint64, outDir string) error {
+	rows, err := repro.AblationReporters(ablationRounds(rounds), seed, []int{2, 5, 10, 20})
+	if err != nil {
+		return err
+	}
+	printRows("Ablation B: reporters per round (V2C budget vs accuracy)", rows)
+	return writeRowsCSV(filepath.Join(outDir, "ablation_b_reporters.csv"), rows)
+}
+
+func ablationC(rounds int, seed uint64, outDir string) error {
+	rows, err := repro.AblationV2XRange(ablationRounds(rounds), seed,
+		[]float64{50, 100, 200, 400})
+	if err != nil {
+		return err
+	}
+	printRows("Ablation C: V2X range (vehicle-density proxy for OPP's gain)", rows)
+	return writeRowsCSV(filepath.Join(outDir, "ablation_c_v2x_range.csv"), rows)
+}
+
+func ablationD(rounds int, seed uint64, outDir string) error {
+	points, err := repro.AblationSkew(ablationRounds(rounds), seed, repro.DefaultSkewSweep())
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Ablation D: data skew (shards per vehicle; IID = no skew) ==")
+	var table [][]string
+	for _, p := range points {
+		table = append(table, []string{p.Param, fmt.Sprintf("%.3f", p.BaseAcc), fmt.Sprintf("%.3f", p.OppAcc)})
+	}
+	fmt.Print(textplot.Table([]string{"distribution", "BASE acc", "OPP acc"}, table))
+	fmt.Println()
+
+	path := filepath.Join(outDir, "ablation_d_skew.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer func() { _ = f.Close() }()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"distribution", "base_acc", "opp_acc"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if err := w.Write([]string{p.Param, formatF(p.BaseAcc), formatF(p.OppAcc)}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	fmt.Printf("wrote %s\n", path)
+	return w.Error()
+}
+
+func ablationE(rounds int, seed uint64, outDir string) error {
+	rows, err := repro.AblationChurn(ablationRounds(rounds), seed,
+		[]float64{0, 0.3, 0.5, 0.8})
+	if err != nil {
+		return err
+	}
+	printRows("Ablation E: ignition churn (reporter power-off discards collected models)", rows)
+	return writeRowsCSV(filepath.Join(outDir, "ablation_e_churn.csv"), rows)
+}
+
+func ablationF(rounds int, seed uint64, outDir string) error {
+	rows, err := repro.AblationRSUCount(ablationRounds(rounds), seed, []int{2, 4, 8, 16})
+	if err != nil {
+		return err
+	}
+	printRows("Ablation F: RSU deployment density (zero-V2C collection, extension)", rows)
+	return writeRowsCSV(filepath.Join(outDir, "ablation_f_rsus.csv"), rows)
+}

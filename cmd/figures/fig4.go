@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"roadrunner/internal/core"
+	"roadrunner/internal/metrics"
+	"roadrunner/internal/repro"
+	"roadrunner/internal/textplot"
+)
+
+// figure4 reproduces the paper's Figure 4: accuracy-over-simulated-time
+// curves for BASE and OPP plus the per-round V2X exchange bars.
+func figure4(rounds int, seed uint64, outDir string) error {
+	if rounds <= 0 {
+		rounds = 75 // the paper's setting
+	}
+	fmt.Printf("== Figure 4: BASE (FL) vs OPP at equal V2C budget — %d rounds, seed %d ==\n", rounds, seed)
+	out, err := repro.Fig4(rounds, seed)
+	if err != nil {
+		return err
+	}
+
+	if err := writeAccuracyCSV(filepath.Join(outDir, "fig4_accuracy.csv"), out.Base, out.Opp); err != nil {
+		return err
+	}
+	if err := writeExchangesCSV(filepath.Join(outDir, "fig4_exchanges.csv"), out.Opp); err != nil {
+		return err
+	}
+
+	fmt.Print(textplot.Line(accuracySeries(out.Base, out.Opp), 64, 16))
+	fmt.Println()
+
+	ex := out.Opp.Metrics.Series(metrics.SeriesRoundExchanges)
+	if ex != nil {
+		values := make([]float64, ex.Len())
+		for i, p := range ex.Points {
+			values[i] = p.Value
+		}
+		fmt.Println("V2X exchanges per OPP round (distribution):")
+		fmt.Print(textplot.Histogram(values, 5, 40))
+		fmt.Println()
+	}
+
+	rows := [][]string{
+		{"run end [s]", fmt.Sprintf("%.0f", float64(out.BaseEnd)), fmt.Sprintf("%.0f", float64(out.OppEnd))},
+		{"late accuracy", fmt.Sprintf("%.3f", out.BaseAccuracy), fmt.Sprintf("%.3f", out.OppAccuracy)},
+		{"V2C MB delivered",
+			fmt.Sprintf("%.2f", float64(out.Base.Comm["v2c"].BytesDelivered)/1e6),
+			fmt.Sprintf("%.2f", float64(out.Opp.Comm["v2c"].BytesDelivered)/1e6)},
+		{"V2X MB delivered",
+			fmt.Sprintf("%.2f", float64(out.Base.Comm["v2x"].BytesDelivered)/1e6),
+			fmt.Sprintf("%.2f", float64(out.Opp.Comm["v2x"].BytesDelivered)/1e6)},
+	}
+	fmt.Print(textplot.Table([]string{"metric", "BASE", "OPP"}, rows))
+	fmt.Printf("\navg V2X exchanges/round: %.2f (paper: just below 10)\n", out.AvgExchanges)
+	fmt.Printf("OPP/BASE time ratio:     %.2fx (paper: ~4.5x)\n", out.TimeRatio)
+	fmt.Printf("OPP accuracy gain:       %+.0f%% (paper: ~+50%%)\n\n", out.AccuracyGain*100)
+	return nil
+}
+
+func accuracySeries(base, opp *core.Result) []textplot.Series {
+	toPlot := func(res *core.Result, name string) textplot.Series {
+		s := res.Metrics.Series(metrics.SeriesAccuracy)
+		out := textplot.Series{Name: name}
+		if s == nil {
+			return out
+		}
+		for _, p := range s.Points {
+			out.Points = append(out.Points, textplot.Point{X: float64(p.T), Y: p.Value})
+		}
+		return out
+	}
+	return []textplot.Series{toPlot(base, "BASE accuracy"), toPlot(opp, "OPP accuracy")}
+}
+
+func writeAccuracyCSV(path string, base, opp *core.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer func() { _ = f.Close() }()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"strategy", "t_s", "accuracy"}); err != nil {
+		return err
+	}
+	emit := func(name string, res *core.Result) error {
+		s := res.Metrics.Series(metrics.SeriesAccuracy)
+		if s == nil {
+			return nil
+		}
+		for _, p := range s.Points {
+			row := []string{name, formatF(float64(p.T)), formatF(p.Value)}
+			if err := w.Write(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := emit("BASE", base); err != nil {
+		return err
+	}
+	if err := emit("OPP", opp); err != nil {
+		return err
+	}
+	w.Flush()
+	fmt.Printf("wrote %s\n", path)
+	return w.Error()
+}
+
+func writeExchangesCSV(path string, opp *core.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer func() { _ = f.Close() }()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"round", "t_s", "v2x_exchanges"}); err != nil {
+		return err
+	}
+	s := opp.Metrics.Series(metrics.SeriesRoundExchanges)
+	if s != nil {
+		for i, p := range s.Points {
+			row := []string{strconv.Itoa(i + 1), formatF(float64(p.T)), formatF(p.Value)}
+			if err := w.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	fmt.Printf("wrote %s\n", path)
+	return w.Error()
+}
+
+func formatF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

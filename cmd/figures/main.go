@@ -1,0 +1,74 @@
+// Command figures regenerates the paper's evaluation figures and the
+// ablation sweeps from DESIGN.md's experiment index, writing CSV data files
+// and printing terminal charts.
+//
+// Usage:
+//
+//	figures -fig 4            # the paper's Figure 4 (BASE vs OPP)
+//	figures -fig A            # ablation A: OPP round duration
+//	figures -fig B            # ablation B: reporters per round
+//	figures -fig C            # ablation C: V2X range
+//	figures -fig D            # ablation D: data skew
+//	figures -fig E            # ablation E: ignition churn
+//	figures -fig F            # ablation F: RSU deployment density (extension)
+//	figures -fig all          # everything
+//
+// Flags -rounds and -seed scale and re-seed the experiments; -out selects
+// the CSV output directory. The paper's Figure 4 uses 75 rounds; ablations
+// default to 20 rounds to keep the sweep affordable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fig := flag.String("fig", "4", "figure to regenerate: 4, A, B, C, D, E, F, or all")
+	rounds := flag.Int("rounds", 0, "rounds per run (0 = figure default: 75 for Fig 4, 20 for ablations)")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	out := flag.String("out", "results", "output directory for CSV files")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+
+	runOne := func(name string) error {
+		switch name {
+		case "4":
+			return figure4(*rounds, *seed, *out)
+		case "A", "a":
+			return ablationA(*rounds, *seed, *out)
+		case "B", "b":
+			return ablationB(*rounds, *seed, *out)
+		case "C", "c":
+			return ablationC(*rounds, *seed, *out)
+		case "D", "d":
+			return ablationD(*rounds, *seed, *out)
+		case "E", "e":
+			return ablationE(*rounds, *seed, *out)
+		case "F", "f":
+			return ablationF(*rounds, *seed, *out)
+		default:
+			return fmt.Errorf("unknown figure %q", name)
+		}
+	}
+	if *fig == "all" {
+		for _, name := range []string{"4", "A", "B", "C", "D", "E", "F"} {
+			if err := runOne(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(*fig)
+}

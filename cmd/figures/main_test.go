@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"roadrunner/internal/core"
+	"roadrunner/internal/metrics"
+	"roadrunner/internal/repro"
+	"roadrunner/internal/sim"
+)
+
+func TestFormatF(t *testing.T) {
+	if got := formatF(1.5); got != "1.5" {
+		t.Fatalf("formatF(1.5) = %q", got)
+	}
+	if got := formatF(3592); got != "3592" {
+		t.Fatalf("formatF(3592) = %q", got)
+	}
+}
+
+func TestAblationRoundsDefault(t *testing.T) {
+	if got := ablationRounds(0); got != defaultAblationRounds {
+		t.Fatalf("ablationRounds(0) = %d", got)
+	}
+	if got := ablationRounds(7); got != 7 {
+		t.Fatalf("ablationRounds(7) = %d", got)
+	}
+}
+
+func TestWriteRowsCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rows.csv")
+	rows := []repro.Row{
+		{Param: "a", FinalAcc: 0.5, AvgExchanges: 10, SimEnd: 3592, V2CMB: 9.27},
+		{Param: "b", FinalAcc: 0.25, Discarded: 4},
+	}
+	if err := writeRowsCSV(path, rows); err != nil {
+		t.Fatalf("writeRowsCSV: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	for _, want := range []string{"param,final_acc", "a,0.5,10", "b,0.25"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("csv missing %q:\n%s", want, out)
+		}
+	}
+	if err := writeRowsCSV(filepath.Join(t.TempDir(), "missing", "x.csv"), rows); err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+}
+
+func TestAccuracySeriesConversion(t *testing.T) {
+	mk := func(values ...float64) *core.Result {
+		rec := metrics.NewRecorder()
+		for i, v := range values {
+			if err := rec.Record(metrics.SeriesAccuracy, sim.Time(i), v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return &core.Result{Metrics: rec}
+	}
+	series := accuracySeries(mk(0.1, 0.2), mk(0.3))
+	if len(series) != 2 {
+		t.Fatalf("series count = %d", len(series))
+	}
+	if series[0].Name != "BASE accuracy" || len(series[0].Points) != 2 {
+		t.Fatalf("base series = %+v", series[0])
+	}
+	if series[1].Points[0].Y != 0.3 {
+		t.Fatalf("opp point = %+v", series[1].Points[0])
+	}
+	// Empty recorder: no points but no panic.
+	empty := &core.Result{Metrics: metrics.NewRecorder()}
+	series = accuracySeries(empty, empty)
+	if len(series[0].Points) != 0 {
+		t.Fatal("empty result produced points")
+	}
+}
+
+func TestWriteAccuracyAndExchangesCSV(t *testing.T) {
+	rec := metrics.NewRecorder()
+	if err := rec.Record(metrics.SeriesAccuracy, 30, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Record(metrics.SeriesRoundExchanges, 200, 12); err != nil {
+		t.Fatal(err)
+	}
+	res := &core.Result{Metrics: rec}
+	dir := t.TempDir()
+
+	accPath := filepath.Join(dir, "acc.csv")
+	if err := writeAccuracyCSV(accPath, res, res); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(accPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "BASE,30,0.2") || !strings.Contains(string(raw), "OPP,30,0.2") {
+		t.Fatalf("accuracy csv wrong:\n%s", raw)
+	}
+
+	exPath := filepath.Join(dir, "ex.csv")
+	if err := writeExchangesCSV(exPath, res); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(exPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "1,200,12") {
+		t.Fatalf("exchanges csv wrong:\n%s", raw)
+	}
+}

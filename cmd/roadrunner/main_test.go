@@ -1,0 +1,67 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"roadrunner/internal/comm"
+	"roadrunner/internal/core"
+	"roadrunner/internal/metrics"
+)
+
+func TestBuildStrategyAllNames(t *testing.T) {
+	for _, name := range []string{"fedavg", "base", "opp", "opportunistic", "gossip", "centralized", "hybrid", "rsu", "rsu-assisted"} {
+		s, err := buildStrategy(name, 3)
+		if err != nil {
+			t.Fatalf("buildStrategy(%q): %v", name, err)
+		}
+		if s.Name() == "" {
+			t.Fatalf("strategy %q has empty name", name)
+		}
+	}
+	if _, err := buildStrategy("bogus", 0); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestPrintSummary(t *testing.T) {
+	rec := metrics.NewRecorder()
+	if err := rec.Record(metrics.SeriesAccuracy, 30, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Record(metrics.SeriesAccuracy, 60, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	rec.Add(metrics.CounterRounds, 2)
+	res := &core.Result{
+		Metrics: rec,
+		Comm: map[string]comm.Stats{
+			"v2c": {MessagesSent: 10, MessagesDelivered: 9, MessagesFailed: 1, BytesDelivered: 2_000_000},
+		},
+		End:           90,
+		Wall:          42 * time.Millisecond,
+		FinalAccuracy: 0.4,
+	}
+	var sb strings.Builder
+	printSummary(&sb, "fedavg", res)
+	out := sb.String()
+	for _, want := range []string{"fedavg", "final accuracy:   0.400", "rounds completed: 2", "v2c", "2.00 MB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	rec := metrics.NewRecorder()
+	rec.Add("x", 1)
+	path := filepath.Join(t.TempDir(), "m.csv")
+	if err := writeTo(path, rec.WriteCSV); err != nil {
+		t.Fatalf("writeTo: %v", err)
+	}
+	if err := writeTo(filepath.Join(t.TempDir(), "no", "dir.csv"), rec.WriteCSV); err == nil {
+		t.Fatal("writeTo into missing dir succeeded")
+	}
+}

@@ -1,0 +1,159 @@
+// Command sweep runs a learning strategy across multiple seeds in
+// parallel and reports the distribution of outcomes — implementing the
+// paper's future-work item of "increasing the parallelism of the
+// simulation to speed up learning strategy development iterations".
+//
+// Usage:
+//
+//	sweep -strategy opp -seeds 8 -rounds 20 [-small] [-workers N]
+//
+// Each seed's run is fully deterministic; parallelism is across runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"roadrunner/internal/core"
+	"roadrunner/internal/metrics"
+	"roadrunner/internal/repro"
+	"roadrunner/internal/strategy"
+	"roadrunner/internal/textplot"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	stratName := flag.String("strategy", "fedavg", "strategy: fedavg, opp, gossip, centralized, hybrid, rsu")
+	seeds := flag.Int("seeds", 8, "number of seeds (1..N)")
+	rounds := flag.Int("rounds", 10, "rounds per run (for round-based strategies)")
+	small := flag.Bool("small", false, "use the laptop-scale environment")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	if *seeds <= 0 {
+		return fmt.Errorf("need at least one seed")
+	}
+	cfg := core.DefaultConfig()
+	if *small {
+		cfg = core.SmallConfig()
+	}
+	if *stratName == "rsu" && cfg.RSUCount == 0 {
+		cfg.RSUCount = 8
+	}
+	factory := func() (strategy.Strategy, error) { return buildStrategy(*stratName, *rounds) }
+	// Validate the strategy name before launching the fleet.
+	if _, err := factory(); err != nil {
+		return err
+	}
+
+	seedList := make([]uint64, *seeds)
+	for i := range seedList {
+		seedList[i] = uint64(i + 1)
+	}
+	jobs := repro.SeedSweep(*stratName, cfg, seedList, factory)
+
+	start := time.Now()
+	results := repro.RunParallel(*workers, jobs)
+	wall := time.Since(start)
+
+	var accs []float64
+	var rows [][]string
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+		acc := repro.LateAccuracy(r.Result, 3)
+		accs = append(accs, acc)
+		rows = append(rows, []string{
+			r.Name,
+			fmt.Sprintf("%.3f", acc),
+			fmt.Sprintf("%.0f", r.Result.Metrics.Counter(metrics.CounterRounds)),
+			fmt.Sprintf("%.2f", float64(r.Result.Comm["v2c"].BytesDelivered)/1e6),
+			r.Result.Wall.Round(time.Millisecond).String(),
+		})
+	}
+	fmt.Print(textplot.Table([]string{"run", "late acc", "rounds", "v2c MB", "wall"}, rows))
+
+	mean, std := meanStd(accs)
+	fmt.Printf("\nlate accuracy over %d seeds: %.3f ± %.3f (min %.3f, max %.3f)\n",
+		len(accs), mean, std, minOf(accs), maxOf(accs))
+	fmt.Printf("sweep wall time: %v (%d workers)\n", wall.Round(time.Millisecond), effectiveWorkers(*workers, len(jobs)))
+	return nil
+}
+
+func buildStrategy(name string, rounds int) (strategy.Strategy, error) {
+	switch name {
+	case "fedavg", "base":
+		c := strategy.DefaultFedAvgConfig()
+		c.Rounds = rounds
+		return strategy.NewFederatedAveraging(c)
+	case "opp", "opportunistic":
+		c := strategy.DefaultOppConfig()
+		c.Rounds = rounds
+		return strategy.NewOpportunistic(c)
+	case "gossip":
+		return strategy.NewGossip(strategy.DefaultGossipConfig())
+	case "centralized":
+		c := strategy.DefaultCentralizedConfig()
+		c.Rounds = rounds
+		return strategy.NewCentralized(c)
+	case "hybrid":
+		return strategy.NewHybrid(strategy.DefaultHybridConfig())
+	case "rsu", "rsu-assisted":
+		c := strategy.DefaultRSUAssistedConfig()
+		c.Rounds = rounds
+		return strategy.NewRSUAssisted(c)
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", name)
+	}
+}
+
+func meanStd(values []float64) (mean, std float64) {
+	if len(values) == 0 {
+		return 0, 0
+	}
+	for _, v := range values {
+		mean += v
+	}
+	mean /= float64(len(values))
+	for _, v := range values {
+		std += (v - mean) * (v - mean)
+	}
+	std = math.Sqrt(std / float64(len(values)))
+	return mean, std
+}
+
+func minOf(values []float64) float64 {
+	out := math.Inf(1)
+	for _, v := range values {
+		out = math.Min(out, v)
+	}
+	return out
+}
+
+func maxOf(values []float64) float64 {
+	out := math.Inf(-1)
+	for _, v := range values {
+		out = math.Max(out, v)
+	}
+	return out
+}
+
+func effectiveWorkers(requested, jobs int) int {
+	if requested <= 0 {
+		requested = jobs
+	}
+	if requested > jobs {
+		requested = jobs
+	}
+	return requested
+}

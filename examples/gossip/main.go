@@ -1,0 +1,54 @@
+// Gossip: fully decentralized learning — no cloud server involvement, no
+// cellular cost. Vehicles train local models and merge them pairwise over
+// V2X whenever their trajectories cross.
+//
+//	go run ./examples/gossip
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rr "roadrunner"
+)
+
+func main() {
+	cfg := rr.SmallConfig()
+	cfg.Seed = 3
+
+	strat, err := rr.NewGossip(rr.GossipConfig{
+		Duration:         2400, // 40 simulated minutes
+		ExchangeCooldown: 45,
+		EvalInterval:     240,
+		EvalSample:       6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	exp, err := rr.NewExperiment(cfg, strat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := exp.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("gossip run: %.0f simulated seconds in %v wall time\n\n",
+		float64(res.End), res.Wall)
+	fmt.Println("fleet mean accuracy (sampled vehicle models):")
+	if acc := res.Metrics.Series(rr.SeriesAccuracy); acc != nil {
+		for _, p := range acc.Points {
+			bar := ""
+			for j := 0; j < int(p.Value*40); j++ {
+				bar += "▇"
+			}
+			fmt.Printf("t=%5.0f  %.3f %s\n", float64(p.T), p.Value, bar)
+		}
+	}
+	fmt.Printf("\ntraining tasks run:  %.0f\n", res.Metrics.Counter(rr.CounterTrainTasks))
+	fmt.Printf("V2C traffic:         %d messages (gossip needs none)\n", res.Comm["v2c"].MessagesSent)
+	fmt.Printf("V2X model exchanges: %d messages, %.2f MB\n",
+		res.Comm["v2x"].MessagesDelivered, float64(res.Comm["v2x"].BytesDelivered)/1e6)
+}

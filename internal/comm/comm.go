@@ -1,0 +1,158 @@
+// Package comm is Roadrunner's communication module (paper §4): it models
+// the transmission of data between agents per channel-type properties,
+// decides whether communication is possible given agent state and position,
+// lets transfers fail at any time (including mid-flight when a vehicle
+// shuts off), and keeps track of transmitted data volumes as a first-class
+// metric.
+//
+// Two channel families are modelled, following the paper's §3 taxonomy:
+//
+//   - V2C — long-range metered cellular between vehicles and the cloud
+//     server ("communication speeds ... range from 1000 to more than 10000
+//     KB/s in ideal conditions"); reachable from anywhere while on, modulo
+//     a coverage/drop probability.
+//   - V2X — short-range (IEEE 802.11p / C-V2X) between vehicles and between
+//     vehicles and RSUs; only possible within a line-of-sight range
+//     ("can exceed 1000 m, although this range is reduced in the presence
+//     of obstacles" — range is a parameter, 200 m in the evaluation).
+//
+// A third kind, Wired, covers the RSU-to-cloud backhaul of Figure 1.
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Kind identifies a communication channel family.
+type Kind int
+
+const (
+	// KindV2C is long-range cellular vehicle-to-cloud.
+	KindV2C Kind = iota + 1
+	// KindV2X is short-range vehicle-to-anything (V2V and vehicle-RSU).
+	KindV2X
+	// KindWired is the stationary RSU-to-cloud backhaul.
+	KindWired
+)
+
+// Kinds lists all channel kinds, for metric iteration.
+func Kinds() []Kind { return []Kind{KindV2C, KindV2X, KindWired} }
+
+// String returns the channel name.
+func (k Kind) String() string {
+	switch k {
+	case KindV2C:
+		return "v2c"
+	case KindV2X:
+		return "v2x"
+	case KindWired:
+		return "wired"
+	default:
+		return "unknown(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// ChannelParams models one channel family's physical properties.
+type ChannelParams struct {
+	// KBps is the sustained throughput in kilobytes per second.
+	KBps float64 `json:"kbps"`
+	// LatencyS is the fixed per-message latency in seconds.
+	LatencyS float64 `json:"latency_s"`
+	// DropProb is the probability that a transfer fails in flight for
+	// channel reasons (coverage holes, interference), sampled per message.
+	DropProb float64 `json:"drop_prob"`
+	// RangeM limits the sender-receiver distance in meters; zero means
+	// unlimited (V2C, wired).
+	RangeM float64 `json:"range_m,omitempty"`
+}
+
+// Validate reports whether the parameters are usable.
+func (p ChannelParams) Validate() error {
+	switch {
+	case p.KBps <= 0:
+		return fmt.Errorf("comm: non-positive throughput %v KB/s", p.KBps)
+	case p.LatencyS < 0:
+		return fmt.Errorf("comm: negative latency %v", p.LatencyS)
+	case p.DropProb < 0 || p.DropProb >= 1:
+		return fmt.Errorf("comm: drop probability %v outside [0,1)", p.DropProb)
+	case p.RangeM < 0:
+		return fmt.Errorf("comm: negative range %v", p.RangeM)
+	default:
+		return nil
+	}
+}
+
+// TransferSeconds returns the modelled duration of a transfer of size bytes.
+func (p ChannelParams) TransferSeconds(sizeBytes int) float64 {
+	return p.LatencyS + float64(sizeBytes)/(p.KBps*1000)
+}
+
+// Params bundles the per-kind channel parameters of a VCPS.
+type Params struct {
+	V2C   ChannelParams `json:"v2c"`
+	V2X   ChannelParams `json:"v2x"`
+	Wired ChannelParams `json:"wired"`
+}
+
+// DefaultParams models a 4G/LTE deployment with 200 m urban V2X range —
+// the paper's evaluation setting ("V2X range is set to 200 m as an average
+// for urban driving").
+func DefaultParams() Params {
+	return Params{
+		V2C:   ChannelParams{KBps: 2000, LatencyS: 0.05, DropProb: 0.01},
+		V2X:   ChannelParams{KBps: 3000, LatencyS: 0.02, DropProb: 0.01, RangeM: 200},
+		Wired: ChannelParams{KBps: 100000, LatencyS: 0.005},
+	}
+}
+
+// Validate reports whether all channels are usable.
+func (p Params) Validate() error {
+	if err := p.V2C.Validate(); err != nil {
+		return fmt.Errorf("v2c: %w", err)
+	}
+	if err := p.V2X.Validate(); err != nil {
+		return fmt.Errorf("v2x: %w", err)
+	}
+	if p.V2X.RangeM <= 0 {
+		return errors.New("comm: v2x requires a positive range")
+	}
+	if err := p.Wired.Validate(); err != nil {
+		return fmt.Errorf("wired: %w", err)
+	}
+	return nil
+}
+
+// ByKind returns the parameters for the given kind.
+func (p Params) ByKind(k Kind) (ChannelParams, error) {
+	switch k {
+	case KindV2C:
+		return p.V2C, nil
+	case KindV2X:
+		return p.V2X, nil
+	case KindWired:
+		return p.Wired, nil
+	default:
+		return ChannelParams{}, fmt.Errorf("comm: unknown channel kind %d", int(k))
+	}
+}
+
+// Failure reasons surfaced to strategies. Strategies typically react to a
+// failure by discarding state for that peer (e.g. OPP's "else, discard w").
+var (
+	// ErrSenderOff indicates the sender was off at send time or shut off
+	// mid-transfer.
+	ErrSenderOff = errors.New("comm: sender off")
+	// ErrReceiverOff indicates the receiver was off at send or delivery
+	// time or shut off mid-transfer.
+	ErrReceiverOff = errors.New("comm: receiver off")
+	// ErrOutOfRange indicates a V2X pair was out of range at send or
+	// delivery time.
+	ErrOutOfRange = errors.New("comm: out of V2X range")
+	// ErrDropped indicates a stochastic channel failure.
+	ErrDropped = errors.New("comm: transfer dropped")
+	// ErrNoPosition indicates a V2X endpoint without a position (e.g. the
+	// cloud server).
+	ErrNoPosition = errors.New("comm: agent has no position")
+)

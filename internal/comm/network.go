@@ -1,0 +1,295 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+
+	"roadrunner/internal/roadnet"
+	"roadrunner/internal/sim"
+)
+
+// MsgID identifies one transfer.
+type MsgID uint64
+
+// Message is one in-flight or completed transfer.
+type Message struct {
+	ID        MsgID
+	From      sim.AgentID
+	To        sim.AgentID
+	Kind      Kind
+	SizeBytes int
+	// Payload is opaque to the communication module; learning strategies
+	// put model snapshots and metadata here.
+	Payload any
+	// SentAt and DeliverAt are the transfer's simulated start and
+	// (scheduled) completion instants.
+	SentAt    sim.Time
+	DeliverAt sim.Time
+}
+
+// PositionFunc resolves an agent's current position. ok is false for
+// agents without a position (the cloud server).
+type PositionFunc func(id sim.AgentID) (pos roadnet.Point, ok bool)
+
+// DeliveryFunc observes a successful delivery.
+type DeliveryFunc func(msg *Message)
+
+// FailureFunc observes a failed transfer with its reason (one of the
+// package's Err* values, possibly wrapped).
+type FailureFunc func(msg *Message, reason error)
+
+// Stats aggregates the module's volume metrics for one channel kind —
+// paper §3 requirement 4 ("the volume of communication transmitted via the
+// various communication channels").
+type Stats struct {
+	MessagesSent      int64 `json:"messages_sent"`
+	MessagesDelivered int64 `json:"messages_delivered"`
+	MessagesFailed    int64 `json:"messages_failed"`
+	BytesAttempted    int64 `json:"bytes_attempted"`
+	BytesDelivered    int64 `json:"bytes_delivered"`
+}
+
+// Network simulates all channels of a VCPS on top of the core simulator.
+// Transfers take simulated time, can fail at send time, stochastically in
+// flight, and deterministically when an endpoint shuts off or (for V2X)
+// leaves range before delivery. Network is single-goroutine like the
+// engine that drives it.
+type Network struct {
+	engine   *sim.Engine
+	registry *sim.Registry
+	params   Params
+	rng      *sim.RNG
+	position PositionFunc
+
+	onDeliver DeliveryFunc
+	onFail    FailureFunc
+
+	nextID   MsgID
+	inflight map[MsgID]*flight
+	stats    map[Kind]*Stats
+}
+
+type flight struct {
+	msg   *Message
+	event *sim.Event
+}
+
+// NewNetwork wires a network to the engine and agent registry. position
+// supplies V2X endpoint positions; rng drives stochastic drops. The network
+// registers a power listener: any in-flight transfer touching an agent that
+// turns off fails immediately ("a vehicle shutting off will result in any
+// incoming or outgoing message failing", paper §5.1).
+func NewNetwork(engine *sim.Engine, registry *sim.Registry, params Params, position PositionFunc, rng *sim.RNG) (*Network, error) {
+	if engine == nil || registry == nil {
+		return nil, fmt.Errorf("comm: nil engine or registry")
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if position == nil {
+		return nil, fmt.Errorf("comm: nil position func")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("comm: nil rng")
+	}
+	n := &Network{
+		engine:   engine,
+		registry: registry,
+		params:   params,
+		rng:      rng,
+		position: position,
+		inflight: make(map[MsgID]*flight),
+		stats:    make(map[Kind]*Stats),
+	}
+	for _, k := range Kinds() {
+		n.stats[k] = &Stats{}
+	}
+	registry.OnPowerChange(n.handlePowerChange)
+	return n, nil
+}
+
+// OnDeliver registers the delivery observer (typically the core simulator,
+// which dispatches to the learning strategy).
+func (n *Network) OnDeliver(fn DeliveryFunc) { n.onDeliver = fn }
+
+// OnFail registers the failure observer.
+func (n *Network) OnFail(fn FailureFunc) { n.onFail = fn }
+
+// Params returns the channel parameters.
+func (n *Network) Params() Params { return n.params }
+
+// StatsFor returns a copy of the accumulated metrics for one channel kind.
+func (n *Network) StatsFor(k Kind) Stats {
+	if s, ok := n.stats[k]; ok {
+		return *s
+	}
+	return Stats{}
+}
+
+// InFlight returns the number of transfers currently in the air.
+func (n *Network) InFlight() int { return len(n.inflight) }
+
+// Send starts a transfer of sizeBytes from one agent to another over the
+// given channel kind. It returns an error if the transfer cannot even
+// start (endpoint off, out of V2X range, unknown agent); once started, the
+// transfer completes or fails asynchronously via the registered observers.
+// Failed and successful transfers alike are charged to BytesAttempted —
+// cellular costs accrue for attempts, not only successes.
+func (n *Network) Send(from, to sim.AgentID, kind Kind, sizeBytes int, payload any) (MsgID, error) {
+	if sizeBytes <= 0 {
+		return 0, fmt.Errorf("comm: non-positive message size %d", sizeBytes)
+	}
+	if from == to {
+		return 0, fmt.Errorf("comm: self-send from %v", from)
+	}
+	cp, err := n.params.ByKind(kind)
+	if err != nil {
+		return 0, err
+	}
+	sender := n.registry.Get(from)
+	receiver := n.registry.Get(to)
+	if sender == nil || receiver == nil {
+		return 0, fmt.Errorf("comm: unknown endpoint (%v -> %v)", from, to)
+	}
+	if !sender.On() {
+		return 0, fmt.Errorf("comm: send %v -> %v: %w", from, to, ErrSenderOff)
+	}
+	if !receiver.On() {
+		return 0, fmt.Errorf("comm: send %v -> %v: %w", from, to, ErrReceiverOff)
+	}
+	if kind == KindV2X {
+		if err := n.checkRange(from, to, cp.RangeM); err != nil {
+			return 0, fmt.Errorf("comm: send %v -> %v: %w", from, to, err)
+		}
+	}
+
+	now := n.engine.Now()
+	duration := sim.Duration(cp.TransferSeconds(sizeBytes))
+	n.nextID++
+	msg := &Message{
+		ID:        n.nextID,
+		From:      from,
+		To:        to,
+		Kind:      kind,
+		SizeBytes: sizeBytes,
+		Payload:   payload,
+		SentAt:    now,
+		DeliverAt: now.Add(duration),
+	}
+	st := n.stats[kind]
+	st.MessagesSent++
+	st.BytesAttempted += int64(sizeBytes)
+
+	ev, err := n.engine.Schedule(msg.DeliverAt, func() { n.complete(msg) })
+	if err != nil {
+		return 0, fmt.Errorf("comm: schedule delivery: %w", err)
+	}
+	n.inflight[msg.ID] = &flight{msg: msg, event: ev}
+	return msg.ID, nil
+}
+
+// complete finishes a transfer: it re-validates endpoint state and range,
+// samples the stochastic drop, and notifies the appropriate observer.
+func (n *Network) complete(msg *Message) {
+	delete(n.inflight, msg.ID)
+	cp, err := n.params.ByKind(msg.Kind)
+	if err != nil {
+		n.fail(msg, err)
+		return
+	}
+	sender := n.registry.Get(msg.From)
+	receiver := n.registry.Get(msg.To)
+	switch {
+	case sender == nil || !sender.On():
+		n.fail(msg, ErrSenderOff)
+		return
+	case receiver == nil || !receiver.On():
+		n.fail(msg, ErrReceiverOff)
+		return
+	}
+	if msg.Kind == KindV2X {
+		if err := n.checkRange(msg.From, msg.To, cp.RangeM); err != nil {
+			n.fail(msg, err)
+			return
+		}
+	}
+	if cp.DropProb > 0 && n.rng.Bool(cp.DropProb) {
+		n.fail(msg, ErrDropped)
+		return
+	}
+	st := n.stats[msg.Kind]
+	st.MessagesDelivered++
+	st.BytesDelivered += int64(msg.SizeBytes)
+	if n.onDeliver != nil {
+		n.onDeliver(msg)
+	}
+}
+
+func (n *Network) fail(msg *Message, reason error) {
+	n.stats[msg.Kind].MessagesFailed++
+	if n.onFail != nil {
+		n.onFail(msg, reason)
+	}
+}
+
+// handlePowerChange aborts in-flight transfers touching an agent that just
+// turned off.
+func (n *Network) handlePowerChange(id sim.AgentID, on bool) {
+	if on {
+		return
+	}
+	// Collect and sort by message ID: map iteration order must not leak
+	// into the failure-dispatch order, or runs stop being reproducible.
+	var doomed []*flight
+	for _, fl := range n.inflight {
+		m := fl.msg
+		if m.From == id || m.To == id {
+			doomed = append(doomed, fl)
+		}
+	}
+	sort.Slice(doomed, func(i, j int) bool { return doomed[i].msg.ID < doomed[j].msg.ID })
+	for _, fl := range doomed {
+		m := fl.msg
+		fl.event.Cancel()
+		delete(n.inflight, m.ID)
+		if m.From == id {
+			n.fail(m, ErrSenderOff)
+		} else {
+			n.fail(m, ErrReceiverOff)
+		}
+	}
+}
+
+func (n *Network) checkRange(a, b sim.AgentID, rangeM float64) error {
+	pa, ok := n.position(a)
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNoPosition, a)
+	}
+	pb, ok := n.position(b)
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNoPosition, b)
+	}
+	if pa.Dist(pb) > rangeM {
+		return ErrOutOfRange
+	}
+	return nil
+}
+
+// Reachable reports whether a send from a to b over kind would be accepted
+// right now (both on, and in range for V2X). Strategies use it to avoid
+// wasting a round-trip on a peer that already left.
+func (n *Network) Reachable(from, to sim.AgentID, kind Kind) bool {
+	sender := n.registry.Get(from)
+	receiver := n.registry.Get(to)
+	if sender == nil || receiver == nil || !sender.On() || !receiver.On() || from == to {
+		return false
+	}
+	if kind == KindV2X {
+		cp, err := n.params.ByKind(kind)
+		if err != nil {
+			return false
+		}
+		return n.checkRange(from, to, cp.RangeM) == nil
+	}
+	return true
+}

@@ -1,0 +1,443 @@
+package comm
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"roadrunner/internal/roadnet"
+	"roadrunner/internal/sim"
+)
+
+// harness bundles a network with controllable positions.
+type harness struct {
+	engine   *sim.Engine
+	registry *sim.Registry
+	net      *Network
+	pos      map[sim.AgentID]roadnet.Point
+
+	delivered []*Message
+	failed    []*Message
+	reasons   []error
+}
+
+func newHarness(t *testing.T, params Params) *harness {
+	t.Helper()
+	h := &harness{
+		engine: sim.NewEngine(),
+		pos:    map[sim.AgentID]roadnet.Point{},
+	}
+	h.registry = sim.NewRegistry(h.engine)
+	position := func(id sim.AgentID) (roadnet.Point, bool) {
+		p, ok := h.pos[id]
+		return p, ok
+	}
+	net, err := NewNetwork(h.engine, h.registry, params, position, sim.NewRNG(1))
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	net.OnDeliver(func(m *Message) { h.delivered = append(h.delivered, m) })
+	net.OnFail(func(m *Message, reason error) {
+		h.failed = append(h.failed, m)
+		h.reasons = append(h.reasons, reason)
+	})
+	h.net = net
+	return h
+}
+
+// noDropParams returns deterministic channel parameters.
+func noDropParams() Params {
+	p := DefaultParams()
+	p.V2C.DropProb = 0
+	p.V2X.DropProb = 0
+	p.Wired.DropProb = 0
+	return p
+}
+
+func (h *harness) addOn(t *testing.T, kind sim.AgentKind) sim.AgentID {
+	t.Helper()
+	a := h.registry.Add(kind)
+	if err := h.registry.SetPower(a.ID, true); err != nil {
+		t.Fatalf("SetPower: %v", err)
+	}
+	return a.ID
+}
+
+func TestSendDeliversAfterModelledDuration(t *testing.T) {
+	h := newHarness(t, noDropParams())
+	v := h.addOn(t, sim.KindVehicle)
+	s := h.addOn(t, sim.KindCloudServer)
+
+	const size = 200_000 // bytes
+	if _, err := h.net.Send(v, s, KindV2C, size, "model"); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if h.net.InFlight() != 1 {
+		t.Fatalf("InFlight = %d, want 1", h.net.InFlight())
+	}
+	if err := h.engine.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(h.delivered) != 1 {
+		t.Fatalf("delivered %d messages, want 1 (failures: %v)", len(h.delivered), h.reasons)
+	}
+	m := h.delivered[0]
+	wantDuration := noDropParams().V2C.TransferSeconds(size) // 0.05 + 200/2000 = 0.15
+	if math.Abs(float64(m.DeliverAt.Sub(m.SentAt))-wantDuration) > 1e-9 {
+		t.Fatalf("transfer took %v, want %v", m.DeliverAt.Sub(m.SentAt), wantDuration)
+	}
+	if m.Payload != "model" {
+		t.Fatalf("payload = %v", m.Payload)
+	}
+	if h.net.InFlight() != 0 {
+		t.Fatalf("InFlight after delivery = %d", h.net.InFlight())
+	}
+}
+
+func TestSendRejectsOffEndpoints(t *testing.T) {
+	h := newHarness(t, noDropParams())
+	v := h.registry.Add(sim.KindVehicle).ID // off
+	s := h.addOn(t, sim.KindCloudServer)
+
+	if _, err := h.net.Send(v, s, KindV2C, 100, nil); !errors.Is(err, ErrSenderOff) {
+		t.Fatalf("err = %v, want ErrSenderOff", err)
+	}
+	if _, err := h.net.Send(s, v, KindV2C, 100, nil); !errors.Is(err, ErrReceiverOff) {
+		t.Fatalf("err = %v, want ErrReceiverOff", err)
+	}
+}
+
+func TestSendValidatesArguments(t *testing.T) {
+	h := newHarness(t, noDropParams())
+	v := h.addOn(t, sim.KindVehicle)
+	s := h.addOn(t, sim.KindCloudServer)
+	if _, err := h.net.Send(v, s, KindV2C, 0, nil); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := h.net.Send(v, v, KindV2C, 10, nil); err == nil {
+		t.Fatal("self-send accepted")
+	}
+	if _, err := h.net.Send(v, s, Kind(99), 10, nil); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := h.net.Send(v, sim.AgentID(42), KindV2C, 10, nil); err == nil {
+		t.Fatal("unknown receiver accepted")
+	}
+}
+
+func TestV2XRequiresRange(t *testing.T) {
+	h := newHarness(t, noDropParams())
+	a := h.addOn(t, sim.KindVehicle)
+	b := h.addOn(t, sim.KindVehicle)
+	h.pos[a] = roadnet.Point{X: 0}
+	h.pos[b] = roadnet.Point{X: 500} // beyond 200 m
+
+	if _, err := h.net.Send(a, b, KindV2X, 100, nil); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+	h.pos[b] = roadnet.Point{X: 150}
+	if _, err := h.net.Send(a, b, KindV2X, 100, nil); err != nil {
+		t.Fatalf("in-range send failed: %v", err)
+	}
+}
+
+func TestV2XRequiresPositions(t *testing.T) {
+	h := newHarness(t, noDropParams())
+	a := h.addOn(t, sim.KindVehicle)
+	srv := h.addOn(t, sim.KindCloudServer) // no position entry
+	h.pos[a] = roadnet.Point{}
+	if _, err := h.net.Send(a, srv, KindV2X, 100, nil); !errors.Is(err, ErrNoPosition) {
+		t.Fatalf("err = %v, want ErrNoPosition", err)
+	}
+}
+
+func TestV2XFailsWhenLeavingRangeMidTransfer(t *testing.T) {
+	h := newHarness(t, noDropParams())
+	a := h.addOn(t, sim.KindVehicle)
+	b := h.addOn(t, sim.KindVehicle)
+	h.pos[a] = roadnet.Point{X: 0}
+	h.pos[b] = roadnet.Point{X: 100}
+
+	if _, err := h.net.Send(a, b, KindV2X, 1_000_000, nil); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	// Move b out of range before the delivery completes.
+	if _, err := h.engine.Schedule(0.1, func() { h.pos[b] = roadnet.Point{X: 5000} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.engine.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.delivered) != 0 || len(h.failed) != 1 {
+		t.Fatalf("delivered=%d failed=%d, want 0/1", len(h.delivered), len(h.failed))
+	}
+	if !errors.Is(h.reasons[0], ErrOutOfRange) {
+		t.Fatalf("failure reason = %v, want ErrOutOfRange", h.reasons[0])
+	}
+}
+
+func TestPowerOffAbortsInFlightTransfers(t *testing.T) {
+	h := newHarness(t, noDropParams())
+	v := h.addOn(t, sim.KindVehicle)
+	s := h.addOn(t, sim.KindCloudServer)
+
+	if _, err := h.net.Send(v, s, KindV2C, 10_000_000, nil); err != nil { // ~5 s transfer
+		t.Fatal(err)
+	}
+	if _, err := h.net.Send(s, v, KindV2C, 10_000_000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.engine.Schedule(1, func() {
+		if err := h.registry.SetPower(v, false); err != nil {
+			t.Errorf("SetPower: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.engine.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.delivered) != 0 {
+		t.Fatalf("delivered %d, want 0", len(h.delivered))
+	}
+	if len(h.failed) != 2 {
+		t.Fatalf("failed %d, want 2", len(h.failed))
+	}
+	sawSender, sawReceiver := false, false
+	for _, r := range h.reasons {
+		if errors.Is(r, ErrSenderOff) {
+			sawSender = true
+		}
+		if errors.Is(r, ErrReceiverOff) {
+			sawReceiver = true
+		}
+	}
+	if !sawSender || !sawReceiver {
+		t.Fatalf("reasons = %v, want one ErrSenderOff and one ErrReceiverOff", h.reasons)
+	}
+	if h.net.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after abort", h.net.InFlight())
+	}
+}
+
+func TestPowerOffUnrelatedAgentDoesNotAbort(t *testing.T) {
+	h := newHarness(t, noDropParams())
+	v := h.addOn(t, sim.KindVehicle)
+	other := h.addOn(t, sim.KindVehicle)
+	s := h.addOn(t, sim.KindCloudServer)
+
+	if _, err := h.net.Send(v, s, KindV2C, 1_000_000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.engine.Schedule(0.1, func() {
+		if err := h.registry.SetPower(other, false); err != nil {
+			t.Errorf("SetPower: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.engine.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.delivered) != 1 {
+		t.Fatalf("delivered %d, want 1 (failures: %v)", len(h.delivered), h.reasons)
+	}
+}
+
+func TestStochasticDrops(t *testing.T) {
+	p := noDropParams()
+	p.V2C.DropProb = 0.5
+	h := newHarness(t, p)
+	v := h.addOn(t, sim.KindVehicle)
+	s := h.addOn(t, sim.KindCloudServer)
+
+	const total = 400
+	sendNext := func() {}
+	count := 0
+	sendNext = func() {
+		if count >= total {
+			return
+		}
+		count++
+		if _, err := h.net.Send(v, s, KindV2C, 1000, nil); err != nil {
+			t.Errorf("Send: %v", err)
+		}
+		if _, err := h.engine.After(1, sendNext); err != nil {
+			t.Errorf("After: %v", err)
+		}
+	}
+	if _, err := h.engine.Schedule(0, sendNext); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.engine.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(len(h.failed)) / total
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("drop fraction = %v, want ~0.5", frac)
+	}
+	for _, r := range h.reasons {
+		if !errors.Is(r, ErrDropped) {
+			t.Fatalf("unexpected failure reason %v", r)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	h := newHarness(t, noDropParams())
+	v := h.addOn(t, sim.KindVehicle)
+	s := h.addOn(t, sim.KindCloudServer)
+
+	if _, err := h.net.Send(v, s, KindV2C, 1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.net.Send(s, v, KindV2C, 2000, nil); err != nil {
+		t.Fatal(err)
+	}
+	// One failing transfer: vehicle shuts off mid-flight.
+	if _, err := h.net.Send(v, s, KindV2C, 50_000_000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.engine.Schedule(2, func() {
+		if err := h.registry.SetPower(v, false); err != nil {
+			t.Errorf("SetPower: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.engine.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	st := h.net.StatsFor(KindV2C)
+	if st.MessagesSent != 3 {
+		t.Fatalf("MessagesSent = %d", st.MessagesSent)
+	}
+	if st.MessagesDelivered != 2 {
+		t.Fatalf("MessagesDelivered = %d", st.MessagesDelivered)
+	}
+	if st.MessagesFailed != 1 {
+		t.Fatalf("MessagesFailed = %d", st.MessagesFailed)
+	}
+	if st.BytesAttempted != 1000+2000+50_000_000 {
+		t.Fatalf("BytesAttempted = %d", st.BytesAttempted)
+	}
+	if st.BytesDelivered != 3000 {
+		t.Fatalf("BytesDelivered = %d", st.BytesDelivered)
+	}
+	if zero := h.net.StatsFor(KindV2X); zero != (Stats{}) {
+		t.Fatalf("V2X stats = %+v, want zero", zero)
+	}
+	if unknown := h.net.StatsFor(Kind(99)); unknown != (Stats{}) {
+		t.Fatalf("unknown-kind stats = %+v, want zero", unknown)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	h := newHarness(t, noDropParams())
+	a := h.addOn(t, sim.KindVehicle)
+	b := h.addOn(t, sim.KindVehicle)
+	s := h.addOn(t, sim.KindCloudServer)
+	off := h.registry.Add(sim.KindVehicle).ID
+	h.pos[a] = roadnet.Point{X: 0}
+	h.pos[b] = roadnet.Point{X: 100}
+
+	if !h.net.Reachable(a, s, KindV2C) {
+		t.Fatal("on vehicle cannot reach server over V2C")
+	}
+	if h.net.Reachable(a, off, KindV2C) {
+		t.Fatal("off vehicle reachable")
+	}
+	if !h.net.Reachable(a, b, KindV2X) {
+		t.Fatal("in-range pair not reachable over V2X")
+	}
+	h.pos[b] = roadnet.Point{X: 9999}
+	if h.net.Reachable(a, b, KindV2X) {
+		t.Fatal("out-of-range pair reachable over V2X")
+	}
+	if h.net.Reachable(a, a, KindV2C) {
+		t.Fatal("self reachable")
+	}
+}
+
+func TestWiredChannel(t *testing.T) {
+	h := newHarness(t, noDropParams())
+	rsu := h.addOn(t, sim.KindRSU)
+	s := h.addOn(t, sim.KindCloudServer)
+	if _, err := h.net.Send(rsu, s, KindWired, 1_000_000, nil); err != nil {
+		t.Fatalf("wired send: %v", err)
+	}
+	if err := h.engine.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.delivered) != 1 {
+		t.Fatalf("wired delivery missing (failures %v)", h.reasons)
+	}
+	// 100 MB/s + 5 ms latency for 1 MB -> 15 ms.
+	d := h.delivered[0]
+	if math.Abs(float64(d.DeliverAt.Sub(d.SentAt))-0.015) > 1e-9 {
+		t.Fatalf("wired transfer took %v, want 0.015", d.DeliverAt.Sub(d.SentAt))
+	}
+}
+
+func TestChannelParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := []ChannelParams{
+		{KBps: 0},
+		{KBps: 100, LatencyS: -1},
+		{KBps: 100, DropProb: 1},
+		{KBps: 100, DropProb: -0.1},
+		{KBps: 100, RangeM: -5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad channel params %d validated", i)
+		}
+	}
+	p := DefaultParams()
+	p.V2X.RangeM = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("params with zero V2X range validated")
+	}
+}
+
+func TestTransferSeconds(t *testing.T) {
+	p := ChannelParams{KBps: 1000, LatencyS: 0.1}
+	if got := p.TransferSeconds(500_000); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("TransferSeconds = %v, want 0.6", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{KindV2C: "v2c", KindV2X: "v2x", KindWired: "wired"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+	if Kind(0).String() != "unknown(0)" {
+		t.Errorf("Kind(0).String() = %q", Kind(0).String())
+	}
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	engine := sim.NewEngine()
+	registry := sim.NewRegistry(engine)
+	pos := func(sim.AgentID) (roadnet.Point, bool) { return roadnet.Point{}, true }
+	rng := sim.NewRNG(1)
+	if _, err := NewNetwork(nil, registry, DefaultParams(), pos, rng); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := NewNetwork(engine, nil, DefaultParams(), pos, rng); err == nil {
+		t.Fatal("nil registry accepted")
+	}
+	if _, err := NewNetwork(engine, registry, Params{}, pos, rng); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	if _, err := NewNetwork(engine, registry, DefaultParams(), nil, rng); err == nil {
+		t.Fatal("nil position func accepted")
+	}
+	if _, err := NewNetwork(engine, registry, DefaultParams(), pos, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}

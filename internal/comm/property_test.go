@@ -1,0 +1,131 @@
+package comm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"roadrunner/internal/roadnet"
+	"roadrunner/internal/sim"
+)
+
+// TestTransferSecondsMonotoneInSize: bigger payloads never transfer faster.
+func TestTransferSecondsMonotoneInSize(t *testing.T) {
+	prop := func(kbps uint16, latencyMs uint16, a, b uint32) bool {
+		p := ChannelParams{
+			KBps:     float64(kbps%10000) + 1,
+			LatencyS: float64(latencyMs%1000) / 1000,
+		}
+		small, large := int(a%1_000_000)+1, int(b%1_000_000)+1
+		if small > large {
+			small, large = large, small
+		}
+		return p.TransferSeconds(small) <= p.TransferSeconds(large)
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransferSecondsAtLeastLatency: latency is a lower bound.
+func TestTransferSecondsAtLeastLatency(t *testing.T) {
+	prop := func(kbps uint16, latencyMs uint16, size uint32) bool {
+		p := ChannelParams{
+			KBps:     float64(kbps%10000) + 1,
+			LatencyS: float64(latencyMs%5000) / 1000,
+		}
+		return p.TransferSeconds(int(size%1_000_000)+1) >= p.LatencyS
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatsConservation: after a randomized workload fully drains,
+// sent == delivered + failed for every channel, and delivered bytes never
+// exceed attempted bytes.
+func TestStatsConservation(t *testing.T) {
+	prop := func(seed uint32, plan []uint8) bool {
+		if len(plan) > 60 {
+			plan = plan[:60]
+		}
+		engine := sim.NewEngine()
+		registry := sim.NewRegistry(engine)
+		rng := sim.NewRNG(uint64(seed))
+
+		const vehicles = 6
+		positions := make([]roadnet.Point, vehicles+1)
+		server := registry.Add(sim.KindCloudServer)
+		if err := registry.SetPower(server.ID, true); err != nil {
+			return false
+		}
+		var ids []sim.AgentID
+		for i := 0; i < vehicles; i++ {
+			a := registry.Add(sim.KindVehicle)
+			ids = append(ids, a.ID)
+			if err := registry.SetPower(a.ID, true); err != nil {
+				return false
+			}
+			positions[int(a.ID)] = roadnet.Point{X: rng.Range(0, 600)}
+		}
+		params := DefaultParams()
+		params.V2C.DropProb = 0.3
+		params.V2X.DropProb = 0.3
+		pos := func(id sim.AgentID) (roadnet.Point, bool) {
+			if id == server.ID {
+				return roadnet.Point{}, false
+			}
+			return positions[int(id)], true
+		}
+		net, err := NewNetwork(engine, registry, params, pos, rng.Fork("net"))
+		if err != nil {
+			return false
+		}
+
+		for _, op := range plan {
+			v := ids[int(op)%len(ids)]
+			switch op % 4 {
+			case 0: // v2c up
+				_, _ = net.Send(v, server.ID, KindV2C, int(op)*100+1, nil)
+			case 1: // v2c down
+				_, _ = net.Send(server.ID, v, KindV2C, int(op)*100+1, nil)
+			case 2: // v2x to a neighbor
+				other := ids[(int(op)+1)%len(ids)]
+				if other != v {
+					_, _ = net.Send(v, other, KindV2X, int(op)*50+1, nil)
+				}
+			case 3: // power churn mid-flight
+				_ = registry.SetPower(v, false)
+				_ = registry.SetPower(v, true)
+			}
+			if !engine.Stopped() {
+				_ = engine.Run(engine.Now().Add(0.2))
+			}
+		}
+		if err := engine.RunAll(); err != nil {
+			return false
+		}
+		if net.InFlight() != 0 {
+			return false
+		}
+		for _, k := range Kinds() {
+			st := net.StatsFor(k)
+			if st.MessagesSent != st.MessagesDelivered+st.MessagesFailed {
+				return false
+			}
+			if st.BytesDelivered > st.BytesAttempted {
+				return false
+			}
+			if st.MessagesSent < 0 || st.BytesAttempted < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"roadrunner/internal/metrics"
+	"roadrunner/internal/mobility"
+	"roadrunner/internal/roadnet"
+	"roadrunner/internal/sim"
+	"roadrunner/internal/strategy"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Config
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("round-tripped config invalid: %v", err)
+	}
+	if got.Seed != cfg.Seed || got.TickInterval != cfg.TickInterval {
+		t.Fatal("scalar fields lost")
+	}
+	if got.Grid != cfg.Grid {
+		t.Fatalf("grid lost: %+v vs %+v", got.Grid, cfg.Grid)
+	}
+	if got.Fleet != cfg.Fleet {
+		t.Fatalf("fleet lost: %+v vs %+v", got.Fleet, cfg.Fleet)
+	}
+	if got.Comm != cfg.Comm {
+		t.Fatal("comm params lost")
+	}
+	if got.Data != cfg.Data || got.Partition != cfg.Partition {
+		t.Fatal("data config lost")
+	}
+	if !got.Model.Equal(&cfg.Model) {
+		t.Fatal("model spec lost")
+	}
+	if got.Train != cfg.Train {
+		t.Fatal("train config lost")
+	}
+	if got.OBU != cfg.OBU || got.ServerHW != cfg.ServerHW {
+		t.Fatal("hw profiles lost")
+	}
+}
+
+// TestExperimentFromTraceFile exercises the paper's primary input path:
+// spatial dynamics entering the core simulator "statically, e.g. as a file
+// of GPS traces".
+func TestExperimentFromTraceFile(t *testing.T) {
+	// Generate traces and write them to disk.
+	small := SmallConfig()
+	root := sim.NewRNG(99)
+	graph, err := roadnet.Generate(small.Grid, root.Fork("roadnet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := mobility.Generate(small.Fleet, graph, root.Fork("mobility"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "traces.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mobility.WriteCSV(f, traces); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := SmallConfig()
+	cfg.TraceFile = path
+	res := runExperiment(t, cfg, fastFedAvg(t, 4))
+	if res.Metrics.Counter(metrics.CounterRounds) != 4 {
+		t.Fatalf("rounds = %v", res.Metrics.Counter(metrics.CounterRounds))
+	}
+	if res.FinalAccuracy <= 0 {
+		t.Fatalf("final accuracy = %v", res.FinalAccuracy)
+	}
+}
+
+func TestExperimentTraceFileMissing(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.TraceFile = filepath.Join(t.TempDir(), "nope.csv")
+	if _, err := New(cfg, fastFedAvg(t, 2)); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}
+
+func TestExperimentTraceFileGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(path, []byte("not,a,trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := SmallConfig()
+	cfg.TraceFile = path
+	if _, err := New(cfg, fastFedAvg(t, 2)); err == nil {
+		t.Fatal("garbage trace file accepted")
+	}
+}
+
+// TestRSUAssistedIntegration runs the RSU strategy through the full
+// simulator: wired distribution, V2X collection from passing vehicles,
+// zero V2C.
+func TestRSUAssistedIntegration(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.RSUCount = 6
+	s, err := strategy.NewRSUAssisted(strategy.RSUAssistedConfig{
+		Rounds:          6,
+		RoundDuration:   150,
+		ServerOverhead:  10,
+		ExchangeTimeout: 45,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runExperiment(t, cfg, s)
+	if res.Comm["v2c"].MessagesSent != 0 {
+		t.Fatalf("RSU strategy used V2C: %+v", res.Comm["v2c"])
+	}
+	if res.Comm["wired"].MessagesDelivered == 0 {
+		t.Fatal("no wired backhaul traffic")
+	}
+	ex := res.Metrics.Series(metrics.SeriesRoundExchanges)
+	if ex == nil || ex.Len() != 6 {
+		t.Fatalf("exchange series = %v", ex)
+	}
+	total := 0.0
+	for _, p := range ex.Points {
+		total += p.Value
+	}
+	if total == 0 {
+		t.Fatal("no vehicle ever exchanged with an RSU over 6 rounds")
+	}
+	if res.Comm["v2x"].MessagesDelivered == 0 {
+		t.Fatal("no V2X traffic despite exchanges")
+	}
+}
+
+func TestRSUAssistedNeedsRSUs(t *testing.T) {
+	cfg := SmallConfig() // RSUCount = 0
+	s, err := strategy.NewRSUAssisted(strategy.DefaultRSUAssistedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := New(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exp.Run(); err == nil {
+		t.Fatal("RSU strategy ran without RSUs")
+	}
+}
+
+// TestHighDropChannelStillProgresses injects heavy stochastic channel
+// failure; rounds must still complete (with fewer contributions), never
+// wedge.
+func TestHighDropChannelStillProgresses(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Comm.V2C.DropProb = 0.4
+	cfg.Comm.V2X.DropProb = 0.4
+	res := runExperiment(t, cfg, fastFedAvg(t, 8))
+	if got := res.Metrics.Counter(metrics.CounterRounds); got != 8 {
+		t.Fatalf("completed %v rounds under heavy drops, want 8", got)
+	}
+	if res.Comm["v2c"].MessagesFailed == 0 {
+		t.Fatal("no failures despite 40% drop probability")
+	}
+}
+
+// TestExtremeChurnStillProgresses: vehicles turn off after almost every
+// trip; the strategies must survive the churn.
+func TestExtremeChurnStillProgresses(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Fleet.OffWhenParkedProb = 0.95
+	cfg.Fleet.DwellMax = 600
+	res := runExperiment(t, cfg, fastOpp(t, 6))
+	if got := res.Metrics.Counter(metrics.CounterRounds); got != 6 {
+		t.Fatalf("completed %v rounds under extreme churn, want 6", got)
+	}
+}
+
+// TestTinyV2XRange: with a 10 m radio, OPP degenerates to plain FL
+// (encounters are essentially impossible).
+func TestTinyV2XRangeYieldsNoExchanges(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Comm.V2X.RangeM = 10
+	res := runExperiment(t, cfg, fastOpp(t, 5))
+	ex := res.Metrics.Series(metrics.SeriesRoundExchanges)
+	if ex == nil {
+		t.Fatal("missing exchange series")
+	}
+	if ex.Max() > 2 {
+		t.Fatalf("10 m V2X range produced %v exchanges in a round", ex.Max())
+	}
+	if got := res.Metrics.Counter(metrics.CounterRounds); got != 5 {
+		t.Fatalf("rounds = %v", got)
+	}
+}
+
+func TestPrintConfigTemplateIsValid(t *testing.T) {
+	// The cmd/roadrunner -print-config template must parse back.
+	raw, err := json.MarshalIndent(DefaultConfig(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("template invalid: %v", err)
+	}
+}

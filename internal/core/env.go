@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+
+	"roadrunner/internal/comm"
+	"roadrunner/internal/metrics"
+	"roadrunner/internal/ml"
+	"roadrunner/internal/sim"
+	"roadrunner/internal/strategy"
+)
+
+// Experiment implements strategy.Env: the framework API the Learning
+// Strategy Logic module programs against.
+var _ strategy.Env = (*Experiment)(nil)
+
+// Now implements strategy.Env.
+func (e *Experiment) Now() sim.Time { return e.engine.Now() }
+
+// Rand implements strategy.Env.
+func (e *Experiment) Rand() *sim.RNG { return e.stratRNG }
+
+// Server implements strategy.Env.
+func (e *Experiment) Server() sim.AgentID { return e.server }
+
+// Vehicles implements strategy.Env. The returned slice is shared; callers
+// must not mutate it.
+func (e *Experiment) Vehicles() []sim.AgentID { return e.vehicles }
+
+// RSUs implements strategy.Env.
+func (e *Experiment) RSUs() []sim.AgentID { return e.rsus }
+
+// Kind implements strategy.Env.
+func (e *Experiment) Kind(id sim.AgentID) sim.AgentKind {
+	a := e.registry.Get(id)
+	if a == nil {
+		return 0
+	}
+	return a.Kind
+}
+
+// IsOn implements strategy.Env.
+func (e *Experiment) IsOn(id sim.AgentID) bool {
+	a := e.registry.Get(id)
+	return a != nil && a.On()
+}
+
+// IsBusy implements strategy.Env: the agent's hardware unit has no free
+// slot for further work. Vehicles have single-slot OBUs; the server HU
+// runs several training operations in parallel (paper §4: "the HUs can
+// run multiple operations in parallel").
+func (e *Experiment) IsBusy(id sim.AgentID) bool {
+	unit, ok := e.units[id]
+	if !ok {
+		a := e.registry.Get(id)
+		return a != nil && a.Busy(e.engine.Now())
+	}
+	return len(e.pending[id]) >= unit.Profile().Slots
+}
+
+// DataAmount implements strategy.Env.
+func (e *Experiment) DataAmount(id sim.AgentID) int { return len(e.data[id]) }
+
+// LocalData implements strategy.Env.
+func (e *Experiment) LocalData(id sim.AgentID) []ml.Example { return e.data[id] }
+
+// Model implements strategy.Env.
+func (e *Experiment) Model(id sim.AgentID) *ml.Snapshot { return e.models[id] }
+
+// SetModel implements strategy.Env.
+func (e *Experiment) SetModel(id sim.AgentID, m *ml.Snapshot) { e.models[id] = m }
+
+// Send implements strategy.Env: it sizes the payload (model wire bytes,
+// raw-data bytes, or a small control envelope) and hands it to the
+// communication module.
+func (e *Experiment) Send(from, to sim.AgentID, kind comm.Kind, p strategy.Payload) (comm.MsgID, error) {
+	size := payloadBytes(p)
+	return e.network.Send(from, to, kind, size, p)
+}
+
+// payloadBytes models a payload's wire size: a fixed envelope plus the
+// model snapshot and/or raw examples it carries.
+func payloadBytes(p strategy.Payload) int {
+	const envelope = 256
+	size := envelope
+	if p.Model != nil {
+		size += p.Model.WireBytes()
+	}
+	for _, ex := range p.Data {
+		size += 4*len(ex.X) + 8 // float32 features + label/length framing
+	}
+	return size
+}
+
+// Train implements strategy.Env.
+func (e *Experiment) Train(id sim.AgentID, m *ml.Snapshot) error {
+	return e.TrainOnData(id, m, e.data[id])
+}
+
+// TrainOnData implements strategy.Env: it occupies the agent's hardware
+// unit for the modelled duration and performs the actual SGD at completion
+// time, so aborted tasks (agent shut off) cost no host compute and leak no
+// state.
+func (e *Experiment) TrainOnData(id sim.AgentID, m *ml.Snapshot, examples []ml.Example) error {
+	if m == nil {
+		return fmt.Errorf("core: train on %v: nil model", id)
+	}
+	if len(examples) == 0 {
+		return fmt.Errorf("core: train on %v: no examples", id)
+	}
+	unit, ok := e.units[id]
+	if !ok {
+		return fmt.Errorf("core: train on %v: unknown agent", id)
+	}
+	dur, err := unit.TrainDuration(e.trainFLOPs, len(examples), e.cfg.Train.Epochs)
+	if err != nil {
+		return err
+	}
+	agent := e.registry.Get(id)
+	if agent == nil || !agent.On() {
+		return fmt.Errorf("core: train on %v: agent off or unknown", id)
+	}
+	if e.IsBusy(id) {
+		return fmt.Errorf("core: train on %v: all %d HU slots busy", id, unit.Profile().Slots)
+	}
+	// Mark the registry-level busy deadline (the latest completion across
+	// slots) so Agent.Busy stays meaningful for single-slot agents.
+	if until := e.engine.Now().Add(dur); until > agent.BusyUntil() {
+		e.registry.Release(id)
+		if _, err := e.registry.Occupy(id, dur); err != nil {
+			return fmt.Errorf("core: train on %v: %w", id, err)
+		}
+	}
+	taskRNG := e.trainRNG.Fork("task")
+	var ev *sim.Event
+	ev, err = e.engine.After(dur, func() {
+		e.removePending(id, ev)
+		net, err := ml.LoadSnapshot(m)
+		if err != nil {
+			e.Logf("core: train on %v: load snapshot: %v", id, err)
+			return
+		}
+		loss, err := net.Train(examples, e.cfg.Train, taskRNG)
+		if err != nil {
+			e.Logf("core: train on %v: %v", id, err)
+			return
+		}
+		unit.Record(dur)
+		e.recorder.Add(metrics.CounterTrainTasks, 1)
+		e.strat.OnTrainDone(e, id, net.Snapshot(), loss)
+	})
+	if err != nil {
+		e.registry.Release(id)
+		return err
+	}
+	e.pending[id] = append(e.pending[id], ev)
+	return nil
+}
+
+// removePending drops one completed training event from the agent's slot
+// accounting.
+func (e *Experiment) removePending(id sim.AgentID, ev *sim.Event) {
+	events := e.pending[id]
+	for i, candidate := range events {
+		if candidate == ev {
+			e.pending[id] = append(events[:i], events[i+1:]...)
+			break
+		}
+	}
+	if len(e.pending[id]) == 0 {
+		delete(e.pending, id)
+	}
+}
+
+// Aggregate implements strategy.Env.
+func (e *Experiment) Aggregate(models []*ml.Snapshot, weights []float64) (*ml.Snapshot, error) {
+	return ml.FedAvg(models, weights)
+}
+
+// TestAccuracy implements strategy.Env. Results are memoized per snapshot
+// (snapshots are immutable by convention), since strategies often evaluate
+// the same global model more than once.
+func (e *Experiment) TestAccuracy(m *ml.Snapshot) (float64, error) {
+	if m == nil {
+		return 0, fmt.Errorf("core: test accuracy of nil model")
+	}
+	if acc, ok := e.accCache[m]; ok {
+		return acc, nil
+	}
+	net, err := ml.LoadSnapshot(m)
+	if err != nil {
+		return 0, err
+	}
+	acc, _, err := net.Evaluate(e.testSet)
+	if err != nil {
+		return 0, err
+	}
+	if len(e.accCache) > 512 {
+		e.accCache = make(map[*ml.Snapshot]float64)
+	}
+	e.accCache[m] = acc
+	return acc, nil
+}
+
+// Neighbors implements strategy.Env: powered-on vehicles and RSUs currently
+// within V2X range of id, computed from exact current positions.
+func (e *Experiment) Neighbors(id sim.AgentID) []sim.AgentID {
+	center, ok := e.positionOf(id)
+	if !ok || !e.IsOn(id) {
+		return nil
+	}
+	radius := e.cfg.Comm.V2X.RangeM
+	var out []sim.AgentID
+	consider := func(other sim.AgentID) {
+		if other == id || !e.IsOn(other) {
+			return
+		}
+		pos, ok := e.positionOf(other)
+		if !ok {
+			return
+		}
+		if center.Dist(pos) <= radius {
+			out = append(out, other)
+		}
+	}
+	for _, v := range e.vehicles {
+		consider(v)
+	}
+	for _, r := range e.rsus {
+		consider(r)
+	}
+	return out
+}
+
+// Reachable implements strategy.Env.
+func (e *Experiment) Reachable(from, to sim.AgentID, kind comm.Kind) bool {
+	return e.network.Reachable(from, to, kind)
+}
+
+// After implements strategy.Env.
+func (e *Experiment) After(d sim.Duration, fn func()) error {
+	_, err := e.engine.After(d, fn)
+	return err
+}
+
+// Metrics implements strategy.Env.
+func (e *Experiment) Metrics() *metrics.Recorder { return e.recorder }
+
+// Stop implements strategy.Env.
+func (e *Experiment) Stop() { e.engine.Stop() }
+
+// Logf implements strategy.Env.
+func (e *Experiment) Logf(format string, args ...any) {
+	if e.cfg.LogWriter == nil {
+		return
+	}
+	fmt.Fprintf(e.cfg.LogWriter, "[%v] ", e.engine.Now())
+	fmt.Fprintf(e.cfg.LogWriter, format, args...)
+	fmt.Fprintln(e.cfg.LogWriter)
+}

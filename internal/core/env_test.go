@@ -1,0 +1,280 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"roadrunner/internal/comm"
+	"roadrunner/internal/ml"
+	"roadrunner/internal/mobility"
+	"roadrunner/internal/roadnet"
+	"roadrunner/internal/sim"
+	"roadrunner/internal/strategy"
+)
+
+func TestPayloadBytesComposition(t *testing.T) {
+	empty := payloadBytes(strategy.Payload{Tag: "ctl"})
+	if empty != 256 {
+		t.Fatalf("control payload = %d bytes, want the 256-byte envelope", empty)
+	}
+
+	net, err := ml.NewNetwork(ml.MLPSpec(4, nil, 2), sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := net.Snapshot()
+	withModel := payloadBytes(strategy.Payload{Tag: "m", Model: snap})
+	if withModel != 256+snap.WireBytes() {
+		t.Fatalf("model payload = %d, want envelope + %d", withModel, snap.WireBytes())
+	}
+
+	data := []ml.Example{
+		{X: make([]float32, 10), Label: 1},
+		{X: make([]float32, 10), Label: 2},
+	}
+	withData := payloadBytes(strategy.Payload{Tag: "d", Data: data})
+	want := 256 + 2*(4*10+8)
+	if withData != want {
+		t.Fatalf("data payload = %d, want %d", withData, want)
+	}
+}
+
+// TestSendChargesModelBytes checks end to end that transferring a model
+// charges the comm module with its real wire size.
+func TestSendChargesModelBytes(t *testing.T) {
+	exp, err := New(SmallConfig(), fastFedAvg(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an on vehicle.
+	var v sim.AgentID = sim.NoAgent
+	for _, id := range exp.Vehicles() {
+		if exp.IsOn(id) {
+			v = id
+			break
+		}
+	}
+	if v == sim.NoAgent {
+		t.Skip("no vehicle on at t=0 with this seed")
+	}
+	m := exp.Model(exp.Server())
+	p := strategy.Payload{Tag: "x", Model: m}
+	if _, err := exp.Send(exp.Server(), v, comm.KindV2C, p); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	st := exp.Network().StatsFor(comm.KindV2C)
+	if st.BytesAttempted != int64(256+m.WireBytes()) {
+		t.Fatalf("attempted %d bytes, want %d", st.BytesAttempted, 256+m.WireBytes())
+	}
+}
+
+func TestNeighborsSymmetricAndRangeLimited(t *testing.T) {
+	exp, err := New(SmallConfig(), fastFedAvg(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	radius := SmallConfig().Comm.V2X.RangeM
+	for _, a := range exp.Vehicles() {
+		for _, b := range exp.Neighbors(a) {
+			// Symmetry: if b is a's neighbor, a is b's.
+			found := false
+			for _, x := range exp.Neighbors(b) {
+				if x == a {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("neighbor relation asymmetric: %v -> %v", a, b)
+			}
+			// Both endpoints on and within radius.
+			if !exp.IsOn(a) || !exp.IsOn(b) {
+				t.Fatalf("neighbor pair includes an off agent")
+			}
+			pa, _ := exp.positionOf(a)
+			pb, _ := exp.positionOf(b)
+			if pa.Dist(pb) > radius {
+				t.Fatalf("neighbors %v,%v at distance %v > radius %v", a, b, pa.Dist(pb), radius)
+			}
+		}
+	}
+	// The server has no position, hence no neighbors.
+	if got := exp.Neighbors(exp.Server()); got != nil {
+		t.Fatalf("server has neighbors: %v", got)
+	}
+}
+
+func TestTrainOccupiesAgentForModelledDuration(t *testing.T) {
+	exp, err := New(SmallConfig(), fastFedAvg(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v sim.AgentID = sim.NoAgent
+	for _, id := range exp.Vehicles() {
+		if exp.IsOn(id) {
+			v = id
+			break
+		}
+	}
+	if v == sim.NoAgent {
+		t.Skip("no vehicle on at t=0 with this seed")
+	}
+	m := exp.Model(exp.Server())
+	if err := exp.Train(v, m); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if !exp.IsBusy(v) {
+		t.Fatal("agent not busy after Train")
+	}
+	// A second training on the same busy agent must be refused.
+	if err := exp.Train(v, m); err == nil {
+		t.Fatal("busy agent accepted a second training task")
+	}
+}
+
+func TestLogfWritesWhenConfigured(t *testing.T) {
+	var buf logBuffer
+	cfg := SmallConfig()
+	cfg.LogWriter = &buf
+	exp, err := New(cfg, fastFedAvg(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp.Logf("hello %d", 42)
+	if got := buf.String(); got == "" {
+		t.Fatal("Logf wrote nothing")
+	}
+	// Nil writer must be a silent no-op.
+	exp2, err := New(SmallConfig(), fastFedAvg(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp2.Logf("discarded")
+}
+
+type logBuffer struct{ data []byte }
+
+func (b *logBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+func (b *logBuffer) String() string { return string(b.data) }
+
+// TestServerHUParallelSlots: the server's hardware unit runs several
+// training operations concurrently (paper §4: "the HUs can run multiple
+// operations in parallel"), while a single-slot vehicle OBU serializes.
+func TestServerHUParallelSlots(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.ServerHW.Slots = 3
+	exp, err := New(cfg, fastFedAvg(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := exp.Model(exp.Server())
+	data := exp.LocalData(exp.Vehicles()[0])
+
+	for i := 0; i < 3; i++ {
+		if err := exp.TrainOnData(exp.Server(), m, data); err != nil {
+			t.Fatalf("server training %d refused: %v", i, err)
+		}
+	}
+	if !exp.IsBusy(exp.Server()) {
+		t.Fatal("server not busy with all slots filled")
+	}
+	if err := exp.TrainOnData(exp.Server(), m, data); err == nil {
+		t.Fatal("4th concurrent training accepted on a 3-slot HU")
+	}
+}
+
+func TestEnvReachable(t *testing.T) {
+	exp, err := New(SmallConfig(), fastFedAvg(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var on sim.AgentID = sim.NoAgent
+	for _, v := range exp.Vehicles() {
+		if exp.IsOn(v) {
+			on = v
+			break
+		}
+	}
+	if on == sim.NoAgent {
+		t.Skip("no vehicle on at t=0 with this seed")
+	}
+	if !exp.Reachable(on, exp.Server(), comm.KindV2C) {
+		t.Fatal("on vehicle cannot reach the server over V2C")
+	}
+	if exp.Reachable(on, on, comm.KindV2C) {
+		t.Fatal("self reachable")
+	}
+}
+
+func TestExperimentAccessors(t *testing.T) {
+	exp, err := New(SmallConfig(), fastFedAvg(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Recorder() == nil {
+		t.Fatal("nil recorder")
+	}
+	if exp.Network() == nil {
+		t.Fatal("nil network")
+	}
+	if exp.Horizon() <= 0 {
+		t.Fatalf("horizon = %v", exp.Horizon())
+	}
+}
+
+func TestRSUPositionsResolvableFromTraceFile(t *testing.T) {
+	// With a trace-file experiment there is no road graph; RSUs fall back
+	// to vehicle start positions.
+	small := SmallConfig()
+	root := sim.NewRNG(5)
+	graph, err := roadnetGenerate(small, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := mobilityGenerate(small, graph, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeTraces(t, traces)
+	cfg := SmallConfig()
+	cfg.TraceFile = path
+	cfg.RSUCount = 2
+	exp, err := New(cfg, fastFedAvg(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range exp.RSUs() {
+		if _, ok := exp.positionOf(r); !ok {
+			t.Fatalf("RSU %v has no position", r)
+		}
+	}
+}
+
+// Helpers shared by trace-file tests.
+func roadnetGenerate(cfg Config, root *sim.RNG) (*roadnet.Graph, error) {
+	return roadnet.Generate(cfg.Grid, root.Fork("roadnet"))
+}
+
+func mobilityGenerate(cfg Config, g *roadnet.Graph, root *sim.RNG) (*mobility.TraceSet, error) {
+	return mobility.Generate(cfg.Fleet, g, root.Fork("mobility"))
+}
+
+func writeTraces(t *testing.T, traces *mobility.TraceSet) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "traces.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mobility.WriteCSV(f, traces); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}

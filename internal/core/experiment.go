@@ -1,0 +1,486 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"roadrunner/internal/comm"
+	"roadrunner/internal/dataset"
+	"roadrunner/internal/hw"
+	"roadrunner/internal/metrics"
+	"roadrunner/internal/ml"
+	"roadrunner/internal/mobility"
+	"roadrunner/internal/roadnet"
+	"roadrunner/internal/sim"
+	"roadrunner/internal/strategy"
+)
+
+// Experiment is one fully wired simulation run: agents, traces, channels,
+// data, models, hardware units, metrics, and a learning strategy. Create it
+// with New, run it once with Run.
+type Experiment struct {
+	cfg   Config
+	strat strategy.Strategy
+
+	engine   *sim.Engine
+	registry *sim.Registry
+	replayer *mobility.Replayer
+	network  *comm.Network
+	recorder *metrics.Recorder
+
+	server   sim.AgentID
+	vehicles []sim.AgentID // vehicles[i] replays trace i
+	rsus     []sim.AgentID
+	rsuPos   []roadnet.Point
+
+	data    map[sim.AgentID][]ml.Example
+	testSet []ml.Example
+	models  map[sim.AgentID]*ml.Snapshot
+	units   map[sim.AgentID]*hw.Unit
+
+	trainFLOPs float64
+	pending    map[sim.AgentID][]*sim.Event // outstanding training completions (one per busy HU slot)
+
+	spatial *mobility.SpatialIndex
+	tracker *mobility.EncounterTracker
+	posBuf  []roadnet.Point
+	actBuf  []bool
+
+	stratRNG *sim.RNG
+	trainRNG *sim.RNG
+
+	accCache map[*ml.Snapshot]float64
+	horizon  sim.Time
+	ran      bool
+}
+
+// Result bundles an experiment run's outputs.
+type Result struct {
+	// Metrics holds all series and counters recorded during the run.
+	Metrics *metrics.Recorder
+	// Comm maps channel names to their volume statistics.
+	Comm map[string]comm.Stats
+	// End is the simulated instant the run finished.
+	End sim.Time
+	// Wall is the host time the run took.
+	Wall time.Duration
+	// FinalAccuracy is the last recorded global accuracy (NaN-free: zero
+	// when never recorded).
+	FinalAccuracy float64
+	// EventsProcessed counts executed simulation events.
+	EventsProcessed uint64
+}
+
+// New builds an experiment from the configuration and strategy. All module
+// randomness is forked from cfg.Seed, so (cfg, strategy) fully determines
+// the run.
+func New(cfg Config, strat strategy.Strategy) (*Experiment, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if strat == nil {
+		return nil, fmt.Errorf("core: nil strategy")
+	}
+	root := sim.NewRNG(cfg.Seed)
+
+	e := &Experiment{
+		cfg:      cfg,
+		strat:    strat,
+		engine:   sim.NewEngine(),
+		recorder: metrics.NewRecorder(),
+		data:     make(map[sim.AgentID][]ml.Example),
+		models:   make(map[sim.AgentID]*ml.Snapshot),
+		units:    make(map[sim.AgentID]*hw.Unit),
+		pending:  make(map[sim.AgentID][]*sim.Event),
+		tracker:  mobility.NewEncounterTracker(),
+		stratRNG: root.Fork("strategy"),
+		trainRNG: root.Fork("train"),
+		accCache: make(map[*ml.Snapshot]float64),
+	}
+	e.registry = sim.NewRegistry(e.engine)
+
+	traces, graph, err := e.loadMobility(root)
+	if err != nil {
+		return nil, err
+	}
+	e.replayer, err = mobility.NewReplayer(traces)
+	if err != nil {
+		return nil, err
+	}
+	e.horizon = traces.Horizon
+	if cfg.Horizon > 0 {
+		h := sim.Time(0).Add(cfg.Horizon)
+		if h < e.horizon {
+			e.horizon = h
+		}
+	}
+
+	if err := e.createAgents(graph, root); err != nil {
+		return nil, err
+	}
+	if err := e.createNetwork(root); err != nil {
+		return nil, err
+	}
+	if err := e.prepareData(root); err != nil {
+		return nil, err
+	}
+	if err := e.prepareModels(root); err != nil {
+		return nil, err
+	}
+	if err := e.schedulePower(); err != nil {
+		return nil, err
+	}
+	e.registry.OnPowerChange(e.handlePowerChange)
+
+	cell := cfg.Comm.V2X.RangeM
+	e.spatial, err = mobility.NewSpatialIndex(cell)
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *Experiment) loadMobility(root *sim.RNG) (*mobility.TraceSet, *roadnet.Graph, error) {
+	if e.cfg.TraceFile != "" {
+		f, err := os.Open(e.cfg.TraceFile)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: open trace file: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+		traces, err := mobility.ReadCSV(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: read trace file: %w", err)
+		}
+		return traces, nil, nil
+	}
+	graph, err := roadnet.Generate(e.cfg.Grid, root.Fork("roadnet"))
+	if err != nil {
+		return nil, nil, err
+	}
+	traces, err := mobility.Generate(e.cfg.Fleet, graph, root.Fork("mobility"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return traces, graph, nil
+}
+
+func (e *Experiment) createAgents(graph *roadnet.Graph, root *sim.RNG) error {
+	e.server = e.registry.Add(sim.KindCloudServer).ID
+	srvUnit, err := hw.NewUnit(e.cfg.ServerHW)
+	if err != nil {
+		return err
+	}
+	e.units[e.server] = srvUnit
+
+	n := e.replayer.NumVehicles()
+	e.vehicles = make([]sim.AgentID, n)
+	for i := 0; i < n; i++ {
+		a := e.registry.Add(sim.KindVehicle)
+		e.vehicles[i] = a.ID
+		unit, err := hw.NewUnit(e.cfg.OBU)
+		if err != nil {
+			return err
+		}
+		e.units[a.ID] = unit
+	}
+
+	if e.cfg.RSUCount > 0 {
+		rng := root.Fork("rsu")
+		for i := 0; i < e.cfg.RSUCount; i++ {
+			a := e.registry.Add(sim.KindRSU)
+			e.rsus = append(e.rsus, a.ID)
+			unit, err := hw.NewUnit(e.cfg.RSUHW)
+			if err != nil {
+				return err
+			}
+			e.units[a.ID] = unit
+			e.rsuPos = append(e.rsuPos, e.rsuPosition(graph, rng, i))
+		}
+	}
+	return nil
+}
+
+// rsuPosition picks an RSU site: a random intersection when a road network
+// is available, otherwise a random vehicle's starting position.
+func (e *Experiment) rsuPosition(graph *roadnet.Graph, rng *sim.RNG, i int) roadnet.Point {
+	if graph != nil && graph.NumNodes() > 0 {
+		return graph.Pos(roadnet.NodeID(rng.Intn(graph.NumNodes())))
+	}
+	v := rng.Intn(e.replayer.NumVehicles())
+	pos, _, err := e.replayer.At(v, 0)
+	if err != nil {
+		return roadnet.Point{}
+	}
+	return pos
+}
+
+func (e *Experiment) createNetwork(root *sim.RNG) error {
+	position := func(id sim.AgentID) (roadnet.Point, bool) {
+		return e.positionOf(id)
+	}
+	network, err := comm.NewNetwork(e.engine, e.registry, e.cfg.Comm, position, root.Fork("comm"))
+	if err != nil {
+		return err
+	}
+	network.OnDeliver(e.dispatchDelivery)
+	network.OnFail(e.dispatchFailure)
+	e.network = network
+	return nil
+}
+
+// positionOf resolves any agent's current position; the cloud server has
+// none.
+func (e *Experiment) positionOf(id sim.AgentID) (roadnet.Point, bool) {
+	if id == e.server {
+		return roadnet.Point{}, false
+	}
+	for i, r := range e.rsus {
+		if r == id {
+			return e.rsuPos[i], true
+		}
+	}
+	idx := int(id) - 1 // vehicles occupy IDs 1..n
+	if idx < 0 || idx >= len(e.vehicles) {
+		return roadnet.Point{}, false
+	}
+	pos, _, err := e.replayer.At(idx, e.engine.Now())
+	if err != nil {
+		return roadnet.Point{}, false
+	}
+	return pos, true
+}
+
+func (e *Experiment) prepareData(root *sim.RNG) error {
+	gen, err := dataset.NewGenerator(e.cfg.Data, root.Fork("data-proto"))
+	if err != nil {
+		return err
+	}
+	drawRNG := root.Fork("data-draw")
+	poolSize := len(e.vehicles) * e.cfg.Partition.PerAgent
+	pool, err := gen.Balanced(poolSize, drawRNG)
+	if err != nil {
+		return err
+	}
+	parts, err := dataset.Partition(pool, len(e.vehicles), e.cfg.Partition, root.Fork("partition"))
+	if err != nil {
+		return err
+	}
+	for i, v := range e.vehicles {
+		e.data[v] = parts[i]
+	}
+	e.testSet, err = gen.Balanced(e.cfg.TestSamples, drawRNG)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func (e *Experiment) prepareModels(root *sim.RNG) error {
+	net, err := ml.NewNetwork(e.cfg.Model, root.Fork("init-weights"))
+	if err != nil {
+		return err
+	}
+	e.models[e.server] = net.Snapshot()
+	flops, err := e.cfg.Model.TrainFLOPs()
+	if err != nil {
+		return err
+	}
+	e.trainFLOPs = flops
+	return nil
+}
+
+// schedulePower turns the server and RSUs on at t=0 and replays every
+// vehicle's ignition transitions as simulation events.
+func (e *Experiment) schedulePower() error {
+	if err := e.registry.SetPower(e.server, true); err != nil {
+		return err
+	}
+	for _, r := range e.rsus {
+		if err := e.registry.SetPower(r, true); err != nil {
+			return err
+		}
+	}
+	for i, v := range e.vehicles {
+		transitions, err := e.replayer.Transitions(i)
+		if err != nil {
+			return err
+		}
+		for _, tr := range transitions {
+			v, on := v, tr.On
+			if tr.T == 0 {
+				if err := e.registry.SetPower(v, on); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := e.engine.Schedule(tr.T, func() {
+				if err := e.registry.SetPower(v, on); err != nil {
+					e.Logf("core: set power %v: %v", v, err)
+				}
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// handlePowerChange aborts pending training of agents that shut off and
+// forwards the transition to the strategy.
+func (e *Experiment) handlePowerChange(id sim.AgentID, on bool) {
+	if !on {
+		if events, ok := e.pending[id]; ok {
+			delete(e.pending, id)
+			for _, ev := range events {
+				ev.Cancel()
+				e.strat.OnTrainAborted(e, id)
+			}
+		}
+	}
+	e.strat.OnPowerChange(e, id, on)
+}
+
+// dispatchDelivery routes a successful transfer to the strategy.
+func (e *Experiment) dispatchDelivery(msg *comm.Message) {
+	p, ok := msg.Payload.(strategy.Payload)
+	if !ok {
+		e.Logf("core: delivery %d carries unexpected payload type", msg.ID)
+		return
+	}
+	e.countDelivered(msg)
+	e.strat.OnDeliver(e, msg, p)
+}
+
+func (e *Experiment) dispatchFailure(msg *comm.Message, reason error) {
+	p, ok := msg.Payload.(strategy.Payload)
+	if !ok {
+		return
+	}
+	e.strat.OnSendFailed(e, msg, p, reason)
+}
+
+func (e *Experiment) countDelivered(msg *comm.Message) {
+	switch msg.Kind {
+	case comm.KindV2C:
+		e.recorder.Add(metrics.CounterV2CBytes, float64(msg.SizeBytes))
+	case comm.KindV2X:
+		e.recorder.Add(metrics.CounterV2XBytes, float64(msg.SizeBytes))
+	}
+}
+
+// tick runs the periodic core-simulator pass: update the encounter state
+// from current positions and notify the strategy of new encounters.
+func (e *Experiment) tick() {
+	now := e.engine.Now()
+	total := len(e.vehicles) + len(e.rsus)
+	if len(e.posBuf) != total {
+		e.posBuf = make([]roadnet.Point, total)
+		e.actBuf = make([]bool, total)
+	}
+	onCount := 0
+	for i, v := range e.vehicles {
+		pos, _, err := e.replayer.At(i, now)
+		if err != nil {
+			continue
+		}
+		e.posBuf[i] = pos
+		agent := e.registry.Get(v)
+		e.actBuf[i] = agent != nil && agent.On()
+		if e.actBuf[i] {
+			onCount++
+		}
+	}
+	for j, r := range e.rsus {
+		e.posBuf[len(e.vehicles)+j] = e.rsuPos[j]
+		agent := e.registry.Get(r)
+		e.actBuf[len(e.vehicles)+j] = agent != nil && agent.On()
+	}
+	if err := e.spatial.Rebuild(e.posBuf, e.actBuf); err != nil {
+		e.Logf("core: spatial rebuild: %v", err)
+		return
+	}
+	pairs := e.spatial.PairsWithin(e.cfg.Comm.V2X.RangeM)
+	begins, _ := e.tracker.Update(pairs)
+	if err := e.recorder.Record(metrics.SeriesVehiclesOn, now, float64(onCount)); err != nil {
+		e.Logf("core: metrics: %v", err)
+	}
+	for _, p := range begins {
+		a, b := e.indexToAgent(p.A), e.indexToAgent(p.B)
+		e.strat.OnEncounter(e, a, b)
+	}
+	next := now.Add(e.cfg.TickInterval)
+	if next > e.horizon {
+		return
+	}
+	if _, err := e.engine.Schedule(next, e.tick); err != nil {
+		e.Logf("core: schedule tick: %v", err)
+	}
+}
+
+// indexToAgent maps a spatial-index slot back to an agent ID.
+func (e *Experiment) indexToAgent(i int) sim.AgentID {
+	if i < len(e.vehicles) {
+		return e.vehicles[i]
+	}
+	return e.rsus[i-len(e.vehicles)]
+}
+
+// Run executes the experiment once and returns its results. A second call
+// is an error.
+func (e *Experiment) Run() (*Result, error) {
+	if e.ran {
+		return nil, fmt.Errorf("core: experiment already ran")
+	}
+	e.ran = true
+	start := time.Now()
+
+	if _, err := e.engine.Schedule(0, e.tick); err != nil {
+		return nil, err
+	}
+	if err := e.strat.Start(e); err != nil {
+		return nil, fmt.Errorf("core: strategy start: %w", err)
+	}
+	if err := e.engine.Run(e.horizon); err != nil && err != sim.ErrStopped {
+		return nil, err
+	}
+	e.finalizeCounters()
+
+	res := &Result{
+		Metrics:         e.recorder,
+		Comm:            map[string]comm.Stats{},
+		End:             e.engine.Now(),
+		Wall:            time.Since(start),
+		EventsProcessed: e.engine.Processed(),
+	}
+	for _, k := range comm.Kinds() {
+		res.Comm[k.String()] = e.network.StatsFor(k)
+	}
+	if s := e.recorder.Series(metrics.SeriesAccuracy); s != nil {
+		if last, ok := s.Last(); ok {
+			res.FinalAccuracy = last.Value
+		}
+	}
+	return res, nil
+}
+
+// finalizeCounters folds per-unit compute accounting into the recorder.
+func (e *Experiment) finalizeCounters() {
+	var vehicleBusy, vehicleTasks float64
+	for _, v := range e.vehicles {
+		vehicleBusy += e.units[v].BusySeconds()
+		vehicleTasks += float64(e.units[v].TasksRun())
+	}
+	e.recorder.Add("vehicle_compute_seconds", vehicleBusy)
+	e.recorder.Add("server_compute_seconds", e.units[e.server].BusySeconds())
+	_ = vehicleTasks // already tracked via CounterTrainTasks
+}
+
+// Recorder exposes the experiment's metrics (also available via Result).
+func (e *Experiment) Recorder() *metrics.Recorder { return e.recorder }
+
+// Network exposes the communication module for post-run inspection.
+func (e *Experiment) Network() *comm.Network { return e.network }
+
+// Horizon returns the run's simulated-time cap.
+func (e *Experiment) Horizon() sim.Time { return e.horizon }

@@ -1,0 +1,514 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"roadrunner/internal/metrics"
+	"roadrunner/internal/ml"
+	"roadrunner/internal/sim"
+	"roadrunner/internal/strategy"
+)
+
+// fastFedAvg returns a BASE strategy scaled for tests.
+func fastFedAvg(t *testing.T, rounds int) *strategy.FederatedAveraging {
+	t.Helper()
+	s, err := strategy.NewFederatedAveraging(strategy.FedAvgConfig{
+		Rounds:           rounds,
+		VehiclesPerRound: 4,
+		RoundDuration:    30,
+		ServerOverhead:   10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func fastOpp(t *testing.T, rounds int) *strategy.Opportunistic {
+	t.Helper()
+	s, err := strategy.NewOpportunistic(strategy.OppConfig{
+		Rounds:          rounds,
+		Reporters:       4,
+		RoundDuration:   120,
+		ServerOverhead:  10,
+		ExchangeTimeout: 45,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func runExperiment(t *testing.T, cfg Config, s strategy.Strategy) *Result {
+	t.Helper()
+	exp, err := New(cfg, s)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := exp.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestFedAvgExperimentCompletesRounds(t *testing.T) {
+	cfg := SmallConfig()
+	res := runExperiment(t, cfg, fastFedAvg(t, 8))
+	if got := res.Metrics.Counter(metrics.CounterRounds); got != 8 {
+		t.Fatalf("rounds completed = %v, want 8", got)
+	}
+	acc := res.Metrics.Series(metrics.SeriesAccuracy)
+	if acc == nil || acc.Len() != 8 {
+		t.Fatalf("accuracy series has %v points, want 8", acc)
+	}
+	if res.FinalAccuracy <= 0 || res.FinalAccuracy > 1 {
+		t.Fatalf("final accuracy = %v", res.FinalAccuracy)
+	}
+	if res.EventsProcessed == 0 {
+		t.Fatal("no events processed")
+	}
+}
+
+func TestFedAvgLearns(t *testing.T) {
+	cfg := SmallConfig()
+	res := runExperiment(t, cfg, fastFedAvg(t, 15))
+	acc := res.Metrics.Series(metrics.SeriesAccuracy)
+	if acc == nil || acc.Len() == 0 {
+		t.Fatal("no accuracy recorded")
+	}
+	chance := 1.0 / float64(cfg.Data.Classes)
+	if res.FinalAccuracy < chance+0.1 {
+		t.Fatalf("final accuracy %v barely above chance %v after 15 rounds", res.FinalAccuracy, chance)
+	}
+}
+
+func TestFedAvgUsesV2COnly(t *testing.T) {
+	res := runExperiment(t, SmallConfig(), fastFedAvg(t, 5))
+	if res.Comm["v2c"].MessagesDelivered == 0 {
+		t.Fatal("no V2C traffic in FL")
+	}
+	if res.Comm["v2x"].MessagesSent != 0 {
+		t.Fatalf("FL used V2X: %+v", res.Comm["v2x"])
+	}
+}
+
+func TestExperimentDeterminism(t *testing.T) {
+	run := func() *Result {
+		cfg := SmallConfig()
+		cfg.Seed = 77
+		return runExperiment(t, cfg, fastFedAvg(t, 6))
+	}
+	a, b := run(), run()
+	sa := a.Metrics.Series(metrics.SeriesAccuracy)
+	sb := b.Metrics.Series(metrics.SeriesAccuracy)
+	if sa.Len() != sb.Len() {
+		t.Fatalf("accuracy series lengths differ: %d vs %d", sa.Len(), sb.Len())
+	}
+	for i := range sa.Points {
+		if sa.Points[i] != sb.Points[i] {
+			t.Fatalf("point %d differs: %+v vs %+v (determinism broken)", i, sa.Points[i], sb.Points[i])
+		}
+	}
+	if a.Comm["v2c"] != b.Comm["v2c"] {
+		t.Fatalf("comm stats differ: %+v vs %+v", a.Comm["v2c"], b.Comm["v2c"])
+	}
+	if a.End != b.End {
+		t.Fatalf("end times differ: %v vs %v", a.End, b.End)
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	run := func(seed uint64) *Result {
+		cfg := SmallConfig()
+		cfg.Seed = seed
+		return runExperiment(t, cfg, fastFedAvg(t, 6))
+	}
+	a, b := run(1), run(2)
+	if a.Comm["v2c"] == b.Comm["v2c"] && a.FinalAccuracy == b.FinalAccuracy {
+		t.Fatal("different seeds produced identical runs; randomness not wired through")
+	}
+}
+
+func TestOppCollectsV2XExchanges(t *testing.T) {
+	cfg := SmallConfig()
+	res := runExperiment(t, cfg, fastOpp(t, 8))
+	ex := res.Metrics.Series(metrics.SeriesRoundExchanges)
+	if ex == nil || ex.Len() != 8 {
+		t.Fatalf("exchange series = %v, want 8 points", ex)
+	}
+	total := 0.0
+	for _, p := range ex.Points {
+		if p.Value < 0 {
+			t.Fatalf("negative exchange count %v", p.Value)
+		}
+		total += p.Value
+	}
+	if total == 0 {
+		t.Fatal("no V2X exchanges over 8 OPP rounds; opportunistic path dead")
+	}
+	if res.Comm["v2x"].MessagesDelivered == 0 {
+		t.Fatal("no V2X messages delivered")
+	}
+}
+
+func TestOppContributionsExceedReporters(t *testing.T) {
+	cfg := SmallConfig()
+	res := runExperiment(t, cfg, fastOpp(t, 8))
+	contrib := res.Metrics.Series(metrics.SeriesRoundContributions)
+	ex := res.Metrics.Series(metrics.SeriesRoundExchanges)
+	if contrib == nil || ex == nil {
+		t.Fatal("missing series")
+	}
+	// N = R·(N_R+1): total contributions must exceed the reporter count
+	// whenever exchanges happened.
+	if ex.Mean() > 0 && contrib.Mean() <= 0 {
+		t.Fatalf("exchanges %v but contributions %v", ex.Mean(), contrib.Mean())
+	}
+	for i := range contrib.Points {
+		if contrib.Points[i].Value > 0 && ex.Points[i].Value > contrib.Points[i].Value {
+			t.Fatalf("round %d: %v exchanges but only %v contributions",
+				i, ex.Points[i].Value, contrib.Points[i].Value)
+		}
+	}
+}
+
+func TestOppSameV2CBudgetAsBase(t *testing.T) {
+	cfg := SmallConfig()
+	base := runExperiment(t, cfg, fastFedAvg(t, 6))
+	cfg2 := SmallConfig()
+	opp := runExperiment(t, cfg2, fastOpp(t, 6))
+	// Equal rounds and equal participants per round: V2C message counts
+	// must be of the same order (OPP may lose a few to churn).
+	bMsg := base.Comm["v2c"].MessagesSent
+	oMsg := opp.Comm["v2c"].MessagesSent
+	if oMsg > bMsg*2 || bMsg > oMsg*2 {
+		t.Fatalf("V2C budget mismatch: base %d msgs vs opp %d msgs", bMsg, oMsg)
+	}
+}
+
+func TestGossipRunsWithoutServerTraffic(t *testing.T) {
+	cfg := SmallConfig()
+	g, err := strategy.NewGossip(strategy.GossipConfig{
+		Duration:         1500,
+		ExchangeCooldown: 45,
+		EvalInterval:     300,
+		EvalSample:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runExperiment(t, cfg, g)
+	if res.Comm["v2c"].MessagesSent != 0 {
+		t.Fatalf("gossip used V2C: %+v", res.Comm["v2c"])
+	}
+	acc := res.Metrics.Series(metrics.SeriesAccuracy)
+	if acc == nil || acc.Len() == 0 {
+		t.Fatal("gossip recorded no accuracy")
+	}
+	if res.Metrics.Counter(metrics.CounterTrainTasks) == 0 {
+		t.Fatal("gossip trained nothing")
+	}
+}
+
+func TestCentralizedUploadsRawData(t *testing.T) {
+	cfg := SmallConfig()
+	c, err := strategy.NewCentralized(strategy.CentralizedConfig{
+		Rounds:              5,
+		RoundDuration:       120,
+		UploadCheckInterval: 30,
+		ServerEpochs:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runExperiment(t, cfg, c)
+	v2c := res.Comm["v2c"]
+	if v2c.BytesDelivered == 0 {
+		t.Fatal("centralized delivered no data")
+	}
+	// Raw data volume should dwarf a model-exchange round: each vehicle
+	// ships PerAgent examples of dim floats.
+	perVehicle := int64(cfg.Partition.PerAgent * (4*cfg.Data.Dim() + 8))
+	if v2c.BytesDelivered < perVehicle*int64(cfg.Fleet.Vehicles)/2 {
+		t.Fatalf("delivered %d bytes, expected at least half the fleet's raw data (%d/vehicle)",
+			v2c.BytesDelivered, perVehicle)
+	}
+	acc := res.Metrics.Series(metrics.SeriesAccuracy)
+	if acc == nil || acc.Len() == 0 {
+		t.Fatal("centralized recorded no accuracy")
+	}
+}
+
+func TestHybridSyncsOverV2C(t *testing.T) {
+	cfg := SmallConfig()
+	h, err := strategy.NewHybrid(strategy.HybridConfig{
+		Gossip: strategy.GossipConfig{
+			Duration:         1800,
+			ExchangeCooldown: 45,
+			EvalInterval:     600,
+			EvalSample:       5,
+		},
+		SyncInterval: 400,
+		SyncVehicles: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runExperiment(t, cfg, h)
+	if res.Comm["v2c"].MessagesSent == 0 {
+		t.Fatal("hybrid never synced over V2C")
+	}
+	if res.Comm["v2x"].MessagesSent == 0 {
+		t.Fatal("hybrid never gossiped over V2X")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := SmallConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("SmallConfig invalid: %v", err)
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.TickInterval = 0 },
+		func(c *Config) { c.Horizon = -1 },
+		func(c *Config) { c.Grid.Rows = 0 },
+		func(c *Config) { c.Fleet.Vehicles = 0 },
+		func(c *Config) { c.RSUCount = -1 },
+		func(c *Config) { c.Comm.V2C.KBps = 0 },
+		func(c *Config) { c.Data.Classes = 1 },
+		func(c *Config) { c.Partition.PerAgent = 0 },
+		func(c *Config) { c.TestSamples = 0 },
+		func(c *Config) { c.Model.Layers = nil },
+		func(c *Config) { c.Model = ml.MLPSpec(5, nil, c.Data.Classes) },
+		func(c *Config) { c.Model = ml.MLPSpec(c.Data.Dim(), nil, c.Data.Classes+1) },
+		func(c *Config) { c.Train.Epochs = 0 },
+		func(c *Config) { c.OBU.Slots = 0 },
+		func(c *Config) { c.ServerHW.Slots = 0 },
+	}
+	for i, mutate := range mutations {
+		c := SmallConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+}
+
+func TestNewRejectsNilStrategy(t *testing.T) {
+	if _, err := New(SmallConfig(), nil); err == nil {
+		t.Fatal("nil strategy accepted")
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	exp, err := New(SmallConfig(), fastFedAvg(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exp.Run(); err == nil {
+		t.Fatal("second Run succeeded")
+	}
+}
+
+func TestExperimentWithRSUs(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.RSUCount = 3
+	res := runExperiment(t, cfg, fastFedAvg(t, 3))
+	if res.Metrics.Counter(metrics.CounterRounds) != 3 {
+		t.Fatalf("rounds = %v", res.Metrics.Counter(metrics.CounterRounds))
+	}
+}
+
+func TestVehiclesOnSeriesTracksChurn(t *testing.T) {
+	cfg := SmallConfig()
+	res := runExperiment(t, cfg, fastFedAvg(t, 10))
+	on := res.Metrics.Series(metrics.SeriesVehiclesOn)
+	if on == nil || on.Len() == 0 {
+		t.Fatal("vehicles-on series missing")
+	}
+	if on.Max() > float64(cfg.Fleet.Vehicles) {
+		t.Fatalf("more vehicles on (%v) than exist (%d)", on.Max(), cfg.Fleet.Vehicles)
+	}
+	if on.Max() <= 0 {
+		t.Fatal("no vehicle was ever on")
+	}
+	if on.Min() == on.Max() {
+		t.Log("warning: no churn observed in this window")
+	}
+}
+
+func TestComputeAccounting(t *testing.T) {
+	res := runExperiment(t, SmallConfig(), fastFedAvg(t, 5))
+	tasks := res.Metrics.Counter(metrics.CounterTrainTasks)
+	if tasks == 0 {
+		t.Fatal("no training tasks recorded")
+	}
+	busy := res.Metrics.Counter("vehicle_compute_seconds")
+	if busy <= 0 {
+		t.Fatalf("vehicle compute seconds = %v", busy)
+	}
+	// Each task occupies at least the OBU's fixed overhead.
+	if busy < tasks*SmallConfig().OBU.TaskOverheadS {
+		t.Fatalf("compute accounting inconsistent: %v busy seconds for %v tasks", busy, tasks)
+	}
+}
+
+func TestEnvBasics(t *testing.T) {
+	cfg := SmallConfig()
+	exp, err := New(cfg, fastFedAvg(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env strategy.Env = exp
+	if env.Server() != sim.AgentID(0) {
+		t.Fatalf("server ID = %v", env.Server())
+	}
+	if len(env.Vehicles()) != cfg.Fleet.Vehicles {
+		t.Fatalf("vehicles = %d", len(env.Vehicles()))
+	}
+	if env.Kind(env.Server()) != sim.KindCloudServer {
+		t.Fatal("server kind wrong")
+	}
+	if env.Kind(sim.AgentID(999)) != 0 {
+		t.Fatal("unknown agent kind not zero")
+	}
+	if !env.IsOn(env.Server()) {
+		t.Fatal("server not on")
+	}
+	v := env.Vehicles()[0]
+	if env.DataAmount(v) != cfg.Partition.PerAgent {
+		t.Fatalf("vehicle data amount = %d", env.DataAmount(v))
+	}
+	if env.DataAmount(env.Server()) != 0 {
+		t.Fatal("server has local data")
+	}
+	if len(env.LocalData(v)) != cfg.Partition.PerAgent {
+		t.Fatal("LocalData length mismatch")
+	}
+	if env.Model(env.Server()) == nil {
+		t.Fatal("server has no initial model")
+	}
+	if env.Model(v) != nil {
+		t.Fatal("vehicle unexpectedly has a model")
+	}
+	acc, err := env.TestAccuracy(env.Model(env.Server()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	// Cache: second call must return the identical value.
+	acc2, err := env.TestAccuracy(env.Model(env.Server()))
+	if err != nil || acc2 != acc {
+		t.Fatalf("cached accuracy differs: %v vs %v (%v)", acc, acc2, err)
+	}
+	if _, err := env.TestAccuracy(nil); err == nil {
+		t.Fatal("nil model accuracy succeeded")
+	}
+}
+
+func TestEnvTrainValidation(t *testing.T) {
+	exp, err := New(SmallConfig(), fastFedAvg(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := exp.Model(exp.Server())
+	if err := exp.Train(exp.Server(), m); err == nil {
+		t.Fatal("training the server on its empty local data succeeded")
+	}
+	if err := exp.TrainOnData(exp.Vehicles()[0], nil, exp.LocalData(exp.Vehicles()[0])); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if err := exp.TrainOnData(sim.AgentID(999), m, exp.LocalData(exp.Vehicles()[0])); err == nil {
+		t.Fatal("unknown agent accepted")
+	}
+	// Off vehicle cannot train.
+	var off sim.AgentID = sim.NoAgent
+	for _, v := range exp.Vehicles() {
+		if !exp.IsOn(v) {
+			off = v
+			break
+		}
+	}
+	if off != sim.NoAgent {
+		if err := exp.Train(off, m); err == nil {
+			t.Fatal("off vehicle accepted training")
+		}
+	}
+}
+
+func TestHorizonCapsRun(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Horizon = 200 // far less than the strategy needs
+	res := runExperiment(t, cfg, fastFedAvg(t, 50))
+	if float64(res.End) > 200+1e-9 {
+		t.Fatalf("run ended at %v, beyond the %v horizon", res.End, cfg.Horizon)
+	}
+	if res.Metrics.Counter(metrics.CounterRounds) >= 50 {
+		t.Fatal("all rounds completed despite tiny horizon")
+	}
+}
+
+func TestFinalAccuracyIsFinite(t *testing.T) {
+	res := runExperiment(t, SmallConfig(), fastFedAvg(t, 4))
+	if math.IsNaN(res.FinalAccuracy) || math.IsInf(res.FinalAccuracy, 0) {
+		t.Fatalf("final accuracy = %v", res.FinalAccuracy)
+	}
+}
+
+func TestOppDeterminism(t *testing.T) {
+	run := func() *Result {
+		cfg := SmallConfig()
+		cfg.Seed = 31
+		return runExperiment(t, cfg, fastOpp(t, 5))
+	}
+	a, b := run(), run()
+	for _, name := range []string{
+		metrics.SeriesAccuracy,
+		metrics.SeriesRoundExchanges,
+		metrics.SeriesRoundContributions,
+	} {
+		sa, sb := a.Metrics.Series(name), b.Metrics.Series(name)
+		if sa == nil || sb == nil || sa.Len() != sb.Len() {
+			t.Fatalf("series %q differs in length", name)
+		}
+		for i := range sa.Points {
+			if sa.Points[i] != sb.Points[i] {
+				t.Fatalf("series %q point %d differs between identical runs", name, i)
+			}
+		}
+	}
+	if a.Comm["v2x"] != b.Comm["v2x"] {
+		t.Fatalf("v2x stats differ: %+v vs %+v", a.Comm["v2x"], b.Comm["v2x"])
+	}
+}
+
+func TestProvenanceGrowsAcrossRounds(t *testing.T) {
+	res := runExperiment(t, SmallConfig(), fastFedAvg(t, 10))
+	prov := res.Metrics.Series(metrics.SeriesDistinctContributors)
+	if prov == nil || prov.Len() != 10 {
+		t.Fatalf("provenance series = %v, want 10 points", prov)
+	}
+	prev := 0.0
+	for i, p := range prov.Points {
+		if p.Value < prev {
+			t.Fatalf("distinct contributors shrank at round %d: %v -> %v", i+1, prev, p.Value)
+		}
+		prev = p.Value
+	}
+	if last, _ := prov.Last(); last.Value <= 0 {
+		t.Fatal("nobody ever contributed")
+	}
+	if last, _ := prov.Last(); last.Value > float64(SmallConfig().Fleet.Vehicles) {
+		t.Fatal("more contributors than vehicles")
+	}
+}

@@ -1,0 +1,145 @@
+// Package hw models the Hardware Units (HUs) of the paper's architecture
+// (§4, Figure 2): the compute platforms — vehicular on-board units (OBUs),
+// RSU boards, and server GPUs — that the ML module deploys training to.
+//
+// The paper's prototype executed real PyTorch training on a GTX 1080 Ti and
+// fed the measured wall-clock back into simulated time. This package
+// replaces measurement with a calibrated model: training duration is
+// derived from the workload (FLOPs per example × samples × epochs) and a
+// profile's effective throughput plus a fixed per-task overhead. The
+// substitution makes simulated time deterministic and host-independent
+// while preserving the semantics the evaluation depends on — training
+// occupies an agent for a data-amount-dependent span of simulated time
+// (roughly 8 s for the paper's 80-sample/2-epoch retrain).
+//
+// EffectiveGFLOPS is an *end-to-end* figure, not peak silicon throughput:
+// for small per-round workloads, measured retrain time is dominated by
+// framework startup, data loading, and transfer overheads (which is why the
+// paper's prototype timed whole script executions). The default OBU profile
+// is calibrated so the evaluation CNN's retrain lands in the paper's
+// observed range; see DESIGN.md.
+package hw
+
+import (
+	"fmt"
+
+	"roadrunner/internal/sim"
+)
+
+// Profile describes one hardware class.
+type Profile struct {
+	// Name labels the profile in metrics and logs.
+	Name string `json:"name"`
+	// EffectiveGFLOPS is the end-to-end training throughput in GFLOP/s.
+	EffectiveGFLOPS float64 `json:"effective_gflops"`
+	// TaskOverheadS is the fixed per-training-task overhead in seconds
+	// (data loading, framework startup, result writing).
+	TaskOverheadS float64 `json:"task_overhead_s"`
+	// Slots is the number of training operations the unit can run in
+	// parallel without slowdown ("the HUs can run multiple operations in
+	// parallel", §4). Vehicles have 1; the server HU more.
+	Slots int `json:"slots"`
+}
+
+// OBUProfile is the default vehicular on-board unit — a GPU stand-in
+// calibrated to the paper's observed per-round retrain times.
+func OBUProfile() Profile {
+	return Profile{Name: "obu-gpu", EffectiveGFLOPS: 0.01, TaskOverheadS: 3, Slots: 1}
+}
+
+// ServerProfile is the cloud-server hardware unit.
+func ServerProfile() Profile {
+	return Profile{Name: "server-gpu", EffectiveGFLOPS: 0.08, TaskOverheadS: 1, Slots: 8}
+}
+
+// RSUProfile is a road-side unit's embedded board.
+func RSUProfile() Profile {
+	return Profile{Name: "rsu-board", EffectiveGFLOPS: 0.005, TaskOverheadS: 3, Slots: 1}
+}
+
+// Validate reports whether the profile is usable.
+func (p Profile) Validate() error {
+	switch {
+	case p.EffectiveGFLOPS <= 0:
+		return fmt.Errorf("hw: non-positive throughput %v GFLOPS", p.EffectiveGFLOPS)
+	case p.TaskOverheadS < 0:
+		return fmt.Errorf("hw: negative task overhead %v", p.TaskOverheadS)
+	case p.Slots <= 0:
+		return fmt.Errorf("hw: non-positive slot count %d", p.Slots)
+	default:
+		return nil
+	}
+}
+
+// TrainSeconds returns the modelled duration of training `epochs` passes
+// over `samples` examples of a model costing flopsPerExample per training
+// step.
+func (p Profile) TrainSeconds(flopsPerExample float64, samples, epochs int) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if flopsPerExample <= 0 {
+		return 0, fmt.Errorf("hw: non-positive flops per example %v", flopsPerExample)
+	}
+	if samples <= 0 || epochs <= 0 {
+		return 0, fmt.Errorf("hw: non-positive workload (%d samples, %d epochs)", samples, epochs)
+	}
+	totalFLOPs := flopsPerExample * float64(samples) * float64(epochs)
+	return p.TaskOverheadS + totalFLOPs/(p.EffectiveGFLOPS*1e9), nil
+}
+
+// EvalSeconds returns the modelled duration of evaluating the model on
+// `samples` examples (forward passes only; callers pass forward FLOPs).
+func (p Profile) EvalSeconds(forwardFLOPsPerExample float64, samples int) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if forwardFLOPsPerExample <= 0 || samples <= 0 {
+		return 0, fmt.Errorf("hw: non-positive evaluation workload")
+	}
+	return p.TaskOverheadS + forwardFLOPsPerExample*float64(samples)/(p.EffectiveGFLOPS*1e9), nil
+}
+
+// Unit is one agent's hardware unit: a profile plus usage accounting,
+// feeding the "computational workloads of individual vehicles" custom
+// metric (paper §3 requirement 4).
+type Unit struct {
+	profile Profile
+
+	busySeconds float64
+	tasksRun    int
+}
+
+// NewUnit returns a unit with the given profile.
+func NewUnit(p Profile) (*Unit, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Unit{profile: p}, nil
+}
+
+// Profile returns the unit's hardware class.
+func (u *Unit) Profile() Profile { return u.profile }
+
+// TrainDuration is Profile.TrainSeconds as a sim.Duration.
+func (u *Unit) TrainDuration(flopsPerExample float64, samples, epochs int) (sim.Duration, error) {
+	s, err := u.profile.TrainSeconds(flopsPerExample, samples, epochs)
+	if err != nil {
+		return 0, err
+	}
+	return sim.Duration(s), nil
+}
+
+// Record charges completed work to the unit's usage accounting.
+func (u *Unit) Record(d sim.Duration) {
+	if d > 0 {
+		u.busySeconds += float64(d)
+	}
+	u.tasksRun++
+}
+
+// BusySeconds returns the total simulated seconds of compute charged.
+func (u *Unit) BusySeconds() float64 { return u.busySeconds }
+
+// TasksRun returns the number of completed tasks.
+func (u *Unit) TasksRun() int { return u.tasksRun }

@@ -1,0 +1,135 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProfileValidate(t *testing.T) {
+	for _, p := range []Profile{OBUProfile(), ServerProfile(), RSUProfile()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", p.Name, err)
+		}
+	}
+	bad := []Profile{
+		{EffectiveGFLOPS: 0, Slots: 1},
+		{EffectiveGFLOPS: 1, TaskOverheadS: -1, Slots: 1},
+		{EffectiveGFLOPS: 1, Slots: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d validated", i)
+		}
+	}
+}
+
+func TestTrainSecondsFormula(t *testing.T) {
+	p := Profile{Name: "x", EffectiveGFLOPS: 1, TaskOverheadS: 2, Slots: 1}
+	// 1e6 flops/example * 100 samples * 2 epochs = 2e8 flops at 1e9 flop/s
+	// = 0.2 s compute + 2 s overhead.
+	got, err := p.TrainSeconds(1e6, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.2) > 1e-9 {
+		t.Fatalf("TrainSeconds = %v, want 2.2", got)
+	}
+}
+
+func TestTrainSecondsScalesWithData(t *testing.T) {
+	p := OBUProfile()
+	small, err := p.TrainSeconds(3e5, 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := p.TrainSeconds(3e5, 160, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large <= small {
+		t.Fatalf("training 160 samples (%v s) not slower than 40 (%v s)", large, small)
+	}
+}
+
+func TestOBUCalibration(t *testing.T) {
+	// The evaluation CNN costs ~3e5 training FLOPs per example; the
+	// paper-style retrain (80 samples, 2 epochs) must land in single-digit
+	// seconds so that a 30 s round covers transmission plus retraining.
+	p := OBUProfile()
+	got, err := p.TrainSeconds(3e5, 80, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 3 || got > 15 {
+		t.Fatalf("OBU retrain estimate = %v s, want 3-15 s (calibration drifted)", got)
+	}
+}
+
+func TestTrainSecondsValidation(t *testing.T) {
+	p := OBUProfile()
+	if _, err := p.TrainSeconds(0, 10, 1); err == nil {
+		t.Fatal("zero flops accepted")
+	}
+	if _, err := p.TrainSeconds(1e6, 0, 1); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	if _, err := p.TrainSeconds(1e6, 10, 0); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+	var bad Profile
+	if _, err := bad.TrainSeconds(1e6, 10, 1); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestEvalSeconds(t *testing.T) {
+	p := Profile{Name: "x", EffectiveGFLOPS: 1, TaskOverheadS: 0.5, Slots: 1}
+	got, err := p.EvalSeconds(1e6, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("EvalSeconds = %v, want 1.5", got)
+	}
+	if _, err := p.EvalSeconds(0, 10); err == nil {
+		t.Fatal("zero flops accepted")
+	}
+}
+
+func TestUnitAccounting(t *testing.T) {
+	u, err := NewUnit(OBUProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Profile().Name != "obu-gpu" {
+		t.Fatalf("Profile = %v", u.Profile().Name)
+	}
+	d, err := u.TrainDuration(3e5, 80, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("TrainDuration = %v", d)
+	}
+	u.Record(d)
+	u.Record(d)
+	if u.TasksRun() != 2 {
+		t.Fatalf("TasksRun = %d", u.TasksRun())
+	}
+	if math.Abs(u.BusySeconds()-2*float64(d)) > 1e-9 {
+		t.Fatalf("BusySeconds = %v, want %v", u.BusySeconds(), 2*float64(d))
+	}
+	u.Record(-5)
+	if u.TasksRun() != 3 {
+		t.Fatalf("TasksRun = %d after negative record", u.TasksRun())
+	}
+	if u.BusySeconds() != 2*float64(d) {
+		t.Fatal("negative duration charged")
+	}
+}
+
+func TestNewUnitRejectsInvalid(t *testing.T) {
+	if _, err := NewUnit(Profile{}); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}

@@ -1,0 +1,271 @@
+// Package metrics collects an experiment run's measurements, timestamped
+// in simulated time, "to enable analysis of the system's evolution under a
+// learning strategy" (paper §4). It replaces the prototype's Log4j-based
+// extraction with structured series and counters plus CSV/JSON export.
+//
+// The built-in metric families follow §3 requirement 4: model accuracy over
+// time, communication volumes per channel, and custom metrics such as
+// per-vehicle computational load. Everything is a named series or counter,
+// so strategies can add their own without touching this package.
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+
+	"roadrunner/internal/sim"
+)
+
+// Point is one timestamped measurement.
+type Point struct {
+	T     sim.Time `json:"t"`
+	Value float64  `json:"value"`
+}
+
+// Series is a named, time-ordered sequence of measurements.
+type Series struct {
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
+}
+
+// Last returns the final point; ok is false for an empty series.
+func (s *Series) Last() (Point, bool) {
+	if len(s.Points) == 0 {
+		return Point{}, false
+	}
+	return s.Points[len(s.Points)-1], true
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Mean returns the arithmetic mean of the values (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.Points {
+		sum += p.Value
+	}
+	return sum / float64(len(s.Points))
+}
+
+// Max returns the largest value (-Inf for an empty series).
+func (s *Series) Max() float64 {
+	best := math.Inf(-1)
+	for _, p := range s.Points {
+		if p.Value > best {
+			best = p.Value
+		}
+	}
+	return best
+}
+
+// Min returns the smallest value (+Inf for an empty series).
+func (s *Series) Min() float64 {
+	best := math.Inf(1)
+	for _, p := range s.Points {
+		if p.Value < best {
+			best = p.Value
+		}
+	}
+	return best
+}
+
+// At returns the latest value recorded at or before t; ok is false when the
+// series has no point that early.
+func (s *Series) At(t sim.Time) (float64, bool) {
+	idx := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T > t }) - 1
+	if idx < 0 {
+		return 0, false
+	}
+	return s.Points[idx].Value, true
+}
+
+// Recorder accumulates series and counters for one experiment run. It is
+// single-goroutine, like the simulation that feeds it.
+type Recorder struct {
+	series   map[string]*Series
+	counters map[string]float64
+	order    []string // series in first-recorded order
+	corder   []string // counters in first-touched order
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		series:   make(map[string]*Series),
+		counters: make(map[string]float64),
+	}
+}
+
+// Record appends a timestamped value to the named series. Timestamps must
+// be non-decreasing per series.
+func (r *Recorder) Record(name string, t sim.Time, value float64) error {
+	if name == "" {
+		return fmt.Errorf("metrics: empty series name")
+	}
+	if !t.IsValid() {
+		return fmt.Errorf("metrics: invalid timestamp %v", float64(t))
+	}
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{Name: name}
+		r.series[name] = s
+		r.order = append(r.order, name)
+	}
+	if n := len(s.Points); n > 0 && s.Points[n-1].T > t {
+		return fmt.Errorf("metrics: series %q: timestamp %v before last %v", name, t, s.Points[n-1].T)
+	}
+	s.Points = append(s.Points, Point{T: t, Value: value})
+	return nil
+}
+
+// Add increments the named counter.
+func (r *Recorder) Add(name string, delta float64) {
+	if _, ok := r.counters[name]; !ok {
+		r.corder = append(r.corder, name)
+	}
+	r.counters[name] += delta
+}
+
+// Counter returns the counter's current value (0 if never touched).
+func (r *Recorder) Counter(name string) float64 { return r.counters[name] }
+
+// Series returns the named series, or nil if nothing was recorded under
+// that name. The returned value is live; callers must not mutate it.
+func (r *Recorder) Series(name string) *Series { return r.series[name] }
+
+// SeriesNames returns series names in first-recorded order.
+func (r *Recorder) SeriesNames() []string {
+	return append([]string(nil), r.order...)
+}
+
+// CounterNames returns counter names in first-touched order.
+func (r *Recorder) CounterNames() []string {
+	return append([]string(nil), r.corder...)
+}
+
+// WriteCSV emits all series in long format (series,t,value), followed by
+// counters as pseudo-series rows with an empty timestamp.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "t", "value"}); err != nil {
+		return fmt.Errorf("metrics: write csv: %w", err)
+	}
+	for _, name := range r.order {
+		for _, p := range r.series[name].Points {
+			row := []string{
+				name,
+				strconv.FormatFloat(float64(p.T), 'g', -1, 64),
+				strconv.FormatFloat(p.Value, 'g', -1, 64),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("metrics: write csv: %w", err)
+			}
+		}
+	}
+	for _, name := range r.corder {
+		row := []string{"counter:" + name, "", strconv.FormatFloat(r.counters[name], 'g', -1, 64)}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("metrics: write csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("metrics: flush csv: %w", err)
+	}
+	return nil
+}
+
+// Snapshot is the JSON-exportable view of a recorder.
+type Snapshot struct {
+	Series   []*Series          `json:"series"`
+	Counters map[string]float64 `json:"counters"`
+}
+
+// Snapshot returns a deep-enough copy for export (point slices are shared;
+// treat the snapshot as read-only).
+func (r *Recorder) Snapshot() Snapshot {
+	out := Snapshot{Counters: make(map[string]float64, len(r.counters))}
+	for _, name := range r.order {
+		out.Series = append(out.Series, r.series[name])
+	}
+	for k, v := range r.counters {
+		out.Counters[k] = v
+	}
+	return out
+}
+
+// WriteJSON emits the snapshot as indented JSON.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Snapshot()); err != nil {
+		return fmt.Errorf("metrics: write json: %w", err)
+	}
+	return nil
+}
+
+// Canonical metric names shared between the core simulator, strategies,
+// and the benchmark harness. Keeping them here prevents drift between the
+// producers and the experiment analysis code.
+const (
+	// SeriesAccuracy is the global model's test accuracy over time.
+	SeriesAccuracy = "accuracy"
+	// SeriesRoundExchanges is the per-round count of successful V2X model
+	// exchanges (the bar series of the paper's Figure 4).
+	SeriesRoundExchanges = "v2x_exchanges_per_round"
+	// SeriesRoundContributions is the per-round count of model
+	// contributions aggregated into the global model.
+	SeriesRoundContributions = "contributions_per_round"
+	// SeriesVehiclesOn tracks the number of powered-on vehicles.
+	SeriesVehiclesOn = "vehicles_on"
+	// CounterV2CBytes / CounterV2XBytes are delivered payload volumes.
+	CounterV2CBytes = "v2c_bytes"
+	CounterV2XBytes = "v2x_bytes"
+	// CounterRounds counts completed strategy rounds.
+	CounterRounds = "rounds_completed"
+	// CounterTrainTasks counts completed local-training tasks.
+	CounterTrainTasks = "train_tasks"
+	// CounterDiscardedModels counts models lost to churn or range exits.
+	CounterDiscardedModels = "discarded_models"
+	// SeriesDistinctContributors tracks, per round, how many distinct
+	// vehicles have ever contributed to the global model — the "provenance
+	// of data" custom metric of §3 requirement 4.
+	SeriesDistinctContributors = "distinct_contributors"
+)
+
+// MovingAverage returns a copy of the series smoothed with a trailing
+// window of k points (k <= 1 returns an unsmoothed copy). Useful for
+// plotting the noisy per-round accuracy curves of highly skewed runs.
+func (s *Series) MovingAverage(k int) *Series {
+	out := &Series{Name: s.Name}
+	if len(s.Points) == 0 {
+		return out
+	}
+	if k <= 1 {
+		out.Points = append([]Point(nil), s.Points...)
+		return out
+	}
+	out.Points = make([]Point, len(s.Points))
+	sum := 0.0
+	for i, p := range s.Points {
+		sum += p.Value
+		if i >= k {
+			sum -= s.Points[i-k].Value
+		}
+		window := k
+		if i+1 < k {
+			window = i + 1
+		}
+		out.Points[i] = Point{T: p.T, Value: sum / float64(window)}
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"roadrunner/internal/sim"
+)
+
+func TestRecordAndSeries(t *testing.T) {
+	r := NewRecorder()
+	if err := r.Record(SeriesAccuracy, 10, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record(SeriesAccuracy, 20, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Series(SeriesAccuracy)
+	if s == nil || s.Len() != 2 {
+		t.Fatalf("series = %+v", s)
+	}
+	last, ok := s.Last()
+	if !ok || last.Value != 0.4 || last.T != 20 {
+		t.Fatalf("Last = %+v, %v", last, ok)
+	}
+	if r.Series("nothing") != nil {
+		t.Fatal("unknown series not nil")
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	r := NewRecorder()
+	if err := r.Record("", 0, 1); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := r.Record("x", sim.Time(-1), 1); err == nil {
+		t.Fatal("negative timestamp accepted")
+	}
+	if err := r.Record("x", 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record("x", 5, 1); err == nil {
+		t.Fatal("out-of-order timestamp accepted")
+	}
+	if err := r.Record("x", 10, 2); err != nil {
+		t.Fatalf("equal timestamp rejected: %v", err)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	r := NewRecorder()
+	r.Add(CounterV2CBytes, 100)
+	r.Add(CounterV2CBytes, 50)
+	r.Add(CounterRounds, 1)
+	if got := r.Counter(CounterV2CBytes); got != 150 {
+		t.Fatalf("counter = %v", got)
+	}
+	if got := r.Counter("missing"); got != 0 {
+		t.Fatalf("missing counter = %v", got)
+	}
+	names := r.CounterNames()
+	if len(names) != 2 || names[0] != CounterV2CBytes || names[1] != CounterRounds {
+		t.Fatalf("CounterNames = %v", names)
+	}
+}
+
+func TestSeriesStatistics(t *testing.T) {
+	r := NewRecorder()
+	for i, v := range []float64{2, 8, 5} {
+		if err := r.Record("s", sim.Time(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := r.Series("s")
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Max() != 8 {
+		t.Fatalf("Max = %v", s.Max())
+	}
+	if s.Min() != 2 {
+		t.Fatalf("Min = %v", s.Min())
+	}
+	var empty Series
+	if empty.Mean() != 0 {
+		t.Fatal("empty Mean != 0")
+	}
+	if !math.IsInf(empty.Max(), -1) || !math.IsInf(empty.Min(), 1) {
+		t.Fatal("empty Max/Min not infinite")
+	}
+	if _, ok := empty.Last(); ok {
+		t.Fatal("empty Last ok")
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	r := NewRecorder()
+	for i, v := range []float64{1, 2, 3} {
+		if err := r.Record("s", sim.Time(10*(i+1)), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := r.Series("s")
+	if _, ok := s.At(5); ok {
+		t.Fatal("At before first point reported ok")
+	}
+	if v, ok := s.At(10); !ok || v != 1 {
+		t.Fatalf("At(10) = %v, %v", v, ok)
+	}
+	if v, ok := s.At(25); !ok || v != 2 {
+		t.Fatalf("At(25) = %v, %v", v, ok)
+	}
+	if v, ok := s.At(1000); !ok || v != 3 {
+		t.Fatalf("At(1000) = %v, %v", v, ok)
+	}
+}
+
+func TestSeriesNamesOrdered(t *testing.T) {
+	r := NewRecorder()
+	for _, name := range []string{"c", "a", "b"} {
+		if err := r.Record(name, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.SeriesNames()
+	if len(got) != 3 || got[0] != "c" || got[1] != "a" || got[2] != "b" {
+		t.Fatalf("SeriesNames = %v, want first-recorded order", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder()
+	if err := r.Record("acc", 1.5, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	r.Add("bytes", 42)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wantLines := []string{"series,t,value", "acc,1.5,0.25", "counter:bytes,,42"}
+	for _, w := range wantLines {
+		if !strings.Contains(out, w) {
+			t.Fatalf("csv output missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	r := NewRecorder()
+	if err := r.Record("acc", 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	r.Add("rounds", 3)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(snap.Series) != 1 || snap.Series[0].Name != "acc" {
+		t.Fatalf("snapshot series = %+v", snap.Series)
+	}
+	if snap.Counters["rounds"] != 3 {
+		t.Fatalf("snapshot counters = %v", snap.Counters)
+	}
+}
+
+func TestSnapshotIsolationOfCounters(t *testing.T) {
+	r := NewRecorder()
+	r.Add("x", 1)
+	snap := r.Snapshot()
+	snap.Counters["x"] = 99
+	if r.Counter("x") != 1 {
+		t.Fatal("mutating snapshot counters mutated the recorder")
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	r := NewRecorder()
+	for i, v := range []float64{1, 3, 5, 7} {
+		if err := r.Record("s", sim.Time(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := r.Series("s")
+	sm := s.MovingAverage(2)
+	want := []float64{1, 2, 4, 6}
+	for i, p := range sm.Points {
+		if p.Value != want[i] {
+			t.Fatalf("smoothed[%d] = %v, want %v (got %v)", i, p.Value, want[i], sm.Points)
+		}
+		if p.T != s.Points[i].T {
+			t.Fatalf("timestamps changed at %d", i)
+		}
+	}
+	// k<=1 is a copy.
+	copy1 := s.MovingAverage(1)
+	for i := range s.Points {
+		if copy1.Points[i] != s.Points[i] {
+			t.Fatal("k=1 not identity")
+		}
+	}
+	copy1.Points[0].Value = 99
+	if s.Points[0].Value == 99 {
+		t.Fatal("MovingAverage aliases the original")
+	}
+	var empty Series
+	if got := empty.MovingAverage(3); got.Len() != 0 {
+		t.Fatal("empty smoothing not empty")
+	}
+	// Window larger than the series: mean-so-far.
+	wide := s.MovingAverage(10)
+	if wide.Points[3].Value != 4 {
+		t.Fatalf("wide window last = %v, want 4", wide.Points[3].Value)
+	}
+}

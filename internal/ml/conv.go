@@ -1,0 +1,180 @@
+package ml
+
+// conv2d is a 2-D convolution with stride 1 and valid padding, operating on
+// channel-major (C, H, W) activations. Weights are stored flat as
+// [outC][inC][k][k]; biases per output channel.
+type conv2d struct {
+	inC, inH, inW int
+	outC, k       int
+	outH, outW    int
+
+	w, b   []float32
+	dw, db []float32
+
+	x  []float32
+	y  []float32
+	dx []float32
+}
+
+func newConv2D(inC, inH, inW, outC, k int) *conv2d {
+	outH, outW := inH-k+1, inW-k+1
+	return &conv2d{
+		inC: inC, inH: inH, inW: inW,
+		outC: outC, k: k,
+		outH: outH, outW: outW,
+		w:  make([]float32, outC*inC*k*k),
+		b:  make([]float32, outC),
+		dw: make([]float32, outC*inC*k*k),
+		db: make([]float32, outC),
+		y:  make([]float32, outC*outH*outW),
+		dx: make([]float32, inC*inH*inW),
+	}
+}
+
+func (c *conv2d) forward(x []float32) []float32 {
+	c.x = x
+	k, inW, outW := c.k, c.inW, c.outW
+	for oc := 0; oc < c.outC; oc++ {
+		bias := c.b[oc]
+		outPlane := c.y[oc*c.outH*outW : (oc+1)*c.outH*outW]
+		for oy := 0; oy < c.outH; oy++ {
+			outRow := outPlane[oy*outW : (oy+1)*outW]
+			for ox := range outRow {
+				outRow[ox] = bias
+			}
+		}
+		for ic := 0; ic < c.inC; ic++ {
+			inPlane := x[ic*c.inH*inW : (ic+1)*c.inH*inW]
+			wBase := ((oc*c.inC + ic) * k) * k
+			for ky := 0; ky < k; ky++ {
+				wRow := c.w[wBase+ky*k : wBase+ky*k+k]
+				for oy := 0; oy < c.outH; oy++ {
+					inRow := inPlane[(oy+ky)*inW:]
+					outRow := outPlane[oy*outW : (oy+1)*outW]
+					for kx := 0; kx < k; kx++ {
+						wv := wRow[kx]
+						if wv == 0 {
+							continue
+						}
+						in := inRow[kx:]
+						for ox := range outRow {
+							outRow[ox] += wv * in[ox]
+						}
+					}
+				}
+			}
+		}
+	}
+	return c.y
+}
+
+func (c *conv2d) backward(dout []float32) []float32 {
+	zero(c.dx)
+	k, inW, outW := c.k, c.inW, c.outW
+	for oc := 0; oc < c.outC; oc++ {
+		outPlane := dout[oc*c.outH*outW : (oc+1)*c.outH*outW]
+		// Bias gradient.
+		var db float32
+		for _, g := range outPlane {
+			db += g
+		}
+		c.db[oc] += db
+		for ic := 0; ic < c.inC; ic++ {
+			inPlane := c.x[ic*c.inH*inW : (ic+1)*c.inH*inW]
+			dxPlane := c.dx[ic*c.inH*inW : (ic+1)*c.inH*inW]
+			wBase := ((oc*c.inC + ic) * k) * k
+			for ky := 0; ky < k; ky++ {
+				wRow := c.w[wBase+ky*k : wBase+ky*k+k]
+				dwRow := c.dw[wBase+ky*k : wBase+ky*k+k]
+				for oy := 0; oy < c.outH; oy++ {
+					gRow := outPlane[oy*outW : (oy+1)*outW]
+					inRow := inPlane[(oy+ky)*inW:]
+					dxRow := dxPlane[(oy+ky)*inW:]
+					for kx := 0; kx < k; kx++ {
+						var dw float32
+						wv := wRow[kx]
+						in := inRow[kx:]
+						dx := dxRow[kx:]
+						for ox, g := range gRow {
+							dw += g * in[ox]
+							dx[ox] += wv * g
+						}
+						dwRow[kx] += dw
+					}
+				}
+			}
+		}
+	}
+	return c.dx
+}
+
+func (c *conv2d) params() [][]float32 { return [][]float32{c.w, c.b} }
+func (c *conv2d) grads() [][]float32  { return [][]float32{c.dw, c.db} }
+
+func (c *conv2d) zeroGrads() {
+	zero(c.dw)
+	zero(c.db)
+}
+
+// maxpool2 is a 2x2 max-pool with stride 2 over channel-major activations.
+// Odd trailing rows/columns are dropped (floor semantics), matching the
+// PyTorch default the paper's prototype relied on.
+type maxpool2 struct {
+	c, inH, inW int
+	outH, outW  int
+	y           []float32
+	dx          []float32
+	argmax      []int // flat input index of each output's max
+}
+
+func newMaxPool2(cIn, inH, inW int) *maxpool2 {
+	outH, outW := inH/2, inW/2
+	return &maxpool2{
+		c: cIn, inH: inH, inW: inW,
+		outH: outH, outW: outW,
+		y:      make([]float32, cIn*outH*outW),
+		dx:     make([]float32, cIn*inH*inW),
+		argmax: make([]int, cIn*outH*outW),
+	}
+}
+
+func (m *maxpool2) forward(x []float32) []float32 {
+	for ch := 0; ch < m.c; ch++ {
+		inBase := ch * m.inH * m.inW
+		outBase := ch * m.outH * m.outW
+		for oy := 0; oy < m.outH; oy++ {
+			for ox := 0; ox < m.outW; ox++ {
+				i0 := inBase + (2*oy)*m.inW + 2*ox
+				i1 := i0 + 1
+				i2 := i0 + m.inW
+				i3 := i2 + 1
+				best, bi := x[i0], i0
+				if x[i1] > best {
+					best, bi = x[i1], i1
+				}
+				if x[i2] > best {
+					best, bi = x[i2], i2
+				}
+				if x[i3] > best {
+					best, bi = x[i3], i3
+				}
+				o := outBase + oy*m.outW + ox
+				m.y[o] = best
+				m.argmax[o] = bi
+			}
+		}
+	}
+	return m.y
+}
+
+func (m *maxpool2) backward(dout []float32) []float32 {
+	zero(m.dx)
+	for o, idx := range m.argmax {
+		m.dx[idx] += dout[o]
+	}
+	return m.dx
+}
+
+func (m *maxpool2) params() [][]float32 { return nil }
+func (m *maxpool2) grads() [][]float32  { return nil }
+func (m *maxpool2) zeroGrads()          {}

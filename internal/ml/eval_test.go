@@ -1,0 +1,84 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"roadrunner/internal/sim"
+)
+
+func TestConfusionMatrixConsistentWithEvaluate(t *testing.T) {
+	rng := sim.NewRNG(21)
+	data := blobs(rng, 150, 6, 3)
+	n, err := NewNetwork(MLPSpec(6, []int{10}, 3), rng.Fork("init"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Train(data, TrainConfig{Epochs: 8, BatchSize: 10, LR: 0.05, Momentum: 0.9}, rng.Fork("t")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := n.Confusion(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _, err := n.Evaluate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Accuracy()-acc) > 1e-12 {
+		t.Fatalf("confusion accuracy %v != Evaluate accuracy %v", m.Accuracy(), acc)
+	}
+	total := 0
+	for _, row := range m {
+		for _, c := range row {
+			total += c
+		}
+	}
+	if total != len(data) {
+		t.Fatalf("matrix mass %d != example count %d", total, len(data))
+	}
+}
+
+func TestConfusionPerClassRecall(t *testing.T) {
+	m := ConfusionMatrix{
+		{8, 2}, // class 0: 80% recall
+		{5, 5}, // class 1: 50% recall
+	}
+	recall := m.PerClassRecall()
+	if recall[0] != 0.8 || recall[1] != 0.5 {
+		t.Fatalf("recall = %v", recall)
+	}
+	if m.CoveredClasses() != 2 {
+		t.Fatalf("covered = %d", m.CoveredClasses())
+	}
+	collapsed := ConfusionMatrix{
+		{10, 0},
+		{10, 0}, // model always predicts class 0
+	}
+	if collapsed.CoveredClasses() != 1 {
+		t.Fatalf("collapsed covered = %d, want 1", collapsed.CoveredClasses())
+	}
+}
+
+func TestConfusionEmptyAndInvalid(t *testing.T) {
+	n, err := NewNetwork(MLPSpec(2, nil, 2), sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Confusion(nil); err == nil {
+		t.Fatal("empty example set accepted")
+	}
+	bad := []Example{{X: []float32{1}, Label: 0}}
+	if _, err := n.Confusion(bad); err == nil {
+		t.Fatal("wrong-dim examples accepted")
+	}
+	var zero ConfusionMatrix
+	if zero.Accuracy() != 0 {
+		t.Fatal("empty matrix accuracy != 0")
+	}
+	emptyRows := ConfusionMatrix{{0, 0}, {0, 0}}
+	recall := emptyRows.PerClassRecall()
+	if recall[0] != 0 || recall[1] != 0 {
+		t.Fatalf("empty-row recall = %v", recall)
+	}
+}

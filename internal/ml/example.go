@@ -1,0 +1,37 @@
+// Package ml is Roadrunner's ML module: a from-scratch neural-network
+// library with exactly the capabilities the paper requires of it (§3 req. 2
+// and §4): training models on agent-local data, testing any model against
+// any data, aggregating models into new ones (Federated Averaging), and
+// serializing models for exchange over simulated communication channels.
+//
+// The paper's prototype delegated this module to PyTorch on a GPU; here it
+// is a self-contained implementation (dense, convolution, max-pooling and
+// ReLU layers with manual backpropagation, softmax cross-entropy loss, and
+// SGD with momentum — the paper's training configuration). Computation is
+// real (models genuinely learn from the data they are given, so accuracy
+// metrics have real dynamics); the simulated *duration* of training is
+// modelled separately by internal/hw.
+package ml
+
+import "fmt"
+
+// Example is one labelled training or test instance: a flat feature vector
+// (for images, channel-major C×H×W) and a class label.
+type Example struct {
+	X     []float32
+	Label int
+}
+
+// ValidateExamples checks that every example has the expected feature
+// dimension and a label within [0, classes).
+func ValidateExamples(examples []Example, dim, classes int) error {
+	for i, ex := range examples {
+		if len(ex.X) != dim {
+			return fmt.Errorf("ml: example %d has dim %d, want %d", i, len(ex.X), dim)
+		}
+		if ex.Label < 0 || ex.Label >= classes {
+			return fmt.Errorf("ml: example %d has label %d outside [0,%d)", i, ex.Label, classes)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// FedAvg aggregates model snapshots by weighted averaging — Federated
+// Averaging as presented in McMahan et al. and quoted by the paper (§3):
+// w = Σᵢ wᵢ·dᵢ / Σⱼ dⱼ, where dᵢ is the data amount model i was trained on.
+//
+// FedAvg is mathematically associative over (snapshot, weight) pairs:
+// aggregating intermediate aggregates (carrying their summed weights)
+// yields the identical result as one flat aggregation. The paper's OPP
+// strategy (§5.2, Figure 3) depends on exactly this property — reporters
+// pre-aggregate the models of encountered vehicles before uploading — and
+// the package's property tests pin it down.
+func FedAvg(models []*Snapshot, dataAmounts []float64) (*Snapshot, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("ml: fedavg over zero models")
+	}
+	if len(models) != len(dataAmounts) {
+		return nil, fmt.Errorf("ml: fedavg: %d models but %d data amounts", len(models), len(dataAmounts))
+	}
+	ref := models[0]
+	if ref == nil {
+		return nil, fmt.Errorf("ml: fedavg: nil model at index 0")
+	}
+	var totalWeight float64
+	for i, d := range dataAmounts {
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return nil, fmt.Errorf("ml: fedavg: invalid data amount %v at index %d", d, i)
+		}
+		totalWeight += d
+	}
+	if totalWeight <= 0 {
+		return nil, fmt.Errorf("ml: fedavg: total data amount is zero")
+	}
+
+	out := make([]float64, len(ref.Weights)) // accumulate in float64 for stability
+	for i, m := range models {
+		if m == nil {
+			return nil, fmt.Errorf("ml: fedavg: nil model at index %d", i)
+		}
+		if !m.Spec.Equal(&ref.Spec) {
+			return nil, fmt.Errorf("ml: fedavg: model %d has a different architecture", i)
+		}
+		if len(m.Weights) != len(ref.Weights) {
+			return nil, fmt.Errorf("ml: fedavg: model %d has %d weights, want %d", i, len(m.Weights), len(ref.Weights))
+		}
+		coef := dataAmounts[i] / totalWeight
+		for j, w := range m.Weights {
+			out[j] += coef * float64(w)
+		}
+	}
+	weights := make([]float32, len(out))
+	for j, v := range out {
+		weights[j] = float32(v)
+	}
+	spec := ref.Spec
+	spec.Layers = append([]LayerSpec(nil), ref.Spec.Layers...)
+	return &Snapshot{Spec: spec, Weights: weights}, nil
+}

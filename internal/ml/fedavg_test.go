@@ -1,0 +1,224 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"roadrunner/internal/sim"
+)
+
+func snapshotWith(t *testing.T, spec Spec, seed uint64) *Snapshot {
+	t.Helper()
+	n, err := NewNetwork(spec, sim.NewRNG(seed))
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	return n.Snapshot()
+}
+
+func weightsClose(a, b []float32, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(float64(a[i]-b[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFedAvgSingleModelIdentity(t *testing.T) {
+	spec := MLPSpec(4, []int{3}, 2)
+	s := snapshotWith(t, spec, 1)
+	avg, err := FedAvg([]*Snapshot{s}, []float64{80})
+	if err != nil {
+		t.Fatalf("FedAvg: %v", err)
+	}
+	if !weightsClose(avg.Weights, s.Weights, 1e-7) {
+		t.Fatal("FedAvg of one model is not the identity")
+	}
+}
+
+func TestFedAvgEqualWeightsIsMean(t *testing.T) {
+	spec := MLPSpec(3, nil, 2)
+	a := snapshotWith(t, spec, 1)
+	b := snapshotWith(t, spec, 2)
+	avg, err := FedAvg([]*Snapshot{a, b}, []float64{10, 10})
+	if err != nil {
+		t.Fatalf("FedAvg: %v", err)
+	}
+	for i := range avg.Weights {
+		want := (a.Weights[i] + b.Weights[i]) / 2
+		if math.Abs(float64(avg.Weights[i]-want)) > 1e-6 {
+			t.Fatalf("weight %d = %v, want midpoint %v", i, avg.Weights[i], want)
+		}
+	}
+}
+
+func TestFedAvgWeighting(t *testing.T) {
+	spec := MLPSpec(2, nil, 2)
+	a := snapshotWith(t, spec, 1)
+	b := snapshotWith(t, spec, 2)
+	// All the weight on b: result must equal b.
+	avg, err := FedAvg([]*Snapshot{a, b}, []float64{0, 50})
+	if err != nil {
+		t.Fatalf("FedAvg: %v", err)
+	}
+	if !weightsClose(avg.Weights, b.Weights, 1e-7) {
+		t.Fatal("FedAvg with all weight on one model did not return that model")
+	}
+}
+
+// TestFedAvgAssociativity is the correctness core of the paper's OPP
+// strategy (Figure 3): intermediate aggregation at reporters must be
+// indistinguishable from flat aggregation at the server.
+func TestFedAvgAssociativity(t *testing.T) {
+	spec := MLPSpec(5, []int{4}, 3)
+	a := snapshotWith(t, spec, 1)
+	b := snapshotWith(t, spec, 2)
+	c := snapshotWith(t, spec, 3)
+	da, db, dc := 80.0, 40.0, 120.0
+
+	flat, err := FedAvg([]*Snapshot{a, b, c}, []float64{da, db, dc})
+	if err != nil {
+		t.Fatalf("flat FedAvg: %v", err)
+	}
+	inner, err := FedAvg([]*Snapshot{a, b}, []float64{da, db})
+	if err != nil {
+		t.Fatalf("inner FedAvg: %v", err)
+	}
+	nested, err := FedAvg([]*Snapshot{inner, c}, []float64{da + db, dc})
+	if err != nil {
+		t.Fatalf("nested FedAvg: %v", err)
+	}
+	if !weightsClose(flat.Weights, nested.Weights, 1e-6) {
+		t.Fatal("FedAvg is not associative: intermediate aggregation diverges from flat aggregation")
+	}
+}
+
+func TestFedAvgAssociativityProperty(t *testing.T) {
+	spec := MLPSpec(3, nil, 2)
+	snaps := make([]*Snapshot, 5)
+	for i := range snaps {
+		snaps[i] = snapshotWith(t, spec, uint64(i+1))
+	}
+	prop := func(rawAmounts [5]uint8, split uint8) bool {
+		amounts := make([]float64, 5)
+		for i, v := range rawAmounts {
+			amounts[i] = float64(v%100) + 1
+		}
+		k := int(split)%3 + 1 // split point in [1,3]
+		flat, err := FedAvg(snaps, amounts)
+		if err != nil {
+			return false
+		}
+		left, err := FedAvg(snaps[:k], amounts[:k])
+		if err != nil {
+			return false
+		}
+		right, err := FedAvg(snaps[k:], amounts[k:])
+		if err != nil {
+			return false
+		}
+		var leftSum, rightSum float64
+		for _, v := range amounts[:k] {
+			leftSum += v
+		}
+		for _, v := range amounts[k:] {
+			rightSum += v
+		}
+		nested, err := FedAvg([]*Snapshot{left, right}, []float64{leftSum, rightSum})
+		if err != nil {
+			return false
+		}
+		return weightsClose(flat.Weights, nested.Weights, 1e-5)
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFedAvgConvexity: every averaged weight lies within the min/max of the
+// contributing weights.
+func TestFedAvgConvexityProperty(t *testing.T) {
+	spec := MLPSpec(4, nil, 3)
+	snaps := make([]*Snapshot, 4)
+	for i := range snaps {
+		snaps[i] = snapshotWith(t, spec, uint64(10+i))
+	}
+	prop := func(rawAmounts [4]uint8) bool {
+		amounts := make([]float64, 4)
+		for i, v := range rawAmounts {
+			amounts[i] = float64(v%50) + 1
+		}
+		avg, err := FedAvg(snaps, amounts)
+		if err != nil {
+			return false
+		}
+		for j := range avg.Weights {
+			lo, hi := snaps[0].Weights[j], snaps[0].Weights[j]
+			for _, s := range snaps[1:] {
+				if s.Weights[j] < lo {
+					lo = s.Weights[j]
+				}
+				if s.Weights[j] > hi {
+					hi = s.Weights[j]
+				}
+			}
+			if float64(avg.Weights[j]) < float64(lo)-1e-6 || float64(avg.Weights[j]) > float64(hi)+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(8))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFedAvgRejectsBadInputs(t *testing.T) {
+	spec := MLPSpec(2, nil, 2)
+	s := snapshotWith(t, spec, 1)
+	other := snapshotWith(t, MLPSpec(3, nil, 2), 2)
+
+	if _, err := FedAvg(nil, nil); err == nil {
+		t.Fatal("empty aggregation succeeded")
+	}
+	if _, err := FedAvg([]*Snapshot{s}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch succeeded")
+	}
+	if _, err := FedAvg([]*Snapshot{s, nil}, []float64{1, 1}); err == nil {
+		t.Fatal("nil model succeeded")
+	}
+	if _, err := FedAvg([]*Snapshot{s, other}, []float64{1, 1}); err == nil {
+		t.Fatal("architecture mismatch succeeded")
+	}
+	if _, err := FedAvg([]*Snapshot{s}, []float64{-1}); err == nil {
+		t.Fatal("negative data amount succeeded")
+	}
+	if _, err := FedAvg([]*Snapshot{s}, []float64{0}); err == nil {
+		t.Fatal("zero total data amount succeeded")
+	}
+	if _, err := FedAvg([]*Snapshot{s}, []float64{math.NaN()}); err == nil {
+		t.Fatal("NaN data amount succeeded")
+	}
+}
+
+func TestFedAvgDoesNotAliasInputs(t *testing.T) {
+	spec := MLPSpec(2, nil, 2)
+	a := snapshotWith(t, spec, 1)
+	before := a.Weights[0]
+	avg, err := FedAvg([]*Snapshot{a}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg.Weights[0] += 100
+	if a.Weights[0] != before {
+		t.Fatal("mutating the aggregate mutated an input snapshot")
+	}
+}

@@ -1,0 +1,133 @@
+package ml
+
+// layer is one differentiable stage of a network. Layers operate on single
+// examples (flat float32 activations); batching is handled above them by
+// accumulating gradients across a mini-batch before an optimizer step.
+// Forward caches whatever backward needs, so a layer instance serves one
+// example at a time — each simulated agent trains on its own Network clone,
+// so this needs no locking.
+type layer interface {
+	// forward computes the layer output for input x. The returned slice is
+	// owned by the layer and valid until the next forward call.
+	forward(x []float32) []float32
+	// backward consumes the gradient w.r.t. the layer output, accumulates
+	// parameter gradients, and returns the gradient w.r.t. the input. The
+	// returned slice is owned by the layer.
+	backward(dout []float32) []float32
+	// params returns the trainable parameter slices (empty for stateless
+	// layers). The slices are live views; mutating them updates the layer.
+	params() [][]float32
+	// grads returns the accumulated gradient slices, parallel to params.
+	grads() [][]float32
+	// zeroGrads clears the accumulated gradients.
+	zeroGrads()
+}
+
+// dense is a fully connected layer: y = Wx + b, with W stored row-major
+// [out][in].
+type dense struct {
+	in, out int
+	w, b    []float32
+	dw, db  []float32
+
+	x  []float32 // cached input
+	y  []float32
+	dx []float32
+}
+
+func newDense(in, out int) *dense {
+	return &dense{
+		in: in, out: out,
+		w:  make([]float32, in*out),
+		b:  make([]float32, out),
+		dw: make([]float32, in*out),
+		db: make([]float32, out),
+		y:  make([]float32, out),
+		dx: make([]float32, in),
+	}
+}
+
+func (d *dense) forward(x []float32) []float32 {
+	d.x = x
+	for o := 0; o < d.out; o++ {
+		row := d.w[o*d.in : (o+1)*d.in]
+		sum := d.b[o]
+		for i, xi := range x {
+			sum += row[i] * xi
+		}
+		d.y[o] = sum
+	}
+	return d.y
+}
+
+func (d *dense) backward(dout []float32) []float32 {
+	for i := range d.dx {
+		d.dx[i] = 0
+	}
+	for o := 0; o < d.out; o++ {
+		g := dout[o]
+		if g == 0 {
+			continue
+		}
+		row := d.w[o*d.in : (o+1)*d.in]
+		drow := d.dw[o*d.in : (o+1)*d.in]
+		d.db[o] += g
+		for i, xi := range d.x {
+			drow[i] += g * xi
+			d.dx[i] += row[i] * g
+		}
+	}
+	return d.dx
+}
+
+func (d *dense) params() [][]float32 { return [][]float32{d.w, d.b} }
+func (d *dense) grads() [][]float32  { return [][]float32{d.dw, d.db} }
+
+func (d *dense) zeroGrads() {
+	zero(d.dw)
+	zero(d.db)
+}
+
+// relu is the rectified-linear activation.
+type relu struct {
+	y  []float32
+	dx []float32
+	x  []float32
+}
+
+func newReLU(size int) *relu {
+	return &relu{y: make([]float32, size), dx: make([]float32, size)}
+}
+
+func (r *relu) forward(x []float32) []float32 {
+	r.x = x
+	for i, v := range x {
+		if v > 0 {
+			r.y[i] = v
+		} else {
+			r.y[i] = 0
+		}
+	}
+	return r.y
+}
+
+func (r *relu) backward(dout []float32) []float32 {
+	for i, v := range r.x {
+		if v > 0 {
+			r.dx[i] = dout[i]
+		} else {
+			r.dx[i] = 0
+		}
+	}
+	return r.dx
+}
+
+func (r *relu) params() [][]float32 { return nil }
+func (r *relu) grads() [][]float32  { return nil }
+func (r *relu) zeroGrads()          {}
+
+func zero(s []float32) {
+	for i := range s {
+		s[i] = 0
+	}
+}

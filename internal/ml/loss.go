@@ -1,0 +1,82 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// SoftmaxCrossEntropy computes the cross-entropy loss of logits against the
+// true label, together with the gradient of the loss w.r.t. the logits
+// (softmax(logits) minus the one-hot label). dlogits must have the same
+// length as logits; it is overwritten.
+func SoftmaxCrossEntropy(logits []float32, label int, dlogits []float32) (float64, error) {
+	if label < 0 || label >= len(logits) {
+		return 0, fmt.Errorf("ml: label %d outside [0,%d)", label, len(logits))
+	}
+	if len(dlogits) != len(logits) {
+		return 0, fmt.Errorf("ml: dlogits length %d != logits length %d", len(dlogits), len(logits))
+	}
+	// Stable softmax: subtract the max logit.
+	maxLogit := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxLogit {
+			maxLogit = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(float64(v - maxLogit))
+		dlogits[i] = float32(e)
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range dlogits {
+		dlogits[i] = float32(float64(dlogits[i]) * inv)
+	}
+	p := float64(dlogits[label])
+	dlogits[label] -= 1
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	return -math.Log(p), nil
+}
+
+// Softmax returns the probability vector for the logits (a fresh slice).
+func Softmax(logits []float32) []float32 {
+	out := make([]float32, len(logits))
+	if len(logits) == 0 {
+		return out
+	}
+	maxLogit := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxLogit {
+			maxLogit = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(float64(v - maxLogit))
+		out[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// Argmax returns the index of the largest element (ties go to the lowest
+// index), or -1 for an empty slice.
+func Argmax(v []float32) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}

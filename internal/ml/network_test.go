@@ -1,0 +1,498 @@
+package ml
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"roadrunner/internal/sim"
+)
+
+// blobs generates a linearly separable 2-class dataset: class 0 centered at
+// (-2,...), class 1 at (+2,...), with unit noise.
+func blobs(rng *sim.RNG, n, dim, classes int) []Example {
+	out := make([]Example, n)
+	for i := range out {
+		label := i % classes
+		x := make([]float32, dim)
+		for d := range x {
+			center := 0.0
+			if d%classes == label {
+				center = 2.5
+			}
+			x[d] = float32(center + rng.NormFloat64()*0.8)
+		}
+		out[i] = Example{X: x, Label: label}
+	}
+	return out
+}
+
+func TestNetworkLearnsSeparableData(t *testing.T) {
+	rng := sim.NewRNG(42)
+	train := blobs(rng, 200, 8, 4)
+	test := blobs(rng, 100, 8, 4)
+	n, err := NewNetwork(MLPSpec(8, []int{16}, 4), rng.Fork("init"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	accBefore, _, err := n.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := TrainConfig{Epochs: 20, BatchSize: 16, LR: 0.05, Momentum: 0.9}
+	loss, err := n.Train(train, cfg, rng.Fork("train"))
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	accAfter, _, err := n.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accAfter < 0.9 {
+		t.Fatalf("accuracy after training = %v (before %v), want >= 0.9", accAfter, accBefore)
+	}
+	if accAfter <= accBefore {
+		t.Fatalf("training did not improve accuracy: %v -> %v", accBefore, accAfter)
+	}
+	if math.IsNaN(loss) || loss < 0 {
+		t.Fatalf("bad final loss %v", loss)
+	}
+}
+
+func TestNetworkTrainingReducesLoss(t *testing.T) {
+	rng := sim.NewRNG(7)
+	data := blobs(rng, 100, 6, 3)
+	n, err := NewNetwork(MLPSpec(6, []int{10}, 3), rng.Fork("init"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lossBefore, err := n.Evaluate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Train(data, TrainConfig{Epochs: 10, BatchSize: 10, LR: 0.05, Momentum: 0.9}, rng.Fork("t")); err != nil {
+		t.Fatal(err)
+	}
+	_, lossAfter, err := n.Evaluate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossAfter >= lossBefore {
+		t.Fatalf("loss did not decrease: %v -> %v", lossBefore, lossAfter)
+	}
+}
+
+func TestNetworkDeterministicTraining(t *testing.T) {
+	build := func() *Snapshot {
+		rng := sim.NewRNG(5)
+		data := blobs(rng, 60, 4, 2)
+		n, err := NewNetwork(MLPSpec(4, []int{6}, 2), sim.NewRNG(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Train(data, TrainConfig{Epochs: 3, BatchSize: 8, LR: 0.05, Momentum: 0.9}, sim.NewRNG(11)); err != nil {
+			t.Fatal(err)
+		}
+		return n.Snapshot()
+	}
+	a, b := build(), build()
+	for i := range a.Weights {
+		if a.Weights[i] != b.Weights[i] {
+			t.Fatalf("weight %d differs between identically seeded trainings", i)
+		}
+	}
+}
+
+func TestSnapshotRestoresWeights(t *testing.T) {
+	rng := sim.NewRNG(3)
+	n, err := NewNetwork(MLPSpec(4, []int{5}, 3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := n.Snapshot()
+	// Train to change weights, then restore.
+	data := blobs(rng, 40, 4, 3)
+	if _, err := n.Train(data, TrainConfig{Epochs: 2, BatchSize: 8, LR: 0.1, Momentum: 0}, rng); err != nil {
+		t.Fatal(err)
+	}
+	after := n.Snapshot()
+	if weightsClose(snap.Weights, after.Weights, 1e-9) {
+		t.Fatal("training did not change weights; test is vacuous")
+	}
+	restored, err := LoadSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !weightsClose(restored.Snapshot().Weights, snap.Weights, 0) {
+		t.Fatal("LoadSnapshot did not restore the exact weights")
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	rng := sim.NewRNG(4)
+	n, err := NewNetwork(MLPSpec(3, nil, 2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := n.Snapshot()
+	before := snap.Weights[0]
+	data := blobs(rng, 30, 3, 2)
+	if _, err := n.Train(data, TrainConfig{Epochs: 5, BatchSize: 8, LR: 0.2, Momentum: 0}, rng); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Weights[0] != before {
+		t.Fatal("training mutated a previously taken snapshot")
+	}
+}
+
+func TestSnapshotEncodeDecodeRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(6)
+	spec := CNNSpec(12, 12, 2, 3, 4, 3, 10, 8, 5)
+	n, err := NewNetwork(spec, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := n.Snapshot()
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if buf.Len() != snap.WireBytes() {
+		t.Fatalf("encoded %d bytes, WireBytes reports %d", buf.Len(), snap.WireBytes())
+	}
+	got, err := DecodeSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	if !got.Spec.Equal(&snap.Spec) {
+		t.Fatal("decoded spec differs")
+	}
+	if !weightsClose(got.Weights, snap.Weights, 0) {
+		t.Fatal("decoded weights differ")
+	}
+}
+
+func TestDecodeSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := DecodeSnapshot(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input decoded")
+	}
+	if _, err := DecodeSnapshot(bytes.NewReader([]byte("XXXX123456789"))); err == nil {
+		t.Fatal("bad magic decoded")
+	}
+	// Valid magic, truncated rest.
+	if _, err := DecodeSnapshot(bytes.NewReader([]byte("RRML"))); err == nil {
+		t.Fatal("truncated input decoded")
+	}
+}
+
+func TestSnapshotCloneIndependent(t *testing.T) {
+	rng := sim.NewRNG(8)
+	n, err := NewNetwork(MLPSpec(2, nil, 2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := n.Snapshot()
+	b := a.Clone()
+	b.Weights[0] += 42
+	if a.Weights[0] == b.Weights[0] {
+		t.Fatal("clone shares weight storage")
+	}
+}
+
+func TestSetWeightsValidatesLength(t *testing.T) {
+	n, err := NewNetwork(MLPSpec(2, nil, 2), sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetWeights(make([]float32, 3)); err == nil {
+		t.Fatal("wrong-length weight vector accepted")
+	}
+}
+
+func TestLoadSnapshotRejectsBad(t *testing.T) {
+	if _, err := LoadSnapshot(nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	bad := &Snapshot{Spec: MLPSpec(2, nil, 2), Weights: []float32{1}}
+	if _, err := LoadSnapshot(bad); err == nil {
+		t.Fatal("wrong-length snapshot accepted")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	n, err := NewNetwork(MLPSpec(2, nil, 2), sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(2)
+	good := []Example{{X: []float32{1, 2}, Label: 0}}
+	cfg := DefaultTrainConfig()
+
+	if _, err := n.Train(nil, cfg, rng); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	if _, err := n.Train(good, TrainConfig{}, rng); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := n.Train(good, cfg, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	badDim := []Example{{X: []float32{1}, Label: 0}}
+	if _, err := n.Train(badDim, cfg, rng); err == nil {
+		t.Fatal("wrong-dim examples accepted")
+	}
+	badLabel := []Example{{X: []float32{1, 2}, Label: 5}}
+	if _, err := n.Train(badLabel, cfg, rng); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	if _, _, err := n.Evaluate(nil); err == nil {
+		t.Fatal("empty evaluation set accepted")
+	}
+}
+
+func TestForwardValidatesDim(t *testing.T) {
+	n, err := NewNetwork(MLPSpec(4, nil, 2), sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Forward(make([]float32, 3)); err == nil {
+		t.Fatal("wrong input dim accepted")
+	}
+	if _, err := n.Predict(make([]float32, 5)); err == nil {
+		t.Fatal("Predict with wrong dim accepted")
+	}
+}
+
+func TestNewNetworkRejectsBadSpec(t *testing.T) {
+	if _, err := NewNetwork(Spec{}, sim.NewRNG(1)); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := NewNetwork(MLPSpec(2, nil, 2), nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestCNNTrainsOnTinyImages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CNN training is slow")
+	}
+	rng := sim.NewRNG(10)
+	const h, w, c, classes = 12, 12, 1, 3
+	dim := h * w * c
+	// Class k = bright band at rows [k*2, k*2+2).
+	gen := func(n int) []Example {
+		out := make([]Example, n)
+		for i := range out {
+			label := i % classes
+			x := make([]float32, dim)
+			for row := 0; row < h; row++ {
+				for col := 0; col < w; col++ {
+					v := rng.NormFloat64() * 0.3
+					if row >= label*2 && row < label*2+2 {
+						v += 2
+					}
+					x[row*w+col] = float32(v)
+				}
+			}
+			out[i] = Example{X: x, Label: label}
+		}
+		return out
+	}
+	train, test := gen(120), gen(60)
+	n, err := NewNetwork(CNNSpec(h, w, c, 4, 6, 3, 16, 8, classes), rng.Fork("init"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Train(train, TrainConfig{Epochs: 15, BatchSize: 12, LR: 0.03, Momentum: 0.9}, rng.Fork("t")); err != nil {
+		t.Fatal(err)
+	}
+	acc, _, err := n.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Fatalf("CNN accuracy = %v, want >= 0.85 on trivially separable images", acc)
+	}
+}
+
+func TestSpecHelpers(t *testing.T) {
+	spec := CNNSpec(16, 16, 3, 6, 12, 3, 32, 16, 10)
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("paper CNN spec invalid: %v", err)
+	}
+	out, err := spec.OutputDim()
+	if err != nil || out != 10 {
+		t.Fatalf("OutputDim = %d, %v", out, err)
+	}
+	params, err := spec.ParamCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// conv1: 6*3*9+6=168; conv2: 12*6*9+12=660; dims: 16->14->7->5->2;
+	// fc: 48*32+32=1568, 32*16+16=528, 16*10+10=170. Total 3094.
+	if params != 3094 {
+		t.Fatalf("ParamCount = %d, want 3094", params)
+	}
+	flops, err := spec.TrainFLOPs()
+	if err != nil || flops <= 0 {
+		t.Fatalf("TrainFLOPs = %v, %v", flops, err)
+	}
+	fwd, err := spec.ForwardFLOPs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flops != 3*fwd {
+		t.Fatalf("TrainFLOPs %v != 3x ForwardFLOPs %v", flops, fwd)
+	}
+	if spec.InputDim() != 768 {
+		t.Fatalf("InputDim = %d", spec.InputDim())
+	}
+}
+
+func TestSpecValidateRejectsBad(t *testing.T) {
+	bad := []Spec{
+		{},                                // no input
+		{InputH: 4, InputW: 4, InputC: 1}, // no layers
+		{InputH: 4, InputW: 4, InputC: 1, Layers: []LayerSpec{{Kind: LayerDense, Out: 0}}},
+		{InputH: 4, InputW: 4, InputC: 1, Layers: []LayerSpec{{Kind: LayerConv, Out: 2, Kernel: 5}}},                             // kernel too big
+		{InputH: 4, InputW: 4, InputC: 1, Layers: []LayerSpec{{Kind: LayerDense, Out: 2}, {Kind: LayerConv, Out: 2, Kernel: 1}}}, // conv after dense
+		{InputH: 1, InputW: 4, InputC: 1, Layers: []LayerSpec{{Kind: LayerPool}}},                                                // pool on 1-high input
+		{InputH: 4, InputW: 4, InputC: 1, Layers: []LayerSpec{{Kind: LayerKind(99)}}},                                            // unknown kind
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+}
+
+func TestSpecEqual(t *testing.T) {
+	a := MLPSpec(4, []int{3}, 2)
+	b := MLPSpec(4, []int{3}, 2)
+	if !a.Equal(&b) {
+		t.Fatal("identical specs not equal")
+	}
+	c := MLPSpec(4, []int{5}, 2)
+	if a.Equal(&c) {
+		t.Fatal("different specs equal")
+	}
+	d := MLPSpec(5, []int{3}, 2)
+	if a.Equal(&d) {
+		t.Fatal("different input dims equal")
+	}
+}
+
+func TestSoftmaxCrossEntropyKnownValues(t *testing.T) {
+	logits := []float32{0, 0}
+	d := make([]float32, 2)
+	loss, err := SoftmaxCrossEntropy(logits, 0, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss-math.Log(2)) > 1e-6 {
+		t.Fatalf("loss = %v, want ln2", loss)
+	}
+	if math.Abs(float64(d[0]+0.5)) > 1e-6 || math.Abs(float64(d[1]-0.5)) > 1e-6 {
+		t.Fatalf("dlogits = %v, want [-0.5 0.5]", d)
+	}
+}
+
+func TestSoftmaxCrossEntropyValidation(t *testing.T) {
+	if _, err := SoftmaxCrossEntropy([]float32{1, 2}, 5, make([]float32, 2)); err == nil {
+		t.Fatal("bad label accepted")
+	}
+	if _, err := SoftmaxCrossEntropy([]float32{1, 2}, 0, make([]float32, 1)); err == nil {
+		t.Fatal("bad dlogits length accepted")
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	p := Softmax([]float32{1000, 1000, 999})
+	sum := float32(0)
+	for _, v := range p {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("softmax overflow: %v", p)
+		}
+		sum += v
+	}
+	if math.Abs(float64(sum-1)) > 1e-5 {
+		t.Fatalf("softmax sums to %v", sum)
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if Argmax(nil) != -1 {
+		t.Fatal("Argmax(nil) != -1")
+	}
+	if Argmax([]float32{1, 5, 3}) != 1 {
+		t.Fatal("Argmax wrong")
+	}
+	if Argmax([]float32{2, 2}) != 0 {
+		t.Fatal("Argmax tie should pick lowest index")
+	}
+}
+
+func TestSGDValidation(t *testing.T) {
+	if _, err := NewSGD(0, 0); err == nil {
+		t.Fatal("zero lr accepted")
+	}
+	if _, err := NewSGD(0.1, 1); err == nil {
+		t.Fatal("momentum 1 accepted")
+	}
+	if _, err := NewSGD(0.1, -0.1); err == nil {
+		t.Fatal("negative momentum accepted")
+	}
+	s, err := NewSGD(0.1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step([][]float32{{1}}, nil); err == nil {
+		t.Fatal("mismatched groups accepted")
+	}
+	if err := s.Step([][]float32{{1, 2}}, [][]float32{{1}}); err == nil {
+		t.Fatal("mismatched sizes accepted")
+	}
+}
+
+func TestSGDMomentumAccelerates(t *testing.T) {
+	// With constant gradient g, momentum builds velocity: after two steps
+	// the parameter has moved by lr*g + lr*(m*g + g).
+	s, err := NewSGD(0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := [][]float32{{0}}
+	g := [][]float32{{1}}
+	if err := s.Step(p, g); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(p[0][0]+0.1)) > 1e-7 {
+		t.Fatalf("after step 1: %v, want -0.1", p[0][0])
+	}
+	if err := s.Step(p, g); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(p[0][0]+0.25)) > 1e-7 {
+		t.Fatalf("after step 2: %v, want -0.25", p[0][0])
+	}
+	s.Reset()
+	if err := s.Step(p, g); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(p[0][0]+0.35)) > 1e-7 {
+		t.Fatalf("after reset+step: %v, want -0.35 (velocity cleared)", p[0][0])
+	}
+}
+
+func TestLayerKindString(t *testing.T) {
+	for k, want := range map[LayerKind]string{
+		LayerDense: "dense", LayerReLU: "relu", LayerConv: "conv", LayerPool: "pool",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+	if LayerKind(0).String() != "unknown(0)" {
+		t.Errorf("unknown kind String = %q", LayerKind(0).String())
+	}
+}

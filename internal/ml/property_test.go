@@ -1,0 +1,162 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"roadrunner/internal/sim"
+)
+
+// TestTrainingStaysFinite: with clipping enabled, training on arbitrary
+// (even adversarially scaled) data never produces NaN or Inf weights —
+// the guarantee that keeps FedAvg from spreading poison fleet-wide.
+func TestTrainingStaysFiniteProperty(t *testing.T) {
+	spec := MLPSpec(6, []int{8}, 3)
+	prop := func(seed uint32, scaleRaw uint8, lrRaw uint8) bool {
+		rng := sim.NewRNG(uint64(seed))
+		scale := float32(scaleRaw%50) + 1 // feature magnitudes up to 50x
+		examples := make([]Example, 24)
+		for i := range examples {
+			x := make([]float32, 6)
+			for j := range x {
+				x[j] = float32(rng.NormFloat64()) * scale
+			}
+			examples[i] = Example{X: x, Label: i % 3}
+		}
+		net, err := NewNetwork(spec, rng.Fork("init"))
+		if err != nil {
+			return false
+		}
+		cfg := TrainConfig{
+			Epochs:    3,
+			BatchSize: 8,
+			LR:        float64(lrRaw%20+1) / 100, // up to 0.2
+			Momentum:  0.9,
+			ClipNorm:  4,
+		}
+		loss, err := net.Train(examples, cfg, rng.Fork("train"))
+		if err != nil {
+			return false
+		}
+		if math.IsNaN(loss) || math.IsInf(loss, 0) {
+			return false
+		}
+		for _, w := range net.Snapshot().Weights {
+			if math.IsNaN(float64(w)) || math.IsInf(float64(w), 0) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotRoundTripProperty: snapshot -> load -> snapshot is the
+// identity for arbitrary weight values (including negatives and zeros).
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	spec := MLPSpec(3, []int{4}, 2)
+	count, err := spec.ParamCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed uint32) bool {
+		rng := sim.NewRNG(uint64(seed))
+		weights := make([]float32, count)
+		for i := range weights {
+			weights[i] = float32(rng.NormFloat64() * 10)
+		}
+		snap := &Snapshot{Spec: spec, Weights: weights}
+		net, err := LoadSnapshot(snap)
+		if err != nil {
+			return false
+		}
+		back := net.Snapshot()
+		for i := range weights {
+			if back.Weights[i] != weights[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSoftmaxGradientSumsToZero: the softmax cross-entropy gradient always
+// sums to zero (probabilities sum to one, one-hot subtracts one).
+func TestSoftmaxGradientSumsToZeroProperty(t *testing.T) {
+	prop := func(raw [6]int8, labelRaw uint8) bool {
+		logits := make([]float32, 6)
+		for i, v := range raw {
+			logits[i] = float32(v) / 8
+		}
+		label := int(labelRaw) % 6
+		d := make([]float32, 6)
+		if _, err := SoftmaxCrossEntropy(logits, label, d); err != nil {
+			return false
+		}
+		var sum float64
+		for _, g := range d {
+			sum += float64(g)
+		}
+		return math.Abs(sum) < 1e-5
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(13))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClipGradientsNormBound: after clipping, the joint norm never exceeds
+// the bound, and direction is preserved (each component scaled equally).
+func TestClipGradientsProperty(t *testing.T) {
+	prop := func(raw []int8, boundRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		g := make([]float32, len(raw))
+		for i, v := range raw {
+			g[i] = float32(v)
+		}
+		orig := append([]float32(nil), g...)
+		bound := float64(boundRaw%50) + 0.5
+		clipGradients([][]float32{g}, bound)
+
+		var norm float64
+		for _, v := range g {
+			norm += float64(v) * float64(v)
+		}
+		norm = math.Sqrt(norm)
+		if norm > bound*1.0001 {
+			return false
+		}
+		// Direction preserved: g = c * orig for one scalar c in (0, 1].
+		for i := range g {
+			if orig[i] == 0 {
+				if g[i] != 0 {
+					return false
+				}
+				continue
+			}
+			c := float64(g[i]) / float64(orig[i])
+			if c <= 0 || c > 1.0001 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(14))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package ml
+
+import "fmt"
+
+// SGD implements stochastic gradient descent with classical momentum —
+// the optimizer the paper's experiment uses ("two epochs of stochastic
+// gradient descent with momentum"). The velocity state is lazily shaped to
+// the parameter set on the first Step.
+type SGD struct {
+	// LR is the learning rate.
+	LR float64
+	// Momentum is the velocity retention factor (0 disables momentum).
+	Momentum float64
+
+	velocity [][]float32
+}
+
+// NewSGD returns an optimizer with the given hyperparameters.
+func NewSGD(lr, momentum float64) (*SGD, error) {
+	if lr <= 0 {
+		return nil, fmt.Errorf("ml: non-positive learning rate %v", lr)
+	}
+	if momentum < 0 || momentum >= 1 {
+		return nil, fmt.Errorf("ml: momentum %v outside [0,1)", momentum)
+	}
+	return &SGD{LR: lr, Momentum: momentum}, nil
+}
+
+// Step applies one update: v = momentum*v + grad; param -= lr * v.
+// params and grads must be parallel and stable across calls (the velocity
+// state is indexed positionally).
+func (s *SGD) Step(params, grads [][]float32) error {
+	if len(params) != len(grads) {
+		return fmt.Errorf("ml: sgd: %d param groups but %d grad groups", len(params), len(grads))
+	}
+	if s.velocity == nil {
+		s.velocity = make([][]float32, len(params))
+		for i, p := range params {
+			s.velocity[i] = make([]float32, len(p))
+		}
+	}
+	if len(s.velocity) != len(params) {
+		return fmt.Errorf("ml: sgd: parameter group count changed from %d to %d", len(s.velocity), len(params))
+	}
+	lr := float32(s.LR)
+	mom := float32(s.Momentum)
+	for i, p := range params {
+		g := grads[i]
+		v := s.velocity[i]
+		if len(p) != len(g) || len(p) != len(v) {
+			return fmt.Errorf("ml: sgd: group %d size mismatch (param %d, grad %d, velocity %d)",
+				i, len(p), len(g), len(v))
+		}
+		for j := range p {
+			v[j] = mom*v[j] + g[j]
+			p[j] -= lr * v[j]
+		}
+	}
+	return nil
+}
+
+// Reset clears the momentum state (used when a vehicle receives a fresh
+// global model: momentum from the previous round's weights is stale).
+func (s *SGD) Reset() { s.velocity = nil }

@@ -1,0 +1,178 @@
+package ml
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Snapshot is an immutable copy of a network's weights together with its
+// architecture — the unit of model exchange in every learning strategy.
+// When the simulated communication module "transmits a model", it is a
+// Snapshot whose WireBytes determine the transfer duration; when the ML
+// module "aggregates models", it averages Snapshots.
+type Snapshot struct {
+	Spec    Spec      `json:"spec"`
+	Weights []float32 `json:"-"`
+}
+
+// Snapshot captures the network's current weights. The copy is deep: later
+// training does not mutate the snapshot.
+func (n *Network) Snapshot() *Snapshot {
+	var total int
+	groups := n.paramGroups()
+	for _, g := range groups {
+		total += len(g)
+	}
+	w := make([]float32, 0, total)
+	for _, g := range groups {
+		w = append(w, g...)
+	}
+	return &Snapshot{Spec: n.spec, Weights: w}
+}
+
+// LoadSnapshot instantiates a trainable network holding the snapshot's
+// weights (deep-copied; training the result does not mutate the snapshot).
+func LoadSnapshot(s *Snapshot) (*Network, error) {
+	if s == nil {
+		return nil, fmt.Errorf("ml: nil snapshot")
+	}
+	n, err := buildNetwork(s.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.SetWeights(s.Weights); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// SetWeights overwrites the network's parameters from a flat vector in
+// snapshot order.
+func (n *Network) SetWeights(w []float32) error {
+	groups := n.paramGroups()
+	var total int
+	for _, g := range groups {
+		total += len(g)
+	}
+	if len(w) != total {
+		return fmt.Errorf("ml: weight vector length %d, want %d", len(w), total)
+	}
+	off := 0
+	for _, g := range groups {
+		copy(g, w[off:off+len(g)])
+		off += len(g)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the snapshot.
+func (s *Snapshot) Clone() *Snapshot {
+	w := make([]float32, len(s.Weights))
+	copy(w, s.Weights)
+	spec := s.Spec
+	spec.Layers = append([]LayerSpec(nil), s.Spec.Layers...)
+	return &Snapshot{Spec: spec, Weights: w}
+}
+
+// WireBytes returns the serialized size of the snapshot in bytes — the
+// payload size the communication module charges for a model transfer
+// (4 bytes per float32 weight plus the architecture header).
+func (s *Snapshot) WireBytes() int {
+	header, err := json.Marshal(s.Spec)
+	if err != nil {
+		header = nil // Spec is plain data; marshal cannot realistically fail
+	}
+	const magicAndLengths = 4 + 4 + 4 // magic, header length, weight count
+	return magicAndLengths + len(header) + 4*len(s.Weights)
+}
+
+var snapshotMagic = [4]byte{'R', 'R', 'M', 'L'}
+
+// Encode writes the snapshot in the framework's binary wire format: a
+// 4-byte magic, a length-prefixed JSON spec header, and the raw float32
+// weights little-endian.
+func (s *Snapshot) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return fmt.Errorf("ml: encode snapshot: %w", err)
+	}
+	header, err := json.Marshal(s.Spec)
+	if err != nil {
+		return fmt.Errorf("ml: encode snapshot spec: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(header))); err != nil {
+		return fmt.Errorf("ml: encode snapshot header length: %w", err)
+	}
+	if _, err := bw.Write(header); err != nil {
+		return fmt.Errorf("ml: encode snapshot header: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(s.Weights))); err != nil {
+		return fmt.Errorf("ml: encode snapshot weight count: %w", err)
+	}
+	buf := make([]byte, 4)
+	for _, v := range s.Weights {
+		binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("ml: encode snapshot weights: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("ml: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// DecodeSnapshot reads a snapshot in the wire format written by Encode.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("ml: decode snapshot magic: %w", err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("ml: bad snapshot magic %q", magic[:])
+	}
+	var headerLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &headerLen); err != nil {
+		return nil, fmt.Errorf("ml: decode snapshot header length: %w", err)
+	}
+	const maxHeader = 1 << 20
+	if headerLen > maxHeader {
+		return nil, fmt.Errorf("ml: snapshot header length %d exceeds limit", headerLen)
+	}
+	header := make([]byte, headerLen)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return nil, fmt.Errorf("ml: decode snapshot header: %w", err)
+	}
+	var spec Spec
+	if err := json.Unmarshal(header, &spec); err != nil {
+		return nil, fmt.Errorf("ml: decode snapshot spec: %w", err)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("ml: decode snapshot: %w", err)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("ml: decode snapshot weight count: %w", err)
+	}
+	want, err := spec.ParamCount()
+	if err != nil {
+		return nil, err
+	}
+	if int(count) != want {
+		return nil, fmt.Errorf("ml: snapshot has %d weights, spec needs %d", count, want)
+	}
+	weights := make([]float32, count)
+	buf := make([]byte, 4)
+	for i := range weights {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("ml: decode snapshot weights: %w", err)
+		}
+		weights[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+	}
+	return &Snapshot{Spec: spec, Weights: weights}, nil
+}

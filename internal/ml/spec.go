@@ -1,0 +1,249 @@
+package ml
+
+import (
+	"fmt"
+)
+
+// LayerKind enumerates the layer types the module supports.
+type LayerKind int
+
+const (
+	// LayerDense is a fully connected layer.
+	LayerDense LayerKind = iota + 1
+	// LayerReLU is a rectified-linear activation.
+	LayerReLU
+	// LayerConv is a 2-D convolution (stride 1, valid padding).
+	LayerConv
+	// LayerPool is a 2x2 max-pool with stride 2.
+	LayerPool
+)
+
+// String returns the lower-case layer name.
+func (k LayerKind) String() string {
+	switch k {
+	case LayerDense:
+		return "dense"
+	case LayerReLU:
+		return "relu"
+	case LayerConv:
+		return "conv"
+	case LayerPool:
+		return "pool"
+	default:
+		return fmt.Sprintf("unknown(%d)", int(k))
+	}
+}
+
+// LayerSpec describes one layer. Out is the output feature count for dense
+// layers and the output channel count for conv layers; Kernel is the square
+// kernel size for conv layers. ReLU and pool layers carry no parameters.
+type LayerSpec struct {
+	Kind   LayerKind `json:"kind"`
+	Out    int       `json:"out,omitempty"`
+	Kernel int       `json:"kernel,omitempty"`
+}
+
+// Spec is a complete, serializable architecture description: it determines
+// the network's parameter layout exactly, which is what makes snapshots of
+// two agents' models aggregatable (they must share a Spec). Input images
+// are channel-major: the feature vector holds InputC planes of
+// InputH×InputW values.
+type Spec struct {
+	InputH int         `json:"input_h"`
+	InputW int         `json:"input_w"`
+	InputC int         `json:"input_c"`
+	Layers []LayerSpec `json:"layers"`
+}
+
+// shapeState tracks the activation shape while walking a Spec.
+type shapeState struct {
+	c, h, w int
+	flat    bool // true once a dense layer has been applied
+}
+
+func (s shapeState) size() int { return s.c * s.h * s.w }
+
+// walk validates the spec layer by layer, invoking visit with the incoming
+// shape for each layer.
+func (s *Spec) walk(visit func(i int, ls LayerSpec, in shapeState) error) error {
+	if s.InputH <= 0 || s.InputW <= 0 || s.InputC <= 0 {
+		return fmt.Errorf("ml: spec: invalid input shape %dx%dx%d", s.InputH, s.InputW, s.InputC)
+	}
+	if len(s.Layers) == 0 {
+		return fmt.Errorf("ml: spec: no layers")
+	}
+	cur := shapeState{c: s.InputC, h: s.InputH, w: s.InputW}
+	for i, ls := range s.Layers {
+		if visit != nil {
+			if err := visit(i, ls, cur); err != nil {
+				return err
+			}
+		}
+		switch ls.Kind {
+		case LayerDense:
+			if ls.Out <= 0 {
+				return fmt.Errorf("ml: spec layer %d: dense with out=%d", i, ls.Out)
+			}
+			cur = shapeState{c: 1, h: 1, w: ls.Out, flat: true}
+		case LayerReLU:
+			// shape unchanged
+		case LayerConv:
+			if cur.flat {
+				return fmt.Errorf("ml: spec layer %d: conv after dense", i)
+			}
+			if ls.Out <= 0 || ls.Kernel <= 0 {
+				return fmt.Errorf("ml: spec layer %d: conv with out=%d kernel=%d", i, ls.Out, ls.Kernel)
+			}
+			oh, ow := cur.h-ls.Kernel+1, cur.w-ls.Kernel+1
+			if oh <= 0 || ow <= 0 {
+				return fmt.Errorf("ml: spec layer %d: kernel %d too large for %dx%d input", i, ls.Kernel, cur.h, cur.w)
+			}
+			cur = shapeState{c: ls.Out, h: oh, w: ow}
+		case LayerPool:
+			if cur.flat {
+				return fmt.Errorf("ml: spec layer %d: pool after dense", i)
+			}
+			oh, ow := cur.h/2, cur.w/2
+			if oh <= 0 || ow <= 0 {
+				return fmt.Errorf("ml: spec layer %d: pool on %dx%d input", i, cur.h, cur.w)
+			}
+			cur = shapeState{c: cur.c, h: oh, w: ow}
+		default:
+			return fmt.Errorf("ml: spec layer %d: unknown kind %d", i, int(ls.Kind))
+		}
+	}
+	if cur.size() <= 0 {
+		return fmt.Errorf("ml: spec: degenerate output shape")
+	}
+	return nil
+}
+
+// Validate checks the architecture for structural soundness.
+func (s *Spec) Validate() error { return s.walk(nil) }
+
+// InputDim returns the expected feature-vector length.
+func (s *Spec) InputDim() int { return s.InputH * s.InputW * s.InputC }
+
+// OutputDim returns the network's output dimension (the class count for a
+// classifier ending in a dense layer).
+func (s *Spec) OutputDim() (int, error) {
+	cur := shapeState{}
+	err := s.walk(func(i int, ls LayerSpec, in shapeState) error { return nil })
+	if err != nil {
+		return 0, err
+	}
+	// Re-walk to obtain the final shape (walk validated already).
+	cur = shapeState{c: s.InputC, h: s.InputH, w: s.InputW}
+	for _, ls := range s.Layers {
+		switch ls.Kind {
+		case LayerDense:
+			cur = shapeState{c: 1, h: 1, w: ls.Out, flat: true}
+		case LayerConv:
+			cur = shapeState{c: ls.Out, h: cur.h - ls.Kernel + 1, w: cur.w - ls.Kernel + 1}
+		case LayerPool:
+			cur = shapeState{c: cur.c, h: cur.h / 2, w: cur.w / 2}
+		}
+	}
+	return cur.size(), nil
+}
+
+// ParamCount returns the total number of trainable parameters.
+func (s *Spec) ParamCount() (int, error) {
+	total := 0
+	err := s.walk(func(i int, ls LayerSpec, in shapeState) error {
+		switch ls.Kind {
+		case LayerDense:
+			total += in.size()*ls.Out + ls.Out
+		case LayerConv:
+			total += ls.Out*in.c*ls.Kernel*ls.Kernel + ls.Out
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// ForwardFLOPs estimates the floating-point operations of one forward pass
+// on one example (multiply and add counted separately).
+func (s *Spec) ForwardFLOPs() (float64, error) {
+	total := 0.0
+	err := s.walk(func(i int, ls LayerSpec, in shapeState) error {
+		switch ls.Kind {
+		case LayerDense:
+			total += 2 * float64(in.size()) * float64(ls.Out)
+		case LayerConv:
+			oh, ow := in.h-ls.Kernel+1, in.w-ls.Kernel+1
+			total += 2 * float64(oh*ow) * float64(ls.Out) * float64(in.c*ls.Kernel*ls.Kernel)
+		case LayerReLU, LayerPool:
+			total += float64(in.size())
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// TrainFLOPs estimates the operations of one training step on one example.
+// The backward pass costs roughly twice the forward pass (gradient w.r.t.
+// inputs plus gradients w.r.t. weights), giving the standard 3x factor.
+func (s *Spec) TrainFLOPs() (float64, error) {
+	fwd, err := s.ForwardFLOPs()
+	if err != nil {
+		return 0, err
+	}
+	return 3 * fwd, nil
+}
+
+// Equal reports whether two specs describe the identical architecture.
+func (s *Spec) Equal(o *Spec) bool {
+	if s.InputH != o.InputH || s.InputW != o.InputW || s.InputC != o.InputC {
+		return false
+	}
+	if len(s.Layers) != len(o.Layers) {
+		return false
+	}
+	for i := range s.Layers {
+		if s.Layers[i] != o.Layers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MLPSpec builds a multi-layer perceptron over flat feature vectors:
+// inputDim -> hidden[0] -> ... -> classes, with ReLU between dense layers.
+func MLPSpec(inputDim int, hidden []int, classes int) Spec {
+	s := Spec{InputH: 1, InputW: inputDim, InputC: 1}
+	for _, h := range hidden {
+		s.Layers = append(s.Layers, LayerSpec{Kind: LayerDense, Out: h}, LayerSpec{Kind: LayerReLU})
+	}
+	s.Layers = append(s.Layers, LayerSpec{Kind: LayerDense, Out: classes})
+	return s
+}
+
+// CNNSpec builds the paper's evaluation architecture — "two convolutional
+// layers with max pooling followed by three fully connected layers" — over
+// h×w×c channel-major images: conv(c1,k)/ReLU/pool, conv(c2,k)/ReLU/pool,
+// dense(fc1)/ReLU, dense(fc2)/ReLU, dense(classes).
+func CNNSpec(h, w, c, c1, c2, kernel, fc1, fc2, classes int) Spec {
+	return Spec{
+		InputH: h, InputW: w, InputC: c,
+		Layers: []LayerSpec{
+			{Kind: LayerConv, Out: c1, Kernel: kernel},
+			{Kind: LayerReLU},
+			{Kind: LayerPool},
+			{Kind: LayerConv, Out: c2, Kernel: kernel},
+			{Kind: LayerReLU},
+			{Kind: LayerPool},
+			{Kind: LayerDense, Out: fc1},
+			{Kind: LayerReLU},
+			{Kind: LayerDense, Out: fc2},
+			{Kind: LayerReLU},
+			{Kind: LayerDense, Out: classes},
+		},
+	}
+}

@@ -1,0 +1,106 @@
+package mobility
+
+import (
+	"testing"
+
+	"roadrunner/internal/roadnet"
+	"roadrunner/internal/sim"
+)
+
+func benchFleet(b *testing.B, n int) ([]roadnet.Point, []bool) {
+	b.Helper()
+	rng := sim.NewRNG(1)
+	pos := make([]roadnet.Point, n)
+	active := make([]bool, n)
+	for i := range pos {
+		pos[i] = roadnet.Point{X: rng.Range(0, 8000), Y: rng.Range(0, 8000)}
+		active[i] = rng.Bool(0.7)
+	}
+	return pos, active
+}
+
+// BenchmarkSpatialIndexTick measures one core-simulator tick's proximity
+// work (rebuild + pair query) at the paper's fleet scale.
+func BenchmarkSpatialIndexTick(b *testing.B) {
+	pos, active := benchFleet(b, 120)
+	idx, err := NewSpatialIndex(200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := idx.Rebuild(pos, active); err != nil {
+			b.Fatal(err)
+		}
+		_ = idx.PairsWithin(200)
+	}
+}
+
+// BenchmarkBruteForcePairs is the O(n^2) reference for comparison.
+func BenchmarkBruteForcePairs(b *testing.B) {
+	pos, active := benchFleet(b, 120)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BruteForcePairs(pos, active, 200)
+	}
+}
+
+// BenchmarkSpatialIndexLargeFleet shows the index's headroom at 10x the
+// paper's fleet size.
+func BenchmarkSpatialIndexLargeFleet(b *testing.B) {
+	pos, active := benchFleet(b, 1200)
+	idx, err := NewSpatialIndex(200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := idx.Rebuild(pos, active); err != nil {
+			b.Fatal(err)
+		}
+		_ = idx.PairsWithin(200)
+	}
+}
+
+// BenchmarkReplayerAt measures trace interpolation (called per vehicle per
+// tick and per V2X range check).
+func BenchmarkReplayerAt(b *testing.B) {
+	g, err := roadnet.Generate(roadnet.GridConfig{Rows: 8, Cols: 8, Spacing: 300, StreetSpeed: 10}, sim.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultGenConfig()
+	cfg.Vehicles = 20
+	cfg.Horizon = 3600
+	ts, err := Generate(cfg, g, sim.NewRNG(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := NewReplayer(ts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.At(i%20, sim.Time(i%3600)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerate measures synthetic fleet-trace generation.
+func BenchmarkGenerate(b *testing.B) {
+	g, err := roadnet.Generate(roadnet.DefaultGridConfig(), sim.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultGenConfig()
+	cfg.Vehicles = 30
+	cfg.Horizon = 1800
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg, g, sim.NewRNG(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package mobility
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"roadrunner/internal/roadnet"
+	"roadrunner/internal/sim"
+)
+
+// The CSV trace format is the framework's static spatial-dynamics input
+// (paper §4): one row per waypoint, `vehicle,t,x,y,on`, with a header row.
+// Historic GPS data and pre-computed traffic-simulator output alike can be
+// converted to this format for replay.
+
+const csvHeader = "vehicle,t,x,y,on"
+
+// WriteCSV serializes the trace set. Rows are emitted grouped by vehicle in
+// index order, each vehicle's samples in time order.
+func WriteCSV(w io.Writer, ts *TraceSet) error {
+	if err := ts.Validate(); err != nil {
+		return fmt.Errorf("mobility: write csv: %w", err)
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"vehicle", "t", "x", "y", "on"}); err != nil {
+		return fmt.Errorf("mobility: write csv header: %w", err)
+	}
+	// Record the horizon and fleet size as a pseudo-row (vehicle -1, with
+	// the fleet size in the x column) so round-trips are lossless even for
+	// vehicles with empty traces.
+	meta := []string{"-1", formatFloat(float64(ts.Horizon)), strconv.Itoa(ts.NumVehicles()), "0", "0"}
+	if err := cw.Write(meta); err != nil {
+		return fmt.Errorf("mobility: write csv horizon: %w", err)
+	}
+	for _, tr := range ts.Traces {
+		for _, s := range tr.Samples {
+			row := []string{
+				strconv.Itoa(tr.Vehicle),
+				formatFloat(float64(s.T)),
+				formatFloat(s.Pos.X),
+				formatFloat(s.Pos.Y),
+				boolTo01(s.On),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("mobility: write csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("mobility: flush csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a trace set previously written by WriteCSV (or produced by
+// an external converter following the same format).
+func ReadCSV(r io.Reader) (*TraceSet, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("mobility: read csv header: %w", err)
+	}
+	if got := joinComma(header); got != csvHeader {
+		return nil, fmt.Errorf("mobility: unexpected csv header %q, want %q", got, csvHeader)
+	}
+
+	ts := &TraceSet{}
+	byVehicle := map[int][]Sample{}
+	maxVehicle := -1
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("mobility: read csv: %w", err)
+		}
+		line++
+		vehicle, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("mobility: csv line %d: bad vehicle %q: %w", line, row[0], err)
+		}
+		t, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("mobility: csv line %d: bad time %q: %w", line, row[1], err)
+		}
+		if vehicle == -1 { // horizon + fleet-size pseudo-row
+			ts.Horizon = sim.Time(t)
+			fleet, err := strconv.Atoi(row[2])
+			if err != nil {
+				return nil, fmt.Errorf("mobility: csv line %d: bad fleet size %q: %w", line, row[2], err)
+			}
+			if fleet-1 > maxVehicle {
+				maxVehicle = fleet - 1
+			}
+			continue
+		}
+		x, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("mobility: csv line %d: bad x %q: %w", line, row[2], err)
+		}
+		y, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("mobility: csv line %d: bad y %q: %w", line, row[3], err)
+		}
+		on, err := parse01(row[4])
+		if err != nil {
+			return nil, fmt.Errorf("mobility: csv line %d: %w", line, err)
+		}
+		byVehicle[vehicle] = append(byVehicle[vehicle], Sample{
+			T:   sim.Time(t),
+			Pos: roadnet.Point{X: x, Y: y},
+			On:  on,
+		})
+		if vehicle > maxVehicle {
+			maxVehicle = vehicle
+		}
+	}
+
+	ts.Traces = make([]Trace, maxVehicle+1)
+	for v := 0; v <= maxVehicle; v++ {
+		ts.Traces[v] = Trace{Vehicle: v, Samples: byVehicle[v]}
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, fmt.Errorf("mobility: read csv: %w", err)
+	}
+	return ts, nil
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func boolTo01(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+func parse01(s string) (bool, error) {
+	switch s {
+	case "0":
+		return false, nil
+	case "1":
+		return true, nil
+	default:
+		return false, fmt.Errorf("mobility: bad on flag %q (want 0 or 1)", s)
+	}
+}
+
+func joinComma(fields []string) string {
+	out := ""
+	for i, f := range fields {
+		if i > 0 {
+			out += ","
+		}
+		out += f
+	}
+	return out
+}

@@ -1,0 +1,347 @@
+package mobility
+
+import (
+	"testing"
+
+	"roadrunner/internal/roadnet"
+	"roadrunner/internal/sim"
+)
+
+func testNetwork(t *testing.T) *roadnet.Graph {
+	t.Helper()
+	cfg := roadnet.GridConfig{Rows: 6, Cols: 6, Spacing: 300, StreetSpeed: 10}
+	g, err := roadnet.Generate(cfg, sim.NewRNG(1))
+	if err != nil {
+		t.Fatalf("roadnet.Generate: %v", err)
+	}
+	return g
+}
+
+func smallGenConfig() GenConfig {
+	return GenConfig{
+		Vehicles:          10,
+		Horizon:           1800,
+		DwellMin:          30,
+		DwellMax:          120,
+		OffWhenParkedProb: 0.5,
+		SpeedFactorMin:    0.8,
+		SpeedFactorMax:    1.0,
+		InitialDwellMax:   60,
+	}
+}
+
+func TestGenConfigValidate(t *testing.T) {
+	if err := DefaultGenConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*GenConfig){
+		func(c *GenConfig) { c.Vehicles = 0 },
+		func(c *GenConfig) { c.Horizon = 0 },
+		func(c *GenConfig) { c.DwellMin = -1 },
+		func(c *GenConfig) { c.DwellMax = c.DwellMin - 1 },
+		func(c *GenConfig) { c.OffWhenParkedProb = 1.5 },
+		func(c *GenConfig) { c.SpeedFactorMin = 0 },
+		func(c *GenConfig) { c.SpeedFactorMax = 0.1 },
+		func(c *GenConfig) { c.InitialDwellMax = -1 },
+		func(c *GenConfig) { c.MaxRouteTries = -1 },
+	}
+	for i, mutate := range mutations {
+		c := DefaultGenConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+}
+
+func TestGenerateProducesValidTraces(t *testing.T) {
+	g := testNetwork(t)
+	ts, err := Generate(smallGenConfig(), g, sim.NewRNG(7))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if ts.NumVehicles() != 10 {
+		t.Fatalf("vehicles = %d, want 10", ts.NumVehicles())
+	}
+	if err := ts.Validate(); err != nil {
+		t.Fatalf("generated traces invalid: %v", err)
+	}
+	for v, tr := range ts.Traces {
+		if len(tr.Samples) < 2 {
+			t.Fatalf("vehicle %d has only %d samples", v, len(tr.Samples))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g := testNetwork(t)
+	a, err := Generate(smallGenConfig(), g, sim.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallGenConfig(), g, sim.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Traces {
+		if len(a.Traces[v].Samples) != len(b.Traces[v].Samples) {
+			t.Fatalf("vehicle %d: sample counts differ", v)
+		}
+		for i := range a.Traces[v].Samples {
+			if a.Traces[v].Samples[i] != b.Traces[v].Samples[i] {
+				t.Fatalf("vehicle %d sample %d differs between identically seeded runs", v, i)
+			}
+		}
+	}
+}
+
+func TestGeneratePositionsLieNearNetwork(t *testing.T) {
+	// Every sample position must coincide with some network node: the
+	// generator emits waypoints only at intersections.
+	g := testNetwork(t)
+	ts, err := Generate(smallGenConfig(), g, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodePos := make(map[roadnet.Point]bool)
+	for i := 0; i < g.NumNodes(); i++ {
+		nodePos[g.Pos(roadnet.NodeID(i))] = true
+	}
+	for v, tr := range ts.Traces {
+		for i, s := range tr.Samples {
+			if !nodePos[s.Pos] {
+				t.Fatalf("vehicle %d sample %d at %v is not a network node", v, i, s.Pos)
+			}
+		}
+	}
+}
+
+func TestGenerateSpeedsArePlausible(t *testing.T) {
+	// Between consecutive on-samples, implied speed must stay within the
+	// street speed scaled by the speed-factor range (with float slack).
+	g := testNetwork(t)
+	cfg := smallGenConfig()
+	ts, err := Generate(cfg, g, sim.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxSpeed := 10 * cfg.SpeedFactorMax * 1.001
+	for v, tr := range ts.Traces {
+		for i := 1; i < len(tr.Samples); i++ {
+			a, b := tr.Samples[i-1], tr.Samples[i]
+			dist := a.Pos.Dist(b.Pos)
+			if dist == 0 {
+				continue
+			}
+			dt := float64(b.T.Sub(a.T))
+			speed := dist / dt
+			if speed > maxSpeed {
+				t.Fatalf("vehicle %d segment %d: speed %.2f m/s exceeds max %.2f", v, i, speed, maxSpeed)
+			}
+		}
+	}
+}
+
+func TestGenerateOffVehiclesDoNotMove(t *testing.T) {
+	g := testNetwork(t)
+	ts, err := Generate(smallGenConfig(), g, sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, tr := range ts.Traces {
+		for i := 1; i < len(tr.Samples); i++ {
+			a, b := tr.Samples[i-1], tr.Samples[i]
+			if !a.On && a.Pos.Dist(b.Pos) > 0 {
+				t.Fatalf("vehicle %d moved from %v to %v while off", v, a.Pos, b.Pos)
+			}
+		}
+	}
+}
+
+func TestGenerateChurnHappens(t *testing.T) {
+	g := testNetwork(t)
+	cfg := smallGenConfig()
+	cfg.Vehicles = 30
+	cfg.OffWhenParkedProb = 0.8
+	ts, err := Generate(cfg, g, sim.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	transitions := 0
+	for _, tr := range ts.Traces {
+		transitions += len(tr.Transitions())
+	}
+	if transitions < cfg.Vehicles {
+		t.Fatalf("only %d ignition transitions across %d vehicles; churn missing", transitions, cfg.Vehicles)
+	}
+}
+
+func TestGenerateZeroOffProbKeepsFleetOn(t *testing.T) {
+	g := testNetwork(t)
+	cfg := smallGenConfig()
+	cfg.OffWhenParkedProb = 0
+	ts, err := Generate(cfg, g, sim.NewRNG(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, tr := range ts.Traces {
+		frac := tr.OnFraction(ts.Horizon)
+		if frac < 0.99 {
+			t.Fatalf("vehicle %d on-fraction = %v with zero off probability", v, frac)
+		}
+	}
+}
+
+func TestGenerateOnFractionReasonable(t *testing.T) {
+	g := testNetwork(t)
+	cfg := smallGenConfig()
+	cfg.Vehicles = 40
+	ts, err := Generate(cfg, g, sim.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, tr := range ts.Traces {
+		sum += tr.OnFraction(ts.Horizon)
+	}
+	mean := sum / float64(cfg.Vehicles)
+	if mean < 0.3 || mean > 0.99 {
+		t.Fatalf("fleet mean on-fraction = %v; generator parameters broken", mean)
+	}
+}
+
+func TestGenerateRejectsBadInputs(t *testing.T) {
+	g := testNetwork(t)
+	if _, err := Generate(GenConfig{}, g, sim.NewRNG(1)); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := Generate(smallGenConfig(), nil, sim.NewRNG(1)); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	var tiny roadnet.Graph
+	tiny.AddNode(roadnet.Point{})
+	if _, err := Generate(smallGenConfig(), &tiny, sim.NewRNG(1)); err == nil {
+		t.Fatal("1-node graph accepted")
+	}
+}
+
+func TestGenerateUnreachableDestinationsFail(t *testing.T) {
+	// Two disconnected nodes: route drawing must eventually error out.
+	var g roadnet.Graph
+	g.AddNode(roadnet.Point{})
+	g.AddNode(roadnet.Point{X: 100})
+	cfg := smallGenConfig()
+	cfg.Vehicles = 1
+	if _, err := Generate(cfg, &g, sim.NewRNG(1)); err == nil {
+		t.Fatal("Generate succeeded on a disconnected network")
+	}
+}
+
+func TestReplayerBasics(t *testing.T) {
+	g := testNetwork(t)
+	ts, err := Generate(smallGenConfig(), g, sim.NewRNG(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReplayer(ts)
+	if err != nil {
+		t.Fatalf("NewReplayer: %v", err)
+	}
+	if r.NumVehicles() != ts.NumVehicles() {
+		t.Fatalf("NumVehicles = %d", r.NumVehicles())
+	}
+	if r.Horizon() != ts.Horizon {
+		t.Fatalf("Horizon = %v", r.Horizon())
+	}
+	if _, _, err := r.At(0, 100); err != nil {
+		t.Fatalf("At: %v", err)
+	}
+	if _, _, err := r.At(-1, 100); err == nil {
+		t.Fatal("At(-1) succeeded")
+	}
+	if _, _, err := r.At(99, 100); err == nil {
+		t.Fatal("At(99) succeeded")
+	}
+	if _, err := r.Transitions(0); err != nil {
+		t.Fatalf("Transitions: %v", err)
+	}
+	if _, err := r.Transitions(99); err == nil {
+		t.Fatal("Transitions(99) succeeded")
+	}
+}
+
+func TestReplayerPositionsMatchesAt(t *testing.T) {
+	g := testNetwork(t)
+	ts, err := Generate(smallGenConfig(), g, sim.NewRNG(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReplayer(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, instant := range []sim.Time{0, 17, 300, 900, 1799} {
+		pos, on := r.Positions(instant, nil, nil)
+		for v := 0; v < r.NumVehicles(); v++ {
+			p, o, err := r.At(v, instant)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pos[v] != p || on[v] != o {
+				t.Fatalf("t=%v vehicle %d: Positions=(%v,%v) At=(%v,%v)", instant, v, pos[v], on[v], p, o)
+			}
+		}
+	}
+}
+
+func TestReplayerPositionsReusesBuffers(t *testing.T) {
+	g := testNetwork(t)
+	ts, err := Generate(smallGenConfig(), g, sim.NewRNG(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReplayer(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]roadnet.Point, r.NumVehicles())
+	on := make([]bool, r.NumVehicles())
+	pos2, on2 := r.Positions(60, pos, on)
+	if &pos2[0] != &pos[0] || &on2[0] != &on[0] {
+		t.Fatal("Positions reallocated despite correctly sized buffers")
+	}
+}
+
+func TestReplayerDistance(t *testing.T) {
+	ts := &TraceSet{
+		Horizon: 100,
+		Traces: []Trace{
+			{Vehicle: 0, Samples: []Sample{{T: 0, Pos: roadnet.Point{X: 0, Y: 0}, On: true}}},
+			{Vehicle: 1, Samples: []Sample{{T: 0, Pos: roadnet.Point{X: 30, Y: 40}, On: true}}},
+		},
+	}
+	r, err := NewReplayer(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := r.Distance(0, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 50 {
+		t.Fatalf("Distance = %v, want 50", d)
+	}
+	if _, err := r.Distance(0, 9, 50); err == nil {
+		t.Fatal("Distance to unknown vehicle succeeded")
+	}
+}
+
+func TestNewReplayerRejectsInvalid(t *testing.T) {
+	if _, err := NewReplayer(nil); err == nil {
+		t.Fatal("nil trace set accepted")
+	}
+	bad := &TraceSet{Traces: []Trace{{Vehicle: 5}}}
+	if _, err := NewReplayer(bad); err == nil {
+		t.Fatal("invalid trace set accepted")
+	}
+}

@@ -1,0 +1,137 @@
+package mobility
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"roadrunner/internal/roadnet"
+	"roadrunner/internal/sim"
+)
+
+// TestTraceInterpolationContinuity: positions move continuously — for any
+// two nearby instants, the distance moved is bounded by elapsed time times
+// the network's maximum speed.
+func TestTraceInterpolationContinuity(t *testing.T) {
+	grid := roadnet.GridConfig{Rows: 5, Cols: 5, Spacing: 250, StreetSpeed: 12}
+	g, err := roadnet.Generate(grid, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := GenConfig{
+		Vehicles:          6,
+		Horizon:           1200,
+		DwellMin:          20,
+		DwellMax:          90,
+		OffWhenParkedProb: 0.4,
+		SpeedFactorMin:    0.8,
+		SpeedFactorMax:    1.1,
+		InitialDwellMax:   40,
+	}
+	ts, err := Generate(cfg, g, sim.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxSpeed := grid.StreetSpeed * cfg.SpeedFactorMax * 1.001
+
+	prop := func(v uint8, t0 uint16, dtRaw uint8) bool {
+		tr := &ts.Traces[int(v)%cfg.Vehicles]
+		start := sim.Time(float64(t0 % 1200))
+		dt := float64(dtRaw%20) + 0.01
+		p1, _ := tr.At(start)
+		p2, _ := tr.At(start.Add(sim.Duration(dt)))
+		return p1.Dist(p2) <= maxSpeed*dt+1e-6
+	}
+	qc := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(prop, qc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCSVRoundTripProperty: arbitrary generated trace sets survive the CSV
+// round trip bit-exactly.
+func TestCSVRoundTripProperty(t *testing.T) {
+	g, err := roadnet.Generate(roadnet.GridConfig{Rows: 4, Cols: 4, Spacing: 200, StreetSpeed: 10}, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed uint32, nVehicles uint8) bool {
+		cfg := GenConfig{
+			Vehicles:          int(nVehicles)%5 + 1,
+			Horizon:           600,
+			DwellMin:          10,
+			DwellMax:          60,
+			OffWhenParkedProb: 0.5,
+			SpeedFactorMin:    0.8,
+			SpeedFactorMax:    1.0,
+			InitialDwellMax:   30,
+		}
+		ts, err := Generate(cfg, g, sim.NewRNG(uint64(seed)))
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, ts); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Horizon != ts.Horizon || got.NumVehicles() != ts.NumVehicles() {
+			return false
+		}
+		for v := range ts.Traces {
+			if len(got.Traces[v].Samples) != len(ts.Traces[v].Samples) {
+				return false
+			}
+			for i, s := range ts.Traces[v].Samples {
+				if got.Traces[v].Samples[i] != s {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	qc := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(6))}
+	if err := quick.Check(prop, qc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOnFractionBounds: the on-fraction is always within [0, 1].
+func TestOnFractionBoundsProperty(t *testing.T) {
+	g, err := roadnet.Generate(roadnet.GridConfig{Rows: 4, Cols: 4, Spacing: 200, StreetSpeed: 10}, sim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed uint32, offProbRaw uint8) bool {
+		cfg := GenConfig{
+			Vehicles:          3,
+			Horizon:           900,
+			DwellMin:          10,
+			DwellMax:          120,
+			OffWhenParkedProb: float64(offProbRaw%101) / 100,
+			SpeedFactorMin:    0.8,
+			SpeedFactorMax:    1.0,
+			InitialDwellMax:   60,
+		}
+		ts, err := Generate(cfg, g, sim.NewRNG(uint64(seed)))
+		if err != nil {
+			return false
+		}
+		for _, tr := range ts.Traces {
+			f := tr.OnFraction(ts.Horizon)
+			if f < 0 || f > 1 || math.IsNaN(f) {
+				return false
+			}
+		}
+		return true
+	}
+	qc := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(8))}
+	if err := quick.Check(prop, qc); err != nil {
+		t.Fatal(err)
+	}
+}

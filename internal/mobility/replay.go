@@ -1,0 +1,80 @@
+package mobility
+
+import (
+	"fmt"
+
+	"roadrunner/internal/roadnet"
+	"roadrunner/internal/sim"
+)
+
+// Replayer answers position and ignition queries against a recorded trace
+// set. It is the read-side of the paper's "spatial dynamics are replayed by
+// the core simulator" design. Replayer is safe for concurrent readers once
+// constructed.
+type Replayer struct {
+	ts *TraceSet
+}
+
+// NewReplayer validates the trace set and wraps it for replay.
+func NewReplayer(ts *TraceSet) (*Replayer, error) {
+	if ts == nil {
+		return nil, fmt.Errorf("mobility: nil trace set")
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, fmt.Errorf("mobility: replayer: %w", err)
+	}
+	return &Replayer{ts: ts}, nil
+}
+
+// NumVehicles returns the fleet size.
+func (r *Replayer) NumVehicles() int { return r.ts.NumVehicles() }
+
+// Horizon returns the end of the recorded period.
+func (r *Replayer) Horizon() sim.Time { return r.ts.Horizon }
+
+// At returns vehicle v's interpolated position and ignition state at t.
+func (r *Replayer) At(v int, t sim.Time) (roadnet.Point, bool, error) {
+	if v < 0 || v >= r.ts.NumVehicles() {
+		return roadnet.Point{}, false, fmt.Errorf("mobility: unknown vehicle %d", v)
+	}
+	pos, on := r.ts.Traces[v].At(t)
+	return pos, on, nil
+}
+
+// Positions fills dst (len == fleet size) with every vehicle's position at
+// t and returns the parallel ignition states in onDst. It allocates when
+// dst/onDst are nil or wrongly sized.
+func (r *Replayer) Positions(t sim.Time, dst []roadnet.Point, onDst []bool) ([]roadnet.Point, []bool) {
+	n := r.ts.NumVehicles()
+	if len(dst) != n {
+		dst = make([]roadnet.Point, n)
+	}
+	if len(onDst) != n {
+		onDst = make([]bool, n)
+	}
+	for v := 0; v < n; v++ {
+		dst[v], onDst[v] = r.ts.Traces[v].At(t)
+	}
+	return dst, onDst
+}
+
+// Transitions returns vehicle v's ignition transitions in time order.
+func (r *Replayer) Transitions(v int) ([]Transition, error) {
+	if v < 0 || v >= r.ts.NumVehicles() {
+		return nil, fmt.Errorf("mobility: unknown vehicle %d", v)
+	}
+	return r.ts.Traces[v].Transitions(), nil
+}
+
+// Distance returns the distance in meters between vehicles a and b at t.
+func (r *Replayer) Distance(a, b int, t sim.Time) (float64, error) {
+	pa, _, err := r.At(a, t)
+	if err != nil {
+		return 0, err
+	}
+	pb, _, err := r.At(b, t)
+	if err != nil {
+		return 0, err
+	}
+	return pa.Dist(pb), nil
+}

@@ -1,0 +1,228 @@
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"roadrunner/internal/roadnet"
+)
+
+// SpatialIndex is a uniform-grid hash over vehicle positions, used by the
+// core simulator to find V2X-range vehicle pairs without an O(n²) scan per
+// tick. Rebuild it each tick, then query pairs or neighborhoods.
+type SpatialIndex struct {
+	cellSize float64
+	cells    map[cellKey][]int
+	pos      []roadnet.Point
+	active   []bool
+}
+
+type cellKey struct{ cx, cy int }
+
+// NewSpatialIndex returns an index with the given cell size in meters.
+// Choosing the cell size equal to the largest query radius keeps candidate
+// sets small (a radius-r query then inspects at most 9 cells).
+func NewSpatialIndex(cellSize float64) (*SpatialIndex, error) {
+	if cellSize <= 0 || math.IsNaN(cellSize) || math.IsInf(cellSize, 0) {
+		return nil, fmt.Errorf("mobility: invalid spatial index cell size %v", cellSize)
+	}
+	return &SpatialIndex{cellSize: cellSize, cells: make(map[cellKey][]int)}, nil
+}
+
+// Rebuild re-populates the index with the given positions. Entries whose
+// active flag is false are excluded (e.g. powered-off vehicles, which do
+// not partake in V2X). The slices are retained until the next Rebuild and
+// must not be mutated by the caller in between.
+func (s *SpatialIndex) Rebuild(pos []roadnet.Point, active []bool) error {
+	if active != nil && len(active) != len(pos) {
+		return fmt.Errorf("mobility: rebuild: %d positions but %d active flags", len(pos), len(active))
+	}
+	for k := range s.cells {
+		delete(s.cells, k)
+	}
+	s.pos = pos
+	s.active = active
+	for i, p := range pos {
+		if active != nil && !active[i] {
+			continue
+		}
+		k := s.key(p)
+		s.cells[k] = append(s.cells[k], i)
+	}
+	return nil
+}
+
+func (s *SpatialIndex) key(p roadnet.Point) cellKey {
+	return cellKey{
+		cx: int(math.Floor(p.X / s.cellSize)),
+		cy: int(math.Floor(p.Y / s.cellSize)),
+	}
+}
+
+// Neighbors returns the indices of active entries within radius of entry i
+// (excluding i itself), in ascending index order.
+func (s *SpatialIndex) Neighbors(i int, radius float64) []int {
+	if i < 0 || i >= len(s.pos) || radius < 0 {
+		return nil
+	}
+	if s.active != nil && !s.active[i] {
+		return nil
+	}
+	p := s.pos[i]
+	reach := int(math.Ceil(radius / s.cellSize))
+	center := s.key(p)
+	var out []int
+	for cx := center.cx - reach; cx <= center.cx+reach; cx++ {
+		for cy := center.cy - reach; cy <= center.cy+reach; cy++ {
+			for _, j := range s.cells[cellKey{cx, cy}] {
+				if j == i {
+					continue
+				}
+				if p.Dist(s.pos[j]) <= radius {
+					out = append(out, j)
+				}
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Pair is an unordered pair of entry indices with A < B.
+type Pair struct{ A, B int }
+
+// PairsWithin returns all active pairs at distance <= radius, each pair
+// once with A < B, sorted lexicographically. This is the per-tick encounter
+// candidate set.
+func (s *SpatialIndex) PairsWithin(radius float64) []Pair {
+	if radius < 0 {
+		return nil
+	}
+	var out []Pair
+	reach := int(math.Ceil(radius / s.cellSize))
+	for k, members := range s.cells {
+		// Within-cell pairs.
+		for x := 0; x < len(members); x++ {
+			for y := x + 1; y < len(members); y++ {
+				a, b := members[x], members[y]
+				if s.pos[a].Dist(s.pos[b]) <= radius {
+					out = append(out, orderPair(a, b))
+				}
+			}
+		}
+		// Cross-cell pairs: visit each unordered cell pair once by only
+		// looking at lexicographically greater neighbor cells.
+		for dx := -reach; dx <= reach; dx++ {
+			for dy := -reach; dy <= reach; dy++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				nk := cellKey{k.cx + dx, k.cy + dy}
+				if !cellLess(k, nk) {
+					continue
+				}
+				others := s.cells[nk]
+				for _, a := range members {
+					for _, b := range others {
+						if s.pos[a].Dist(s.pos[b]) <= radius {
+							out = append(out, orderPair(a, b))
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+func orderPair(a, b int) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{A: a, B: b}
+}
+
+func cellLess(a, b cellKey) bool {
+	if a.cx != b.cx {
+		return a.cx < b.cx
+	}
+	return a.cy < b.cy
+}
+
+// BruteForcePairs computes the same result as PairsWithin by checking every
+// pair. It exists as the reference implementation for tests and as a
+// fallback for tiny fleets.
+func BruteForcePairs(pos []roadnet.Point, active []bool, radius float64) []Pair {
+	var out []Pair
+	for a := 0; a < len(pos); a++ {
+		if active != nil && !active[a] {
+			continue
+		}
+		for b := a + 1; b < len(pos); b++ {
+			if active != nil && !active[b] {
+				continue
+			}
+			if pos[a].Dist(pos[b]) <= radius {
+				out = append(out, Pair{A: a, B: b})
+			}
+		}
+	}
+	return out
+}
+
+// EncounterTracker turns per-tick proximity snapshots into encounter
+// begin/end events: an encounter begins when a pair first comes within
+// range and ends when it leaves range (or either vehicle deactivates).
+// Learning strategies such as the paper's OPP subscribe to these events to
+// trigger opportunistic V2X model exchanges.
+type EncounterTracker struct {
+	inRange map[Pair]bool
+}
+
+// NewEncounterTracker returns an empty tracker.
+func NewEncounterTracker() *EncounterTracker {
+	return &EncounterTracker{inRange: make(map[Pair]bool)}
+}
+
+// Update consumes the current in-range pair set and returns the encounters
+// that began and ended since the previous update, both sorted.
+func (e *EncounterTracker) Update(current []Pair) (begins, ends []Pair) {
+	cur := make(map[Pair]bool, len(current))
+	for _, p := range current {
+		cur[p] = true
+		if !e.inRange[p] {
+			begins = append(begins, p)
+		}
+	}
+	for p := range e.inRange {
+		if !cur[p] {
+			ends = append(ends, p)
+		}
+	}
+	e.inRange = cur
+	sortPairs(begins)
+	sortPairs(ends)
+	return begins, ends
+}
+
+// Active reports whether the pair is currently in an encounter.
+func (e *EncounterTracker) Active(p Pair) bool { return e.inRange[orderPair(p.A, p.B)] }
+
+// ActiveCount returns the number of ongoing encounters.
+func (e *EncounterTracker) ActiveCount() int { return len(e.inRange) }
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].A != ps[j].A {
+			return ps[i].A < ps[j].A
+		}
+		return ps[i].B < ps[j].B
+	})
+}

@@ -1,0 +1,264 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"roadrunner/internal/roadnet"
+	"roadrunner/internal/sim"
+)
+
+func TestNewSpatialIndexValidation(t *testing.T) {
+	for _, bad := range []float64{0, -1} {
+		if _, err := NewSpatialIndex(bad); err == nil {
+			t.Errorf("NewSpatialIndex(%v) succeeded", bad)
+		}
+	}
+	if _, err := NewSpatialIndex(100); err != nil {
+		t.Fatalf("NewSpatialIndex(100): %v", err)
+	}
+}
+
+func TestSpatialIndexPairsSimple(t *testing.T) {
+	idx, err := NewSpatialIndex(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := []roadnet.Point{
+		{X: 0, Y: 0},
+		{X: 100, Y: 0},  // within 200 of #0
+		{X: 1000, Y: 0}, // far away
+		{X: 1100, Y: 0}, // within 200 of #2
+	}
+	if err := idx.Rebuild(pos, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := idx.PairsWithin(200)
+	want := []Pair{{0, 1}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("PairsWithin = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PairsWithin[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSpatialIndexExcludesInactive(t *testing.T) {
+	idx, err := NewSpatialIndex(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := []roadnet.Point{{X: 0}, {X: 50}, {X: 100}}
+	active := []bool{true, false, true}
+	if err := idx.Rebuild(pos, active); err != nil {
+		t.Fatal(err)
+	}
+	got := idx.PairsWithin(200)
+	if len(got) != 1 || got[0] != (Pair{0, 2}) {
+		t.Fatalf("PairsWithin = %v, want [{0 2}]", got)
+	}
+	if n := idx.Neighbors(1, 200); n != nil {
+		t.Fatalf("Neighbors of inactive entry = %v, want nil", n)
+	}
+}
+
+func TestSpatialIndexRebuildMismatch(t *testing.T) {
+	idx, err := NewSpatialIndex(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Rebuild(make([]roadnet.Point, 3), make([]bool, 2)); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestSpatialIndexNeighbors(t *testing.T) {
+	idx, err := NewSpatialIndex(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := []roadnet.Point{
+		{X: 0, Y: 0},
+		{X: 100, Y: 0},
+		{X: 0, Y: 140},
+		{X: 400, Y: 400},
+	}
+	if err := idx.Rebuild(pos, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := idx.Neighbors(0, 150)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Neighbors(0) = %v, want [1 2]", got)
+	}
+	if got := idx.Neighbors(3, 150); len(got) != 0 {
+		t.Fatalf("Neighbors(3) = %v, want empty", got)
+	}
+	if got := idx.Neighbors(-1, 150); got != nil {
+		t.Fatalf("Neighbors(-1) = %v, want nil", got)
+	}
+	if got := idx.Neighbors(0, -5); got != nil {
+		t.Fatalf("Neighbors with negative radius = %v, want nil", got)
+	}
+}
+
+func TestSpatialIndexBoundaryDistanceInclusive(t *testing.T) {
+	idx, err := NewSpatialIndex(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := []roadnet.Point{{X: 0}, {X: 100}}
+	if err := idx.Rebuild(pos, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.PairsWithin(100); len(got) != 1 {
+		t.Fatalf("pair at exactly radius distance not found: %v", got)
+	}
+	if got := idx.PairsWithin(99.999); len(got) != 0 {
+		t.Fatalf("pair beyond radius found: %v", got)
+	}
+}
+
+// TestSpatialIndexMatchesBruteForce is the package's central property test:
+// on random fleets, the grid index must return exactly the brute-force pair
+// set, for radii around, below, and above the cell size.
+func TestSpatialIndexMatchesBruteForce(t *testing.T) {
+	rng := sim.NewRNG(99)
+	for _, radius := range []float64{50, 200, 450} {
+		idx, err := NewSpatialIndex(200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prop := func(seed uint32, n uint8) bool {
+			count := int(n%60) + 2
+			r := sim.NewRNG(uint64(seed))
+			pos := make([]roadnet.Point, count)
+			active := make([]bool, count)
+			for i := range pos {
+				pos[i] = roadnet.Point{X: r.Range(-1000, 1000), Y: r.Range(-1000, 1000)}
+				active[i] = r.Bool(0.8)
+			}
+			if err := idx.Rebuild(pos, active); err != nil {
+				return false
+			}
+			got := idx.PairsWithin(radius)
+			want := BruteForcePairs(pos, active, radius)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			return true
+		}
+		cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(int64(rng.Uint64())))}
+		if err := quick.Check(prop, cfg); err != nil {
+			t.Fatalf("radius %v: %v", radius, err)
+		}
+	}
+}
+
+func TestSpatialIndexNeighborsMatchesPairs(t *testing.T) {
+	idx, err := NewSpatialIndex(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sim.NewRNG(7)
+	pos := make([]roadnet.Point, 40)
+	for i := range pos {
+		pos[i] = roadnet.Point{X: r.Range(0, 800), Y: r.Range(0, 800)}
+	}
+	if err := idx.Rebuild(pos, nil); err != nil {
+		t.Fatal(err)
+	}
+	const radius = 120
+	pairSet := map[Pair]bool{}
+	for _, p := range idx.PairsWithin(radius) {
+		pairSet[p] = true
+	}
+	for i := range pos {
+		for _, j := range idx.Neighbors(i, radius) {
+			if !pairSet[orderPair(i, j)] {
+				t.Fatalf("Neighbors(%d) includes %d but PairsWithin lacks the pair", i, j)
+			}
+		}
+	}
+	count := 0
+	for i := range pos {
+		count += len(idx.Neighbors(i, radius))
+	}
+	if count != 2*len(pairSet) {
+		t.Fatalf("sum of neighbor counts %d != 2 * pair count %d", count, 2*len(pairSet))
+	}
+}
+
+func TestEncounterTrackerBeginEnd(t *testing.T) {
+	tr := NewEncounterTracker()
+	begins, ends := tr.Update([]Pair{{0, 1}, {2, 3}})
+	if len(begins) != 2 || len(ends) != 0 {
+		t.Fatalf("first update: begins=%v ends=%v", begins, ends)
+	}
+	if !tr.Active(Pair{0, 1}) || !tr.Active(Pair{1, 0}) {
+		t.Fatal("Active misreports ongoing encounter")
+	}
+	begins, ends = tr.Update([]Pair{{0, 1}})
+	if len(begins) != 0 {
+		t.Fatalf("second update begins = %v, want none", begins)
+	}
+	if len(ends) != 1 || ends[0] != (Pair{2, 3}) {
+		t.Fatalf("second update ends = %v, want [{2 3}]", ends)
+	}
+	if tr.ActiveCount() != 1 {
+		t.Fatalf("ActiveCount = %d, want 1", tr.ActiveCount())
+	}
+	begins, ends = tr.Update(nil)
+	if len(ends) != 1 || ends[0] != (Pair{0, 1}) {
+		t.Fatalf("final update ends = %v, want [{0 1}]", ends)
+	}
+	if tr.ActiveCount() != 0 {
+		t.Fatalf("ActiveCount = %d, want 0", tr.ActiveCount())
+	}
+}
+
+func TestEncounterTrackerStableUnderRepeats(t *testing.T) {
+	tr := NewEncounterTracker()
+	pairs := []Pair{{1, 2}}
+	if b, _ := tr.Update(pairs); len(b) != 1 {
+		t.Fatal("first update should begin the encounter")
+	}
+	for i := 0; i < 5; i++ {
+		b, e := tr.Update(pairs)
+		if len(b) != 0 || len(e) != 0 {
+			t.Fatalf("repeat update %d: begins=%v ends=%v", i, b, e)
+		}
+	}
+}
+
+func TestEncounterTrackerOutputsSorted(t *testing.T) {
+	tr := NewEncounterTracker()
+	begins, _ := tr.Update([]Pair{{5, 6}, {0, 9}, {2, 3}, {0, 4}})
+	want := []Pair{{0, 4}, {0, 9}, {2, 3}, {5, 6}}
+	for i := range want {
+		if begins[i] != want[i] {
+			t.Fatalf("begins = %v, want %v", begins, want)
+		}
+	}
+	_, ends := tr.Update(nil)
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestBruteForcePairsHandlesNilActive(t *testing.T) {
+	pos := []roadnet.Point{{X: 0}, {X: 10}}
+	got := BruteForcePairs(pos, nil, 50)
+	if len(got) != 1 || got[0] != (Pair{0, 1}) {
+		t.Fatalf("BruteForcePairs = %v", got)
+	}
+}

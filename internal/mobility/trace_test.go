@@ -1,0 +1,213 @@
+package mobility
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"roadrunner/internal/roadnet"
+	"roadrunner/internal/sim"
+)
+
+func twoSampleTrace() Trace {
+	return Trace{
+		Vehicle: 0,
+		Samples: []Sample{
+			{T: 10, Pos: roadnet.Point{X: 0, Y: 0}, On: true},
+			{T: 20, Pos: roadnet.Point{X: 100, Y: 0}, On: false},
+		},
+	}
+}
+
+func TestTraceAtInterpolates(t *testing.T) {
+	tr := twoSampleTrace()
+	pos, on := tr.At(15)
+	if pos.X != 50 || pos.Y != 0 {
+		t.Fatalf("At(15) pos = %v, want {50 0}", pos)
+	}
+	if !on {
+		t.Fatal("At(15) on = false, want earlier sample's state (true)")
+	}
+}
+
+func TestTraceAtBeforeFirstSample(t *testing.T) {
+	tr := twoSampleTrace()
+	pos, on := tr.At(5)
+	if pos.X != 0 {
+		t.Fatalf("At(5) pos = %v, want first sample position", pos)
+	}
+	if on {
+		t.Fatal("At(5) on = true, want off before trace start")
+	}
+}
+
+func TestTraceAtAfterLastSample(t *testing.T) {
+	tr := twoSampleTrace()
+	pos, on := tr.At(100)
+	if pos.X != 100 {
+		t.Fatalf("At(100) pos = %v, want last sample position", pos)
+	}
+	if on {
+		t.Fatal("At(100) on = true, want last sample state (false)")
+	}
+}
+
+func TestTraceAtExactSampleInstants(t *testing.T) {
+	tr := twoSampleTrace()
+	pos, on := tr.At(10)
+	if pos.X != 0 || !on {
+		t.Fatalf("At(10) = (%v, %v), want ({0 0}, true)", pos, on)
+	}
+	pos, on = tr.At(20)
+	if pos.X != 100 || on {
+		t.Fatalf("At(20) = (%v, %v), want ({100 0}, false)", pos, on)
+	}
+}
+
+func TestTraceAtEmpty(t *testing.T) {
+	var tr Trace
+	pos, on := tr.At(5)
+	if pos != (roadnet.Point{}) || on {
+		t.Fatalf("empty trace At = (%v, %v)", pos, on)
+	}
+}
+
+func TestTraceValidateOrdering(t *testing.T) {
+	tr := Trace{Samples: []Sample{{T: 10}, {T: 10}}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("duplicate timestamps validated")
+	}
+	tr = Trace{Samples: []Sample{{T: 10}, {T: 5}}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("decreasing timestamps validated")
+	}
+	tr = Trace{Samples: []Sample{{T: sim.Time(math.NaN())}}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("NaN timestamp validated")
+	}
+	good := twoSampleTrace()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}
+
+func TestTraceTransitions(t *testing.T) {
+	tr := Trace{Samples: []Sample{
+		{T: 0, On: false},
+		{T: 10, On: true},
+		{T: 20, On: true}, // no transition
+		{T: 30, On: false},
+		{T: 40, On: true},
+	}}
+	got := tr.Transitions()
+	want := []Transition{{T: 10, On: true}, {T: 30, On: false}, {T: 40, On: true}}
+	if len(got) != len(want) {
+		t.Fatalf("Transitions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Transitions[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTraceTransitionsInitialOn(t *testing.T) {
+	tr := Trace{Samples: []Sample{{T: 0, On: true}}}
+	got := tr.Transitions()
+	if len(got) != 1 || got[0] != (Transition{T: 0, On: true}) {
+		t.Fatalf("Transitions = %v, want initial on at t=0", got)
+	}
+}
+
+func TestTraceOnFraction(t *testing.T) {
+	tr := Trace{Samples: []Sample{
+		{T: 0, On: true},
+		{T: 50, On: false},
+	}}
+	if got := tr.OnFraction(100); got != 0.5 {
+		t.Fatalf("OnFraction(100) = %v, want 0.5", got)
+	}
+	if got := tr.OnFraction(50); got != 1.0 {
+		t.Fatalf("OnFraction(50) = %v, want 1", got)
+	}
+	if got := tr.OnFraction(0); got != 0 {
+		t.Fatalf("OnFraction(0) = %v, want 0", got)
+	}
+}
+
+func TestTraceSetValidateDenseIndices(t *testing.T) {
+	ts := &TraceSet{Traces: []Trace{{Vehicle: 1}}, Horizon: 10}
+	if err := ts.Validate(); err == nil {
+		t.Fatal("non-dense vehicle indices validated")
+	}
+	ts = &TraceSet{Traces: []Trace{{Vehicle: 0}}, Horizon: sim.Time(math.Inf(1))}
+	if err := ts.Validate(); err == nil {
+		t.Fatal("infinite horizon validated")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ts := &TraceSet{
+		Horizon: 1000,
+		Traces: []Trace{
+			{Vehicle: 0, Samples: []Sample{
+				{T: 0, Pos: roadnet.Point{X: 1.5, Y: -2.25}, On: false},
+				{T: 10.125, Pos: roadnet.Point{X: 3, Y: 4}, On: true},
+			}},
+			{Vehicle: 1, Samples: []Sample{
+				{T: 5, Pos: roadnet.Point{X: 0, Y: 0}, On: true},
+			}},
+			{Vehicle: 2}, // empty trace must survive
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ts); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.Horizon != ts.Horizon {
+		t.Fatalf("horizon = %v, want %v", got.Horizon, ts.Horizon)
+	}
+	if got.NumVehicles() != 3 {
+		t.Fatalf("vehicles = %d, want 3", got.NumVehicles())
+	}
+	for v := range ts.Traces {
+		if len(got.Traces[v].Samples) != len(ts.Traces[v].Samples) {
+			t.Fatalf("vehicle %d: %d samples, want %d", v, len(got.Traces[v].Samples), len(ts.Traces[v].Samples))
+		}
+		for i, s := range ts.Traces[v].Samples {
+			if got.Traces[v].Samples[i] != s {
+				t.Fatalf("vehicle %d sample %d = %+v, want %+v", v, i, got.Traces[v].Samples[i], s)
+			}
+		}
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"bad header":  "a,b,c,d,e\n",
+		"bad vehicle": csvHeader + "\nx,0,0,0,0\n",
+		"bad time":    csvHeader + "\n0,x,0,0,0\n",
+		"bad x":       csvHeader + "\n0,0,x,0,0\n",
+		"bad y":       csvHeader + "\n0,0,0,x,0\n",
+		"bad on":      csvHeader + "\n0,0,0,0,2\n",
+		"unordered":   csvHeader + "\n0,10,0,0,0\n0,5,0,0,0\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadCSV(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: ReadCSV succeeded", name)
+		}
+	}
+}
+
+func TestWriteCSVRejectsInvalid(t *testing.T) {
+	ts := &TraceSet{Traces: []Trace{{Vehicle: 3}}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ts); err == nil {
+		t.Fatal("WriteCSV of invalid trace set succeeded")
+	}
+}

@@ -1,0 +1,109 @@
+package repro
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"roadrunner/internal/core"
+	"roadrunner/internal/strategy"
+)
+
+// Job is one experiment of a sweep: a configuration plus a strategy
+// factory (strategies are stateful, so each run needs a fresh instance).
+type Job struct {
+	// Name labels the job in results.
+	Name string
+	// Config is the experiment configuration (including its seed).
+	Config core.Config
+	// NewStrategy constructs the job's strategy.
+	NewStrategy func() (strategy.Strategy, error)
+}
+
+// JobResult pairs a job with its outcome.
+type JobResult struct {
+	Name   string
+	Result *core.Result
+	Err    error
+}
+
+// RunParallel executes independent experiments concurrently — the paper's
+// stated future-work item ("increasing the parallelism of the simulation
+// to speed up learning strategy development iterations"). Each experiment
+// is fully self-contained (own engine, RNG streams, data, metrics), so
+// parallelism is across runs, preserving each run's determinism exactly:
+// a job's result is byte-identical whether the sweep runs on 1 worker or
+// 16.
+//
+// parallelism <= 0 selects GOMAXPROCS. Results are returned in job order.
+func RunParallel(parallelism int, jobs []Job) []JobResult {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(jobs) {
+		parallelism = len(jobs)
+	}
+	results := make([]JobResult, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				results[idx] = runJob(jobs[idx])
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+func runJob(job Job) JobResult {
+	out := JobResult{Name: job.Name}
+	if job.NewStrategy == nil {
+		out.Err = fmt.Errorf("repro: job %q has no strategy factory", job.Name)
+		return out
+	}
+	strat, err := job.NewStrategy()
+	if err != nil {
+		out.Err = fmt.Errorf("repro: job %q: build strategy: %w", job.Name, err)
+		return out
+	}
+	exp, err := core.New(job.Config, strat)
+	if err != nil {
+		out.Err = fmt.Errorf("repro: job %q: %w", job.Name, err)
+		return out
+	}
+	res, err := exp.Run()
+	if err != nil {
+		out.Err = fmt.Errorf("repro: job %q: %w", job.Name, err)
+		return out
+	}
+	out.Result = res
+	return out
+}
+
+// SeedSweep builds jobs replicating one configuration across seeds — the
+// common "same strategy, N seeds" robustness sweep.
+func SeedSweep(name string, cfg core.Config, seeds []uint64, factory func() (strategy.Strategy, error)) []Job {
+	jobs := make([]Job, 0, len(seeds))
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		jobs = append(jobs, Job{
+			Name:        fmt.Sprintf("%s/seed=%d", name, seed),
+			Config:      c,
+			NewStrategy: factory,
+		})
+	}
+	return jobs
+}

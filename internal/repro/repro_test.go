@@ -1,0 +1,142 @@
+package repro
+
+import (
+	"testing"
+
+	"roadrunner/internal/metrics"
+	"roadrunner/internal/sim"
+)
+
+// TestFigure4Shape asserts the qualitative content of the paper's Figure 4
+// at reduced round count: OPP reaches higher accuracy than BASE at the same
+// V2C budget, takes ~4.5x as long, and collects 0-20 (avg ~10) V2X
+// exchanges per round.
+func TestFigure4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale experiment; skipped in -short mode")
+	}
+	const rounds = 12
+	out, err := Fig4(rounds, 1)
+	if err != nil {
+		t.Fatalf("Fig4: %v", err)
+	}
+
+	// Timing: the paper's totals imply round length = duration + 17.893 s
+	// overhead; BASE 47.9 s/round, OPP 217.9 s/round, ratio 4.55.
+	wantBaseEnd := float64(rounds) * 47.893
+	if rel(float64(out.BaseEnd), wantBaseEnd) > 0.05 {
+		t.Errorf("BASE end = %v, want ≈ %v", out.BaseEnd, wantBaseEnd)
+	}
+	wantRatio := 217.893 / 47.893
+	if rel(out.TimeRatio, wantRatio) > 0.10 {
+		t.Errorf("time ratio = %v, want ≈ %v (paper: 4.5x)", out.TimeRatio, wantRatio)
+	}
+
+	// Exchanges: 0-20 per round, average near 10.
+	ex := out.Opp.Metrics.Series(metrics.SeriesRoundExchanges)
+	if ex == nil || ex.Len() != rounds {
+		t.Fatalf("exchange series missing or wrong length: %v", ex)
+	}
+	for _, p := range ex.Points {
+		if p.Value < 0 || p.Value > 40 {
+			t.Errorf("round exchange count %v outside plausible range", p.Value)
+		}
+	}
+	if out.AvgExchanges < 3 || out.AvgExchanges > 25 {
+		t.Errorf("avg exchanges = %v, want near the paper's ~10", out.AvgExchanges)
+	}
+
+	// Accuracy: OPP must beat BASE, both above chance (0.1).
+	if out.OppAccuracy <= out.BaseAccuracy {
+		t.Errorf("OPP accuracy %v not above BASE %v", out.OppAccuracy, out.BaseAccuracy)
+	}
+	if out.OppAccuracy < 0.12 {
+		t.Errorf("OPP accuracy %v not above chance", out.OppAccuracy)
+	}
+
+	// V2C budget parity: same number of rounds and reporters means message
+	// counts within churn slack.
+	b, o := out.Base.Comm["v2c"].MessagesSent, out.Opp.Comm["v2c"].MessagesSent
+	if o > b*3/2 || b > o*3/2 {
+		t.Errorf("V2C budget mismatch: BASE %d msgs, OPP %d msgs", b, o)
+	}
+}
+
+func rel(got, want float64) float64 {
+	if want == 0 {
+		return 0
+	}
+	d := got/want - 1
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+func TestFig4Validation(t *testing.T) {
+	if _, err := Fig4(0, 1); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+}
+
+func TestAblationRoundDurationRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale experiment; skipped in -short mode")
+	}
+	rows, err := AblationRoundDuration(3, 1, []sim.Duration{50, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Longer rounds take more simulated time and gather at least as many
+	// exchange opportunities on average.
+	if rows[1].SimEnd <= rows[0].SimEnd {
+		t.Errorf("400s rounds ended at %v, 50s at %v; want longer", rows[1].SimEnd, rows[0].SimEnd)
+	}
+	for _, r := range rows {
+		if r.FinalAcc < 0 || r.FinalAcc > 1 {
+			t.Errorf("%s: accuracy %v out of range", r.Param, r.FinalAcc)
+		}
+	}
+}
+
+func TestAblationChurnDiscardsGrowWithOffProb(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale experiment; skipped in -short mode")
+	}
+	rows, err := AblationChurn(4, 1, []float64{0, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[1].Discarded < rows[0].Discarded {
+		t.Errorf("high churn discarded %v models, low churn %v; want monotone",
+			rows[1].Discarded, rows[0].Discarded)
+	}
+}
+
+func TestLateAccuracyEmpty(t *testing.T) {
+	out, err := Fig4(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := LateAccuracy(out.Base, 5); got < 0 || got > 1 {
+		t.Fatalf("LateAccuracy = %v", got)
+	}
+}
+
+func TestDefaultSkewSweep(t *testing.T) {
+	sweep := DefaultSkewSweep()
+	if len(sweep) != 4 {
+		t.Fatalf("sweep has %d points", len(sweep))
+	}
+	for i, pc := range sweep {
+		if err := pc.Validate(); err != nil {
+			t.Errorf("sweep point %d invalid: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package roadnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoPath is returned when the destination is unreachable from the origin.
+var ErrNoPath = errors.New("roadnet: no path")
+
+// Route is a shortest path through the network: the node sequence, the edge
+// sequence connecting them, the total length in meters, and the free-flow
+// travel time in seconds.
+type Route struct {
+	Nodes  []NodeID
+	Edges  []Edge
+	Length float64 // meters
+	Time   float64 // seconds at free-flow speed
+}
+
+// ShortestPath computes the fastest route (by free-flow travel time) from
+// origin to destination using Dijkstra's algorithm. A route from a node to
+// itself is valid and has zero length.
+func (g *Graph) ShortestPath(from, to NodeID) (Route, error) {
+	if !g.valid(from) || !g.valid(to) {
+		return Route{}, fmt.Errorf("roadnet: shortest path: unknown node (%d -> %d)", from, to)
+	}
+	if from == to {
+		return Route{Nodes: []NodeID{from}}, nil
+	}
+
+	n := len(g.nodes)
+	dist := make([]float64, n)
+	prev := make([]int, n)     // predecessor node, -1 when unset
+	prevEdge := make([]int, n) // index into adj[prev[v]] of the arriving edge
+	settled := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+		prevEdge[i] = -1
+	}
+	dist[from] = 0
+
+	pq := &nodeQueue{}
+	heap.Push(pq, nodeDist{node: from, dist: 0})
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(nodeDist)
+		u := cur.node
+		if settled[u] {
+			continue
+		}
+		settled[u] = true
+		if u == to {
+			break
+		}
+		for ei, e := range g.adj[u] {
+			v := e.To
+			if settled[v] {
+				continue
+			}
+			alt := dist[u] + e.TravelTime()
+			if alt < dist[v] {
+				dist[v] = alt
+				prev[v] = int(u)
+				prevEdge[v] = ei
+				heap.Push(pq, nodeDist{node: v, dist: alt})
+			}
+		}
+	}
+	if math.IsInf(dist[to], 1) {
+		return Route{}, fmt.Errorf("%w: %d -> %d", ErrNoPath, from, to)
+	}
+
+	// Reconstruct in reverse.
+	var nodes []NodeID
+	var edges []Edge
+	length := 0.0
+	for v := to; ; {
+		nodes = append(nodes, v)
+		p := prev[v]
+		if p < 0 {
+			break
+		}
+		e := g.adj[p][prevEdge[v]]
+		edges = append(edges, e)
+		length += e.Length
+		v = NodeID(p)
+	}
+	reverseNodes(nodes)
+	reverseEdges(edges)
+	return Route{Nodes: nodes, Edges: edges, Length: length, Time: dist[to]}, nil
+}
+
+// Reachable reports whether to is reachable from from.
+func (g *Graph) Reachable(from, to NodeID) bool {
+	_, err := g.ShortestPath(from, to)
+	return err == nil
+}
+
+func reverseNodes(s []NodeID) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+func reverseEdges(s []Edge) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+type nodeDist struct {
+	node NodeID
+	dist float64
+}
+
+type nodeQueue []nodeDist
+
+var _ heap.Interface = (*nodeQueue)(nil)
+
+func (q nodeQueue) Len() int           { return len(q) }
+func (q nodeQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q nodeQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x any)        { *q = append(*q, x.(nodeDist)) }
+func (q *nodeQueue) Pop() any {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}

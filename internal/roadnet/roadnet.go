@@ -1,0 +1,140 @@
+// Package roadnet models the road network a vehicular fleet moves on: a
+// directed graph of intersections and road segments with speed limits, plus
+// shortest-path routing.
+//
+// The paper evaluates Roadrunner on a proprietary real-world GPS dataset of
+// Gothenburg, Sweden, and notes that "vehicle spatial dynamics enter the
+// Core Simulator statically, e.g. as a file of GPS traces ... but also of
+// simulated data (pre-calculated with e.g. SUMO)". This package is the
+// substrate for the latter path: together with internal/mobility it stands
+// in for both the proprietary dataset and an external traffic simulator,
+// producing trace files the core simulator replays.
+package roadnet
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeID identifies an intersection in a Graph. IDs are dense integers
+// assigned in insertion order.
+type NodeID int
+
+// Point is a position on the simulation plane, in meters. The plane uses a
+// local Cartesian frame (no geodesy): fine for a single urban area like the
+// paper's Gothenburg scenario.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Dist returns the Euclidean distance in meters between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return math.Hypot(dx, dy)
+}
+
+// Lerp linearly interpolates from p to q; frac 0 yields p, 1 yields q.
+func (p Point) Lerp(q Point, frac float64) Point {
+	return Point{X: p.X + (q.X-p.X)*frac, Y: p.Y + (q.Y-p.Y)*frac}
+}
+
+// Node is an intersection.
+type Node struct {
+	ID  NodeID
+	Pos Point
+}
+
+// Edge is a directed road segment between two intersections.
+type Edge struct {
+	From   NodeID
+	To     NodeID
+	Length float64 // meters, Euclidean between endpoints
+	Speed  float64 // free-flow speed in m/s
+}
+
+// TravelTime returns the free-flow traversal time of the segment in seconds.
+func (e Edge) TravelTime() float64 {
+	if e.Speed <= 0 {
+		return math.Inf(1)
+	}
+	return e.Length / e.Speed
+}
+
+// Graph is a directed road network. The zero value is an empty graph ready
+// for use. Graph is not safe for concurrent mutation; concurrent reads are
+// fine once construction is complete.
+type Graph struct {
+	nodes []Node
+	adj   [][]Edge
+	edges int
+}
+
+// AddNode inserts an intersection at p and returns its ID.
+func (g *Graph) AddNode(p Point) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Pos: p})
+	g.adj = append(g.adj, nil)
+	return id
+}
+
+// AddEdge inserts a one-way road from a to b with the given free-flow speed
+// in m/s. The segment length is the Euclidean distance between endpoints.
+func (g *Graph) AddEdge(from, to NodeID, speed float64) error {
+	if !g.valid(from) || !g.valid(to) {
+		return fmt.Errorf("roadnet: add edge: unknown node (%d -> %d)", from, to)
+	}
+	if from == to {
+		return fmt.Errorf("roadnet: add edge: self-loop at node %d", from)
+	}
+	if speed <= 0 {
+		return fmt.Errorf("roadnet: add edge: non-positive speed %v", speed)
+	}
+	length := g.nodes[from].Pos.Dist(g.nodes[to].Pos)
+	g.adj[from] = append(g.adj[from], Edge{From: from, To: to, Length: length, Speed: speed})
+	g.edges++
+	return nil
+}
+
+// AddRoad inserts a two-way road (one edge in each direction).
+func (g *Graph) AddRoad(a, b NodeID, speed float64) error {
+	if err := g.AddEdge(a, b, speed); err != nil {
+		return err
+	}
+	return g.AddEdge(b, a, speed)
+}
+
+// NumNodes returns the number of intersections.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of directed road segments.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Node returns the intersection with the given ID.
+func (g *Graph) Node(id NodeID) (Node, error) {
+	if !g.valid(id) {
+		return Node{}, fmt.Errorf("roadnet: unknown node %d", id)
+	}
+	return g.nodes[id], nil
+}
+
+// Pos returns the position of node id; it panics on an unknown ID only via
+// the zero value (callers constructing IDs from the graph itself are safe).
+func (g *Graph) Pos(id NodeID) Point {
+	if !g.valid(id) {
+		return Point{}
+	}
+	return g.nodes[id].Pos
+}
+
+// OutEdges returns the road segments leaving node id. The returned slice is
+// shared; callers must not mutate it.
+func (g *Graph) OutEdges(id NodeID) []Edge {
+	if !g.valid(id) {
+		return nil
+	}
+	return g.adj[id]
+}
+
+func (g *Graph) valid(id NodeID) bool { return id >= 0 && int(id) < len(g.nodes) }

@@ -1,0 +1,407 @@
+package roadnet
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"roadrunner/internal/sim"
+)
+
+func TestPointDist(t *testing.T) {
+	p := Point{X: 0, Y: 0}
+	q := Point{X: 3, Y: 4}
+	if got := p.Dist(q); got != 5 {
+		t.Fatalf("Dist = %v, want 5", got)
+	}
+	if got := q.Dist(p); got != 5 {
+		t.Fatalf("Dist not symmetric: %v", got)
+	}
+	if got := p.Dist(p); got != 0 {
+		t.Fatalf("Dist to self = %v", got)
+	}
+}
+
+func TestPointLerp(t *testing.T) {
+	p := Point{X: 0, Y: 10}
+	q := Point{X: 10, Y: 20}
+	if got := p.Lerp(q, 0); got != p {
+		t.Fatalf("Lerp(0) = %v, want %v", got, p)
+	}
+	if got := p.Lerp(q, 1); got != q {
+		t.Fatalf("Lerp(1) = %v, want %v", got, q)
+	}
+	mid := p.Lerp(q, 0.5)
+	if mid.X != 5 || mid.Y != 15 {
+		t.Fatalf("Lerp(0.5) = %v, want {5 15}", mid)
+	}
+}
+
+func TestGraphAddNodeAndEdge(t *testing.T) {
+	var g Graph
+	a := g.AddNode(Point{X: 0, Y: 0})
+	b := g.AddNode(Point{X: 100, Y: 0})
+	if g.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	if err := g.AddEdge(a, b, 10); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	out := g.OutEdges(a)
+	if len(out) != 1 {
+		t.Fatalf("OutEdges(a) has %d edges", len(out))
+	}
+	e := out[0]
+	if e.Length != 100 {
+		t.Fatalf("edge length = %v, want 100 (computed from geometry)", e.Length)
+	}
+	if got := e.TravelTime(); got != 10 {
+		t.Fatalf("TravelTime = %v, want 10", got)
+	}
+}
+
+func TestGraphRejectsBadEdges(t *testing.T) {
+	var g Graph
+	a := g.AddNode(Point{})
+	b := g.AddNode(Point{X: 1})
+	if err := g.AddEdge(a, NodeID(99), 10); err == nil {
+		t.Fatal("AddEdge to unknown node succeeded")
+	}
+	if err := g.AddEdge(a, a, 10); err == nil {
+		t.Fatal("self-loop succeeded")
+	}
+	if err := g.AddEdge(a, b, 0); err == nil {
+		t.Fatal("zero-speed edge succeeded")
+	}
+	if err := g.AddEdge(a, b, -5); err == nil {
+		t.Fatal("negative-speed edge succeeded")
+	}
+}
+
+func TestGraphNodeLookup(t *testing.T) {
+	var g Graph
+	id := g.AddNode(Point{X: 7, Y: 8})
+	n, err := g.Node(id)
+	if err != nil {
+		t.Fatalf("Node: %v", err)
+	}
+	if n.Pos != (Point{X: 7, Y: 8}) {
+		t.Fatalf("Node pos = %v", n.Pos)
+	}
+	if _, err := g.Node(NodeID(5)); err == nil {
+		t.Fatal("Node(5) succeeded on 1-node graph")
+	}
+	if g.Pos(NodeID(-1)) != (Point{}) {
+		t.Fatal("Pos of invalid node not zero")
+	}
+}
+
+func TestEdgeTravelTimeZeroSpeed(t *testing.T) {
+	e := Edge{Length: 100, Speed: 0}
+	if !math.IsInf(e.TravelTime(), 1) {
+		t.Fatalf("TravelTime with zero speed = %v, want +Inf", e.TravelTime())
+	}
+}
+
+func lineGraph(t *testing.T, n int, spacing, speed float64) (*Graph, []NodeID) {
+	t.Helper()
+	var g Graph
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = g.AddNode(Point{X: float64(i) * spacing})
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddRoad(ids[i], ids[i+1], speed); err != nil {
+			t.Fatalf("AddRoad: %v", err)
+		}
+	}
+	return &g, ids
+}
+
+func TestShortestPathLine(t *testing.T) {
+	g, ids := lineGraph(t, 5, 100, 10)
+	r, err := g.ShortestPath(ids[0], ids[4])
+	if err != nil {
+		t.Fatalf("ShortestPath: %v", err)
+	}
+	if r.Length != 400 {
+		t.Fatalf("Length = %v, want 400", r.Length)
+	}
+	if r.Time != 40 {
+		t.Fatalf("Time = %v, want 40", r.Time)
+	}
+	if len(r.Nodes) != 5 {
+		t.Fatalf("Nodes = %v", r.Nodes)
+	}
+	if len(r.Edges) != 4 {
+		t.Fatalf("Edges count = %d", len(r.Edges))
+	}
+	for i := range r.Nodes {
+		if r.Nodes[i] != ids[i] {
+			t.Fatalf("Nodes[%d] = %v, want %v", i, r.Nodes[i], ids[i])
+		}
+	}
+}
+
+func TestShortestPathToSelf(t *testing.T) {
+	g, ids := lineGraph(t, 3, 100, 10)
+	r, err := g.ShortestPath(ids[1], ids[1])
+	if err != nil {
+		t.Fatalf("ShortestPath: %v", err)
+	}
+	if r.Length != 0 || r.Time != 0 || len(r.Nodes) != 1 || len(r.Edges) != 0 {
+		t.Fatalf("self route = %+v, want trivial", r)
+	}
+}
+
+func TestShortestPathPrefersFasterRoad(t *testing.T) {
+	// Two routes a->d: direct slow street (300 m at 5 m/s = 60 s) vs a
+	// detour over a fast arterial (400 m at 20 m/s = 20 s).
+	var g Graph
+	a := g.AddNode(Point{X: 0, Y: 0})
+	d := g.AddNode(Point{X: 300, Y: 0})
+	b := g.AddNode(Point{X: 0, Y: 100})
+	c := g.AddNode(Point{X: 300, Y: 100})
+	if err := g.AddEdge(a, d, 5); err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]NodeID{{a, b}, {b, c}, {c, d}} {
+		if err := g.AddEdge(pair[0], pair[1], 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := g.ShortestPath(a, d)
+	if err != nil {
+		t.Fatalf("ShortestPath: %v", err)
+	}
+	if len(r.Nodes) != 4 {
+		t.Fatalf("route = %v, want the 4-node arterial detour", r.Nodes)
+	}
+	if math.Abs(r.Time-25) > 1e-9 { // 500 m / 20 m/s
+		t.Fatalf("Time = %v, want 25", r.Time)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	var g Graph
+	a := g.AddNode(Point{})
+	b := g.AddNode(Point{X: 100})
+	if _, err := g.ShortestPath(a, b); !errors.Is(err, ErrNoPath) {
+		t.Fatalf("err = %v, want ErrNoPath", err)
+	}
+	if g.Reachable(a, b) {
+		t.Fatal("Reachable = true for disconnected nodes")
+	}
+	if err := g.AddRoad(a, b, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Reachable(a, b) {
+		t.Fatal("Reachable = false after adding road")
+	}
+}
+
+func TestShortestPathRespectsDirection(t *testing.T) {
+	var g Graph
+	a := g.AddNode(Point{})
+	b := g.AddNode(Point{X: 100})
+	if err := g.AddEdge(a, b, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.ShortestPath(a, b); err != nil {
+		t.Fatalf("forward path: %v", err)
+	}
+	if _, err := g.ShortestPath(b, a); !errors.Is(err, ErrNoPath) {
+		t.Fatalf("reverse path on one-way edge: err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestShortestPathUnknownNodes(t *testing.T) {
+	var g Graph
+	a := g.AddNode(Point{})
+	if _, err := g.ShortestPath(a, NodeID(9)); err == nil {
+		t.Fatal("unknown destination succeeded")
+	}
+	if _, err := g.ShortestPath(NodeID(9), a); err == nil {
+		t.Fatal("unknown origin succeeded")
+	}
+}
+
+func TestGridConfigValidate(t *testing.T) {
+	base := DefaultGridConfig()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*GridConfig){
+		func(c *GridConfig) { c.Rows = 1 },
+		func(c *GridConfig) { c.Cols = 0 },
+		func(c *GridConfig) { c.Spacing = 0 },
+		func(c *GridConfig) { c.StreetSpeed = -1 },
+		func(c *GridConfig) { c.ArterialSpeed = 0 },
+		func(c *GridConfig) { c.Irregularity = 1 },
+		func(c *GridConfig) { c.Irregularity = -0.1 },
+		func(c *GridConfig) { c.Jitter = c.Spacing },
+	}
+	for i, mutate := range mutations {
+		c := base
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d produced a config that validates", i)
+		}
+	}
+}
+
+func TestGenerateGridShape(t *testing.T) {
+	cfg := GridConfig{Rows: 4, Cols: 5, Spacing: 100, StreetSpeed: 10}
+	g, err := Generate(cfg, sim.NewRNG(1))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if g.NumNodes() != 20 {
+		t.Fatalf("NumNodes = %d, want 20", g.NumNodes())
+	}
+	// 4*4 horizontal + 5*3 vertical two-way roads = 31 roads = 62 edges.
+	if g.NumEdges() != 62 {
+		t.Fatalf("NumEdges = %d, want 62", g.NumEdges())
+	}
+}
+
+func TestGenerateGridIsConnected(t *testing.T) {
+	cfg := DefaultGridConfig()
+	cfg.Irregularity = 0.3
+	g, err := Generate(cfg, sim.NewRNG(7))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for _, target := range []NodeID{1, NodeID(g.NumNodes() / 2), NodeID(g.NumNodes() - 1)} {
+		if !g.Reachable(0, target) {
+			t.Fatalf("node %d unreachable from node 0 despite connectivity guarantee", target)
+		}
+	}
+}
+
+func TestGenerateGridIrregularityRemovesRoads(t *testing.T) {
+	full := GridConfig{Rows: 10, Cols: 10, Spacing: 100, StreetSpeed: 10}
+	sparse := full
+	sparse.Irregularity = 0.2
+	gFull, err := Generate(full, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gSparse, err := Generate(sparse, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gSparse.NumEdges() >= gFull.NumEdges() {
+		t.Fatalf("irregular grid has %d edges, full has %d; want fewer", gSparse.NumEdges(), gFull.NumEdges())
+	}
+}
+
+func TestGenerateGridDeterministic(t *testing.T) {
+	cfg := DefaultGridConfig()
+	g1, err := Generate(cfg, sim.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Generate(cfg, sim.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i := 0; i < g1.NumNodes(); i++ {
+		if g1.Pos(NodeID(i)) != g2.Pos(NodeID(i)) {
+			t.Fatalf("node %d position differs between identically seeded runs", i)
+		}
+	}
+}
+
+func TestGenerateGridArterialsFaster(t *testing.T) {
+	cfg := GridConfig{
+		Rows: 6, Cols: 6, Spacing: 100,
+		StreetSpeed: 8, ArterialSpeed: 16, ArterialEvery: 3,
+	}
+	g, err := Generate(cfg, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds := map[float64]int{}
+	for n := 0; n < g.NumNodes(); n++ {
+		for _, e := range g.OutEdges(NodeID(n)) {
+			speeds[e.Speed]++
+		}
+	}
+	if speeds[8] == 0 || speeds[16] == 0 {
+		t.Fatalf("expected both street and arterial speeds, got %v", speeds)
+	}
+}
+
+func TestGenerateRejectsInvalidConfig(t *testing.T) {
+	if _, err := Generate(GridConfig{}, sim.NewRNG(1)); err == nil {
+		t.Fatal("Generate with zero config succeeded")
+	}
+}
+
+// TestShortestPathTriangleInequality: for random grid graphs, the shortest
+// time a->c never exceeds a->b + b->c.
+func TestShortestPathTriangleInequality(t *testing.T) {
+	cfg := GridConfig{Rows: 6, Cols: 6, Spacing: 100, StreetSpeed: 10, Irregularity: 0.1}
+	g, err := Generate(cfg, sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(ai, bi, ci uint8) bool {
+		n := NodeID(g.NumNodes())
+		a, b, c := NodeID(ai)%n, NodeID(bi)%n, NodeID(ci)%n
+		rac, err1 := g.ShortestPath(a, c)
+		rab, err2 := g.ShortestPath(a, b)
+		rbc, err3 := g.ShortestPath(b, c)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false // generated grid is connected; any error is a bug
+		}
+		return rac.Time <= rab.Time+rbc.Time+1e-9
+	}
+	cfg2 := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(prop, cfg2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShortestPathMatchesEdgeSum: the reported Length/Time always equal the
+// sums over the returned edge sequence, and edges connect the node sequence.
+func TestShortestPathInternalConsistency(t *testing.T) {
+	cfg := GridConfig{Rows: 5, Cols: 5, Spacing: 120, StreetSpeed: 12, ArterialEvery: 2, ArterialSpeed: 24}
+	g, err := Generate(cfg, sim.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(ai, bi uint8) bool {
+		n := NodeID(g.NumNodes())
+		a, b := NodeID(ai)%n, NodeID(bi)%n
+		r, err := g.ShortestPath(a, b)
+		if err != nil {
+			return false
+		}
+		if len(r.Edges) != len(r.Nodes)-1 {
+			return false
+		}
+		var length, tt float64
+		for i, e := range r.Edges {
+			if e.From != r.Nodes[i] || e.To != r.Nodes[i+1] {
+				return false
+			}
+			length += e.Length
+			tt += e.TravelTime()
+		}
+		return math.Abs(length-r.Length) < 1e-6 && math.Abs(tt-r.Time) < 1e-6
+	}
+	qc := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(prop, qc); err != nil {
+		t.Fatal(err)
+	}
+}

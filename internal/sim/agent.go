@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// AgentID identifies a simulated agent — a vehicle, a road-side unit, or
+// the cloud server (paper Figure 1). IDs are dense small integers assigned
+// by the Registry, so modules can use them to index slices.
+type AgentID int
+
+// NoAgent is the zero AgentID sentinel for "no agent".
+const NoAgent AgentID = -1
+
+// String formats the ID for logs and metrics labels.
+func (id AgentID) String() string { return "agent-" + strconv.Itoa(int(id)) }
+
+// AgentKind classifies the actors a VCPS contains.
+type AgentKind int
+
+const (
+	// KindVehicle is a connected car with an on-board unit capable of
+	// sensing data and training models.
+	KindVehicle AgentKind = iota + 1
+	// KindRSU is a road-side unit: stationary, V2X-capable, wired to the
+	// cloud server.
+	KindRSU
+	// KindCloudServer is the central server reachable over V2C.
+	KindCloudServer
+)
+
+// String returns the lower-case name of the kind.
+func (k AgentKind) String() string {
+	switch k {
+	case KindVehicle:
+		return "vehicle"
+	case KindRSU:
+		return "rsu"
+	case KindCloudServer:
+		return "cloud"
+	default:
+		return "unknown(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// Agent is the core simulator's view of one actor: identity, kind, power
+// state, and whether its hardware unit is currently occupied by training.
+// Position and data live in the mobility and dataset modules respectively.
+type Agent struct {
+	ID   AgentID
+	Kind AgentKind
+
+	on        bool
+	busyUntil Time
+}
+
+// On reports whether the agent is powered on. Vehicles that are turned off
+// "temporarily do not partake in the VCPS" (paper Figure 1): messages to or
+// from them fail and they accept no training work.
+func (a *Agent) On() bool { return a.on }
+
+// Busy reports whether the agent's hardware unit is occupied (training) at
+// instant t. A busy agent "may not be available for other operations"
+// (paper §4).
+func (a *Agent) Busy(t Time) bool { return a.on && t < a.busyUntil }
+
+// BusyUntil returns the instant the agent's current computation finishes
+// (zero if idle).
+func (a *Agent) BusyUntil() Time { return a.busyUntil }
+
+// PowerListener observes power transitions. The communication module uses
+// it to fail in-flight transfers; strategies use it to react to churn.
+type PowerListener func(id AgentID, on bool)
+
+// Registry owns every agent in an experiment and their power state.
+// It is not safe for concurrent use; all mutation happens on the simulation
+// goroutine.
+type Registry struct {
+	engine    *Engine
+	agents    []*Agent
+	listeners []PowerListener
+}
+
+// NewRegistry returns an empty registry bound to engine (the engine supplies
+// the current instant for busy bookkeeping).
+func NewRegistry(engine *Engine) *Registry {
+	return &Registry{engine: engine}
+}
+
+// Add creates a new agent of the given kind, initially powered off, and
+// returns it. IDs are assigned densely in creation order.
+func (r *Registry) Add(kind AgentKind) *Agent {
+	a := &Agent{ID: AgentID(len(r.agents)), Kind: kind}
+	r.agents = append(r.agents, a)
+	return a
+}
+
+// Get returns the agent with the given ID, or nil if no such agent exists.
+func (r *Registry) Get(id AgentID) *Agent {
+	if id < 0 || int(id) >= len(r.agents) {
+		return nil
+	}
+	return r.agents[id]
+}
+
+// Len returns the number of agents.
+func (r *Registry) Len() int { return len(r.agents) }
+
+// All returns the agents in ID order. The returned slice is shared; callers
+// must not mutate it.
+func (r *Registry) All() []*Agent { return r.agents }
+
+// OfKind returns the IDs of all agents of the given kind, in ID order.
+func (r *Registry) OfKind(kind AgentKind) []AgentID {
+	var ids []AgentID
+	for _, a := range r.agents {
+		if a.Kind == kind {
+			ids = append(ids, a.ID)
+		}
+	}
+	return ids
+}
+
+// OnPowerChange registers fn to be invoked on every power transition.
+func (r *Registry) OnPowerChange(fn PowerListener) {
+	r.listeners = append(r.listeners, fn)
+}
+
+// SetPower switches the agent's power state, notifying listeners on an
+// actual transition. Turning an agent off aborts its pending computation
+// (the busy deadline is cleared); the owner of that computation learns about
+// it through its power listener.
+func (r *Registry) SetPower(id AgentID, on bool) error {
+	a := r.Get(id)
+	if a == nil {
+		return fmt.Errorf("sim: set power: unknown agent %v", id)
+	}
+	if a.on == on {
+		return nil
+	}
+	a.on = on
+	if !on {
+		a.busyUntil = 0
+	}
+	for _, fn := range r.listeners {
+		fn(id, on)
+	}
+	return nil
+}
+
+// Occupy marks the agent's hardware unit busy for d starting now. It
+// returns the completion instant. Occupying an agent that is off or already
+// busy is an error — the caller (the ML module) must check first.
+func (r *Registry) Occupy(id AgentID, d Duration) (Time, error) {
+	a := r.Get(id)
+	if a == nil {
+		return 0, fmt.Errorf("sim: occupy: unknown agent %v", id)
+	}
+	if !a.on {
+		return 0, fmt.Errorf("sim: occupy: agent %v is off", id)
+	}
+	now := r.engine.Now()
+	if a.Busy(now) {
+		return 0, fmt.Errorf("sim: occupy: agent %v busy until %v", id, a.busyUntil)
+	}
+	if !d.IsValid() || d < 0 {
+		return 0, fmt.Errorf("sim: occupy: invalid duration %v", float64(d))
+	}
+	a.busyUntil = now.Add(d)
+	return a.busyUntil, nil
+}
+
+// Release clears the agent's busy deadline early (used when a computation
+// is aborted for reasons other than power-off).
+func (r *Registry) Release(id AgentID) {
+	if a := r.Get(id); a != nil {
+		a.busyUntil = 0
+	}
+}

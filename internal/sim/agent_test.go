@@ -1,0 +1,268 @@
+package sim
+
+import "testing"
+
+func newTestRegistry(t *testing.T) (*Engine, *Registry) {
+	t.Helper()
+	e := NewEngine()
+	return e, NewRegistry(e)
+}
+
+func TestRegistryAssignsDenseIDs(t *testing.T) {
+	_, r := newTestRegistry(t)
+	for i := 0; i < 5; i++ {
+		a := r.Add(KindVehicle)
+		if a.ID != AgentID(i) {
+			t.Fatalf("agent %d got ID %v", i, a.ID)
+		}
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len() = %d, want 5", r.Len())
+	}
+}
+
+func TestRegistryGetUnknown(t *testing.T) {
+	_, r := newTestRegistry(t)
+	r.Add(KindVehicle)
+	if r.Get(AgentID(5)) != nil {
+		t.Fatal("Get(5) returned an agent for an unknown ID")
+	}
+	if r.Get(NoAgent) != nil {
+		t.Fatal("Get(NoAgent) returned an agent")
+	}
+}
+
+func TestRegistryOfKind(t *testing.T) {
+	_, r := newTestRegistry(t)
+	r.Add(KindCloudServer)
+	r.Add(KindVehicle)
+	r.Add(KindRSU)
+	r.Add(KindVehicle)
+	vehicles := r.OfKind(KindVehicle)
+	if len(vehicles) != 2 || vehicles[0] != 1 || vehicles[1] != 3 {
+		t.Fatalf("OfKind(KindVehicle) = %v, want [1 3]", vehicles)
+	}
+	if got := r.OfKind(KindCloudServer); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("OfKind(KindCloudServer) = %v, want [0]", got)
+	}
+}
+
+func TestAgentsStartPoweredOff(t *testing.T) {
+	_, r := newTestRegistry(t)
+	a := r.Add(KindVehicle)
+	if a.On() {
+		t.Fatal("new agent is on, want off")
+	}
+}
+
+func TestSetPowerNotifiesListeners(t *testing.T) {
+	_, r := newTestRegistry(t)
+	a := r.Add(KindVehicle)
+	type transition struct {
+		id AgentID
+		on bool
+	}
+	var seen []transition
+	r.OnPowerChange(func(id AgentID, on bool) { seen = append(seen, transition{id, on}) })
+
+	if err := r.SetPower(a.ID, true); err != nil {
+		t.Fatalf("SetPower(on): %v", err)
+	}
+	if err := r.SetPower(a.ID, true); err != nil { // no transition
+		t.Fatalf("SetPower(on) repeat: %v", err)
+	}
+	if err := r.SetPower(a.ID, false); err != nil {
+		t.Fatalf("SetPower(off): %v", err)
+	}
+	want := []transition{{a.ID, true}, {a.ID, false}}
+	if len(seen) != len(want) {
+		t.Fatalf("listener saw %d transitions (%v), want %d", len(seen), seen, len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestSetPowerUnknownAgent(t *testing.T) {
+	_, r := newTestRegistry(t)
+	if err := r.SetPower(AgentID(7), true); err == nil {
+		t.Fatal("SetPower on unknown agent succeeded")
+	}
+}
+
+func TestOccupyMarksBusyForDuration(t *testing.T) {
+	e, r := newTestRegistry(t)
+	a := r.Add(KindVehicle)
+	if err := r.SetPower(a.ID, true); err != nil {
+		t.Fatalf("SetPower: %v", err)
+	}
+	until, err := r.Occupy(a.ID, 12)
+	if err != nil {
+		t.Fatalf("Occupy: %v", err)
+	}
+	if until != 12 {
+		t.Fatalf("Occupy returned completion %v, want 12", until)
+	}
+	if !a.Busy(e.Now()) {
+		t.Fatal("agent not busy immediately after Occupy")
+	}
+	if !a.Busy(11.9) {
+		t.Fatal("agent not busy just before deadline")
+	}
+	if a.Busy(12) {
+		t.Fatal("agent still busy at deadline (deadline is exclusive)")
+	}
+}
+
+func TestOccupyRejectsOffOrBusy(t *testing.T) {
+	_, r := newTestRegistry(t)
+	a := r.Add(KindVehicle)
+	if _, err := r.Occupy(a.ID, 5); err == nil {
+		t.Fatal("Occupy on powered-off agent succeeded")
+	}
+	if err := r.SetPower(a.ID, true); err != nil {
+		t.Fatalf("SetPower: %v", err)
+	}
+	if _, err := r.Occupy(a.ID, 5); err != nil {
+		t.Fatalf("Occupy: %v", err)
+	}
+	if _, err := r.Occupy(a.ID, 5); err == nil {
+		t.Fatal("Occupy on busy agent succeeded")
+	}
+	if _, err := r.Occupy(a.ID, Duration(-1)); err == nil {
+		t.Fatal("Occupy with negative duration succeeded")
+	}
+}
+
+func TestPowerOffClearsBusy(t *testing.T) {
+	e, r := newTestRegistry(t)
+	a := r.Add(KindVehicle)
+	if err := r.SetPower(a.ID, true); err != nil {
+		t.Fatalf("SetPower: %v", err)
+	}
+	if _, err := r.Occupy(a.ID, 100); err != nil {
+		t.Fatalf("Occupy: %v", err)
+	}
+	if err := r.SetPower(a.ID, false); err != nil {
+		t.Fatalf("SetPower(off): %v", err)
+	}
+	if a.Busy(e.Now()) {
+		t.Fatal("agent busy while off")
+	}
+	if a.BusyUntil() != 0 {
+		t.Fatalf("BusyUntil() = %v after power-off, want 0", a.BusyUntil())
+	}
+}
+
+func TestReleaseClearsBusy(t *testing.T) {
+	e, r := newTestRegistry(t)
+	a := r.Add(KindVehicle)
+	if err := r.SetPower(a.ID, true); err != nil {
+		t.Fatalf("SetPower: %v", err)
+	}
+	if _, err := r.Occupy(a.ID, 100); err != nil {
+		t.Fatalf("Occupy: %v", err)
+	}
+	r.Release(a.ID)
+	if a.Busy(e.Now()) {
+		t.Fatal("agent busy after Release")
+	}
+}
+
+func TestOccupyAdvancesWithClock(t *testing.T) {
+	e, r := newTestRegistry(t)
+	a := r.Add(KindVehicle)
+	if err := r.SetPower(a.ID, true); err != nil {
+		t.Fatalf("SetPower: %v", err)
+	}
+	if _, err := e.Schedule(50, func() {
+		if _, err := r.Occupy(a.ID, 10); err != nil {
+			t.Errorf("Occupy at t=50: %v", err)
+		}
+	}); err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if a.BusyUntil() != 60 {
+		t.Fatalf("BusyUntil() = %v, want 60", a.BusyUntil())
+	}
+}
+
+func TestAgentKindString(t *testing.T) {
+	cases := map[AgentKind]string{
+		KindVehicle:     "vehicle",
+		KindRSU:         "rsu",
+		KindCloudServer: "cloud",
+		AgentKind(0):    "unknown(0)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestAgentIDString(t *testing.T) {
+	if got := AgentID(3).String(); got != "agent-3" {
+		t.Fatalf("AgentID(3).String() = %q", got)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	ti := Time(10)
+	if got := ti.Add(5); got != 15 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Time(15).Sub(ti); got != 5 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if !ti.Before(11) || ti.Before(9) {
+		t.Fatal("Before misbehaves")
+	}
+	if !ti.After(9) || ti.After(11) {
+		t.Fatal("After misbehaves")
+	}
+	if Time(-1).IsValid() {
+		t.Fatal("Time(-1).IsValid() = true")
+	}
+	if !Duration(-1).IsValid() {
+		t.Fatal("Duration(-1).IsValid() = false (negative durations are valid values)")
+	}
+	if ti.String() != "10.000s" {
+		t.Fatalf("String = %q", ti.String())
+	}
+	if Duration(2.5).String() != "2.500s" {
+		t.Fatalf("Duration String = %q", Duration(2.5).String())
+	}
+	if Duration(1.5).Seconds() != 1.5 || Time(2.5).Seconds() != 2.5 {
+		t.Fatal("Seconds conversion wrong")
+	}
+	if TimeSeconds(3) != Time(3) || DurationSeconds(4) != Duration(4) {
+		t.Fatal("constructors wrong")
+	}
+}
+
+func TestRegistryAll(t *testing.T) {
+	_, r := newTestRegistry(t)
+	r.Add(KindCloudServer)
+	r.Add(KindVehicle)
+	all := r.All()
+	if len(all) != 2 || all[0].Kind != KindCloudServer || all[1].Kind != KindVehicle {
+		t.Fatalf("All() = %v", all)
+	}
+}
+
+func TestEventAt(t *testing.T) {
+	e := NewEngine()
+	ev, err := e.Schedule(42, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.At() != 42 {
+		t.Fatalf("At() = %v", ev.At())
+	}
+}

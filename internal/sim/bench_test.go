@@ -1,0 +1,58 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventQueue measures schedule+execute throughput of the
+// discrete-event core with a realistic pending-set size.
+func BenchmarkEventQueue(b *testing.B) {
+	e := NewEngine()
+	// Pre-fill a pending window, then keep it sliding.
+	for i := 0; i < 1024; i++ {
+		if _, err := e.Schedule(Time(i), func() {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Schedule(e.Now()+1024, func() {}); err != nil {
+			b.Fatal(err)
+		}
+		e.Step()
+	}
+}
+
+// BenchmarkEventCancel measures cancellation overhead.
+func BenchmarkEventCancel(b *testing.B) {
+	e := NewEngine()
+	events := make([]*Event, b.N)
+	for i := range events {
+		ev, err := e.Schedule(Time(i), func() {})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events[i] = ev
+	}
+	b.ResetTimer()
+	for _, ev := range events {
+		ev.Cancel()
+	}
+}
+
+// BenchmarkRNGUint64 measures the raw SplitMix64 stream.
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+// BenchmarkRNGFork measures sub-stream derivation (done once per module
+// and per training task).
+func BenchmarkRNGFork(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Fork("task")
+	}
+}

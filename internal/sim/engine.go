@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrPastEvent is returned when an event is scheduled before the current
+// simulated instant.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// ErrStopped is returned by Run when the engine was stopped explicitly.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Engine is the discrete-event simulation core. It advances a virtual clock
+// from event to event; between events no simulated time passes and no work
+// happens. All methods must be called from a single goroutine — the
+// customary pattern is that the experiment driver calls Run once, and all
+// further Schedule/After/Cancel calls happen inside event callbacks.
+//
+// The zero value is a ready-to-use engine at time 0.
+type Engine struct {
+	now       Time
+	queue     eventHeap
+	nextSeq   uint64
+	stopped   bool
+	processed uint64
+}
+
+// NewEngine returns an engine with its clock at time 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated instant.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events currently queued (canceled events
+// still count until they are popped).
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Processed returns the number of event callbacks executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Schedule queues fn to run at the absolute instant at. It returns the
+// Event handle, which can be used to cancel the callback before it fires.
+// Scheduling strictly before Now is an error; scheduling exactly at Now is
+// allowed and runs after all previously queued events for that instant.
+func (e *Engine) Schedule(at Time, fn func()) (*Event, error) {
+	if !at.IsValid() {
+		return nil, fmt.Errorf("sim: invalid event time %v", float64(at))
+	}
+	if at < e.now {
+		return nil, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, e.now)
+	}
+	if fn == nil {
+		return nil, errors.New("sim: nil event callback")
+	}
+	ev := &Event{at: at, seq: e.nextSeq, fn: fn}
+	e.nextSeq++
+	e.queue.push(ev)
+	return ev, nil
+}
+
+// After queues fn to run d after the current instant. A negative or invalid
+// d is an error.
+func (e *Engine) After(d Duration, fn func()) (*Event, error) {
+	if !d.IsValid() || d < 0 {
+		return nil, fmt.Errorf("sim: invalid delay %v", float64(d))
+	}
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Stop makes Run return after the currently executing callback completes.
+// It is typically called by a learning strategy once its termination
+// condition (e.g. "75 rounds completed") is met.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Step pops and executes the earliest pending event, advancing the clock to
+// its timestamp. It reports whether an event was executed (canceled events
+// are discarded without executing and without being reported).
+func (e *Engine) Step() bool {
+	for {
+		ev := e.queue.pop()
+		if ev == nil {
+			return false
+		}
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+		return true
+	}
+}
+
+// Run executes events in timestamp order until the queue is empty, the next
+// event lies beyond until, or Stop is called. When the run ends because the
+// horizon was reached, the clock is advanced to until; pending later events
+// stay queued. Run returns ErrStopped if Stop ended the run, and nil
+// otherwise.
+func (e *Engine) Run(until Time) error {
+	if !until.IsValid() {
+		return fmt.Errorf("sim: invalid run horizon %v", float64(until))
+	}
+	if until < e.now {
+		return fmt.Errorf("sim: run horizon %v before now %v", until, e.now)
+	}
+	for !e.stopped {
+		next := e.queue.peek()
+		if next == nil {
+			return nil
+		}
+		if next.at > until {
+			e.now = until
+			return nil
+		}
+		e.Step()
+	}
+	return ErrStopped
+}
+
+// RunAll executes events until the queue drains or Stop is called, with no
+// time horizon. It is mainly useful in tests.
+func (e *Engine) RunAll() error {
+	for !e.stopped {
+		if !e.Step() {
+			return nil
+		}
+	}
+	return ErrStopped
+}

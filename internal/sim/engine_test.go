@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if got := e.Now(); got != 0 {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []Time
+	for _, at := range []Time{30, 10, 20, 10, 5} {
+		at := at
+		if _, err := e.Schedule(at, func() { order = append(order, at) }); err != nil {
+			t.Fatalf("Schedule(%v): %v", at, err)
+		}
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	want := []Time{5, 10, 10, 20, 30}
+	if len(order) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order[%d] = %v, want %v", i, order[i], want[i])
+		}
+	}
+}
+
+func TestEngineSameInstantIsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := e.Schedule(42, func() { order = append(order, i) }); err != nil {
+			t.Fatalf("Schedule: %v", err)
+		}
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order[%d] = %d, want %d (same-instant events must be FIFO)", i, got, i)
+		}
+	}
+}
+
+func TestEngineClockAdvancesToEventTime(t *testing.T) {
+	e := NewEngine()
+	var seen Time
+	if _, err := e.Schedule(123.5, func() { seen = e.Now() }); err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if seen != 123.5 {
+		t.Fatalf("Now() inside callback = %v, want 123.5", seen)
+	}
+	if e.Now() != 123.5 {
+		t.Fatalf("Now() after run = %v, want 123.5", e.Now())
+	}
+}
+
+func TestEngineRejectsPastEvents(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Schedule(50, func() {}); err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if _, err := e.Schedule(10, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("Schedule in past: err = %v, want ErrPastEvent", err)
+	}
+}
+
+func TestEngineRejectsInvalidInputs(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Schedule(Time(-1), func() {}); err == nil {
+		t.Fatal("Schedule(-1) succeeded, want error")
+	}
+	if _, err := e.Schedule(10, nil); err == nil {
+		t.Fatal("Schedule(nil fn) succeeded, want error")
+	}
+	if _, err := e.After(Duration(-5), func() {}); err == nil {
+		t.Fatal("After(-5) succeeded, want error")
+	}
+	if err := e.Run(Time(-1)); err == nil {
+		t.Fatal("Run(-1) succeeded, want error")
+	}
+}
+
+func TestEngineAfterIsRelative(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	if _, err := e.Schedule(100, func() {
+		if _, err := e.After(25, func() { at = e.Now() }); err != nil {
+			t.Errorf("After: %v", err)
+		}
+	}); err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if at != 125 {
+		t.Fatalf("After(25) fired at %v, want 125", at)
+	}
+}
+
+func TestEngineCancelPreventsExecution(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev, err := e.Schedule(10, func() { fired = true })
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	ev.Cancel()
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestEngineCancelFromEarlierEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	later, err := e.Schedule(20, func() { fired = true })
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if _, err := e.Schedule(10, func() { later.Cancel() }); err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if fired {
+		t.Fatal("event canceled at t=10 still fired at t=20")
+	}
+}
+
+func TestEngineRunHonorsHorizon(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30} {
+		at := at
+		if _, err := e.Schedule(at, func() { fired = append(fired, at) }); err != nil {
+			t.Fatalf("Schedule: %v", err)
+		}
+	}
+	if err := e.Run(25); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now() = %v, want horizon 25", e.Now())
+	}
+	// The remaining event survives and fires on a later Run.
+	if err := e.Run(100); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events after second run, want 3", len(fired))
+	}
+}
+
+func TestEngineStopEndsRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		if _, err := e.Schedule(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		}); err != nil {
+			t.Fatalf("Schedule: %v", err)
+		}
+	}
+	if err := e.Run(1000); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Run: err = %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Fatalf("executed %d events, want 3", count)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() = false")
+	}
+}
+
+func TestEngineEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	var tick func()
+	tick = func() {
+		ticks = append(ticks, e.Now())
+		if e.Now() < 50 {
+			if _, err := e.After(10, tick); err != nil {
+				t.Errorf("After: %v", err)
+			}
+		}
+	}
+	if _, err := e.Schedule(0, tick); err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(ticks) != 6 { // 0, 10, 20, 30, 40, 50
+		t.Fatalf("got %d ticks (%v), want 6", len(ticks), ticks)
+	}
+}
+
+func TestEngineProcessedCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		if _, err := e.Schedule(Time(i), func() {}); err != nil {
+			t.Fatalf("Schedule: %v", err)
+		}
+	}
+	ev, err := e.Schedule(10, func() {})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	ev.Cancel()
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if e.Processed() != 5 {
+		t.Fatalf("Processed() = %d, want 5 (canceled events don't count)", e.Processed())
+	}
+}
+
+// TestEventOrderingProperty checks, for arbitrary schedules, that execution
+// order always equals the stable sort of (time, insertion order).
+func TestEventOrderingProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		e := NewEngine()
+		type rec struct {
+			at  Time
+			idx int
+		}
+		var got []rec
+		for i, v := range raw {
+			at := Time(v % 97) // force many ties
+			i := i
+			if _, err := e.Schedule(at, func() { got = append(got, rec{at, i}) }); err != nil {
+				return false
+			}
+		}
+		if err := e.RunAll(); err != nil {
+			return false
+		}
+		want := make([]rec, 0, len(raw))
+		for i, v := range raw {
+			want = append(want, rec{Time(v % 97), i})
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback in simulated time. Events are created
+// through Engine.Schedule / Engine.After and may be canceled before they
+// fire. The zero value is not a usable Event.
+type Event struct {
+	at       Time
+	seq      uint64 // tie-breaker: FIFO among events at the same instant
+	fn       func()
+	canceled bool
+	index    int // position in the heap, -1 once popped
+}
+
+// At returns the instant the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Cancel prevents the event's callback from running. Canceling an event
+// that already fired or was already canceled is a no-op. Cancel must only
+// be called from the simulation goroutine (typically from inside another
+// event callback).
+func (e *Event) Cancel() { e.canceled = true }
+
+// eventHeap is a binary min-heap ordered by (time, sequence). The sequence
+// number guarantees a deterministic FIFO order for events scheduled at the
+// same instant, which in turn makes whole experiment runs reproducible.
+type eventHeap struct {
+	items []*Event
+}
+
+var _ heap.Interface = (*eventHeap)(nil)
+
+func (h *eventHeap) Len() int { return len(h.items) }
+
+func (h *eventHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].index = i
+	h.items[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return // heap.Push is only ever called with *Event; ignore misuse
+	}
+	ev.index = len(h.items)
+	h.items = append(h.items, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	h.items = old[:n-1]
+	return ev
+}
+
+func (h *eventHeap) push(ev *Event) { heap.Push(h, ev) }
+
+func (h *eventHeap) pop() *Event {
+	if len(h.items) == 0 {
+		return nil
+	}
+	ev, ok := heap.Pop(h).(*Event)
+	if !ok {
+		return nil
+	}
+	return ev
+}
+
+// peek returns the earliest event without removing it, or nil when empty.
+func (h *eventHeap) peek() *Event {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}

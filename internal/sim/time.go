@@ -1,0 +1,77 @@
+// Package sim provides the discrete-event core simulator that Roadrunner is
+// built around: a virtual clock, a deterministic event queue, and seedable
+// random-number streams.
+//
+// The paper's architecture (§4) centers every other module — communication,
+// ML, data preprocessing, and the learning-strategy logic — on a Core
+// Simulator "providing the elementary functionality of creating virtual
+// agents and then proceeding in discrete steps through the simulation time".
+// This package is that core: it owns simulated time and event ordering, and
+// nothing else. Domain concepts (vehicles, channels, models) live in the
+// packages layered on top.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is an instant in simulated time, measured in seconds from the start
+// of the experiment. Simulated time is completely decoupled from host
+// wall-clock time: an experiment spanning hours of simulated time typically
+// executes in seconds.
+type Time float64
+
+// Duration is a span of simulated time in seconds. A negative Duration is
+// valid as the result of subtracting a later Time from an earlier one, but
+// may not be used to schedule events.
+type Duration float64
+
+// Common durations, for readability at call sites.
+const (
+	Millisecond Duration = 1e-3
+	Second      Duration = 1
+	Minute      Duration = 60
+	Hour        Duration = 3600
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from o to t.
+func (t Time) Sub(o Time) Duration { return Duration(t - o) }
+
+// Before reports whether t precedes o.
+func (t Time) Before(o Time) bool { return t < o }
+
+// After reports whether t follows o.
+func (t Time) After(o Time) bool { return t > o }
+
+// Seconds returns the time as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// String formats the time as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", float64(t)) }
+
+// IsValid reports whether the time is a finite, non-negative instant.
+func (t Time) IsValid() bool {
+	return !math.IsNaN(float64(t)) && !math.IsInf(float64(t), 0) && t >= 0
+}
+
+// Seconds returns the duration as a float64 number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// String formats the duration as seconds with millisecond precision.
+func (d Duration) String() string { return fmt.Sprintf("%.3fs", float64(d)) }
+
+// IsValid reports whether the duration is finite (negative durations are
+// valid values; they are only rejected when scheduling).
+func (d Duration) IsValid() bool {
+	return !math.IsNaN(float64(d)) && !math.IsInf(float64(d), 0)
+}
+
+// DurationSeconds converts a plain float64 number of seconds to a Duration.
+func DurationSeconds(s float64) Duration { return Duration(s) }
+
+// TimeSeconds converts a plain float64 number of seconds to a Time.
+func TimeSeconds(s float64) Time { return Time(s) }

@@ -1,0 +1,193 @@
+package strategy
+
+import (
+	"fmt"
+
+	"roadrunner/internal/comm"
+	"roadrunner/internal/ml"
+	"roadrunner/internal/sim"
+)
+
+const tagData = "data"
+
+// CentralizedConfig parameterizes classic centralized ML: vehicles upload
+// raw sensed data over metered V2C and the cloud server trains the model —
+// the status quo whose transmission-cost and privacy problems motivate the
+// paper (§1). It is included as the cost baseline strategies are compared
+// against.
+type CentralizedConfig struct {
+	// Rounds is the number of server training rounds.
+	Rounds int `json:"rounds"`
+	// RoundDuration is the time between server training passes; uploads
+	// from newly available vehicles happen continuously.
+	RoundDuration sim.Duration `json:"round_duration_s"`
+	// UploadCheckInterval is how often vehicles that have not yet
+	// uploaded are re-polled (vehicles that were off get another chance).
+	UploadCheckInterval sim.Duration `json:"upload_check_interval_s"`
+	// ServerEpochs is how many epochs the server trains per round over
+	// all data received so far.
+	ServerEpochs int `json:"server_epochs"`
+}
+
+// DefaultCentralizedConfig trains 20 server rounds two minutes apart.
+func DefaultCentralizedConfig() CentralizedConfig {
+	return CentralizedConfig{
+		Rounds:              20,
+		RoundDuration:       120,
+		UploadCheckInterval: 30,
+		ServerEpochs:        1,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c CentralizedConfig) Validate() error {
+	switch {
+	case c.Rounds <= 0:
+		return fmt.Errorf("strategy: non-positive round count %d", c.Rounds)
+	case c.RoundDuration <= 0:
+		return fmt.Errorf("strategy: non-positive round duration %v", c.RoundDuration)
+	case c.UploadCheckInterval <= 0:
+		return fmt.Errorf("strategy: non-positive upload check interval %v", c.UploadCheckInterval)
+	case c.ServerEpochs <= 0:
+		return fmt.Errorf("strategy: non-positive server epochs %d", c.ServerEpochs)
+	default:
+		return nil
+	}
+}
+
+// Centralized implements the central-collection baseline: every vehicle
+// ships its raw local dataset to the cloud once (retrying while off or
+// unreachable), and the server periodically retrains the global model on
+// everything received so far. The interesting output is the V2C byte
+// volume relative to the model-exchange strategies.
+type Centralized struct {
+	Base
+	cfg CentralizedConfig
+
+	uploaded  map[sim.AgentID]bool
+	inFlight  map[sim.AgentID]bool
+	pool      []ml.Example
+	round     int
+	stopped   bool
+	trainBusy bool
+}
+
+var _ Strategy = (*Centralized)(nil)
+
+// NewCentralized returns the centralized-ML baseline strategy.
+func NewCentralized(cfg CentralizedConfig) (*Centralized, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Centralized{cfg: cfg}, nil
+}
+
+// Name implements Strategy.
+func (c *Centralized) Name() string { return "centralized" }
+
+// Config returns the strategy's configuration.
+func (c *Centralized) Config() CentralizedConfig { return c.cfg }
+
+// Start implements Strategy.
+func (c *Centralized) Start(env Env) error {
+	if env.Model(env.Server()) == nil {
+		return fmt.Errorf("strategy: centralized: server has no initial model")
+	}
+	c.uploaded = make(map[sim.AgentID]bool)
+	c.inFlight = make(map[sim.AgentID]bool)
+	c.pollUploads(env)
+	if err := env.After(c.cfg.RoundDuration, func() { c.serverRound(env) }); err != nil {
+		return fmt.Errorf("strategy: centralized: schedule round: %w", err)
+	}
+	return nil
+}
+
+// pollUploads asks every vehicle that has not yet shipped its data to do so
+// now if it is reachable, then re-arms itself.
+func (c *Centralized) pollUploads(env Env) {
+	if c.stopped {
+		return
+	}
+	for _, v := range env.Vehicles() {
+		if c.uploaded[v] || c.inFlight[v] || !env.IsOn(v) {
+			continue
+		}
+		data := env.LocalData(v)
+		if len(data) == 0 {
+			c.uploaded[v] = true // nothing to contribute
+			continue
+		}
+		p := Payload{Tag: tagData, Data: data, DataAmount: float64(len(data))}
+		if _, err := env.Send(v, env.Server(), comm.KindV2C, p); err != nil {
+			continue // retry at the next poll
+		}
+		c.inFlight[v] = true
+	}
+	if err := env.After(c.cfg.UploadCheckInterval, func() { c.pollUploads(env) }); err != nil {
+		env.Logf("centralized: schedule upload poll: %v", err)
+	}
+}
+
+// OnDeliver implements Strategy.
+func (c *Centralized) OnDeliver(env Env, msg *comm.Message, p Payload) {
+	if p.Tag != tagData || msg.To != env.Server() {
+		return
+	}
+	c.inFlight[msg.From] = false
+	c.uploaded[msg.From] = true
+	c.pool = append(c.pool, p.Data...)
+}
+
+// OnSendFailed implements Strategy.
+func (c *Centralized) OnSendFailed(env Env, msg *comm.Message, p Payload, reason error) {
+	if p.Tag != tagData {
+		return
+	}
+	c.inFlight[msg.From] = false // retried at the next poll
+}
+
+func (c *Centralized) serverRound(env Env) {
+	if c.stopped {
+		return
+	}
+	c.round++
+	if len(c.pool) > 0 && !c.trainBusy {
+		model := env.Model(env.Server())
+		if err := env.TrainOnData(env.Server(), model, c.pool); err != nil {
+			env.Logf("centralized: round %d: server train: %v", c.round, err)
+		} else {
+			c.trainBusy = true
+		}
+	}
+	if c.round >= c.cfg.Rounds {
+		// Allow a trailing training task to finish before stopping.
+		if err := env.After(c.cfg.RoundDuration, func() {
+			c.stopped = true
+			env.Stop()
+		}); err != nil {
+			env.Stop()
+		}
+		return
+	}
+	if err := env.After(c.cfg.RoundDuration, func() { c.serverRound(env) }); err != nil {
+		env.Logf("centralized: schedule round: %v", err)
+		env.Stop()
+	}
+}
+
+// OnTrainDone implements Strategy.
+func (c *Centralized) OnTrainDone(env Env, id sim.AgentID, trained *ml.Snapshot, loss float64) {
+	if id != env.Server() {
+		return
+	}
+	c.trainBusy = false
+	env.SetModel(env.Server(), trained)
+	recordGlobalAccuracy(env, c.round, len(c.pool))
+}
+
+// OnTrainAborted implements Strategy.
+func (c *Centralized) OnTrainAborted(env Env, id sim.AgentID) {
+	if id == env.Server() {
+		c.trainBusy = false
+	}
+}

@@ -1,0 +1,169 @@
+package strategy
+
+import (
+	"errors"
+	"testing"
+
+	"roadrunner/internal/metrics"
+	"roadrunner/internal/ml"
+)
+
+func newCentralizedUnderTest(t *testing.T) (*Centralized, *mockEnv) {
+	t.Helper()
+	s, err := NewCentralized(CentralizedConfig{
+		Rounds:              2,
+		RoundDuration:       100,
+		UploadCheckInterval: 20,
+		ServerEpochs:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newMockEnv(t, 3)
+	for _, v := range env.vehicles {
+		env.local[v] = makeExamples(2)
+		env.data[v] = 2
+	}
+	return s, env
+}
+
+func makeExamples(n int) []ml.Example {
+	out := make([]ml.Example, n)
+	for i := range out {
+		out[i] = ml.Example{X: []float32{float32(i), 1}, Label: i % 2}
+	}
+	return out
+}
+
+func TestCentralizedConfigValidate(t *testing.T) {
+	if err := DefaultCentralizedConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []CentralizedConfig{
+		{RoundDuration: 1, UploadCheckInterval: 1, ServerEpochs: 1},
+		{Rounds: 1, UploadCheckInterval: 1, ServerEpochs: 1},
+		{Rounds: 1, RoundDuration: 1, ServerEpochs: 1},
+		{Rounds: 1, RoundDuration: 1, UploadCheckInterval: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestCentralizedUploadsAllVehicleData(t *testing.T) {
+	s, env := newCentralizedUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	uploads := env.sendsWith(tagData)
+	if len(uploads) != 3 {
+		t.Fatalf("%d uploads, want 3", len(uploads))
+	}
+	for _, u := range uploads {
+		if u.msg.To != env.server {
+			t.Fatalf("upload addressed to %v", u.msg.To)
+		}
+		if len(u.payload.Data) != 2 {
+			t.Fatalf("upload carries %d examples, want 2", len(u.payload.Data))
+		}
+		env.deliver(s, u)
+	}
+	// Server trains on the pooled data at the next round tick.
+	env.advance(100)
+	if got := env.trainingAgents(); len(got) != 1 || got[0] != env.server {
+		t.Fatalf("server not training: %v", got)
+	}
+	if got := len(env.trains[0].examples); got != 6 {
+		t.Fatalf("server training on %d examples, want pooled 6", got)
+	}
+}
+
+func TestCentralizedRetriesOffVehicles(t *testing.T) {
+	s, env := newCentralizedUnderTest(t)
+	v := env.vehicles[0]
+	env.on[v] = false
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.sendsWith(tagData); len(got) != 2 {
+		t.Fatalf("%d uploads with one vehicle off, want 2", len(got))
+	}
+	// The vehicle comes back; the next poll picks it up.
+	env.on[v] = true
+	env.advance(20)
+	uploads := env.sendsWith(tagData)
+	found := false
+	for _, u := range uploads {
+		if u.msg.From == v {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("returned vehicle never uploaded")
+	}
+}
+
+func TestCentralizedRetriesFailedUploads(t *testing.T) {
+	s, env := newCentralizedUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	uploads := env.sendsWith(tagData)
+	env.failSend(s, uploads[0], errors.New("coverage hole"))
+	from := uploads[0].msg.From
+	env.advance(20)
+	retried := false
+	for _, u := range env.sendsWith(tagData) {
+		if u.msg.From == from {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Fatal("failed upload never retried")
+	}
+}
+
+func TestCentralizedUploadsOnlyOnce(t *testing.T) {
+	s, env := newCentralizedUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range env.sendsWith(tagData) {
+		env.deliver(s, u)
+	}
+	env.advance(20)
+	if got := env.sendsWith(tagData); len(got) != 0 {
+		t.Fatalf("vehicles re-uploaded after successful delivery: %d", len(got))
+	}
+}
+
+func TestCentralizedRecordsAccuracyAfterServerTraining(t *testing.T) {
+	s, env := newCentralizedUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range env.sendsWith(tagData) {
+		env.deliver(s, u)
+	}
+	env.advance(100)
+	env.finishTraining(s, env.server, 61)
+	acc := env.rec.Series(metrics.SeriesAccuracy)
+	if acc == nil || acc.Len() != 1 {
+		t.Fatalf("accuracy series = %v", acc)
+	}
+	if env.models[env.server] == nil {
+		t.Fatal("server model missing after training")
+	}
+}
+
+func TestCentralizedName(t *testing.T) {
+	s, _ := newCentralizedUnderTest(t)
+	if s.Name() != "centralized" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	if s.Config().Rounds != 2 {
+		t.Fatal("Config roundtrip broken")
+	}
+}

@@ -1,0 +1,303 @@
+package strategy
+
+import (
+	"errors"
+	"testing"
+
+	"roadrunner/internal/metrics"
+	"roadrunner/internal/sim"
+)
+
+func newFedAvgUnderTest(t *testing.T) (*FederatedAveraging, *mockEnv) {
+	t.Helper()
+	s, err := NewFederatedAveraging(FedAvgConfig{
+		Rounds:           2,
+		VehiclesPerRound: 3,
+		RoundDuration:    30,
+		ServerOverhead:   10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newMockEnv(t, 6)
+	return s, env
+}
+
+func TestFedAvgConfigValidate(t *testing.T) {
+	if err := DefaultFedAvgConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []FedAvgConfig{
+		{Rounds: 0, VehiclesPerRound: 5, RoundDuration: 30},
+		{Rounds: 75, VehiclesPerRound: 0, RoundDuration: 30},
+		{Rounds: 75, VehiclesPerRound: 5, RoundDuration: 0},
+		{Rounds: 75, VehiclesPerRound: 5, RoundDuration: 30, ServerOverhead: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+	if _, err := NewFederatedAveraging(FedAvgConfig{}); err == nil {
+		t.Fatal("NewFederatedAveraging accepted zero config")
+	}
+}
+
+func TestFedAvgStartSendsGlobalModels(t *testing.T) {
+	s, env := newFedAvgUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	globals := env.sendsWith(tagGlobal)
+	if len(globals) != 3 {
+		t.Fatalf("sent %d global models, want 3", len(globals))
+	}
+	seen := map[sim.AgentID]bool{}
+	for _, g := range globals {
+		if g.msg.From != env.server {
+			t.Fatalf("global sent from %v, want server", g.msg.From)
+		}
+		if g.payload.Model == nil {
+			t.Fatal("global payload carries no model")
+		}
+		if g.payload.Round != 1 {
+			t.Fatalf("round = %d, want 1", g.payload.Round)
+		}
+		if seen[g.msg.To] {
+			t.Fatalf("vehicle %v selected twice", g.msg.To)
+		}
+		seen[g.msg.To] = true
+	}
+}
+
+func TestFedAvgRequiresServerModel(t *testing.T) {
+	s, env := newFedAvgUnderTest(t)
+	delete(env.models, env.server)
+	if err := s.Start(env); err == nil {
+		t.Fatal("Start without a server model succeeded")
+	}
+}
+
+func TestFedAvgFullRoundFlow(t *testing.T) {
+	s, env := newFedAvgUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	before := env.models[env.server]
+
+	// Deliver the globals; each participant must start training.
+	for _, g := range env.sendsWith(tagGlobal) {
+		env.deliver(s, g)
+	}
+	training := env.trainingAgents()
+	if len(training) != 3 {
+		t.Fatalf("%d vehicles training, want 3", len(training))
+	}
+	// Trainings complete within the round.
+	for i, v := range training {
+		env.finishTraining(s, v, uint64(100+i))
+	}
+	// Round timer fires: updates must flow back.
+	env.advance(30)
+	updates := env.sendsWith(tagUpdate)
+	if len(updates) != 3 {
+		t.Fatalf("%d updates sent at round end, want 3", len(updates))
+	}
+	for _, u := range updates {
+		if u.msg.To != env.server {
+			t.Fatalf("update addressed to %v", u.msg.To)
+		}
+		if u.payload.DataAmount != 80 {
+			t.Fatalf("update data amount = %v, want 80", u.payload.DataAmount)
+		}
+		env.deliver(s, u)
+	}
+	// Aggregation happened: new global model, accuracy recorded.
+	if env.models[env.server] == before {
+		t.Fatal("server model unchanged after aggregation")
+	}
+	acc := env.rec.Series(metrics.SeriesAccuracy)
+	if acc == nil || acc.Len() != 1 {
+		t.Fatalf("accuracy series = %v, want 1 point", acc)
+	}
+	if got := env.rec.Counter(metrics.CounterRounds); got != 1 {
+		t.Fatalf("rounds counter = %v", got)
+	}
+	contrib := env.rec.Series(metrics.SeriesRoundContributions)
+	if contrib == nil {
+		t.Fatal("contributions not recorded")
+	}
+	if last, _ := contrib.Last(); last.Value != 3 {
+		t.Fatalf("contributions = %v, want 3", last.Value)
+	}
+	// Next round must start after the server overhead.
+	env.advance(41)
+	if got := env.sendsWith(tagGlobal); len(got) != 3 {
+		t.Fatalf("round 2 sent %d globals, want 3", len(got))
+	}
+}
+
+func TestFedAvgLateTrainingIsDiscarded(t *testing.T) {
+	s, env := newFedAvgUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	globals := env.sendsWith(tagGlobal)
+	env.deliver(s, globals[0])
+	// The round ends while the vehicle is still training.
+	env.advance(30)
+	if got := env.sendsWith(tagUpdate); len(got) != 0 {
+		t.Fatalf("updates sent despite unfinished training: %d", len(got))
+	}
+	// Training completes late: contribution lost.
+	v := env.trainingAgents()[0]
+	env.finishTraining(s, v, 50)
+	if got := env.sendsWith(tagUpdate); len(got) != 0 {
+		t.Fatal("late training still produced an update")
+	}
+	if env.rec.Counter(metrics.CounterDiscardedModels) != 1 {
+		t.Fatalf("discarded counter = %v, want 1", env.rec.Counter(metrics.CounterDiscardedModels))
+	}
+}
+
+func TestFedAvgKeepsModelWhenRoundEmpty(t *testing.T) {
+	s, env := newFedAvgUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	before := env.models[env.server]
+	// The globals never reach anyone; the round just times out.
+	for _, g := range env.sendsWith(tagGlobal) {
+		env.failSend(s, g, errors.New("unreachable"))
+	}
+	env.advance(30)
+	if env.models[env.server] != before {
+		t.Fatal("server model replaced despite zero contributions")
+	}
+	// The strategy still proceeds to round 2.
+	env.advance(40)
+	globals := env.sendsWith(tagGlobal)
+	if len(globals) != 3 {
+		t.Fatalf("round 2 sent %d globals", len(globals))
+	}
+}
+
+func TestFedAvgFailedReturnDoesNotWedgeRound(t *testing.T) {
+	s, env := newFedAvgUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range env.sendsWith(tagGlobal) {
+		env.deliver(s, g)
+	}
+	training := env.trainingAgents()
+	for i, v := range training {
+		env.finishTraining(s, v, uint64(200+i))
+	}
+	env.advance(30)
+	updates := env.sendsWith(tagUpdate)
+	// One return transfer fails mid-flight, the rest deliver.
+	env.failSend(s, updates[0], errors.New("vehicle shut off"))
+	env.deliver(s, updates[1])
+	env.deliver(s, updates[2])
+
+	if got := env.rec.Counter(metrics.CounterRounds); got != 1 {
+		t.Fatalf("round did not complete after partial failure: rounds=%v", got)
+	}
+	contrib := env.rec.Series(metrics.SeriesRoundContributions)
+	if last, _ := contrib.Last(); last.Value != 2 {
+		t.Fatalf("contributions = %v, want 2", last.Value)
+	}
+	if env.rec.Counter(metrics.CounterDiscardedModels) != 1 {
+		t.Fatal("failed return not counted as discarded")
+	}
+}
+
+func TestFedAvgStopsAfterConfiguredRounds(t *testing.T) {
+	s, env := newFedAvgUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	env.advance(30) // round 1 empty
+	env.advance(80) // round 2 starts at 40, ends at 70, next check at 80
+	env.advance(130)
+	if !env.stopped {
+		t.Fatal("strategy did not stop after 2 rounds")
+	}
+}
+
+func TestFedAvgSkipsOffVehicles(t *testing.T) {
+	s, env := newFedAvgUnderTest(t)
+	// Only two vehicles are on.
+	for _, v := range env.vehicles[2:] {
+		env.on[v] = false
+	}
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	globals := env.sendsWith(tagGlobal)
+	if len(globals) != 2 {
+		t.Fatalf("sent %d globals with 2 vehicles on, want 2", len(globals))
+	}
+	for _, g := range globals {
+		if !env.on[g.msg.To] {
+			t.Fatalf("global sent to off vehicle %v", g.msg.To)
+		}
+	}
+}
+
+func TestFedAvgIgnoresStaleRoundMessages(t *testing.T) {
+	s, env := newFedAvgUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	globals := env.sendsWith(tagGlobal)
+	// Round ends; round 2 begins.
+	env.advance(41)
+	// A round-1 global arrives very late at its vehicle: must be ignored.
+	env.deliver(s, globals[0])
+	for _, tc := range env.trains {
+		if tc.id == globals[0].msg.To {
+			t.Fatal("stale global model triggered training")
+		}
+	}
+}
+
+func TestFedAvgName(t *testing.T) {
+	s, _ := newFedAvgUnderTest(t)
+	if s.Name() != "fedavg" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	if s.Config().VehiclesPerRound != 3 {
+		t.Fatalf("Config roundtrip broken")
+	}
+}
+
+func TestFedAvgTracksProvenance(t *testing.T) {
+	s, env := newFedAvgUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range env.sendsWith(tagGlobal) {
+		env.deliver(s, g)
+	}
+	var contributors []sim.AgentID
+	for i, v := range env.trainingAgents() {
+		env.finishTraining(s, v, uint64(300+i))
+		contributors = append(contributors, v)
+	}
+	env.advance(30)
+	for _, u := range env.sendsWith(tagUpdate) {
+		if len(u.payload.Provenance) != 1 || u.payload.Provenance[0] != u.msg.From {
+			t.Fatalf("update provenance = %v, want [%v]", u.payload.Provenance, u.msg.From)
+		}
+		env.deliver(s, u)
+	}
+	prov := env.rec.Series(metrics.SeriesDistinctContributors)
+	if prov == nil || prov.Len() != 1 {
+		t.Fatalf("provenance series = %v", prov)
+	}
+	if last, _ := prov.Last(); last.Value != float64(len(contributors)) {
+		t.Fatalf("distinct contributors = %v, want %d", last.Value, len(contributors))
+	}
+}

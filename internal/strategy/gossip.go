@@ -1,0 +1,272 @@
+package strategy
+
+import (
+	"fmt"
+
+	"roadrunner/internal/comm"
+	"roadrunner/internal/metrics"
+	"roadrunner/internal/ml"
+	"roadrunner/internal/sim"
+)
+
+const tagGossip = "gossip"
+
+// GossipConfig parameterizes Gossip Learning (the decentralized end of the
+// paper's strategy spectrum, after Hegedűs et al. and the VCPS variant of
+// Dinani et al.): no server, no rounds — vehicles train local models and
+// merge them pairwise over V2X whenever they meet.
+type GossipConfig struct {
+	// Duration is how long the gossip process runs before the experiment
+	// stops.
+	Duration sim.Duration `json:"duration_s"`
+	// ExchangeCooldown is the minimum time between a vehicle's successive
+	// gossip exchanges, bounding radio and compute load.
+	ExchangeCooldown sim.Duration `json:"exchange_cooldown_s"`
+	// EvalInterval is how often the analyst-side accuracy metric is
+	// sampled.
+	EvalInterval sim.Duration `json:"eval_interval_s"`
+	// EvalSample is how many powered-on vehicle models are averaged per
+	// accuracy sample.
+	EvalSample int `json:"eval_sample"`
+}
+
+// DefaultGossipConfig returns a 1-hour gossip run with 60 s cooldowns.
+func DefaultGossipConfig() GossipConfig {
+	return GossipConfig{
+		Duration:         3600,
+		ExchangeCooldown: 60,
+		EvalInterval:     120,
+		EvalSample:       8,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c GossipConfig) Validate() error {
+	switch {
+	case c.Duration <= 0:
+		return fmt.Errorf("strategy: non-positive gossip duration %v", c.Duration)
+	case c.ExchangeCooldown < 0:
+		return fmt.Errorf("strategy: negative exchange cooldown %v", c.ExchangeCooldown)
+	case c.EvalInterval <= 0:
+		return fmt.Errorf("strategy: non-positive eval interval %v", c.EvalInterval)
+	case c.EvalSample <= 0:
+		return fmt.Errorf("strategy: non-positive eval sample %d", c.EvalSample)
+	default:
+		return nil
+	}
+}
+
+// Gossip implements gossip learning: on start (and whenever it turns on
+// without a model) a vehicle trains its own local model; when two
+// model-carrying vehicles meet, they exchange models over V2X and each
+// merges the received model with its own via data-amount-weighted averaging
+// followed by a local retrain — "each vehicle plays the role of a cloud
+// server ... for all vehicles in its vicinity" without any V2C usage.
+type Gossip struct {
+	Base
+	cfg GossipConfig
+
+	lastExchange map[sim.AgentID]sim.Time
+	// pendingMerge holds a received model waiting for the local HU to
+	// free up; the newest received model wins.
+	pendingMerge map[sim.AgentID]*Payload
+	// trainedOnce marks vehicles whose initial local training completed.
+	trainedOnce map[sim.AgentID]bool
+	stopped     bool
+}
+
+var _ Strategy = (*Gossip)(nil)
+
+// NewGossip returns the gossip-learning strategy.
+func NewGossip(cfg GossipConfig) (*Gossip, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Gossip{cfg: cfg}, nil
+}
+
+// Name implements Strategy.
+func (g *Gossip) Name() string { return "gossip" }
+
+// Config returns the strategy's configuration.
+func (g *Gossip) Config() GossipConfig { return g.cfg }
+
+// Start implements Strategy.
+func (g *Gossip) Start(env Env) error {
+	init := env.Model(env.Server())
+	if init == nil {
+		return fmt.Errorf("strategy: gossip: server has no initial model to seed vehicles")
+	}
+	g.lastExchange = make(map[sim.AgentID]sim.Time)
+	g.pendingMerge = make(map[sim.AgentID]*Payload)
+	g.trainedOnce = make(map[sim.AgentID]bool)
+	for _, v := range env.Vehicles() {
+		env.SetModel(v, init)
+		if env.IsOn(v) {
+			g.kickTraining(env, v)
+		}
+	}
+	if err := env.After(g.cfg.EvalInterval, func() { g.evalTick(env) }); err != nil {
+		return fmt.Errorf("strategy: gossip: schedule eval: %w", err)
+	}
+	if err := env.After(g.cfg.Duration, func() {
+		g.stopped = true
+		g.recordAccuracy(env)
+		env.Stop()
+	}); err != nil {
+		return fmt.Errorf("strategy: gossip: schedule stop: %w", err)
+	}
+	return nil
+}
+
+func (g *Gossip) kickTraining(env Env, v sim.AgentID) {
+	if env.IsBusy(v) || env.DataAmount(v) == 0 {
+		return
+	}
+	if err := env.Train(v, env.Model(v)); err != nil {
+		env.Logf("gossip: initial train on %v: %v", v, err)
+	}
+}
+
+// OnPowerChange implements Strategy.
+func (g *Gossip) OnPowerChange(env Env, id sim.AgentID, on bool) {
+	if g.stopped || !on || env.Kind(id) != sim.KindVehicle {
+		return
+	}
+	if !g.trainedOnce[id] {
+		g.kickTraining(env, id)
+	}
+}
+
+// OnEncounter implements Strategy.
+func (g *Gossip) OnEncounter(env Env, a, b sim.AgentID) {
+	if g.stopped {
+		return
+	}
+	if env.Kind(a) != sim.KindVehicle || env.Kind(b) != sim.KindVehicle {
+		return
+	}
+	now := env.Now()
+	for _, v := range []sim.AgentID{a, b} {
+		if last, ok := g.lastExchange[v]; ok && now.Sub(last) < g.cfg.ExchangeCooldown {
+			return
+		}
+	}
+	if !g.trainedOnce[a] || !g.trainedOnce[b] {
+		return // nothing useful to gossip yet
+	}
+	// Mutual exchange.
+	pa := Payload{Tag: tagGossip, Model: env.Model(a), DataAmount: float64(env.DataAmount(a))}
+	pb := Payload{Tag: tagGossip, Model: env.Model(b), DataAmount: float64(env.DataAmount(b))}
+	if pa.Model == nil || pb.Model == nil {
+		return
+	}
+	if _, err := env.Send(a, b, comm.KindV2X, pa); err != nil {
+		return
+	}
+	if _, err := env.Send(b, a, comm.KindV2X, pb); err != nil {
+		return
+	}
+	g.lastExchange[a] = now
+	g.lastExchange[b] = now
+}
+
+// OnDeliver implements Strategy.
+func (g *Gossip) OnDeliver(env Env, msg *comm.Message, p Payload) {
+	if g.stopped || p.Tag != tagGossip {
+		return
+	}
+	v := msg.To
+	own := env.Model(v)
+	if own == nil {
+		env.SetModel(v, p.Model)
+		return
+	}
+	merged, err := env.Aggregate(
+		[]*ml.Snapshot{own, p.Model},
+		[]float64{float64(env.DataAmount(v)), p.DataAmount},
+	)
+	if err != nil {
+		env.Logf("gossip: merge on %v: %v", v, err)
+		return
+	}
+	env.SetModel(v, merged)
+	if env.IsBusy(v) {
+		// Retrain once the HU frees up; remember only the latest merge.
+		pl := p
+		g.pendingMerge[v] = &pl
+		return
+	}
+	if err := env.Train(v, merged); err != nil {
+		env.Logf("gossip: retrain on %v: %v", v, err)
+	}
+}
+
+// OnTrainDone implements Strategy.
+func (g *Gossip) OnTrainDone(env Env, id sim.AgentID, trained *ml.Snapshot, loss float64) {
+	if env.Kind(id) != sim.KindVehicle {
+		return
+	}
+	g.trainedOnce[id] = true
+	env.SetModel(id, trained)
+	if g.stopped {
+		return
+	}
+	if _, ok := g.pendingMerge[id]; ok {
+		delete(g.pendingMerge, id)
+		if err := env.Train(id, env.Model(id)); err != nil {
+			env.Logf("gossip: deferred retrain on %v: %v", id, err)
+		}
+	}
+}
+
+// OnTrainAborted implements Strategy.
+func (g *Gossip) OnTrainAborted(env Env, id sim.AgentID) {
+	delete(g.pendingMerge, id)
+}
+
+func (g *Gossip) evalTick(env Env) {
+	if g.stopped {
+		return
+	}
+	g.recordAccuracy(env)
+	if err := env.After(g.cfg.EvalInterval, func() { g.evalTick(env) }); err != nil {
+		env.Logf("gossip: schedule eval: %v", err)
+	}
+}
+
+// recordAccuracy samples the fleet: the mean test accuracy of up to
+// EvalSample random powered-on, trained vehicle models.
+func (g *Gossip) recordAccuracy(env Env) {
+	var candidates []sim.AgentID
+	for _, v := range env.Vehicles() {
+		if g.trainedOnce[v] && env.Model(v) != nil {
+			candidates = append(candidates, v)
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	env.Rand().Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if len(candidates) > g.cfg.EvalSample {
+		candidates = candidates[:g.cfg.EvalSample]
+	}
+	sum := 0.0
+	n := 0
+	for _, v := range candidates {
+		acc, err := env.TestAccuracy(env.Model(v))
+		if err != nil {
+			continue
+		}
+		sum += acc
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	if err := env.Metrics().Record(metrics.SeriesAccuracy, env.Now(), sum/float64(n)); err != nil {
+		env.Logf("metrics: %v", err)
+	}
+}

@@ -1,0 +1,250 @@
+package strategy
+
+import (
+	"testing"
+
+	"roadrunner/internal/metrics"
+	"roadrunner/internal/sim"
+)
+
+func newGossipUnderTest(t *testing.T) (*Gossip, *mockEnv) {
+	t.Helper()
+	s, err := NewGossip(GossipConfig{
+		Duration:         1000,
+		ExchangeCooldown: 60,
+		EvalInterval:     100,
+		EvalSample:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newMockEnv(t, 4)
+	return s, env
+}
+
+func TestGossipConfigValidate(t *testing.T) {
+	if err := DefaultGossipConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []GossipConfig{
+		{ExchangeCooldown: 1, EvalInterval: 1, EvalSample: 1},
+		{Duration: 1, ExchangeCooldown: -1, EvalInterval: 1, EvalSample: 1},
+		{Duration: 1, EvalInterval: 0, EvalSample: 1},
+		{Duration: 1, EvalInterval: 1, EvalSample: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+	if _, err := NewGossip(GossipConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestGossipStartSeedsAndTrainsOnVehicles(t *testing.T) {
+	s, env := newGossipUnderTest(t)
+	env.on[env.vehicles[3]] = false
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range env.vehicles {
+		if env.models[v] == nil {
+			t.Fatalf("vehicle %v not seeded with the initial model", v)
+		}
+	}
+	training := env.trainingAgents()
+	if len(training) != 3 {
+		t.Fatalf("%d vehicles training at start, want 3 (one is off)", len(training))
+	}
+}
+
+func TestGossipRequiresServerModel(t *testing.T) {
+	s, env := newGossipUnderTest(t)
+	delete(env.models, env.server)
+	if err := s.Start(env); err == nil {
+		t.Fatal("Start without initial model succeeded")
+	}
+}
+
+func TestGossipEncounterExchangesModels(t *testing.T) {
+	s, env := newGossipUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	a, b := env.vehicles[0], env.vehicles[1]
+	env.finishTraining(s, a, 11)
+	env.finishTraining(s, b, 12)
+
+	s.OnEncounter(env, a, b)
+	gossips := env.sendsWith(tagGossip)
+	if len(gossips) != 2 {
+		t.Fatalf("%d gossip messages, want 2 (mutual)", len(gossips))
+	}
+	froms := map[sim.AgentID]bool{}
+	for _, g := range gossips {
+		froms[g.msg.From] = true
+		if g.payload.DataAmount != 80 {
+			t.Fatalf("gossip data amount = %v", g.payload.DataAmount)
+		}
+	}
+	if !froms[a] || !froms[b] {
+		t.Fatal("exchange not mutual")
+	}
+	// Delivery merges and retrains.
+	before := env.models[gossips[0].msg.To]
+	env.deliver(s, gossips[0])
+	if env.models[gossips[0].msg.To] == before {
+		t.Fatal("merge did not replace the receiver's model")
+	}
+	if got := env.trainingAgents(); !containsAgent(got, gossips[0].msg.To) {
+		t.Fatalf("receiver not retraining after merge: %v", got)
+	}
+}
+
+func TestGossipUntrainedVehiclesDoNotExchange(t *testing.T) {
+	s, env := newGossipUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	// Neither vehicle has finished its first local training.
+	s.OnEncounter(env, env.vehicles[0], env.vehicles[1])
+	if got := env.sendsWith(tagGossip); len(got) != 0 {
+		t.Fatalf("untrained vehicles gossiped: %d messages", len(got))
+	}
+}
+
+func TestGossipCooldownBlocksRapidExchanges(t *testing.T) {
+	s, env := newGossipUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := env.vehicles[0], env.vehicles[1], env.vehicles[2]
+	for i, v := range []sim.AgentID{a, b, c} {
+		env.finishTraining(s, v, uint64(30+i))
+	}
+	s.OnEncounter(env, a, b)
+	if got := env.sendsWith(tagGossip); len(got) != 2 {
+		t.Fatalf("first exchange produced %d messages", len(got))
+	}
+	for _, g := range env.sendsWith(tagGossip) {
+		g.resolved = true // consume without delivering
+	}
+	// An immediate second encounter involving a must be suppressed.
+	s.OnEncounter(env, a, c)
+	if got := env.sendsWith(tagGossip); len(got) != 0 {
+		t.Fatalf("cooldown violated: %d messages", len(got))
+	}
+	// After the cooldown, it goes through.
+	env.advance(61)
+	s.OnEncounter(env, a, c)
+	if got := env.sendsWith(tagGossip); len(got) != 2 {
+		t.Fatalf("post-cooldown exchange produced %d messages", len(got))
+	}
+}
+
+func TestGossipBusyReceiverDefersRetrain(t *testing.T) {
+	s, env := newGossipUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	a, b := env.vehicles[0], env.vehicles[1]
+	env.finishTraining(s, a, 41)
+	env.finishTraining(s, b, 42)
+	s.OnEncounter(env, a, b)
+	gossips := env.sendsWith(tagGossip)
+	var toA *sentMessage
+	for _, g := range gossips {
+		if g.msg.To == a {
+			toA = g
+		} else {
+			g.resolved = true
+		}
+	}
+	// a is busy with another retrain when the model arrives.
+	env.busy[a] = true
+	env.deliver(s, toA)
+	if _, ok := s.pendingMerge[a]; !ok {
+		t.Fatal("merge not deferred while busy")
+	}
+	// When the current training finishes, the deferred retrain starts.
+	if err := env.TrainOnData(a, env.models[a], nil); err == nil {
+		t.Fatal("mock should refuse training while busy")
+	}
+	env.busy[a] = false
+	s.OnTrainDone(env, a, testSnapshot(t, 43), 0.1)
+	if got := env.trainingAgents(); !containsAgent(got, a) {
+		t.Fatalf("deferred retrain did not start: %v", got)
+	}
+}
+
+func TestGossipEvalRecordsFleetAccuracy(t *testing.T) {
+	s, env := newGossipUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range env.vehicles {
+		env.finishTraining(s, v, uint64(50+i))
+	}
+	env.advance(100) // eval tick
+	acc := env.rec.Series(metrics.SeriesAccuracy)
+	if acc == nil || acc.Len() == 0 {
+		t.Fatal("no fleet accuracy recorded")
+	}
+	if v, _ := acc.Last(); v.Value != 0.5 {
+		t.Fatalf("accuracy = %v, want the mock's 0.5", v.Value)
+	}
+}
+
+func TestGossipStopsAtDuration(t *testing.T) {
+	s, env := newGossipUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	env.advance(1000)
+	if !env.stopped {
+		t.Fatal("gossip did not stop at its configured duration")
+	}
+	// Encounters after the stop are ignored.
+	a, b := env.vehicles[0], env.vehicles[1]
+	s.OnEncounter(env, a, b)
+	if got := env.sendsWith(tagGossip); len(got) != 0 {
+		t.Fatal("gossip continued after stop")
+	}
+}
+
+func TestGossipPowerOnStartsFirstTraining(t *testing.T) {
+	s, env := newGossipUnderTest(t)
+	v := env.vehicles[2]
+	env.on[v] = false
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	if for0 := env.trainingAgents(); containsAgent(for0, v) {
+		t.Fatal("off vehicle training")
+	}
+	env.on[v] = true
+	s.OnPowerChange(env, v, true)
+	if got := env.trainingAgents(); !containsAgent(got, v) {
+		t.Fatalf("vehicle %v not training after power-on: %v", v, got)
+	}
+}
+
+func containsAgent(ids []sim.AgentID, want sim.AgentID) bool {
+	for _, id := range ids {
+		if id == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGossipName(t *testing.T) {
+	s, _ := newGossipUnderTest(t)
+	if s.Name() != "gossip" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	if s.Config().EvalSample != 4 {
+		t.Fatal("Config roundtrip broken")
+	}
+}

@@ -1,0 +1,155 @@
+package strategy
+
+import (
+	"errors"
+	"testing"
+
+	"roadrunner/internal/metrics"
+)
+
+func newHybridUnderTest(t *testing.T) (*Hybrid, *mockEnv) {
+	t.Helper()
+	s, err := NewHybrid(HybridConfig{
+		Gossip: GossipConfig{
+			Duration:         2000,
+			ExchangeCooldown: 60,
+			EvalInterval:     500,
+			EvalSample:       4,
+		},
+		SyncInterval: 100,
+		SyncVehicles: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newMockEnv(t, 4)
+	return s, env
+}
+
+func TestHybridConfigValidate(t *testing.T) {
+	if err := DefaultHybridConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []HybridConfig{
+		{Gossip: GossipConfig{}, SyncInterval: 1, SyncVehicles: 1},
+		{Gossip: DefaultGossipConfig(), SyncVehicles: 1},
+		{Gossip: DefaultGossipConfig(), SyncInterval: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestHybridSyncPullsAggregatesAndPushes(t *testing.T) {
+	s, env := newHybridUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	// Vehicles finish initial local training so they hold models.
+	for i, v := range env.vehicles {
+		env.finishTraining(s, v, uint64(70+i))
+	}
+	before := env.models[env.server]
+
+	env.advance(100) // first sync tick
+	pulls := env.sendsWith(tagPullRequest)
+	if len(pulls) != 2 {
+		t.Fatalf("%d pull requests, want 2", len(pulls))
+	}
+	for _, p := range pulls {
+		env.deliver(s, p)
+	}
+	replies := env.sendsWith(tagPullReply)
+	if len(replies) != 2 {
+		t.Fatalf("%d pull replies, want 2", len(replies))
+	}
+	for _, r := range replies {
+		if r.payload.Model == nil || r.payload.DataAmount != 80 {
+			t.Fatalf("bad pull reply payload: %+v", r.payload)
+		}
+		env.deliver(s, r)
+	}
+	if env.models[env.server] == before {
+		t.Fatal("server model unchanged after sync aggregation")
+	}
+	acc := env.rec.Series(metrics.SeriesAccuracy)
+	if acc == nil || acc.Len() == 0 {
+		t.Fatal("no accuracy recorded at sync")
+	}
+	pushes := env.sendsWith(tagPush)
+	if len(pushes) == 0 {
+		t.Fatal("no models pushed back after sync")
+	}
+	pushed := pushes[0]
+	env.deliver(s, pushed)
+	if env.models[pushed.msg.To] != env.models[env.server] {
+		t.Fatal("pushed model not adopted")
+	}
+}
+
+func TestHybridSyncSurvivesFailures(t *testing.T) {
+	s, env := newHybridUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range env.vehicles {
+		env.finishTraining(s, v, uint64(80+i))
+	}
+	env.advance(100)
+	pulls := env.sendsWith(tagPullRequest)
+	env.failSend(s, pulls[0], errors.New("gone"))
+	env.deliver(s, pulls[1])
+	replies := env.sendsWith(tagPullReply)
+	if len(replies) != 1 {
+		t.Fatalf("%d replies, want 1", len(replies))
+	}
+	env.deliver(s, replies[0])
+	// Aggregation over the single surviving reply must still happen.
+	if got := env.rec.Counter(metrics.CounterRounds); got != 1 {
+		t.Fatalf("sync rounds = %v, want 1", got)
+	}
+}
+
+func TestHybridGossipStillWorks(t *testing.T) {
+	s, env := newHybridUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	a, b := env.vehicles[0], env.vehicles[1]
+	env.finishTraining(s, a, 91)
+	env.finishTraining(s, b, 92)
+	s.OnEncounter(env, a, b)
+	if got := env.sendsWith(tagGossip); len(got) != 2 {
+		t.Fatalf("hybrid gossip exchange produced %d messages, want 2", len(got))
+	}
+}
+
+func TestHybridName(t *testing.T) {
+	s, _ := newHybridUnderTest(t)
+	if s.Name() != "hybrid" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	if s.Config().SyncVehicles != 2 {
+		t.Fatal("Config roundtrip broken")
+	}
+}
+
+func TestPickOnVehiclesRespectsState(t *testing.T) {
+	env := newMockEnv(t, 5)
+	env.on[env.vehicles[0]] = false
+	env.busy[env.vehicles[1]] = true
+	picked := pickOnVehicles(env, 10)
+	if len(picked) != 3 {
+		t.Fatalf("picked %d vehicles, want 3 eligible", len(picked))
+	}
+	for _, v := range picked {
+		if !env.on[v] || env.busy[v] {
+			t.Fatalf("picked ineligible vehicle %v", v)
+		}
+	}
+	if got := pickOnVehicles(env, 2); len(got) != 2 {
+		t.Fatalf("cap not applied: %d", len(got))
+	}
+}

@@ -1,0 +1,265 @@
+package strategy
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"roadrunner/internal/comm"
+	"roadrunner/internal/metrics"
+	"roadrunner/internal/ml"
+	"roadrunner/internal/sim"
+)
+
+// mockEnv is a scripted strategy.Env for unit-testing strategy logic in
+// isolation: sends and trainings are recorded instead of simulated, timers
+// fire when the test advances the clock, and the test plays the role of
+// the communication module by delivering or failing messages explicitly.
+type mockEnv struct {
+	t *testing.T
+
+	now      sim.Time
+	rng      *sim.RNG
+	server   sim.AgentID
+	vehicles []sim.AgentID
+	rsus     []sim.AgentID
+	on       map[sim.AgentID]bool
+	busy     map[sim.AgentID]bool
+	data     map[sim.AgentID]int
+	local    map[sim.AgentID][]ml.Example
+	models   map[sim.AgentID]*ml.Snapshot
+	neighbor map[sim.AgentID][]sim.AgentID
+	rec      *metrics.Recorder
+	stopped  bool
+	accuracy float64
+
+	sends    []*sentMessage
+	trains   []trainCall
+	timers   []*timer
+	nextMsg  comm.MsgID
+	sendFail map[sim.AgentID]error // force Send() to fail at call time for this destination
+}
+
+type sentMessage struct {
+	msg      *comm.Message
+	payload  Payload
+	resolved bool
+}
+
+type trainCall struct {
+	id       sim.AgentID
+	model    *ml.Snapshot
+	examples []ml.Example
+}
+
+type timer struct {
+	at    sim.Time
+	fn    func()
+	fired bool
+}
+
+var _ Env = (*mockEnv)(nil)
+
+func newMockEnv(t *testing.T, vehicles int) *mockEnv {
+	t.Helper()
+	e := &mockEnv{
+		t:        t,
+		rng:      sim.NewRNG(1),
+		server:   0,
+		on:       map[sim.AgentID]bool{0: true},
+		busy:     map[sim.AgentID]bool{},
+		data:     map[sim.AgentID]int{},
+		local:    map[sim.AgentID][]ml.Example{},
+		models:   map[sim.AgentID]*ml.Snapshot{},
+		neighbor: map[sim.AgentID][]sim.AgentID{},
+		rec:      metrics.NewRecorder(),
+		sendFail: map[sim.AgentID]error{},
+		accuracy: 0.5,
+	}
+	for i := 1; i <= vehicles; i++ {
+		id := sim.AgentID(i)
+		e.vehicles = append(e.vehicles, id)
+		e.on[id] = true
+		e.data[id] = 80
+	}
+	e.models[e.server] = testSnapshot(t, 1)
+	return e
+}
+
+func testSnapshot(t *testing.T, seed uint64) *ml.Snapshot {
+	t.Helper()
+	n, err := ml.NewNetwork(ml.MLPSpec(2, nil, 2), sim.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n.Snapshot()
+}
+
+func (e *mockEnv) Now() sim.Time           { return e.now }
+func (e *mockEnv) Rand() *sim.RNG          { return e.rng }
+func (e *mockEnv) Server() sim.AgentID     { return e.server }
+func (e *mockEnv) Vehicles() []sim.AgentID { return e.vehicles }
+func (e *mockEnv) RSUs() []sim.AgentID     { return e.rsus }
+
+func (e *mockEnv) Kind(id sim.AgentID) sim.AgentKind {
+	if id == e.server {
+		return sim.KindCloudServer
+	}
+	for _, r := range e.rsus {
+		if r == id {
+			return sim.KindRSU
+		}
+	}
+	return sim.KindVehicle
+}
+
+func (e *mockEnv) IsOn(id sim.AgentID) bool                { return e.on[id] }
+func (e *mockEnv) IsBusy(id sim.AgentID) bool              { return e.busy[id] }
+func (e *mockEnv) DataAmount(id sim.AgentID) int           { return e.data[id] }
+func (e *mockEnv) LocalData(id sim.AgentID) []ml.Example   { return e.local[id] }
+func (e *mockEnv) Model(id sim.AgentID) *ml.Snapshot       { return e.models[id] }
+func (e *mockEnv) SetModel(id sim.AgentID, m *ml.Snapshot) { e.models[id] = m }
+
+func (e *mockEnv) Send(from, to sim.AgentID, kind comm.Kind, p Payload) (comm.MsgID, error) {
+	if !e.on[from] {
+		return 0, comm.ErrSenderOff
+	}
+	if !e.on[to] {
+		return 0, comm.ErrReceiverOff
+	}
+	if err := e.sendFail[to]; err != nil {
+		return 0, err
+	}
+	e.nextMsg++
+	e.sends = append(e.sends, &sentMessage{
+		msg: &comm.Message{
+			ID: e.nextMsg, From: from, To: to, Kind: kind, SentAt: e.now,
+		},
+		payload: p,
+	})
+	return e.nextMsg, nil
+}
+
+func (e *mockEnv) Train(id sim.AgentID, m *ml.Snapshot) error {
+	return e.TrainOnData(id, m, e.local[id])
+}
+
+func (e *mockEnv) TrainOnData(id sim.AgentID, m *ml.Snapshot, examples []ml.Example) error {
+	if !e.on[id] {
+		return fmt.Errorf("mock: agent %v off", id)
+	}
+	if e.busy[id] {
+		return fmt.Errorf("mock: agent %v busy", id)
+	}
+	e.busy[id] = true
+	e.trains = append(e.trains, trainCall{id: id, model: m, examples: examples})
+	return nil
+}
+
+func (e *mockEnv) Aggregate(models []*ml.Snapshot, weights []float64) (*ml.Snapshot, error) {
+	return ml.FedAvg(models, weights)
+}
+
+func (e *mockEnv) TestAccuracy(m *ml.Snapshot) (float64, error) {
+	if m == nil {
+		return 0, fmt.Errorf("mock: nil model")
+	}
+	return e.accuracy, nil
+}
+
+func (e *mockEnv) Neighbors(id sim.AgentID) []sim.AgentID { return e.neighbor[id] }
+
+func (e *mockEnv) Reachable(from, to sim.AgentID, kind comm.Kind) bool {
+	return e.on[from] && e.on[to]
+}
+
+func (e *mockEnv) After(d sim.Duration, fn func()) error {
+	if d < 0 {
+		return fmt.Errorf("mock: negative delay")
+	}
+	e.timers = append(e.timers, &timer{at: e.now.Add(d), fn: fn})
+	return nil
+}
+
+func (e *mockEnv) Metrics() *metrics.Recorder { return e.rec }
+func (e *mockEnv) Stop()                      { e.stopped = true }
+func (e *mockEnv) Logf(string, ...any)        {}
+
+// advance moves the clock to t and fires due timers in time order.
+func (e *mockEnv) advance(t sim.Time) {
+	for {
+		var next *timer
+		for _, tm := range e.timers {
+			if tm.fired || tm.at > t {
+				continue
+			}
+			if next == nil || tm.at < next.at {
+				next = tm
+			}
+		}
+		if next == nil {
+			break
+		}
+		e.now = next.at
+		next.fired = true
+		next.fn()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// sendsTo returns unresolved sends addressed to the given agent with the
+// given tag, in send order.
+func (e *mockEnv) sendsWith(tag string) []*sentMessage {
+	var out []*sentMessage
+	for _, s := range e.sends {
+		if !s.resolved && s.payload.Tag == tag {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// deliver resolves a sent message as delivered, invoking the strategy.
+func (e *mockEnv) deliver(s Strategy, m *sentMessage) {
+	m.resolved = true
+	s.OnDeliver(e, m.msg, m.payload)
+}
+
+// failSend resolves a sent message as failed.
+func (e *mockEnv) failSend(s Strategy, m *sentMessage, reason error) {
+	m.resolved = true
+	s.OnSendFailed(e, m.msg, m.payload, reason)
+}
+
+// finishTraining completes the oldest outstanding training task of the
+// agent, producing a distinct snapshot, and notifies the strategy.
+func (e *mockEnv) finishTraining(s Strategy, id sim.AgentID, seed uint64) *ml.Snapshot {
+	e.t.Helper()
+	found := false
+	for i, tc := range e.trains {
+		if tc.id == id {
+			e.trains = append(e.trains[:i], e.trains[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		e.t.Fatalf("no outstanding training on agent %v", id)
+	}
+	e.busy[id] = false
+	trained := testSnapshot(e.t, seed)
+	s.OnTrainDone(e, id, trained, 0.1)
+	return trained
+}
+
+// trainingAgents lists agents with outstanding training, sorted.
+func (e *mockEnv) trainingAgents() []sim.AgentID {
+	var out []sim.AgentID
+	for _, tc := range e.trains {
+		out = append(out, tc.id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

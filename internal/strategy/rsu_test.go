@@ -1,0 +1,200 @@
+package strategy
+
+import (
+	"testing"
+
+	"roadrunner/internal/comm"
+	"roadrunner/internal/metrics"
+	"roadrunner/internal/sim"
+)
+
+func newRSUUnderTest(t *testing.T) (*RSUAssisted, *mockEnv) {
+	t.Helper()
+	s, err := NewRSUAssisted(RSUAssistedConfig{
+		Rounds:          2,
+		RoundDuration:   200,
+		ServerOverhead:  10,
+		ExchangeTimeout: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newMockEnv(t, 4)
+	// Two RSUs with IDs after the vehicles.
+	for i := 0; i < 2; i++ {
+		id := sim.AgentID(100 + i)
+		env.rsus = append(env.rsus, id)
+		env.on[id] = true
+	}
+	return s, env
+}
+
+func TestRSUAssistedConfigValidate(t *testing.T) {
+	if err := DefaultRSUAssistedConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []RSUAssistedConfig{
+		{RoundDuration: 1, ExchangeTimeout: 1},
+		{Rounds: 1, ExchangeTimeout: 1},
+		{Rounds: 1, RoundDuration: 1},
+		{Rounds: 1, RoundDuration: 1, ExchangeTimeout: 1, ServerOverhead: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestRSUAssistedRequiresRSUs(t *testing.T) {
+	s, env := newRSUUnderTest(t)
+	env.rsus = nil
+	if err := s.Start(env); err == nil {
+		t.Fatal("Start without RSUs succeeded")
+	}
+}
+
+func TestRSUAssistedDistributesOverWire(t *testing.T) {
+	s, env := newRSUUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	globals := env.sendsWith(tagGlobal)
+	if len(globals) != 2 {
+		t.Fatalf("%d wired distributions, want 2 RSUs", len(globals))
+	}
+	for _, g := range globals {
+		if g.msg.Kind != comm.KindWired {
+			t.Fatalf("distribution used %v, want wired backhaul", g.msg.Kind)
+		}
+	}
+}
+
+func TestRSUAssistedFullRoundUsesNoV2C(t *testing.T) {
+	s, env := newRSUUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	rsu := env.rsus[0]
+	vehicle := env.vehicles[0]
+	for _, g := range env.sendsWith(tagGlobal) {
+		env.deliver(s, g)
+	}
+
+	// A vehicle drives past the RSU.
+	s.OnEncounter(env, vehicle, rsu)
+	offers := env.sendsWith(tagOffer)
+	if len(offers) != 1 {
+		t.Fatalf("%d offers after pass-by, want 1", len(offers))
+	}
+	if offers[0].msg.Kind != comm.KindV2X {
+		t.Fatalf("offer over %v, want V2X", offers[0].msg.Kind)
+	}
+	env.deliver(s, offers[0])
+	env.finishTraining(s, vehicle, 31)
+	retrained := env.sendsWith(tagRetrained)
+	if len(retrained) != 1 {
+		t.Fatalf("%d retrained messages, want 1", len(retrained))
+	}
+	env.deliver(s, retrained[0])
+
+	// Round end: RSU uploads its aggregate over the wire.
+	env.advance(200)
+	updates := env.sendsWith(tagUpdate)
+	if len(updates) != 1 {
+		t.Fatalf("%d updates, want 1 (only one RSU collected)", len(updates))
+	}
+	if updates[0].msg.Kind != comm.KindWired {
+		t.Fatalf("update over %v, want wired", updates[0].msg.Kind)
+	}
+	if updates[0].payload.Contributions != 1 || updates[0].payload.DataAmount != 80 {
+		t.Fatalf("update payload %+v", updates[0].payload)
+	}
+	before := env.models[env.server]
+	env.deliver(s, updates[0])
+	if env.models[env.server] == before {
+		t.Fatal("server model unchanged")
+	}
+	// The entire round used zero V2C messages.
+	for _, m := range env.sends {
+		if m.msg.Kind == comm.KindV2C {
+			t.Fatalf("V2C used: %+v", m.msg)
+		}
+	}
+	if got := env.rec.Counter(metrics.CounterRounds); got != 1 {
+		t.Fatalf("rounds = %v", got)
+	}
+}
+
+func TestRSUAssistedEngagesNeighborsOnModelArrival(t *testing.T) {
+	s, env := newRSUUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	rsu := env.rsus[0]
+	parked := env.vehicles[1]
+	env.neighbor[rsu] = []sim.AgentID{parked}
+	// When the global model reaches the RSU, the already-in-range vehicle
+	// must be offered without a fresh encounter event.
+	for _, g := range env.sendsWith(tagGlobal) {
+		if g.msg.To == rsu {
+			env.deliver(s, g)
+		}
+	}
+	offers := env.sendsWith(tagOffer)
+	if len(offers) != 1 || offers[0].msg.To != parked {
+		t.Fatalf("offers = %v, want one to the parked vehicle", offers)
+	}
+}
+
+func TestRSUAssistedEmptyRoundContinues(t *testing.T) {
+	s, env := newRSUUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range env.sendsWith(tagGlobal) {
+		env.deliver(s, g)
+	}
+	before := env.models[env.server]
+	env.advance(200) // nobody passed by
+	if env.models[env.server] != before {
+		t.Fatal("model changed without contributions")
+	}
+	env.advance(211)
+	if got := env.sendsWith(tagGlobal); len(got) != 2 {
+		t.Fatalf("round 2 distributed %d models, want 2", len(got))
+	}
+}
+
+func TestRSUAssistedVehiclesNotContactedTwice(t *testing.T) {
+	s, env := newRSUUnderTest(t)
+	if err := s.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	rsu := env.rsus[0]
+	vehicle := env.vehicles[0]
+	for _, g := range env.sendsWith(tagGlobal) {
+		env.deliver(s, g)
+	}
+	s.OnEncounter(env, rsu, vehicle)
+	env.deliver(s, env.sendsWith(tagOffer)[0])
+	env.finishTraining(s, vehicle, 8)
+	env.deliver(s, env.sendsWith(tagRetrained)[0])
+	s.OnEncounter(env, rsu, vehicle)
+	if got := env.sendsWith(tagOffer); len(got) != 0 {
+		t.Fatalf("vehicle re-contacted: %d offers", len(got))
+	}
+}
+
+func TestRSUAssistedName(t *testing.T) {
+	s, _ := newRSUUnderTest(t)
+	if s.Name() != "rsu-assisted" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	if s.Config().Rounds != 2 {
+		t.Fatal("Config roundtrip broken")
+	}
+	if _, err := NewRSUAssisted(RSUAssistedConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}

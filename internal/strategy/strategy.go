@@ -1,0 +1,187 @@
+// Package strategy contains Roadrunner's Learning Strategy Logic module
+// (paper §4): "a set of rules ... defining how the agents react in which
+// situation and thus encoding the learning strategy that is to be tested in
+// a certain experiment run".
+//
+// A Strategy is pure logic over the framework API (Env): it observes events
+// — message deliveries and failures, training completions, V2X encounters,
+// ignition changes — and issues commands — send a model, train on local
+// data, aggregate, record a metric, stop the experiment. It never touches
+// positions, the event queue, or the clock directly; those belong to the
+// core simulator. This is what makes strategies flexibly parameterizable
+// and swappable (§3 requirement 5: "supporting centralized ML, FL, GL, as
+// well as hybrid approaches" — all of those are implemented here, plus an
+// RSU-assisted extension).
+package strategy
+
+import (
+	"roadrunner/internal/comm"
+	"roadrunner/internal/metrics"
+	"roadrunner/internal/ml"
+	"roadrunner/internal/sim"
+)
+
+// Payload is the strategy-level content of a transferred message. The
+// communication module treats it as opaque; its wire size is derived from
+// the model it carries (plus a fixed envelope).
+type Payload struct {
+	// Tag discriminates message purposes within a strategy (e.g. "global",
+	// "retrained"). Tags are strategy-private.
+	Tag string
+	// Round is the strategy round the message belongs to; stale-round
+	// messages are typically discarded on receipt.
+	Round int
+	// Model is the carried model, nil for control messages.
+	Model *ml.Snapshot
+	// DataAmount accompanies a retrained model: the number of local
+	// samples it was trained on, used as its Federated-Averaging weight
+	// (the dᵢ of the paper's Figure 3).
+	DataAmount float64
+	// Contributions counts the individual vehicle models folded into the
+	// carried model (1 for a plain retrain; 1+N_R for a reporter's
+	// intermediate aggregate). It feeds the paper's N = R·(N_R+1)
+	// contribution accounting.
+	Contributions int
+	// Data carries raw examples for centralized-learning uploads; nil
+	// otherwise. Its wire size is charged per example.
+	Data []ml.Example
+	// Provenance lists the vehicles whose data is folded into the carried
+	// model, enabling the server-side data-provenance metric (paper §3
+	// requirement 4).
+	Provenance []sim.AgentID
+}
+
+// Env is the framework API a learning strategy programs against. It is
+// implemented by the core simulator (internal/core); strategies receive it
+// in every callback and must not retain it beyond the experiment run.
+type Env interface {
+	// Now returns the current simulated instant.
+	Now() sim.Time
+	// Rand returns the strategy's deterministic random stream.
+	Rand() *sim.RNG
+
+	// Server returns the cloud server's agent ID.
+	Server() sim.AgentID
+	// Vehicles returns all vehicle IDs in ID order.
+	Vehicles() []sim.AgentID
+	// RSUs returns all road-side-unit IDs in ID order.
+	RSUs() []sim.AgentID
+	// Kind returns the agent's kind.
+	Kind(id sim.AgentID) sim.AgentKind
+	// IsOn reports whether the agent is powered on.
+	IsOn(id sim.AgentID) bool
+	// IsBusy reports whether the agent's hardware unit is occupied.
+	IsBusy(id sim.AgentID) bool
+	// DataAmount returns the number of local training samples on the agent.
+	DataAmount(id sim.AgentID) int
+	// LocalData returns the agent's sensed dataset (shared slice; callers
+	// must not mutate it). Strategies that ship raw data, like centralized
+	// ML, read it here.
+	LocalData(id sim.AgentID) []ml.Example
+
+	// Model returns the agent's current model (nil if none assigned).
+	Model(id sim.AgentID) *ml.Snapshot
+	// SetModel assigns the agent's current model.
+	SetModel(id sim.AgentID, m *ml.Snapshot)
+
+	// Send starts an asynchronous transfer; completion surfaces through
+	// OnDeliver or OnSendFailed. An error means the transfer could not
+	// even start (endpoint off, out of V2X range).
+	Send(from, to sim.AgentID, kind comm.Kind, p Payload) (comm.MsgID, error)
+	// Train starts asynchronous local training of m on the agent's data;
+	// completion surfaces through OnTrainDone (or OnTrainAborted if the
+	// agent shuts off first). The agent is busy for the modelled duration.
+	Train(id sim.AgentID, m *ml.Snapshot) error
+	// TrainOnData is Train with an explicit example set, for agents that
+	// train on received rather than sensed data (e.g. the cloud server in
+	// centralized learning).
+	TrainOnData(id sim.AgentID, m *ml.Snapshot, examples []ml.Example) error
+
+	// Aggregate applies Federated Averaging with the given weights.
+	Aggregate(models []*ml.Snapshot, weights []float64) (*ml.Snapshot, error)
+	// TestAccuracy evaluates a model on the experiment's held-out test set.
+	// This is an analyst-side measurement and consumes no simulated time.
+	TestAccuracy(m *ml.Snapshot) (float64, error)
+
+	// Neighbors returns the powered-on agents currently within V2X range
+	// of id, in ID order.
+	Neighbors(id sim.AgentID) []sim.AgentID
+	// Reachable reports whether a send over kind would currently start.
+	Reachable(from, to sim.AgentID, kind comm.Kind) bool
+
+	// After schedules fn to run d from now.
+	After(d sim.Duration, fn func()) error
+	// Metrics returns the experiment's metric recorder.
+	Metrics() *metrics.Recorder
+	// Stop ends the experiment after the current event.
+	Stop()
+	// Logf emits a diagnostic line (discarded unless the experiment
+	// enables logging).
+	Logf(format string, args ...any)
+}
+
+// Strategy is one learning strategy's logic. The core simulator invokes the
+// callbacks from the simulation goroutine; implementations need no locking
+// but must not block.
+type Strategy interface {
+	// Name identifies the strategy in metrics and logs.
+	Name() string
+	// Start is invoked once at simulated time zero, after agents, data,
+	// and the initial server model are in place.
+	Start(env Env) error
+	// OnDeliver is invoked when a transfer carrying p arrives at msg.To.
+	OnDeliver(env Env, msg *comm.Message, p Payload)
+	// OnSendFailed is invoked when a transfer fails after being accepted.
+	OnSendFailed(env Env, msg *comm.Message, p Payload, reason error)
+	// OnTrainDone is invoked when an agent finishes local training;
+	// trained is the resulting model, loss the final-epoch training loss.
+	OnTrainDone(env Env, id sim.AgentID, trained *ml.Snapshot, loss float64)
+	// OnTrainAborted is invoked when the agent shut off mid-training.
+	OnTrainAborted(env Env, id sim.AgentID)
+	// OnEncounter is invoked when two agents come within V2X range of
+	// each other (a < b; both powered on).
+	OnEncounter(env Env, a, b sim.AgentID)
+	// OnPowerChange is invoked on every agent ignition transition.
+	OnPowerChange(env Env, id sim.AgentID, on bool)
+}
+
+// Base is a no-op Strategy for embedding: concrete strategies override the
+// callbacks they care about.
+type Base struct{}
+
+// OnDeliver implements Strategy.
+func (Base) OnDeliver(Env, *comm.Message, Payload) {}
+
+// OnSendFailed implements Strategy.
+func (Base) OnSendFailed(Env, *comm.Message, Payload, error) {}
+
+// OnTrainDone implements Strategy.
+func (Base) OnTrainDone(Env, sim.AgentID, *ml.Snapshot, float64) {}
+
+// OnTrainAborted implements Strategy.
+func (Base) OnTrainAborted(Env, sim.AgentID) {}
+
+// OnEncounter implements Strategy.
+func (Base) OnEncounter(Env, sim.AgentID, sim.AgentID) {}
+
+// OnPowerChange implements Strategy.
+func (Base) OnPowerChange(Env, sim.AgentID, bool) {}
+
+// pickOnVehicles returns up to n distinct powered-on, non-busy vehicles,
+// drawn uniformly at random. Used by server-driven strategies to select
+// round participants.
+func pickOnVehicles(env Env, n int) []sim.AgentID {
+	var candidates []sim.AgentID
+	for _, v := range env.Vehicles() {
+		if env.IsOn(v) && !env.IsBusy(v) {
+			candidates = append(candidates, v)
+		}
+	}
+	env.Rand().Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if len(candidates) > n {
+		candidates = candidates[:n]
+	}
+	return candidates
+}

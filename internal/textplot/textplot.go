@@ -1,0 +1,196 @@
+// Package textplot renders small ASCII charts for terminal output of
+// experiment results — line charts for accuracy-over-time curves and bar
+// charts for per-round counts (the two elements of the paper's Figure 4).
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// seriesGlyphs mark successive series in a line chart.
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Line renders the series as an ASCII line chart of the given interior
+// width and height (both at least 8). Each series gets a distinct glyph,
+// listed in the legend below the chart.
+func Line(series []Series, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 8 {
+		height = 8
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	nonEmpty := 0
+	for _, s := range series {
+		if len(s.Points) > 0 {
+			nonEmpty++
+		}
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if nonEmpty == 0 {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for _, p := range s.Points {
+			col := int((p.X - minX) / (maxX - minX) * float64(width-1))
+			row := int((p.Y - minY) / (maxY - minY) * float64(height-1))
+			r := height - 1 - row
+			if r >= 0 && r < height && col >= 0 && col < width {
+				grid[r][col] = glyph
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.3f ┤", maxY)
+	b.Write(grid[0])
+	b.WriteByte('\n')
+	for r := 1; r < height-1; r++ {
+		b.WriteString(strings.Repeat(" ", 11))
+		b.WriteString("│")
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%10.3f ┤", minY)
+	b.Write(grid[height-1])
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat(" ", 12))
+	b.WriteString(strings.Repeat("─", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%12s%-*.0f%*.0f\n", "", width/2, minX, width-width/2, maxX)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", seriesGlyphs[si%len(seriesGlyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// Bars renders labeled values as a horizontal bar chart scaled to width.
+func Bars(labels []string, values []float64, width int) string {
+	if len(labels) != len(values) || len(values) == 0 {
+		return "(no data)\n"
+	}
+	if width < 8 {
+		width = 8
+	}
+	maxV := math.Inf(-1)
+	for _, v := range values {
+		maxV = math.Max(maxV, v)
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := int(v / maxV * float64(width))
+		if v > 0 && n == 0 {
+			n = 1
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%-*s │%s %.2f\n", labelWidth, labels[i], strings.Repeat("█", n), v)
+	}
+	return b.String()
+}
+
+// Table renders rows as a fixed-width table with a header.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("─", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Histogram summarizes values into the given number of equal-width bins
+// and renders them as bars labeled with bin ranges.
+func Histogram(values []float64, bins, width int) string {
+	if len(values) == 0 || bins <= 0 {
+		return "(no data)\n"
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]float64, bins)
+	labels := make([]string, bins)
+	binWidth := (hi - lo) / float64(bins)
+	for _, v := range values {
+		idx := int((v - lo) / binWidth)
+		if idx >= bins {
+			idx = bins - 1
+		}
+		counts[idx]++
+	}
+	for i := range labels {
+		labels[i] = fmt.Sprintf("[%.1f,%.1f)", lo+float64(i)*binWidth, lo+float64(i+1)*binWidth)
+	}
+	return Bars(labels, counts, width)
+}

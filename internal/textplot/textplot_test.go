@@ -1,0 +1,97 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineRendersAllSeries(t *testing.T) {
+	out := Line([]Series{
+		{Name: "base", Points: []Point{{0, 0}, {10, 0.3}}},
+		{Name: "opp", Points: []Point{{0, 0}, {10, 0.5}}},
+	}, 40, 10)
+	if !strings.Contains(out, "base") || !strings.Contains(out, "opp") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("series glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0.500") {
+		t.Fatalf("y-axis max missing:\n%s", out)
+	}
+}
+
+func TestLineEmpty(t *testing.T) {
+	if out := Line(nil, 40, 10); out != "(no data)\n" {
+		t.Fatalf("empty Line = %q", out)
+	}
+	if out := Line([]Series{{Name: "x"}}, 40, 10); out != "(no data)\n" {
+		t.Fatalf("pointless Line = %q", out)
+	}
+}
+
+func TestLineConstantSeries(t *testing.T) {
+	out := Line([]Series{{Name: "c", Points: []Point{{0, 1}, {5, 1}}}}, 20, 8)
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("degenerate ranges leaked:\n%s", out)
+	}
+}
+
+func TestLineClampsTinyDimensions(t *testing.T) {
+	out := Line([]Series{{Name: "x", Points: []Point{{0, 0}, {1, 1}}}}, 1, 1)
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"a", "bb"}, []float64{1, 4}, 8)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 bars, got %d:\n%s", len(lines), out)
+	}
+	if strings.Count(lines[1], "█") != 8 {
+		t.Fatalf("max bar not full width:\n%s", out)
+	}
+	if strings.Count(lines[0], "█") != 2 {
+		t.Fatalf("1/4 bar wrong length:\n%s", out)
+	}
+}
+
+func TestBarsZeroAndMismatch(t *testing.T) {
+	if out := Bars([]string{"a"}, []float64{1, 2}, 8); out != "(no data)\n" {
+		t.Fatalf("mismatch = %q", out)
+	}
+	out := Bars([]string{"a"}, []float64{0}, 8)
+	if strings.Contains(out, "█") {
+		t.Fatalf("zero value rendered a bar: %q", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{{"x", "1"}, {"longer", "22"}})
+	if !strings.Contains(out, "name") || !strings.Contains(out, "longer") {
+		t.Fatalf("table content missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, 2 rows
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram([]float64{0, 1, 1, 2, 9}, 3, 10)
+	if !strings.Contains(out, "[") {
+		t.Fatalf("bin labels missing:\n%s", out)
+	}
+	if out == "(no data)\n" {
+		t.Fatal("histogram empty")
+	}
+	if Histogram(nil, 3, 10) != "(no data)\n" {
+		t.Fatal("empty histogram not flagged")
+	}
+	// Constant values must not divide by zero.
+	if out := Histogram([]float64{5, 5, 5}, 2, 10); strings.Contains(out, "NaN") {
+		t.Fatalf("constant histogram broken:\n%s", out)
+	}
+}

@@ -1,0 +1,225 @@
+// Package roadrunner is a discrete-event framework for evaluating
+// distributed learning strategies in Vehicular Cyber-Physical Systems
+// (VCPSs), reproducing the system proposed in:
+//
+//	Havers, Papatriantafilou, Koppisetty, Gulisano.
+//	"Proposing a Framework for Evaluating Learning Strategies in
+//	Vehicular CPSs." Middleware 2022 Industrial Track.
+//	https://doi.org/10.1145/3564695.3564775
+//
+// The framework simulates a complete learning workflow in a VCPS: a fleet
+// of vehicles with realistic spatial dynamics and ignition churn, a cloud
+// server and optional road-side units, metered V2C and range-limited V2X
+// communication channels, real on-device training of neural networks with
+// hardware-calibrated durations, and pluggable learning strategies —
+// centralized ML, Federated Averaging, the paper's opportunistic OPP,
+// gossip learning, and hybrids — evaluated with fine-grained, timestamped
+// metrics.
+//
+// # Quick start
+//
+//	cfg := roadrunner.SmallConfig()
+//	strat, err := roadrunner.NewFederatedAveraging(roadrunner.DefaultFedAvgConfig())
+//	if err != nil { ... }
+//	exp, err := roadrunner.NewExperiment(cfg, strat)
+//	if err != nil { ... }
+//	res, err := exp.Run()
+//	if err != nil { ... }
+//	fmt.Println(res.FinalAccuracy)
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package roadrunner
+
+import (
+	"roadrunner/internal/comm"
+	"roadrunner/internal/core"
+	"roadrunner/internal/dataset"
+	"roadrunner/internal/hw"
+	"roadrunner/internal/metrics"
+	"roadrunner/internal/ml"
+	"roadrunner/internal/mobility"
+	"roadrunner/internal/roadnet"
+	"roadrunner/internal/sim"
+	"roadrunner/internal/strategy"
+)
+
+// Core experiment types.
+type (
+	// Config fully describes an experiment apart from the strategy.
+	Config = core.Config
+	// Experiment is one wired simulation run.
+	Experiment = core.Experiment
+	// Result bundles a run's outputs.
+	Result = core.Result
+)
+
+// NewExperiment builds an experiment from a configuration and a strategy.
+func NewExperiment(cfg Config, s Strategy) (*Experiment, error) { return core.New(cfg, s) }
+
+// DefaultConfig reproduces the paper's §5.2 evaluation environment.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// SmallConfig is a laptop-scale configuration for quick iteration.
+func SmallConfig() Config { return core.SmallConfig() }
+
+// Strategy types (the Learning Strategy Logic module).
+type (
+	// Strategy is one learning strategy's logic.
+	Strategy = strategy.Strategy
+	// Env is the framework API strategies program against.
+	Env = strategy.Env
+	// Payload is the strategy-level content of a transfer.
+	Payload = strategy.Payload
+	// BaseStrategy is a no-op Strategy for embedding in custom strategies.
+	BaseStrategy = strategy.Base
+
+	// FedAvgConfig parameterizes the FL baseline (the paper's BASE).
+	FedAvgConfig = strategy.FedAvgConfig
+	// OppConfig parameterizes the paper's OPP strategy.
+	OppConfig = strategy.OppConfig
+	// GossipConfig parameterizes gossip learning.
+	GossipConfig = strategy.GossipConfig
+	// CentralizedConfig parameterizes the centralized-ML baseline.
+	CentralizedConfig = strategy.CentralizedConfig
+	// HybridConfig parameterizes the gossip+FL hybrid.
+	HybridConfig = strategy.HybridConfig
+	// RSUAssistedConfig parameterizes RSU-collected FL.
+	RSUAssistedConfig = strategy.RSUAssistedConfig
+
+	// FederatedAveraging is the paper's BASE strategy.
+	FederatedAveraging = strategy.FederatedAveraging
+	// Opportunistic is the paper's OPP strategy.
+	Opportunistic = strategy.Opportunistic
+	// Gossip is decentralized gossip learning.
+	Gossip = strategy.Gossip
+	// Centralized is the raw-data-upload baseline.
+	Centralized = strategy.Centralized
+	// Hybrid composes gossip with periodic FL synchronization.
+	Hybrid = strategy.Hybrid
+	// RSUAssisted is FL collected by road-side units over V2X + wire.
+	RSUAssisted = strategy.RSUAssisted
+)
+
+// Strategy constructors and their paper-default configurations.
+var (
+	NewFederatedAveraging = strategy.NewFederatedAveraging
+	NewOpportunistic      = strategy.NewOpportunistic
+	NewGossip             = strategy.NewGossip
+	NewCentralized        = strategy.NewCentralized
+	NewHybrid             = strategy.NewHybrid
+	NewRSUAssisted        = strategy.NewRSUAssisted
+
+	DefaultFedAvgConfig      = strategy.DefaultFedAvgConfig
+	DefaultOppConfig         = strategy.DefaultOppConfig
+	DefaultGossipConfig      = strategy.DefaultGossipConfig
+	DefaultCentralizedConfig = strategy.DefaultCentralizedConfig
+	DefaultHybridConfig      = strategy.DefaultHybridConfig
+	DefaultRSUAssistedConfig = strategy.DefaultRSUAssistedConfig
+)
+
+// Simulation primitives.
+type (
+	// Time is an instant in simulated seconds.
+	Time = sim.Time
+	// Duration is a span of simulated seconds.
+	Duration = sim.Duration
+	// AgentID identifies a simulated agent.
+	AgentID = sim.AgentID
+	// RNG is a deterministic random stream.
+	RNG = sim.RNG
+)
+
+// NewRNG returns a deterministic random stream.
+func NewRNG(seed uint64) *RNG { return sim.NewRNG(seed) }
+
+// Machine-learning substrate.
+type (
+	// ModelSpec describes a network architecture.
+	ModelSpec = ml.Spec
+	// TrainConfig bundles local-training hyperparameters.
+	TrainConfig = ml.TrainConfig
+	// ModelSnapshot is an immutable copy of model weights.
+	ModelSnapshot = ml.Snapshot
+	// Example is one labelled training/test instance.
+	Example = ml.Example
+)
+
+// Model-architecture builders and Federated Averaging.
+var (
+	// MLPSpec builds a multi-layer perceptron architecture.
+	MLPSpec = ml.MLPSpec
+	// CNNSpec builds the paper's 2-conv/3-FC CNN architecture.
+	CNNSpec = ml.CNNSpec
+	// FedAvg aggregates snapshots by data-amount-weighted averaging.
+	FedAvg = ml.FedAvg
+)
+
+// Environment substrate configuration.
+type (
+	// GridConfig describes the synthetic road network.
+	GridConfig = roadnet.GridConfig
+	// FleetConfig describes synthetic fleet dynamics.
+	FleetConfig = mobility.GenConfig
+	// TraceSet bundles a fleet's recorded trajectories.
+	TraceSet = mobility.TraceSet
+	// CommParams models the V2C/V2X/wired channels.
+	CommParams = comm.Params
+	// CommMessage is one simulated transfer (delivered to strategies).
+	CommMessage = comm.Message
+	// CommStats aggregates per-channel volume metrics.
+	CommStats = comm.Stats
+	// DataConfig describes the synthetic learning problem.
+	DataConfig = dataset.Config
+	// PartitionConfig describes how data distributes over vehicles.
+	PartitionConfig = dataset.PartitionConfig
+	// HardwareProfile describes a hardware-unit class.
+	HardwareProfile = hw.Profile
+	// MetricsRecorder accumulates an experiment's measurements.
+	MetricsRecorder = metrics.Recorder
+	// MetricSeries is a named, timestamped measurement sequence.
+	MetricSeries = metrics.Series
+)
+
+// Canonical metric names (see internal/metrics for the full list).
+const (
+	SeriesAccuracy             = metrics.SeriesAccuracy
+	SeriesRoundExchanges       = metrics.SeriesRoundExchanges
+	SeriesRoundContributions   = metrics.SeriesRoundContributions
+	SeriesVehiclesOn           = metrics.SeriesVehiclesOn
+	SeriesDistinctContributors = metrics.SeriesDistinctContributors
+	CounterRounds              = metrics.CounterRounds
+	CounterTrainTasks          = metrics.CounterTrainTasks
+	CounterDiscardedModels     = metrics.CounterDiscardedModels
+)
+
+// Data-partition schemes.
+const (
+	SchemeIID       = dataset.SchemeIID
+	SchemeShards    = dataset.SchemeShards
+	SchemeDirichlet = dataset.SchemeDirichlet
+)
+
+// Communication channel kinds.
+const (
+	KindV2C   = comm.KindV2C
+	KindV2X   = comm.KindV2X
+	KindWired = comm.KindWired
+)
+
+// GenerateTraces produces a synthetic fleet trace set on a generated road
+// network — the stand-in for the paper's proprietary GPS dataset. Write it
+// with WriteTracesCSV and replay it via Config.TraceFile.
+func GenerateTraces(grid GridConfig, fleet FleetConfig, seed uint64) (*TraceSet, error) {
+	root := sim.NewRNG(seed)
+	g, err := roadnet.Generate(grid, root.Fork("roadnet"))
+	if err != nil {
+		return nil, err
+	}
+	return mobility.Generate(fleet, g, root.Fork("mobility"))
+}
+
+// WriteTracesCSV and ReadTracesCSV expose the framework's GPS-trace format.
+var (
+	WriteTracesCSV = mobility.WriteCSV
+	ReadTracesCSV  = mobility.ReadCSV
+)

@@ -1,0 +1,109 @@
+package roadrunner_test
+
+import (
+	"bytes"
+	"testing"
+
+	rr "roadrunner"
+)
+
+// TestPublicAPIQuickstart exercises the façade exactly as the README's
+// quick-start does.
+func TestPublicAPIQuickstart(t *testing.T) {
+	cfg := rr.SmallConfig()
+	cfg.Seed = 123
+	strat, err := rr.NewFederatedAveraging(rr.FedAvgConfig{
+		Rounds:           3,
+		VehiclesPerRound: 3,
+		RoundDuration:    30,
+		ServerOverhead:   10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := rr.NewExperiment(cfg, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAccuracy <= 0 || res.FinalAccuracy > 1 {
+		t.Fatalf("final accuracy = %v", res.FinalAccuracy)
+	}
+	if res.Metrics.Counter(rr.CounterRounds) != 3 {
+		t.Fatalf("rounds = %v", res.Metrics.Counter(rr.CounterRounds))
+	}
+	if res.Comm["v2c"].MessagesSent == 0 {
+		t.Fatal("no traffic")
+	}
+	if s := res.Metrics.Series(rr.SeriesDistinctContributors); s == nil || s.Len() == 0 {
+		t.Fatal("provenance series missing")
+	}
+}
+
+// TestPublicAPITraces exercises trace generation and the CSV round trip
+// through the façade.
+func TestPublicAPITraces(t *testing.T) {
+	grid := rr.SmallConfig().Grid
+	fleet := rr.SmallConfig().Fleet
+	fleet.Vehicles = 5
+	fleet.Horizon = 600
+	traces, err := rr.GenerateTraces(grid, fleet, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traces.NumVehicles() != 5 {
+		t.Fatalf("vehicles = %d", traces.NumVehicles())
+	}
+	var buf bytes.Buffer
+	if err := rr.WriteTracesCSV(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rr.ReadTracesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVehicles() != 5 || got.Horizon != traces.Horizon {
+		t.Fatal("trace round trip lost data")
+	}
+}
+
+// TestPublicAPICustomStrategy verifies a user-defined strategy can be built
+// purely against the façade (the examples/custom pattern).
+func TestPublicAPICustomStrategy(t *testing.T) {
+	cs := &countingStrategy{}
+	cfg := rr.SmallConfig()
+	cfg.Horizon = 100
+	exp, err := rr.NewExperiment(cfg, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !cs.started {
+		t.Fatal("custom strategy Start never ran")
+	}
+	if !cs.stoppedSelf {
+		t.Fatal("custom strategy timer never fired")
+	}
+}
+
+// countingStrategy is a minimal façade-only custom strategy.
+type countingStrategy struct {
+	rr.BaseStrategy
+	started     bool
+	stoppedSelf bool
+}
+
+func (c *countingStrategy) Name() string { return "counting" }
+
+func (c *countingStrategy) Start(env rr.Env) error {
+	c.started = true
+	return env.After(10, func() {
+		c.stoppedSelf = true
+		env.Stop()
+	})
+}
