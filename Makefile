@@ -1,0 +1,23 @@
+# Local targets mirror .github/workflows/ci.yml step for step, so a green
+# `make ci` means a green CI run.
+
+GO ?= go
+
+.PHONY: build vet test race lint ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) run ./cmd/roadlint ./...
+
+ci: build vet test race lint

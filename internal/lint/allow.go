@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"strings"
+)
+
+// allowPrefix introduces a suppression comment. The full syntax is
+//
+//	//roadlint:allow <rule>[,<rule>...] [justification]
+//
+// placed either on the diagnostic's line or on the line directly above it.
+// The justification is free text and optional for the engine, but the
+// project convention is one line explaining why the rule does not apply.
+const allowPrefix = "roadlint:allow"
+
+// buildAllowIndex scans the file's comments for suppression directives and
+// records which rules are allowed on which lines.
+func (f *File) buildAllowIndex() {
+	f.allow = make(map[int][]string)
+	for _, group := range f.AST.Comments {
+		for _, c := range group.List {
+			text := c.Text
+			if !strings.HasPrefix(text, "//") {
+				continue // block comments do not carry directives
+			}
+			text = strings.TrimSpace(strings.TrimPrefix(text, "//"))
+			if !strings.HasPrefix(text, allowPrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue // bare directive with no rule names: inert
+			}
+			line := f.Fset.Position(c.Pos()).Line
+			for _, rule := range strings.Split(fields[0], ",") {
+				rule = strings.TrimSpace(rule)
+				if rule != "" {
+					f.allow[line] = append(f.allow[line], rule)
+				}
+			}
+		}
+	}
+}
+
+// suppressed reports whether rule is allowed on line, either by a
+// same-line comment or by one on the line directly above.
+func (f *File) suppressed(rule string, line int) bool {
+	for _, l := range []int{line, line - 1} {
+		for _, r := range f.allow[l] {
+			if r == rule {
+				return true
+			}
+		}
+	}
+	return false
+}

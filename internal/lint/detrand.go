@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DetRand forbids math/rand (and math/rand/v2) outside internal/sim.
+// Every stochastic draw in an experiment must flow through sim.RNG, which
+// is forked — directly or transitively — from the single experiment seed;
+// a package-level rand.Intn or an ad-hoc rand.New source draws from state
+// the seed does not control and silently breaks run reproducibility.
+// internal/sim itself is exempt: it wraps a rand.Rand over the seeded
+// SplitMix64 source, which is exactly where that dependency belongs.
+type DetRand struct{}
+
+func (DetRand) Name() string { return "detrand" }
+
+func (DetRand) Doc() string {
+	return "forbid math/rand outside internal/sim; stochastic draws must flow through sim.RNG"
+}
+
+func (DetRand) Check(f *File) []Diagnostic {
+	if f.Pkg.Rel == "internal/sim" || strings.HasPrefix(f.Pkg.Rel, "internal/sim/") {
+		return nil
+	}
+	var names []string
+	for _, path := range []string{"math/rand", "math/rand/v2"} {
+		names = append(names, importNames(f.AST, path)...)
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		for _, name := range names {
+			if f.isPkgSelector(sel, name) {
+				diags = append(diags, f.diag(sel, "detrand",
+					"use of %s.%s: stochastic draws must flow through sim.RNG forked from the experiment seed",
+					name, sel.Sel.Name))
+				return false
+			}
+		}
+		return true
+	})
+	return diags
+}

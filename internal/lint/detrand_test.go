@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDetRandBad(t *testing.T) {
+	diags := runRule(t, DetRand{}, "detrand/bad")
+	// Seed, Intn, Float64, Shuffle, New, NewSource, and the v2 Uint64.
+	if len(diags) != 7 {
+		t.Fatalf("got %d findings, want 7:\n%s", len(diags), render(diags))
+	}
+	wantFuncs := []string{"Seed", "Intn", "Float64", "Shuffle", "New", "NewSource", "Uint64"}
+	for _, fn := range wantFuncs {
+		found := false
+		for _, d := range diags {
+			if d.Rule != "detrand" {
+				t.Fatalf("unexpected rule %q", d.Rule)
+			}
+			if strings.Contains(d.Msg, "."+fn) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no finding for rand.%s:\n%s", fn, render(diags))
+		}
+	}
+}
+
+func TestDetRandGood(t *testing.T) {
+	wantNone(t, DetRand{}, "detrand/good")
+}
+
+// TestDetRandExemptsInternalSim lints the real internal/sim package,
+// which legitimately wraps math/rand around the seeded SplitMix64 source.
+func TestDetRandExemptsInternalSim(t *testing.T) {
+	pkgs, err := Load("../sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(pkgs, []Analyzer{DetRand{}}); len(diags) != 0 {
+		t.Fatalf("internal/sim must be exempt, got:\n%s", render(diags))
+	}
+}

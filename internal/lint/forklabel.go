@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// ForkLabel enforces the RNG.Fork contract: fork labels are constant
+// strings, and no two forks in the same function reuse a label on the
+// same parent stream. Labels namespace the derived streams — "adding a
+// draw in the mobility generator must not perturb the communication
+// module's failure sampling" (internal/sim/rng.go) — so a dynamic label
+// makes stream derivation depend on runtime state, and a repeated label
+// on one parent usually means a copy-pasted fork that silently couples
+// two modules' randomness.
+type ForkLabel struct{}
+
+func (ForkLabel) Name() string { return "forklabel" }
+
+func (ForkLabel) Doc() string {
+	return "require constant string RNG.Fork labels, unique per parent within a function"
+}
+
+func (ForkLabel) Check(f *File) []Diagnostic {
+	var diags []Diagnostic
+	for _, body := range functionBodies(f.AST) {
+		seen := make(map[string]token.Position) // "parent|label" -> first fork
+		inspectShallow(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Fork" || len(call.Args) != 1 {
+				return true
+			}
+			// When the receiver's type resolves to something other than
+			// RNG, the call is an unrelated Fork; with the stub importer a
+			// cross-package *sim.RNG stays unresolved and is analyzed on
+			// the method name alone.
+			if name := f.namedReceiver(sel.X); name != "" && name != "RNG" {
+				return true
+			}
+			label, ok := f.constString(call.Args[0])
+			if !ok {
+				diags = append(diags, f.diag(call.Args[0], "forklabel",
+					"Fork label must be a constant string (got %s): labels statically identify module RNG streams",
+					types.ExprString(call.Args[0])))
+				return true
+			}
+			key := types.ExprString(sel.X) + "|" + label
+			if first, dup := seen[key]; dup {
+				diags = append(diags, f.diag(call, "forklabel",
+					"duplicate Fork label %q on %s (first fork at line %d): reusing a label obscures which module owns the stream",
+					label, types.ExprString(sel.X), first.Line))
+				return true
+			}
+			seen[key] = f.Fset.Position(call.Pos())
+			return true
+		})
+	}
+	return diags
+}
+
+// namedReceiver returns the name of the receiver's (pointer-stripped)
+// named type, or "" when the type did not resolve.
+func (f *File) namedReceiver(recv ast.Expr) string {
+	t := f.typeOf(recv)
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// constString evaluates e as a compile-time string constant: a string
+// literal, a named string constant, or a constant expression over those.
+func (f *File) constString(e ast.Expr) (string, bool) {
+	if tv, ok := f.Pkg.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	// Fallback for files where type checking resolved nothing.
+	if lit, ok := ast.Unparen(e).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		if s, err := strconv.Unquote(lit.Value); err == nil {
+			return s, true
+		}
+	}
+	return "", false
+}

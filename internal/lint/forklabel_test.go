@@ -1,0 +1,32 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestForkLabelBad(t *testing.T) {
+	diags := runRule(t, ForkLabel{}, "forklabel/bad")
+	if len(diags) != 3 {
+		t.Fatalf("got %d findings, want 3:\n%s", len(diags), render(diags))
+	}
+	wantFragments := []string{`duplicate Fork label "comm" on root`, "fmt.Sprintf", `"mobility-" + suffix`}
+	for _, frag := range wantFragments {
+		found := false
+		for _, d := range diags {
+			if d.Rule != "forklabel" {
+				t.Fatalf("unexpected rule %q", d.Rule)
+			}
+			if strings.Contains(d.Msg, frag) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no finding matching %q:\n%s", frag, render(diags))
+		}
+	}
+}
+
+func TestForkLabelGood(t *testing.T) {
+	wantNone(t, ForkLabel{}, "forklabel/good")
+}

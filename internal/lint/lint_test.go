@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runRule loads a testdata fixture tree and applies one analyzer.
+func runRule(t *testing.T, a Analyzer, fixture string) []Diagnostic {
+	t.Helper()
+	pkgs, err := Load(filepath.Join("testdata", fixture))
+	if err != nil {
+		t.Fatalf("Load(%s): %v", fixture, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("Load(%s): no packages", fixture)
+	}
+	return Run(pkgs, []Analyzer{a})
+}
+
+// lines extracts the diagnostic line numbers, sorted by Run already.
+func lines(diags []Diagnostic) []int {
+	out := make([]int, len(diags))
+	for i, d := range diags {
+		out[i] = d.Pos.Line
+	}
+	return out
+}
+
+func wantNone(t *testing.T, a Analyzer, fixture string) {
+	t.Helper()
+	if diags := runRule(t, a, fixture); len(diags) != 0 {
+		t.Fatalf("%s on %s: unexpected findings:\n%s", a.Name(), fixture, render(diags))
+	}
+}
+
+func render(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestAnalyzerSuite(t *testing.T) {
+	got := make([]string, 0, 4)
+	for _, a := range Analyzers() {
+		if a.Doc() == "" {
+			t.Errorf("%s: empty doc", a.Name())
+		}
+		got = append(got, a.Name())
+	}
+	want := []string{"detrand", "wallclock", "maporder", "forklabel"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("Analyzers() = %v, want %v", got, want)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:  token.Position{Filename: "x/y.go", Line: 12, Column: 3},
+		Rule: "detrand",
+		Msg:  "boom",
+	}
+	if got, want := d.String(), "x/y.go:12:3: detrand: boom"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestAllowSuppression(t *testing.T) {
+	diags := runRule(t, WallClock{}, "allow")
+	// Same-line and preceding-line directives suppress; a directive for a
+	// different rule and a plain comment do not.
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2:\n%s", len(diags), render(diags))
+	}
+	if got, want := lines(diags), []int{10, 11}; got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("finding lines = %v, want %v", got, want)
+	}
+	for _, d := range diags {
+		if d.Rule != "wallclock" {
+			t.Fatalf("unexpected rule %q", d.Rule)
+		}
+	}
+}
+
+func TestRunOrdersDiagnostics(t *testing.T) {
+	pkgs, err := Load(filepath.Join("testdata", "wallclock", "bad"), filepath.Join("testdata", "detrand", "bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, Analyzers())
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1].Pos, diags[i].Pos
+		if a.Filename > b.Filename || (a.Filename == b.Filename && a.Line > b.Line) {
+			t.Fatalf("diagnostics out of order: %v before %v", a, b)
+		}
+	}
+}
+
+func TestLoadSkipsTestdataAndTests(t *testing.T) {
+	pkgs, err := Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		dirs := make([]string, len(pkgs))
+		for i, p := range pkgs {
+			dirs[i] = p.Dir
+		}
+		t.Fatalf("Load(./...) from internal/lint = %v, want just the package itself", dirs)
+	}
+	for _, f := range pkgs[0].Files {
+		if strings.HasSuffix(f.Path, "_test.go") {
+			t.Fatalf("loaded test file %s", f.Path)
+		}
+		if strings.Contains(f.Path, "testdata") {
+			t.Fatalf("loaded fixture %s", f.Path)
+		}
+	}
+}
+
+func TestModuleRel(t *testing.T) {
+	pkgs, err := Load(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := pkgs[0].Rel, "internal/lint"; got != want {
+		t.Fatalf("Rel = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Load resolves package patterns into parsed, best-effort type-checked
+// packages. A pattern is either a directory, a single .go file, or a
+// go-tool-style recursive pattern ending in "/..." (the bare "./..." lints
+// everything under the current directory). Test files (_test.go) and the
+// directories the go tool ignores (testdata, vendor, and names starting
+// with "." or "_") are skipped: the determinism contract governs
+// simulation code, while tests are free to use stdlib rand for
+// testing/quick interop and wall-clock timing.
+func Load(patterns ...string) ([]*Package, error) {
+	dirs, singles, err := expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loadDir(fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	for _, file := range singles {
+		pkg, err := loadFiles(fset, filepath.Dir(file), []string{file})
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// expand splits patterns into package directories and single files.
+func expand(patterns []string) (dirs, singles []string, err error) {
+	seen := make(map[string]bool)
+	addDir := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "..." || strings.HasSuffix(pat, "/..."):
+			root := strings.TrimSuffix(pat, "...")
+			root = strings.TrimSuffix(root, "/")
+			if root == "" {
+				root = "."
+			}
+			walkErr := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					addDir(path)
+				}
+				return nil
+			})
+			if walkErr != nil {
+				return nil, nil, fmt.Errorf("lint: walk %s: %w", pat, walkErr)
+			}
+		case strings.HasSuffix(pat, ".go"):
+			singles = append(singles, pat)
+		default:
+			info, statErr := os.Stat(pat)
+			if statErr != nil {
+				return nil, nil, fmt.Errorf("lint: %w", statErr)
+			}
+			if !info.IsDir() {
+				return nil, nil, fmt.Errorf("lint: %s is neither a directory nor a .go file", pat)
+			}
+			addDir(pat)
+		}
+	}
+	return dirs, singles, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if lintable(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func lintable(e os.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".")
+}
+
+func loadDir(fset *token.FileSet, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if lintable(e) {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	return loadFiles(fset, dir, paths)
+}
+
+func loadFiles(fset *token.FileSet, dir string, paths []string) (*Package, error) {
+	if len(paths) == 0 {
+		return nil, nil
+	}
+	pkg := &Package{
+		Dir: dir,
+		Rel: moduleRel(dir),
+		Info: &types.Info{
+			Types: make(map[ast.Expr]types.TypeAndValue),
+			Defs:  make(map[*ast.Ident]types.Object),
+			Uses:  make(map[*ast.Ident]types.Object),
+		},
+	}
+	var asts []*ast.File
+	for _, path := range paths {
+		parsed, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		f := &File{Path: path, Fset: fset, AST: parsed, Pkg: pkg}
+		f.buildAllowIndex()
+		pkg.Files = append(pkg.Files, f)
+		asts = append(asts, parsed)
+	}
+	// Best-effort type check: the stub importer satisfies every import
+	// with an empty placeholder package, so cross-package references do
+	// not resolve and the checker reports (swallowed) errors for them.
+	// Everything declared within the package — including map-typed fields
+	// and locals, the cases the analyzers care about — still gets types.
+	conf := types.Config{
+		Error:       func(error) {}, // keep going past unresolved symbols
+		Importer:    stubImporter{pkgs: make(map[string]*types.Package)},
+		FakeImportC: true,
+	}
+	_, _ = conf.Check(dir, fset, asts, pkg.Info)
+	return pkg, nil
+}
+
+// stubImporter satisfies go/types imports with empty placeholder packages
+// so analysis never needs compiled export data — the price is that
+// imported symbols stay unresolved, which analyzers must tolerate.
+type stubImporter struct {
+	pkgs map[string]*types.Package
+}
+
+func (s stubImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := s.pkgs[path]; ok {
+		return pkg, nil
+	}
+	base := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		base = path[i+1:]
+	}
+	pkg := types.NewPackage(path, base)
+	pkg.MarkComplete()
+	s.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// moduleRel returns dir relative to the enclosing Go module root
+// (slash-separated, "." for the root itself). When no go.mod is found the
+// cleaned dir is returned unchanged, which keeps path-scoped rules inert
+// rather than wrong.
+func moduleRel(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return filepath.ToSlash(filepath.Clean(dir))
+	}
+	for probe := abs; ; {
+		if _, err := os.Stat(filepath.Join(probe, "go.mod")); err == nil {
+			rel, err := filepath.Rel(probe, abs)
+			if err != nil {
+				break
+			}
+			return filepath.ToSlash(rel)
+		}
+		parent := filepath.Dir(probe)
+		if parent == probe {
+			break
+		}
+		probe = parent
+	}
+	return filepath.ToSlash(filepath.Clean(dir))
+}

@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags range-over-map loops whose bodies are sensitive to
+// iteration order — the classic Go nondeterminism hazard in simulators:
+// Go randomizes map iteration order per run, so a map range that appends
+// to a slice, writes order-dependent shared state, emits output, or sends
+// on a channel produces different results for identical (config, seed).
+//
+// Order-independent bodies are exempt, so the canonical fixes lint clean:
+//
+//   - collecting keys into a slice that is subsequently sorted (a call to
+//     sort.*, slices.Sort*, or any function whose name contains "sort"
+//     after the loop, taking the slice as an argument);
+//   - per-key writes m2[k] = v indexed by the range key;
+//   - delete(m, k) while ranging (explicitly sanctioned by the Go spec);
+//   - integer accumulation (n++, total += v), which is commutative and
+//     associative — unlike its floating-point counterpart, which is
+//     flagged because summation order perturbs rounding.
+type MapOrder struct{}
+
+func (MapOrder) Name() string { return "maporder" }
+
+func (MapOrder) Doc() string {
+	return "flag order-sensitive bodies of range-over-map loops (append, shared writes, output)"
+}
+
+func (MapOrder) Check(f *File) []Diagnostic {
+	var diags []Diagnostic
+	seen := make(map[token.Pos]bool) // dedup writes inside nested map ranges
+	for _, body := range functionBodies(f.AST) {
+		inspectShallow(body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !f.isMapRange(rs) {
+				return true
+			}
+			for _, d := range f.checkMapRange(body, rs) {
+				if !seen[d.pos] {
+					seen[d.pos] = true
+					diags = append(diags, d.diag)
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isMapRange reports whether rs iterates a map, using type information
+// when available and falling back to the syntactic make(map...) and
+// map-literal forms when the operand's type did not resolve.
+func (f *File) isMapRange(rs *ast.RangeStmt) bool {
+	if t := f.typeOf(rs.X); t != nil {
+		_, ok := t.Underlying().(*types.Map)
+		return ok
+	}
+	switch x := ast.Unparen(rs.X).(type) {
+	case *ast.CompositeLit:
+		_, ok := x.Type.(*ast.MapType)
+		return ok
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "make" && len(x.Args) > 0 {
+			_, ok := x.Args[0].(*ast.MapType)
+			return ok
+		}
+	}
+	return false
+}
+
+type posDiag struct {
+	pos  token.Pos
+	diag Diagnostic
+}
+
+// checkMapRange reports the order-sensitive operations in rs's body. body
+// is the innermost function body enclosing rs, scanned after the loop for
+// the sorted-later exemption.
+func (f *File) checkMapRange(body *ast.BlockStmt, rs *ast.RangeStmt) []posDiag {
+	var out []posDiag
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, posDiag{pos: n.Pos(), diag: f.diag(n, "maporder", format, args...)})
+	}
+	keyObj := f.rangeKeyObj(rs)
+	inspectShallow(rs.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range stmt.Lhs {
+				var rhs ast.Expr
+				if len(stmt.Rhs) == len(stmt.Lhs) {
+					rhs = stmt.Rhs[i]
+				}
+				f.checkWrite(body, rs, keyObj, stmt.Tok, lhs, rhs, report)
+			}
+		case *ast.IncDecStmt:
+			if f.outerWrite(rs, keyObj, stmt.X) && !f.isInteger(stmt.X) {
+				report(stmt, "non-integer %s inside map iteration: result depends on iteration order", stmt.Tok)
+			}
+		case *ast.SendStmt:
+			report(stmt, "channel send inside map iteration: message order follows the randomized map order")
+		case *ast.CallExpr:
+			if name, ok := outputCall(f, stmt); ok {
+				report(stmt, "%s inside map iteration: output follows the randomized map order (iterate sorted keys instead)", name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkWrite classifies one assignment target inside a map-range body.
+func (f *File) checkWrite(body *ast.BlockStmt, rs *ast.RangeStmt, keyObj types.Object,
+	tok token.Token, lhs, rhs ast.Expr, report func(ast.Node, string, ...any)) {
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	// Appends get their own message and the sorted-later exemption.
+	if isAppendCall(rhs) {
+		if !f.outerWrite(rs, keyObj, lhs) {
+			return
+		}
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && f.sortedAfter(body, rs, f.objectOf(id)) {
+			return
+		}
+		report(lhs, "append to %s inside map iteration yields nondeterministic element order; sort the result or iterate sorted keys", types.ExprString(lhs))
+		return
+	}
+	if !f.outerWrite(rs, keyObj, lhs) {
+		return
+	}
+	// Commutative, associative accumulation on integers is order-independent.
+	opAssign := tok != token.ASSIGN && tok != token.DEFINE
+	if opAssign && f.isInteger(lhs) {
+		return
+	}
+	report(lhs, "write to %s (declared outside the loop) inside map iteration: result depends on iteration order", types.ExprString(lhs))
+}
+
+// outerWrite reports whether lhs targets state declared outside the range
+// statement. Per-key writes indexed by the range key are treated as
+// order-independent and excluded.
+func (f *File) outerWrite(rs *ast.RangeStmt, keyObj types.Object, lhs ast.Expr) bool {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		return f.declaredOutside(x, rs)
+	case *ast.IndexExpr:
+		if id, ok := ast.Unparen(x.Index).(*ast.Ident); ok && keyObj != nil && f.objectOf(id) == keyObj {
+			return false // m2[k] = v: one write per key, any order
+		}
+		return f.rootOutside(x.X, rs)
+	case *ast.SelectorExpr, *ast.StarExpr:
+		return f.rootOutside(lhs, rs)
+	}
+	return false
+}
+
+// rootOutside walks to the base identifier of a selector/index/deref
+// chain and reports whether it is declared outside rs. Chains with no
+// resolvable base (e.g. a call result) count as outside: the write
+// escapes the loop body.
+func (f *File) rootOutside(e ast.Expr, rs *ast.RangeStmt) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return f.declaredOutside(x, rs)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return true
+		}
+	}
+}
+
+// declaredOutside reports whether id's declaration lies outside the range
+// statement's span. Unresolved identifiers (package-level state, dot
+// imports) count as outside.
+func (f *File) declaredOutside(id *ast.Ident, rs *ast.RangeStmt) bool {
+	obj := f.objectOf(id)
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+// rangeKeyObj resolves the range statement's key variable, or nil.
+func (f *File) rangeKeyObj(rs *ast.RangeStmt) types.Object {
+	if id, ok := rs.Key.(*ast.Ident); ok {
+		return f.objectOf(id)
+	}
+	return nil
+}
+
+func (f *File) isInteger(e ast.Expr) bool {
+	t := f.typeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+// isAppendCall reports whether rhs is a call of the append builtin.
+func isAppendCall(rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+// sortedAfter reports whether obj is passed, after the range statement,
+// to a call that sorts it: sort.*, slices.Sort*, a function whose name
+// contains "sort", or a method spelled that way.
+func (f *File) sortedAfter(body *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() || found {
+			return !found
+		}
+		if !sortingCallee(call.Fun) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && f.objectOf(id) == obj {
+				found = true
+				return false
+			}
+		}
+		// Method form: keys.Sort().
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && f.objectOf(id) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func sortingCallee(fun ast.Expr) bool {
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fn.Name), "sort")
+	case *ast.SelectorExpr:
+		if strings.Contains(strings.ToLower(fn.Sel.Name), "sort") {
+			return true
+		}
+		if id, ok := fn.X.(*ast.Ident); ok {
+			return id.Name == "sort" || id.Name == "slices"
+		}
+	}
+	return false
+}
+
+// outputCall recognizes calls that emit output: the fmt print family and
+// the print/println builtins.
+func outputCall(f *File, call *ast.CallExpr) (string, bool) {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		if fn.Name == "print" || fn.Name == "println" {
+			return fn.Name, true
+		}
+	case *ast.SelectorExpr:
+		name := fn.Sel.Name
+		if (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) &&
+			f.isPkgSelector(fn, importName(f.AST, "fmt")) {
+			return "fmt." + name, true
+		}
+	}
+	return "", false
+}

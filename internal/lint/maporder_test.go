@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMapOrderBad(t *testing.T) {
+	diags := runRule(t, MapOrder{}, "maporder/bad")
+	// One finding per function: unsortedKeys, emit, floatAccumulation,
+	// lastWriterWins, sends, viaField.
+	if len(diags) != 6 {
+		t.Fatalf("got %d findings, want 6:\n%s", len(diags), render(diags))
+	}
+	wantFragments := []string{"append to keys", "fmt.Println", "write to total", "write to last", "channel send", "append to out.names"}
+	for _, frag := range wantFragments {
+		found := false
+		for _, d := range diags {
+			if d.Rule != "maporder" {
+				t.Fatalf("unexpected rule %q", d.Rule)
+			}
+			if strings.Contains(d.Msg, frag) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no finding matching %q:\n%s", frag, render(diags))
+		}
+	}
+}
+
+func TestMapOrderGood(t *testing.T) {
+	wantNone(t, MapOrder{}, "maporder/good")
+}
+
+// TestMapOrderCrossPackageKey checks that a map whose key type lives in
+// an unresolvable imported package is still recognized as a map.
+func TestMapOrderCrossPackageKey(t *testing.T) {
+	diags := runRule(t, MapOrder{}, "maporder/crosspkg")
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1:\n%s", len(diags), render(diags))
+	}
+	if !strings.Contains(diags[0].Msg, "append to ids") {
+		t.Fatalf("unexpected finding: %s", diags[0])
+	}
+}

@@ -1,0 +1,12 @@
+// Package fixture exercises allow-comment suppression forms.
+package fixture
+
+import "time"
+
+func timing() {
+	_ = time.Now() //roadlint:allow wallclock same-line form, with justification
+	//roadlint:allow wallclock preceding-line form
+	_ = time.Now()
+	_ = time.Now() //roadlint:allow maporder wrong rule must not suppress wallclock
+	_ = time.Now() // plain comment, must be reported
+}

@@ -1,0 +1,28 @@
+// Package fixture exercises detrand positives: package-level math/rand
+// draws and ad-hoc generators, including a renamed import and the v2 API.
+package fixture
+
+import (
+	"math/rand"
+	mrand "math/rand"
+	randv2 "math/rand/v2"
+)
+
+func draws() int {
+	rand.Seed(42)         // want: global seed
+	x := rand.Intn(10)    // want: global draw
+	_ = rand.Float64()    // want: global draw
+	rand.Shuffle(3, swap) // want: global shuffle
+	return x
+}
+
+func adHoc() int {
+	r := mrand.New(mrand.NewSource(1)) // want: both selectors
+	return r.Intn(3)
+}
+
+func v2() uint64 {
+	return randv2.Uint64() // want: v2 global draw
+}
+
+func swap(i, j int) {}

@@ -1,0 +1,25 @@
+// Package fixture exercises detrand negatives: draws flowing through a
+// seeded RNG value, plus a local identifier that shadows the rand import
+// (fixtures are only type-checked, never compiled, so the unused import
+// is deliberate).
+package fixture
+
+import "math/rand"
+
+type RNG struct{}
+
+func (r *RNG) Intn(n int) int   { return 0 }
+func (r *RNG) Float64() float64 { return 0 }
+func (r *RNG) Fork(string) *RNG { return r }
+
+func draws(rng *RNG) int {
+	_ = rng.Float64()
+	return rng.Intn(10)
+}
+
+type holder struct{ Intn func(int) int }
+
+func shadowed() int {
+	rand := holder{Intn: func(int) int { return 1 }}
+	return rand.Intn(2) // local value named rand, not the package
+}

@@ -1,0 +1,23 @@
+// Package fixture exercises forklabel positives: dynamic labels and a
+// label reused on the same parent stream within one function.
+package fixture
+
+import "fmt"
+
+type RNG struct{}
+
+func (r *RNG) Fork(label string) *RNG { return r }
+
+func duplicated(root *RNG) {
+	a := root.Fork("comm")
+	b := root.Fork("comm") // want: duplicate label on root
+	_, _ = a, b
+}
+
+func dynamic(root *RNG, i int) {
+	_ = root.Fork(fmt.Sprintf("vehicle-%d", i)) // want: non-constant label
+}
+
+func concatenatedVar(root *RNG, suffix string) {
+	_ = root.Fork("mobility-" + suffix) // want: non-constant label
+}

@@ -1,0 +1,35 @@
+// Package fixture exercises forklabel negatives: distinct literal labels,
+// named string constants, the same label on different parents, and the
+// same label in different functions.
+package fixture
+
+type RNG struct{}
+
+func (r *RNG) Fork(label string) *RNG { return r }
+
+const labelData = "data"
+
+func modules(root *RNG) {
+	a := root.Fork("comm")
+	b := root.Fork("ml")
+	c := root.Fork(labelData)          // named constant is statically known
+	d := root.Fork("pre-" + labelData) // constant expression, still static
+	_, _, _, _ = a, b, c, d
+}
+
+func perParent(a, b *RNG) {
+	_ = a.Fork("mobility")
+	_ = b.Fork("mobility") // same label, different parent stream
+}
+
+func perFunctionScopeA(root *RNG) { _ = root.Fork("roadnet") }
+
+func perFunctionScopeB(root *RNG) { _ = root.Fork("roadnet") }
+
+type repo struct{}
+
+func (repo) Fork(branch string) error { return nil } // unrelated Fork method
+
+func other(r repo, name string) {
+	_ = r.Fork(name) // not an RNG: out of scope
+}

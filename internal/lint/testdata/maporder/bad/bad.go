@@ -1,0 +1,47 @@
+// Package fixture exercises maporder positives: map-range bodies whose
+// effect depends on Go's randomized iteration order.
+package fixture
+
+import "fmt"
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want: append, never sorted
+	}
+	return keys
+}
+
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want: output follows map order
+	}
+}
+
+func floatAccumulation(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want: float summation order perturbs rounding
+	}
+	return total
+}
+
+func lastWriterWins(m map[string]int) string {
+	var last string
+	for k := range m {
+		last = k // want: nondeterministic final value
+	}
+	return last
+}
+
+func sends(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want: send order follows map order
+	}
+}
+
+func viaField(m map[string]int, out *struct{ names []string }) {
+	for k := range m {
+		out.names = append(out.names, k) // want: append through a field
+	}
+}

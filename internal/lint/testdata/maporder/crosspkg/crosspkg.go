@@ -1,0 +1,18 @@
+// Package fixture checks that maporder still recognizes maps whose key
+// type comes from another package: the stub importer leaves fake.ID
+// unresolved, but the field's map structure must survive type checking.
+package fixture
+
+import "example.com/fake"
+
+type state struct {
+	pending map[fake.ID]int
+}
+
+func collect(s *state) []fake.ID {
+	var ids []fake.ID
+	for id := range s.pending {
+		ids = append(ids, id) // want: append, never sorted
+	}
+	return ids
+}

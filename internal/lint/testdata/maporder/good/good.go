@@ -1,0 +1,66 @@
+// Package fixture exercises maporder negatives: the canonical
+// order-independent map-range patterns used across the simulator.
+package fixture
+
+import (
+	"sort"
+)
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // sorted below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type pair struct{ a, b int }
+
+func sortPairs(ps []pair) {}
+
+func sortedByHelper(m map[pair]bool) []pair {
+	var out []pair
+	for p := range m {
+		out = append(out, p) // sorted by the helper below
+	}
+	sortPairs(out)
+	return out
+}
+
+func copyCounters(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v // one write per key, any order
+	}
+	return out
+}
+
+func clearAll(m map[string]int) {
+	for k := range m {
+		delete(m, k) // sanctioned by the spec
+	}
+}
+
+func countEntries(m map[string]int) int {
+	n := 0
+	for range m {
+		n++ // integer increment commutes
+	}
+	return n
+}
+
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // integer summation commutes
+	}
+	return total
+}
+
+func localOnly(m map[string]int) {
+	for _, v := range m {
+		doubled := v * 2 // loop-local, reborn each iteration
+		_ = doubled
+	}
+}

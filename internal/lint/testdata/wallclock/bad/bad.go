@@ -1,0 +1,12 @@
+// Package fixture exercises wallclock positives: reading and waiting on
+// the host clock.
+package fixture
+
+import "time"
+
+func timing() time.Duration {
+	start := time.Now()            // want: clock read
+	time.Sleep(time.Millisecond)   // want: host wait
+	<-time.After(time.Millisecond) // want: host wait
+	return time.Since(start)       // want: clock read
+}

@@ -1,0 +1,13 @@
+// Package fixture exercises wallclock negatives: the pure-value time API
+// (durations, constants, formatting) is deterministic and allowed.
+package fixture
+
+import "time"
+
+const warmup = 50 * time.Millisecond
+
+func horizon(d time.Duration) time.Duration {
+	return (d + warmup).Round(time.Second)
+}
+
+func stamp(t time.Time) string { return t.Format(time.RFC3339) }

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WallClock forbids reading or waiting on the host clock. Simulated time
+// comes from sim.Engine; a time.Now inside the simulation couples results
+// to host speed, and a time.Sleep stalls the event loop without advancing
+// simulated time. The only legitimate uses are harness wall-time
+// measurements (how long a run took, not what it computed), which carry a
+// //roadlint:allow wallclock annotation with a justification.
+type WallClock struct{}
+
+// wallClockFuncs are the time package functions that observe or wait on
+// the host clock. Pure-value API (time.Duration, time.Millisecond,
+// Duration.Round, ...) is deterministic and stays allowed.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func (WallClock) Name() string { return "wallclock" }
+
+func (WallClock) Doc() string {
+	return "forbid wall-clock reads (time.Now/Since/Sleep/...); simulated time comes from sim.Engine"
+}
+
+func (WallClock) Check(f *File) []Diagnostic {
+	name := importName(f.AST, "time")
+	if name == "" {
+		return nil
+	}
+	var diags []Diagnostic
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if wallClockFuncs[sel.Sel.Name] && f.isPkgSelector(sel, name) {
+			diags = append(diags, f.diag(sel, "wallclock",
+				"wall-clock %s.%s: simulation results must depend only on (config, seed); annotate harness timing with //roadlint:allow wallclock",
+				name, sel.Sel.Name))
+			return false
+		}
+		return true
+	})
+	return diags
+}

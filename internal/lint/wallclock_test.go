@@ -1,0 +1,20 @@
+package lint
+
+import "testing"
+
+func TestWallClockBad(t *testing.T) {
+	diags := runRule(t, WallClock{}, "wallclock/bad")
+	if len(diags) != 4 {
+		t.Fatalf("got %d findings, want 4:\n%s", len(diags), render(diags))
+	}
+	want := []int{8, 9, 10, 11}
+	for i, l := range lines(diags) {
+		if l != want[i] {
+			t.Fatalf("finding lines = %v, want %v", lines(diags), want)
+		}
+	}
+}
+
+func TestWallClockGood(t *testing.T) {
+	wantNone(t, WallClock{}, "wallclock/good")
+}

@@ -1,0 +1,41 @@
+package repro
+
+import (
+	"runtime"
+	"testing"
+
+	"roadrunner/internal/core"
+	"roadrunner/internal/metrics"
+)
+
+// TestRunParallelRace floods RunParallel with at least twice GOMAXPROCS
+// jobs so the worker pool, the shared result slice, and each job's
+// metrics recorder are exercised under real contention. Its assertions
+// are deliberately light — the test exists for the race detector
+// (make race / go test -race ./...), which fails the run on any unsynchronized
+// access regardless of assertion outcomes.
+func TestRunParallelRace(t *testing.T) {
+	workers := 2 * runtime.GOMAXPROCS(0)
+	n := workers + 2 // more jobs than workers: the feed channel blocks and hands off
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	jobs := SeedSweep("race", core.SmallConfig(), seeds, smallFedAvgFactory)
+
+	results := RunParallel(workers, jobs)
+	if len(results) != n {
+		t.Fatalf("got %d results for %d jobs", len(results), n)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d (%s): %v", i, r.Name, r.Err)
+		}
+		if r.Result == nil {
+			t.Fatalf("job %d (%s): missing result", i, r.Name)
+		}
+		if r.Result.Metrics.Counter(metrics.CounterRounds) <= 0 {
+			t.Fatalf("job %d (%s): no rounds completed", i, r.Name)
+		}
+	}
+}
