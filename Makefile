@@ -3,10 +3,15 @@
 
 GO ?= go
 
-.PHONY: build vet test race lint ci
+.PHONY: build vet test race lint bench ci
 
 build:
 	$(GO) build ./...
+
+# bench writes the tracked throughput report (BENCH_fig4.json) with the
+# embedded pre-optimisation baseline alongside the current measurement.
+bench:
+	$(GO) run ./cmd/bench -rounds 2 -seeds 3 -out BENCH_fig4.json
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchWritesReport runs the harness at smoke scale and validates the
+// BENCH_fig4.json schema end to end.
+func TestBenchWritesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full (small) Figure-4 experiment")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_fig4.json")
+	if err := run(1, 1, 2, out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("parse report: %v", err)
+	}
+	if r.Schema != 1 || r.Benchmark == "" || r.GoVersion == "" {
+		t.Fatalf("incomplete report header: %+v", r)
+	}
+	if r.Current.NsPerOp <= 0 || r.Current.EventsPerOp <= 0 || r.Current.SimsecPerWallsec <= 0 {
+		t.Fatalf("non-positive measurement: %+v", r.Current)
+	}
+	if r.Baseline.SimsecPerWallsec <= 0 || r.Speedup <= 0 {
+		t.Fatalf("baseline/speedup missing: %+v", r)
+	}
+	if r.Rounds != 1 || r.Seeds != 1 || r.EvalWorkers != 2 {
+		t.Fatalf("flag echo mismatch: %+v", r)
+	}
+}
+
+func TestBenchRejectsBadArgs(t *testing.T) {
+	if err := run(0, 1, 0, "unused.json"); err == nil {
+		t.Fatal("want error for zero rounds")
+	}
+	if err := run(1, 0, 0, "unused.json"); err == nil {
+		t.Fatal("want error for zero seeds")
+	}
+}

@@ -57,6 +57,12 @@ type Config struct {
 	Model ml.Spec        `json:"model"`
 	Train ml.TrainConfig `json:"train"`
 
+	// EvalWorkers sets the goroutine count for held-out test-set
+	// evaluation. Values above 1 enable ml.EvaluateParallel, whose shard
+	// decomposition keeps recorded accuracies identical to serial
+	// evaluation at any worker count; 0 or 1 evaluates serially.
+	EvalWorkers int `json:"eval_workers,omitempty"`
+
 	// OBU, ServerHW, and RSUHW are the hardware-unit profiles.
 	OBU      hw.Profile `json:"obu"`
 	ServerHW hw.Profile `json:"server_hw"`
@@ -142,6 +148,9 @@ func (c Config) Validate() error {
 	}
 	if c.TestSamples <= 0 {
 		return fmt.Errorf("core: non-positive test sample count %d", c.TestSamples)
+	}
+	if c.EvalWorkers < 0 {
+		return fmt.Errorf("core: negative eval worker count %d", c.EvalWorkers)
 	}
 	if err := c.Model.Validate(); err != nil {
 		return fmt.Errorf("core: model: %w", err)

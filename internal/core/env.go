@@ -187,11 +187,21 @@ func (e *Experiment) TestAccuracy(m *ml.Snapshot) (float64, error) {
 	if acc, ok := e.accCache[m]; ok {
 		return acc, nil
 	}
-	net, err := ml.LoadSnapshot(m)
-	if err != nil {
-		return 0, err
+	var acc float64
+	var err error
+	if e.cfg.EvalWorkers > 1 {
+		// Shard-deterministic parallel evaluation: the accuracy is a ratio
+		// of integers over a worker-count-independent shard grid, so the
+		// value is identical to the serial path bit for bit.
+		acc, _, err = ml.EvaluateParallel(m, e.testSet, e.cfg.EvalWorkers)
+	} else {
+		var net *ml.Network
+		net, err = ml.LoadSnapshot(m)
+		if err != nil {
+			return 0, err
+		}
+		acc, _, err = net.Evaluate(e.testSet)
 	}
-	acc, _, err := net.Evaluate(e.testSet)
 	if err != nil {
 		return 0, err
 	}

@@ -47,6 +47,12 @@ type Experiment struct {
 	posBuf  []roadnet.Point
 	actBuf  []bool
 
+	// agentIdx maps every positioned agent to its role and slot, so the
+	// comm layer's per-message position lookups are O(1) instead of
+	// scanning the RSU and vehicle lists. The cloud server is absent: it
+	// has no position.
+	agentIdx map[sim.AgentID]agentRef
+
 	stratRNG *sim.RNG
 	trainRNG *sim.RNG
 
@@ -165,7 +171,15 @@ func (e *Experiment) loadMobility(root *sim.RNG) (*mobility.TraceSet, *roadnet.G
 	return traces, graph, nil
 }
 
+// agentRef locates an agent in the experiment's per-kind slices: the
+// vehicle trace index, or the RSU slot.
+type agentRef struct {
+	vehicle bool
+	idx     int
+}
+
 func (e *Experiment) createAgents(graph *roadnet.Graph, root *sim.RNG) error {
+	e.agentIdx = make(map[sim.AgentID]agentRef)
 	e.server = e.registry.Add(sim.KindCloudServer).ID
 	srvUnit, err := hw.NewUnit(e.cfg.ServerHW)
 	if err != nil {
@@ -178,6 +192,7 @@ func (e *Experiment) createAgents(graph *roadnet.Graph, root *sim.RNG) error {
 	for i := 0; i < n; i++ {
 		a := e.registry.Add(sim.KindVehicle)
 		e.vehicles[i] = a.ID
+		e.agentIdx[a.ID] = agentRef{vehicle: true, idx: i}
 		unit, err := hw.NewUnit(e.cfg.OBU)
 		if err != nil {
 			return err
@@ -190,6 +205,7 @@ func (e *Experiment) createAgents(graph *roadnet.Graph, root *sim.RNG) error {
 		for i := 0; i < e.cfg.RSUCount; i++ {
 			a := e.registry.Add(sim.KindRSU)
 			e.rsus = append(e.rsus, a.ID)
+			e.agentIdx[a.ID] = agentRef{idx: i}
 			unit, err := hw.NewUnit(e.cfg.RSUHW)
 			if err != nil {
 				return err
@@ -229,22 +245,17 @@ func (e *Experiment) createNetwork(root *sim.RNG) error {
 	return nil
 }
 
-// positionOf resolves any agent's current position; the cloud server has
-// none.
+// positionOf resolves any agent's current position; the cloud server (and
+// any unknown agent) has none.
 func (e *Experiment) positionOf(id sim.AgentID) (roadnet.Point, bool) {
-	if id == e.server {
+	ref, ok := e.agentIdx[id]
+	if !ok {
 		return roadnet.Point{}, false
 	}
-	for i, r := range e.rsus {
-		if r == id {
-			return e.rsuPos[i], true
-		}
+	if !ref.vehicle {
+		return e.rsuPos[ref.idx], true
 	}
-	idx := int(id) - 1 // vehicles occupy IDs 1..n
-	if idx < 0 || idx >= len(e.vehicles) {
-		return roadnet.Point{}, false
-	}
-	pos, _, err := e.replayer.At(idx, e.engine.Now())
+	pos, _, err := e.replayer.At(ref.idx, e.engine.Now())
 	if err != nil {
 		return roadnet.Point{}, false
 	}
@@ -382,6 +393,10 @@ func (e *Experiment) tick() {
 	for i, v := range e.vehicles {
 		pos, _, err := e.replayer.At(i, now)
 		if err != nil {
+			// The slot's previous position would otherwise survive in
+			// posBuf; mark the vehicle inactive so a stale entry can never
+			// produce a phantom encounter.
+			e.actBuf[i] = false
 			continue
 		}
 		e.posBuf[i] = pos

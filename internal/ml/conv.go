@@ -3,108 +3,81 @@ package ml
 // conv2d is a 2-D convolution with stride 1 and valid padding, operating on
 // channel-major (C, H, W) activations. Weights are stored flat as
 // [outC][inC][k][k]; biases per output channel.
+//
+// Forward and backward run as im2col + GEMM (gemm.go): the input is
+// unrolled once into the layer-owned col buffer, the forward pass is one
+// (outC × ck)·(ck × outN) matrix product, and the backward pass is two
+// products (dW = dY·colᵀ, dcol = Wᵀ·dY) plus a col2im scatter. The scratch
+// buffers are allocated once at construction and reused across calls, so a
+// training step allocates nothing.
 type conv2d struct {
 	inC, inH, inW int
 	outC, k       int
 	outH, outW    int
 
 	w, b   []float32
-	dw, db []float32
+	db, dw []float32
 
-	x  []float32
-	y  []float32
-	dx []float32
+	x    []float32
+	y    []float32
+	dx   []float32
+	col  []float32 // im2col patch matrix: (inC·k·k) × (outH·outW)
+	dcol []float32 // gradient of col, same shape
 }
 
 func newConv2D(inC, inH, inW, outC, k int) *conv2d {
 	outH, outW := inH-k+1, inW-k+1
+	ckn := inC * k * k * outH * outW
 	return &conv2d{
 		inC: inC, inH: inH, inW: inW,
 		outC: outC, k: k,
 		outH: outH, outW: outW,
-		w:  make([]float32, outC*inC*k*k),
-		b:  make([]float32, outC),
-		dw: make([]float32, outC*inC*k*k),
-		db: make([]float32, outC),
-		y:  make([]float32, outC*outH*outW),
-		dx: make([]float32, inC*inH*inW),
+		w:    make([]float32, outC*inC*k*k),
+		b:    make([]float32, outC),
+		dw:   make([]float32, outC*inC*k*k),
+		db:   make([]float32, outC),
+		y:    make([]float32, outC*outH*outW),
+		dx:   make([]float32, inC*inH*inW),
+		col:  make([]float32, ckn),
+		dcol: make([]float32, ckn),
 	}
 }
 
 func (c *conv2d) forward(x []float32) []float32 {
 	c.x = x
-	k, inW, outW := c.k, c.inW, c.outW
+	outN := c.outH * c.outW
+	ck := c.inC * c.k * c.k
+	im2col(x, c.inC, c.inH, c.inW, c.k, c.outH, c.outW, c.col)
 	for oc := 0; oc < c.outC; oc++ {
 		bias := c.b[oc]
-		outPlane := c.y[oc*c.outH*outW : (oc+1)*c.outH*outW]
-		for oy := 0; oy < c.outH; oy++ {
-			outRow := outPlane[oy*outW : (oy+1)*outW]
-			for ox := range outRow {
-				outRow[ox] = bias
-			}
-		}
-		for ic := 0; ic < c.inC; ic++ {
-			inPlane := x[ic*c.inH*inW : (ic+1)*c.inH*inW]
-			wBase := ((oc*c.inC + ic) * k) * k
-			for ky := 0; ky < k; ky++ {
-				wRow := c.w[wBase+ky*k : wBase+ky*k+k]
-				for oy := 0; oy < c.outH; oy++ {
-					inRow := inPlane[(oy+ky)*inW:]
-					outRow := outPlane[oy*outW : (oy+1)*outW]
-					for kx := 0; kx < k; kx++ {
-						wv := wRow[kx]
-						if wv == 0 {
-							continue
-						}
-						in := inRow[kx:]
-						for ox := range outRow {
-							outRow[ox] += wv * in[ox]
-						}
-					}
-				}
-			}
+		row := c.y[oc*outN : (oc+1)*outN]
+		for j := range row {
+			row[j] = bias
 		}
 	}
+	gemmNN(c.outC, outN, ck, c.w, c.col, c.y)
 	return c.y
 }
 
 func (c *conv2d) backward(dout []float32) []float32 {
-	zero(c.dx)
-	k, inW, outW := c.k, c.inW, c.outW
+	outN := c.outH * c.outW
+	ck := c.inC * c.k * c.k
+	// Bias gradient: per-channel row sums of dY.
 	for oc := 0; oc < c.outC; oc++ {
-		outPlane := dout[oc*c.outH*outW : (oc+1)*c.outH*outW]
-		// Bias gradient.
 		var db float32
-		for _, g := range outPlane {
+		for _, g := range dout[oc*outN : (oc+1)*outN] {
 			db += g
 		}
 		c.db[oc] += db
-		for ic := 0; ic < c.inC; ic++ {
-			inPlane := c.x[ic*c.inH*inW : (ic+1)*c.inH*inW]
-			dxPlane := c.dx[ic*c.inH*inW : (ic+1)*c.inH*inW]
-			wBase := ((oc*c.inC + ic) * k) * k
-			for ky := 0; ky < k; ky++ {
-				wRow := c.w[wBase+ky*k : wBase+ky*k+k]
-				dwRow := c.dw[wBase+ky*k : wBase+ky*k+k]
-				for oy := 0; oy < c.outH; oy++ {
-					gRow := outPlane[oy*outW : (oy+1)*outW]
-					inRow := inPlane[(oy+ky)*inW:]
-					dxRow := dxPlane[(oy+ky)*inW:]
-					for kx := 0; kx < k; kx++ {
-						var dw float32
-						wv := wRow[kx]
-						in := inRow[kx:]
-						dx := dxRow[kx:]
-						for ox, g := range gRow {
-							dw += g * in[ox]
-							dx[ox] += wv * g
-						}
-						dwRow[kx] += dw
-					}
-				}
-			}
-		}
 	}
+	// Weight gradient: dW += dY · colᵀ (col still holds this forward's
+	// unrolled input).
+	gemmNT(c.outC, ck, outN, dout, c.col, c.dw)
+	// Input gradient: dcol = Wᵀ · dY, scattered back by col2im.
+	zero(c.dcol)
+	gemmTN(ck, outN, c.outC, c.w, dout, c.dcol)
+	zero(c.dx)
+	col2im(c.dcol, c.inC, c.inH, c.inW, c.k, c.outH, c.outW, c.dx)
 	return c.dx
 }
 
@@ -114,6 +87,82 @@ func (c *conv2d) grads() [][]float32  { return [][]float32{c.dw, c.db} }
 func (c *conv2d) zeroGrads() {
 	zero(c.dw)
 	zero(c.db)
+}
+
+// referenceConvForward is the scalar convolution kernel the GEMM path
+// replaced, retained (BruteForcePairs-style) as the reference
+// implementation the equivalence tests compare against. It returns a fresh
+// output slice.
+func referenceConvForward(w, b, x []float32, inC, inH, inW, outC, k int) []float32 {
+	outH, outW := inH-k+1, inW-k+1
+	y := make([]float32, outC*outH*outW)
+	for oc := 0; oc < outC; oc++ {
+		outPlane := y[oc*outH*outW : (oc+1)*outH*outW]
+		for i := range outPlane {
+			outPlane[i] = b[oc]
+		}
+		for ic := 0; ic < inC; ic++ {
+			inPlane := x[ic*inH*inW : (ic+1)*inH*inW]
+			wBase := ((oc*inC + ic) * k) * k
+			for ky := 0; ky < k; ky++ {
+				wRow := w[wBase+ky*k : wBase+ky*k+k]
+				for oy := 0; oy < outH; oy++ {
+					inRow := inPlane[(oy+ky)*inW:]
+					outRow := outPlane[oy*outW : (oy+1)*outW]
+					for kx := 0; kx < k; kx++ {
+						wv := wRow[kx]
+						in := inRow[kx:]
+						for ox := range outRow {
+							outRow[ox] += wv * in[ox]
+						}
+					}
+				}
+			}
+		}
+	}
+	return y
+}
+
+// referenceConvBackward is the scalar backward kernel retained as the
+// reference for the GEMM equivalence tests. It returns fresh dx, dw, db
+// slices for the given upstream gradient.
+func referenceConvBackward(w, x, dout []float32, inC, inH, inW, outC, k int) (dx, dw, db []float32) {
+	outH, outW := inH-k+1, inW-k+1
+	dx = make([]float32, inC*inH*inW)
+	dw = make([]float32, outC*inC*k*k)
+	db = make([]float32, outC)
+	for oc := 0; oc < outC; oc++ {
+		outPlane := dout[oc*outH*outW : (oc+1)*outH*outW]
+		for _, g := range outPlane {
+			db[oc] += g
+		}
+		for ic := 0; ic < inC; ic++ {
+			inPlane := x[ic*inH*inW : (ic+1)*inH*inW]
+			dxPlane := dx[ic*inH*inW : (ic+1)*inH*inW]
+			wBase := ((oc*inC + ic) * k) * k
+			for ky := 0; ky < k; ky++ {
+				wRow := w[wBase+ky*k : wBase+ky*k+k]
+				dwRow := dw[wBase+ky*k : wBase+ky*k+k]
+				for oy := 0; oy < outH; oy++ {
+					gRow := outPlane[oy*outW : (oy+1)*outW]
+					inRow := inPlane[(oy+ky)*inW:]
+					dxRow := dxPlane[(oy+ky)*inW:]
+					for kx := 0; kx < k; kx++ {
+						var acc float32
+						wv := wRow[kx]
+						in := inRow[kx:]
+						dxs := dxRow[kx:]
+						for ox, g := range gRow {
+							acc += g * in[ox]
+							dxs[ox] += wv * g
+						}
+						dwRow[kx] += acc
+					}
+				}
+			}
+		}
+	}
+	return dx, dw, db
 }
 
 // maxpool2 is a 2x2 max-pool with stride 2 over channel-major activations.

@@ -1,0 +1,96 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"roadrunner/internal/sim"
+)
+
+func parallelEvalFixture(t *testing.T, n int) (*Snapshot, []Example) {
+	t.Helper()
+	rng := sim.NewRNG(404)
+	spec := MLPSpec(12, []int{16}, 4)
+	net, err := NewNetwork(spec, rng)
+	if err != nil {
+		t.Fatalf("build network: %v", err)
+	}
+	examples := make([]Example, n)
+	for i := range examples {
+		x := make([]float32, 12)
+		randomFill(rng, x)
+		examples[i] = Example{X: x, Label: rng.Intn(4)}
+	}
+	return net.Snapshot(), examples
+}
+
+// TestEvaluateParallelWorkerCountInvariant requires bitwise-identical
+// accuracy and loss across worker counts, including the serial path, and
+// across repeated runs at the same worker count. Example counts straddle
+// shard boundaries (partial shard, exact multiple, fewer than one shard).
+func TestEvaluateParallelWorkerCountInvariant(t *testing.T) {
+	for _, n := range []int{10, evalShardSize, evalShardSize * 3, 300} {
+		snap, examples := parallelEvalFixture(t, n)
+		accRef, lossRef, err := EvaluateParallel(snap, examples, 1)
+		if err != nil {
+			t.Fatalf("n=%d workers=1: %v", n, err)
+		}
+		for _, workers := range []int{1, 2, 4, 16} {
+			for run := 0; run < 2; run++ {
+				acc, loss, err := EvaluateParallel(snap, examples, workers)
+				if err != nil {
+					t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+				}
+				if math.Float64bits(acc) != math.Float64bits(accRef) ||
+					math.Float64bits(loss) != math.Float64bits(lossRef) {
+					t.Fatalf("n=%d workers=%d run=%d: (%v, %v) differs bitwise from single-worker (%v, %v)",
+						n, workers, run, acc, loss, accRef, lossRef)
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluateParallelMatchesSerialEvaluate checks the parallel path
+// against Network.Evaluate: accuracy must be exactly equal (integer
+// ratio), loss equal within float tolerance (the shard fold regroups the
+// additions).
+func TestEvaluateParallelMatchesSerialEvaluate(t *testing.T) {
+	snap, examples := parallelEvalFixture(t, 250)
+	net, err := LoadSnapshot(snap)
+	if err != nil {
+		t.Fatalf("load snapshot: %v", err)
+	}
+	wantAcc, wantLoss, err := net.Evaluate(examples)
+	if err != nil {
+		t.Fatalf("serial evaluate: %v", err)
+	}
+	acc, loss, err := EvaluateParallel(snap, examples, 4)
+	if err != nil {
+		t.Fatalf("parallel evaluate: %v", err)
+	}
+	if acc != wantAcc {
+		t.Fatalf("accuracy %v != serial %v", acc, wantAcc)
+	}
+	if math.Abs(loss-wantLoss) > 1e-9*math.Max(1, math.Abs(wantLoss)) {
+		t.Fatalf("loss %v too far from serial %v", loss, wantLoss)
+	}
+}
+
+// TestEvaluateParallelErrors covers the argument validation paths.
+func TestEvaluateParallelErrors(t *testing.T) {
+	snap, examples := parallelEvalFixture(t, 8)
+	if _, _, err := EvaluateParallel(nil, examples, 2); err == nil {
+		t.Fatal("want error for nil snapshot")
+	}
+	if _, _, err := EvaluateParallel(snap, nil, 2); err == nil {
+		t.Fatal("want error for empty example set")
+	}
+	bad := []Example{{X: []float32{1, 2}, Label: 0}}
+	if _, _, err := EvaluateParallel(snap, bad, 2); err == nil {
+		t.Fatal("want error for dimension mismatch")
+	}
+	if acc, _, err := EvaluateParallel(snap, examples, 0); err != nil || acc < 0 || acc > 1 {
+		t.Fatalf("workers=0 should clamp to 1, got acc=%v err=%v", acc, err)
+	}
+}

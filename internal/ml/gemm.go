@@ -1,0 +1,239 @@
+package ml
+
+// gemm.go holds the float32 matrix kernels behind the im2col convolution
+// path. All kernels are scalar Go, shaped for the small, skinny matrices
+// the paper CNN produces (m and k of a few dozen at most): gemmNN and
+// gemmTN are 4-row broadcast (saxpy) kernels that stream B rows through
+// contiguous C rows, and gemmNT is a 2×4 dot-product micro-tile with
+// eight independent accumulator chains. Larger register tiles were
+// measured slower here — gc spills them at these shapes. Row slices are
+// hoisted so the compiler can elide bounds checks on the hot loops.
+//
+// Every kernel accumulates each output element over k in ascending order
+// with a fixed loop nest, so results are bit-identical across runs, hosts,
+// and worker counts — the (config, seed) → byte-identical-result contract
+// does not tolerate reassociation that varies between executions.
+
+// gemmNN computes C += A·B for row-major matrices: A is M×K, B is K×N and
+// C is M×N. Callers that need C = A·B pre-fill C (the conv forward path
+// fills it with the bias).
+func gemmNN(m, n, k int, a, b, c []float32) {
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		a0 := a[(i+0)*k : (i+1)*k]
+		a1 := a[(i+1)*k : (i+2)*k]
+		a2 := a[(i+2)*k : (i+3)*k]
+		a3 := a[(i+3)*k : (i+4)*k]
+		c0 := c[(i+0)*n : (i+1)*n]
+		c1 := c[(i+1)*n : (i+2)*n]
+		c2 := c[(i+2)*n : (i+3)*n]
+		c3 := c[(i+3)*n : (i+4)*n]
+		for p := 0; p < k; p++ {
+			brow := b[p*n : p*n+n]
+			v0, v1, v2, v3 := a0[p], a1[p], a2[p], a3[p]
+			for j, bv := range brow {
+				c0[j] += v0 * bv
+				c1[j] += v1 * bv
+				c2[j] += v2 * bv
+				c3[j] += v3 * bv
+			}
+		}
+	}
+	// Remainder rows, two at a time where possible: the paper CNN's first
+	// conv has m=6, so a third of its forward work lands here.
+	for ; i+2 <= m; i += 2 {
+		a0 := a[(i+0)*k : (i+1)*k]
+		a1 := a[(i+1)*k : (i+2)*k]
+		c0 := c[(i+0)*n : (i+1)*n]
+		c1 := c[(i+1)*n : (i+2)*n]
+		for p := 0; p < k; p++ {
+			brow := b[p*n : p*n+n]
+			v0, v1 := a0[p], a1[p]
+			for j, bv := range brow {
+				c0[j] += v0 * bv
+				c1[j] += v1 * bv
+			}
+		}
+	}
+	for ; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : i*n+n]
+		for p := 0; p < k; p++ {
+			brow := b[p*n : p*n+n]
+			v := arow[p]
+			for j, bv := range brow {
+				crow[j] += v * bv
+			}
+		}
+	}
+}
+
+// gemmTN computes C += Aᵀ·B where A is K×M (so Aᵀ is M×K), B is K×N and C
+// is M×N, all row-major. Each step p broadcasts four contiguous A values
+// a[p*m+i..i+3] against the same B row — a blocked rank-1 update.
+func gemmTN(m, n, k int, a, b, c []float32) {
+	for p := 0; p < k; p++ {
+		arow := a[p*m : p*m+m]
+		brow := b[p*n : p*n+n]
+		i := 0
+		for ; i+4 <= m; i += 4 {
+			v0, v1, v2, v3 := arow[i], arow[i+1], arow[i+2], arow[i+3]
+			c0 := c[(i+0)*n : (i+1)*n]
+			c1 := c[(i+1)*n : (i+2)*n]
+			c2 := c[(i+2)*n : (i+3)*n]
+			c3 := c[(i+3)*n : (i+4)*n]
+			for j, bv := range brow {
+				c0[j] += v0 * bv
+				c1[j] += v1 * bv
+				c2[j] += v2 * bv
+				c3[j] += v3 * bv
+			}
+		}
+		for ; i+2 <= m; i += 2 {
+			v0, v1 := arow[i], arow[i+1]
+			c0 := c[(i+0)*n : (i+1)*n]
+			c1 := c[(i+1)*n : (i+2)*n]
+			for j, bv := range brow {
+				c0[j] += v0 * bv
+				c1[j] += v1 * bv
+			}
+		}
+		for ; i < m; i++ {
+			v := arow[i]
+			crow := c[i*n : i*n+n]
+			for j, bv := range brow {
+				crow[j] += v * bv
+			}
+		}
+	}
+}
+
+// gemmNT computes C += A·Bᵀ where A is M×K, B is N×K and C is M×N, all
+// row-major. Each C element is an ascending-k dot product of a row of A
+// with a row of B; the 2×4 tile keeps eight independent accumulator
+// chains in flight to hide the float add latency.
+func gemmNT(m, n, k int, a, b, c []float32) {
+	i := 0
+	for ; i+2 <= m; i += 2 {
+		a0 := a[(i+0)*k : (i+1)*k]
+		a1 := a[(i+1)*k : (i+2)*k]
+		c0 := c[(i+0)*n : (i+1)*n]
+		c1 := c[(i+1)*n : (i+2)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[(j+0)*k : (j+1)*k]
+			b1 := b[(j+1)*k : (j+2)*k]
+			b2 := b[(j+2)*k : (j+3)*k]
+			b3 := b[(j+3)*k : (j+4)*k]
+			var s00, s01, s02, s03, s10, s11, s12, s13 float32
+			for p, av0 := range a0 {
+				av1 := a1[p]
+				bv0, bv1, bv2, bv3 := b0[p], b1[p], b2[p], b3[p]
+				s00 += av0 * bv0
+				s01 += av0 * bv1
+				s02 += av0 * bv2
+				s03 += av0 * bv3
+				s10 += av1 * bv0
+				s11 += av1 * bv1
+				s12 += av1 * bv2
+				s13 += av1 * bv3
+			}
+			c0[j] += s00
+			c0[j+1] += s01
+			c0[j+2] += s02
+			c0[j+3] += s03
+			c1[j] += s10
+			c1[j+1] += s11
+			c1[j+2] += s12
+			c1[j+3] += s13
+		}
+		for ; j < n; j++ {
+			brow := b[j*k : j*k+k]
+			var s0, s1 float32
+			for p, bv := range brow {
+				s0 += a0[p] * bv
+				s1 += a1[p] * bv
+			}
+			c0[j] += s0
+			c1[j] += s1
+		}
+	}
+	for ; i < m; i++ {
+		arow := a[i*k : i*k+k]
+		crow := c[i*n : i*n+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[(j+0)*k : (j+1)*k]
+			b1 := b[(j+1)*k : (j+2)*k]
+			b2 := b[(j+2)*k : (j+3)*k]
+			b3 := b[(j+3)*k : (j+4)*k]
+			var s0, s1, s2, s3 float32
+			for p, av := range arow {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+			}
+			crow[j] += s0
+			crow[j+1] += s1
+			crow[j+2] += s2
+			crow[j+3] += s3
+		}
+		for ; j < n; j++ {
+			brow := b[j*k : j*k+k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] += s
+		}
+	}
+}
+
+// im2col unrolls a channel-major (inC, inH, inW) activation into the
+// (inC·k·k) × (outH·outW) patch matrix for a stride-1 valid convolution:
+// row (ic·k+ky)·k+kx holds, for every output position, the input value the
+// kernel tap (ic, ky, kx) reads. Each row is outW-long contiguous copies,
+// so the unroll is pure memmove traffic.
+func im2col(x []float32, inC, inH, inW, k, outH, outW int, col []float32) {
+	outN := outH * outW
+	ck := 0
+	for ic := 0; ic < inC; ic++ {
+		plane := x[ic*inH*inW : (ic+1)*inH*inW]
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				row := col[ck*outN : (ck+1)*outN]
+				for oy := 0; oy < outH; oy++ {
+					src := plane[(oy+ky)*inW+kx : (oy+ky)*inW+kx+outW]
+					copy(row[oy*outW:(oy+1)*outW], src)
+				}
+				ck++
+			}
+		}
+	}
+}
+
+// col2im scatters the patch-matrix gradient back onto the (inC, inH, inW)
+// input gradient, accumulating overlapping taps. dx must be pre-zeroed.
+// Rows are visited in ascending ck order so the accumulation order into
+// each dx element is fixed.
+func col2im(dcol []float32, inC, inH, inW, k, outH, outW int, dx []float32) {
+	outN := outH * outW
+	ck := 0
+	for ic := 0; ic < inC; ic++ {
+		plane := dx[ic*inH*inW : (ic+1)*inH*inW]
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				row := dcol[ck*outN : (ck+1)*outN]
+				for oy := 0; oy < outH; oy++ {
+					dst := plane[(oy+ky)*inW+kx : (oy+ky)*inW+kx+outW]
+					src := row[oy*outW : (oy+1)*outW]
+					for j, v := range src {
+						dst[j] += v
+					}
+				}
+				ck++
+			}
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package ml
 
+import "math"
+
 // layer is one differentiable stage of a network. Layers operate on single
 // examples (flat float32 activations); batching is handled above them by
 // accumulating gradients across a mini-batch before an optimizer step.
@@ -88,36 +90,44 @@ func (d *dense) zeroGrads() {
 	zero(d.db)
 }
 
-// relu is the rectified-linear activation.
+// relu is the rectified-linear activation. Both passes are branchless: the
+// forward pass derives a per-element keep/zero bitmask from the input's
+// sign and magnitude bits (activation signs are data-dependent, so a
+// compare-and-branch mispredicts constantly on the training hot path) and
+// the backward pass reuses the stored mask, guaranteeing the two passes
+// agree on the pass-through set.
 type relu struct {
-	y  []float32
-	dx []float32
-	x  []float32
+	y    []float32
+	dx   []float32
+	mask []uint32 // all-ones where the input was positive, else zero
 }
 
 func newReLU(size int) *relu {
-	return &relu{y: make([]float32, size), dx: make([]float32, size)}
+	return &relu{
+		y:    make([]float32, size),
+		dx:   make([]float32, size),
+		mask: make([]uint32, size),
+	}
 }
 
 func (r *relu) forward(x []float32) []float32 {
-	r.x = x
+	y := r.y
+	mask := r.mask
 	for i, v := range x {
-		if v > 0 {
-			r.y[i] = v
-		} else {
-			r.y[i] = 0
-		}
+		b := math.Float32bits(v)
+		// Sign bit of (b | -b) is set iff b != 0; clearing elements whose
+		// own sign bit is set then leaves exactly the positive inputs.
+		m := uint32(int32(^b&(b|(0-b))) >> 31)
+		y[i] = math.Float32frombits(b & m)
+		mask[i] = m
 	}
-	return r.y
+	return y
 }
 
 func (r *relu) backward(dout []float32) []float32 {
-	for i, v := range r.x {
-		if v > 0 {
-			r.dx[i] = dout[i]
-		} else {
-			r.dx[i] = 0
-		}
+	dx := r.dx
+	for i, g := range dout {
+		dx[i] = math.Float32frombits(math.Float32bits(g) & r.mask[i])
 	}
 	return r.dx
 }

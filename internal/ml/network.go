@@ -16,6 +16,16 @@ type Network struct {
 	nOut   int
 
 	dlogits []float32
+
+	// pgroups/ggroups are the layers' parameter and gradient views,
+	// collected once at build time: Train consults them several times per
+	// batch, and rebuilding the slices was a measurable share of the
+	// training hot path.
+	pgroups [][]float32
+	ggroups [][]float32
+
+	// order is the epoch shuffle buffer, reused across Train calls.
+	order []int
 }
 
 // NewNetwork builds a network from spec with He-initialized weights drawn
@@ -55,6 +65,10 @@ func buildNetwork(spec Spec) (*Network, error) {
 	}
 	n.nOut = cur.size()
 	n.dlogits = make([]float32, n.nOut)
+	for _, l := range n.layers {
+		n.pgroups = append(n.pgroups, l.params()...)
+		n.ggroups = append(n.ggroups, l.grads()...)
+	}
 	return n, nil
 }
 
@@ -107,22 +121,11 @@ func (n *Network) Predict(x []float32) (int, error) {
 }
 
 // paramGroups returns all trainable parameter slices in deterministic
-// layer order.
-func (n *Network) paramGroups() [][]float32 {
-	var out [][]float32
-	for _, l := range n.layers {
-		out = append(out, l.params()...)
-	}
-	return out
-}
+// layer order. The group list is built once at network construction; the
+// slices are live views into the layers.
+func (n *Network) paramGroups() [][]float32 { return n.pgroups }
 
-func (n *Network) gradGroups() [][]float32 {
-	var out [][]float32
-	for _, l := range n.layers {
-		out = append(out, l.grads()...)
-	}
-	return out
-}
+func (n *Network) gradGroups() [][]float32 { return n.ggroups }
 
 func (n *Network) zeroGrads() {
 	for _, l := range n.layers {
@@ -188,7 +191,10 @@ func (n *Network) Train(examples []Example, cfg TrainConfig, rng *sim.RNG) (floa
 		return 0, err
 	}
 
-	order := make([]int, len(examples))
+	if cap(n.order) < len(examples) {
+		n.order = make([]int, len(examples))
+	}
+	order := n.order[:len(examples)]
 	for i := range order {
 		order[i] = i
 	}
@@ -254,7 +260,7 @@ func (n *Network) Evaluate(examples []Example) (accuracy, loss float64, err erro
 	}
 	correct := 0
 	totalLoss := 0.0
-	scratch := make([]float32, n.nOut)
+	scratch := n.dlogits // softmax scratch; no training state lives here
 	for _, ex := range examples {
 		logits, err := n.Forward(ex.X)
 		if err != nil {

@@ -98,9 +98,13 @@ func Generate(c GenConfig, g *roadnet.Graph, rng *sim.RNG) (*TraceSet, error) {
 		Traces:  make([]Trace, c.Vehicles),
 		Horizon: sim.Time(0).Add(c.Horizon),
 	}
+	// One PathFinder serves the whole fleet: route queries dominate
+	// generation cost, and the finder's reused search state returns routes
+	// byte-identical to per-call Graph.ShortestPath.
+	pf := roadnet.NewPathFinder(g)
 	for v := 0; v < c.Vehicles; v++ {
 		vrng := rng.Fork("vehicle")
-		trace, err := generateOne(c, g, vrng, tries)
+		trace, err := generateOne(c, g, pf, vrng, tries)
 		if err != nil {
 			return nil, fmt.Errorf("mobility: generate vehicle %d: %w", v, err)
 		}
@@ -113,7 +117,7 @@ func Generate(c GenConfig, g *roadnet.Graph, rng *sim.RNG) (*TraceSet, error) {
 	return ts, nil
 }
 
-func generateOne(c GenConfig, g *roadnet.Graph, rng *sim.RNG, maxTries int) (Trace, error) {
+func generateOne(c GenConfig, g *roadnet.Graph, pf *roadnet.PathFinder, rng *sim.RNG, maxTries int) (Trace, error) {
 	horizon := sim.Time(0).Add(c.Horizon)
 	cur := roadnet.NodeID(rng.Intn(g.NumNodes()))
 
@@ -130,7 +134,7 @@ func generateOne(c GenConfig, g *roadnet.Graph, rng *sim.RNG, maxTries int) (Tra
 
 	for now < horizon {
 		// Pick a reachable destination distinct from the current node.
-		route, err := drawRoute(g, cur, rng, maxTries)
+		route, err := drawRoute(g, pf, cur, rng, maxTries)
 		if err != nil {
 			return Trace{}, err
 		}
@@ -164,14 +168,14 @@ func generateOne(c GenConfig, g *roadnet.Graph, rng *sim.RNG, maxTries int) (Tra
 	return tr, nil
 }
 
-func drawRoute(g *roadnet.Graph, from roadnet.NodeID, rng *sim.RNG, maxTries int) (roadnet.Route, error) {
+func drawRoute(g *roadnet.Graph, pf *roadnet.PathFinder, from roadnet.NodeID, rng *sim.RNG, maxTries int) (roadnet.Route, error) {
 	var lastErr error
 	for i := 0; i < maxTries; i++ {
 		dest := roadnet.NodeID(rng.Intn(g.NumNodes()))
 		if dest == from {
 			continue
 		}
-		route, err := g.ShortestPath(from, dest)
+		route, err := pf.ShortestPath(from, dest)
 		if err != nil {
 			lastErr = err
 			continue

@@ -16,6 +16,12 @@ type SpatialIndex struct {
 	cells    map[cellKey][]int
 	pos      []roadnet.Point
 	active   []bool
+
+	// pairsBuf and neighborsBuf back the slices returned by PairsWithin
+	// and Neighbors; both are reused, so each call invalidates the slice
+	// the previous call returned.
+	pairsBuf     []Pair
+	neighborsBuf []int
 }
 
 type cellKey struct{ cx, cy int }
@@ -38,8 +44,11 @@ func (s *SpatialIndex) Rebuild(pos []roadnet.Point, active []bool) error {
 	if active != nil && len(active) != len(pos) {
 		return fmt.Errorf("mobility: rebuild: %d positions but %d active flags", len(pos), len(active))
 	}
-	for k := range s.cells {
-		delete(s.cells, k)
+	// Keep the cell slices' capacity across rebuilds: the fleet moves a
+	// little per tick, so cell occupancy is nearly stable and steady-state
+	// rebuilds allocate nothing.
+	for k, c := range s.cells {
+		s.cells[k] = c[:0]
 	}
 	s.pos = pos
 	s.active = active
@@ -49,6 +58,11 @@ func (s *SpatialIndex) Rebuild(pos []roadnet.Point, active []bool) error {
 		}
 		k := s.key(p)
 		s.cells[k] = append(s.cells[k], i)
+	}
+	for k, c := range s.cells {
+		if len(c) == 0 {
+			delete(s.cells, k)
+		}
 	}
 	return nil
 }
@@ -61,7 +75,8 @@ func (s *SpatialIndex) key(p roadnet.Point) cellKey {
 }
 
 // Neighbors returns the indices of active entries within radius of entry i
-// (excluding i itself), in ascending index order.
+// (excluding i itself), in ascending index order. The returned slice is
+// owned by the index and valid until the next Neighbors call.
 func (s *SpatialIndex) Neighbors(i int, radius float64) []int {
 	if i < 0 || i >= len(s.pos) || radius < 0 {
 		return nil
@@ -72,7 +87,7 @@ func (s *SpatialIndex) Neighbors(i int, radius float64) []int {
 	p := s.pos[i]
 	reach := int(math.Ceil(radius / s.cellSize))
 	center := s.key(p)
-	var out []int
+	out := s.neighborsBuf[:0]
 	for cx := center.cx - reach; cx <= center.cx+reach; cx++ {
 		for cy := center.cy - reach; cy <= center.cy+reach; cy++ {
 			for _, j := range s.cells[cellKey{cx, cy}] {
@@ -86,6 +101,7 @@ func (s *SpatialIndex) Neighbors(i int, radius float64) []int {
 		}
 	}
 	sort.Ints(out)
+	s.neighborsBuf = out
 	return out
 }
 
@@ -94,12 +110,13 @@ type Pair struct{ A, B int }
 
 // PairsWithin returns all active pairs at distance <= radius, each pair
 // once with A < B, sorted lexicographically. This is the per-tick encounter
-// candidate set.
+// candidate set. The returned slice is owned by the index and valid until
+// the next PairsWithin call.
 func (s *SpatialIndex) PairsWithin(radius float64) []Pair {
 	if radius < 0 {
 		return nil
 	}
-	var out []Pair
+	out := s.pairsBuf[:0]
 	reach := int(math.Ceil(radius / s.cellSize))
 	for k, members := range s.cells {
 		// Within-cell pairs.
@@ -112,21 +129,48 @@ func (s *SpatialIndex) PairsWithin(radius float64) []Pair {
 			}
 		}
 		// Cross-cell pairs: visit each unordered cell pair once by only
-		// looking at lexicographically greater neighbor cells.
-		for dx := -reach; dx <= reach; dx++ {
-			for dy := -reach; dy <= reach; dy++ {
-				if dx == 0 && dy == 0 {
-					continue
-				}
-				nk := cellKey{k.cx + dx, k.cy + dy}
-				if !cellLess(k, nk) {
-					continue
-				}
+		// looking at lexicographically greater neighbor cells. The usual
+		// radius == cellSize case reaches exactly the four greater
+		// neighbors, enumerated directly; other reaches scan the block.
+		// The appends are kept inline (collect-then-sort) so roadlint can
+		// see the map-iteration output is sorted before use.
+		if reach == 1 {
+			for _, nk := range [4]cellKey{
+				{k.cx, k.cy + 1},
+				{k.cx + 1, k.cy - 1},
+				{k.cx + 1, k.cy},
+				{k.cx + 1, k.cy + 1},
+			} {
 				others := s.cells[nk]
+				if len(others) == 0 {
+					continue
+				}
 				for _, a := range members {
+					pa := s.pos[a]
 					for _, b := range others {
-						if s.pos[a].Dist(s.pos[b]) <= radius {
+						if pa.Dist(s.pos[b]) <= radius {
 							out = append(out, orderPair(a, b))
+						}
+					}
+				}
+			}
+		} else {
+			for dx := -reach; dx <= reach; dx++ {
+				for dy := -reach; dy <= reach; dy++ {
+					nk := cellKey{k.cx + dx, k.cy + dy}
+					if (dx == 0 && dy == 0) || !cellLess(k, nk) {
+						continue
+					}
+					others := s.cells[nk]
+					if len(others) == 0 {
+						continue
+					}
+					for _, a := range members {
+						pa := s.pos[a]
+						for _, b := range others {
+							if pa.Dist(s.pos[b]) <= radius {
+								out = append(out, orderPair(a, b))
+							}
 						}
 					}
 				}
@@ -139,6 +183,7 @@ func (s *SpatialIndex) PairsWithin(radius float64) []Pair {
 		}
 		return out[i].B < out[j].B
 	})
+	s.pairsBuf = out
 	return out
 }
 

@@ -1,7 +1,6 @@
 package roadnet
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -23,7 +22,60 @@ type Route struct {
 // ShortestPath computes the fastest route (by free-flow travel time) from
 // origin to destination using Dijkstra's algorithm. A route from a node to
 // itself is valid and has zero length.
+//
+// Each call allocates fresh search state, so concurrent calls on a
+// constructed graph are safe. Loops that issue many queries against the
+// same graph should use a PathFinder, which reuses that state.
 func (g *Graph) ShortestPath(from, to NodeID) (Route, error) {
+	return NewPathFinder(g).ShortestPath(from, to)
+}
+
+// Reachable reports whether to is reachable from from.
+func (g *Graph) Reachable(from, to NodeID) bool {
+	_, err := g.ShortestPath(from, to)
+	return err == nil
+}
+
+// PathFinder runs Dijkstra queries against a fixed graph, reusing all
+// search state across calls: the distance/predecessor arrays are
+// epoch-stamped so a new query starts without an O(n) clear, and the
+// priority queue is a typed binary heap that keeps the exact sibling
+// comparison order of container/heap, so a PathFinder returns
+// byte-identical routes to Graph.ShortestPath — including on ties.
+//
+// A PathFinder is not safe for concurrent use; concurrent searchers each
+// need their own.
+type PathFinder struct {
+	g *Graph
+
+	dist     []float64
+	prev     []int32 // predecessor node, valid when stamp matches
+	prevEdge []int32 // index into adj[prev[v]] of the arriving edge
+	seen     []uint32
+	settled  []uint32
+	epoch    uint32
+
+	pq []nodeDist
+}
+
+// NewPathFinder returns a PathFinder over g. The graph topology must not
+// be mutated while the PathFinder is in use.
+func NewPathFinder(g *Graph) *PathFinder {
+	n := len(g.nodes)
+	return &PathFinder{
+		g:        g,
+		dist:     make([]float64, n),
+		prev:     make([]int32, n),
+		prevEdge: make([]int32, n),
+		seen:     make([]uint32, n),
+		settled:  make([]uint32, n),
+	}
+}
+
+// ShortestPath computes the fastest route from origin to destination; see
+// Graph.ShortestPath for the route semantics.
+func (p *PathFinder) ShortestPath(from, to NodeID) (Route, error) {
+	g := p.g
 	if !g.valid(from) || !g.valid(to) {
 		return Route{}, fmt.Errorf("roadnet: shortest path: unknown node (%d -> %d)", from, to)
 	}
@@ -31,72 +83,74 @@ func (g *Graph) ShortestPath(from, to NodeID) (Route, error) {
 		return Route{Nodes: []NodeID{from}}, nil
 	}
 
-	n := len(g.nodes)
-	dist := make([]float64, n)
-	prev := make([]int, n)     // predecessor node, -1 when unset
-	prevEdge := make([]int, n) // index into adj[prev[v]] of the arriving edge
-	settled := make([]bool, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prev[i] = -1
-		prevEdge[i] = -1
+	if p.epoch == math.MaxUint32 {
+		for i := range p.seen {
+			p.seen[i] = 0
+			p.settled[i] = 0
+		}
+		p.epoch = 0
 	}
-	dist[from] = 0
+	p.epoch++
+	epoch := p.epoch
 
-	pq := &nodeQueue{}
-	heap.Push(pq, nodeDist{node: from, dist: 0})
-	for pq.Len() > 0 {
-		cur := heap.Pop(pq).(nodeDist)
+	p.dist[from] = 0
+	p.prev[from] = -1
+	p.prevEdge[from] = -1
+	p.seen[from] = epoch
+
+	p.pq = p.pq[:0]
+	p.push(nodeDist{node: from, dist: 0})
+	found := false
+	for len(p.pq) > 0 {
+		cur := p.pop()
 		u := cur.node
-		if settled[u] {
+		if p.settled[u] == epoch {
 			continue
 		}
-		settled[u] = true
+		p.settled[u] = epoch
 		if u == to {
+			found = true
 			break
 		}
+		du := p.dist[u]
 		for ei, e := range g.adj[u] {
 			v := e.To
-			if settled[v] {
+			if p.settled[v] == epoch {
 				continue
 			}
-			alt := dist[u] + e.TravelTime()
-			if alt < dist[v] {
-				dist[v] = alt
-				prev[v] = int(u)
-				prevEdge[v] = ei
-				heap.Push(pq, nodeDist{node: v, dist: alt})
+			alt := du + e.TravelTime()
+			if p.seen[v] != epoch || alt < p.dist[v] {
+				p.dist[v] = alt
+				p.prev[v] = int32(u)
+				p.prevEdge[v] = int32(ei)
+				p.seen[v] = epoch
+				p.push(nodeDist{node: v, dist: alt})
 			}
 		}
 	}
-	if math.IsInf(dist[to], 1) {
+	if !found {
 		return Route{}, fmt.Errorf("%w: %d -> %d", ErrNoPath, from, to)
 	}
 
-	// Reconstruct in reverse.
+	// Reconstruct in reverse. Routes outlive the search state, so they get
+	// fresh slices.
 	var nodes []NodeID
 	var edges []Edge
 	length := 0.0
 	for v := to; ; {
 		nodes = append(nodes, v)
-		p := prev[v]
-		if p < 0 {
+		pn := p.prev[v]
+		if pn < 0 {
 			break
 		}
-		e := g.adj[p][prevEdge[v]]
+		e := g.adj[pn][p.prevEdge[v]]
 		edges = append(edges, e)
 		length += e.Length
-		v = NodeID(p)
+		v = NodeID(pn)
 	}
 	reverseNodes(nodes)
 	reverseEdges(edges)
-	return Route{Nodes: nodes, Edges: edges, Length: length, Time: dist[to]}, nil
-}
-
-// Reachable reports whether to is reachable from from.
-func (g *Graph) Reachable(from, to NodeID) bool {
-	_, err := g.ShortestPath(from, to)
-	return err == nil
+	return Route{Nodes: nodes, Edges: edges, Length: length, Time: p.dist[to]}, nil
 }
 
 func reverseNodes(s []NodeID) {
@@ -116,18 +170,53 @@ type nodeDist struct {
 	dist float64
 }
 
-type nodeQueue []nodeDist
+// push/pop/up/down form a typed min-heap on dist that mirrors
+// container/heap's sift algorithms step for step. Less is a strict <, so
+// equal-distance siblings keep the same relative order the boxed heap
+// produced — pop order, and therefore route tie-breaking, is unchanged.
 
-var _ heap.Interface = (*nodeQueue)(nil)
+func (p *PathFinder) push(x nodeDist) {
+	p.pq = append(p.pq, x)
+	p.up(len(p.pq) - 1)
+}
 
-func (q nodeQueue) Len() int           { return len(q) }
-func (q nodeQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
-func (q nodeQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *nodeQueue) Push(x any)        { *q = append(*q, x.(nodeDist)) }
-func (q *nodeQueue) Pop() any {
-	old := *q
-	n := len(old)
-	item := old[n-1]
-	*q = old[:n-1]
+func (p *PathFinder) pop() nodeDist {
+	n := len(p.pq) - 1
+	p.pq[0], p.pq[n] = p.pq[n], p.pq[0]
+	p.down(0, n)
+	item := p.pq[n]
+	p.pq = p.pq[:n]
 	return item
+}
+
+func (p *PathFinder) up(j int) {
+	q := p.pq
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !(q[j].dist < q[i].dist) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+}
+
+func (p *PathFinder) down(i0, n int) {
+	q := p.pq
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && q[j2].dist < q[j1].dist {
+			j = j2
+		}
+		if !(q[j].dist < q[i].dist) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
 }

@@ -1,0 +1,75 @@
+package roadnet
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"roadrunner/internal/sim"
+)
+
+// TestPathFinderMatchesGraphShortestPath drives one reused PathFinder
+// through many random queries on the default grid and requires every route
+// to equal the fresh-state Graph.ShortestPath result exactly — nodes,
+// edges, and bitwise-identical length/time. This is the guard that the
+// epoch-stamped scratch and typed heap change performance only.
+func TestPathFinderMatchesGraphShortestPath(t *testing.T) {
+	g, err := Generate(DefaultGridConfig(), sim.NewRNG(11))
+	if err != nil {
+		t.Fatalf("generate grid: %v", err)
+	}
+	pf := NewPathFinder(g)
+	rng := sim.NewRNG(12)
+	for q := 0; q < 300; q++ {
+		from := NodeID(rng.Intn(g.NumNodes()))
+		to := NodeID(rng.Intn(g.NumNodes()))
+		got, gotErr := pf.ShortestPath(from, to)
+		want, wantErr := g.ShortestPath(from, to)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("query %d (%d->%d): error mismatch: %v vs %v", q, from, to, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(got.Nodes, want.Nodes) || !reflect.DeepEqual(got.Edges, want.Edges) {
+			t.Fatalf("query %d (%d->%d): route differs between reused and fresh finder", q, from, to)
+		}
+		if math.Float64bits(got.Length) != math.Float64bits(want.Length) ||
+			math.Float64bits(got.Time) != math.Float64bits(want.Time) {
+			t.Fatalf("query %d (%d->%d): length/time not bitwise equal: (%v,%v) vs (%v,%v)",
+				q, from, to, got.Length, got.Time, want.Length, want.Time)
+		}
+	}
+}
+
+// TestPathFinderUnreachableAndInvalid checks the reused finder keeps the
+// wrapper's error behaviour across consecutive failing and succeeding
+// queries.
+func TestPathFinderUnreachableAndInvalid(t *testing.T) {
+	var g Graph
+	a := g.AddNode(Point{X: 0, Y: 0})
+	b := g.AddNode(Point{X: 100, Y: 0})
+	c := g.AddNode(Point{X: 200, Y: 0})
+	if err := g.AddEdge(a, b, 10); err != nil {
+		t.Fatalf("add edge: %v", err)
+	}
+	pf := NewPathFinder(&g)
+
+	if _, err := pf.ShortestPath(a, c); !errors.Is(err, ErrNoPath) {
+		t.Fatalf("want ErrNoPath for unreachable node, got %v", err)
+	}
+	if _, err := pf.ShortestPath(a, NodeID(99)); err == nil {
+		t.Fatalf("want error for unknown node")
+	}
+	route, err := pf.ShortestPath(a, b)
+	if err != nil {
+		t.Fatalf("reachable query after failures: %v", err)
+	}
+	if len(route.Edges) != 1 || route.Nodes[0] != a || route.Nodes[1] != b {
+		t.Fatalf("unexpected route %+v", route)
+	}
+	if self, err := pf.ShortestPath(b, b); err != nil || len(self.Nodes) != 1 {
+		t.Fatalf("self route: %+v, %v", self, err)
+	}
+}
