@@ -157,3 +157,51 @@ func ablationF(rounds int, seed uint64, outDir string) error {
 	printRows("Ablation F: RSU deployment density (zero-V2C collection, extension)", rows)
 	return writeRowsCSV(filepath.Join(outDir, "ablation_f_rsus.csv"), rows)
 }
+
+func ablationG(rounds int, seed uint64, outDir string) error {
+	points, err := repro.AblationFaults(ablationRounds(rounds), seed, repro.DefaultFaultSweep())
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Ablation G: fault scenarios (BASE vs OPP under time-correlated degradation) ==")
+	var table [][]string
+	for _, p := range points {
+		table = append(table, []string{
+			p.Scenario, p.Strategy,
+			fmt.Sprintf("%.3f", p.FinalAcc),
+			fmt.Sprintf("%.0f", p.Faults),
+			fmt.Sprintf("%.0f", p.SimEnd),
+			fmt.Sprintf("%.2f", p.V2CMB),
+			fmt.Sprintf("%.2f", p.V2XMB),
+		})
+	}
+	fmt.Print(textplot.Table([]string{"scenario", "strategy", "acc", "faults", "end[s]", "v2c MB", "v2x MB"}, table))
+	fmt.Println()
+
+	return writeFaultPointsCSV(filepath.Join(outDir, "ablation_g_faults.csv"), points)
+}
+
+func writeFaultPointsCSV(path string, points []repro.FaultPoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer func() { _ = f.Close() }()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"scenario", "strategy", "final_acc", "faults", "sim_end_s", "v2c_mb", "v2x_mb"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		row := []string{
+			p.Scenario, p.Strategy,
+			formatF(p.FinalAcc), formatF(p.Faults), formatF(p.SimEnd),
+			formatF(p.V2CMB), formatF(p.V2XMB),
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	fmt.Printf("wrote %s\n", path)
+	return w.Error()
+}

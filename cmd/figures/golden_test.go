@@ -1,0 +1,109 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"roadrunner/internal/comm"
+	"roadrunner/internal/core"
+	"roadrunner/internal/metrics"
+	"roadrunner/internal/repro"
+	"roadrunner/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// checkGolden compares got against testdata/<name>, rewriting the golden
+// when the test runs with -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("update golden %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden %s (run with -update to create): %v", path, err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s drifted from golden file.\ngot:\n%s\nwant:\n%s\n(run 'go test ./cmd/figures -update' if the change is intended)",
+			name, got, want)
+	}
+}
+
+// goldenResult builds a fixed synthetic result with the series the fig4 CSV
+// writers consume.
+func goldenResult(t *testing.T) *core.Result {
+	t.Helper()
+	rec := metrics.NewRecorder()
+	record := func(name string, at sim.Time, v float64) {
+		t.Helper()
+		if err := rec.Record(name, at, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	record(metrics.SeriesAccuracy, 30, 0.25)
+	record(metrics.SeriesAccuracy, 60, 0.5)
+	record(metrics.SeriesAccuracy, 90, 0.625)
+	record(metrics.SeriesRoundExchanges, 30, 4)
+	record(metrics.SeriesRoundExchanges, 60, 9)
+	record(metrics.SeriesRoundExchanges, 90, 7)
+	return &core.Result{
+		Metrics:         rec,
+		Comm:            map[string]comm.Stats{"v2c": {BytesDelivered: 1 << 20}, "v2x": {}},
+		End:             90,
+		FinalAccuracy:   0.625,
+		EventsProcessed: 123,
+	}
+}
+
+// TestFig4CSVGolden pins the exact file format of the results/fig4_*.csv
+// artifacts — headers and row encoding — so a refactor of the writers
+// cannot silently change the published data layout.
+func TestFig4CSVGolden(t *testing.T) {
+	res := goldenResult(t)
+	dir := t.TempDir()
+
+	accPath := filepath.Join(dir, "fig4_accuracy.csv")
+	if err := writeAccuracyCSV(accPath, res, res); err != nil {
+		t.Fatalf("writeAccuracyCSV: %v", err)
+	}
+	acc, err := os.ReadFile(accPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig4_accuracy.golden.csv", acc)
+
+	exPath := filepath.Join(dir, "fig4_exchanges.csv")
+	if err := writeExchangesCSV(exPath, res); err != nil {
+		t.Fatalf("writeExchangesCSV: %v", err)
+	}
+	ex, err := os.ReadFile(exPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig4_exchanges.golden.csv", ex)
+}
+
+// TestAblationGCSVGolden pins the results/ablation_g_faults.csv format.
+func TestAblationGCSVGolden(t *testing.T) {
+	points := []repro.FaultPoint{
+		{Scenario: "fault-free", Strategy: "BASE", FinalAcc: 0.5, SimEnd: 900, V2CMB: 1.25},
+		{Scenario: "blackout", Strategy: "BASE", FinalAcc: 0.375, Faults: 12, SimEnd: 900, V2CMB: 0.75},
+		{Scenario: "blackout", Strategy: "OPP", FinalAcc: 0.4375, Faults: 9, SimEnd: 2000, V2CMB: 0.5, V2XMB: 2.5},
+	}
+	path := filepath.Join(t.TempDir(), "ablation_g_faults.csv")
+	if err := writeFaultPointsCSV(path, points); err != nil {
+		t.Fatalf("writeFaultPointsCSV: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "ablation_g_faults.golden.csv", got)
+}

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"roadrunner/internal/mobility"
@@ -22,23 +23,29 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	vehicles := flag.Int("vehicles", 120, "fleet size")
-	hours := flag.Float64("hours", 5, "trace duration in hours")
-	seed := flag.Uint64("seed", 1, "generator seed")
-	out := flag.String("out", "traces.csv", "output CSV path")
-	rows := flag.Int("rows", 20, "road-grid rows")
-	cols := flag.Int("cols", 20, "road-grid columns")
-	spacing := flag.Float64("spacing", 400, "block edge length in meters")
-	offProb := flag.Float64("off-prob", 0.5, "probability a parked vehicle is turned off")
-	stats := flag.Bool("stats", false, "print fleet statistics after generation")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	vehicles := fs.Int("vehicles", 120, "fleet size")
+	hours := fs.Float64("hours", 5, "trace duration in hours")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	out := fs.String("out", "traces.csv", "output CSV path")
+	rows := fs.Int("rows", 20, "road-grid rows")
+	cols := fs.Int("cols", 20, "road-grid columns")
+	spacing := fs.Float64("spacing", 400, "block edge length in meters")
+	offProb := fs.Float64("off-prob", 0.5, "probability a parked vehicle is turned off")
+	stats := fs.Bool("stats", false, "print fleet statistics after generation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 
 	grid := roadnet.DefaultGridConfig()
 	grid.Rows, grid.Cols, grid.Spacing = *rows, *cols, *spacing
@@ -70,7 +77,7 @@ func run() error {
 	for _, tr := range traces.Traces {
 		samples += len(tr.Samples)
 	}
-	fmt.Printf("wrote %s: %d vehicles, %d waypoints, horizon %.0f s\n",
+	fmt.Fprintf(stdout, "wrote %s: %d vehicles, %d waypoints, horizon %.0f s\n",
 		*out, traces.NumVehicles(), samples, float64(traces.Horizon))
 
 	if *stats {
@@ -80,9 +87,9 @@ func run() error {
 			onSum += tr.OnFraction(traces.Horizon)
 			transitions += len(tr.Transitions())
 		}
-		fmt.Printf("mean on-fraction:     %.2f\n", onSum/float64(traces.NumVehicles()))
-		fmt.Printf("ignition transitions: %d\n", transitions)
-		fmt.Printf("road network:         %d nodes, %d directed segments\n",
+		fmt.Fprintf(stdout, "mean on-fraction:     %.2f\n", onSum/float64(traces.NumVehicles()))
+		fmt.Fprintf(stdout, "ignition transitions: %d\n", transitions)
+		fmt.Fprintf(stdout, "road network:         %d nodes, %d directed segments\n",
 			graph.NumNodes(), graph.NumEdges())
 	}
 	return nil

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"roadrunner/internal/mobility"
+)
+
+// genArgs returns small-scale flags writing to path.
+func genArgs(path string, extra ...string) []string {
+	args := []string{
+		"-vehicles", "6", "-hours", "0.25", "-rows", "4", "-cols", "4",
+		"-seed", "7", "-out", path,
+	}
+	return append(args, extra...)
+}
+
+func TestGeneratesParseableTraces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traces.csv")
+	var out bytes.Buffer
+	if err := run(genArgs(path), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Fatalf("missing summary line in output:\n%s", out.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open output: %v", err)
+	}
+	defer func() { _ = f.Close() }()
+	ts, err := mobility.ReadCSV(f)
+	if err != nil {
+		t.Fatalf("generated trace does not re-parse: %v", err)
+	}
+	if ts.NumVehicles() != 6 {
+		t.Fatalf("fleet size = %d, want 6", ts.NumVehicles())
+	}
+	if want := 0.25 * 3600; float64(ts.Horizon) != want {
+		t.Fatalf("horizon = %v, want %v", float64(ts.Horizon), want)
+	}
+}
+
+func TestDeterministicForFixedSeed(t *testing.T) {
+	dir := t.TempDir()
+	read := func(name string) []byte {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := run(genArgs(path), new(bytes.Buffer)); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := read("a.csv"), read("b.csv")
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different trace files")
+	}
+	path := filepath.Join(dir, "c.csv")
+	if err := run(append(genArgs(path), "-seed", "8"), new(bytes.Buffer)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	c, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical trace files")
+	}
+}
+
+func TestStatsFlagPrintsFleetSummary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traces.csv")
+	var out bytes.Buffer
+	if err := run(genArgs(path, "-stats"), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"mean on-fraction:", "ignition transitions:", "road network:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stats output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", genArgs(filepath.Join(dir, "x.csv"), "-nope")},
+		{"positional junk", genArgs(filepath.Join(dir, "x.csv"), "leftover")},
+		{"bad flag value", []string{"-vehicles", "many"}},
+		{"zero vehicles", []string{"-vehicles", "0", "-out", filepath.Join(dir, "x.csv")}},
+		{"negative hours", genArgs(filepath.Join(dir, "x.csv"), "-hours", "-1")},
+		{"zero grid", genArgs(filepath.Join(dir, "x.csv"), "-rows", "0")},
+		{"unwritable output", genArgs(filepath.Join(dir, "missing", "x.csv"))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(tc.args, new(bytes.Buffer)); err == nil {
+				t.Fatal("run unexpectedly succeeded")
+			}
+		})
+	}
+}

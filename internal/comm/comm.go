@@ -23,6 +23,8 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+
+	"roadrunner/internal/sim"
 )
 
 // Kind identifies a communication channel family.
@@ -89,6 +91,16 @@ func (p ChannelParams) TransferSeconds(sizeBytes int) float64 {
 	return p.LatencyS + float64(sizeBytes)/(p.KBps*1000)
 }
 
+// TransferSecondsAt is TransferSeconds under a degraded effective
+// throughput: rateFactor scales the channel's bandwidth (latency is
+// unaffected). Factors outside (0, 1] are treated as nominal.
+func (p ChannelParams) TransferSecondsAt(sizeBytes int, rateFactor float64) float64 {
+	if rateFactor <= 0 || rateFactor >= 1 {
+		return p.TransferSeconds(sizeBytes)
+	}
+	return p.LatencyS + float64(sizeBytes)/(p.KBps*1000*rateFactor)
+}
+
 // Params bundles the per-kind channel parameters of a VCPS.
 type Params struct {
 	V2C   ChannelParams `json:"v2c"`
@@ -138,6 +150,30 @@ func (p Params) ByKind(k Kind) (ChannelParams, error) {
 	}
 }
 
+// Conditions describes fault-layer adjustments to one link at one instant.
+// The zero value means nominal conditions. A fault subsystem (see
+// internal/faults) supplies them through Network.SetConditions; the network
+// itself never invents conditions, keeping the flat channel model of
+// ChannelParams byte-identical when no hook is installed.
+type Conditions struct {
+	// Blocked hard-fails the transfer: rejected at send time, failed with
+	// ErrBlackout at delivery time. Models coverage blackouts.
+	Blocked bool
+	// ExtraDropProb is an additional in-flight loss probability, sampled
+	// independently of (and after) the channel's base DropProb. Models
+	// time-correlated burst loss.
+	ExtraDropProb float64
+	// RateFactor scales the channel's effective bandwidth at send time;
+	// values in (0, 1) stretch the transfer. 0 and values >= 1 mean
+	// nominal. Models bandwidth-degradation windows.
+	RateFactor float64
+}
+
+// ConditionsFunc reports the current fault conditions on a link. It must be
+// deterministic in its inputs plus simulation state — it is consulted on
+// the simulation goroutine at send and at delivery time.
+type ConditionsFunc func(now sim.Time, kind Kind, from, to sim.AgentID) Conditions
+
 // Failure reasons surfaced to strategies. Strategies typically react to a
 // failure by discarding state for that peer (e.g. OPP's "else, discard w").
 var (
@@ -155,4 +191,10 @@ var (
 	// ErrNoPosition indicates a V2X endpoint without a position (e.g. the
 	// cloud server).
 	ErrNoPosition = errors.New("comm: agent has no position")
+	// ErrBlackout indicates the link was inside a scheduled coverage
+	// blackout (Conditions.Blocked) at send or delivery time.
+	ErrBlackout = errors.New("comm: coverage blackout")
+	// ErrBurstDropped indicates a loss sampled from a fault window's
+	// ExtraDropProb rather than the channel's base drop probability.
+	ErrBurstDropped = errors.New("comm: transfer lost in burst-loss window")
 )

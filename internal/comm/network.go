@@ -61,8 +61,9 @@ type Network struct {
 	rng      *sim.RNG
 	position PositionFunc
 
-	onDeliver DeliveryFunc
-	onFail    FailureFunc
+	onDeliver  DeliveryFunc
+	onFail     FailureFunc
+	conditions ConditionsFunc
 
 	nextID   MsgID
 	inflight map[MsgID]*flight
@@ -115,6 +116,22 @@ func (n *Network) OnDeliver(fn DeliveryFunc) { n.onDeliver = fn }
 // OnFail registers the failure observer.
 func (n *Network) OnFail(fn FailureFunc) { n.onFail = fn }
 
+// SetConditions installs the fault-conditions hook. A nil hook (the
+// default) leaves every link at the nominal conditions of its
+// ChannelParams; with a hook, the network consults it at send time
+// (blocking and bandwidth scaling) and again at delivery time (blocking
+// and burst loss), so conditions are time-correlated across a transfer's
+// lifetime rather than sampled i.i.d.
+func (n *Network) SetConditions(fn ConditionsFunc) { n.conditions = fn }
+
+// conditionsAt evaluates the installed hook (zero Conditions without one).
+func (n *Network) conditionsAt(kind Kind, from, to sim.AgentID) Conditions {
+	if n.conditions == nil {
+		return Conditions{}
+	}
+	return n.conditions(n.engine.Now(), kind, from, to)
+}
+
 // Params returns the channel parameters.
 func (n *Network) Params() Params { return n.params }
 
@@ -162,9 +179,13 @@ func (n *Network) Send(from, to sim.AgentID, kind Kind, sizeBytes int, payload a
 			return 0, fmt.Errorf("comm: send %v -> %v: %w", from, to, err)
 		}
 	}
+	cond := n.conditionsAt(kind, from, to)
+	if cond.Blocked {
+		return 0, fmt.Errorf("comm: send %v -> %v: %w", from, to, ErrBlackout)
+	}
 
 	now := n.engine.Now()
-	duration := sim.Duration(cp.TransferSeconds(sizeBytes))
+	duration := sim.Duration(cp.TransferSecondsAt(sizeBytes, cond.RateFactor))
 	n.nextID++
 	msg := &Message{
 		ID:        n.nextID,
@@ -213,8 +234,17 @@ func (n *Network) complete(msg *Message) {
 			return
 		}
 	}
+	cond := n.conditionsAt(msg.Kind, msg.From, msg.To)
+	if cond.Blocked {
+		n.fail(msg, ErrBlackout)
+		return
+	}
 	if cp.DropProb > 0 && n.rng.Bool(cp.DropProb) {
 		n.fail(msg, ErrDropped)
+		return
+	}
+	if cond.ExtraDropProb > 0 && n.rng.Bool(cond.ExtraDropProb) {
+		n.fail(msg, ErrBurstDropped)
 		return
 	}
 	st := n.stats[msg.Kind]
@@ -258,6 +288,27 @@ func (n *Network) handlePowerChange(id sim.AgentID, on bool) {
 			n.fail(m, ErrReceiverOff)
 		}
 	}
+}
+
+// FailInFlight aborts every in-flight transfer matching pred, failing it
+// with reason, and returns the number aborted. Flights are processed in
+// message-ID order so the failure-dispatch order is reproducible. The fault
+// subsystem uses it for scheduled mid-flight link kills; a nil pred matches
+// every flight.
+func (n *Network) FailInFlight(pred func(*Message) bool, reason error) int {
+	var doomed []*flight
+	for _, fl := range n.inflight {
+		if pred == nil || pred(fl.msg) {
+			doomed = append(doomed, fl)
+		}
+	}
+	sort.Slice(doomed, func(i, j int) bool { return doomed[i].msg.ID < doomed[j].msg.ID })
+	for _, fl := range doomed {
+		fl.event.Cancel()
+		delete(n.inflight, fl.msg.ID)
+		n.fail(fl.msg, reason)
+	}
+	return len(doomed)
 }
 
 func (n *Network) checkRange(a, b sim.AgentID, rangeM float64) error {

@@ -1,0 +1,206 @@
+package comm
+
+import (
+	"errors"
+	"testing"
+
+	"roadrunner/internal/sim"
+)
+
+// mustAfter schedules fn on the engine, failing the test on scheduling errors.
+func mustAfter(t *testing.T, e *sim.Engine, d sim.Duration, fn func()) {
+	t.Helper()
+	if _, err := e.After(d, fn); err != nil {
+		t.Fatalf("After(%v): %v", float64(d), err)
+	}
+}
+
+// TestStatsRejectedSendsLeaveNoTrace asserts that a Send the network refuses
+// to start perturbs no counter: accounting begins only once a transfer is
+// actually in the air, so the conservation invariant
+// sent == delivered + failed never has a "rejected" leak term.
+func TestStatsRejectedSendsLeaveNoTrace(t *testing.T) {
+	cases := []struct {
+		name string
+		send func(h *harness, v, s sim.AgentID) error
+	}{
+		{"zero size", func(h *harness, v, s sim.AgentID) error {
+			_, err := h.net.Send(v, s, KindV2C, 0, nil)
+			return err
+		}},
+		{"negative size", func(h *harness, v, s sim.AgentID) error {
+			_, err := h.net.Send(v, s, KindV2C, -5, nil)
+			return err
+		}},
+		{"self send", func(h *harness, v, _ sim.AgentID) error {
+			_, err := h.net.Send(v, v, KindV2C, 100, nil)
+			return err
+		}},
+		{"unknown kind", func(h *harness, v, s sim.AgentID) error {
+			_, err := h.net.Send(v, s, Kind(99), 100, nil)
+			return err
+		}},
+		{"receiver off", func(h *harness, v, s sim.AgentID) error {
+			if err := h.registry.SetPower(s, false); err != nil {
+				return err
+			}
+			_, err := h.net.Send(v, s, KindV2C, 100, nil)
+			return err
+		}},
+		{"blocked by conditions", func(h *harness, v, s sim.AgentID) error {
+			h.net.SetConditions(func(sim.Time, Kind, sim.AgentID, sim.AgentID) Conditions {
+				return Conditions{Blocked: true}
+			})
+			_, err := h.net.Send(v, s, KindV2C, 100, nil)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHarness(t, noDropParams())
+			v := h.addOn(t, sim.KindVehicle)
+			s := h.addOn(t, sim.KindCloudServer)
+			if err := tc.send(h, v, s); err == nil {
+				t.Fatal("Send unexpectedly accepted")
+			}
+			if h.net.InFlight() != 0 {
+				t.Fatalf("InFlight = %d after rejected send", h.net.InFlight())
+			}
+			for _, k := range Kinds() {
+				if got := h.net.StatsFor(k); got != (Stats{}) {
+					t.Fatalf("%v stats = %+v after rejected send, want zero", k, got)
+				}
+			}
+		})
+	}
+}
+
+// TestStatsFailureAfterDeliveryScheduled drives one message through each way
+// a transfer can die between Send and delivery, and asserts the accounting
+// contract for every path: the message counts as sent and attempted at Send
+// time, as failed (never delivered) at death time, and its bytes never reach
+// BytesDelivered.
+func TestStatsFailureAfterDeliveryScheduled(t *testing.T) {
+	const size = 200_000 // V2C transfer time 0.15s with default params
+	cases := []struct {
+		name       string
+		midFlight  func(h *harness, v, s sim.AgentID)
+		wantReason error
+	}{
+		{"receiver shuts off mid-flight", func(h *harness, v, s sim.AgentID) {
+			mustAfter(t, h.engine, 0.01, func() {
+				if err := h.registry.SetPower(s, false); err != nil {
+					t.Fatalf("SetPower: %v", err)
+				}
+			})
+		}, ErrReceiverOff},
+		{"sender shuts off mid-flight", func(h *harness, v, s sim.AgentID) {
+			mustAfter(t, h.engine, 0.01, func() {
+				if err := h.registry.SetPower(v, false); err != nil {
+					t.Fatalf("SetPower: %v", err)
+				}
+			})
+		}, ErrSenderOff},
+		{"blackout opens mid-flight", func(h *harness, v, s sim.AgentID) {
+			h.net.SetConditions(func(now sim.Time, _ Kind, _, _ sim.AgentID) Conditions {
+				return Conditions{Blocked: now >= 0.01}
+			})
+		}, ErrBlackout},
+		{"burst window opens mid-flight", func(h *harness, v, s sim.AgentID) {
+			h.net.SetConditions(func(now sim.Time, _ Kind, _, _ sim.AgentID) Conditions {
+				if now >= 0.01 {
+					return Conditions{ExtraDropProb: 1}
+				}
+				return Conditions{}
+			})
+		}, ErrBurstDropped},
+		{"link killed mid-flight", func(h *harness, v, s sim.AgentID) {
+			mustAfter(t, h.engine, 0.01, func() {
+				if n := h.net.FailInFlight(nil, ErrDropped); n != 1 {
+					t.Fatalf("FailInFlight aborted %d transfers, want 1", n)
+				}
+			})
+		}, ErrDropped},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHarness(t, noDropParams())
+			v := h.addOn(t, sim.KindVehicle)
+			s := h.addOn(t, sim.KindCloudServer)
+			if _, err := h.net.Send(v, s, KindV2C, size, "model"); err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+			tc.midFlight(h, v, s)
+			if err := h.engine.RunAll(); err != nil {
+				t.Fatalf("RunAll: %v", err)
+			}
+			if len(h.delivered) != 0 {
+				t.Fatalf("delivered %d messages, want 0", len(h.delivered))
+			}
+			if len(h.failed) != 1 {
+				t.Fatalf("failed %d messages, want 1", len(h.failed))
+			}
+			if !errors.Is(h.reasons[0], tc.wantReason) {
+				t.Fatalf("failure reason = %v, want %v", h.reasons[0], tc.wantReason)
+			}
+			got := h.net.StatsFor(KindV2C)
+			want := Stats{MessagesSent: 1, MessagesFailed: 1, BytesAttempted: size}
+			if got != want {
+				t.Fatalf("stats = %+v, want %+v", got, want)
+			}
+			if h.net.InFlight() != 0 {
+				t.Fatalf("InFlight = %d after failure", h.net.InFlight())
+			}
+		})
+	}
+}
+
+// TestStatsConservationMixedTraffic interleaves deliveries, a mid-flight
+// shutoff, and rejected sends on one channel kind and checks the books
+// balance: sent == delivered + failed per kind, delivered bytes count only
+// messages that actually arrived, and other kinds stay untouched.
+func TestStatsConservationMixedTraffic(t *testing.T) {
+	h := newHarness(t, noDropParams())
+	v1 := h.addOn(t, sim.KindVehicle)
+	v2 := h.addOn(t, sim.KindVehicle)
+	s := h.addOn(t, sim.KindCloudServer)
+
+	if _, err := h.net.Send(v1, s, KindV2C, 1000, nil); err != nil {
+		t.Fatalf("Send 1: %v", err)
+	}
+	if _, err := h.net.Send(v2, s, KindV2C, 3000, nil); err != nil {
+		t.Fatalf("Send 2: %v", err)
+	}
+	// v2 shuts off before its transfer lands; only v1's bytes arrive.
+	mustAfter(t, h.engine, 0.001, func() {
+		if err := h.registry.SetPower(v2, false); err != nil {
+			t.Fatalf("SetPower: %v", err)
+		}
+	})
+	// A rejected send mid-run must not disturb the books.
+	mustAfter(t, h.engine, 0.002, func() {
+		if _, err := h.net.Send(v1, s, KindV2C, 0, nil); err == nil {
+			t.Error("zero-size Send unexpectedly accepted")
+		}
+	})
+	if err := h.engine.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+
+	got := h.net.StatsFor(KindV2C)
+	want := Stats{
+		MessagesSent:      2,
+		MessagesDelivered: 1,
+		MessagesFailed:    1,
+		BytesAttempted:    4000,
+		BytesDelivered:    1000,
+	}
+	if got != want {
+		t.Fatalf("v2c stats = %+v, want %+v", got, want)
+	}
+	for _, k := range []Kind{KindV2X, KindWired} {
+		if st := h.net.StatsFor(k); st != (Stats{}) {
+			t.Fatalf("%v stats = %+v, want zero", k, st)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package conformance
+
+import (
+	"bytes"
+	"testing"
+
+	"roadrunner/internal/core"
+	"roadrunner/internal/faults"
+	"roadrunner/internal/metrics"
+	"roadrunner/internal/sim"
+)
+
+const matrixSeed = 1
+
+// runCell executes one (strategy, scenario) cell twice with the same seed,
+// asserting the acceptance contract for every cell: both runs complete
+// without error, both uphold the framework invariants, and the two results
+// are byte-identical under the canonical encoding.
+func runCell(t *testing.T, c Case, scenario string) *cellResult {
+	t.Helper()
+	first, err := Run(c, scenario, matrixSeed)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", c.Name, scenario, err)
+	}
+	if err := CheckInvariants(first); err != nil {
+		t.Fatalf("%s/%s: %v", c.Name, scenario, err)
+	}
+	second, err := Run(c, scenario, matrixSeed)
+	if err != nil {
+		t.Fatalf("%s/%s (repeat): %v", c.Name, scenario, err)
+	}
+	if err := CheckInvariants(second); err != nil {
+		t.Fatalf("%s/%s (repeat): %v", c.Name, scenario, err)
+	}
+	a, err := first.CanonicalBytes()
+	if err != nil {
+		t.Fatalf("%s/%s: canonical encode: %v", c.Name, scenario, err)
+	}
+	b, err := second.CanonicalBytes()
+	if err != nil {
+		t.Fatalf("%s/%s (repeat): canonical encode: %v", c.Name, scenario, err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("%s/%s: same-seed runs are not byte-identical (%d vs %d canonical bytes)",
+			c.Name, scenario, len(a), len(b))
+	}
+	return &cellResult{res: first, canonical: a}
+}
+
+type cellResult struct {
+	res       *core.Result
+	canonical []byte
+}
+
+// TestConformanceMatrix is the full strategy x scenario grid: every strategy
+// in the framework against the fault-free baseline and every named fault
+// scenario. Each cell checks completion, stats conservation, monotone time,
+// and same-seed byte-identity; the grid as a whole checks that fault
+// scenarios observably perturb the runs they should perturb.
+func TestConformanceMatrix(t *testing.T) {
+	for _, c := range Cases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			baseline := runCell(t, c, ScenarioFaultFree)
+			if n := FaultCounters(baseline.res); n != 0 {
+				t.Fatalf("fault-free run recorded %v fault counters", n)
+			}
+			if s := baseline.res.Metrics.Series(metrics.SeriesFaultsActive); s != nil {
+				t.Fatalf("fault-free run recorded a faults_active series (%d points)", len(s.Points))
+			}
+			for _, sc := range faults.ScenarioNames() {
+				sc := sc
+				t.Run(sc, func(t *testing.T) {
+					cell := runCell(t, c, sc)
+					// Every scenario opens at least one fault window before
+					// the shortest strategy run ends, so the injector must
+					// have recorded activity in every faulted cell.
+					if s := cell.res.Metrics.Series(metrics.SeriesFaultsActive); s == nil || len(s.Points) == 0 {
+						t.Error("faulted run recorded no faults_active points")
+					}
+					if bytes.Equal(cell.canonical, baseline.canonical) {
+						t.Error("faulted run is byte-identical to the fault-free run; scenario had no effect")
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestScenariosInjectObservableFaults pins down, per scenario, which fault
+// counters must fire at conformance scale. Blackouts and bandwidth ramps do
+// not appear here: blackouts mostly reject at send time (no failure is
+// counted) and ramps only stretch transfers — their effects are asserted via
+// accuracy and canonical-byte divergence instead.
+func TestScenariosInjectObservableFaults(t *testing.T) {
+	counters := func(c Case, scenario string) (blackout, burst, kills, forcedOff float64) {
+		t.Helper()
+		res, err := Run(c, scenario, matrixSeed)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", c.Name, scenario, err)
+		}
+		return res.Metrics.Counter(metrics.CounterFaultBlackoutFails),
+			res.Metrics.Counter(metrics.CounterFaultBurstDrops),
+			res.Metrics.Counter(metrics.CounterFaultLinkKills),
+			res.Metrics.Counter(metrics.CounterFaultForcedOff)
+	}
+	for _, c := range Cases() {
+		_, _, _, off := counters(c, faults.ScenarioRSUOutage)
+		if off < 1 {
+			t.Errorf("%s/rsu-outage: no forced power-off recorded", c.Name)
+		}
+		_, _, _, off = counters(c, faults.ScenarioChurnStorm)
+		if off < 2 {
+			t.Errorf("%s/churn-storm: forced-off count %v, want several vehicles", c.Name, off)
+		}
+		_, _, _, off = counters(c, faults.ScenarioMixed)
+		if off < 1 {
+			t.Errorf("%s/mixed: no forced power-off recorded", c.Name)
+		}
+	}
+	// Burst loss drops V2X traffic, so it must surface for the strategies
+	// that exchange models vehicle-to-vehicle.
+	for _, c := range Cases() {
+		switch c.Name {
+		case "gossip", "hybrid":
+			_, burst, _, _ := counters(c, faults.ScenarioBurstLoss)
+			if burst < 1 {
+				t.Errorf("%s/burst-loss: no burst drops recorded", c.Name)
+			}
+		}
+	}
+}
+
+// TestFaultsDegradeButDoNotDestroy asserts the accuracy ordering the fault
+// model promises for the paper's two headline decentralized strategies
+// (FedAvg/BASE and Opportunistic/OPP): a faulted run never beats the
+// fault-free run, a mid-run V2C blackout strictly hurts (both strategies
+// depend on the uplink), and no scenario destroys learning outright —
+// faulted accuracy stays above the untrained chance level.
+func TestFaultsDegradeButDoNotDestroy(t *testing.T) {
+	cfg := Config(matrixSeed)
+	chance := 1.0 / float64(cfg.Data.Classes)
+	for _, c := range Cases() {
+		if c.Name != "fedavg" && c.Name != "opportunistic" {
+			continue
+		}
+		baseline, err := Run(c, ScenarioFaultFree, matrixSeed)
+		if err != nil {
+			t.Fatalf("%s/fault-free: %v", c.Name, err)
+		}
+		if baseline.FinalAccuracy <= chance {
+			t.Fatalf("%s/fault-free: accuracy %v at or below chance %v; baseline did not learn",
+				c.Name, baseline.FinalAccuracy, chance)
+		}
+		for _, sc := range faults.ScenarioNames() {
+			res, err := Run(c, sc, matrixSeed)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", c.Name, sc, err)
+			}
+			if res.FinalAccuracy > baseline.FinalAccuracy {
+				t.Errorf("%s/%s: faulted accuracy %v beats fault-free %v",
+					c.Name, sc, res.FinalAccuracy, baseline.FinalAccuracy)
+			}
+			if res.FinalAccuracy <= chance {
+				t.Errorf("%s/%s: accuracy %v at or below chance %v; fault destroyed learning",
+					c.Name, sc, res.FinalAccuracy, chance)
+			}
+			if sc == faults.ScenarioBlackout && res.FinalAccuracy >= baseline.FinalAccuracy {
+				t.Errorf("%s/blackout: accuracy %v not strictly below fault-free %v despite losing V2C for a third of the run",
+					c.Name, res.FinalAccuracy, baseline.FinalAccuracy)
+			}
+		}
+	}
+}
+
+// TestScenarioGridShape guards the grid definition itself: the conformance
+// matrix must cover every strategy and at least the four named scenarios the
+// harness promises, and every scenario plan must scale to any horizon.
+func TestScenarioGridShape(t *testing.T) {
+	if n := len(Cases()); n != 6 {
+		t.Fatalf("conformance covers %d strategies, want 6", n)
+	}
+	if n := len(faults.ScenarioNames()); n < 4 {
+		t.Fatalf("conformance covers %d fault scenarios, want >= 4", n)
+	}
+	for _, sc := range faults.ScenarioNames() {
+		for _, horizon := range []sim.Duration{60, ScenarioHorizon, 2 * sim.Hour} {
+			plan, err := faults.ScenarioPlan(sc, horizon)
+			if err != nil {
+				t.Errorf("%s @ %v: %v", sc, float64(horizon), err)
+				continue
+			}
+			if err := plan.Validate(); err != nil {
+				t.Errorf("%s @ %v: %v", sc, float64(horizon), err)
+			}
+			if plan.Empty() {
+				t.Errorf("%s @ %v: empty plan", sc, float64(horizon))
+			}
+		}
+	}
+}

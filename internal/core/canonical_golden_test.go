@@ -1,0 +1,43 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"roadrunner/internal/metrics"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestCanonicalBytesGolden pins the canonical result encoding byte for byte
+// against a checked-in golden file. The encoding is the cross-run
+// reproducibility contract — determinism tests, the conformance harness,
+// and the benchmark baseline all compare these bytes — so any format change
+// must be an explicit decision (re-run with -update), never a side effect.
+func TestCanonicalBytesGolden(t *testing.T) {
+	res := sampleResult(t, 0, []string{metrics.CounterRounds, metrics.CounterV2CBytes})
+	got, err := res.CanonicalBytes()
+	if err != nil {
+		t.Fatalf("CanonicalBytes: %v", err)
+	}
+	path := filepath.Join("testdata", "canonical_sample.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden %s (run with -update to create): %v", path, err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("canonical encoding drifted from golden file.\ngot:\n%s\nwant:\n%s\n(run 'go test ./internal/core -update' if the change is intended)",
+			got, want)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"roadrunner/internal/comm"
 	"roadrunner/internal/dataset"
+	"roadrunner/internal/faults"
 	"roadrunner/internal/hw"
 	"roadrunner/internal/ml"
 	"roadrunner/internal/mobility"
@@ -45,6 +46,13 @@ type Config struct {
 
 	// Comm models the V2C/V2X/wired channels.
 	Comm comm.Params `json:"comm"`
+
+	// Faults, when set, schedules deterministic fault injection — coverage
+	// blackouts, RSU outages, V2X burst loss, bandwidth degradation, churn
+	// storms, mid-flight link kills — on top of the nominal channel model.
+	// A (config, seed, plan) triple fully determines a run, so faulted
+	// runs keep the byte-identical reproducibility contract.
+	Faults *faults.Plan `json:"faults,omitempty"`
 
 	// Data describes the synthetic learning problem; Partition how it is
 	// distributed over vehicles; TestSamples the server-side held-out set.
@@ -139,6 +147,11 @@ func (c Config) Validate() error {
 	}
 	if err := c.Comm.Validate(); err != nil {
 		return fmt.Errorf("core: comm: %w", err)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
 	}
 	if err := c.Data.Validate(); err != nil {
 		return fmt.Errorf("core: data: %w", err)

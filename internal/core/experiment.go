@@ -1,12 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"time"
 
 	"roadrunner/internal/comm"
 	"roadrunner/internal/dataset"
+	"roadrunner/internal/faults"
 	"roadrunner/internal/hw"
 	"roadrunner/internal/metrics"
 	"roadrunner/internal/ml"
@@ -28,6 +30,7 @@ type Experiment struct {
 	replayer *mobility.Replayer
 	network  *comm.Network
 	recorder *metrics.Recorder
+	injector *faults.Injector
 
 	server   sim.AgentID
 	vehicles []sim.AgentID // vehicles[i] replays trace i
@@ -138,6 +141,25 @@ func New(cfg Config, strat strategy.Strategy) (*Experiment, error) {
 		return nil, err
 	}
 	e.registry.OnPowerChange(e.handlePowerChange)
+
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		// The fault stream forks last so fault-free runs consume exactly
+		// the root-RNG sequence they did before fault injection existed.
+		e.injector, err = faults.NewInjector(*cfg.Faults, faults.Deps{
+			Engine:   e.engine,
+			Registry: e.registry,
+			Network:  e.network,
+			Recorder: e.recorder,
+			Position: e.positionOf,
+			RNG:      root.Fork("faults"),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := e.injector.Install(); err != nil {
+			return nil, err
+		}
+	}
 
 	cell := cfg.Comm.V2X.RangeM
 	e.spatial, err = mobility.NewSpatialIndex(cell)
@@ -364,6 +386,14 @@ func (e *Experiment) dispatchDelivery(msg *comm.Message) {
 }
 
 func (e *Experiment) dispatchFailure(msg *comm.Message, reason error) {
+	// Fault-attributed failures are counted regardless of payload type, so
+	// the per-fault counters stay conserved against comm.Stats.
+	switch {
+	case errors.Is(reason, comm.ErrBlackout):
+		e.recorder.Add(metrics.CounterFaultBlackoutFails, 1)
+	case errors.Is(reason, comm.ErrBurstDropped):
+		e.recorder.Add(metrics.CounterFaultBurstDrops, 1)
+	}
 	p, ok := msg.Payload.(strategy.Payload)
 	if !ok {
 		return

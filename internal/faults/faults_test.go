@@ -1,0 +1,405 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"roadrunner/internal/comm"
+	"roadrunner/internal/metrics"
+	"roadrunner/internal/roadnet"
+	"roadrunner/internal/sim"
+)
+
+// rig is a minimal experiment stand-in: an engine, a registry with one
+// server, two vehicles and one RSU, a no-drop network, and a recorder.
+type rig struct {
+	engine   *sim.Engine
+	registry *sim.Registry
+	network  *comm.Network
+	recorder *metrics.Recorder
+	pos      map[sim.AgentID]roadnet.Point
+
+	server, v1, v2, rsu sim.AgentID
+
+	delivered int
+	failures  []error
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	r := &rig{
+		engine:   sim.NewEngine(),
+		recorder: metrics.NewRecorder(),
+		pos:      map[sim.AgentID]roadnet.Point{},
+	}
+	r.registry = sim.NewRegistry(r.engine)
+	params := comm.DefaultParams()
+	params.V2C.DropProb = 0
+	params.V2X.DropProb = 0
+	params.Wired.DropProb = 0
+	position := func(id sim.AgentID) (roadnet.Point, bool) {
+		p, ok := r.pos[id]
+		return p, ok
+	}
+	net, err := comm.NewNetwork(r.engine, r.registry, params, position, sim.NewRNG(7))
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	net.OnDeliver(func(*comm.Message) { r.delivered++ })
+	net.OnFail(func(_ *comm.Message, reason error) { r.failures = append(r.failures, reason) })
+	r.network = net
+
+	add := func(kind sim.AgentKind) sim.AgentID {
+		a := r.registry.Add(kind)
+		if err := r.registry.SetPower(a.ID, true); err != nil {
+			t.Fatalf("SetPower: %v", err)
+		}
+		return a.ID
+	}
+	r.server = add(sim.KindCloudServer)
+	r.v1 = add(sim.KindVehicle)
+	r.v2 = add(sim.KindVehicle)
+	r.rsu = add(sim.KindRSU)
+	r.pos[r.v1] = roadnet.Point{X: 10, Y: 10}
+	r.pos[r.v2] = roadnet.Point{X: 50, Y: 10}
+	r.pos[r.rsu] = roadnet.Point{X: 30, Y: 10}
+	return r
+}
+
+func (r *rig) install(t *testing.T, plan Plan) *Injector {
+	t.Helper()
+	in, err := NewInjector(plan, Deps{
+		Engine:   r.engine,
+		Registry: r.registry,
+		Network:  r.network,
+		Recorder: r.recorder,
+		Position: func(id sim.AgentID) (roadnet.Point, bool) { p, ok := r.pos[id]; return p, ok },
+		RNG:      sim.NewRNG(11),
+	})
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	if err := in.Install(); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	return in
+}
+
+func TestPolygonContains(t *testing.T) {
+	square := Polygon{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 100, Y: 100}, {X: 0, Y: 100}}
+	if !square.Contains(roadnet.Point{X: 50, Y: 50}) {
+		t.Error("center not inside square")
+	}
+	if square.Contains(roadnet.Point{X: 150, Y: 50}) {
+		t.Error("outside point reported inside")
+	}
+	if !Polygon(nil).Contains(roadnet.Point{X: 1e9, Y: -1e9}) {
+		t.Error("nil polygon must contain everything")
+	}
+	if (Polygon{{X: 0, Y: 0}, {X: 1, Y: 1}}).Contains(roadnet.Point{X: 0.5, Y: 0.5}) {
+		t.Error("degenerate 2-vertex polygon must contain nothing")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		ok   bool
+	}{
+		{"empty", Plan{}, true},
+		{"blackout", Plan{V2CBlackouts: []Blackout{{Window: Window{Start: 0, End: 10}}}}, true},
+		{"inverted window", Plan{V2CBlackouts: []Blackout{{Window: Window{Start: 10, End: 10}}}}, false},
+		{"tiny region", Plan{V2CBlackouts: []Blackout{{Window: Window{Start: 0, End: 1}, Region: Polygon{{X: 0, Y: 0}}}}}, false},
+		{"negative rsu", Plan{RSUOutages: []RSUOutage{{RSU: -1, Window: Window{Start: 0, End: 1}}}}, false},
+		{"burst prob too high", Plan{V2XBurstLoss: []BurstLoss{{Window: Window{Start: 0, End: 1}, DropProb: 1.5}}}, false},
+		{"ramp bad kind", Plan{BandwidthRamps: []BandwidthRamp{{Kind: 99, Window: Window{Start: 0, End: 1}, StartFactor: 1, EndFactor: 1}}}, false},
+		{"ramp zero factor", Plan{BandwidthRamps: []BandwidthRamp{{Kind: comm.KindV2C, Window: Window{Start: 0, End: 1}, StartFactor: 0, EndFactor: 1}}}, false},
+		{"storm zero prob", Plan{ChurnStorms: []ChurnStorm{{Window: Window{Start: 0, End: 1}}}}, false},
+		{"kill negative", Plan{LinkKills: []LinkKill{{At: -1}}}, false},
+		{"kill all kinds", Plan{LinkKills: []LinkKill{{At: 5}}}, true},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid plan accepted", tc.name)
+		}
+	}
+}
+
+func TestScenarioPlans(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		plan, err := ScenarioPlan(name, 3600)
+		if err != nil {
+			t.Fatalf("ScenarioPlan(%q): %v", name, err)
+		}
+		if plan.Empty() {
+			t.Errorf("scenario %q is empty", name)
+		}
+		if err := plan.Validate(); err != nil {
+			t.Errorf("scenario %q invalid: %v", name, err)
+		}
+	}
+	if _, err := ScenarioPlan("no-such-scenario", 3600); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if _, err := ScenarioPlan(ScenarioBlackout, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestBlackoutBlocksAndFailsInWindow(t *testing.T) {
+	r := newRig(t)
+	r.install(t, Plan{V2CBlackouts: []Blackout{{Window: Window{Start: 10, End: 20}}}})
+
+	// A transfer sent just before the window whose delivery lands inside it
+	// fails with ErrBlackout (time-correlated, not i.i.d.).
+	if _, err := r.engine.Schedule(9.9, func() {
+		// ~1 MB over 2000 KB/s lands ~0.55 s later, inside the window.
+		if _, err := r.network.Send(r.v1, r.server, comm.KindV2C, 1_000_000, nil); err != nil {
+			t.Errorf("pre-window send rejected: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A send attempted inside the window is rejected outright.
+	if _, err := r.engine.Schedule(15, func() {
+		if _, err := r.network.Send(r.v1, r.server, comm.KindV2C, 1000, nil); !errors.Is(err, comm.ErrBlackout) {
+			t.Errorf("in-window send error = %v, want ErrBlackout", err)
+		}
+		// V2X is unaffected by a V2C blackout.
+		if _, err := r.network.Send(r.v1, r.v2, comm.KindV2X, 1000, nil); err != nil {
+			t.Errorf("v2x send during v2c blackout: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// After the window everything is nominal again.
+	if _, err := r.engine.Schedule(25, func() {
+		if _, err := r.network.Send(r.v1, r.server, comm.KindV2C, 1000, nil); err != nil {
+			t.Errorf("post-window send rejected: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.engine.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	var blackouts int
+	for _, reason := range r.failures {
+		if errors.Is(reason, comm.ErrBlackout) {
+			blackouts++
+		}
+	}
+	if blackouts != 1 {
+		t.Fatalf("blackout failures = %d (reasons %v), want 1", blackouts, r.failures)
+	}
+	if r.delivered != 2 {
+		t.Fatalf("delivered = %d, want 2", r.delivered)
+	}
+}
+
+func TestRegionScopedBlackout(t *testing.T) {
+	r := newRig(t)
+	deadZone := Polygon{{X: 0, Y: 0}, {X: 20, Y: 0}, {X: 20, Y: 20}, {X: 0, Y: 20}}
+	r.install(t, Plan{V2CBlackouts: []Blackout{{Window: Window{Start: 0, End: 100}, Region: deadZone}}})
+
+	if _, err := r.engine.Schedule(1, func() {
+		// v1 at (10,10) is inside the dead zone; v2 at (50,10) is not.
+		if _, err := r.network.Send(r.v1, r.server, comm.KindV2C, 1000, nil); !errors.Is(err, comm.ErrBlackout) {
+			t.Errorf("in-region send error = %v, want ErrBlackout", err)
+		}
+		if _, err := r.network.Send(r.v2, r.server, comm.KindV2C, 1000, nil); err != nil {
+			t.Errorf("out-of-region send rejected: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.engine.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if r.delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", r.delivered)
+	}
+}
+
+func TestBurstLossDropsV2X(t *testing.T) {
+	r := newRig(t)
+	r.install(t, Plan{V2XBurstLoss: []BurstLoss{{Window: Window{Start: 0, End: 100}, DropProb: 1}}})
+
+	if _, err := r.engine.Schedule(1, func() {
+		if _, err := r.network.Send(r.v1, r.v2, comm.KindV2X, 1000, nil); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.engine.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(r.failures) != 1 || !errors.Is(r.failures[0], comm.ErrBurstDropped) {
+		t.Fatalf("failures = %v, want one ErrBurstDropped", r.failures)
+	}
+}
+
+func TestBandwidthRampStretchesTransfers(t *testing.T) {
+	r := newRig(t)
+	// Constant 0.25 factor across the window: transfers take ~4x the
+	// bandwidth-bound time.
+	r.install(t, Plan{BandwidthRamps: []BandwidthRamp{{
+		Kind: comm.KindV2C, Window: Window{Start: 0, End: 1000}, StartFactor: 0.25, EndFactor: 0.25,
+	}}})
+
+	var deliverAt sim.Time
+	r.network.OnDeliver(func(m *comm.Message) { r.delivered++; deliverAt = m.DeliverAt })
+	if _, err := r.engine.Schedule(1, func() {
+		if _, err := r.network.Send(r.v1, r.server, comm.KindV2C, 2_000_000, nil); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.engine.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	// Nominal: 0.05 + 2e6/(2000*1000) = 1.05 s. Degraded: 0.05 + 4 s.
+	want := sim.Time(1).Add(sim.Duration(0.05 + 4.0))
+	if r.delivered != 1 || deliverAt != want {
+		t.Fatalf("delivered=%d at %v, want 1 at %v", r.delivered, deliverAt, want)
+	}
+}
+
+func TestRSUOutageTogglesPower(t *testing.T) {
+	r := newRig(t)
+	r.install(t, Plan{RSUOutages: []RSUOutage{{RSU: 0, Window: Window{Start: 10, End: 20}}}})
+
+	check := func(at sim.Time, wantOn bool) {
+		if _, err := r.engine.Schedule(at, func() {
+			if got := r.registry.Get(r.rsu).On(); got != wantOn {
+				t.Errorf("at %v: rsu on = %v, want %v", at, got, wantOn)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(5, true)
+	check(15, false)
+	check(25, true)
+	if err := r.engine.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if got := r.recorder.Counter(metrics.CounterFaultForcedOff); got != 1 {
+		t.Fatalf("forced-off counter = %v, want 1", got)
+	}
+	if s := r.recorder.Series(metrics.SeriesFaultsActive); s == nil || s.Len() != 2 {
+		t.Fatalf("faults_active series missing or wrong length")
+	}
+}
+
+func TestRSUOutageIndexValidatedAgainstDeployment(t *testing.T) {
+	r := newRig(t)
+	_, err := NewInjector(Plan{RSUOutages: []RSUOutage{{RSU: 3, Window: Window{Start: 1, End: 2}}}}, Deps{
+		Engine: r.engine, Registry: r.registry, Network: r.network, Recorder: r.recorder,
+	})
+	if err == nil {
+		t.Fatal("out-of-range RSU index accepted")
+	}
+}
+
+func TestChurnStormForcesVehiclesOffAndBack(t *testing.T) {
+	r := newRig(t)
+	r.install(t, Plan{ChurnStorms: []ChurnStorm{{Window: Window{Start: 10, End: 20}, OffProb: 1}}})
+
+	if _, err := r.engine.Schedule(15, func() {
+		for _, v := range []sim.AgentID{r.v1, r.v2} {
+			if r.registry.Get(v).On() {
+				t.Errorf("vehicle %v still on mid-storm", v)
+			}
+		}
+		// The server and RSU are not storm targets.
+		if !r.registry.Get(r.server).On() || !r.registry.Get(r.rsu).On() {
+			t.Error("non-vehicle agent powered off by churn storm")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.engine.Schedule(25, func() {
+		for _, v := range []sim.AgentID{r.v1, r.v2} {
+			if !r.registry.Get(v).On() {
+				t.Errorf("vehicle %v not restored after storm", v)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.engine.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if got := r.recorder.Counter(metrics.CounterFaultForcedOff); got != 2 {
+		t.Fatalf("forced-off counter = %v, want 2", got)
+	}
+}
+
+func TestLinkKillAbortsInFlight(t *testing.T) {
+	r := newRig(t)
+	r.install(t, Plan{LinkKills: []LinkKill{{At: 5, Kind: comm.KindV2C}}})
+
+	if _, err := r.engine.Schedule(4.9, func() {
+		// ~10 MB takes ~5 s: still in flight at the kill instant.
+		if _, err := r.network.Send(r.v1, r.server, comm.KindV2C, 10_000_000, nil); err != nil {
+			t.Errorf("send: %v", err)
+		}
+		// A V2X transfer in flight at the same instant survives a
+		// kind-scoped kill.
+		if _, err := r.network.Send(r.v1, r.v2, comm.KindV2X, 1_000_000, nil); err != nil {
+			t.Errorf("v2x send: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.engine.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(r.failures) != 1 || !errors.Is(r.failures[0], ErrLinkKilled) {
+		t.Fatalf("failures = %v, want one ErrLinkKilled", r.failures)
+	}
+	if r.delivered != 1 {
+		t.Fatalf("delivered = %d, want 1 (the V2X survivor)", r.delivered)
+	}
+	if got := r.recorder.Counter(metrics.CounterFaultLinkKills); got != 1 {
+		t.Fatalf("link-kill counter = %v, want 1", got)
+	}
+}
+
+func TestStatsConservationUnderFaults(t *testing.T) {
+	r := newRig(t)
+	r.install(t, Plan{
+		V2CBlackouts: []Blackout{{Window: Window{Start: 10, End: 20}}},
+		V2XBurstLoss: []BurstLoss{{Window: Window{Start: 0, End: 30}, DropProb: 0.5}},
+		LinkKills:    []LinkKill{{At: 15}},
+	})
+	for i := 0; i < 30; i++ {
+		at := sim.Time(float64(i))
+		if _, err := r.engine.Schedule(at, func() {
+			_, _ = r.network.Send(r.v1, r.server, comm.KindV2C, 500_000, nil)
+			_, _ = r.network.Send(r.v1, r.v2, comm.KindV2X, 200_000, nil)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.engine.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	for _, k := range comm.Kinds() {
+		s := r.network.StatsFor(k)
+		if s.MessagesSent != s.MessagesDelivered+s.MessagesFailed {
+			t.Errorf("%v: sent %d != delivered %d + failed %d", k, s.MessagesSent, s.MessagesDelivered, s.MessagesFailed)
+		}
+		if s.BytesDelivered > s.BytesAttempted {
+			t.Errorf("%v: delivered bytes %d > attempted %d", k, s.BytesDelivered, s.BytesAttempted)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+
+	"roadrunner/internal/comm"
+	"roadrunner/internal/metrics"
+	"roadrunner/internal/sim"
+)
+
+// ErrLinkKilled is the failure reason of transfers aborted by a scheduled
+// LinkKill event.
+var ErrLinkKilled = errors.New("faults: link killed mid-flight")
+
+// Deps are the experiment-side handles the injector operates on. All of
+// them live on the simulation goroutine; the injector adds no goroutines
+// and no locks.
+type Deps struct {
+	Engine   *sim.Engine
+	Registry *sim.Registry
+	Network  *comm.Network
+	Recorder *metrics.Recorder
+	// Position resolves an agent's current position, for region-scoped
+	// blackouts. Typically the same function the network uses.
+	Position comm.PositionFunc
+	// RNG drives every stochastic fault decision (churn-storm draws).
+	// Fork it from the experiment seed so (config, seed, plan) fully
+	// determines the run.
+	RNG *sim.RNG
+}
+
+// Injector compiles a Plan against one experiment: scheduled events for
+// the discrete faults (RSU outages, churn storms, link kills, window
+// boundaries) and a comm.Conditions view for the continuous ones
+// (blackouts, burst loss, bandwidth ramps).
+type Injector struct {
+	plan Plan
+	deps Deps
+
+	vehicles []sim.AgentID
+	rsus     []sim.AgentID
+	active   int // currently open fault windows, exported as SeriesFaultsActive
+}
+
+// NewInjector validates the plan against the experiment (RSU indexes must
+// exist) and builds the injector. Call Install to arm it.
+func NewInjector(plan Plan, deps Deps) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if deps.Engine == nil || deps.Registry == nil || deps.Network == nil || deps.Recorder == nil {
+		return nil, fmt.Errorf("faults: nil engine, registry, network, or recorder")
+	}
+	if deps.RNG == nil && len(plan.ChurnStorms) > 0 {
+		return nil, fmt.Errorf("faults: churn storms need an RNG")
+	}
+	in := &Injector{
+		plan:     plan,
+		deps:     deps,
+		vehicles: deps.Registry.OfKind(sim.KindVehicle),
+		rsus:     deps.Registry.OfKind(sim.KindRSU),
+	}
+	for i, o := range plan.RSUOutages {
+		if o.RSU >= len(in.rsus) {
+			return nil, fmt.Errorf("faults: rsu outage %d: rsu index %d, deployment has %d", i, o.RSU, len(in.rsus))
+		}
+	}
+	return in, nil
+}
+
+// Install arms the injector: it registers the conditions hook on the
+// network and schedules every discrete fault event. Install must run
+// before the experiment starts (all fault instants are still in the
+// future).
+func (in *Injector) Install() error {
+	in.deps.Network.SetConditions(in.Conditions)
+	for _, b := range in.plan.V2CBlackouts {
+		if err := in.scheduleWindow(b.Window, nil, nil); err != nil {
+			return err
+		}
+	}
+	for _, b := range in.plan.V2XBurstLoss {
+		if err := in.scheduleWindow(b.Window, nil, nil); err != nil {
+			return err
+		}
+	}
+	for _, r := range in.plan.BandwidthRamps {
+		if err := in.scheduleWindow(r.Window, nil, nil); err != nil {
+			return err
+		}
+	}
+	for _, o := range in.plan.RSUOutages {
+		rsu := in.rsus[o.RSU]
+		if err := in.scheduleWindow(o.Window,
+			func() { in.setPower(rsu, false); in.deps.Recorder.Add(metrics.CounterFaultForcedOff, 1) },
+			func() { in.setPower(rsu, true) },
+		); err != nil {
+			return err
+		}
+	}
+	for _, s := range in.plan.ChurnStorms {
+		s := s
+		victims := &[]sim.AgentID{}
+		if err := in.scheduleWindow(s.Window,
+			func() { in.stormBegin(s, victims) },
+			func() { in.stormEnd(victims) },
+		); err != nil {
+			return err
+		}
+	}
+	for _, k := range in.plan.LinkKills {
+		k := k
+		if _, err := in.deps.Engine.Schedule(k.At, func() { in.kill(k) }); err != nil {
+			return fmt.Errorf("faults: schedule link kill: %w", err)
+		}
+	}
+	return nil
+}
+
+// scheduleWindow schedules the window's boundary events: the active-window
+// gauge moves at both edges, and the optional callbacks run inside the
+// same events. Edges are scheduled start-before-end at install time, so
+// same-instant boundaries resolve deterministically by schedule order.
+func (in *Injector) scheduleWindow(w Window, onStart, onEnd func()) error {
+	if _, err := in.deps.Engine.Schedule(w.Start, func() {
+		in.active++
+		in.recordActive()
+		if onStart != nil {
+			onStart()
+		}
+	}); err != nil {
+		return fmt.Errorf("faults: schedule window start: %w", err)
+	}
+	if _, err := in.deps.Engine.Schedule(w.End, func() {
+		in.active--
+		in.recordActive()
+		if onEnd != nil {
+			onEnd()
+		}
+	}); err != nil {
+		return fmt.Errorf("faults: schedule window end: %w", err)
+	}
+	return nil
+}
+
+func (in *Injector) recordActive() {
+	_ = in.deps.Recorder.Record(metrics.SeriesFaultsActive, in.deps.Engine.Now(), float64(in.active))
+}
+
+func (in *Injector) setPower(id sim.AgentID, on bool) {
+	_ = in.deps.Registry.SetPower(id, on)
+}
+
+// stormBegin draws the storm's victims — each powered-on vehicle falls
+// with probability OffProb — and powers them off. The draw iterates
+// vehicles in ID order so the RNG consumption sequence is reproducible.
+func (in *Injector) stormBegin(s ChurnStorm, victims *[]sim.AgentID) {
+	for _, v := range in.vehicles {
+		a := in.deps.Registry.Get(v)
+		if a == nil || !a.On() {
+			continue
+		}
+		if !in.deps.RNG.Bool(s.OffProb) {
+			continue
+		}
+		*victims = append(*victims, v)
+		in.setPower(v, false)
+		in.deps.Recorder.Add(metrics.CounterFaultForcedOff, 1)
+	}
+}
+
+// stormEnd powers the storm's victims back on. Vehicles the trace turned
+// back on mid-storm are untouched (SetPower is a no-op on non-transitions),
+// and later trace transitions keep applying either way.
+func (in *Injector) stormEnd(victims *[]sim.AgentID) {
+	for _, v := range *victims {
+		in.setPower(v, true)
+	}
+	*victims = (*victims)[:0]
+}
+
+// kill aborts the in-flight transfers the LinkKill selects.
+func (in *Injector) kill(k LinkKill) {
+	pred := func(m *comm.Message) bool { return k.Kind == 0 || m.Kind == k.Kind }
+	if n := in.deps.Network.FailInFlight(pred, ErrLinkKilled); n > 0 {
+		in.deps.Recorder.Add(metrics.CounterFaultLinkKills, float64(n))
+	}
+}
+
+// Conditions implements comm.ConditionsFunc over the plan's continuous
+// faults. It is pure over (plan, now, link, agent positions) — no RNG —
+// so evaluating it never perturbs any random stream.
+func (in *Injector) Conditions(now sim.Time, kind comm.Kind, from, to sim.AgentID) comm.Conditions {
+	var cond comm.Conditions
+	if kind == comm.KindV2C {
+		for _, b := range in.plan.V2CBlackouts {
+			if b.Window.Contains(now) && in.inRegion(b.Region, from, to) {
+				cond.Blocked = true
+				break
+			}
+		}
+	}
+	if kind == comm.KindV2X {
+		keep := 1.0 // probability the message survives every open burst window
+		for _, b := range in.plan.V2XBurstLoss {
+			if b.Window.Contains(now) {
+				keep *= 1 - b.DropProb
+			}
+		}
+		cond.ExtraDropProb = 1 - keep
+	}
+	factor := 1.0
+	for _, r := range in.plan.BandwidthRamps {
+		if r.Kind == kind {
+			factor *= r.factorAt(now)
+		}
+	}
+	if factor < 1 {
+		cond.RateFactor = factor
+	}
+	return cond
+}
+
+// inRegion reports whether the link's positioned endpoint (the vehicle
+// side of a V2C transfer; the cloud has no position) is inside the
+// region. Without a position resolver, region-scoped blackouts apply
+// everywhere, matching a nil region.
+func (in *Injector) inRegion(region Polygon, from, to sim.AgentID) bool {
+	if len(region) == 0 || in.deps.Position == nil {
+		return true
+	}
+	if pos, ok := in.deps.Position(from); ok {
+		return region.Contains(pos)
+	}
+	if pos, ok := in.deps.Position(to); ok {
+		return region.Contains(pos)
+	}
+	return true
+}

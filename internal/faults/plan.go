@@ -1,0 +1,223 @@
+// Package faults is Roadrunner's deterministic fault-injection substrate.
+// The paper's framework demands that "communication may fail at any time"
+// (§3), but a flat per-message drop probability cannot express what real
+// vehicular deployments see: *time-correlated* degradation — coverage
+// blackouts when fleets enter tunnels or dead zones, RSU outages, burst
+// loss under interference, bandwidth collapse at cell edges, and churn
+// storms when many drivers shut off at once (cf. DRIVE and Sliwa &
+// Wietfeld's data-driven network-indicator simulation in PAPERS.md).
+//
+// A Plan declares those faults; an Injector compiles the plan into
+// scheduled simulation events and a comm.ConditionsFunc, all driven by a
+// sim.RNG forked from the experiment seed. A (config, seed, plan) triple
+// therefore fully determines a run — the byte-identical reproducibility
+// contract extends unchanged to faulted runs, which is what makes the
+// strategy-conformance harness (internal/conformance) possible.
+package faults
+
+import (
+	"fmt"
+
+	"roadrunner/internal/comm"
+	"roadrunner/internal/roadnet"
+	"roadrunner/internal/sim"
+)
+
+// Window is a half-open simulated-time interval [Start, End) during which a
+// fault is active.
+type Window struct {
+	Start sim.Time `json:"start_s"`
+	End   sim.Time `json:"end_s"`
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t sim.Time) bool { return t >= w.Start && t < w.End }
+
+// Validate reports whether the window is usable.
+func (w Window) Validate() error {
+	if !w.Start.IsValid() || !w.End.IsValid() {
+		return fmt.Errorf("faults: invalid window [%v, %v)", float64(w.Start), float64(w.End))
+	}
+	if w.Start < 0 || w.End <= w.Start {
+		return fmt.Errorf("faults: empty or negative window [%v, %v)", float64(w.Start), float64(w.End))
+	}
+	return nil
+}
+
+// Polygon is a closed region on the simulation plane, given as its vertex
+// ring (the closing edge from the last vertex back to the first is
+// implicit). Regions localize coverage blackouts; a nil polygon means
+// "everywhere".
+type Polygon []roadnet.Point
+
+// Contains reports whether p lies inside the polygon (even-odd rule). An
+// empty polygon contains every point, matching the "everywhere" reading of
+// an unset region.
+func (poly Polygon) Contains(p roadnet.Point) bool {
+	if len(poly) == 0 {
+		return true
+	}
+	if len(poly) < 3 {
+		return false
+	}
+	inside := false
+	for i, j := 0, len(poly)-1; i < len(poly); j, i = i, i+1 {
+		a, b := poly[i], poly[j]
+		if (a.Y > p.Y) != (b.Y > p.Y) &&
+			p.X < (b.X-a.X)*(p.Y-a.Y)/(b.Y-a.Y)+a.X {
+			inside = !inside
+		}
+	}
+	return inside
+}
+
+// Blackout is a V2C coverage hole: inside Window, any V2C transfer whose
+// vehicle endpoint is inside Region (nil = the whole plane) is blocked at
+// send time and fails with comm.ErrBlackout at delivery time.
+type Blackout struct {
+	Window Window  `json:"window"`
+	Region Polygon `json:"region,omitempty"`
+}
+
+// RSUOutage powers one road-side unit down for a window. RSU indexes the
+// experiment's RSU list in creation order (0-based).
+type RSUOutage struct {
+	RSU    int    `json:"rsu"`
+	Window Window `json:"window"`
+}
+
+// BurstLoss raises the V2X loss probability by DropProb inside Window,
+// sampled per message on top of the channel's base drop probability.
+type BurstLoss struct {
+	Window   Window  `json:"window"`
+	DropProb float64 `json:"drop_prob"`
+}
+
+// BandwidthRamp degrades one channel kind's effective bandwidth across a
+// window: the rate factor interpolates linearly from StartFactor at
+// Window.Start to EndFactor at Window.End. Factors are in (0, 1]; 1 means
+// nominal bandwidth.
+type BandwidthRamp struct {
+	Kind        comm.Kind `json:"kind"`
+	Window      Window    `json:"window"`
+	StartFactor float64   `json:"start_factor"`
+	EndFactor   float64   `json:"end_factor"`
+}
+
+// factorAt returns the interpolated rate factor at t (1 outside Window).
+func (r BandwidthRamp) factorAt(t sim.Time) float64 {
+	if !r.Window.Contains(t) {
+		return 1
+	}
+	span := float64(r.Window.End - r.Window.Start)
+	frac := float64(t-r.Window.Start) / span
+	return r.StartFactor + (r.EndFactor-r.StartFactor)*frac
+}
+
+// ChurnStorm powers off a random OffProb-fraction of the powered-on
+// vehicles at Window.Start (drawn from the fault RNG stream) and powers
+// those victims back on at Window.End. Trace-driven ignition transitions
+// keep applying during the storm, so a storm composes with natural churn
+// rather than replacing it.
+type ChurnStorm struct {
+	Window  Window  `json:"window"`
+	OffProb float64 `json:"off_prob"`
+}
+
+// LinkKill aborts, at instant At, every in-flight transfer of the given
+// kind (0 = all kinds), failing it with comm.ErrDropped-independent
+// reason ErrLinkKilled. It models hard handover failures and mid-flight
+// link resets.
+type LinkKill struct {
+	At   sim.Time  `json:"at_s"`
+	Kind comm.Kind `json:"kind,omitempty"`
+}
+
+// Plan is a declarative fault scenario. The zero value is the fault-free
+// plan. Plans are pure data: JSON-serializable, comparable across runs,
+// and compiled by the Injector only at experiment construction time.
+type Plan struct {
+	V2CBlackouts   []Blackout      `json:"v2c_blackouts,omitempty"`
+	RSUOutages     []RSUOutage     `json:"rsu_outages,omitempty"`
+	V2XBurstLoss   []BurstLoss     `json:"v2x_burst_loss,omitempty"`
+	BandwidthRamps []BandwidthRamp `json:"bandwidth_ramps,omitempty"`
+	ChurnStorms    []ChurnStorm    `json:"churn_storms,omitempty"`
+	LinkKills      []LinkKill      `json:"link_kills,omitempty"`
+}
+
+// Empty reports whether the plan declares no faults at all.
+func (p *Plan) Empty() bool {
+	return len(p.V2CBlackouts) == 0 && len(p.RSUOutages) == 0 &&
+		len(p.V2XBurstLoss) == 0 && len(p.BandwidthRamps) == 0 &&
+		len(p.ChurnStorms) == 0 && len(p.LinkKills) == 0
+}
+
+// Validate reports whether the plan is usable. RSU indexes are validated
+// against the experiment at injector construction time, since the plan
+// alone does not know the deployment size.
+func (p *Plan) Validate() error {
+	for i, b := range p.V2CBlackouts {
+		if err := b.Window.Validate(); err != nil {
+			return fmt.Errorf("faults: v2c blackout %d: %w", i, err)
+		}
+		if n := len(b.Region); n > 0 && n < 3 {
+			return fmt.Errorf("faults: v2c blackout %d: region needs >= 3 vertices, got %d", i, n)
+		}
+	}
+	for i, o := range p.RSUOutages {
+		if o.RSU < 0 {
+			return fmt.Errorf("faults: rsu outage %d: negative rsu index %d", i, o.RSU)
+		}
+		if err := o.Window.Validate(); err != nil {
+			return fmt.Errorf("faults: rsu outage %d: %w", i, err)
+		}
+	}
+	for i, b := range p.V2XBurstLoss {
+		if err := b.Window.Validate(); err != nil {
+			return fmt.Errorf("faults: v2x burst loss %d: %w", i, err)
+		}
+		if b.DropProb <= 0 || b.DropProb > 1 {
+			return fmt.Errorf("faults: v2x burst loss %d: drop probability %v outside (0, 1]", i, b.DropProb)
+		}
+	}
+	for i, r := range p.BandwidthRamps {
+		if !validKind(r.Kind) {
+			return fmt.Errorf("faults: bandwidth ramp %d: unknown channel kind %d", i, int(r.Kind))
+		}
+		if err := r.Window.Validate(); err != nil {
+			return fmt.Errorf("faults: bandwidth ramp %d: %w", i, err)
+		}
+		for _, f := range []float64{r.StartFactor, r.EndFactor} {
+			if f <= 0 || f > 1 {
+				return fmt.Errorf("faults: bandwidth ramp %d: factor %v outside (0, 1]", i, f)
+			}
+		}
+	}
+	for i, s := range p.ChurnStorms {
+		if err := s.Window.Validate(); err != nil {
+			return fmt.Errorf("faults: churn storm %d: %w", i, err)
+		}
+		if s.OffProb <= 0 || s.OffProb > 1 {
+			return fmt.Errorf("faults: churn storm %d: off probability %v outside (0, 1]", i, s.OffProb)
+		}
+	}
+	for i, k := range p.LinkKills {
+		if !k.At.IsValid() || k.At < 0 {
+			return fmt.Errorf("faults: link kill %d: invalid instant %v", i, float64(k.At))
+		}
+		if k.Kind != 0 && !validKind(k.Kind) {
+			return fmt.Errorf("faults: link kill %d: unknown channel kind %d", i, int(k.Kind))
+		}
+	}
+	return nil
+}
+
+// validKind reports whether k names one of the comm channel families.
+func validKind(k comm.Kind) bool {
+	switch k {
+	case comm.KindV2C, comm.KindV2X, comm.KindWired:
+		return true
+	default:
+		return false
+	}
+}

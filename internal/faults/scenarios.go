@@ -1,0 +1,96 @@
+package faults
+
+import (
+	"fmt"
+
+	"roadrunner/internal/comm"
+	"roadrunner/internal/sim"
+)
+
+// Named fault scenarios — the grid the conformance harness and the
+// fault-ablation figure run every strategy against. Windows are placed as
+// fractions of the run horizon so one scenario definition scales from test
+// configs to the paper-scale experiment.
+const (
+	// ScenarioBlackout is a fleet-wide V2C coverage blackout over the
+	// middle third of the run.
+	ScenarioBlackout = "blackout"
+	// ScenarioRSUOutage takes RSU 0 down for the middle half of the run
+	// and kills its in-flight traffic at the outage onset.
+	ScenarioRSUOutage = "rsu-outage"
+	// ScenarioBurstLoss overlays two V2X burst-loss windows plus a
+	// mid-burst link kill.
+	ScenarioBurstLoss = "burst-loss"
+	// ScenarioDegraded ramps V2C bandwidth down to 10% across the middle
+	// of the run while V2X runs at half rate.
+	ScenarioDegraded = "degraded"
+	// ScenarioChurnStorm powers off half the running fleet shortly after
+	// warm-up and a further quarter late in the run.
+	ScenarioChurnStorm = "churn-storm"
+	// ScenarioMixed composes blackout, burst loss, degradation, and a
+	// churn storm — the worst plausible hour.
+	ScenarioMixed = "mixed"
+)
+
+// ScenarioNames lists the named scenarios in their canonical order.
+func ScenarioNames() []string {
+	return []string{
+		ScenarioBlackout, ScenarioRSUOutage, ScenarioBurstLoss,
+		ScenarioDegraded, ScenarioChurnStorm, ScenarioMixed,
+	}
+}
+
+// ScenarioPlan returns the named scenario's plan, scaled to a run of the
+// given horizon.
+func ScenarioPlan(name string, horizon sim.Duration) (Plan, error) {
+	if horizon <= 0 {
+		return Plan{}, fmt.Errorf("faults: scenario %q: non-positive horizon %v", name, float64(horizon))
+	}
+	at := func(frac float64) sim.Time { return sim.Time(float64(horizon) * frac) }
+	win := func(lo, hi float64) Window { return Window{Start: at(lo), End: at(hi)} }
+	switch name {
+	case ScenarioBlackout:
+		return Plan{
+			V2CBlackouts: []Blackout{{Window: win(0.33, 0.66)}},
+		}, nil
+	case ScenarioRSUOutage:
+		return Plan{
+			RSUOutages: []RSUOutage{{RSU: 0, Window: win(0.25, 0.75)}},
+			LinkKills:  []LinkKill{{At: at(0.25), Kind: comm.KindWired}},
+		}, nil
+	case ScenarioBurstLoss:
+		return Plan{
+			V2XBurstLoss: []BurstLoss{
+				{Window: win(0.2, 0.45), DropProb: 0.5},
+				{Window: win(0.6, 0.7), DropProb: 0.35},
+			},
+			LinkKills: []LinkKill{{At: at(0.3), Kind: comm.KindV2X}},
+		}, nil
+	case ScenarioDegraded:
+		return Plan{
+			BandwidthRamps: []BandwidthRamp{
+				{Kind: comm.KindV2C, Window: win(0.2, 0.8), StartFactor: 1, EndFactor: 0.1},
+				{Kind: comm.KindV2X, Window: win(0.2, 0.8), StartFactor: 0.5, EndFactor: 0.5},
+			},
+		}, nil
+	case ScenarioChurnStorm:
+		return Plan{
+			ChurnStorms: []ChurnStorm{
+				{Window: win(0.3, 0.5), OffProb: 0.5},
+				{Window: win(0.65, 0.75), OffProb: 0.25},
+			},
+		}, nil
+	case ScenarioMixed:
+		return Plan{
+			V2CBlackouts: []Blackout{{Window: win(0.4, 0.55)}},
+			V2XBurstLoss: []BurstLoss{{Window: win(0.3, 0.6), DropProb: 0.3}},
+			BandwidthRamps: []BandwidthRamp{
+				{Kind: comm.KindV2C, Window: win(0.2, 0.9), StartFactor: 1, EndFactor: 0.25},
+			},
+			ChurnStorms: []ChurnStorm{{Window: win(0.5, 0.65), OffProb: 0.35}},
+			LinkKills:   []LinkKill{{At: at(0.45)}},
+		}, nil
+	default:
+		return Plan{}, fmt.Errorf("faults: unknown scenario %q", name)
+	}
+}

@@ -240,6 +240,23 @@ const (
 	// vehicles have ever contributed to the global model — the "provenance
 	// of data" custom metric of §3 requirement 4.
 	SeriesDistinctContributors = "distinct_contributors"
+
+	// SeriesFaultsActive tracks the number of concurrently open fault
+	// windows (blackouts, outages, burst-loss, ramps, churn storms),
+	// recorded by the fault injector at every window boundary.
+	SeriesFaultsActive = "faults_active"
+	// CounterFaultBlackoutFails counts transfers failed in flight by a
+	// scheduled coverage blackout (comm.ErrBlackout).
+	CounterFaultBlackoutFails = "fault_blackout_failures"
+	// CounterFaultBurstDrops counts transfers lost to burst-loss windows
+	// (comm.ErrBurstDropped), as opposed to the channel's base drops.
+	CounterFaultBurstDrops = "fault_burst_drops"
+	// CounterFaultLinkKills counts in-flight transfers aborted by
+	// scheduled link-kill events.
+	CounterFaultLinkKills = "fault_link_kills"
+	// CounterFaultForcedOff counts agents the fault injector powered off
+	// (RSU outages and churn storms).
+	CounterFaultForcedOff = "fault_forced_off"
 )
 
 // MovingAverage returns a copy of the series smoothed with a trailing

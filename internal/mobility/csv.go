@@ -17,6 +17,12 @@ import (
 
 const csvHeader = "vehicle,t,x,y,on"
 
+// maxCSVVehicles bounds the vehicle index space a CSV trace may declare.
+// The trace set is stored densely, so an adversarial or corrupt file with a
+// single huge index would otherwise force an allocation proportional to the
+// index value rather than to the file size.
+const maxCSVVehicles = 1 << 20
+
 // WriteCSV serializes the trace set. Rows are emitted grouped by vehicle in
 // index order, each vehicle's samples in time order.
 func WriteCSV(w io.Writer, ts *TraceSet) error {
@@ -95,10 +101,16 @@ func ReadCSV(r io.Reader) (*TraceSet, error) {
 			if err != nil {
 				return nil, fmt.Errorf("mobility: csv line %d: bad fleet size %q: %w", line, row[2], err)
 			}
+			if fleet < 0 || fleet > maxCSVVehicles {
+				return nil, fmt.Errorf("mobility: csv line %d: fleet size %d outside [0, %d]", line, fleet, maxCSVVehicles)
+			}
 			if fleet-1 > maxVehicle {
 				maxVehicle = fleet - 1
 			}
 			continue
+		}
+		if vehicle < 0 || vehicle >= maxCSVVehicles {
+			return nil, fmt.Errorf("mobility: csv line %d: vehicle index %d outside [0, %d)", line, vehicle, maxCSVVehicles)
 		}
 		x, err := strconv.ParseFloat(row[2], 64)
 		if err != nil {

@@ -1,0 +1,46 @@
+package mobility
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace throws arbitrary bytes at the CSV trace parser. The parser
+// must never panic or allocate proportionally to a field *value* (only to
+// the input size), and anything it accepts must survive a write/re-read
+// round trip unchanged.
+func FuzzParseTrace(f *testing.F) {
+	f.Add([]byte("vehicle,t,x,y,on\n"))
+	f.Add([]byte("vehicle,t,x,y,on\n-1,600,2,0,0\n"))
+	f.Add([]byte("vehicle,t,x,y,on\n-1,600,2,0,0\n0,0,10,20,1\n0,30,15,20,1\n1,5,0,0,0\n"))
+	f.Add([]byte("vehicle,t,x,y,on\n0,0,1e308,-1e308,1\n"))
+	f.Add([]byte("vehicle,t,x,y,on\n-1,NaN,1,0,0\n"))
+	f.Add([]byte("vehicle,t,x,y,on\n99999999999999,0,0,0,1\n"))
+	f.Add([]byte("vehicle,t,x,y,on\n-1,10,99999999999,0,0\n"))
+	f.Add([]byte("vehicle,t,x,y,on\n-7,0,0,0,1\n"))
+	f.Add([]byte("vehicle,t,x,y,on\n0,0,0,0,2\n"))
+	f.Add([]byte("vehicle,t,x,y,on\n0,10,0,0,1\n0,10,1,1,1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ts, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must be re-serializable and round-trip stable.
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, ts); err != nil {
+			t.Fatalf("accepted trace set fails to serialize: %v", err)
+		}
+		again, err := ReadCSV(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("serialized trace set fails to re-parse: %v", err)
+		}
+		var buf2 bytes.Buffer
+		if err := WriteCSV(&buf2, again); err != nil {
+			t.Fatalf("re-parsed trace set fails to serialize: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("round trip unstable:\nfirst:\n%s\nsecond:\n%s", buf.String(), buf2.String())
+		}
+	})
+}

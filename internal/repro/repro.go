@@ -13,6 +13,7 @@ import (
 
 	"roadrunner/internal/core"
 	"roadrunner/internal/dataset"
+	"roadrunner/internal/faults"
 	"roadrunner/internal/metrics"
 	"roadrunner/internal/sim"
 	"roadrunner/internal/strategy"
@@ -349,6 +350,104 @@ func DefaultSkewSweep() []dataset.PartitionConfig {
 		{Scheme: dataset.SchemeShards, PerAgent: 80, ShardsPerAgent: 2},
 		{Scheme: dataset.SchemeShards, PerAgent: 80, ShardsPerAgent: 5},
 		{Scheme: dataset.SchemeIID, PerAgent: 80},
+	}
+}
+
+// DefaultFaultSweep lists the scenarios ablation G runs: every named fault
+// scenario except rsu-outage, since the paper's Figure-4 environment
+// deploys no road-side units for an outage to hit.
+func DefaultFaultSweep() []string {
+	return []string{
+		faults.ScenarioBlackout, faults.ScenarioBurstLoss,
+		faults.ScenarioDegraded, faults.ScenarioChurnStorm, faults.ScenarioMixed,
+	}
+}
+
+// FaultPoint is one (strategy, scenario) cell of the fault ablation.
+type FaultPoint struct {
+	Scenario string  `json:"scenario"`
+	Strategy string  `json:"strategy"`
+	FinalAcc float64 `json:"final_acc"`
+	// Faults counts fault-attributed events (blackout failures, burst
+	// drops, link kills, forced power-offs) recorded during the run.
+	Faults float64 `json:"faults"`
+	SimEnd float64 `json:"sim_end_s"`
+	V2CMB  float64 `json:"v2c_mb"`
+	V2XMB  float64 `json:"v2x_mb"`
+}
+
+// AblationFaults runs BASE and OPP fault-free and under every named fault
+// scenario of internal/faults (the degradation axis the paper's framework
+// motivates but its prototype never exercises: "communication may fail at
+// any time", §3). Scenario windows are scaled to each strategy's own
+// fault-free span, so the faults land inside the learning process for both
+// the short BASE runs and the ~4.5x longer OPP runs.
+func AblationFaults(rounds int, seed uint64, scenarios []string) ([]FaultPoint, error) {
+	var points []FaultPoint
+	cases := []struct {
+		name string
+		run  func(plan *faults.Plan) (*core.Result, error)
+	}{
+		{"BASE", func(plan *faults.Plan) (*core.Result, error) {
+			cfg := core.DefaultConfig()
+			cfg.Seed = seed
+			cfg.Faults = plan
+			fa := strategy.DefaultFedAvgConfig()
+			fa.Rounds = rounds
+			s, err := strategy.NewFederatedAveraging(fa)
+			if err != nil {
+				return nil, err
+			}
+			return run(cfg, s)
+		}},
+		{"OPP", func(plan *faults.Plan) (*core.Result, error) {
+			cfg := core.DefaultConfig()
+			cfg.Seed = seed
+			cfg.Faults = plan
+			oc := strategy.DefaultOppConfig()
+			oc.Rounds = rounds
+			s, err := strategy.NewOpportunistic(oc)
+			if err != nil {
+				return nil, err
+			}
+			return run(cfg, s)
+		}},
+	}
+	for _, c := range cases {
+		clean, err := c.run(nil)
+		if err != nil {
+			return nil, fmt.Errorf("repro: ablation G %s fault-free: %w", c.name, err)
+		}
+		points = append(points, faultPoint("fault-free", c.name, clean))
+		span := sim.Duration(clean.End)
+		for _, sc := range scenarios {
+			plan, err := faults.ScenarioPlan(sc, span)
+			if err != nil {
+				return nil, fmt.Errorf("repro: ablation G: %w", err)
+			}
+			res, err := c.run(&plan)
+			if err != nil {
+				return nil, fmt.Errorf("repro: ablation G %s/%s: %w", c.name, sc, err)
+			}
+			points = append(points, faultPoint(sc, c.name, res))
+		}
+	}
+	return points, nil
+}
+
+func faultPoint(scenario, strategyName string, res *core.Result) FaultPoint {
+	faultCount := res.Metrics.Counter(metrics.CounterFaultBlackoutFails) +
+		res.Metrics.Counter(metrics.CounterFaultBurstDrops) +
+		res.Metrics.Counter(metrics.CounterFaultLinkKills) +
+		res.Metrics.Counter(metrics.CounterFaultForcedOff)
+	return FaultPoint{
+		Scenario: scenario,
+		Strategy: strategyName,
+		FinalAcc: LateAccuracy(res, 3),
+		Faults:   faultCount,
+		SimEnd:   float64(res.End),
+		V2CMB:    float64(res.Comm["v2c"].BytesDelivered) / 1e6,
+		V2XMB:    float64(res.Comm["v2x"].BytesDelivered) / 1e6,
 	}
 }
 
