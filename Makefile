@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race lint bench cover ci
+.PHONY: build vet test race lint bench cover e2e ci
 
 # COVER_FLOOR is the minimum total statement coverage; measured at 79.7%
 # when the floor was introduced, with a small margin for platform noise.
@@ -38,4 +38,10 @@ cover:
 		if (t + 0 < floor) { printf "coverage %.1f%% is below the %.1f%% floor\n", t, floor; exit 1 } \
 		printf "coverage %.1f%% (floor %.1f%%)\n", t, floor }'
 
-ci: build vet test race lint cover
+# e2e smoke-tests the campaign service over real HTTP: cold campaign
+# executes, identical resubmission is 100% cache hits with byte-identical
+# served results.
+e2e:
+	./scripts/e2e_smoke.sh
+
+ci: build vet test race lint cover e2e

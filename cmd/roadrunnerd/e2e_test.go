@@ -1,0 +1,269 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"roadrunner/internal/campaign"
+)
+
+// e2eManifest is the laptop-scale two-run campaign the smoke test submits.
+const e2eManifest = `{
+  "name": "e2e-smoke",
+  "env": "tiny",
+  "rounds": 2,
+  "strategies": [{"kind": "fedavg"}, {"kind": "opp"}],
+  "seeds": [1]
+}`
+
+func postCampaign(t *testing.T, ts *httptest.Server, manifest string) campaign.Status {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(manifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var st campaign.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// pollDone polls the status endpoint until the campaign reports done.
+func pollDone(t *testing.T, ts *httptest.Server, id string) campaign.Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st campaign.Status
+		if code := getJSON(t, ts.URL+"/v1/campaigns/"+id, &st); code != http.StatusOK {
+			t.Fatalf("status poll for %s returned %d", id, code)
+		}
+		if st.Done {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s did not finish: %+v", id, st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// metricValue extracts one gauge/counter from Prometheus exposition text.
+func metricValue(t *testing.T, ts *httptest.Server, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("metric %s: unparseable value %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not exposed", name)
+	return 0
+}
+
+func fetchRunBytes(t *testing.T, ts *httptest.Server, key string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/runs/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run fetch %s: status %d", key, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestEndToEndColdThenWarm is the acceptance-criteria test: submit a
+// two-run campaign over HTTP, wait for completion, then resubmit the
+// identical manifest and assert the warm pass is 100% cache hits, executes
+// zero simulation ticks, and serves byte-identical results.
+func TestEndToEndColdThenWarm(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Cold pass: everything executes.
+	cold := postCampaign(t, ts, e2eManifest)
+	if cold.Total != 2 {
+		t.Fatalf("cold campaign expanded %d runs, want 2", cold.Total)
+	}
+	coldDone := pollDone(t, ts, cold.ID)
+	if coldDone.Completed != 2 || coldDone.Cached != 0 || coldDone.Failed != 0 {
+		t.Fatalf("cold campaign outcome: %+v", coldDone)
+	}
+	if got := metricValue(t, ts, "roadrunnerd_runs_executed_total"); got != 2 {
+		t.Fatalf("cold executed_total = %v, want 2", got)
+	}
+	simEventsCold := metricValue(t, ts, "roadrunnerd_sim_events_total")
+	if simEventsCold <= 0 {
+		t.Fatalf("cold pass executed no simulation events")
+	}
+
+	// Served bytes must equal a fresh in-process execution of each spec.
+	var m campaign.Manifest
+	if err := json.Unmarshal([]byte(e2eManifest), &m); err != nil {
+		t.Fatal(err)
+	}
+	specs, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldBytes := make(map[string][]byte)
+	for i, run := range coldDone.Runs {
+		served := fetchRunBytes(t, ts, run.Key)
+		coldBytes[run.Key] = served
+		res, err := specs[i].Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := res.CanonicalBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(served, fresh) {
+			t.Fatalf("run %s: served bytes differ from a fresh execution", run.Name)
+		}
+	}
+
+	// Warm pass: identical manifest, new campaign, all cache hits.
+	warm := postCampaign(t, ts, e2eManifest)
+	if warm.ID == cold.ID {
+		t.Fatal("resubmission reused the cold campaign id")
+	}
+	warmDone := pollDone(t, ts, warm.ID)
+	if warmDone.Cached != 2 || warmDone.Completed != 0 || warmDone.Failed != 0 {
+		t.Fatalf("warm campaign outcome: %+v (want 100%% cache hits)", warmDone)
+	}
+	if got := metricValue(t, ts, "roadrunnerd_runs_executed_total"); got != 2 {
+		t.Fatalf("warm pass executed fresh runs: executed_total = %v", got)
+	}
+	if got := metricValue(t, ts, "roadrunnerd_sim_events_total"); got != simEventsCold {
+		t.Fatalf("warm pass executed simulation ticks: events %v -> %v", simEventsCold, got)
+	}
+	if got := metricValue(t, ts, "roadrunnerd_runs_cached_total"); got != 2 {
+		t.Fatalf("warm cached_total = %v, want 2", got)
+	}
+	for _, run := range warmDone.Runs {
+		if run.State != campaign.RunCached {
+			t.Fatalf("warm run %s state %q, want cached", run.Name, run.State)
+		}
+		if served := fetchRunBytes(t, ts, run.Key); !bytes.Equal(served, coldBytes[run.Key]) {
+			t.Fatalf("run %s: warm bytes differ from cold bytes", run.Name)
+		}
+	}
+
+	// Meta view serves the sidecar.
+	var meta campaign.RunMeta
+	if code := getJSON(t, ts.URL+"/v1/runs/"+warmDone.Runs[0].Key+"?view=meta", &meta); code != http.StatusOK {
+		t.Fatalf("meta view status %d", code)
+	}
+	if meta.Key != warmDone.Runs[0].Key || meta.SHA256 == "" {
+		t.Fatalf("meta view: %+v", meta)
+	}
+}
+
+// TestEndToEndEventStream verifies the SSE endpoint delivers a terminal
+// campaign snapshot (late subscription to a finished campaign is the
+// deterministic case).
+func TestEndToEndEventStream(t *testing.T) {
+	_, ts := newTestServer(t)
+	st := postCampaign(t, ts, e2eManifest)
+	pollDone(t, ts, st.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var sawTerminal bool
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var ev campaign.Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", data, err)
+		}
+		if ev.Type == "campaign" && ev.Status != nil && ev.Status.Done {
+			sawTerminal = true
+			break
+		}
+	}
+	if !sawTerminal {
+		t.Fatal("event stream ended without a terminal campaign snapshot")
+	}
+}
+
+// TestEndToEndResumeFlag exercises the daemon's -resume path: a campaign
+// journaled by one server instance is picked up and finished by the next.
+func TestEndToEndResumeFlag(t *testing.T) {
+	dir := t.TempDir()
+	store, err := campaign.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(campaign.NewScheduler(campaign.Options{Workers: 1, Store: store}))
+	ts := httptest.NewServer(srv.routes())
+	st := postCampaign(t, ts, e2eManifest)
+	pollDone(t, ts, st.ID)
+	ts.Close()
+
+	// "Restart": fresh store handle, fresh server, resume from journals.
+	store2, err := campaign.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched2 := campaign.NewScheduler(campaign.Options{Workers: 1, Store: store2})
+	srv2 := newServer(sched2)
+	n, err := srv2.resumeJournaled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("resumed %d campaigns, want 1", n)
+	}
+	ts2 := httptest.NewServer(srv2.routes())
+	defer ts2.Close()
+	final := pollDone(t, ts2, st.ID)
+	if final.Cached != 2 || final.Failed != 0 {
+		t.Fatalf("resumed campaign outcome: %+v (want all cache hits)", final)
+	}
+	if got := sched2.Stats().Executed; got != 0 {
+		t.Fatalf("resume of a finished campaign executed %d fresh runs", got)
+	}
+	if !strings.HasPrefix(st.ID, fmt.Sprintf("c%04d-", 1)) {
+		t.Fatalf("unexpected campaign id shape %q", st.ID)
+	}
+}

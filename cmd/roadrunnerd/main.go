@@ -1,0 +1,81 @@
+// Command roadrunnerd is the campaign orchestration service: a durable run
+// queue, a content-addressed result cache, and an HTTP experiment API over
+// the deterministic simulation core. Clients submit declarative campaign
+// manifests (strategies × seeds × fault scenarios × config overrides); the
+// service expands them into content-addressed run specs, executes them on a
+// bounded worker pool, persists every result, and serves previously
+// computed runs byte-identically without re-executing a single tick.
+//
+// Usage:
+//
+//	roadrunnerd [-addr 127.0.0.1:8383] [-store results/store] [-workers N] [-resume]
+//
+// Endpoints:
+//
+//	POST /v1/campaigns             submit a manifest, returns 202 + status
+//	GET  /v1/campaigns             list submitted campaigns
+//	GET  /v1/campaigns/{id}        campaign status snapshot
+//	GET  /v1/campaigns/{id}/events SSE progress stream
+//	GET  /v1/runs/{key}            verified canonical result bytes (?view=meta|spec)
+//	GET  /metrics                  Prometheus-style scheduler/store gauges
+//	GET  /healthz                  liveness probe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"roadrunner/internal/campaign"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "roadrunnerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("roadrunnerd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8383", "listen address")
+	storeDir := fs.String("store", "results/store", "durable result store directory")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	attempts := fs.Int("max-attempts", 2, "executions per run before it is failed")
+	resume := fs.Bool("resume", false, "resume journaled campaigns at startup")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	store, err := campaign.OpenStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	sched := campaign.NewScheduler(campaign.Options{
+		Workers:     *workers,
+		Store:       store,
+		MaxAttempts: *attempts,
+	})
+	srv := newServer(sched)
+	if *resume {
+		n, err := srv.resumeJournaled()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "roadrunnerd: resumed %d journaled campaign(s)\n", n)
+	}
+
+	fmt.Fprintf(out, "roadrunnerd: listening on %s (store %s, %d max attempts)\n",
+		*addr, *storeDir, *attempts)
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.routes(),
+		// SSE streams stay open indefinitely, so only the header read is
+		// bounded; this is host-side service plumbing, not simulated time.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return hs.ListenAndServe()
+}

@@ -1,0 +1,300 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+
+	"roadrunner/internal/campaign"
+)
+
+// maxManifestBytes bounds a submitted manifest body; cross-product
+// expansion is validated separately, this only guards the decoder.
+const maxManifestBytes = 1 << 20
+
+// server is the HTTP face of the campaign scheduler: a registry of
+// submitted campaigns plus handlers for submission, status, progress
+// streaming, result retrieval, and metrics.
+type server struct {
+	sched *campaign.Scheduler
+
+	mu        sync.Mutex
+	campaigns map[string]*campaign.Campaign
+	order     []string // registration order, for deterministic listings
+	seq       int
+}
+
+func newServer(sched *campaign.Scheduler) *server {
+	return &server{sched: sched, campaigns: make(map[string]*campaign.Campaign)}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns", s.handleList)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignStatus)
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/runs/{key}", s.handleRun)
+	return mux
+}
+
+// register assigns the campaign a fresh ID derived from a sequence number
+// and a manifest digest, and records it in the listing order.
+func (s *server) register(m campaign.Manifest) (*campaign.Campaign, error) {
+	digest := "nohash"
+	if data, err := json.Marshal(m); err == nil {
+		sum := sha256.Sum256(data)
+		digest = hex.EncodeToString(sum[:4])
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var id string
+	for {
+		s.seq++
+		id = fmt.Sprintf("c%04d-%s", s.seq, digest)
+		if _, taken := s.campaigns[id]; !taken {
+			break
+		}
+	}
+	c, err := campaign.NewCampaign(id, m)
+	if err != nil {
+		s.seq--
+		return nil, err
+	}
+	s.campaigns[id] = c
+	s.order = append(s.order, id)
+	return c, nil
+}
+
+// registerResumed installs a campaign rebuilt from a journal under its
+// original ID.
+func (s *server) registerResumed(c *campaign.Campaign) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, taken := s.campaigns[c.ID()]; taken {
+		return false
+	}
+	s.campaigns[c.ID()] = c
+	s.order = append(s.order, c.ID())
+	return true
+}
+
+// resumeJournaled rebuilds every journaled campaign in the store and
+// relaunches it. Completed campaigns finish instantly as pure cache hits;
+// interrupted ones execute only their missing runs.
+func (s *server) resumeJournaled() (int, error) {
+	store := s.sched.Store()
+	if store == nil {
+		return 0, fmt.Errorf("resume requires a store-backed scheduler")
+	}
+	ids, err := store.JournaledCampaignIDs()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, id := range ids {
+		manifest, _, err := campaign.ReadJournal(store.JournalPath(id))
+		if err != nil {
+			continue // torn-beyond-manifest journals are not resumable
+		}
+		c, err := campaign.NewCampaign(id, manifest)
+		if err != nil {
+			continue
+		}
+		if !s.registerResumed(c) {
+			continue
+		}
+		go func() { _, _ = s.sched.RunCampaign(c) }()
+		n++
+	}
+	return n, nil
+}
+
+func (s *server) campaign(id string) *campaign.Campaign {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.campaigns[id]
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var m campaign.Manifest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxManifestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode manifest: %w", err))
+		return
+	}
+	c, err := s.register(m)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	go func() { _, _ = s.sched.RunCampaign(c) }()
+	writeJSON(w, http.StatusAccepted, c.Status())
+}
+
+func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]campaign.Status, 0, len(ids))
+	for _, id := range ids {
+		if c := s.campaign(id); c != nil {
+			st := c.Status()
+			st.Runs = nil // listings stay small; per-run detail is one GET away
+			out = append(out, st)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"campaigns": out})
+}
+
+func (s *server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(r.PathValue("id"))
+	if c == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+// handleEvents streams campaign progress as server-sent events: one
+// data: line per run transition, then a terminal campaign event. For a
+// finished campaign the stream is just the terminal snapshot.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(r.PathValue("id"))
+	if c == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", r.PathValue("id")))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	events, cancel := c.Subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	// Opening snapshot so a subscriber joining mid-campaign is consistent.
+	writeSSE(w, campaign.Event{Type: "campaign", Campaign: c.ID(), Status: statusPtr(c.Status())})
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-events:
+			if !open {
+				return
+			}
+			writeSSE(w, ev)
+			fl.Flush()
+		}
+	}
+}
+
+func statusPtr(st campaign.Status) *campaign.Status { return &st }
+
+func writeSSE(w http.ResponseWriter, ev campaign.Event) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	_, _ = fmt.Fprintf(w, "data: %s\n\n", data)
+}
+
+// handleRun serves a stored run. The default view is the verified
+// canonical result bytes — exactly what a fresh execution of the run's
+// spec would produce; ?view=meta and ?view=spec serve the sidecars.
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	store := s.sched.Store()
+	if store == nil {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("no result store attached"))
+		return
+	}
+	key := r.PathValue("key")
+	switch view := r.URL.Query().Get("view"); view {
+	case "", "canonical":
+		data, err := store.CanonicalBytes(key)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				httpError(w, http.StatusNotFound, fmt.Errorf("no stored run %q", key))
+				return
+			}
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write(data)
+	case "meta":
+		meta, err := store.Meta(key)
+		if err != nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no stored run %q", key))
+			return
+		}
+		writeJSON(w, http.StatusOK, meta)
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown view %q", view))
+	}
+}
+
+// handleMetrics renders scheduler and store gauges in Prometheus text
+// exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.sched.Stats()
+	s.mu.Lock()
+	totalCampaigns := len(s.order)
+	s.mu.Unlock()
+	corruptions := 0
+	if store := s.sched.Store(); store != nil {
+		corruptions = store.Corruptions()
+	}
+	throughput := 0.0
+	if st.WallSeconds > 0 {
+		throughput = st.SimSeconds / st.WallSeconds
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	metrics := []struct {
+		name, kind, help string
+		value            any
+	}{
+		{"roadrunnerd_queue_depth", "gauge", "Runs waiting for a worker.", st.QueueDepth},
+		{"roadrunnerd_runs_active", "gauge", "Runs currently executing.", st.Active},
+		{"roadrunnerd_runs_executed_total", "counter", "Fresh simulation executions.", st.Executed},
+		{"roadrunnerd_runs_cached_total", "counter", "Store hits that skipped execution.", st.Cached},
+		{"roadrunnerd_runs_failed_total", "counter", "Runs whose every attempt failed.", st.Failed},
+		{"roadrunnerd_runs_retried_total", "counter", "Extra attempts after failures.", st.Retried},
+		{"roadrunnerd_sim_seconds_total", "counter", "Simulated seconds executed.", st.SimSeconds},
+		{"roadrunnerd_sim_events_total", "counter", "Simulation events processed by fresh executions.", st.EventsExecuted},
+		{"roadrunnerd_wall_seconds_total", "counter", "Host seconds spent in fresh executions.", st.WallSeconds},
+		{"roadrunnerd_simsec_per_wallsec", "gauge", "Aggregate simulation throughput.", throughput},
+		{"roadrunnerd_store_corruptions_total", "counter", "Store entries evicted for failing integrity checks.", corruptions},
+		{"roadrunnerd_campaigns_total", "counter", "Campaigns registered since startup.", totalCampaigns},
+	}
+	for _, m := range metrics {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", m.name, m.help, m.name, m.kind, m.name, m.value)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

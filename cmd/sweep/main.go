@@ -5,9 +5,14 @@
 //
 // Usage:
 //
-//	sweep -strategy opp -seeds 8 -rounds 20 [-small] [-workers N]
+//	sweep -strategy opp -seeds 8 -rounds 20 [-small] [-workers N] [-cache DIR]
 //
 // Each seed's run is fully deterministic; parallelism is across runs.
+// Sweeps are declared as a campaign manifest and submitted through the
+// campaign scheduler (internal/campaign) — the same engine behind
+// cmd/roadrunnerd — so passing -cache gives the sweep a durable
+// content-addressed result store: repeating a sweep serves finished seeds
+// byte-identically without re-executing them.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"roadrunner/internal/campaign"
 	"roadrunner/internal/core"
 	"roadrunner/internal/metrics"
 	"roadrunner/internal/repro"
@@ -37,56 +43,93 @@ func run() error {
 	rounds := flag.Int("rounds", 10, "rounds per run (for round-based strategies)")
 	small := flag.Bool("small", false, "use the laptop-scale environment")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache", "", "durable result store directory (empty = run uncached)")
 	flag.Parse()
 
 	if *seeds <= 0 {
 		return fmt.Errorf("need at least one seed")
 	}
-	cfg := core.DefaultConfig()
-	if *small {
-		cfg = core.SmallConfig()
-	}
-	if *stratName == "rsu" && cfg.RSUCount == 0 {
-		cfg.RSUCount = 8
-	}
-	factory := func() (strategy.Strategy, error) { return buildStrategy(*stratName, *rounds) }
 	// Validate the strategy name before launching the fleet.
-	if _, err := factory(); err != nil {
+	if _, err := buildStrategy(*stratName, *rounds); err != nil {
 		return err
 	}
 
+	env := campaign.EnvDefault
+	base := core.DefaultConfig()
+	if *small {
+		env = campaign.EnvSmall
+		base = core.SmallConfig()
+	}
 	seedList := make([]uint64, *seeds)
 	for i := range seedList {
 		seedList[i] = uint64(i + 1)
 	}
-	jobs := repro.SeedSweep(*stratName, cfg, seedList, factory)
+	m := campaign.Manifest{
+		Name:       fmt.Sprintf("sweep-%s", *stratName),
+		Env:        env,
+		Rounds:     *rounds,
+		Strategies: []campaign.StrategySpec{{Kind: *stratName}},
+		Seeds:      seedList,
+	}
+	if *stratName == "rsu" && base.RSUCount == 0 {
+		rsus := 8
+		m.Overrides = []campaign.Override{{Name: "rsu8", RSUCount: &rsus}}
+	}
+	specs, err := m.Expand()
+	if err != nil {
+		return err
+	}
+	tasks := make([]campaign.Task, len(specs))
+	for i, spec := range specs {
+		if tasks[i], err = campaign.TaskForSpec(spec); err != nil {
+			return err
+		}
+	}
+
+	opts := campaign.Options{Workers: *workers, MaxAttempts: 1}
+	if *cacheDir != "" {
+		store, err := campaign.OpenStore(*cacheDir)
+		if err != nil {
+			return err
+		}
+		opts.Store = store
+		opts.MaxAttempts = 2
+	}
+	sched := campaign.NewScheduler(opts)
 
 	start := time.Now() //roadlint:allow wallclock sweep harness timing, printed to the operator
-	results := repro.RunParallel(*workers, jobs)
+	results := sched.Execute(tasks)
 	wall := time.Since(start) //roadlint:allow wallclock sweep harness timing, printed to the operator
 
 	var accs []float64
 	var rows [][]string
 	for _, r := range results {
 		if r.Err != nil {
-			return r.Err
+			return fmt.Errorf("run %s: %w", r.Name, r.Err)
 		}
 		acc := repro.LateAccuracy(r.Result, 3)
 		accs = append(accs, acc)
+		source := "run"
+		if r.Cached {
+			source = "cache"
+		}
 		rows = append(rows, []string{
 			r.Name,
 			fmt.Sprintf("%.3f", acc),
 			fmt.Sprintf("%.0f", r.Result.Metrics.Counter(metrics.CounterRounds)),
 			fmt.Sprintf("%.2f", float64(r.Result.Comm["v2c"].BytesDelivered)/1e6),
+			source,
 			r.Result.Wall.Round(time.Millisecond).String(),
 		})
 	}
-	fmt.Print(textplot.Table([]string{"run", "late acc", "rounds", "v2c MB", "wall"}, rows))
+	fmt.Print(textplot.Table([]string{"run", "late acc", "rounds", "v2c MB", "src", "wall"}, rows))
 
 	mean, std := meanStd(accs)
 	fmt.Printf("\nlate accuracy over %d seeds: %.3f ± %.3f (min %.3f, max %.3f)\n",
 		len(accs), mean, std, minOf(accs), maxOf(accs))
-	fmt.Printf("sweep wall time: %v (%d workers)\n", wall.Round(time.Millisecond), effectiveWorkers(*workers, len(jobs)))
+	st := sched.Stats()
+	fmt.Printf("sweep wall time: %v (%d workers, %d executed, %d cached)\n",
+		wall.Round(time.Millisecond), effectiveWorkers(*workers, len(specs)), st.Executed, st.Cached)
 	return nil
 }
 

@@ -1,0 +1,298 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// RunState is a run's position in the campaign lifecycle.
+type RunState string
+
+const (
+	// RunQueued: waiting for a worker.
+	RunQueued RunState = "queued"
+	// RunRunning: a worker picked the run up (it may still be served from
+	// the store — cache lookup happens inside the worker).
+	RunRunning RunState = "running"
+	// RunCached: served from the store without executing a single tick.
+	RunCached RunState = "cached"
+	// RunDone: freshly executed (and persisted, when a store is attached).
+	RunDone RunState = "done"
+	// RunFailed: every attempt failed.
+	RunFailed RunState = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s RunState) Terminal() bool {
+	return s == RunCached || s == RunDone || s == RunFailed
+}
+
+// RunStatus is the externally visible state of one run of a campaign.
+type RunStatus struct {
+	Name     string   `json:"name"`
+	Key      string   `json:"key"`
+	State    RunState `json:"state"`
+	Attempts int      `json:"attempts,omitempty"`
+	// FinalAccuracy and EndS are filled on completion.
+	FinalAccuracy float64 `json:"final_accuracy,omitempty"`
+	EndS          float64 `json:"end_s,omitempty"`
+	Error         string  `json:"error,omitempty"`
+}
+
+// Status is a consistent snapshot of a whole campaign.
+type Status struct {
+	ID    string `json:"id"`
+	Name  string `json:"name"`
+	Done  bool   `json:"done"`
+	Total int    `json:"total"`
+	// Per-state tallies; Queued+Running+Cached+Completed+Failed == Total.
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Cached    int `json:"cached"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	// Runs lists every run in deterministic expansion order.
+	Runs []RunStatus `json:"runs"`
+}
+
+// Event is one progress notification on a campaign's subscription stream
+// (served over SSE by cmd/roadrunnerd). Type "run" carries the updated
+// run; type "campaign" carries the final status snapshot.
+type Event struct {
+	Type     string     `json:"type"`
+	Campaign string     `json:"campaign"`
+	Run      *RunStatus `json:"run,omitempty"`
+	Status   *Status    `json:"status,omitempty"`
+}
+
+// Campaign is one submitted manifest in flight (or finished): its expanded
+// specs, per-run status, and a broadcast channel of progress events. All
+// methods are safe for concurrent use.
+type Campaign struct {
+	id       string
+	manifest Manifest
+	specs    []RunSpec
+
+	mu      sync.Mutex
+	runs    []RunStatus
+	done    bool
+	doneCh  chan struct{}
+	subs    map[int]chan Event
+	nextSub int
+}
+
+// NewCampaign validates and expands the manifest and derives every run's
+// content address up front, so a submission error surfaces before any
+// execution starts.
+func NewCampaign(id string, m Manifest) (*Campaign, error) {
+	if id == "" {
+		return nil, fmt.Errorf("campaign: empty campaign id")
+	}
+	specs, err := m.Expand()
+	if err != nil {
+		return nil, err
+	}
+	c := &Campaign{
+		id:       id,
+		manifest: m,
+		specs:    specs,
+		runs:     make([]RunStatus, len(specs)),
+		doneCh:   make(chan struct{}),
+		subs:     make(map[int]chan Event),
+	}
+	for i, spec := range specs {
+		key, err := spec.Key()
+		if err != nil {
+			return nil, err
+		}
+		c.runs[i] = RunStatus{Name: spec.Name, Key: key, State: RunQueued}
+	}
+	return c, nil
+}
+
+// ID returns the campaign's identifier.
+func (c *Campaign) ID() string { return c.id }
+
+// Manifest returns the submitted manifest.
+func (c *Campaign) Manifest() Manifest { return c.manifest }
+
+// Specs returns the expanded run specs in campaign order. The slice is
+// shared; callers must not mutate it.
+func (c *Campaign) Specs() []RunSpec { return c.specs }
+
+// Keys returns every run's content address in campaign order.
+func (c *Campaign) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, len(c.runs))
+	for i, r := range c.runs {
+		keys[i] = r.Key
+	}
+	return keys
+}
+
+// Done returns a channel closed when every run reached a terminal state.
+func (c *Campaign) Done() <-chan struct{} { return c.doneCh }
+
+// Status returns a consistent snapshot of the campaign.
+func (c *Campaign) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.statusLocked()
+}
+
+func (c *Campaign) statusLocked() Status {
+	st := Status{
+		ID:    c.id,
+		Name:  c.manifest.Name,
+		Done:  c.done,
+		Total: len(c.runs),
+		Runs:  append([]RunStatus(nil), c.runs...),
+	}
+	for _, r := range c.runs {
+		switch r.State {
+		case RunQueued:
+			st.Queued++
+		case RunRunning:
+			st.Running++
+		case RunCached:
+			st.Cached++
+		case RunDone:
+			st.Completed++
+		case RunFailed:
+			st.Failed++
+		}
+	}
+	return st
+}
+
+// Subscribe registers a progress listener. The returned channel receives
+// every subsequent event (buffered; a listener that falls very far behind
+// loses intermediate events rather than blocking the scheduler) and is
+// closed by cancel or when the campaign finishes after its final event.
+func (c *Campaign) Subscribe() (<-chan Event, func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan Event, 4*len(c.runs)+16)
+	if c.done {
+		// Late subscribers still observe the terminal event.
+		ch <- Event{Type: "campaign", Campaign: c.id, Status: ptr(c.statusLocked())}
+		close(ch)
+		return ch, func() {}
+	}
+	id := c.nextSub
+	c.nextSub++
+	c.subs[id] = ch
+	cancel := func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if sub, ok := c.subs[id]; ok {
+			delete(c.subs, id)
+			close(sub)
+		}
+	}
+	return ch, cancel
+}
+
+func ptr[T any](v T) *T { return &v }
+
+// broadcastLocked fans an event out to all subscribers without blocking,
+// in subscription order.
+func (c *Campaign) broadcastLocked(ev Event) {
+	for _, id := range c.subIDsLocked() {
+		select {
+		case c.subs[id] <- ev:
+		default:
+		}
+	}
+}
+
+func (c *Campaign) subIDsLocked() []int {
+	ids := make([]int, 0, len(c.subs))
+	for id := range c.subs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// update applies a scheduler notification to run i and broadcasts it.
+func (c *Campaign) update(i int, ev runEvent, tr *TaskResult) RunStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	run := &c.runs[i]
+	switch ev {
+	case runStarted:
+		run.State = RunRunning
+	case runCached:
+		run.State = RunCached
+	case runDone:
+		run.State = RunDone
+	case runFailed:
+		run.State = RunFailed
+	}
+	if tr != nil {
+		run.Attempts = tr.Attempts
+		if tr.Result != nil {
+			run.FinalAccuracy = tr.Result.FinalAccuracy
+			run.EndS = float64(tr.Result.End)
+		}
+		if tr.Err != nil {
+			run.Error = tr.Err.Error()
+		}
+	}
+	snapshot := *run
+	c.broadcastLocked(Event{Type: "run", Campaign: c.id, Run: ptr(snapshot)})
+	return snapshot
+}
+
+// finish marks the campaign done, emits the terminal event, and closes
+// every subscription.
+func (c *Campaign) finish() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return
+	}
+	c.done = true
+	c.broadcastLocked(Event{Type: "campaign", Campaign: c.id, Status: ptr(c.statusLocked())})
+	for _, id := range c.subIDsLocked() {
+		close(c.subs[id])
+		delete(c.subs, id)
+	}
+	close(c.doneCh)
+}
+
+// RunCampaign executes every run of the campaign on the scheduler's pool,
+// journaling progress when a store is attached (the journal is what makes
+// a killed campaign resumable) and driving the campaign's status and event
+// stream. It blocks until the campaign is done and returns outcomes in
+// campaign order.
+func (s *Scheduler) RunCampaign(c *Campaign) ([]TaskResult, error) {
+	tasks := make([]Task, len(c.specs))
+	for i, spec := range c.specs {
+		t, err := TaskForSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		tasks[i] = t
+	}
+	var j *journal
+	if s.store != nil {
+		var err error
+		j, err = openJournal(s.store.journalPath(c.id), c)
+		if err != nil {
+			return nil, err
+		}
+		defer j.close()
+	}
+	results := s.execute(tasks, func(idx int, ev runEvent, tr *TaskResult) {
+		snapshot := c.update(idx, ev, tr)
+		if j != nil && snapshot.State.Terminal() {
+			j.recordRun(snapshot)
+		}
+	})
+	c.finish()
+	return results, nil
+}

@@ -1,0 +1,91 @@
+package campaign
+
+import (
+	"testing"
+)
+
+func TestNewCampaignRejects(t *testing.T) {
+	if _, err := NewCampaign("", tinyManifest()); err == nil {
+		t.Fatal("empty campaign id accepted")
+	}
+	bad := tinyManifest()
+	bad.Strategies = nil
+	if _, err := NewCampaign("c0001-bad", bad); err == nil {
+		t.Fatal("invalid manifest accepted")
+	}
+}
+
+func TestCampaignLifecycleAndEvents(t *testing.T) {
+	c, err := NewCampaign("c0001-events", tinyManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Status()
+	if st.Total != 2 || st.Queued != 2 || st.Done {
+		t.Fatalf("initial status: %+v", st)
+	}
+
+	events, cancel := c.Subscribe()
+	defer cancel()
+
+	s := instantScheduler(t, Options{Workers: 2})
+	results, err := s.RunCampaign(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range results {
+		if tr.Err != nil {
+			t.Fatalf("run %d failed: %v", i, tr.Err)
+		}
+	}
+
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("Done channel not closed after RunCampaign returned")
+	}
+
+	var runEvents, terminalRunEvents, campaignEvents int
+	for ev := range events {
+		switch ev.Type {
+		case "run":
+			runEvents++
+			if ev.Run.State.Terminal() {
+				terminalRunEvents++
+			}
+		case "campaign":
+			campaignEvents++
+			if !ev.Status.Done || ev.Status.Completed != 2 {
+				t.Fatalf("terminal campaign event: %+v", ev.Status)
+			}
+		}
+	}
+	if terminalRunEvents != 2 {
+		t.Fatalf("saw %d terminal run events, want 2 (of %d run events)", terminalRunEvents, runEvents)
+	}
+	if campaignEvents != 1 {
+		t.Fatalf("saw %d campaign events, want 1", campaignEvents)
+	}
+
+	// A late subscriber still observes the terminal snapshot on a closed
+	// channel.
+	late, lateCancel := c.Subscribe()
+	defer lateCancel()
+	ev, ok := <-late
+	if !ok || ev.Type != "campaign" || !ev.Status.Done {
+		t.Fatalf("late subscription: ok=%v ev=%+v", ok, ev)
+	}
+	if _, ok := <-late; ok {
+		t.Fatal("late subscription channel not closed after terminal event")
+	}
+
+	st = c.Status()
+	if !st.Done || st.Completed != 2 || st.Queued != 0 || st.Running != 0 {
+		t.Fatalf("final status: %+v", st)
+	}
+	for _, r := range st.Runs {
+		if r.State != RunDone || r.EndS <= 0 {
+			t.Fatalf("final run status: %+v", r)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The campaign journal is the resume protocol's source of truth: an
+// append-only JSONL file under <store>/campaigns/<id>.jsonl whose first
+// record is the submitted manifest and whose subsequent records are
+// terminal run states, each fsync'd before the scheduler reports the run
+// finished. A campaign killed mid-flight therefore leaves (a) a manifest
+// that re-expands to the identical spec list and keys, and (b) a store
+// holding every run that completed. Resuming re-runs the campaign from the
+// journaled manifest: completed runs are store hits served byte-identically
+// without execution, unfinished ones execute as usual — so the resumed
+// campaign's final output is byte-identical to an uninterrupted one's.
+
+// journalRecord is one line of the journal file.
+type journalRecord struct {
+	// Type is "manifest" or "run".
+	Type string `json:"type"`
+	// ID repeats the campaign ID on manifest records, for self-description.
+	ID       string     `json:"id,omitempty"`
+	Manifest *Manifest  `json:"manifest,omitempty"`
+	Run      *RunStatus `json:"run,omitempty"`
+}
+
+// journalPath locates a campaign's journal inside the store.
+func (s *Store) journalPath(id string) string {
+	return filepath.Join(s.root, "campaigns", id+".jsonl")
+}
+
+// JournalPath returns the campaign's journal location inside the store —
+// the file ResumeCampaign reads and cmd/roadrunnerd scans at startup.
+func (s *Store) JournalPath(id string) string { return s.journalPath(id) }
+
+// JournaledCampaignIDs lists every campaign with a journal in the store,
+// sorted, so a restarted service can resume interrupted work.
+func (s *Store) JournaledCampaignIDs() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, "campaigns"))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: list journals: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if name, ok := strings.CutSuffix(e.Name(), ".jsonl"); ok && !e.IsDir() {
+			ids = append(ids, name)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// journal appends records for one running campaign.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openJournal opens (or creates) the campaign's journal, writing the
+// manifest header record if the file is new or empty.
+func openJournal(path string, c *Campaign) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open journal: %w", err)
+	}
+	j := &journal{f: f}
+	info, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("campaign: open journal: %w", err)
+	}
+	if info.Size() == 0 {
+		m := c.Manifest()
+		if err := j.append(journalRecord{Type: "manifest", ID: c.ID(), Manifest: &m}); err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+func (j *journal) append(rec journalRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("campaign: journal: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("campaign: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("campaign: journal: %w", err)
+	}
+	return nil
+}
+
+// recordRun journals a terminal run state. Journal write failures must not
+// take down the campaign — the journal is an acceleration of resume, the
+// store itself remains the ground truth — so errors are swallowed after
+// best effort.
+func (j *journal) recordRun(run RunStatus) {
+	_ = j.append(journalRecord{Type: "run", Run: &run})
+}
+
+func (j *journal) close() { _ = j.f.Close() }
+
+// ReadJournal parses a campaign journal, returning the submitted manifest
+// and the terminal run states that were recorded before the process
+// stopped (later records for the same key supersede earlier ones). A
+// partially written trailing line — the crash case — is ignored.
+func ReadJournal(path string) (Manifest, map[string]RunStatus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Manifest{}, nil, fmt.Errorf("campaign: read journal: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+
+	var manifest *Manifest
+	runs := make(map[string]RunStatus)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn trailing write is expected after a crash; anything
+			// unparseable after that is unreachable anyway.
+			break
+		}
+		switch rec.Type {
+		case "manifest":
+			if rec.Manifest != nil && manifest == nil {
+				manifest = rec.Manifest
+			}
+		case "run":
+			if rec.Run != nil && rec.Run.Key != "" {
+				runs[rec.Run.Key] = *rec.Run
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
+		return Manifest{}, nil, fmt.Errorf("campaign: read journal: %w", err)
+	}
+	if manifest == nil {
+		return Manifest{}, nil, fmt.Errorf("campaign: journal %s has no manifest record", path)
+	}
+	return *manifest, runs, nil
+}
+
+// ResumeCampaign rebuilds a campaign from its journal and runs it to
+// completion. Runs that completed before the interruption are store hits
+// (no ticks execute, bytes identical); everything else executes normally.
+// It requires a scheduler with a store — journals live inside it.
+func (s *Scheduler) ResumeCampaign(id string) (*Campaign, []TaskResult, error) {
+	if s.store == nil {
+		return nil, nil, fmt.Errorf("campaign: resume needs a store-backed scheduler")
+	}
+	manifest, _, err := ReadJournal(s.store.journalPath(id))
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := NewCampaign(id, manifest)
+	if err != nil {
+		return nil, nil, err
+	}
+	results, err := s.RunCampaign(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, results, nil
+}

@@ -1,0 +1,321 @@
+package campaign
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"roadrunner/internal/comm"
+	"roadrunner/internal/core"
+	"roadrunner/internal/metrics"
+	"roadrunner/internal/sim"
+)
+
+// ErrInjectedCrash is returned by Put once a test-configured crash point
+// trips, simulating a campaign process dying mid-flight with some results
+// persisted and others not.
+var ErrInjectedCrash = errors.New("campaign: injected store crash point")
+
+// RunMeta is the sidecar record stored next to a run's canonical bytes:
+// everything needed to rehydrate a core.Result plus the checksum that
+// guards against corruption.
+type RunMeta struct {
+	// Name is the label of the first run that produced this entry.
+	Name string `json:"name"`
+	// Key is the run's content address, repeated for self-description.
+	Key string `json:"key"`
+	// SHA256 is the hex digest of result.canonical; entries whose stored
+	// bytes no longer match are detected on Get and re-executed.
+	SHA256 string `json:"sha256"`
+	// EndS, EventsProcessed, and FinalAccuracy mirror core.Result.
+	EndS            float64 `json:"end_s"`
+	EventsProcessed uint64  `json:"events_processed"`
+	FinalAccuracy   float64 `json:"final_accuracy"`
+	// WallNS is the host duration of the original execution — informational
+	// only, never part of canonical bytes.
+	WallNS int64 `json:"wall_ns"`
+	// Comm holds the per-channel volume statistics.
+	Comm map[string]comm.Stats `json:"comm"`
+}
+
+// Store is the content-addressed, durable result cache: one directory per
+// run key under root, holding the run's canonical result bytes
+// (result.canonical), its full metric recorder (metrics.json), the spec
+// that produced it (spec.json), and the RunMeta sidecar (meta.json).
+// Writes stage into a tmp directory and publish with a single rename, so a
+// crash mid-write never leaves a half-entry at a live key. Reads verify
+// the canonical bytes against the stored checksum AND against a re-encoding
+// of the rehydrated result, so a hit is guaranteed to serve exactly the
+// bytes a fresh execution would produce.
+type Store struct {
+	root string
+
+	mu            sync.Mutex
+	puts          int
+	failAfterPuts int // test hook: Put fails once more than this many puts succeeded (0 = disabled)
+	corruptions   int
+	seq           int
+}
+
+// OpenStore opens (creating if needed) a store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("campaign: empty store dir")
+	}
+	for _, sub := range []string{"", "tmp", "campaigns"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("campaign: open store: %w", err)
+		}
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// FailAfterPuts arms the injected crash point: after n successful Puts,
+// every further Put fails with ErrInjectedCrash. Tests use this to
+// simulate a campaign killed mid-flight; n = 0 disarms.
+func (s *Store) FailAfterPuts(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failAfterPuts = n
+	s.puts = 0
+}
+
+// Corruptions reports how many store entries failed their integrity check
+// and were evicted for re-execution.
+func (s *Store) Corruptions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.corruptions
+}
+
+func (s *Store) entryDir(key string) string { return filepath.Join(s.root, key) }
+
+// validKeyName guards against path-escaping keys reaching the filesystem;
+// real keys are 64 hex characters.
+func validKeyName(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Has reports whether a published entry exists for key (without verifying
+// its integrity — Get does that).
+func (s *Store) Has(key string) bool {
+	if !validKeyName(key) {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(s.entryDir(key), "meta.json"))
+	return err == nil
+}
+
+// Put persists a finished run under its key. Publishing is atomic (stage
+// then rename); a concurrent or earlier writer winning the rename is fine,
+// since content addressing makes all writers' bytes identical.
+func (s *Store) Put(key string, spec RunSpec, res *core.Result) error {
+	if !validKeyName(key) {
+		return fmt.Errorf("campaign: store put: malformed key %q", key)
+	}
+	s.mu.Lock()
+	s.puts++
+	if s.failAfterPuts > 0 && s.puts > s.failAfterPuts {
+		s.mu.Unlock()
+		return ErrInjectedCrash
+	}
+	s.seq++
+	stage := filepath.Join(s.root, "tmp", fmt.Sprintf("%s.%d", key, s.seq))
+	s.mu.Unlock()
+
+	canonical, err := res.CanonicalBytes()
+	if err != nil {
+		return fmt.Errorf("campaign: store put %s: %w", key, err)
+	}
+	sum := sha256.Sum256(canonical)
+	meta := RunMeta{
+		Name:            spec.Name,
+		Key:             key,
+		SHA256:          hex.EncodeToString(sum[:]),
+		EndS:            float64(res.End),
+		EventsProcessed: res.EventsProcessed,
+		FinalAccuracy:   res.FinalAccuracy,
+		WallNS:          res.Wall.Nanoseconds(),
+		Comm:            res.Comm,
+	}
+	metaJSON, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: store put %s: %w", key, err)
+	}
+	specJSON, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: store put %s: %w", key, err)
+	}
+	var metricsBuf bytes.Buffer
+	if res.Metrics != nil {
+		if err := res.Metrics.WriteJSON(&metricsBuf); err != nil {
+			return fmt.Errorf("campaign: store put %s: %w", key, err)
+		}
+	}
+
+	if err := os.MkdirAll(stage, 0o755); err != nil {
+		return fmt.Errorf("campaign: store put %s: %w", key, err)
+	}
+	defer func() { _ = os.RemoveAll(stage) }()
+	files := []struct {
+		name string
+		data []byte
+	}{
+		{"result.canonical", canonical},
+		{"metrics.json", metricsBuf.Bytes()},
+		{"spec.json", specJSON},
+		{"meta.json", metaJSON},
+	}
+	for _, f := range files {
+		if err := writeFileSync(filepath.Join(stage, f.name), f.data); err != nil {
+			return fmt.Errorf("campaign: store put %s: %w", key, err)
+		}
+	}
+	final := s.entryDir(key)
+	if err := os.Rename(stage, final); err != nil {
+		if s.Has(key) {
+			// Another writer published the identical content first.
+			return nil
+		}
+		return fmt.Errorf("campaign: store put %s: %w", key, err)
+	}
+	return nil
+}
+
+// writeFileSync writes data and fsyncs it, so a published entry's contents
+// are on disk before the rename that makes them visible.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// CanonicalBytes returns the stored canonical result bytes for key after
+// verifying them against the entry's checksum. It is the read path the
+// HTTP API serves results from. A missing entry returns os.ErrNotExist; a
+// corrupt one is evicted and also reported as os.ErrNotExist.
+func (s *Store) CanonicalBytes(key string) ([]byte, error) {
+	if !validKeyName(key) {
+		return nil, os.ErrNotExist
+	}
+	dir := s.entryDir(key)
+	meta, err := s.readMeta(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, os.ErrNotExist
+		}
+		s.evict(dir)
+		return nil, os.ErrNotExist
+	}
+	canonical, err := os.ReadFile(filepath.Join(dir, "result.canonical"))
+	if err != nil {
+		s.evict(dir)
+		return nil, os.ErrNotExist
+	}
+	sum := sha256.Sum256(canonical)
+	if hex.EncodeToString(sum[:]) != meta.SHA256 {
+		s.evict(dir)
+		return nil, os.ErrNotExist
+	}
+	return canonical, nil
+}
+
+// Meta returns the entry's verified sidecar record.
+func (s *Store) Meta(key string) (*RunMeta, error) {
+	if _, err := s.CanonicalBytes(key); err != nil {
+		return nil, err
+	}
+	return s.readMeta(s.entryDir(key))
+}
+
+func (s *Store) readMeta(dir string) (*RunMeta, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return nil, err
+	}
+	var meta RunMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return nil, fmt.Errorf("campaign: store meta: %w", err)
+	}
+	return &meta, nil
+}
+
+// evict removes an entry that failed integrity checking, so the scheduler
+// re-executes its run instead of serving damaged bytes.
+func (s *Store) evict(dir string) {
+	_ = os.RemoveAll(dir)
+	s.mu.Lock()
+	s.corruptions++
+	s.mu.Unlock()
+}
+
+// Get returns the cached result for key, or (nil, nil) on a miss. A hit is
+// doubly verified: the stored canonical bytes must match the entry's
+// checksum, and the rehydrated result must re-encode to exactly those
+// bytes — so a hit is indistinguishable, byte for byte, from re-running
+// the spec. Any mismatch evicts the entry and reports a miss, which makes
+// corruption self-healing: the scheduler re-executes and re-stores.
+func (s *Store) Get(key string) (*core.Result, *RunMeta) {
+	canonical, err := s.CanonicalBytes(key)
+	if err != nil {
+		return nil, nil
+	}
+	dir := s.entryDir(key)
+	meta, err := s.readMeta(dir)
+	if err != nil {
+		s.evict(dir)
+		return nil, nil
+	}
+	metricsData, err := os.ReadFile(filepath.Join(dir, "metrics.json"))
+	if err != nil {
+		s.evict(dir)
+		return nil, nil
+	}
+	rec, err := metrics.ReadJSON(bytes.NewReader(metricsData))
+	if err != nil {
+		s.evict(dir)
+		return nil, nil
+	}
+	res := &core.Result{
+		Metrics:         rec,
+		Comm:            meta.Comm,
+		End:             sim.Time(meta.EndS),
+		Wall:            time.Duration(meta.WallNS),
+		FinalAccuracy:   meta.FinalAccuracy,
+		EventsProcessed: meta.EventsProcessed,
+	}
+	reencoded, err := res.CanonicalBytes()
+	if err != nil || !bytes.Equal(reencoded, canonical) {
+		s.evict(dir)
+		return nil, nil
+	}
+	return res, meta
+}

@@ -1,0 +1,208 @@
+package campaign
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// executeSpec runs the spec fresh, failing the test on error.
+func executeSpec(t *testing.T, spec RunSpec) ([]byte, *TaskResult) {
+	t.Helper()
+	res, err := spec.Execute()
+	if err != nil {
+		t.Fatalf("execute %q: %v", spec.Name, err)
+	}
+	canonical, err := res.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return canonical, &TaskResult{Name: spec.Name, Result: res}
+}
+
+func TestStoreCacheHitByteIdenticalToFreshRun(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec(1)
+	key, err := spec.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, tr := executeSpec(t, spec)
+	if err := store.Put(key, spec, tr.Result); err != nil {
+		t.Fatal(err)
+	}
+
+	served, err := store.CanonicalBytes(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, fresh) {
+		t.Fatalf("stored canonical bytes differ from the fresh run:\n%s\nvs\n%s", served, fresh)
+	}
+
+	res, meta := store.Get(key)
+	if res == nil || meta == nil {
+		t.Fatal("store miss for a just-written key")
+	}
+	rehydrated, err := res.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rehydrated, fresh) {
+		t.Fatal("rehydrated result re-encodes to different canonical bytes")
+	}
+	if meta.Key != key || meta.Name != spec.Name {
+		t.Fatalf("meta mismatch: %+v", meta)
+	}
+
+	// A second fresh execution of the same spec must also match — the
+	// determinism contract that makes the key a valid cache address.
+	again, _ := executeSpec(t, spec)
+	if !bytes.Equal(again, fresh) {
+		t.Fatal("two fresh executions of one spec disagree; content addressing is unsound")
+	}
+}
+
+func TestStoreCorruptEntryEvictedNotServed(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec(1)
+	key, err := spec.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tr := executeSpec(t, spec)
+	if err := store.Put(key, spec, tr.Result); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte of the stored canonical result.
+	path := filepath.Join(store.Root(), key, "result.canonical")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := store.CanonicalBytes(key); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt entry served (err=%v)", err)
+	}
+	if store.Corruptions() != 1 {
+		t.Fatalf("corruptions = %d, want 1", store.Corruptions())
+	}
+	if store.Has(key) {
+		t.Fatal("corrupt entry not evicted")
+	}
+	if res, _ := store.Get(key); res != nil {
+		t.Fatal("corrupt entry rehydrated")
+	}
+}
+
+func TestStoreMetaCorruptionEvicted(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec(1)
+	key, err := spec.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tr := executeSpec(t, spec)
+	if err := store.Put(key, spec, tr.Result); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(store.Root(), key, "meta.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := store.Get(key); res != nil {
+		t.Fatal("entry with corrupt meta rehydrated")
+	}
+	if store.Has(key) {
+		t.Fatal("entry with corrupt meta not evicted")
+	}
+}
+
+func TestStorePutStagesAtomically(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec(1)
+	key, err := spec.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tr := executeSpec(t, spec)
+	if err := store.Put(key, spec, tr.Result); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(store.Root(), "tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("tmp staging dir not empty after publish: %d entries", len(entries))
+	}
+	// Re-putting the identical content is a no-op, not an error.
+	if err := store.Put(key, spec, tr.Result); err != nil {
+		t.Fatalf("idempotent re-put failed: %v", err)
+	}
+}
+
+func TestStoreRejectsMalformedKeys(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "../../etc/passwd", "ABC", "zz"} {
+		if store.Has(key) {
+			t.Fatalf("malformed key %q reported present", key)
+		}
+		if _, err := store.CanonicalBytes(key); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("malformed key %q: err = %v", key, err)
+		}
+		if err := store.Put(key, RunSpec{}, nil); err == nil {
+			t.Fatalf("malformed key %q accepted for put", key)
+		}
+	}
+}
+
+func TestStoreCrashPoint(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec(1)
+	key, err := spec.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2 := tinySpec(2)
+	key2, err := spec2.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tr := executeSpec(t, spec)
+
+	store.FailAfterPuts(1)
+	if err := store.Put(key, spec, tr.Result); err != nil {
+		t.Fatalf("put before the crash point failed: %v", err)
+	}
+	if err := store.Put(key2, spec2, tr.Result); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("put past the crash point: err = %v, want ErrInjectedCrash", err)
+	}
+	if !store.Has(key) || store.Has(key2) {
+		t.Fatal("crash point did not preserve exactly the pre-crash entries")
+	}
+}

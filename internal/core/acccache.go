@@ -1,0 +1,63 @@
+package core
+
+import (
+	"roadrunner/internal/ml"
+)
+
+// accCacheLimit bounds the per-generation size of the snapshot-accuracy
+// memo. Strategies evaluate a handful of live models per round, so the
+// working set is tiny; the bound exists because long campaigns otherwise
+// accumulate one entry per snapshot ever evaluated (snapshots are keyed by
+// pointer and would be pinned forever).
+const accCacheLimit = 512
+
+// snapshotAccCache memoizes test accuracies per model snapshot with a
+// bounded two-generation layout: lookups consult the current generation
+// and then the previous one (promoting hits), and when the current
+// generation fills up it becomes the previous generation instead of being
+// discarded wholesale. Hot snapshots — the global model a strategy
+// re-evaluates every round — therefore survive rotation, while snapshots
+// that fell out of use are released after at most two generations, keeping
+// memory bounded over arbitrarily long runs. The cache is purely a memo
+// over deterministic evaluations, so hits and misses can never change a
+// recorded value.
+type snapshotAccCache struct {
+	cur, prev map[*ml.Snapshot]float64
+	limit     int
+}
+
+func newSnapshotAccCache(limit int) *snapshotAccCache {
+	if limit <= 0 {
+		limit = accCacheLimit
+	}
+	return &snapshotAccCache{
+		cur:   make(map[*ml.Snapshot]float64),
+		limit: limit,
+	}
+}
+
+// get returns the memoized accuracy for m, promoting previous-generation
+// hits into the current generation so they survive the next rotation.
+func (c *snapshotAccCache) get(m *ml.Snapshot) (float64, bool) {
+	if acc, ok := c.cur[m]; ok {
+		return acc, true
+	}
+	if acc, ok := c.prev[m]; ok {
+		c.put(m, acc)
+		return acc, true
+	}
+	return 0, false
+}
+
+// put records m's accuracy, rotating generations when the current one is
+// full.
+func (c *snapshotAccCache) put(m *ml.Snapshot, acc float64) {
+	if len(c.cur) >= c.limit {
+		c.prev = c.cur
+		c.cur = make(map[*ml.Snapshot]float64, c.limit)
+	}
+	c.cur[m] = acc
+}
+
+// size reports the total number of retained entries across generations.
+func (c *snapshotAccCache) size() int { return len(c.cur) + len(c.prev) }

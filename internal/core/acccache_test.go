@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"roadrunner/internal/ml"
+)
+
+func TestSnapshotAccCacheBounded(t *testing.T) {
+	c := newSnapshotAccCache(4)
+	// Insert far more snapshots than the limit; retained entries must stay
+	// within two generations regardless of how many go through.
+	for i := 0; i < 1000; i++ {
+		c.put(&ml.Snapshot{}, float64(i))
+		if got, max := c.size(), 2*4; got > max {
+			t.Fatalf("cache holds %d entries after %d puts, want <= %d", got, i+1, max)
+		}
+	}
+}
+
+func TestSnapshotAccCacheHotEntrySurvivesRotation(t *testing.T) {
+	c := newSnapshotAccCache(4)
+	hot := &ml.Snapshot{}
+	c.put(hot, 0.75)
+	for round := 0; round < 50; round++ {
+		// Fill the current generation with churn, forcing rotations.
+		for i := 0; i < 4; i++ {
+			c.put(&ml.Snapshot{}, 0)
+		}
+		// A strategy re-evaluating its global model each round keeps the
+		// entry hot; the get must both hit and re-promote it.
+		acc, ok := c.get(hot)
+		if !ok {
+			t.Fatalf("round %d: hot snapshot evicted", round)
+		}
+		if acc != 0.75 {
+			t.Fatalf("round %d: hot snapshot accuracy = %v, want 0.75", round, acc)
+		}
+	}
+}
+
+func TestSnapshotAccCacheColdEntryEvicted(t *testing.T) {
+	c := newSnapshotAccCache(2)
+	cold := &ml.Snapshot{}
+	c.put(cold, 0.5)
+	// Two full generations of churn with no intervening get must push the
+	// cold entry out entirely.
+	for i := 0; i < 6; i++ {
+		c.put(&ml.Snapshot{}, 0)
+	}
+	if _, ok := c.get(cold); ok {
+		t.Fatal("cold snapshot survived two generations of churn")
+	}
+}
+
+func TestSnapshotAccCacheDefaultLimit(t *testing.T) {
+	c := newSnapshotAccCache(0)
+	if c.limit != accCacheLimit {
+		t.Fatalf("default limit = %d, want %d", c.limit, accCacheLimit)
+	}
+}

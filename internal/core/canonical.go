@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -66,4 +67,25 @@ func (r *Result) CanonicalBytes() ([]byte, error) {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// CanonicalConfigJSON is the configuration-side half of the reproducibility
+// contract made hashable: a byte-stable encoding of everything in a Config
+// that can influence a run's recorded results. Go's encoding/json emits
+// struct fields in declaration order and the Config tree contains no maps,
+// so the encoding is deterministic across processes and hosts; fields that
+// are result-invariant by construction are normalized away — LogWriter is
+// excluded from JSON entirely, and EvalWorkers is zeroed because the
+// shard-deterministic parallel evaluator records bit-identical values at
+// any worker count. Content-addressed run caching (internal/campaign) hashes
+// this encoding: two configs with equal CanonicalConfigJSON produce
+// byte-identical Result.CanonicalBytes for the same strategy.
+func CanonicalConfigJSON(cfg Config) ([]byte, error) {
+	cfg.EvalWorkers = 0
+	cfg.LogWriter = nil
+	out, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: canonical config: %w", err)
+	}
+	return out, nil
 }

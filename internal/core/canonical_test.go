@@ -68,6 +68,34 @@ func TestCanonicalSortsCountersAndComm(t *testing.T) {
 	}
 }
 
+func TestCanonicalConfigJSONNormalizesInvariantFields(t *testing.T) {
+	a := SmallConfig()
+	b := SmallConfig()
+	b.EvalWorkers = 8
+	b.LogWriter = &bytes.Buffer{}
+	aj, err := CanonicalConfigJSON(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := CanonicalConfigJSON(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("result-invariant fields leaked into canonical config:\n%s\nvs\n%s", aj, bj)
+	}
+
+	c := SmallConfig()
+	c.Seed = a.Seed + 1
+	cj, err := CanonicalConfigJSON(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(aj, cj) {
+		t.Fatal("distinct seeds encoded identically")
+	}
+}
+
 func TestCanonicalReflectsPayload(t *testing.T) {
 	a, err := sampleResult(t, 0, []string{"n"}).CanonicalBytes()
 	if err != nil {

@@ -184,7 +184,7 @@ func (e *Experiment) TestAccuracy(m *ml.Snapshot) (float64, error) {
 	if m == nil {
 		return 0, fmt.Errorf("core: test accuracy of nil model")
 	}
-	if acc, ok := e.accCache[m]; ok {
+	if acc, ok := e.accCache.get(m); ok {
 		return acc, nil
 	}
 	var acc float64
@@ -205,10 +205,7 @@ func (e *Experiment) TestAccuracy(m *ml.Snapshot) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if len(e.accCache) > 512 {
-		e.accCache = make(map[*ml.Snapshot]float64)
-	}
-	e.accCache[m] = acc
+	e.accCache.put(m, acc)
 	return acc, nil
 }
 

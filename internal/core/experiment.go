@@ -59,7 +59,7 @@ type Experiment struct {
 	stratRNG *sim.RNG
 	trainRNG *sim.RNG
 
-	accCache map[*ml.Snapshot]float64
+	accCache *snapshotAccCache
 	horizon  sim.Time
 	ran      bool
 }
@@ -105,7 +105,7 @@ func New(cfg Config, strat strategy.Strategy) (*Experiment, error) {
 		tracker:  mobility.NewEncounterTracker(),
 		stratRNG: root.Fork("strategy"),
 		trainRNG: root.Fork("train"),
-		accCache: make(map[*ml.Snapshot]float64),
+		accCache: newSnapshotAccCache(accCacheLimit),
 	}
 	e.registry = sim.NewRegistry(e.engine)
 

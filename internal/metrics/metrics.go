@@ -213,6 +213,47 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 	return nil
 }
 
+// ReadJSON reconstructs a Recorder from WriteJSON output. Series keep
+// their recorded order (it is part of the canonical result encoding);
+// counters are restored in sorted-name order, which is equally canonical
+// because every consumer of counter values sorts by name. A recorder
+// round-tripped through WriteJSON/ReadJSON therefore reproduces the exact
+// canonical bytes of the original run — the property the content-addressed
+// run store (internal/campaign) relies on to serve cache hits.
+func ReadJSON(r io.Reader) (*Recorder, error) {
+	var snap Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("metrics: read json: %w", err)
+	}
+	rec := NewRecorder()
+	for _, s := range snap.Series {
+		if s == nil || s.Name == "" {
+			return nil, fmt.Errorf("metrics: read json: unnamed series")
+		}
+		if _, ok := rec.series[s.Name]; ok {
+			return nil, fmt.Errorf("metrics: read json: duplicate series %q", s.Name)
+		}
+		cp := &Series{Name: s.Name, Points: append([]Point(nil), s.Points...)}
+		for i := 1; i < len(cp.Points); i++ {
+			if cp.Points[i].T < cp.Points[i-1].T {
+				return nil, fmt.Errorf("metrics: read json: series %q: non-monotone timestamps", s.Name)
+			}
+		}
+		rec.series[s.Name] = cp
+		rec.order = append(rec.order, s.Name)
+	}
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rec.counters[name] = snap.Counters[name]
+		rec.corder = append(rec.corder, name)
+	}
+	return rec, nil
+}
+
 // Canonical metric names shared between the core simulator, strategies,
 // and the benchmark harness. Keeping them here prevents drift between the
 // producers and the experiment analysis code.

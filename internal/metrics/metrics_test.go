@@ -10,6 +10,58 @@ import (
 	"roadrunner/internal/sim"
 )
 
+func TestReadJSONRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	if err := r.Record(SeriesAccuracy, 10, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record(SeriesAccuracy, 20, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record(SeriesVehiclesOn, 5, 12); err != nil {
+		t.Fatal(err)
+	}
+	r.Add("z_counter", 2)
+	r.Add("a_counter", 1)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []string{SeriesAccuracy, SeriesVehiclesOn}
+	gotOrder := back.SeriesNames()
+	if len(gotOrder) != len(wantOrder) || gotOrder[0] != wantOrder[0] || gotOrder[1] != wantOrder[1] {
+		t.Fatalf("series order = %v, want %v", gotOrder, wantOrder)
+	}
+	if got := back.Series(SeriesAccuracy); got == nil || got.Len() != 2 || got.Points[1].Value != 0.4 {
+		t.Fatalf("accuracy series not restored: %+v", got)
+	}
+	if back.Counter("a_counter") != 1 || back.Counter("z_counter") != 2 {
+		t.Fatalf("counters not restored: a=%v z=%v", back.Counter("a_counter"), back.Counter("z_counter"))
+	}
+	names := back.CounterNames()
+	if len(names) != 2 || names[0] != "a_counter" || names[1] != "z_counter" {
+		t.Fatalf("counter names = %v, want sorted order", names)
+	}
+}
+
+func TestReadJSONRejectsMalformed(t *testing.T) {
+	for name, payload := range map[string]string{
+		"not json":      "{",
+		"unnamed":       `{"series":[{"name":"","points":[]}],"counters":{}}`,
+		"duplicate":     `{"series":[{"name":"a","points":[]},{"name":"a","points":[]}],"counters":{}}`,
+		"time reversed": `{"series":[{"name":"a","points":[{"t":5,"value":1},{"t":2,"value":1}]}],"counters":{}}`,
+	} {
+		if _, err := ReadJSON(strings.NewReader(payload)); err == nil {
+			t.Fatalf("%s payload accepted", name)
+		}
+	}
+}
+
 func TestRecordAndSeries(t *testing.T) {
 	r := NewRecorder()
 	if err := r.Record(SeriesAccuracy, 10, 0.3); err != nil {

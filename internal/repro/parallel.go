@@ -2,9 +2,8 @@ package repro
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
+	"roadrunner/internal/campaign"
 	"roadrunner/internal/core"
 	"roadrunner/internal/strategy"
 )
@@ -35,61 +34,47 @@ type JobResult struct {
 // a job's result is byte-identical whether the sweep runs on 1 worker or
 // 16.
 //
+// The worker pool itself now lives in internal/campaign; this is a shim
+// kept for the historical sweep API. Jobs carry opaque strategy factories
+// that cannot be content-addressed, so they execute uncached and exactly
+// once — declarative campaigns (campaign.Manifest) get caching and retry
+// on top of the same pool.
+//
 // parallelism <= 0 selects GOMAXPROCS. Results are returned in job order.
 func RunParallel(parallelism int, jobs []Job) []JobResult {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
+	tasks := make([]campaign.Task, len(jobs))
+	for i, job := range jobs {
+		job := job
+		tasks[i] = campaign.Task{
+			Name: job.Name,
+			Run:  func() (*core.Result, error) { return runJob(job) },
+		}
 	}
-	if parallelism > len(jobs) {
-		parallelism = len(jobs)
-	}
+	sched := campaign.NewScheduler(campaign.Options{Workers: parallelism, MaxAttempts: 1})
 	results := make([]JobResult, len(jobs))
-	if len(jobs) == 0 {
-		return results
+	for i, tr := range sched.Execute(tasks) {
+		results[i] = JobResult{Name: tr.Name, Result: tr.Result, Err: tr.Err}
 	}
-
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range next {
-				results[idx] = runJob(jobs[idx])
-			}
-		}()
-	}
-	for i := range jobs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 	return results
 }
 
-func runJob(job Job) JobResult {
-	out := JobResult{Name: job.Name}
+func runJob(job Job) (*core.Result, error) {
 	if job.NewStrategy == nil {
-		out.Err = fmt.Errorf("repro: job %q has no strategy factory", job.Name)
-		return out
+		return nil, fmt.Errorf("repro: job %q has no strategy factory", job.Name)
 	}
 	strat, err := job.NewStrategy()
 	if err != nil {
-		out.Err = fmt.Errorf("repro: job %q: build strategy: %w", job.Name, err)
-		return out
+		return nil, fmt.Errorf("repro: job %q: build strategy: %w", job.Name, err)
 	}
 	exp, err := core.New(job.Config, strat)
 	if err != nil {
-		out.Err = fmt.Errorf("repro: job %q: %w", job.Name, err)
-		return out
+		return nil, fmt.Errorf("repro: job %q: %w", job.Name, err)
 	}
 	res, err := exp.Run()
 	if err != nil {
-		out.Err = fmt.Errorf("repro: job %q: %w", job.Name, err)
-		return out
+		return nil, fmt.Errorf("repro: job %q: %w", job.Name, err)
 	}
-	out.Result = res
-	return out
+	return res, nil
 }
 
 // SeedSweep builds jobs replicating one configuration across seeds — the

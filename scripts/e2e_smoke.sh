@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the campaign orchestration service: builds
+# roadrunnerd, starts it against a throwaway store, submits a two-run
+# laptop-scale campaign over HTTP, polls it to completion, and then
+# resubmits the identical manifest asserting the warm pass is 100% cache
+# hits — zero fresh executions, zero additional simulation events, and
+# byte-identical served results.
+set -euo pipefail
+
+ADDR="${ROADRUNNERD_ADDR:-127.0.0.1:8383}"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+trap 'kill "${SERVER_PID:-0}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+fail() { echo "e2e: FAIL: $*" >&2; exit 1; }
+
+go build -o "$WORK/roadrunnerd" ./cmd/roadrunnerd
+"$WORK/roadrunnerd" -addr "$ADDR" -store "$WORK/store" >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+    curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { cat "$WORK/server.log" >&2; fail "server exited early"; }
+    sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null || fail "server never became healthy"
+
+MANIFEST='{"name":"ci-smoke","env":"tiny","rounds":2,"strategies":[{"kind":"fedavg"},{"kind":"opp"}],"seeds":[1]}'
+
+# submit_campaign BODY -> campaign id on stdout
+submit_campaign() {
+    curl -fsS -X POST -H 'Content-Type: application/json' -d "$1" "$BASE/v1/campaigns" \
+        | grep -o '"id": *"[^"]*"' | head -1 | sed 's/.*"id": *"\([^"]*\)".*/\1/'
+}
+
+# poll_done ID FILE: polls until the campaign reports done, saving the
+# final status JSON to FILE.
+poll_done() {
+    local id="$1" out="$2"
+    for _ in $(seq 1 300); do
+        curl -fsS "$BASE/v1/campaigns/$id" >"$out"
+        grep -q '"done": *true' "$out" && return 0
+        sleep 0.2
+    done
+    cat "$out" >&2
+    fail "campaign $id did not finish"
+}
+
+metric() { curl -fsS "$BASE/metrics" | awk -v m="$1" '$1 == m {print $2}'; }
+
+# --- Cold pass: both runs execute. -----------------------------------------
+COLD_ID="$(submit_campaign "$MANIFEST")"
+[ -n "$COLD_ID" ] || fail "cold submission returned no campaign id"
+poll_done "$COLD_ID" "$WORK/cold.json"
+grep -q '"completed": *2' "$WORK/cold.json" || { cat "$WORK/cold.json" >&2; fail "cold pass did not complete 2 runs"; }
+grep -q '"failed": *0' "$WORK/cold.json" || fail "cold pass reported failures"
+
+EXECUTED="$(metric roadrunnerd_runs_executed_total)"
+[ "$EXECUTED" = "2" ] || fail "cold executed_total=$EXECUTED, want 2"
+SIM_EVENTS="$(metric roadrunnerd_sim_events_total)"
+[ "${SIM_EVENTS%.*}" -gt 0 ] || fail "cold pass processed no simulation events"
+
+KEYS="$(grep -o '"key": *"[a-f0-9]\{64\}"' "$WORK/cold.json" | sed 's/.*"\([a-f0-9]\{64\}\)"/\1/' | sort -u)"
+[ "$(echo "$KEYS" | wc -l)" = "2" ] || fail "expected 2 distinct run keys"
+i=0
+for key in $KEYS; do
+    i=$((i + 1))
+    curl -fsS "$BASE/v1/runs/$key" >"$WORK/cold-run-$i.txt"
+    [ -s "$WORK/cold-run-$i.txt" ] || fail "empty canonical bytes for $key"
+done
+
+# --- Warm pass: identical manifest, all cache hits. ------------------------
+WARM_ID="$(submit_campaign "$MANIFEST")"
+[ "$WARM_ID" != "$COLD_ID" ] || fail "resubmission reused the cold campaign id"
+poll_done "$WARM_ID" "$WORK/warm.json"
+grep -q '"cached": *2' "$WORK/warm.json" || { cat "$WORK/warm.json" >&2; fail "warm pass was not 100% cache hits"; }
+
+[ "$(metric roadrunnerd_runs_executed_total)" = "$EXECUTED" ] || fail "warm pass executed fresh runs"
+[ "$(metric roadrunnerd_sim_events_total)" = "$SIM_EVENTS" ] || fail "warm pass executed simulation events"
+[ "$(metric roadrunnerd_runs_cached_total)" = "2" ] || fail "warm cached_total != 2"
+
+i=0
+for key in $KEYS; do
+    i=$((i + 1))
+    curl -fsS "$BASE/v1/runs/$key" >"$WORK/warm-run-$i.txt"
+    cmp -s "$WORK/cold-run-$i.txt" "$WORK/warm-run-$i.txt" || fail "warm bytes for $key differ from cold bytes"
+done
+
+echo "e2e: OK — cold pass executed $EXECUTED runs ($SIM_EVENTS sim events), warm pass served both from cache byte-identically"
