@@ -7,6 +7,9 @@
 //	bench                      # default: 2 rounds × 3 seeds -> BENCH_fig4.json
 //	bench -rounds 5 -seeds 5   # heavier measurement
 //	bench -evalworkers 4       # enable shard-parallel test-set evaluation
+//	bench -check BENCH_fig4.json -tol 5
+//	                           # fail if simsec/wallsec regressed >5% vs the
+//	                           # reference report (read before overwriting)
 //
 // The report contains the measured ns/op, events/op, and simsec/wallsec of
 // the combined BASE+OPP Figure-4 run (the same quantity as the repo's
@@ -66,17 +69,28 @@ func main() {
 	seeds := flag.Int("seeds", 3, "number of seeded runs to average over")
 	evalWorkers := flag.Int("evalworkers", 0, "evaluation worker count (0 or 1 = serial)")
 	out := flag.String("out", "BENCH_fig4.json", "report output path")
+	check := flag.String("check", "", "reference report: fail if simsec/wallsec regressed more than -tol percent")
+	tol := flag.Float64("tol", 5, "allowed simsec/wallsec regression in percent for -check")
 	flag.Parse()
 
-	if err := run(*rounds, *seeds, *evalWorkers, *out); err != nil {
+	if err := run(*rounds, *seeds, *evalWorkers, *out, *check, *tol); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rounds, seeds, evalWorkers int, out string) error {
+func run(rounds, seeds, evalWorkers int, out, check string, tol float64) error {
 	if rounds < 1 || seeds < 1 {
 		return fmt.Errorf("rounds and seeds must be positive (got %d, %d)", rounds, seeds)
+	}
+	// Load the reference before measuring: -check commonly points at the
+	// very report file this run overwrites.
+	var ref *Report
+	if check != "" {
+		var err error
+		if ref, err = readReport(check); err != nil {
+			return fmt.Errorf("read reference report: %w", err)
+		}
 	}
 	m, err := measure(rounds, seeds, evalWorkers)
 	if err != nil {
@@ -107,6 +121,42 @@ func run(rounds, seeds, evalWorkers int, out string) error {
 	fmt.Printf("%s: %.1f simsec/wallsec (baseline %.1f, %.2fx), %.0f events/op, %.0f ns/op over %d seed(s)\n",
 		out, m.SimsecPerWallsec, report.Baseline.SimsecPerWallsec, report.Speedup,
 		m.EventsPerOp, m.NsPerOp, seeds)
+	if ref != nil {
+		return checkRegression(ref, m, tol)
+	}
+	return nil
+}
+
+// readReport loads a previously written BENCH_fig4.json.
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// checkRegression compares the fresh measurement against the reference
+// report's Current and errors when simulated-time throughput dropped more
+// than tol percent — the CI gate that keeps observability (and any other
+// change) off the disabled-path hot loop. Speedups and small regressions
+// within tolerance pass, since throughput on shared CI hosts is noisy.
+func checkRegression(ref *Report, m Measurement, tol float64) error {
+	if ref.Current.SimsecPerWallsec <= 0 {
+		return fmt.Errorf("reference report has no positive simsec/wallsec to compare against")
+	}
+	dropPct := (1 - m.SimsecPerWallsec/ref.Current.SimsecPerWallsec) * 100
+	floor := ref.Current.SimsecPerWallsec * (1 - tol/100)
+	if m.SimsecPerWallsec < floor {
+		return fmt.Errorf("throughput regression: %.1f simsec/wallsec vs reference %.1f (-%.1f%%, tolerance %.1f%%)",
+			m.SimsecPerWallsec, ref.Current.SimsecPerWallsec, dropPct, tol)
+	}
+	fmt.Printf("check: %.1f simsec/wallsec vs reference %.1f (%+.1f%%) within %.1f%% tolerance\n",
+		m.SimsecPerWallsec, ref.Current.SimsecPerWallsec, -dropPct, tol)
 	return nil
 }
 

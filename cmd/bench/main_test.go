@@ -14,7 +14,7 @@ func TestBenchWritesReport(t *testing.T) {
 		t.Skip("runs a full (small) Figure-4 experiment")
 	}
 	out := filepath.Join(t.TempDir(), "BENCH_fig4.json")
-	if err := run(1, 1, 2, out); err != nil {
+	if err := run(1, 1, 2, out, "", 5); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -40,10 +40,43 @@ func TestBenchWritesReport(t *testing.T) {
 }
 
 func TestBenchRejectsBadArgs(t *testing.T) {
-	if err := run(0, 1, 0, "unused.json"); err == nil {
+	if err := run(0, 1, 0, "unused.json", "", 5); err == nil {
 		t.Fatal("want error for zero rounds")
 	}
-	if err := run(1, 0, 0, "unused.json"); err == nil {
+	if err := run(1, 0, 0, "unused.json", "", 5); err == nil {
 		t.Fatal("want error for zero seeds")
+	}
+	if err := run(1, 1, 0, "unused.json", filepath.Join(t.TempDir(), "missing.json"), 5); err == nil {
+		t.Fatal("want error for missing reference report")
+	}
+}
+
+// TestCheckRegression exercises the -check comparison logic directly: a
+// matching measurement passes, a collapsed one fails, speedups always pass.
+func TestCheckRegression(t *testing.T) {
+	ref := &Report{Current: Measurement{SimsecPerWallsec: 100}}
+	cases := []struct {
+		name    string
+		current float64
+		tol     float64
+		wantErr bool
+	}{
+		{"equal", 100, 5, false},
+		{"within tolerance", 96, 5, false},
+		{"at boundary", 95, 5, false},
+		{"regressed", 90, 5, true},
+		{"speedup", 150, 5, false},
+		{"zero tolerance regression", 99.9, 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkRegression(ref, Measurement{SimsecPerWallsec: tc.current}, tc.tol)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("checkRegression(%v, tol %v): err = %v, want error %v", tc.current, tc.tol, err, tc.wantErr)
+			}
+		})
+	}
+	if err := checkRegression(&Report{}, Measurement{SimsecPerWallsec: 100}, 5); err == nil {
+		t.Fatal("want error for reference without a measurement")
 	}
 }

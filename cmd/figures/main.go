@@ -12,6 +12,7 @@
 //	figures -fig E            # ablation E: ignition churn
 //	figures -fig F            # ablation F: RSU deployment density (extension)
 //	figures -fig G            # ablation G: fault scenarios (BASE vs OPP under degradation)
+//	figures -fig T            # trace T: simulated-time span timelines (Chrome JSON + CSV)
 //	figures -fig all          # everything
 //
 // Flags -rounds and -seed scale and re-seed the experiments; -out selects
@@ -33,7 +34,7 @@ func main() {
 }
 
 func run() error {
-	fig := flag.String("fig", "4", "figure to regenerate: 4, A, B, C, D, E, F, G, or all")
+	fig := flag.String("fig", "4", "figure to regenerate: 4, A, B, C, D, E, F, G, T, or all")
 	rounds := flag.Int("rounds", 0, "rounds per run (0 = figure default: 75 for Fig 4, 20 for ablations)")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	out := flag.String("out", "results", "output directory for CSV files")
@@ -61,12 +62,14 @@ func run() error {
 			return ablationF(*rounds, *seed, *out)
 		case "G", "g":
 			return ablationG(*rounds, *seed, *out)
+		case "T", "t":
+			return figureT(*rounds, *seed, *out)
 		default:
 			return fmt.Errorf("unknown figure %q", name)
 		}
 	}
 	if *fig == "all" {
-		for _, name := range []string{"4", "A", "B", "C", "D", "E", "F", "G"} {
+		for _, name := range []string{"4", "A", "B", "C", "D", "E", "F", "G", "T"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

@@ -189,6 +189,80 @@ func TestEndToEndColdThenWarm(t *testing.T) {
 	}
 }
 
+// TestEndToEndTraceEndpoint exercises the trace observability surface: a
+// completed run's trace is generated by a traced re-execution, cached as a
+// store sidecar (second fetch serves identical bytes), exported in both
+// formats, and accounted per campaign on /metrics. Generating a trace must
+// not disturb the stored canonical result.
+func TestEndToEndTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	st := postCampaign(t, ts, e2eManifest)
+	done := pollDone(t, ts, st.ID)
+	key := done.Runs[0].Key
+	resultBefore := fetchRunBytes(t, ts, key)
+
+	fetchTrace := func(query string, wantStatus int) []byte {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/runs/" + key + "/trace" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("trace fetch %q: status %d, want %d", query, resp.StatusCode, wantStatus)
+		}
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	jsonTrace := fetchTrace("", http.StatusOK)
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(jsonTrace, &chrome); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+
+	csvTrace := fetchTrace("?format=csv", http.StatusOK)
+	if !strings.HasPrefix(string(csvTrace), "# roadrunner-trace-v1") {
+		t.Fatalf("canonical trace header missing: %.60s", csvTrace)
+	}
+
+	// The second fetch must be a sidecar cache hit with identical bytes —
+	// and only the first generation counts on /metrics.
+	if again := fetchTrace("", http.StatusOK); !bytes.Equal(again, jsonTrace) {
+		t.Fatal("cached trace bytes differ from the generated ones")
+	}
+	if got := metricValue(t, ts, "roadrunnerd_traces_generated_total"); got != 1 {
+		t.Fatalf("traces_generated_total = %v, want 1", got)
+	}
+	spansMetric := fmt.Sprintf("roadrunnerd_trace_spans_total{campaign=%q}", st.ID)
+	if got := metricValue(t, ts, spansMetric); got <= 0 {
+		t.Fatalf("%s = %v, want > 0", spansMetric, got)
+	}
+
+	// The traced re-run must not have perturbed the stored result.
+	if after := fetchRunBytes(t, ts, key); !bytes.Equal(after, resultBefore) {
+		t.Fatal("generating a trace changed the stored canonical result")
+	}
+
+	fetchTrace("?format=xml", http.StatusBadRequest)
+	resp, err := http.Get(ts.URL + "/v1/runs/" + strings.Repeat("ab", 32) + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown run trace status %d, want 404", resp.StatusCode)
+	}
+}
+
 // TestEndToEndEventStream verifies the SSE endpoint delivers a terminal
 // campaign snapshot (late subscription to a finished campaign is the
 // deterministic case).
@@ -235,7 +309,7 @@ func TestEndToEndResumeFlag(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv := newServer(campaign.NewScheduler(campaign.Options{Workers: 1, Store: store}))
-	ts := httptest.NewServer(srv.routes())
+	ts := httptest.NewServer(srv.routes(false))
 	st := postCampaign(t, ts, e2eManifest)
 	pollDone(t, ts, st.ID)
 	ts.Close()
@@ -254,7 +328,7 @@ func TestEndToEndResumeFlag(t *testing.T) {
 	if n != 1 {
 		t.Fatalf("resumed %d campaigns, want 1", n)
 	}
-	ts2 := httptest.NewServer(srv2.routes())
+	ts2 := httptest.NewServer(srv2.routes(false))
 	defer ts2.Close()
 	final := pollDone(t, ts2, st.ID)
 	if final.Cached != 2 || final.Failed != 0 {

@@ -17,8 +17,11 @@
 //	GET  /v1/campaigns/{id}        campaign status snapshot
 //	GET  /v1/campaigns/{id}/events SSE progress stream
 //	GET  /v1/runs/{key}            verified canonical result bytes (?view=meta|spec)
+//	GET  /v1/runs/{key}/trace      simulated-time span trace (?format=json|csv)
 //	GET  /metrics                  Prometheus-style scheduler/store gauges
 //	GET  /healthz                  liveness probe
+//
+// The -pprof flag additionally mounts net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -46,6 +49,7 @@ func run(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	attempts := fs.Int("max-attempts", 2, "executions per run before it is failed")
 	resume := fs.Bool("resume", false, "resume journaled campaigns at startup")
+	pprofEnabled := fs.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,7 +76,7 @@ func run(args []string, out io.Writer) error {
 		*addr, *storeDir, *attempts)
 	hs := &http.Server{
 		Addr:    *addr,
-		Handler: srv.routes(),
+		Handler: srv.routes(*pprofEnabled),
 		// SSE streams stay open indefinitely, so only the header read is
 		// bounded; this is host-side service plumbing, not simulated time.
 		ReadHeaderTimeout: 10 * time.Second,

@@ -23,7 +23,7 @@ func newTestServer(t *testing.T) (*server, *httptest.Server) {
 		Backoff: func(int) {},
 	})
 	srv := newServer(sched)
-	ts := httptest.NewServer(srv.routes())
+	ts := httptest.NewServer(srv.routes(false))
 	t.Cleanup(ts.Close)
 	return srv, ts
 }

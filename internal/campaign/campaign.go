@@ -78,9 +78,25 @@ type Campaign struct {
 	runs    []RunStatus
 	done    bool
 	doneCh  chan struct{}
-	subs    map[int]chan Event
+	subs    map[int]*subscriber
 	nextSub int
 }
+
+// subscriber is one progress listener. Broadcasts never block the
+// scheduler, so a stalled listener can drop intermediate events; lossy
+// records that a drop happened, and the next broadcast with buffer space
+// re-synchronizes the listener with a full status snapshot before any
+// further incremental events.
+type subscriber struct {
+	ch    chan Event
+	lossy bool
+}
+
+// subscriberBuffer is each listener's channel capacity. It only needs to
+// absorb short bursts: a listener that stalls past it is healed by the
+// snapshot-resync path, and the terminal event is delivered
+// unconditionally, so correctness never depends on the buffer size.
+const subscriberBuffer = 32
 
 // NewCampaign validates and expands the manifest and derives every run's
 // content address up front, so a submission error surfaces before any
@@ -99,7 +115,7 @@ func NewCampaign(id string, m Manifest) (*Campaign, error) {
 		specs:    specs,
 		runs:     make([]RunStatus, len(specs)),
 		doneCh:   make(chan struct{}),
-		subs:     make(map[int]chan Event),
+		subs:     make(map[int]*subscriber),
 	}
 	for i, spec := range specs {
 		key, err := spec.Key()
@@ -168,13 +184,17 @@ func (c *Campaign) statusLocked() Status {
 }
 
 // Subscribe registers a progress listener. The returned channel receives
-// every subsequent event (buffered; a listener that falls very far behind
-// loses intermediate events rather than blocking the scheduler) and is
-// closed by cancel or when the campaign finishes after its final event.
+// subsequent events, buffered so broadcasts never block the scheduler. A
+// listener that stalls long enough to overflow the buffer loses
+// intermediate events, but never silently: once it drains, the next event
+// it receives is a full "campaign" status snapshot covering everything it
+// missed (including resume-driven state transitions), and the terminal
+// event is always delivered. The channel is closed by cancel or when the
+// campaign finishes after its final event.
 func (c *Campaign) Subscribe() (<-chan Event, func()) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ch := make(chan Event, 4*len(c.runs)+16)
+	ch := make(chan Event, subscriberBuffer)
 	if c.done {
 		// Late subscribers still observe the terminal event.
 		ch <- Event{Type: "campaign", Campaign: c.id, Status: ptr(c.statusLocked())}
@@ -183,13 +203,13 @@ func (c *Campaign) Subscribe() (<-chan Event, func()) {
 	}
 	id := c.nextSub
 	c.nextSub++
-	c.subs[id] = ch
+	c.subs[id] = &subscriber{ch: ch}
 	cancel := func() {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		if sub, ok := c.subs[id]; ok {
 			delete(c.subs, id)
-			close(sub)
+			close(sub.ch)
 		}
 	}
 	return ch, cancel
@@ -198,11 +218,42 @@ func (c *Campaign) Subscribe() (<-chan Event, func()) {
 func ptr[T any](v T) *T { return &v }
 
 // broadcastLocked fans an event out to all subscribers without blocking,
-// in subscription order.
+// in subscription order. A subscriber that previously dropped an event is
+// sent a status snapshot first, so incremental events downstream of a gap
+// are never interpreted against stale state.
 func (c *Campaign) broadcastLocked(ev Event) {
 	for _, id := range c.subIDsLocked() {
+		sub := c.subs[id]
+		if sub.lossy {
+			select {
+			case sub.ch <- Event{Type: "campaign", Campaign: c.id, Status: ptr(c.statusLocked())}:
+				sub.lossy = false
+			default:
+				// Still stalled; stay lossy and keep the gap open.
+			}
+		}
 		select {
-		case c.subs[id] <- ev:
+		case sub.ch <- ev:
+		default:
+			sub.lossy = true
+		}
+	}
+}
+
+// deliverLocked sends the terminal event unconditionally: if the
+// subscriber's buffer is full, buffered intermediate events are evicted
+// oldest-first until the event fits. The terminal snapshot supersedes
+// everything it displaces, and broadcasts only happen under c.mu, so the
+// eviction loop cannot race another sender.
+func (c *Campaign) deliverLocked(sub *subscriber, ev Event) {
+	for {
+		select {
+		case sub.ch <- ev:
+			return
+		default:
+		}
+		select {
+		case <-sub.ch:
 		default:
 		}
 	}
@@ -256,9 +307,14 @@ func (c *Campaign) finish() {
 		return
 	}
 	c.done = true
-	c.broadcastLocked(Event{Type: "campaign", Campaign: c.id, Status: ptr(c.statusLocked())})
+	terminal := Event{Type: "campaign", Campaign: c.id, Status: ptr(c.statusLocked())}
 	for _, id := range c.subIDsLocked() {
-		close(c.subs[id])
+		sub := c.subs[id]
+		// The terminal event is delivered even to stalled subscribers — a
+		// dropped intermediate event must never cost a client the final
+		// campaign snapshot.
+		c.deliverLocked(sub, terminal)
+		close(sub.ch)
 		delete(c.subs, id)
 	}
 	close(c.doneCh)

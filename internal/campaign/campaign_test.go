@@ -89,3 +89,78 @@ func TestCampaignLifecycleAndEvents(t *testing.T) {
 		}
 	}
 }
+
+// TestStalledSubscriberStillGetsTerminalEvent is the slow-consumer
+// regression test: a subscriber that never drains overflows its buffer and
+// drops intermediate events, but must still find the terminal campaign
+// snapshot as the last event before close — a dropped run event must never
+// cost a client campaign completion.
+func TestStalledSubscriberStillGetsTerminalEvent(t *testing.T) {
+	c, err := NewCampaign("c0001-stall", tinyManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, cancel := c.Subscribe()
+	defer cancel()
+
+	// Far more transitions than the buffer holds, with the subscriber
+	// deliberately stalled (nothing reads the channel yet).
+	for i := 0; i < 4*subscriberBuffer; i++ {
+		c.update(i%2, runStarted, nil)
+		c.update(i%2, runDone, nil)
+	}
+	c.finish()
+
+	var last Event
+	n := 0
+	for ev := range events {
+		last = ev
+		n++
+	}
+	if n > subscriberBuffer {
+		t.Fatalf("stalled subscriber buffered %d events, cap is %d", n, subscriberBuffer)
+	}
+	if last.Type != "campaign" || last.Status == nil || !last.Status.Done {
+		t.Fatalf("last event before close is %+v, want the terminal campaign snapshot", last)
+	}
+	if last.Status.Completed != 2 {
+		t.Fatalf("terminal snapshot: %+v", last.Status)
+	}
+}
+
+// TestLossySubscriberResyncsWithSnapshot verifies the gap-healing path: a
+// subscriber that dropped events receives a full status snapshot before the
+// next incremental event, so a missed transition (e.g. a resume flipping a
+// run to cached) can never leave the client's view permanently stale.
+func TestLossySubscriberResyncsWithSnapshot(t *testing.T) {
+	c, err := NewCampaign("c0001-resync", tinyManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, cancel := c.Subscribe()
+	defer cancel()
+
+	// Overflow the buffer so at least one event drops and the subscriber
+	// is marked lossy.
+	for i := 0; i < 2*subscriberBuffer; i++ {
+		c.update(0, runStarted, nil)
+	}
+	// Stall over: drain everything buffered so far.
+	for len(events) > 0 {
+		<-events
+	}
+	// The transition the stalled client must not miss.
+	c.update(1, runCached, nil)
+
+	ev := <-events
+	if ev.Type != "campaign" || ev.Status == nil {
+		t.Fatalf("first post-stall event is %+v, want a campaign resync snapshot", ev)
+	}
+	if got := ev.Status.Runs[1].State; got != RunCached {
+		t.Fatalf("resync snapshot shows run 1 as %q, want %q", got, RunCached)
+	}
+	ev = <-events
+	if ev.Type != "run" || ev.Run == nil || ev.Run.State != RunCached {
+		t.Fatalf("incremental event after resync: %+v", ev)
+	}
+}

@@ -256,6 +256,75 @@ func (s *Store) Meta(key string) (*RunMeta, error) {
 	return s.readMeta(s.entryDir(key))
 }
 
+// Spec returns the stored run spec of a verified entry — enough to
+// re-execute the run, e.g. with tracing enabled, and land on the same
+// canonical bytes.
+func (s *Store) Spec(key string) (*RunSpec, error) {
+	if _, err := s.CanonicalBytes(key); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(s.entryDir(key), "spec.json"))
+	if err != nil {
+		return nil, err
+	}
+	var spec RunSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("campaign: store spec: %w", err)
+	}
+	return &spec, nil
+}
+
+// traceFileName maps a trace export format to its sidecar file name.
+func traceFileName(format string) (string, bool) {
+	switch format {
+	case "csv":
+		return "trace.csv", true
+	case "json":
+		return "trace.json", true
+	default:
+		return "", false
+	}
+}
+
+// TraceBytes returns the cached trace export ("csv" or "json") for key, or
+// os.ErrNotExist if none has been generated yet. Trace sidecars are derived
+// data: tracing is deterministic given the spec, so they are regenerated on
+// demand and evicted together with the entry.
+func (s *Store) TraceBytes(key, format string) ([]byte, error) {
+	name, ok := traceFileName(format)
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown trace format %q", format)
+	}
+	if !validKeyName(key) {
+		return nil, os.ErrNotExist
+	}
+	return os.ReadFile(filepath.Join(s.entryDir(key), name))
+}
+
+// PutTraceBytes caches a trace export next to an already-published entry,
+// staging and renaming so readers never observe a torn file.
+func (s *Store) PutTraceBytes(key, format string, data []byte) error {
+	name, ok := traceFileName(format)
+	if !ok {
+		return fmt.Errorf("campaign: unknown trace format %q", format)
+	}
+	if !s.Has(key) {
+		return os.ErrNotExist
+	}
+	s.mu.Lock()
+	s.seq++
+	stage := filepath.Join(s.root, "tmp", fmt.Sprintf("%s.%s.%d", key, name, s.seq))
+	s.mu.Unlock()
+	if err := writeFileSync(stage, data); err != nil {
+		return fmt.Errorf("campaign: store trace %s: %w", key, err)
+	}
+	if err := os.Rename(stage, filepath.Join(s.entryDir(key), name)); err != nil {
+		_ = os.Remove(stage)
+		return fmt.Errorf("campaign: store trace %s: %w", key, err)
+	}
+	return nil
+}
+
 func (s *Store) readMeta(dir string) (*RunMeta, error) {
 	data, err := os.ReadFile(filepath.Join(dir, "meta.json"))
 	if err != nil {

@@ -3,6 +3,7 @@ package campaign
 import (
 	"bytes"
 	"errors"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -204,5 +205,58 @@ func TestStoreCrashPoint(t *testing.T) {
 	}
 	if !store.Has(key) || store.Has(key2) {
 		t.Fatal("crash point did not preserve exactly the pre-crash entries")
+	}
+}
+
+// TestStoreSurvivesNonFiniteRecordingAttempts is the store-level regression
+// test for the metrics non-finite guard. Strict JSON has no encoding for
+// NaN or ±Inf, so before Record rejected (and Add dropped) non-finite
+// values, a single bad sample made the stored result.json unserializable or
+// non-round-trippable and silently broke the store's re-encoding-equality
+// check. Now the poison can't enter the recorder at all: a result whose
+// instrumentation attempted non-finite recordings still puts, gets, and
+// re-encodes byte-identically.
+func TestStoreSurvivesNonFiniteRecordingAttempts(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec(1)
+	key, err := spec.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, tr := executeSpec(t, spec)
+
+	// Simulate buggy instrumentation: every non-finite recording attempt
+	// must bounce off without mutating the result.
+	if err := tr.Result.Metrics.Record("poison_series", 0, math.NaN()); err == nil {
+		t.Fatal("recorder accepted a NaN sample")
+	}
+	if err := tr.Result.Metrics.Record("poison_series", 0, math.Inf(1)); err == nil {
+		t.Fatal("recorder accepted a +Inf sample")
+	}
+	tr.Result.Metrics.Add("poison_counter", math.Inf(-1))
+	afterPoison, err := tr.Result.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(afterPoison, fresh) {
+		t.Fatal("rejected non-finite recordings still changed the canonical result")
+	}
+
+	if err := store.Put(key, spec, tr.Result); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := store.Get(key)
+	if res == nil {
+		t.Fatal("store miss for a just-written key")
+	}
+	rehydrated, err := res.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rehydrated, fresh) {
+		t.Fatal("rehydrated result re-encodes to different canonical bytes")
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"roadrunner/internal/roadnet"
 	"roadrunner/internal/sim"
+	"roadrunner/internal/trace"
 )
 
 // MsgID identifies one transfer.
@@ -64,6 +65,7 @@ type Network struct {
 	onDeliver  DeliveryFunc
 	onFail     FailureFunc
 	conditions ConditionsFunc
+	tracer     *trace.Tracer
 
 	nextID   MsgID
 	inflight map[MsgID]*flight
@@ -73,6 +75,7 @@ type Network struct {
 type flight struct {
 	msg   *Message
 	event *sim.Event
+	span  trace.SpanID
 }
 
 // NewNetwork wires a network to the engine and agent registry. position
@@ -123,6 +126,13 @@ func (n *Network) OnFail(fn FailureFunc) { n.onFail = fn }
 // and burst loss), so conditions are time-correlated across a transfer's
 // lifetime rather than sampled i.i.d.
 func (n *Network) SetConditions(fn ConditionsFunc) { n.conditions = fn }
+
+// SetTracer installs the experiment's span tracer. A nil tracer (the
+// default) disables transfer spans at the cost of one nil check per
+// emission point; the core simulator wires its own tracer here so every
+// accepted transfer — and every conditions-induced rejection — appears
+// on the run's trace timeline.
+func (n *Network) SetTracer(t *trace.Tracer) { n.tracer = t }
 
 // conditionsAt evaluates the installed hook (zero Conditions without one).
 func (n *Network) conditionsAt(kind Kind, from, to sim.AgentID) Conditions {
@@ -181,6 +191,15 @@ func (n *Network) Send(from, to sim.AgentID, kind Kind, sizeBytes int, payload a
 	}
 	cond := n.conditionsAt(kind, from, to)
 	if cond.Blocked {
+		// A send-time blackout rejection never becomes a Message, so it is
+		// invisible to comm.Stats; an instant span keeps the drop on the
+		// trace timeline ("conditions-induced drops" are first-class).
+		span := n.tracer.Begin(trace.KindTransfer, "transfer")
+		n.tracer.AttrUint(span, "from", uint64(from))
+		n.tracer.AttrUint(span, "to", uint64(to))
+		n.tracer.Attr(span, "kind", kind.String())
+		n.tracer.AttrInt(span, "bytes", int64(sizeBytes))
+		n.tracer.EndWith(span, "status", "rejected-blackout")
 		return 0, fmt.Errorf("comm: send %v -> %v: %w", from, to, ErrBlackout)
 	}
 
@@ -201,62 +220,80 @@ func (n *Network) Send(from, to sim.AgentID, kind Kind, sizeBytes int, payload a
 	st.MessagesSent++
 	st.BytesAttempted += int64(sizeBytes)
 
+	span := n.tracer.Begin(trace.KindTransfer, "transfer")
+	n.tracer.AttrUint(span, "msg", uint64(msg.ID))
+	n.tracer.AttrUint(span, "from", uint64(from))
+	n.tracer.AttrUint(span, "to", uint64(to))
+	n.tracer.Attr(span, "kind", kind.String())
+	n.tracer.AttrInt(span, "bytes", int64(sizeBytes))
+
 	ev, err := n.engine.Schedule(msg.DeliverAt, func() { n.complete(msg) })
 	if err != nil {
+		n.tracer.EndWith(span, "status", "error")
 		return 0, fmt.Errorf("comm: schedule delivery: %w", err)
 	}
-	n.inflight[msg.ID] = &flight{msg: msg, event: ev}
+	n.inflight[msg.ID] = &flight{msg: msg, event: ev, span: span}
 	return msg.ID, nil
 }
 
 // complete finishes a transfer: it re-validates endpoint state and range,
 // samples the stochastic drop, and notifies the appropriate observer.
 func (n *Network) complete(msg *Message) {
+	var span trace.SpanID
+	if fl := n.inflight[msg.ID]; fl != nil {
+		span = fl.span
+	}
 	delete(n.inflight, msg.ID)
 	cp, err := n.params.ByKind(msg.Kind)
 	if err != nil {
-		n.fail(msg, err)
+		n.fail(msg, span, err)
 		return
 	}
 	sender := n.registry.Get(msg.From)
 	receiver := n.registry.Get(msg.To)
 	switch {
 	case sender == nil || !sender.On():
-		n.fail(msg, ErrSenderOff)
+		n.fail(msg, span, ErrSenderOff)
 		return
 	case receiver == nil || !receiver.On():
-		n.fail(msg, ErrReceiverOff)
+		n.fail(msg, span, ErrReceiverOff)
 		return
 	}
 	if msg.Kind == KindV2X {
 		if err := n.checkRange(msg.From, msg.To, cp.RangeM); err != nil {
-			n.fail(msg, err)
+			n.fail(msg, span, err)
 			return
 		}
 	}
 	cond := n.conditionsAt(msg.Kind, msg.From, msg.To)
 	if cond.Blocked {
-		n.fail(msg, ErrBlackout)
+		n.fail(msg, span, ErrBlackout)
 		return
 	}
 	if cp.DropProb > 0 && n.rng.Bool(cp.DropProb) {
-		n.fail(msg, ErrDropped)
+		n.fail(msg, span, ErrDropped)
 		return
 	}
 	if cond.ExtraDropProb > 0 && n.rng.Bool(cond.ExtraDropProb) {
-		n.fail(msg, ErrBurstDropped)
+		n.fail(msg, span, ErrBurstDropped)
 		return
 	}
 	st := n.stats[msg.Kind]
 	st.MessagesDelivered++
 	st.BytesDelivered += int64(msg.SizeBytes)
+	n.tracer.EndWith(span, "status", "delivered")
 	if n.onDeliver != nil {
 		n.onDeliver(msg)
 	}
 }
 
-func (n *Network) fail(msg *Message, reason error) {
+// fail closes the transfer's span with the failure reason before
+// notifying the observer, so observer-side spans (the core's fault-drop
+// markers, strategy reactions) order after the transfer itself.
+func (n *Network) fail(msg *Message, span trace.SpanID, reason error) {
 	n.stats[msg.Kind].MessagesFailed++
+	n.tracer.AttrErr(span, "error", reason)
+	n.tracer.EndWith(span, "status", "failed")
 	if n.onFail != nil {
 		n.onFail(msg, reason)
 	}
@@ -283,9 +320,9 @@ func (n *Network) handlePowerChange(id sim.AgentID, on bool) {
 		fl.event.Cancel()
 		delete(n.inflight, m.ID)
 		if m.From == id {
-			n.fail(m, ErrSenderOff)
+			n.fail(m, fl.span, ErrSenderOff)
 		} else {
-			n.fail(m, ErrReceiverOff)
+			n.fail(m, fl.span, ErrReceiverOff)
 		}
 	}
 }
@@ -306,7 +343,7 @@ func (n *Network) FailInFlight(pred func(*Message) bool, reason error) int {
 	for _, fl := range doomed {
 		fl.event.Cancel()
 		delete(n.inflight, fl.msg.ID)
-		n.fail(fl.msg, reason)
+		n.fail(fl.msg, fl.span, reason)
 	}
 	return len(doomed)
 }

@@ -1,0 +1,127 @@
+package conformance
+
+import (
+	"bytes"
+	"testing"
+
+	"roadrunner/internal/core"
+	"roadrunner/internal/faults"
+)
+
+// runTraceCell is runCell's observability sibling: one (strategy, scenario)
+// run with explicit tracing and evaluation-parallelism settings.
+func runTraceCell(t *testing.T, c Case, scenario string, traceOn bool, evalWorkers int) *core.Result {
+	t.Helper()
+	cfg := Config(matrixSeed)
+	cfg.Trace = traceOn
+	cfg.EvalWorkers = evalWorkers
+	if scenario != ScenarioFaultFree {
+		plan, err := faults.ScenarioPlan(scenario, ScenarioHorizon)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", c.Name, scenario, err)
+		}
+		cfg.Faults = &plan
+	}
+	strat, err := c.New()
+	if err != nil {
+		t.Fatalf("%s: %v", c.Name, err)
+	}
+	exp, err := core.New(cfg, strat)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", c.Name, scenario, err)
+	}
+	res, err := exp.Run()
+	if err != nil {
+		t.Fatalf("%s/%s: %v", c.Name, scenario, err)
+	}
+	if err := CheckInvariants(res); err != nil {
+		t.Fatalf("%s/%s: %v", c.Name, scenario, err)
+	}
+	return res
+}
+
+// traceCases is the subset of the matrix the trace cells run over: the
+// paper's two headline strategies, which together exercise every span kind
+// the tracer emits (rounds, training, evaluation, aggregation, encounter
+// exchanges, plus fault windows under a faulted scenario).
+func traceCases(t *testing.T) []Case {
+	t.Helper()
+	var out []Case
+	for _, c := range Cases() {
+		if c.Name == "fedavg" || c.Name == "opportunistic" {
+			out = append(out, c)
+		}
+	}
+	if len(out) != 2 {
+		t.Fatalf("trace cells found %d of 2 headline strategies", len(out))
+	}
+	return out
+}
+
+// TestTraceByteIdentityAcrossEvalWorkers is the observability cell of the
+// conformance matrix: the span trace is part of the reproducibility
+// contract, so the same (config, seed, plan) triple must yield a
+// byte-identical canonical trace at any evaluation worker count — tracing
+// observes the virtual clock, not the host's scheduling.
+func TestTraceByteIdentityAcrossEvalWorkers(t *testing.T) {
+	for _, c := range traceCases(t) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			for _, sc := range []string{ScenarioFaultFree, faults.ScenarioMixed} {
+				serial := runTraceCell(t, c, sc, true, 1)
+				parallel := runTraceCell(t, c, sc, true, 4)
+				if serial.Trace == nil || parallel.Trace == nil {
+					t.Fatalf("%s: traced run returned nil trace", sc)
+				}
+				if len(serial.Trace.Spans) == 0 {
+					t.Fatalf("%s: traced run recorded no spans", sc)
+				}
+				a, err := serial.Trace.CanonicalBytes()
+				if err != nil {
+					t.Fatalf("%s: canonical trace: %v", sc, err)
+				}
+				b, err := parallel.Trace.CanonicalBytes()
+				if err != nil {
+					t.Fatalf("%s: canonical trace: %v", sc, err)
+				}
+				if !bytes.Equal(a, b) {
+					t.Fatalf("%s: trace differs between EvalWorkers=1 and 4 (%d vs %d bytes)",
+						sc, len(a), len(b))
+				}
+			}
+		})
+	}
+}
+
+// TestTraceDisabledLeavesRunUntouched asserts the other half of the
+// observability contract: with Config.Trace off the run carries no trace at
+// all, and with it on the recorded results are byte-identical to the
+// untraced run — the tracer is a pure observer on the simulated clock.
+// (The zero-allocation property of the disabled path is pinned down by
+// internal/trace's TestDisabledTracerZeroAllocs.)
+func TestTraceDisabledLeavesRunUntouched(t *testing.T) {
+	for _, c := range traceCases(t) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			off := runTraceCell(t, c, faults.ScenarioMixed, false, 0)
+			if off.Trace != nil {
+				t.Fatalf("untraced run carries a trace with %d spans", len(off.Trace.Spans))
+			}
+			on := runTraceCell(t, c, faults.ScenarioMixed, true, 0)
+			if on.Trace == nil || len(on.Trace.Spans) == 0 {
+				t.Fatal("traced run recorded no spans")
+			}
+			a, err := off.CanonicalBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := on.CanonicalBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatal("enabling tracing changed the run's canonical result bytes")
+			}
+		})
+	}
+}

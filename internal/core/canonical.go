@@ -75,13 +75,16 @@ func (r *Result) CanonicalBytes() ([]byte, error) {
 // struct fields in declaration order and the Config tree contains no maps,
 // so the encoding is deterministic across processes and hosts; fields that
 // are result-invariant by construction are normalized away — LogWriter is
-// excluded from JSON entirely, and EvalWorkers is zeroed because the
+// excluded from JSON entirely, EvalWorkers is zeroed because the
 // shard-deterministic parallel evaluator records bit-identical values at
-// any worker count. Content-addressed run caching (internal/campaign) hashes
+// any worker count, and Trace is zeroed because the span tracer observes a
+// run on the virtual clock without perturbing any random stream or
+// recorded metric. Content-addressed run caching (internal/campaign) hashes
 // this encoding: two configs with equal CanonicalConfigJSON produce
 // byte-identical Result.CanonicalBytes for the same strategy.
 func CanonicalConfigJSON(cfg Config) ([]byte, error) {
 	cfg.EvalWorkers = 0
+	cfg.Trace = false
 	cfg.LogWriter = nil
 	out, err := json.Marshal(cfg)
 	if err != nil {

@@ -71,6 +71,15 @@ type Config struct {
 	// evaluation at any worker count; 0 or 1 evaluates serially.
 	EvalWorkers int `json:"eval_workers,omitempty"`
 
+	// Trace enables the simulated-time span tracer (internal/trace):
+	// round/train/eval/transfer/encounter-exchange/fault-window spans
+	// collected on the virtual clock and returned in Result.Trace. Like
+	// EvalWorkers it is result-invariant — tracing observes the run
+	// without perturbing any random stream or recorded metric — so it is
+	// normalized away by CanonicalConfigJSON. Disabled tracing costs one
+	// nil check per emission point and zero allocations.
+	Trace bool `json:"trace,omitempty"`
+
 	// OBU, ServerHW, and RSUHW are the hardware-unit profiles.
 	OBU      hw.Profile `json:"obu"`
 	ServerHW hw.Profile `json:"server_hw"`

@@ -8,6 +8,7 @@ import (
 	"roadrunner/internal/ml"
 	"roadrunner/internal/sim"
 	"roadrunner/internal/strategy"
+	"roadrunner/internal/trace"
 )
 
 // Experiment implements strategy.Env: the framework API the Learning
@@ -132,38 +133,46 @@ func (e *Experiment) TrainOnData(id sim.AgentID, m *ml.Snapshot, examples []ml.E
 		}
 	}
 	taskRNG := e.trainRNG.Fork("task")
+	span := e.tracer.Begin(trace.KindTrain, "train")
+	e.tracer.AttrUint(span, "agent", uint64(id))
+	e.tracer.AttrInt(span, "examples", int64(len(examples)))
 	var ev *sim.Event
 	ev, err = e.engine.After(dur, func() {
 		e.removePending(id, ev)
 		net, err := ml.LoadSnapshot(m)
 		if err != nil {
 			e.Logf("core: train on %v: load snapshot: %v", id, err)
+			e.tracer.EndWith(span, "status", "error")
 			return
 		}
 		loss, err := net.Train(examples, e.cfg.Train, taskRNG)
 		if err != nil {
 			e.Logf("core: train on %v: %v", id, err)
+			e.tracer.EndWith(span, "status", "error")
 			return
 		}
 		unit.Record(dur)
 		e.recorder.Add(metrics.CounterTrainTasks, 1)
+		e.tracer.AttrFloat(span, "loss", loss)
+		e.tracer.End(span)
 		e.strat.OnTrainDone(e, id, net.Snapshot(), loss)
 	})
 	if err != nil {
 		e.registry.Release(id)
+		e.tracer.EndWith(span, "status", "error")
 		return err
 	}
-	e.pending[id] = append(e.pending[id], ev)
+	e.pending[id] = append(e.pending[id], pendingTrain{ev: ev, span: span})
 	return nil
 }
 
 // removePending drops one completed training event from the agent's slot
 // accounting.
 func (e *Experiment) removePending(id sim.AgentID, ev *sim.Event) {
-	events := e.pending[id]
-	for i, candidate := range events {
-		if candidate == ev {
-			e.pending[id] = append(events[:i], events[i+1:]...)
+	tasks := e.pending[id]
+	for i, candidate := range tasks {
+		if candidate.ev == ev {
+			e.pending[id] = append(tasks[:i], tasks[i+1:]...)
 			break
 		}
 	}
@@ -185,8 +194,16 @@ func (e *Experiment) TestAccuracy(m *ml.Snapshot) (float64, error) {
 		return 0, fmt.Errorf("core: test accuracy of nil model")
 	}
 	if acc, ok := e.accCache.get(m); ok {
+		// Cache hits are not traced: whether an evaluation hits the memo
+		// depends only on strategy call order, which is deterministic, but
+		// spamming the trace with memo reads would bury the real work.
 		return acc, nil
 	}
+	// Evaluation consumes no simulated time (an analyst-side measurement),
+	// so the span is an instant. Worker count must not appear: traces are
+	// byte-identical at any EvalWorkers.
+	span := e.tracer.Begin(trace.KindEval, "eval")
+	e.tracer.AttrInt(span, "samples", int64(len(e.testSet)))
 	var acc float64
 	var err error
 	if e.cfg.EvalWorkers > 1 {
@@ -198,13 +215,17 @@ func (e *Experiment) TestAccuracy(m *ml.Snapshot) (float64, error) {
 		var net *ml.Network
 		net, err = ml.LoadSnapshot(m)
 		if err != nil {
+			e.tracer.EndWith(span, "status", "error")
 			return 0, err
 		}
 		acc, _, err = net.Evaluate(e.testSet)
 	}
 	if err != nil {
+		e.tracer.EndWith(span, "status", "error")
 		return 0, err
 	}
+	e.tracer.AttrFloat(span, "accuracy", acc)
+	e.tracer.End(span)
 	e.accCache.put(m, acc)
 	return acc, nil
 }
@@ -252,6 +273,10 @@ func (e *Experiment) After(d sim.Duration, fn func()) error {
 
 // Metrics implements strategy.Env.
 func (e *Experiment) Metrics() *metrics.Recorder { return e.recorder }
+
+// Tracer implements strategy.Env: the run's span tracer, nil (and safe
+// to call) unless Config.Trace enabled tracing.
+func (e *Experiment) Tracer() *trace.Tracer { return e.tracer }
 
 // Stop implements strategy.Env.
 func (e *Experiment) Stop() { e.engine.Stop() }

@@ -16,6 +16,7 @@ import (
 	"roadrunner/internal/roadnet"
 	"roadrunner/internal/sim"
 	"roadrunner/internal/strategy"
+	"roadrunner/internal/trace"
 )
 
 // Experiment is one fully wired simulation run: agents, traces, channels,
@@ -43,7 +44,7 @@ type Experiment struct {
 	units   map[sim.AgentID]*hw.Unit
 
 	trainFLOPs float64
-	pending    map[sim.AgentID][]*sim.Event // outstanding training completions (one per busy HU slot)
+	pending    map[sim.AgentID][]pendingTrain // outstanding training completions (one per busy HU slot)
 
 	spatial *mobility.SpatialIndex
 	tracker *mobility.EncounterTracker
@@ -59,9 +60,22 @@ type Experiment struct {
 	stratRNG *sim.RNG
 	trainRNG *sim.RNG
 
+	// tracer is nil unless cfg.Trace: the disabled tracer costs one nil
+	// check per emission point and zero allocations, keeping the traced
+	// and untraced hot paths byte-identical in recorded results.
+	tracer *trace.Tracer
+
 	accCache *snapshotAccCache
 	horizon  sim.Time
 	ran      bool
+}
+
+// pendingTrain is one outstanding training occupation: the completion
+// event (cancelable on shutdown) and its trace span, so an abort can
+// close the span with the right status.
+type pendingTrain struct {
+	ev   *sim.Event
+	span trace.SpanID
 }
 
 // Result bundles an experiment run's outputs.
@@ -79,6 +93,11 @@ type Result struct {
 	FinalAccuracy float64
 	// EventsProcessed counts executed simulation events.
 	EventsProcessed uint64
+	// Trace is the run's span trace, nil unless Config.Trace was set. It
+	// is excluded from CanonicalBytes — the trace has its own canonical
+	// encoding (trace.Trace.CanonicalBytes) with its own byte-identity
+	// regression tests.
+	Trace *trace.Trace
 }
 
 // New builds an experiment from the configuration and strategy. All module
@@ -101,13 +120,23 @@ func New(cfg Config, strat strategy.Strategy) (*Experiment, error) {
 		data:     make(map[sim.AgentID][]ml.Example),
 		models:   make(map[sim.AgentID]*ml.Snapshot),
 		units:    make(map[sim.AgentID]*hw.Unit),
-		pending:  make(map[sim.AgentID][]*sim.Event),
+		pending:  make(map[sim.AgentID][]pendingTrain),
 		tracker:  mobility.NewEncounterTracker(),
 		stratRNG: root.Fork("strategy"),
 		trainRNG: root.Fork("train"),
 		accCache: newSnapshotAccCache(accCacheLimit),
 	}
 	e.registry = sim.NewRegistry(e.engine)
+	if cfg.Trace {
+		// The tracer reads the engine's virtual clock and consumes no
+		// randomness, so traced and untraced runs are byte-identical in
+		// every recorded result. Metadata is limited to run identity —
+		// result-invariant knobs like EvalWorkers must not appear, or
+		// trace byte-identity across worker counts would break.
+		e.tracer = trace.New(e.engine,
+			trace.Attr{Key: "seed", Value: fmt.Sprintf("%d", cfg.Seed)},
+			trace.Attr{Key: "strategy", Value: strat.Name()})
+	}
 
 	traces, graph, err := e.loadMobility(root)
 	if err != nil {
@@ -152,6 +181,7 @@ func New(cfg Config, strat strategy.Strategy) (*Experiment, error) {
 			Recorder: e.recorder,
 			Position: e.positionOf,
 			RNG:      root.Fork("faults"),
+			Tracer:   e.tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -263,6 +293,7 @@ func (e *Experiment) createNetwork(root *sim.RNG) error {
 	}
 	network.OnDeliver(e.dispatchDelivery)
 	network.OnFail(e.dispatchFailure)
+	network.SetTracer(e.tracer)
 	e.network = network
 	return nil
 }
@@ -363,10 +394,11 @@ func (e *Experiment) schedulePower() error {
 // forwards the transition to the strategy.
 func (e *Experiment) handlePowerChange(id sim.AgentID, on bool) {
 	if !on {
-		if events, ok := e.pending[id]; ok {
+		if tasks, ok := e.pending[id]; ok {
 			delete(e.pending, id)
-			for _, ev := range events {
-				ev.Cancel()
+			for _, p := range tasks {
+				p.ev.Cancel()
+				e.tracer.EndWith(p.span, "status", "aborted")
 				e.strat.OnTrainAborted(e, id)
 			}
 		}
@@ -388,11 +420,23 @@ func (e *Experiment) dispatchDelivery(msg *comm.Message) {
 func (e *Experiment) dispatchFailure(msg *comm.Message, reason error) {
 	// Fault-attributed failures are counted regardless of payload type, so
 	// the per-fault counters stay conserved against comm.Stats.
+	var faultKind string
 	switch {
 	case errors.Is(reason, comm.ErrBlackout):
 		e.recorder.Add(metrics.CounterFaultBlackoutFails, 1)
+		faultKind = "blackout"
 	case errors.Is(reason, comm.ErrBurstDropped):
 		e.recorder.Add(metrics.CounterFaultBurstDrops, 1)
+		faultKind = "burst"
+	}
+	if faultKind != "" {
+		// An instant span ties the fault counter increment to the trace
+		// timeline; the transfer span itself was closed by the comm layer.
+		span := e.tracer.Begin(trace.KindTransfer, "fault-drop")
+		e.tracer.Attr(span, "fault", faultKind)
+		e.tracer.AttrUint(span, "msg", uint64(msg.ID))
+		e.tracer.AttrErr(span, "error", reason)
+		e.tracer.End(span)
 	}
 	p, ok := msg.Payload.(strategy.Payload)
 	if !ok {
@@ -414,6 +458,7 @@ func (e *Experiment) countDelivered(msg *comm.Message) {
 // from current positions and notify the strategy of new encounters.
 func (e *Experiment) tick() {
 	now := e.engine.Now()
+	tickSpan := e.tracer.Begin(trace.KindTick, "tick")
 	total := len(e.vehicles) + len(e.rsus)
 	if len(e.posBuf) != total {
 		e.posBuf = make([]roadnet.Point, total)
@@ -443,6 +488,7 @@ func (e *Experiment) tick() {
 	}
 	if err := e.spatial.Rebuild(e.posBuf, e.actBuf); err != nil {
 		e.Logf("core: spatial rebuild: %v", err)
+		e.tracer.EndWith(tickSpan, "status", "error")
 		return
 	}
 	pairs := e.spatial.PairsWithin(e.cfg.Comm.V2X.RangeM)
@@ -450,6 +496,9 @@ func (e *Experiment) tick() {
 	if err := e.recorder.Record(metrics.SeriesVehiclesOn, now, float64(onCount)); err != nil {
 		e.Logf("core: metrics: %v", err)
 	}
+	e.tracer.AttrInt(tickSpan, "on", int64(onCount))
+	e.tracer.AttrInt(tickSpan, "encounters", int64(len(begins)))
+	e.tracer.End(tickSpan)
 	for _, p := range begins {
 		a, b := e.indexToAgent(p.A), e.indexToAgent(p.B)
 		e.strat.OnEncounter(e, a, b)
@@ -492,6 +541,10 @@ func (e *Experiment) Run() (*Result, error) {
 		return nil, err
 	}
 	e.finalizeCounters()
+	// Spans still open at the horizon (in-flight trains, unclosed fault
+	// windows) are truncated at the final instant so exports never carry
+	// dangling intervals.
+	e.tracer.Finish(e.engine.Now())
 
 	res := &Result{
 		Metrics:         e.recorder,
@@ -499,6 +552,7 @@ func (e *Experiment) Run() (*Result, error) {
 		End:             e.engine.Now(),
 		Wall:            time.Since(start), //roadlint:allow wallclock harness timing, reported as Result.Wall
 		EventsProcessed: e.engine.Processed(),
+		Trace:           e.tracer.Snapshot(),
 	}
 	for _, k := range comm.Kinds() {
 		res.Comm[k.String()] = e.network.StatsFor(k)

@@ -7,6 +7,7 @@ import (
 	"roadrunner/internal/comm"
 	"roadrunner/internal/metrics"
 	"roadrunner/internal/sim"
+	"roadrunner/internal/trace"
 )
 
 // ErrLinkKilled is the failure reason of transfers aborted by a scheduled
@@ -28,6 +29,10 @@ type Deps struct {
 	// Fork it from the experiment seed so (config, seed, plan) fully
 	// determines the run.
 	RNG *sim.RNG
+	// Tracer, when non-nil, receives a fault-window span per scheduled
+	// activation. The tracer consumes no randomness and reads only the
+	// virtual clock, so traced and untraced runs stay byte-identical.
+	Tracer *trace.Tracer
 }
 
 // Injector compiles a Plan against one experiment: scheduled events for
@@ -76,23 +81,23 @@ func NewInjector(plan Plan, deps Deps) (*Injector, error) {
 func (in *Injector) Install() error {
 	in.deps.Network.SetConditions(in.Conditions)
 	for _, b := range in.plan.V2CBlackouts {
-		if err := in.scheduleWindow(b.Window, nil, nil); err != nil {
+		if err := in.scheduleWindow("v2c-blackout", b.Window, nil, nil); err != nil {
 			return err
 		}
 	}
 	for _, b := range in.plan.V2XBurstLoss {
-		if err := in.scheduleWindow(b.Window, nil, nil); err != nil {
+		if err := in.scheduleWindow("v2x-burst-loss", b.Window, nil, nil); err != nil {
 			return err
 		}
 	}
 	for _, r := range in.plan.BandwidthRamps {
-		if err := in.scheduleWindow(r.Window, nil, nil); err != nil {
+		if err := in.scheduleWindow("bandwidth-ramp", r.Window, nil, nil); err != nil {
 			return err
 		}
 	}
 	for _, o := range in.plan.RSUOutages {
 		rsu := in.rsus[o.RSU]
-		if err := in.scheduleWindow(o.Window,
+		if err := in.scheduleWindow("rsu-outage", o.Window,
 			func() { in.setPower(rsu, false); in.deps.Recorder.Add(metrics.CounterFaultForcedOff, 1) },
 			func() { in.setPower(rsu, true) },
 		); err != nil {
@@ -102,7 +107,7 @@ func (in *Injector) Install() error {
 	for _, s := range in.plan.ChurnStorms {
 		s := s
 		victims := &[]sim.AgentID{}
-		if err := in.scheduleWindow(s.Window,
+		if err := in.scheduleWindow("churn-storm", s.Window,
 			func() { in.stormBegin(s, victims) },
 			func() { in.stormEnd(victims) },
 		); err != nil {
@@ -119,11 +124,16 @@ func (in *Injector) Install() error {
 }
 
 // scheduleWindow schedules the window's boundary events: the active-window
-// gauge moves at both edges, and the optional callbacks run inside the
-// same events. Edges are scheduled start-before-end at install time, so
-// same-instant boundaries resolve deterministically by schedule order.
-func (in *Injector) scheduleWindow(w Window, onStart, onEnd func()) error {
+// gauge moves at both edges, a fault-window trace span opens and closes
+// with them, and the optional callbacks run inside the same events. Edges
+// are scheduled start-before-end at install time, so same-instant
+// boundaries resolve deterministically by schedule order.
+func (in *Injector) scheduleWindow(kind string, w Window, onStart, onEnd func()) error {
+	// The span is root-level (not parented to whatever round happens to be
+	// in scope): fault windows straddle round boundaries by design.
+	var span trace.SpanID
 	if _, err := in.deps.Engine.Schedule(w.Start, func() {
+		span = in.deps.Tracer.BeginRoot(trace.KindFaultWindow, kind)
 		in.active++
 		in.recordActive()
 		if onStart != nil {
@@ -138,6 +148,7 @@ func (in *Injector) scheduleWindow(w Window, onStart, onEnd func()) error {
 		if onEnd != nil {
 			onEnd()
 		}
+		in.deps.Tracer.End(span)
 	}); err != nil {
 		return fmt.Errorf("faults: schedule window end: %w", err)
 	}
@@ -180,12 +191,18 @@ func (in *Injector) stormEnd(victims *[]sim.AgentID) {
 	*victims = (*victims)[:0]
 }
 
-// kill aborts the in-flight transfers the LinkKill selects.
+// kill aborts the in-flight transfers the LinkKill selects. The instant
+// span opens before FailInFlight so the transfers' failure closures
+// order after the activation that doomed them.
 func (in *Injector) kill(k LinkKill) {
+	span := in.deps.Tracer.BeginRoot(trace.KindFaultWindow, "link-kill")
 	pred := func(m *comm.Message) bool { return k.Kind == 0 || m.Kind == k.Kind }
-	if n := in.deps.Network.FailInFlight(pred, ErrLinkKilled); n > 0 {
+	n := in.deps.Network.FailInFlight(pred, ErrLinkKilled)
+	if n > 0 {
 		in.deps.Recorder.Add(metrics.CounterFaultLinkKills, float64(n))
 	}
+	in.deps.Tracer.AttrInt(span, "killed", int64(n))
+	in.deps.Tracer.End(span)
 }
 
 // Conditions implements comm.ConditionsFunc over the plan's continuous

@@ -78,9 +78,14 @@ func (s *Series) Min() float64 {
 	return best
 }
 
-// At returns the latest value recorded at or before t; ok is false when the
-// series has no point that early.
+// At returns the latest value recorded at or before t. ok is false — and
+// the value 0 — when there is nothing to return: a nil or empty series, or
+// a query instant before the first recorded point. A point recorded exactly
+// at t is included.
 func (s *Series) At(t sim.Time) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
 	idx := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T > t }) - 1
 	if idx < 0 {
 		return 0, false
@@ -106,13 +111,19 @@ func NewRecorder() *Recorder {
 }
 
 // Record appends a timestamped value to the named series. Timestamps must
-// be non-decreasing per series.
+// be non-decreasing per series. Non-finite values (NaN, ±Inf) are rejected:
+// they have no canonical JSON encoding, so letting one in would corrupt the
+// store's re-encoding-equality guarantee long after the recording site is
+// gone — the error surfaces the bug where it happened.
 func (r *Recorder) Record(name string, t sim.Time, value float64) error {
 	if name == "" {
 		return fmt.Errorf("metrics: empty series name")
 	}
 	if !t.IsValid() {
 		return fmt.Errorf("metrics: invalid timestamp %v", float64(t))
+	}
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("metrics: series %q: non-finite value %v at %v", name, value, t)
 	}
 	s, ok := r.series[name]
 	if !ok {
@@ -127,8 +138,15 @@ func (r *Recorder) Record(name string, t sim.Time, value float64) error {
 	return nil
 }
 
-// Add increments the named counter.
+// Add increments the named counter. A non-finite delta (NaN, ±Inf) is
+// ignored: one bad increment must not poison the counter — and with it the
+// run's canonical bytes — for the rest of the run. (Record, which keeps
+// every sample, rejects loudly instead; a dropped increment is recoverable,
+// a corrupted series point is not.)
 func (r *Recorder) Add(name string, delta float64) {
+	if math.IsNaN(delta) || math.IsInf(delta, 0) {
+		return
+	}
 	if _, ok := r.counters[name]; !ok {
 		r.corder = append(r.corder, name)
 	}
@@ -301,9 +319,18 @@ const (
 )
 
 // MovingAverage returns a copy of the series smoothed with a trailing
-// window of k points (k <= 1 returns an unsmoothed copy). Useful for
-// plotting the noisy per-round accuracy curves of highly skewed runs.
+// window of k points. Useful for plotting the noisy per-round accuracy
+// curves of highly skewed runs. Edge cases are total:
+//   - a nil receiver returns an empty unnamed series, an empty series an
+//     empty copy;
+//   - k <= 1 (including zero and negative) returns an unsmoothed copy —
+//     a window of at most one point is no smoothing at all;
+//   - k > Len() clamps each window to the points available so far, so the
+//     result is the prefix mean rather than an error or a short series.
 func (s *Series) MovingAverage(k int) *Series {
+	if s == nil {
+		return &Series{}
+	}
 	out := &Series{Name: s.Name}
 	if len(s.Points) == 0 {
 		return out

@@ -273,3 +273,159 @@ func TestMovingAverage(t *testing.T) {
 		t.Fatalf("wide window last = %v, want 4", wide.Points[3].Value)
 	}
 }
+
+// TestSeriesAtEdgeCases pins down the documented At contract on every
+// boundary: nil and empty receivers, a query before the first point, exact
+// hits on the first and last points, between-point queries (latest at-or-
+// before wins), and queries past the end.
+func TestSeriesAtEdgeCases(t *testing.T) {
+	three := &Series{Name: "s", Points: []Point{{T: 10, Value: 1}, {T: 20, Value: 2}, {T: 30, Value: 3}}}
+	var nilSeries *Series
+	cases := []struct {
+		name   string
+		s      *Series
+		t      sim.Time
+		want   float64
+		wantOK bool
+	}{
+		{"nil receiver", nilSeries, 10, 0, false},
+		{"empty series", &Series{Name: "e"}, 10, 0, false},
+		{"before first point", three, 9, 0, false},
+		{"just before first point", three, 9.999, 0, false},
+		{"exactly at first point", three, 10, 1, true},
+		{"between points", three, 25, 2, true},
+		{"exactly at last point", three, 30, 3, true},
+		{"after last point", three, 1e9, 3, true},
+		{"at zero on empty", &Series{}, 0, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := tc.s.At(tc.t)
+			if got != tc.want || ok != tc.wantOK {
+				t.Fatalf("At(%v) = (%v, %v), want (%v, %v)", tc.t, got, ok, tc.want, tc.wantOK)
+			}
+		})
+	}
+}
+
+// TestMovingAverageEdgeCases pins down the documented total behaviour of
+// MovingAverage on degenerate windows and receivers: nil and empty series,
+// k <= 0, k == 1 (identity copy), and k larger than the series (prefix
+// means), alongside a normal window for contrast.
+func TestMovingAverageEdgeCases(t *testing.T) {
+	base := &Series{Name: "s", Points: []Point{{T: 0, Value: 2}, {T: 1, Value: 4}, {T: 2, Value: 6}}}
+	var nilSeries *Series
+	cases := []struct {
+		name string
+		s    *Series
+		k    int
+		want []float64 // nil means expect zero points
+	}{
+		{"nil receiver", nilSeries, 3, nil},
+		{"empty series", &Series{Name: "e"}, 3, nil},
+		{"k negative", base, -2, []float64{2, 4, 6}},
+		{"k zero", base, 0, []float64{2, 4, 6}},
+		{"k one", base, 1, []float64{2, 4, 6}},
+		{"k two", base, 2, []float64{2, 3, 5}},
+		{"k equals len", base, 3, []float64{2, 3, 4}},
+		{"k beyond len", base, 100, []float64{2, 3, 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.s.MovingAverage(tc.k)
+			if got == nil {
+				t.Fatal("MovingAverage returned nil")
+			}
+			if got.Len() != len(tc.want) {
+				t.Fatalf("len = %d, want %d (%+v)", got.Len(), len(tc.want), got.Points)
+			}
+			for i, w := range tc.want {
+				if got.Points[i].Value != w {
+					t.Fatalf("point %d = %v, want %v (%+v)", i, got.Points[i].Value, w, got.Points)
+				}
+				if got.Points[i].T != tc.s.Points[i].T {
+					t.Fatalf("point %d timestamp changed: %v", i, got.Points[i].T)
+				}
+			}
+		})
+	}
+}
+
+// TestRecordRejectsNonFinite: NaN and ±Inf must never enter a series —
+// they have no canonical JSON encoding, so one slipping through would
+// corrupt the run store's re-encoding-equality check far from the bug.
+func TestRecordRejectsNonFinite(t *testing.T) {
+	for name, v := range map[string]float64{
+		"NaN":  math.NaN(),
+		"+Inf": math.Inf(1),
+		"-Inf": math.Inf(-1),
+	} {
+		t.Run(name, func(t *testing.T) {
+			r := NewRecorder()
+			if err := r.Record("fresh", 0, v); err == nil {
+				t.Fatalf("Record accepted %v", v)
+			}
+			// A rejected first touch must not register the series.
+			if r.Series("fresh") != nil || len(r.SeriesNames()) != 0 {
+				t.Fatalf("rejected record registered series: %v", r.SeriesNames())
+			}
+			// A rejected record on an existing series must not append.
+			if err := r.Record("s", 1, 0.5); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Record("s", 2, v); err == nil {
+				t.Fatalf("Record accepted %v on existing series", v)
+			}
+			if got := r.Series("s").Len(); got != 1 {
+				t.Fatalf("series grew to %d points after rejected record", got)
+			}
+		})
+	}
+}
+
+// TestAddIgnoresNonFinite: a non-finite counter delta is dropped without
+// touching the counter's value or registering its name.
+func TestAddIgnoresNonFinite(t *testing.T) {
+	for name, v := range map[string]float64{
+		"NaN":  math.NaN(),
+		"+Inf": math.Inf(1),
+		"-Inf": math.Inf(-1),
+	} {
+		t.Run(name, func(t *testing.T) {
+			r := NewRecorder()
+			// First touch with a non-finite delta must not register the name.
+			r.Add("fresh", v)
+			if len(r.CounterNames()) != 0 {
+				t.Fatalf("non-finite first touch registered counter: %v", r.CounterNames())
+			}
+			// An existing counter must keep its value.
+			r.Add("c", 3)
+			r.Add("c", v)
+			if got := r.Counter("c"); got != 3 {
+				t.Fatalf("counter = %v after non-finite add, want 3", got)
+			}
+			names := r.CounterNames()
+			if len(names) != 1 || names[0] != "c" {
+				t.Fatalf("counter names = %v, want [c]", names)
+			}
+		})
+	}
+}
+
+// TestSnapshotJSONStaysFinite ties the two guards together: no sequence of
+// Record/Add calls can produce a snapshot that fails to marshal as strict
+// JSON (which rejects NaN/Inf) — the property the content-addressed store
+// depends on.
+func TestSnapshotJSONStaysFinite(t *testing.T) {
+	r := NewRecorder()
+	if err := r.Record("s", 0, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.Record("s", 1, math.NaN())
+	_ = r.Record("s", 2, math.Inf(1))
+	r.Add("c", 1)
+	r.Add("c", math.Inf(-1))
+	if _, err := json.Marshal(r.Snapshot()); err != nil {
+		t.Fatalf("snapshot not strict-JSON-encodable: %v", err)
+	}
+}

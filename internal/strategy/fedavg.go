@@ -8,6 +8,7 @@ import (
 	"roadrunner/internal/metrics"
 	"roadrunner/internal/ml"
 	"roadrunner/internal/sim"
+	"roadrunner/internal/trace"
 )
 
 // Message tags shared by the server-driven strategies.
@@ -78,6 +79,7 @@ type FederatedAveraging struct {
 	round        int // 1-based; 0 before the first round
 	roundStart   sim.Time
 	roundEnded   bool
+	roundSpan    trace.SpanID
 	participants map[sim.AgentID]bool
 	trained      map[sim.AgentID]pendingUpdate
 	awaiting     int
@@ -131,6 +133,14 @@ func (f *FederatedAveraging) startRound(env Env) {
 	f.awaiting = 0
 	f.collected = f.collected[:0]
 	f.weights = f.weights[:0]
+
+	// The round span scopes everything the round causes — transfers,
+	// trains, evals emitted by the core nest under it automatically.
+	tr := env.Tracer()
+	f.roundSpan = tr.BeginRoot(trace.KindRound, "round")
+	tr.AttrInt(f.roundSpan, "round", int64(f.round))
+	tr.Attr(f.roundSpan, "strategy", "fedavg")
+	tr.SetScope(f.roundSpan)
 
 	global := env.Model(env.Server())
 	for _, v := range pickOnVehicles(env, f.cfg.VehiclesPerRound) {
@@ -235,16 +245,26 @@ func (f *FederatedAveraging) maybeAggregate(env Env) {
 	if !f.roundEnded || f.awaiting > 0 {
 		return
 	}
+	tr := env.Tracer()
 	if len(f.collected) > 0 {
+		// The aggregate phase is an instant child span of the round.
+		aggSpan := tr.Begin(trace.KindRound, "aggregate")
+		tr.AttrInt(aggSpan, "models", int64(len(f.collected)))
 		global, err := env.Aggregate(f.collected, f.weights)
 		if err != nil {
 			env.Logf("fedavg: round %d: aggregate: %v", f.round, err)
+			tr.EndWith(aggSpan, "status", "error")
 		} else {
 			env.SetModel(env.Server(), global)
+			tr.End(aggSpan)
 		}
 	}
 	recordGlobalAccuracy(env, f.round, len(f.collected))
 	recordProvenance(env, len(f.provenance))
+	tr.AttrInt(f.roundSpan, "collected", int64(len(f.collected)))
+	tr.End(f.roundSpan)
+	tr.SetScope(0)
+	f.roundSpan = 0
 	f.scheduleNextRound(env)
 }
 

@@ -9,6 +9,7 @@ import (
 	"roadrunner/internal/metrics"
 	"roadrunner/internal/ml"
 	"roadrunner/internal/sim"
+	"roadrunner/internal/trace"
 )
 
 // mockEnv is a scripted strategy.Env for unit-testing strategy logic in
@@ -182,8 +183,13 @@ func (e *mockEnv) After(d sim.Duration, fn func()) error {
 }
 
 func (e *mockEnv) Metrics() *metrics.Recorder { return e.rec }
-func (e *mockEnv) Stop()                      { e.stopped = true }
-func (e *mockEnv) Logf(string, ...any)        {}
+
+// Tracer returns nil: strategy unit tests run untraced, which doubles as
+// coverage for the nil-receiver no-op contract at every call site.
+func (e *mockEnv) Tracer() *trace.Tracer { return nil }
+
+func (e *mockEnv) Stop()               { e.stopped = true }
+func (e *mockEnv) Logf(string, ...any) {}
 
 // advance moves the clock to t and fires due timers in time order.
 func (e *mockEnv) advance(t sim.Time) {

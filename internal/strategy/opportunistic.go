@@ -8,6 +8,7 @@ import (
 	"roadrunner/internal/metrics"
 	"roadrunner/internal/ml"
 	"roadrunner/internal/sim"
+	"roadrunner/internal/trace"
 )
 
 // OppConfig parameterizes the paper's OPP strategy (§5.2): FL extended with
@@ -70,6 +71,7 @@ type reporterState struct {
 	contacted   map[sim.AgentID]bool // peers offered this round
 	pendingPeer sim.AgentID          // peer with an exchange in flight (NoAgent if none)
 	exchanges   int                  // successful V2X model collections
+	exchSpan    trace.SpanID         // trace span of the in-flight exchange (0 if none)
 }
 
 // servingState tracks a non-reporter retraining a forwarded model.
@@ -92,6 +94,7 @@ type Opportunistic struct {
 	round      int
 	roundStart sim.Time
 	roundEnded bool
+	roundSpan  trace.SpanID
 	reporters  map[sim.AgentID]*reporterState
 	serving    map[sim.AgentID]servingState
 	awaiting   int
@@ -143,6 +146,14 @@ func (o *Opportunistic) startRound(env Env) {
 	o.weights = o.weights[:0]
 	o.contribs = 0
 
+	// See FederatedAveraging.startRound: the round span scopes every
+	// transfer, train, eval, and exchange the round causes.
+	tr := env.Tracer()
+	o.roundSpan = tr.BeginRoot(trace.KindRound, "round")
+	tr.AttrInt(o.roundSpan, "round", int64(o.round))
+	tr.Attr(o.roundSpan, "strategy", "opportunistic")
+	tr.SetScope(o.roundSpan)
+
 	global := env.Model(env.Server())
 	for _, v := range pickOnVehicles(env, o.cfg.Reporters) {
 		p := Payload{Tag: tagGlobal, Round: o.round, Model: global}
@@ -183,6 +194,8 @@ func (o *Opportunistic) OnDeliver(env Env, msg *comm.Message, p Payload) {
 	case tagDecline:
 		if st, ok := o.reporters[msg.To]; ok && p.Round == o.round && st.pendingPeer == msg.From {
 			st.pendingPeer = sim.NoAgent
+			env.Tracer().EndWith(st.exchSpan, "status", "declined")
+			st.exchSpan = 0
 			o.tryExchanges(env, msg.To, st)
 		}
 	case tagUpdate:
@@ -239,6 +252,8 @@ func (o *Opportunistic) handleRetrained(env Env, msg *comm.Message, p Payload) {
 	}
 	if st.pendingPeer == msg.From {
 		st.pendingPeer = sim.NoAgent
+		env.Tracer().EndWith(st.exchSpan, "status", "collected")
+		st.exchSpan = 0
 	}
 	if !st.retrainDone {
 		// Own retraining unfinished (should not happen: offers are only
@@ -270,6 +285,8 @@ func (o *Opportunistic) OnSendFailed(env Env, msg *comm.Message, p Payload, reas
 	case tagOffer:
 		if st, ok := o.reporters[msg.From]; ok && p.Round == o.round && st.pendingPeer == msg.To {
 			st.pendingPeer = sim.NoAgent
+			env.Tracer().EndWith(st.exchSpan, "status", "offer-failed")
+			st.exchSpan = 0
 			if !o.roundEnded {
 				o.tryExchanges(env, msg.From, st)
 			}
@@ -384,10 +401,18 @@ func (o *Opportunistic) maybeOffer(env Env, r, peer sim.AgentID) {
 	}
 	st.contacted[peer] = true
 	st.pendingPeer = peer
+	// The exchange span covers the whole offer -> retrained/decline/timeout
+	// conversation and nests under the round via the tracer scope.
+	tr := env.Tracer()
+	st.exchSpan = tr.Begin(trace.KindEncounterExchange, "exchange")
+	tr.AttrUint(st.exchSpan, "reporter", uint64(r))
+	tr.AttrUint(st.exchSpan, "peer", uint64(peer))
 	round := o.round
 	if err := env.After(o.cfg.ExchangeTimeout, func() {
 		if round == o.round && st.pendingPeer == peer {
 			st.pendingPeer = sim.NoAgent
+			env.Tracer().EndWith(st.exchSpan, "status", "timeout")
+			st.exchSpan = 0
 			if !o.roundEnded {
 				o.tryExchanges(env, r, st)
 			}
@@ -445,16 +470,25 @@ func (o *Opportunistic) maybeAggregate(env Env) {
 	if !o.roundEnded || o.awaiting > 0 {
 		return
 	}
+	tr := env.Tracer()
 	if len(o.collected) > 0 {
+		aggSpan := tr.Begin(trace.KindRound, "aggregate")
+		tr.AttrInt(aggSpan, "models", int64(len(o.collected)))
 		global, err := env.Aggregate(o.collected, o.weights)
 		if err != nil {
 			env.Logf("opp: round %d: aggregate: %v", o.round, err)
+			tr.EndWith(aggSpan, "status", "error")
 		} else {
 			env.SetModel(env.Server(), global)
+			tr.End(aggSpan)
 		}
 	}
 	recordGlobalAccuracy(env, o.round, o.contribs)
 	recordProvenance(env, len(o.provenance))
+	tr.AttrInt(o.roundSpan, "collected", int64(len(o.collected)))
+	tr.End(o.roundSpan)
+	tr.SetScope(0)
+	o.roundSpan = 0
 	next := o.roundStart.Add(o.cfg.RoundDuration).Add(o.cfg.ServerOverhead)
 	delay := next.Sub(env.Now())
 	if delay < 0 {

@@ -19,6 +19,7 @@ import (
 	"roadrunner/internal/metrics"
 	"roadrunner/internal/ml"
 	"roadrunner/internal/sim"
+	"roadrunner/internal/trace"
 )
 
 // Payload is the strategy-level content of a transferred message. The
@@ -113,6 +114,11 @@ type Env interface {
 	After(d sim.Duration, fn func()) error
 	// Metrics returns the experiment's metric recorder.
 	Metrics() *metrics.Recorder
+	// Tracer returns the experiment's span tracer, nil (disabled, every
+	// method a no-op) unless the run enables tracing. Strategies use it
+	// to mark round and exchange phases; the core emits train, eval,
+	// transfer, tick, and fault-window spans itself.
+	Tracer() *trace.Tracer
 	// Stop ends the experiment after the current event.
 	Stop()
 	// Logf emits a diagnostic line (discarded unless the experiment

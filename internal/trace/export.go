@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Export formats. Both are hand-written rather than reflected through
+// encoding/json's map machinery so that byte output is a pure function
+// of the trace: fixed field order, fixed float formatting (strconv 'g',
+// shortest round-trip — the same convention as core's canonical result
+// encoding), spans in ID order, attributes in emission order.
+
+func formatInt(v int64) string   { return strconv.FormatInt(v, 10) }
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// canonicalHeader is the first line of the CSV/canonical encoding; bump
+// the version when the format changes.
+const canonicalHeader = "# roadrunner-trace-v1"
+
+// WriteCSV writes the compact CSV export: a header comment, one
+// meta,<key>,<value> line per trace attribute, then one span line per
+// span:
+//
+//	span,<id>,<parent>,<kind>,<name>,<start_s>,<end_s>,<ended>,<k=v;k=v>
+//
+// Fields containing commas, quotes, or newlines are quoted per RFC
+// 4180; attribute pairs are joined with ';' inside one field.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	if tr == nil {
+		return fmt.Errorf("trace: export of nil trace")
+	}
+	bw := newErrWriter(w)
+	bw.line(canonicalHeader)
+	for _, a := range tr.Meta {
+		bw.fields("meta", a.Key, a.Value)
+	}
+	for _, s := range tr.Spans {
+		ended := "0"
+		if s.Ended {
+			ended = "1"
+		}
+		bw.fields("span",
+			formatUint(uint64(s.ID)),
+			formatUint(uint64(s.Parent)),
+			s.Kind,
+			s.Name,
+			formatFloat(float64(s.Start)),
+			formatFloat(float64(s.End)),
+			ended,
+			joinAttrs(s.Attrs),
+		)
+	}
+	return bw.err
+}
+
+// CanonicalBytes returns the byte-stable encoding of the trace — the
+// CSV export — used by the determinism regression tests exactly like
+// core.Result.CanonicalBytes: same (config, seed, plan) ⇒ identical
+// bytes at any worker count or GOMAXPROCS.
+func (tr *Trace) CanonicalBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteChromeJSON writes the trace in Chrome trace_event format — an
+// object with a traceEvents array of "X" (complete) events — loadable
+// by chrome://tracing and Perfetto. Simulated seconds map to trace
+// microseconds, so one sim-second reads as one millisecond-scale unit
+// in the viewer; rows (tid) group spans by the agent they concern.
+func (tr *Trace) WriteChromeJSON(w io.Writer) error {
+	if tr == nil {
+		return fmt.Errorf("trace: export of nil trace")
+	}
+	bw := newErrWriter(w)
+	bw.printf("{\"displayTimeUnit\":\"ms\",\"otherData\":{")
+	for i, a := range tr.Meta {
+		if i > 0 {
+			bw.printf(",")
+		}
+		bw.printf("%s:%s", jsonString(a.Key), jsonString(a.Value))
+	}
+	bw.printf("},\"traceEvents\":[")
+	for i, s := range tr.Spans {
+		if i > 0 {
+			bw.printf(",")
+		}
+		dur := float64(s.End-s.Start) * 1e6
+		if dur < 0 {
+			dur = 0
+		}
+		bw.printf("\n{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":%d,\"args\":{",
+			jsonString(s.Name), jsonString(s.Kind),
+			formatFloat(float64(s.Start)*1e6), formatFloat(dur), s.tid())
+		bw.printf("\"span\":%s", jsonString(formatUint(uint64(s.ID))))
+		if s.Parent != 0 {
+			bw.printf(",\"parent\":%s", jsonString(formatUint(uint64(s.Parent))))
+		}
+		for _, a := range s.Attrs {
+			bw.printf(",%s:%s", jsonString(a.Key), jsonString(a.Value))
+		}
+		bw.printf("}}")
+	}
+	bw.printf("\n]}\n")
+	return bw.err
+}
+
+// tid picks the viewer row for a span: the first agent-identifying
+// attribute ("agent" for trains/evals, "from" for transfers,
+// "reporter" for exchanges), or row 0 for run-level spans (rounds,
+// ticks, fault windows).
+func (s *Span) tid() int64 {
+	for _, a := range s.Attrs {
+		switch a.Key {
+		case "agent", "from", "reporter":
+			if v, err := strconv.ParseInt(a.Value, 10, 64); err == nil {
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+// joinAttrs renders ordered attributes as k=v pairs joined with ';'.
+// The join is for compactness, not for lossless parsing — consumers
+// needing full fidelity use the Chrome JSON export.
+func joinAttrs(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	var b bytes.Buffer
+	for i, a := range attrs {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(a.Value)
+	}
+	return b.String()
+}
+
+// jsonString renders s as a JSON string literal. encoding/json's
+// string encoding is deterministic, which is all the byte-identity
+// contract needs.
+func jsonString(s string) string {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return `""`
+	}
+	return string(data)
+}
+
+// errWriter collapses repeated error checks on sequential writes.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func newErrWriter(w io.Writer) *errWriter { return &errWriter{w: w} }
+
+func (b *errWriter) printf(format string, args ...any) {
+	if b.err != nil {
+		return
+	}
+	_, b.err = fmt.Fprintf(b.w, format, args...)
+}
+
+func (b *errWriter) line(s string) {
+	if b.err != nil {
+		return
+	}
+	_, b.err = io.WriteString(b.w, s+"\n")
+}
+
+// fields writes one CSV record with RFC 4180 quoting.
+func (b *errWriter) fields(fs ...string) {
+	if b.err != nil {
+		return
+	}
+	var rec bytes.Buffer
+	for i, f := range fs {
+		if i > 0 {
+			rec.WriteByte(',')
+		}
+		rec.WriteString(csvQuote(f))
+	}
+	rec.WriteByte('\n')
+	_, b.err = b.w.Write(rec.Bytes())
+}
+
+func csvQuote(f string) string {
+	if !strings.ContainsAny(f, ",\"\n\r") {
+		return f
+	}
+	var b bytes.Buffer
+	b.WriteByte('"')
+	for i := 0; i < len(f); i++ {
+		if f[i] == '"' {
+			b.WriteByte('"')
+		}
+		b.WriteByte(f[i])
+	}
+	b.WriteByte('"')
+	return b.String()
+}

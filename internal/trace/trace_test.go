@@ -1,0 +1,259 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"roadrunner/internal/sim"
+)
+
+// fakeClock is a settable simulated clock for driving the tracer
+// without an engine.
+type fakeClock struct{ t sim.Time }
+
+func (c *fakeClock) Now() sim.Time { return c.t }
+
+// buildSample produces a small but representative trace: nested scope,
+// typed attributes, an instant span, a failure path, and a span left
+// open for Finish to truncate.
+func buildSample() *Trace {
+	clk := &fakeClock{}
+	tr := New(clk, Attr{"seed", "42"}, Attr{"strategy", "fedavg"})
+
+	round := tr.Begin(KindRound, "round")
+	tr.AttrInt(round, "round", 1)
+	tr.SetScope(round)
+
+	clk.t = 1.5
+	train := tr.Begin(KindTrain, "train")
+	tr.AttrUint(train, "agent", 7)
+	tr.AttrInt(train, "examples", 96)
+
+	xfer := tr.Begin(KindTransfer, "transfer")
+	tr.AttrUint(xfer, "from", 7)
+	tr.AttrUint(xfer, "to", 0)
+	tr.AttrErr(xfer, "error", errors.New(`dropped, "burst"`))
+
+	clk.t = 2.25
+	tr.EndWith(xfer, "status", "failed")
+	tr.End(train)
+
+	ev := tr.Begin(KindEval, "eval")
+	tr.AttrFloat(ev, "accuracy", 0.625)
+	tr.End(ev)
+
+	clk.t = 4
+	tr.End(round)
+	tr.SetScope(0)
+
+	open := tr.BeginRoot(KindFaultWindow, "v2c-blackout")
+	_ = open // left open deliberately
+
+	tr.Finish(10)
+	return tr.Snapshot()
+}
+
+func TestTracerStructure(t *testing.T) {
+	trc := buildSample()
+	if len(trc.Spans) != 5 {
+		t.Fatalf("spans = %d, want 5", len(trc.Spans))
+	}
+	round, train, xfer, ev, fw := trc.Spans[0], trc.Spans[1], trc.Spans[2], trc.Spans[3], trc.Spans[4]
+	if round.Parent != 0 || train.Parent != round.ID || xfer.Parent != round.ID || ev.Parent != round.ID {
+		t.Fatalf("parent links wrong: %+v", trc.Spans)
+	}
+	if train.Start != 1.5 || train.End != 2.25 || !train.Ended {
+		t.Fatalf("train span interval wrong: %+v", train)
+	}
+	if ev.Start != ev.End {
+		t.Fatalf("eval should be instant: %+v", ev)
+	}
+	if fw.Ended || fw.End != 10 {
+		t.Fatalf("finish should truncate open span at 10: %+v", fw)
+	}
+	last := fw.Attrs[len(fw.Attrs)-1]
+	if last.Key != "truncated" || last.Value != "horizon" {
+		t.Fatalf("truncated attr missing: %+v", fw.Attrs)
+	}
+	if got := xfer.Attrs[len(xfer.Attrs)-1]; got.Key != "status" || got.Value != "failed" {
+		t.Fatalf("EndWith attr missing: %+v", xfer.Attrs)
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	id := tr.Begin(KindRound, "round")
+	if id != 0 {
+		t.Fatalf("nil Begin = %d, want 0", id)
+	}
+	tr.SetScope(5)
+	if tr.Scope() != 0 {
+		t.Fatal("nil Scope changed")
+	}
+	tr.Attr(id, "k", "v")
+	tr.AttrInt(id, "k", 1)
+	tr.AttrUint(id, "k", 1)
+	tr.AttrFloat(id, "k", 1)
+	tr.AttrErr(id, "k", errors.New("x"))
+	tr.End(id)
+	tr.EndWith(id, "k", "v")
+	tr.Finish(3)
+	if tr.Len() != 0 {
+		t.Fatalf("nil Len = %d", tr.Len())
+	}
+	if tr.Snapshot() != nil {
+		t.Fatal("nil Snapshot non-nil")
+	}
+	// New with a nil clock is the disabled tracer too.
+	if New(nil).Enabled() {
+		t.Fatal("New(nil) should be disabled")
+	}
+}
+
+// TestDisabledTracerZeroAllocs is the package-level half of the
+// zero-allocation-when-disabled contract; the conformance suite checks
+// the same property end-to-end through a disabled experiment.
+func TestDisabledTracerZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	err := errors.New("x")
+	allocs := testing.AllocsPerRun(1000, func() {
+		id := tr.Begin(KindTransfer, "transfer")
+		tr.AttrUint(id, "from", 3)
+		tr.AttrInt(id, "bytes", 4096)
+		tr.AttrFloat(id, "acc", 0.5)
+		tr.AttrErr(id, "error", err)
+		tr.EndWith(id, "status", "delivered")
+		tr.SetScope(id)
+		tr.End(id)
+		tr.Finish(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocated %v times per op, want 0", allocs)
+	}
+}
+
+func TestCanonicalBytesIdentity(t *testing.T) {
+	a, err := buildSample().CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildSample().CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical builds produced different canonical bytes:\n%s\n---\n%s", a, b)
+	}
+	if !bytes.HasPrefix(a, []byte(canonicalHeader)) {
+		t.Fatalf("canonical bytes missing header: %q", a[:32])
+	}
+}
+
+func TestWriteCSVParses(t *testing.T) {
+	data, err := buildSample().CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := strings.TrimPrefix(string(data), canonicalHeader+"\n")
+	rd := csv.NewReader(strings.NewReader(body))
+	rd.FieldsPerRecord = -1
+	recs, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("CSV export does not parse: %v", err)
+	}
+	meta, spans := 0, 0
+	for _, rec := range recs {
+		switch rec[0] {
+		case "meta":
+			meta++
+			if len(rec) != 3 {
+				t.Fatalf("meta record has %d fields: %v", len(rec), rec)
+			}
+		case "span":
+			spans++
+			if len(rec) != 9 {
+				t.Fatalf("span record has %d fields: %v", len(rec), rec)
+			}
+		default:
+			t.Fatalf("unknown record type %q", rec[0])
+		}
+	}
+	if meta != 2 || spans != 5 {
+		t.Fatalf("meta=%d spans=%d, want 2/5", meta, spans)
+	}
+}
+
+func TestWriteChromeJSONIsValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildSample().WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData"`
+		TraceEvents     []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			PID  int               `json:"pid"`
+			TID  int64             `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if doc.OtherData["seed"] != "42" || doc.OtherData["strategy"] != "fedavg" {
+		t.Fatalf("metadata missing: %v", doc.OtherData)
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("events = %d, want 5", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("phase %q, want X", ev.Ph)
+		}
+		if ev.Dur < 0 {
+			t.Fatalf("negative duration %v", ev.Dur)
+		}
+	}
+	train := doc.TraceEvents[1]
+	if train.Cat != KindTrain || train.TID != 7 || train.TS != 1.5e6 || train.Dur != 0.75e6 {
+		t.Fatalf("train event wrong: %+v", train)
+	}
+	if train.Args["parent"] != "1" || train.Args["agent"] != "7" {
+		t.Fatalf("train args wrong: %v", train.Args)
+	}
+}
+
+func TestExportNilTrace(t *testing.T) {
+	var tr *Trace
+	if err := tr.WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil trace CSV export should error")
+	}
+	if err := tr.WriteChromeJSON(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil trace chrome export should error")
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	for in, want := range map[string]string{
+		"plain":      "plain",
+		"a,b":        `"a,b"`,
+		`say "hi"`:   `"say ""hi"""`,
+		"line\nfeed": "\"line\nfeed\"",
+	} {
+		if got := csvQuote(in); got != want {
+			t.Fatalf("csvQuote(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
