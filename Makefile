@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race lint bench bench-check trace-demo cover e2e ci
+.PHONY: build vet test race lint lint-baseline bench bench-check trace-demo cover e2e ci
 
 # COVER_FLOOR is the minimum total statement coverage; measured at 79.7%
 # when the floor was introduced, with a small margin for platform noise.
@@ -39,8 +39,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# lint runs the whole determinism suite against the tracked baseline; the
+# intended steady state is an empty lint.baseline, so any finding is new.
 lint:
-	$(GO) run ./cmd/roadlint ./...
+	$(GO) run ./cmd/roadlint -baseline lint.baseline ./...
+
+# lint-baseline re-captures current findings as accepted debt. Use it only
+# mid-cleanup: the baseline is a ratchet, not a dumping ground.
+lint-baseline:
+	$(GO) run ./cmd/roadlint -baseline lint.baseline -update-baseline ./...
 
 # cover writes coverage.out and fails if total statement coverage drops
 # below COVER_FLOOR.

@@ -25,11 +25,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"roadrunner/internal/campaign"
@@ -81,5 +84,25 @@ func run(args []string, out io.Writer) error {
 		// bounded; this is host-side service plumbing, not simulated time.
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return hs.ListenAndServe()
+
+	// Serve until the listener fails or a termination signal arrives; on
+	// signal, stop accepting, then join every in-flight campaign goroutine
+	// so journals close at a run boundary instead of mid-write.
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	select {
+	case err := <-serveErr:
+		srv.drain()
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(out, "roadrunnerd: %s, draining in-flight campaigns\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		srv.drain()
+		return nil
+	}
 }

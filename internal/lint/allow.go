@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/token"
 	"strings"
 )
 
@@ -13,45 +14,71 @@ import (
 // project convention is one line explaining why the rule does not apply.
 const allowPrefix = "roadlint:allow"
 
+// allowEntry is one rule suppressed by one //roadlint:allow comment.
+// Entries record whether they matched a finding so the suppressaudit rule
+// can flag directives that no longer suppress anything.
+type allowEntry struct {
+	rule string
+	pos  token.Pos // position of the carrying comment
+	used bool      // set when the entry suppresses a finding
+}
+
+// parseAllow parses the text of one comment (including the leading "//")
+// and returns the rules it suppresses. ok is false when the comment is not
+// an allow directive at all; a well-formed directive with no rule names
+// returns ok with an empty rule list (the directive is inert).
+func parseAllow(comment string) (rules []string, ok bool) {
+	if !strings.HasPrefix(comment, "//") {
+		return nil, false // block comments do not carry directives
+	}
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	if !strings.HasPrefix(text, allowPrefix) {
+		return nil, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, true
+	}
+	for _, rule := range strings.Split(fields[0], ",") {
+		rule = strings.TrimSpace(rule)
+		if rule != "" {
+			rules = append(rules, rule)
+		}
+	}
+	return rules, true
+}
+
 // buildAllowIndex scans the file's comments for suppression directives and
 // records which rules are allowed on which lines.
 func (f *File) buildAllowIndex() {
-	f.allow = make(map[int][]string)
+	f.allow = make(map[int][]*allowEntry)
 	for _, group := range f.AST.Comments {
 		for _, c := range group.List {
-			text := c.Text
-			if !strings.HasPrefix(text, "//") {
-				continue // block comments do not carry directives
-			}
-			text = strings.TrimSpace(strings.TrimPrefix(text, "//"))
-			if !strings.HasPrefix(text, allowPrefix) {
+			rules, ok := parseAllow(c.Text)
+			if !ok {
 				continue
 			}
-			rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
-			fields := strings.Fields(rest)
-			if len(fields) == 0 {
-				continue // bare directive with no rule names: inert
-			}
 			line := f.Fset.Position(c.Pos()).Line
-			for _, rule := range strings.Split(fields[0], ",") {
-				rule = strings.TrimSpace(rule)
-				if rule != "" {
-					f.allow[line] = append(f.allow[line], rule)
-				}
+			for _, rule := range rules {
+				f.allow[line] = append(f.allow[line], &allowEntry{rule: rule, pos: c.Pos()})
 			}
 		}
 	}
 }
 
 // suppressed reports whether rule is allowed on line, either by a
-// same-line comment or by one on the line directly above.
+// same-line comment or by one on the line directly above, and marks the
+// matching directive as used for the suppressaudit rule.
 func (f *File) suppressed(rule string, line int) bool {
+	hit := false
 	for _, l := range []int{line, line - 1} {
-		for _, r := range f.allow[l] {
-			if r == rule {
-				return true
+		for _, e := range f.allow[l] {
+			if e.rule == rule {
+				e.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
 }

@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+func FuzzParseAllow(f *testing.F) {
+	f.Add("//roadlint:allow detrand seeded corpus")
+	f.Add("//roadlint:allow detrand,wallclock two rules")
+	f.Add("// roadlint:allow maporder spaced prefix")
+	f.Add("//roadlint:allow")
+	f.Add("//roadlint:allow ,,, degenerate list")
+	f.Add("/* roadlint:allow detrand */")
+	f.Add("// plain comment")
+	f.Add("//roadlint:allowdetrand")
+	f.Add("")
+	f.Add("//roadlint:allow \x00 weird")
+	f.Fuzz(func(t *testing.T, comment string) {
+		rules, ok := parseAllow(comment)
+		if !ok && rules != nil {
+			t.Fatalf("parseAllow(%q): rules %v with ok=false", comment, rules)
+		}
+		if !ok {
+			return
+		}
+		// A directive was recognized: the comment must be a line comment
+		// carrying the prefix.
+		if !strings.HasPrefix(comment, "//") {
+			t.Fatalf("parseAllow(%q): directive recognized in a non-line comment", comment)
+		}
+		if !strings.Contains(comment, allowPrefix) {
+			t.Fatalf("parseAllow(%q): directive recognized without the %q prefix", comment, allowPrefix)
+		}
+		for _, r := range rules {
+			if r == "" {
+				t.Fatalf("parseAllow(%q): empty rule name in %v", comment, rules)
+			}
+			if strings.ContainsFunc(r, unicode.IsSpace) || strings.Contains(r, ",") {
+				t.Fatalf("parseAllow(%q): rule %q contains a separator", comment, r)
+			}
+		}
+		// Parsing must be stable: reconstructing the directive from its
+		// parse yields the same rule list.
+		round, ok2 := parseAllow("//" + allowPrefix + " " + strings.Join(rules, ","))
+		if !ok2 || strings.Join(round, ",") != strings.Join(rules, ",") {
+			t.Fatalf("parseAllow(%q): reparse of %v gave %v (ok=%v)", comment, rules, round, ok2)
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// baselineVersion is the on-disk schema version of baseline files.
+const baselineVersion = 1
+
+// BaselineEntry is one accepted finding. Line and column are recorded for
+// humans; matching ignores them so the baseline survives unrelated edits
+// that shift line numbers. A finding matches an entry when rule, file, and
+// message agree; each entry cancels at most one finding, so duplicated
+// violations need duplicated entries (and -update-baseline writes exactly
+// that).
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"` // module-relative, slash-separated
+	Line    int    `json:"line"`
+	Message string `json:"message"`
+}
+
+// Baseline is a set of findings accepted as pre-existing debt: they are
+// filtered from the report, so the exit-code gate only fires on new
+// findings. The intended steady state is an empty baseline — every finding
+// fixed or carrying a justified //roadlint:allow — with the file acting as
+// a ratchet during cleanups.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// baselineKey is the matching identity of an entry.
+func baselineKey(rule, file, msg string) string {
+	return rule + "\x00" + file + "\x00" + msg
+}
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d (want %d)", path, b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// NewBaseline builds a baseline accepting diags, with file paths mapped
+// through rel (typically to module-relative form).
+func NewBaseline(diags []Diagnostic, rel func(string) string) *Baseline {
+	b := &Baseline{Version: baselineVersion, Findings: make([]BaselineEntry, 0, len(diags))}
+	for _, d := range diags {
+		b.Findings = append(b.Findings, BaselineEntry{
+			Rule:    d.Rule,
+			File:    rel(d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Message: d.Msg,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Line != c.Line {
+			return a.Line < c.Line
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// WriteBaseline writes b to path in canonical indented JSON with a
+// trailing newline, so baselines diff cleanly under version control.
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	return nil
+}
+
+// Filter splits diags into findings not covered by the baseline (kept) and
+// the count it absorbed. stale reports baseline entries that matched
+// nothing — debt that has been paid and should be dropped from the file.
+func (b *Baseline) Filter(diags []Diagnostic, rel func(string) string) (kept []Diagnostic, absorbed int, stale []BaselineEntry) {
+	budget := make(map[string]int, len(b.Findings))
+	for _, e := range b.Findings {
+		budget[baselineKey(e.Rule, e.File, e.Message)]++
+	}
+	for _, d := range diags {
+		key := baselineKey(d.Rule, rel(d.Pos.Filename), d.Msg)
+		if budget[key] > 0 {
+			budget[key]--
+			absorbed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, e := range b.Findings {
+		key := baselineKey(e.Rule, e.File, e.Message)
+		if budget[key] > 0 {
+			budget[key]--
+			stale = append(stale, e)
+		}
+	}
+	return kept, absorbed, stale
+}

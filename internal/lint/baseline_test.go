@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func bdiag(file string, line int, rule, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:  token.Position{Filename: file, Line: line, Column: 1},
+		Rule: rule,
+		Msg:  msg,
+	}
+}
+
+func ident(s string) string { return s }
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		bdiag("b.go", 9, "wallclock", "time.Now"),
+		bdiag("a.go", 3, "detrand", "rand.Intn"),
+		bdiag("a.go", 3, "detrand", "rand.Intn"), // duplicate on purpose
+	}
+	b := NewBaseline(diags, ident)
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := WriteBaseline(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != baselineVersion {
+		t.Fatalf("version = %d, want %d", got.Version, baselineVersion)
+	}
+	if len(got.Findings) != 3 {
+		t.Fatalf("findings = %d, want 3", len(got.Findings))
+	}
+	// Entries are written in (file, line, rule, message) order.
+	if got.Findings[0].File != "a.go" || got.Findings[2].File != "b.go" {
+		t.Fatalf("findings out of order: %+v", got.Findings)
+	}
+	// Writing is canonical: a second write of the re-read baseline is
+	// byte-identical.
+	path2 := filepath.Join(t.TempDir(), "again.baseline")
+	if err := WriteBaseline(path2, got); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(path)
+	b2, _ := os.ReadFile(path2)
+	if string(b1) != string(b2) {
+		t.Fatalf("re-written baseline differs:\n%s\nvs\n%s", b1, b2)
+	}
+	if !strings.HasSuffix(string(b1), "\n") {
+		t.Fatal("baseline file has no trailing newline")
+	}
+}
+
+func TestBaselineFilter(t *testing.T) {
+	base := NewBaseline([]Diagnostic{
+		bdiag("a.go", 3, "detrand", "rand.Intn"),
+		bdiag("a.go", 4, "detrand", "rand.Intn"), // two occurrences baselined
+		bdiag("gone.go", 1, "wallclock", "time.Now"),
+	}, ident)
+
+	cases := []struct {
+		name     string
+		diags    []Diagnostic
+		kept     int
+		absorbed int
+		stale    int
+	}{
+		{
+			name: "line drift still matches",
+			diags: []Diagnostic{
+				bdiag("a.go", 30, "detrand", "rand.Intn"),
+				bdiag("a.go", 40, "detrand", "rand.Intn"),
+			},
+			kept: 0, absorbed: 2, stale: 1, // gone.go entry is paid debt
+		},
+		{
+			name: "third duplicate exceeds the budget",
+			diags: []Diagnostic{
+				bdiag("a.go", 3, "detrand", "rand.Intn"),
+				bdiag("a.go", 4, "detrand", "rand.Intn"),
+				bdiag("a.go", 5, "detrand", "rand.Intn"),
+			},
+			kept: 1, absorbed: 2, stale: 1,
+		},
+		{
+			name:  "different message is a new finding",
+			diags: []Diagnostic{bdiag("a.go", 3, "detrand", "rand.Float64")},
+			kept:  1, absorbed: 0, stale: 3,
+		},
+		{
+			name:  "different file is a new finding",
+			diags: []Diagnostic{bdiag("c.go", 3, "detrand", "rand.Intn")},
+			kept:  1, absorbed: 0, stale: 3,
+		},
+		{
+			name:  "empty run leaves all entries stale",
+			diags: nil,
+			kept:  0, absorbed: 0, stale: 3,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			kept, absorbed, stale := base.Filter(c.diags, ident)
+			if len(kept) != c.kept || absorbed != c.absorbed || len(stale) != c.stale {
+				t.Fatalf("Filter: kept=%d absorbed=%d stale=%d, want %d/%d/%d",
+					len(kept), absorbed, len(stale), c.kept, c.absorbed, c.stale)
+			}
+		})
+	}
+}
+
+func TestBaselineVersionGate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := os.WriteFile(path, []byte(`{"version": 99, "findings": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(path); err == nil || !strings.Contains(err.Error(), "unsupported version") {
+		t.Fatalf("ReadBaseline accepted version 99: %v", err)
+	}
+	if _, err := ReadBaseline(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("ReadBaseline on a missing file succeeded")
+	}
+}

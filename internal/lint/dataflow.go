@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// This file holds the dataflow vocabulary shared by the whole-program
+// analyzers (forkflow, goroutinejoin, floatorder): deciding whether a type
+// is the simulator's RNG, walking assignment targets to their base
+// identifier, and reasoning about what a function literal captures from
+// its environment. All of it leans on the module-graph loader: with
+// cross-package types resolved, "is this expression a *sim.RNG" is a type
+// question, not a name heuristic.
+
+// isRNGType reports whether t is the simulator RNG stream type (sim.RNG or
+// *sim.RNG), identified by its defining package path suffix so the check
+// holds for any module path the repository is vendored under.
+func isRNGType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Name() != "RNG" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "internal/sim" || strings.HasSuffix(path, "/internal/sim")
+}
+
+// isRNGExpr reports whether e's resolved type is the simulator RNG.
+func (f *File) isRNGExpr(e ast.Expr) bool {
+	return isRNGType(f.typeOf(e))
+}
+
+// isFloat reports whether e has a float32/float64 (or derived) type.
+func (f *File) isFloat(e ast.Expr) bool {
+	t := f.typeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// baseIdent walks a selector/index/deref/paren chain to its base
+// identifier: s.stats.Active -> s, results[idx] -> results. Returns nil
+// when the chain bottoms out in something else (a call result, a
+// composite literal).
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether id's declaration lies inside node n's
+// source span. Unresolved identifiers count as outside.
+func (f *File) declaredWithin(id *ast.Ident, n ast.Node) bool {
+	obj := f.objectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= n.Pos() && obj.Pos() <= n.End()
+}
+
+// capturedBase resolves the assignment target lhs to its base identifier
+// and reports whether that base is captured from outside the function
+// literal lit (including package-level state). A nil base counts as
+// captured: the write escapes through a chain the analysis cannot root.
+func (f *File) capturedBase(lhs ast.Expr, lit *ast.FuncLit) (*ast.Ident, bool) {
+	id := baseIdent(lhs)
+	if id == nil {
+		return nil, true
+	}
+	if id.Name == "_" {
+		return id, false
+	}
+	return id, !f.declaredWithin(id, lit)
+}
+
+// indexLocalTo reports whether lhs is an index expression a[i] whose index
+// chain is rooted in a variable declared inside n — the per-shard /
+// per-slot write pattern where concurrent workers own disjoint elements.
+func (f *File) indexLocalTo(lhs ast.Expr, n ast.Node) bool {
+	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id := baseIdent(idx.Index)
+	return id != nil && f.declaredWithin(id, n)
+}
+
+// callsSelector reports whether the subtree rooted at n contains a method
+// call named one of names (e.g. Lock/RLock to approximate mutex-guarded
+// sections, Done for WaitGroup completion). It returns the receiver
+// expression strings of every match, for cross-referencing against the
+// enclosing scope.
+func callsSelector(n ast.Node, names ...string) []string {
+	want := make(map[string]bool, len(names))
+	for _, name := range names {
+		want[name] = true
+	}
+	var recvs []string
+	ast.Inspect(n, func(c ast.Node) bool {
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && want[sel.Sel.Name] {
+			recvs = append(recvs, types.ExprString(sel.X))
+		}
+		return true
+	})
+	return recvs
+}
+
+// goroutineLit returns the function literal a go statement runs, if the
+// statement spawns one directly (go func(){...}() or go (func(){...})()).
+func goroutineLit(g *ast.GoStmt) *ast.FuncLit {
+	lit, _ := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	return lit
+}
+
+// rangeOverMap reports whether rs iterates a map, and rangeOverChan
+// whether it drains a channel, using resolved types with a syntactic
+// fallback for the map case.
+func (f *File) rangeOverMap(rs *ast.RangeStmt) bool { return f.isMapRange(rs) }
+
+func (f *File) rangeOverChan(rs *ast.RangeStmt) bool {
+	t := f.typeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// loopVarObjs collects the iteration-variable objects of a for or range
+// statement: range key/value idents, and variables declared by a classic
+// for statement's init clause.
+func (f *File) loopVarObjs(loop ast.Stmt) []types.Object {
+	var objs []types.Object
+	add := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := f.objectOf(id); obj != nil {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	switch s := loop.(type) {
+	case *ast.RangeStmt:
+		if s.Key != nil {
+			add(s.Key)
+		}
+		if s.Value != nil {
+			add(s.Value)
+		}
+	case *ast.ForStmt:
+		if init, ok := s.Init.(*ast.AssignStmt); ok {
+			for _, lhs := range init.Lhs {
+				add(lhs)
+			}
+		}
+	}
+	return objs
+}
+
+// usesObject reports whether the subtree rooted at n references obj.
+func (f *File) usesObject(n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && f.objectOf(id) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// enclosingLoops returns the for/range statements of body that contain
+// pos, outermost first. The walk does not descend into nested function
+// literals: their loops belong to a different frame.
+func enclosingLoops(body *ast.BlockStmt, n ast.Node) []ast.Stmt {
+	var loops []ast.Stmt
+	pos := n.Pos()
+	inspectShallow(body, func(c ast.Node) bool {
+		switch c.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if c.Pos() <= pos && pos <= c.End() {
+				loops = append(loops, c.(ast.Stmt))
+			}
+		}
+		return true
+	})
+	return loops
+}

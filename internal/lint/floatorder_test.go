@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestFloatOrderBad(t *testing.T) {
+	diags := runRule(t, FloatOrder{}, filepath.Join("floatorder", "bad"))
+	wantLines(t, diags, "floatorder",
+		[]int{8, 16, 24, 32},
+		[]string{
+			"map iteration order is randomized",
+			"map iteration order is randomized",
+			"channel receive order follows worker completion",
+			"map iteration order is randomized",
+		})
+}
+
+func TestFloatOrderGood(t *testing.T) {
+	wantNone(t, FloatOrder{}, filepath.Join("floatorder", "good"))
+}
+
+func TestFloatOrderScope(t *testing.T) {
+	cases := []struct {
+		rel      string
+		inModule bool
+		want     bool
+	}{
+		{"internal/core", true, true},
+		{"internal/sim", true, true},
+		{"internal/lint", true, false},
+		{"internal/lint/testdata/floatorder/bad", true, true},
+		{"cmd/roadlint", true, false},
+		{"scratch", false, true},
+	}
+	for _, c := range cases {
+		pkg := &Package{Rel: c.rel, InModule: c.inModule}
+		if got := floatOrderInScope(pkg); got != c.want {
+			t.Errorf("floatOrderInScope(%q, InModule=%v) = %v, want %v", c.rel, c.inModule, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ForkFlow tracks sim.RNG values through the program and flags the flows
+// that break the fork-tree discipline even when every individual Fork call
+// looks fine (forklabel's territory). The determinism contract is that the
+// root RNG and its forks form a tree rooted at the experiment seed, with a
+// fixed consumption order; the dataflow properties below are the ways that
+// tree silently degenerates at scale:
+//
+//   - a Fork inside a range-over-map derives child streams in randomized
+//     map order, so the same (config, seed) yields different stream
+//     assignments per run;
+//   - an RNG captured by a goroutine closure is shared mutable state (RNG
+//     is documented not concurrency-safe) and its draw interleaving
+//     depends on the scheduler — fork per goroutine and pass the child as
+//     an argument instead;
+//   - an RNG stored in package-level state outlives the experiment that
+//     seeded it and couples unrelated runs;
+//   - a freshly forked RNG stored into a field from inside a loop pins a
+//     per-iteration stream into state that survives tick boundaries, so
+//     stream consumption starts depending on iteration history.
+type ForkFlow struct{}
+
+func (ForkFlow) Name() string { return "forkflow" }
+
+func (ForkFlow) Doc() string {
+	return "flag RNG flows that break the fork tree: forks in map ranges, RNGs captured by goroutines or stored in globals"
+}
+
+func (ForkFlow) Check(f *File) []Diagnostic {
+	var diags []Diagnostic
+	diags = append(diags, f.forkInMapRange()...)
+	diags = append(diags, f.rngInGoroutine()...)
+	diags = append(diags, f.rngInGlobal()...)
+	diags = append(diags, f.forkStoredInLoop()...)
+	return diags
+}
+
+// isForkCall reports whether call is RNG.Fork, by resolved receiver type
+// when available and by the forklabel name heuristic when not.
+func (f *File) isForkCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Fork" || len(call.Args) != 1 {
+		return false
+	}
+	if t := f.typeOf(sel.X); t != nil {
+		return isRNGType(t)
+	}
+	// Unresolved receiver: fall back to the named-type heuristic shared
+	// with forklabel.
+	name := f.namedReceiver(sel.X)
+	return name == "" || name == "RNG"
+}
+
+// forkInMapRange flags Fork calls whose execution order follows a map's
+// randomized iteration order.
+func (f *File) forkInMapRange() []Diagnostic {
+	var diags []Diagnostic
+	for _, body := range functionBodies(f.AST) {
+		inspectShallow(body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !f.rangeOverMap(rs) {
+				return true
+			}
+			ast.Inspect(rs.Body, func(c ast.Node) bool {
+				if call, ok := c.(*ast.CallExpr); ok && f.isForkCall(call) {
+					diags = append(diags, f.diag(call, "forkflow",
+						"RNG.Fork inside range over a map: child streams are derived in randomized iteration order; iterate sorted keys so the fork sequence is append-only"))
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// rngInGoroutine flags RNG values captured by goroutine closures.
+func (f *File) rngInGoroutine() []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit := goroutineLit(g)
+		if lit == nil {
+			return true
+		}
+		reported := make(map[string]bool)
+		ast.Inspect(lit, func(c ast.Node) bool {
+			e, ok := c.(ast.Expr)
+			if !ok || !f.isRNGExpr(e) {
+				return true
+			}
+			// Only variables (locals, params, fields) can be captured; a
+			// *sim.RNG parameter type in the closure's signature mentions
+			// RNG without capturing one, so TypeNames and PkgNames are out.
+			var obj types.Object
+			switch x := e.(type) {
+			case *ast.Ident:
+				obj = f.objectOf(x)
+			case *ast.SelectorExpr:
+				obj = f.objectOf(x.Sel)
+			default:
+				return true
+			}
+			if _, isVar := obj.(*types.Var); !isVar {
+				return true
+			}
+			id := baseIdent(e)
+			if id == nil || f.declaredWithin(id, lit) {
+				return true
+			}
+			name := types.ExprString(e)
+			if !reported[name] {
+				reported[name] = true
+				diags = append(diags, f.diag(e, "forkflow",
+					"RNG %s captured by goroutine closure: RNG is not safe for concurrent use and draw interleaving follows the scheduler; fork per goroutine and pass the child as an argument", name))
+			}
+			// Do not descend further: the selector's base would report again.
+			return false
+		})
+		return true
+	})
+	return diags
+}
+
+// rngInGlobal flags RNGs stored in package-level state: declarations of
+// package-level RNG variables, and assignments whose target resolves to a
+// package-level object.
+func (f *File) rngInGlobal() []Diagnostic {
+	var diags []Diagnostic
+	for _, decl := range f.AST.Decls {
+		gen, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gen.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj := f.objectOf(name)
+				if _, isVar := obj.(*types.Var); obj == nil || !isVar {
+					continue
+				}
+				if isRNGType(obj.Type()) {
+					diags = append(diags, f.diag(name, "forkflow",
+						"package-level RNG %s outlives any single (config, seed) run and couples unrelated experiments; thread the RNG through the experiment instead", name.Name))
+				}
+			}
+		}
+	}
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			if !f.isRNGExpr(as.Rhs[i]) {
+				continue
+			}
+			id := baseIdent(lhs)
+			if id == nil || id.Name == "_" {
+				continue
+			}
+			if obj := f.objectOf(id); obj != nil && isPackageLevel(obj) {
+				diags = append(diags, f.diag(lhs, "forkflow",
+					"RNG assigned to package-level %s: the stream escapes the (config, seed) fork tree; thread it through the experiment instead", id.Name))
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// forkStoredInLoop flags freshly forked RNGs stored into fields of state
+// declared outside the enclosing loop.
+func (f *File) forkStoredInLoop() []Diagnostic {
+	var diags []Diagnostic
+	for _, body := range functionBodies(f.AST) {
+		inspectShallow(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			loops := enclosingLoops(body, as)
+			if len(loops) == 0 {
+				return true
+			}
+			outer := loops[0]
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+				if !ok || !f.isForkCall(call) {
+					continue
+				}
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				id := baseIdent(sel)
+				if id == nil {
+					continue
+				}
+				if obj := f.objectOf(id); obj != nil && (obj.Pos() < outer.Pos() || obj.Pos() > outer.End()) {
+					diags = append(diags, f.diag(lhs, "forkflow",
+						"forked RNG stored into %s inside a loop: the per-iteration stream persists across tick boundaries, so consumption depends on iteration history; fork at a stable point and pass the stream down", types.ExprString(lhs)))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isPackageLevel reports whether obj is declared at package scope.
+func isPackageLevel(obj types.Object) bool {
+	scope := obj.Parent()
+	return scope != nil && scope.Parent() == types.Universe
+}

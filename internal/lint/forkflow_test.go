@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// wantLines asserts the findings' rule and exact line numbers; msgs holds
+// a distinguishing substring per expected finding, in line order.
+func wantLines(t *testing.T, diags []Diagnostic, rule string, want []int, msgs []string) {
+	t.Helper()
+	if len(diags) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(diags), len(want), render(diags))
+	}
+	for i, d := range diags {
+		if d.Rule != rule {
+			t.Errorf("finding %d: rule %q, want %q", i, d.Rule, rule)
+		}
+		if d.Pos.Line != want[i] {
+			t.Errorf("finding %d: line %d, want %d (%s)", i, d.Pos.Line, want[i], d.Msg)
+		}
+		if msgs != nil && !strings.Contains(d.Msg, msgs[i]) {
+			t.Errorf("finding %d: message %q does not mention %q", i, d.Msg, msgs[i])
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("full findings:\n%s", render(diags))
+	}
+}
+
+func TestForkFlowBad(t *testing.T) {
+	diags := runRule(t, ForkFlow{}, filepath.Join("forkflow", "bad"))
+	wantLines(t, diags, "forkflow",
+		[]int{10, 12, 21, 29, 38, 45, 50},
+		[]string{
+			"package-level RNG globalRNG",
+			"package-level RNG lateGlobal",
+			"range over a map",
+			"RNG root captured by goroutine",
+			"RNG h.rng captured by goroutine",
+			"package-level lateGlobal",
+			"forked RNG stored into hs[i].rng",
+		})
+}
+
+func TestForkFlowGood(t *testing.T) {
+	wantNone(t, ForkFlow{}, filepath.Join("forkflow", "good"))
+}

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Output formats for the findings pipeline. All three render the same
+// diagnostic list in the same order; paths are whatever the caller put in
+// Diagnostic.Pos.Filename (cmd/roadlint normalizes them to repo-relative
+// form first, so artifacts are machine-readable and host-independent).
+
+// WriteText renders findings in the classic file:line:col: rule: message
+// form, one per line.
+func WriteText(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonFinding is the stable machine-readable finding schema.
+type jsonFinding struct {
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+type jsonReport struct {
+	Version  int           `json:"version"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+// WriteJSON renders findings as one indented JSON document.
+func WriteJSON(w io.Writer, diags []Diagnostic, sev map[string]Severity) error {
+	report := jsonReport{Version: 1, Findings: make([]jsonFinding, 0, len(diags))}
+	for _, d := range diags {
+		report.Findings = append(report.Findings, jsonFinding{
+			Rule:     d.Rule,
+			Severity: string(severityOf(sev, d.Rule)),
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// SARIF 2.1.0 subset: one run, one driver, rule metadata from the
+// analyzer docs, one result per finding. Enough for code-scanning upload
+// and artifact archiving without pulling in a SARIF dependency.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string            `json:"id"`
+	ShortDescription sarifText         `json:"shortDescription"`
+	DefaultLevel     map[string]string `json:"defaultConfiguration"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// sarifLevel maps a Severity to the SARIF result level vocabulary.
+func sarifLevel(s Severity) string {
+	if s == SeverityWarning {
+		return "warning"
+	}
+	return "error"
+}
+
+// WriteSARIF renders findings as a SARIF 2.1.0 log with rule metadata for
+// every analyzer in the suite (found or not, so rule docs travel with the
+// artifact).
+func WriteSARIF(w io.Writer, diags []Diagnostic, analyzers []Analyzer, sev map[string]Severity) error {
+	driver := sarifDriver{Name: "roadlint"}
+	for _, a := range analyzers {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name(),
+			ShortDescription: sarifText{Text: a.Doc()},
+			DefaultLevel:     map[string]string{"level": sarifLevel(severityOf(sev, a.Name()))},
+		})
+	}
+	run := sarifRun{Tool: sarifTool{Driver: driver}, Results: make([]sarifResult, 0, len(diags))}
+	for _, d := range diags {
+		run.Results = append(run.Results, sarifResult{
+			RuleID:  d.Rule,
+			Level:   sarifLevel(severityOf(sev, d.Rule)),
+			Message: sarifText{Text: d.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: d.Pos.Filename},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// severityOf resolves a rule's severity, defaulting to error for rules the
+// map does not know.
+func severityOf(sev map[string]Severity, rule string) Severity {
+	if s, ok := sev[rule]; ok {
+		return s
+	}
+	return SeverityError
+}

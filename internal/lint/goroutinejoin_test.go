@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestGoroutineJoinBad(t *testing.T) {
+	diags := runRule(t, GoroutineJoin{}, filepath.Join("goroutinejoin", "bad"))
+	wantLines(t, diags, "goroutinejoin",
+		[]int{8, 14, 21, 36, 49},
+		[]string{
+			"no provable join",
+			"no join evidence",
+			"captures loop variable item",
+			"writes captured total",
+			"writes captured n",
+		})
+}
+
+func TestGoroutineJoinGood(t *testing.T) {
+	wantNone(t, GoroutineJoin{}, filepath.Join("goroutinejoin", "good"))
+}
+
+func TestGoroutineJoinScope(t *testing.T) {
+	cases := []struct {
+		rel      string
+		inModule bool
+		want     bool
+	}{
+		{"internal/core", true, true},
+		{"internal/campaign/store", true, true},
+		{"internal/ml", true, true},
+		{"cmd/roadlint", true, true},
+		{"internal/trace", true, false},
+		{"internal/lint", true, false},
+		{"internal/lint/testdata/goroutinejoin/bad", true, true},
+		{"scratch", false, true},
+	}
+	for _, c := range cases {
+		pkg := &Package{Rel: c.rel, InModule: c.inModule}
+		if got := inScope(pkg, goroutineJoinScope); got != c.want {
+			t.Errorf("inScope(%q, InModule=%v) = %v, want %v", c.rel, c.inModule, got, c.want)
+		}
+	}
+}

@@ -51,8 +51,8 @@ type File struct {
 	// Pkg points back to the enclosing package.
 	Pkg *Package
 
-	// allow maps line numbers to the rules suppressed on that line.
-	allow map[int][]string
+	// allow maps line numbers to the suppression directives on that line.
+	allow map[int][]*allowEntry
 }
 
 // Package groups the files of one directory with best-effort type
@@ -63,8 +63,13 @@ type Package struct {
 	// Rel is Dir relative to the enclosing module root (slash-separated,
 	// "." for the root package). Analyzers use it for path-scoped rules
 	// such as detrand's internal/sim exemption.
-	Rel   string
-	Files []*File
+	Rel string
+	// InModule records whether the package was loaded through a module
+	// graph. Path-scoped rules treat module-less packages (and testdata
+	// fixtures) as always in scope, so scratch fixtures exercise every
+	// rule family.
+	InModule bool
+	Files    []*File
 	// Info holds partial type information: identifiers and expressions
 	// whose types involve imported packages may be unresolved. Never nil.
 	Info *types.Info
@@ -83,17 +88,43 @@ type Analyzer interface {
 
 // Analyzers returns the full rule suite in stable order.
 func Analyzers() []Analyzer {
-	return []Analyzer{DetRand{}, WallClock{}, MapOrder{}, ForkLabel{}}
+	return []Analyzer{
+		DetRand{}, WallClock{}, MapOrder{}, ForkLabel{},
+		ForkFlow{}, GoroutineJoin{}, FloatOrder{}, SuppressAudit{},
+	}
 }
 
 // Run applies the analyzers to every file of every package, drops
-// suppressed findings, and returns the rest sorted by position.
+// suppressed findings, and returns the rest sorted by position. When the
+// analyzer set includes SuppressAudit, allow directives that suppressed
+// nothing during the pass are reported as findings of their own.
 func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 	var out []Diagnostic
+	audit := false
+	active := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		active[a.Name()] = true
+		if a.Name() == RuleSuppressAudit {
+			audit = true
+		}
+	}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, a := range analyzers {
 				for _, d := range a.Check(f) {
+					if !f.suppressed(d.Rule, d.Pos.Line) {
+						out = append(out, d)
+					}
+				}
+			}
+		}
+	}
+	if audit {
+		// The audit runs after every analyzer has claimed its
+		// suppressions across all packages, so usage is final.
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				for _, d := range auditAllows(f, active) {
 					if !f.suppressed(d.Rule, d.Pos.Line) {
 						out = append(out, d)
 					}

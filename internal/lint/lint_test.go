@@ -53,7 +53,7 @@ func TestAnalyzerSuite(t *testing.T) {
 		}
 		got = append(got, a.Name())
 	}
-	want := []string{"detrand", "wallclock", "maporder", "forklabel"}
+	want := []string{"detrand", "wallclock", "maporder", "forklabel", "forkflow", "goroutinejoin", "floatorder", "suppressaudit"}
 	if strings.Join(got, " ") != strings.Join(want, " ") {
 		t.Fatalf("Analyzers() = %v, want %v", got, want)
 	}

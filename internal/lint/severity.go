@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Severity classifies a rule's findings for exit-code policy: error
+// findings gate (non-zero exit), warning findings inform.
+type Severity string
+
+const (
+	SeverityError   Severity = "error"
+	SeverityWarning Severity = "warning"
+)
+
+// DefaultSeverities returns the suite's default per-rule severity map:
+// every determinism/concurrency rule is an error; suppressaudit defaults
+// to a warning, because a stale allow is hygiene debt rather than an
+// active reproducibility hazard.
+func DefaultSeverities() map[string]Severity {
+	sev := make(map[string]Severity)
+	for _, a := range Analyzers() {
+		sev[a.Name()] = SeverityError
+	}
+	sev[RuleSuppressAudit] = SeverityWarning
+	return sev
+}
+
+// ParseSeverityOverrides parses a "rule=error,rule=warn" flag value into
+// the severity map, validating rule names against the full suite.
+func ParseSeverityOverrides(spec string, sev map[string]Severity) error {
+	if spec == "" {
+		return nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rule, level, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("severity %q: want rule=error or rule=warn", part)
+		}
+		rule = strings.TrimSpace(rule)
+		if _, known := sev[rule]; !known {
+			return fmt.Errorf("severity: unknown rule %q", rule)
+		}
+		switch strings.TrimSpace(level) {
+		case "error":
+			sev[rule] = SeverityError
+		case "warn", "warning":
+			sev[rule] = SeverityWarning
+		default:
+			return fmt.Errorf("severity %q: level must be error or warn", part)
+		}
+	}
+	return nil
+}

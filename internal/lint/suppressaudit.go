@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// RuleSuppressAudit is the rule name of the SuppressAudit analyzer. Run
+// special-cases it, so the name is shared as a constant.
+const RuleSuppressAudit = "suppressaudit"
+
+// SuppressAudit flags //roadlint:allow directives that have stopped doing
+// anything: the allowed rule produced no finding on the directive's line
+// (or the line below), or the directive names a rule the suite does not
+// have. Stale suppressions are dangerous in the opposite direction from
+// ordinary findings — they pre-forgive a violation that is not there yet,
+// so the next person to introduce one lands it silently. Auditing them
+// keeps the allow inventory exactly as large as the set of justified
+// exceptions.
+//
+// The audit is driven by Run after every other analyzer has claimed its
+// suppressions; Check itself reports nothing. Directives for rules outside
+// the active set are skipped — a subset run (-rules detrand) cannot know
+// whether a wallclock allow is stale — and directives allowing
+// suppressaudit itself are exempt, ending the regress.
+type SuppressAudit struct{}
+
+func (SuppressAudit) Name() string { return RuleSuppressAudit }
+
+func (SuppressAudit) Doc() string {
+	return "flag //roadlint:allow directives that no longer suppress any finding"
+}
+
+// Check reports nothing: the audit needs the whole run's suppression usage
+// and is performed by Run once every analyzer has finished.
+func (SuppressAudit) Check(f *File) []Diagnostic { return nil }
+
+// auditAllows reports the stale and unknown-rule allow directives of one
+// file. active is the set of rule names this run executed.
+func auditAllows(f *File, active map[string]bool) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name()] = true
+	}
+	lines := make([]int, 0, len(f.allow))
+	for line := range f.allow {
+		lines = append(lines, line)
+	}
+	sort.Ints(lines)
+	var diags []Diagnostic
+	for _, line := range lines {
+		for _, e := range f.allow[line] {
+			if e.rule == RuleSuppressAudit {
+				continue
+			}
+			switch {
+			case !known[e.rule]:
+				diags = append(diags, f.diagAt(e.pos, RuleSuppressAudit,
+					"//roadlint:allow names unknown rule %q (run roadlint -list for the rule set)", e.rule))
+			case active[e.rule] && !e.used:
+				diags = append(diags, f.diagAt(e.pos, RuleSuppressAudit,
+					"stale //roadlint:allow %s: the directive suppresses no finding and pre-forgives future ones; delete it", e.rule))
+			}
+		}
+	}
+	return diags
+}
+
+// diagAt builds a Diagnostic at an explicit token position.
+func (f *File) diagAt(pos token.Pos, rule, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:  f.Fset.Position(pos),
+		Rule: rule,
+		Msg:  fmt.Sprintf(format, args...),
+	}
+}

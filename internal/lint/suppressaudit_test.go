@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runAudit loads a fixture and runs the audit alongside DetRand, so
+// detrand directives have an active rule to be judged stale against.
+func runAudit(t *testing.T, fixture string) []Diagnostic {
+	t.Helper()
+	pkgs, err := Load(filepath.Join("testdata", fixture))
+	if err != nil {
+		t.Fatalf("Load(%s): %v", fixture, err)
+	}
+	return Run(pkgs, []Analyzer{DetRand{}, SuppressAudit{}})
+}
+
+func TestSuppressAuditBad(t *testing.T) {
+	diags := runAudit(t, filepath.Join("suppressaudit", "bad"))
+	wantLines(t, diags, "suppressaudit",
+		[]int{8, 14},
+		[]string{
+			"stale //roadlint:allow detrand",
+			`unknown rule "detrnd"`,
+		})
+}
+
+func TestSuppressAuditGood(t *testing.T) {
+	if diags := runAudit(t, filepath.Join("suppressaudit", "good")); len(diags) != 0 {
+		t.Fatalf("unexpected findings:\n%s", render(diags))
+	}
+}
+
+// TestSuppressAuditInactiveRule checks that a subset run cannot declare a
+// directive stale: without DetRand active, the detrand allows in the bad
+// fixture go unjudged and only the unknown-rule finding remains.
+func TestSuppressAuditInactiveRule(t *testing.T) {
+	pkgs, err := Load(filepath.Join("testdata", "suppressaudit", "bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, []Analyzer{SuppressAudit{}})
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "unknown rule") {
+		t.Fatalf("subset run: got findings:\n%swant only the unknown-rule finding", render(diags))
+	}
+}

@@ -1,0 +1,11 @@
+// Package fixture imports a path that is neither in the module graph nor
+// installed: the loader must fall back to an empty stub package and keep
+// going, because best-effort analysis of one broken import beats failing
+// the whole run.
+package fixture
+
+import "example.com/fake"
+
+func useFake() {
+	fake.Do()
+}

@@ -1,0 +1,35 @@
+// Package fixture exercises floatorder positives: float accumulation in
+// nondeterministic iteration orders.
+package fixture
+
+func sumMapValues(weights map[string]float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		total += w // want: float accumulation in map order
+	}
+	return total
+}
+
+func sumMapSpelledOut(weights map[string]float64) float64 {
+	var total float64
+	for _, w := range weights {
+		total = total + w // want: x = x + v spelling
+	}
+	return total
+}
+
+func mergeWorkerPartials(partials chan float64) float64 {
+	var total float64
+	for p := range partials {
+		total += p // want: float accumulation in channel completion order
+	}
+	return total
+}
+
+func scaleInMapRange(factors map[int]float32) float32 {
+	product := float32(1)
+	for _, f := range factors {
+		product *= f // want: float32 multiplicative accumulation in map order
+	}
+	return product
+}

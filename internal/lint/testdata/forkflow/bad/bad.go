@@ -1,0 +1,52 @@
+// Package fixture exercises forkflow positives: the RNG dataflows that
+// break the seed-rooted fork tree. The fixture imports the real sim
+// package so every check runs against resolved cross-package types — the
+// module-graph loader's whole point.
+package fixture
+
+import "roadrunner/internal/sim"
+
+// want: package-level RNG declaration
+var globalRNG = sim.NewRNG(1)
+
+var lateGlobal *sim.RNG
+
+type holder struct {
+	rng *sim.RNG
+}
+
+func forkPerKey(root *sim.RNG, weights map[string]float64) map[string]*sim.RNG {
+	out := make(map[string]*sim.RNG)
+	for k := range weights {
+		out[k] = root.Fork(k) // want: Fork inside range over a map
+	}
+	return out
+}
+
+func escapeIntoGoroutine(root *sim.RNG) {
+	done := make(chan struct{})
+	go func() {
+		_ = root.Float64() // want: RNG captured by goroutine closure
+		close(done)
+	}()
+	<-done
+}
+
+func escapeFieldIntoGoroutine(h *holder) {
+	done := make(chan struct{})
+	go func() {
+		_ = h.rng.Intn(10) // want: RNG field captured by goroutine closure
+		close(done)
+	}()
+	<-done
+}
+
+func storeGlobal(root *sim.RNG) {
+	lateGlobal = root.Fork("late") // want: RNG assigned to package-level state
+}
+
+func storePerTick(hs []*holder, root *sim.RNG) {
+	for i := range hs {
+		hs[i].rng = root.Fork("tick") // want: forked RNG stored into a field inside a loop
+	}
+}

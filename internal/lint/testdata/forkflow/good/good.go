@@ -1,0 +1,51 @@
+// Package fixture exercises forkflow negatives: the sanctioned RNG
+// patterns must lint clean.
+package fixture
+
+import (
+	"sort"
+
+	"roadrunner/internal/sim"
+)
+
+type worker struct {
+	rng *sim.RNG
+}
+
+// newWorker forks at a stable construction point, outside any loop in
+// this function.
+func newWorker(root *sim.RNG) *worker {
+	return &worker{rng: root.Fork("worker")}
+}
+
+// forkSortedKeys derives per-key streams in deterministic key order.
+func forkSortedKeys(root *sim.RNG, weights map[string]float64) map[string]*sim.RNG {
+	keys := make([]string, 0, len(weights))
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make(map[string]*sim.RNG, len(keys))
+	for _, k := range keys {
+		out[k] = root.Fork(k)
+	}
+	return out
+}
+
+// forkPerGoroutine passes a dedicated child stream as an argument: the
+// goroutine owns its RNG, nothing is shared.
+func forkPerGoroutine(root *sim.RNG) {
+	done := make(chan struct{})
+	go func(rng *sim.RNG) {
+		_ = rng.Float64()
+		close(done)
+	}(root.Fork("child"))
+	<-done
+}
+
+// localUse draws and forks on locals only.
+func localUse(seed uint64) float64 {
+	root := sim.NewRNG(seed)
+	child := root.Fork("local")
+	return child.Float64()
+}

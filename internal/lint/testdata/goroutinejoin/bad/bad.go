@@ -1,0 +1,53 @@
+// Package fixture exercises goroutinejoin positives: unjoined goroutines
+// and the capture hazards.
+package fixture
+
+import "sync"
+
+func fireAndForget(work func()) {
+	go func() { // want: no provable join
+		work()
+	}()
+}
+
+func namedFireAndForget(w *sync.WaitGroup) {
+	go w.Wait() // want: bare call spawn, no join evidence
+}
+
+func loopCapture(items []int, out chan<- int) {
+	var wg sync.WaitGroup
+	for _, item := range items {
+		wg.Add(1)
+		go func() { // want: captures loop variable item
+			defer wg.Done()
+			out <- item
+		}()
+	}
+	wg.Wait()
+}
+
+func capturedScalarWrite(items []int) int {
+	total := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want: writes captured total without synchronization
+		defer wg.Done()
+		for _, v := range items {
+			total += v
+		}
+	}()
+	wg.Wait()
+	return total
+}
+
+func capturedIncrement() {
+	n := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want: n++ on captured state
+		defer wg.Done()
+		n++
+	}()
+	wg.Wait()
+	_ = n
+}

@@ -1,0 +1,76 @@
+// Package fixture exercises goroutinejoin negatives: every sanctioned
+// join and write pattern must lint clean.
+package fixture
+
+import "sync"
+
+// waitGroupJoin is the canonical worker pool: Add before spawn, deferred
+// Done, Wait in the spawning function, shard writes indexed by a
+// goroutine-local variable.
+func waitGroupJoin(shards int, work func(int) int) []int {
+	results := make([]int, shards)
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = work(w)
+		}(w)
+	}
+	wg.Wait()
+	return results
+}
+
+// channelJoin signals completion by sending on a channel the spawner
+// receives from.
+func channelJoin(work func() int) int {
+	out := make(chan int, 1)
+	go func() {
+		out <- work()
+	}()
+	return <-out
+}
+
+// closeJoin signals by closing a channel the spawner drains.
+func closeJoin(work func()) {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// mutexGuarded synchronizes captured writes with a lock.
+func mutexGuarded(items []int) int {
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mu.Lock()
+			total += w
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return total
+}
+
+// tracker drains struct-held launches from a sibling method: field-rooted
+// WaitGroups accept Wait evidence from anywhere in the file.
+type tracker struct {
+	launches sync.WaitGroup
+}
+
+func (t *tracker) launch(work func()) {
+	t.launches.Add(1)
+	go func() {
+		defer t.launches.Done()
+		work()
+	}()
+}
+
+func (t *tracker) drain() { t.launches.Wait() }

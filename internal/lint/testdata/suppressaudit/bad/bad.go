@@ -1,0 +1,16 @@
+// Package fixture exercises suppressaudit positives: directives that
+// suppress nothing or name rules that do not exist.
+package fixture
+
+import "fmt"
+
+// want: stale allow — there is no detrand finding on the next line
+//roadlint:allow detrand this comment outlived the code it excused
+func formerlyRandom() int {
+	return 4
+}
+
+func typoedRule() {
+	//roadlint:allow detrnd misspelled rule name // want: unknown rule
+	fmt.Println("hello")
+}

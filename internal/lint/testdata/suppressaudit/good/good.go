@@ -1,0 +1,19 @@
+// Package fixture exercises suppressaudit negatives: every directive here
+// suppresses a live finding, so the audit stays silent.
+package fixture
+
+import "math/rand"
+
+// seedCorpus deliberately uses math/rand: it generates a throwaway fuzz
+// corpus, not experiment draws, and the directive is exercised by the
+// detrand finding on the same line.
+func seedCorpus() int {
+	return rand.Intn(100) //roadlint:allow detrand corpus generation, not an experiment draw
+}
+
+// seedMore places the directive on the line above the finding, the other
+// sanctioned position.
+func seedMore() int {
+	//roadlint:allow detrand seeded corpus helper
+	return rand.Intn(7)
+}
