@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race lint lint-baseline bench bench-check trace-demo cover e2e ci
+.PHONY: build vet test race lint lint-baseline bench bench-check bench-scale bench-scale-check trace-demo cover e2e ci
 
 # COVER_FLOOR is the minimum total statement coverage; measured at 79.7%
 # when the floor was introduced, with a small margin for platform noise.
@@ -24,6 +24,23 @@ bench:
 # the run overwrites is safe.
 bench-check:
 	$(GO) run ./cmd/bench -rounds 2 -seeds 3 -out BENCH_fig4.json -check BENCH_fig4.json -tol 5
+
+# bench-scale measures the fleet-size scaling curve (constant-density
+# megacity workload at 50/500/5k/50k vehicles) and rewrites the tracked
+# BENCH_scale.json, including the measured O(n²) reference anchor the
+# speedup columns extrapolate from.
+bench-scale:
+	$(GO) run ./cmd/bench -scale 50,500,5000,50000 -scale-out BENCH_scale.json
+
+# bench-scale-check re-measures the cheap 500-vehicle point (median of
+# five runs) and fails on a >8% simsec/wallsec regression against the tracked
+# curve — wider than the Figure-4 gate because the point finishes in tens
+# of milliseconds, where shared-host noise is proportionally larger. The
+# 50k point is exercised separately (short horizon, ungated) so city-scale
+# code paths still run on every CI pass.
+bench-scale-check:
+	$(GO) run ./cmd/bench -scale 500 -scale-out /tmp/BENCH_scale_smoke.json -scale-check BENCH_scale.json -tol 8
+	$(GO) run ./cmd/bench -scale 50000 -scale-horizon 60 -scale-out /tmp/BENCH_scale_50k.json
 
 # trace-demo writes the sample observability artifact: Chrome trace_event
 # JSON + canonical CSV span timelines for a BASE and an OPP run.

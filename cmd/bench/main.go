@@ -10,6 +10,10 @@
 //	bench -check BENCH_fig4.json -tol 5
 //	                           # fail if simsec/wallsec regressed >5% vs the
 //	                           # reference report (read before overwriting)
+//	bench -scale 50,500,5000,50000
+//	                           # fleet-size scaling curve -> BENCH_scale.json
+//	bench -scale 500 -scale-check BENCH_scale.json -tol 5
+//	                           # gate the sizes present in both reports
 //
 // The report contains the measured ns/op, events/op, and simsec/wallsec of
 // the combined BASE+OPP Figure-4 run (the same quantity as the repo's
@@ -71,8 +75,20 @@ func main() {
 	out := flag.String("out", "BENCH_fig4.json", "report output path")
 	check := flag.String("check", "", "reference report: fail if simsec/wallsec regressed more than -tol percent")
 	tol := flag.Float64("tol", 5, "allowed simsec/wallsec regression in percent for -check")
+	scale := flag.String("scale", "", "comma-separated fleet sizes: run the scaling benchmark instead of Figure 4")
+	scaleOut := flag.String("scale-out", "BENCH_scale.json", "scaling report output path")
+	scaleCheck := flag.String("scale-check", "", "reference scaling report: gate sizes present in both reports")
+	scaleHorizon := flag.Float64("scale-horizon", 300, "simulated seconds per scaling point")
+	scaleSeed := flag.Uint64("scale-seed", 1, "seed for the scaling workload")
 	flag.Parse()
 
+	if *scale != "" {
+		if err := runScale(*scale, *scaleSeed, *scaleHorizon, *scaleOut, *scaleCheck, *tol); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*rounds, *seeds, *evalWorkers, *out, *check, *tol); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)

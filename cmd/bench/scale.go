@@ -1,0 +1,243 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"roadrunner/internal/scalebench"
+	"roadrunner/internal/sim"
+)
+
+// naiveAnchorVehicles is the fleet size at which the O(n²) reference
+// implementation is actually measured; larger fleets get a quadratic
+// extrapolation from this anchor. Small enough to stay cheap, large enough
+// that the pair scan dominates the measurement.
+const naiveAnchorVehicles = 120
+
+// ScalePoint is one fleet size on the scaling curve: the deterministic
+// workload stats plus this host's wall-clock measurement, and the
+// comparison against the extrapolated naive baseline.
+type ScalePoint struct {
+	scalebench.Stats
+	WallSeconds      float64 `json:"wall_seconds"`
+	SimsecPerWallsec float64 `json:"simsec_per_wallsec"`
+	// NaiveWallSeconds is the O(n²)+rebuild reference cost for this fleet:
+	// measured directly at the anchor size, extrapolated quadratically from
+	// the anchor above it. The extrapolation ignores the naive path's
+	// linear-cost terms, which understates it — the speedup is conservative.
+	NaiveWallSeconds float64 `json:"naive_wall_seconds"`
+	NaiveMeasured    bool    `json:"naive_measured"`
+	SpeedupVsNaive   float64 `json:"speedup_vs_naive"`
+}
+
+// ScaleReport is the BENCH_scale.json schema.
+type ScaleReport struct {
+	Schema         int     `json:"schema"`
+	Benchmark      string  `json:"benchmark"`
+	Seed           uint64  `json:"seed"`
+	HorizonSeconds float64 `json:"horizon_seconds"`
+	GoVersion      string  `json:"go_version"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+
+	// NaiveAnchor records the measured O(n²) reference point the
+	// extrapolation is anchored to.
+	NaiveAnchor ScalePoint `json:"naive_anchor"`
+
+	Points []ScalePoint `json:"points"`
+}
+
+// scaleReps is how many times each point is measured; the median run is
+// reported. Small points finish in milliseconds, where scheduler noise on
+// a shared host dwarfs the signal; the median is robust against both slow
+// outliers (a descheduled run) and fast ones (a turbo burst), so a tracked
+// reference and a later check measure the same typical cost.
+const scaleReps = 5
+
+// runScale measures the fleet-size scaling curve and writes BENCH_scale.json.
+// With check set it gates every fleet size present in both reports the same
+// way the Figure-4 gate works: simulated-time throughput must not drop more
+// than tol percent.
+func runScale(list string, seed uint64, horizonSec float64, out, check string, tol float64) error {
+	sizes, err := parseSizes(list)
+	if err != nil {
+		return err
+	}
+	var ref *ScaleReport
+	if check != "" {
+		// Load the reference before measuring: -scale-check commonly points
+		// at the very file this run overwrites.
+		if ref, err = readScaleReport(check); err != nil {
+			return fmt.Errorf("read reference scale report: %w", err)
+		}
+	}
+	horizon := sim.DurationSeconds(horizonSec)
+
+	report := ScaleReport{
+		Schema:         1,
+		Benchmark:      "FleetScaling/megacity-tick",
+		Seed:           seed,
+		HorizonSeconds: horizonSec,
+		GoVersion:      runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+	}
+
+	// Anchor the naive baseline: measure the O(n²)+rebuild reference and
+	// the tiled path at the same small fleet, and require their checksums
+	// to agree so the two implementations provably ran the same workload.
+	anchorCfg := scalebench.Config{Vehicles: naiveAnchorVehicles, Seed: seed, Horizon: horizon, Naive: true}
+	anchor, err := measureScalePoint(anchorCfg)
+	if err != nil {
+		return fmt.Errorf("naive anchor: %w", err)
+	}
+	anchorCfg.Naive = false
+	tiledAnchor, err := measureScalePoint(anchorCfg)
+	if err != nil {
+		return fmt.Errorf("tiled anchor: %w", err)
+	}
+	if anchor.Checksum != tiledAnchor.Checksum {
+		return fmt.Errorf("naive/tiled checksum mismatch at %d vehicles: %#x vs %#x",
+			naiveAnchorVehicles, anchor.Checksum, tiledAnchor.Checksum)
+	}
+	anchor.NaiveWallSeconds = anchor.WallSeconds
+	anchor.NaiveMeasured = true
+	anchor.SpeedupVsNaive = 1
+	report.NaiveAnchor = anchor
+
+	for _, n := range sizes {
+		p, err := measureScalePoint(scalebench.Config{Vehicles: n, Seed: seed, Horizon: horizon})
+		if err != nil {
+			return fmt.Errorf("%d vehicles: %w", n, err)
+		}
+		if n == naiveAnchorVehicles {
+			p.NaiveWallSeconds = anchor.WallSeconds
+			p.NaiveMeasured = true
+		} else {
+			ratio := float64(n) / float64(naiveAnchorVehicles)
+			p.NaiveWallSeconds = anchor.WallSeconds * ratio * ratio
+		}
+		if p.WallSeconds > 0 {
+			p.SpeedupVsNaive = p.NaiveWallSeconds / p.WallSeconds
+		}
+		report.Points = append(report.Points, p)
+		fmt.Printf("scale %6d vehicles: %8.3fs wall, %9.1f simsec/wallsec, %8d pairs, %6.1fx vs naive\n",
+			p.Vehicles, p.WallSeconds, p.SimsecPerWallsec, p.PairObservations, p.SpeedupVsNaive)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d point(s), horizon %.0fs, seed %d\n", out, len(report.Points), horizonSec, seed)
+	if ref != nil {
+		return checkScaleRegression(ref, &report, tol)
+	}
+	return nil
+}
+
+// measureScalePoint runs one scaling point scaleReps times and reports the
+// median wall time. The workload itself is deterministic; only WallSeconds
+// and the derived rates vary by host.
+func measureScalePoint(cfg scalebench.Config) (ScalePoint, error) {
+	walls := make([]float64, 0, scaleReps)
+	var stats *scalebench.Stats
+	for rep := 0; rep < scaleReps; rep++ {
+		start := time.Now() //roadlint:allow wallclock harness timing of the benchmark itself
+		s, err := scalebench.Run(cfg)
+		if err != nil {
+			return ScalePoint{}, err
+		}
+		walls = append(walls, time.Since(start).Seconds()) //roadlint:allow wallclock harness timing of the benchmark itself
+		stats = s
+	}
+	sort.Float64s(walls)
+	p := ScalePoint{Stats: *stats, WallSeconds: walls[len(walls)/2]}
+	if p.WallSeconds > 0 {
+		p.SimsecPerWallsec = p.Stats.SimSeconds / p.WallSeconds
+	}
+	return p, nil
+}
+
+// checkScaleRegression gates every fleet size present in both reports:
+// simulated-time throughput must not drop more than tol percent below the
+// reference. Points only one report has (e.g. a CI smoke run measuring a
+// subset of the tracked curve) are skipped.
+func checkScaleRegression(ref, cur *ScaleReport, tol float64) error {
+	refBy := make(map[int]ScalePoint, len(ref.Points))
+	for _, p := range ref.Points {
+		refBy[p.Vehicles] = p
+	}
+	compared := 0
+	var failures []string
+	for _, p := range cur.Points {
+		r, ok := refBy[p.Vehicles]
+		if !ok || r.SimsecPerWallsec <= 0 || r.SimSeconds != p.SimSeconds {
+			continue
+		}
+		compared++
+		dropPct := (1 - p.SimsecPerWallsec/r.SimsecPerWallsec) * 100
+		if p.SimsecPerWallsec < r.SimsecPerWallsec*(1-tol/100) {
+			failures = append(failures, fmt.Sprintf(
+				"%d vehicles: %.1f simsec/wallsec vs reference %.1f (-%.1f%%)",
+				p.Vehicles, p.SimsecPerWallsec, r.SimsecPerWallsec, dropPct))
+			continue
+		}
+		fmt.Printf("check %6d vehicles: %.1f simsec/wallsec vs reference %.1f (%+.1f%%) within %.1f%% tolerance\n",
+			p.Vehicles, p.SimsecPerWallsec, r.SimsecPerWallsec, -dropPct, tol)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("scaling regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	if compared == 0 {
+		return fmt.Errorf("no comparable points between reference and current scale reports")
+	}
+	return nil
+}
+
+// parseSizes parses the -scale flag: comma-separated positive fleet sizes,
+// deduplicated and sorted ascending.
+func parseSizes(list string) ([]int, error) {
+	seen := make(map[int]bool)
+	var out []int
+	for _, field := range strings.Split(list, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		n, err := strconv.Atoi(field)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid fleet size %q in -scale", field)
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-scale lists no fleet sizes")
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// readScaleReport loads a previously written BENCH_scale.json.
+func readScaleReport(path string) (*ScaleReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r ScaleReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"roadrunner/internal/scalebench"
+)
+
+// TestScaleWritesReport runs the scaling harness at smoke scale and
+// validates the BENCH_scale.json schema end to end, then re-checks against
+// the report it just wrote (wide tolerance: this tests mechanics, not the
+// host's benchmarking stability).
+func TestScaleWritesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the scaling workload")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_scale.json")
+	if err := runScale("80,40,80", 3, 20, out, "", 5); err != nil {
+		t.Fatalf("runScale: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	var r ScaleReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("parse report: %v", err)
+	}
+	if r.Schema != 1 || r.Benchmark == "" || r.GoVersion == "" || r.Seed != 3 {
+		t.Fatalf("incomplete report header: %+v", r)
+	}
+	if len(r.Points) != 2 || r.Points[0].Vehicles != 40 || r.Points[1].Vehicles != 80 {
+		t.Fatalf("points not deduplicated and sorted: %+v", r.Points)
+	}
+	for _, p := range r.Points {
+		if p.WallSeconds <= 0 || p.SimsecPerWallsec <= 0 || p.Checksum == 0 {
+			t.Fatalf("implausible point: %+v", p)
+		}
+		if p.NaiveWallSeconds <= 0 || p.NaiveMeasured {
+			t.Fatalf("naive extrapolation missing or mislabeled at %d vehicles: %+v", p.Vehicles, p)
+		}
+	}
+	if !r.NaiveAnchor.NaiveMeasured || r.NaiveAnchor.Vehicles != naiveAnchorVehicles {
+		t.Fatalf("naive anchor not measured: %+v", r.NaiveAnchor)
+	}
+	if err := runScale("40", 3, 20, filepath.Join(t.TempDir(), "smoke.json"), out, 95); err != nil {
+		t.Fatalf("self-check against fresh report: %v", err)
+	}
+}
+
+func TestScaleRejectsBadInputs(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.json")
+	if err := runScale("", 1, 20, out, "", 5); err == nil {
+		t.Fatal("want error for empty size list")
+	}
+	if err := runScale("10,-3", 1, 20, out, "", 5); err == nil {
+		t.Fatal("want error for negative size")
+	}
+	if err := runScale("10,zebra", 1, 20, out, "", 5); err == nil {
+		t.Fatal("want error for non-numeric size")
+	}
+	if err := runScale("10", 1, 20, out, filepath.Join(t.TempDir(), "missing.json"), 5); err == nil {
+		t.Fatal("want error for missing reference report")
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes(" 500, 50,5000 ,50,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{50, 500, 5000}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseSizes = %v, want %v", got, want)
+	}
+}
+
+// TestCheckScaleRegression exercises the per-point gate: matching points
+// compare, regressions fail, points with different fleet sizes or horizons
+// are skipped, and a report with nothing comparable is an error.
+func TestCheckScaleRegression(t *testing.T) {
+	ref := &ScaleReport{Points: []ScalePoint{
+		{Stats: statsFor(500, 300), SimsecPerWallsec: 100},
+		{Stats: statsFor(5000, 300), SimsecPerWallsec: 50},
+	}}
+	ok := &ScaleReport{Points: []ScalePoint{{Stats: statsFor(500, 300), SimsecPerWallsec: 97}}}
+	if err := checkScaleRegression(ref, ok, 5); err != nil {
+		t.Fatalf("within-tolerance point failed: %v", err)
+	}
+	bad := &ScaleReport{Points: []ScalePoint{
+		{Stats: statsFor(500, 300), SimsecPerWallsec: 101},
+		{Stats: statsFor(5000, 300), SimsecPerWallsec: 40},
+	}}
+	if err := checkScaleRegression(ref, bad, 5); err == nil {
+		t.Fatal("regressed 5000-vehicle point passed")
+	}
+	skewedHorizon := &ScaleReport{Points: []ScalePoint{{Stats: statsFor(500, 60), SimsecPerWallsec: 1}}}
+	if err := checkScaleRegression(ref, skewedHorizon, 5); err == nil {
+		t.Fatal("want error when no point is comparable (horizon mismatch)")
+	}
+	unknownSize := &ScaleReport{Points: []ScalePoint{{Stats: statsFor(999, 300), SimsecPerWallsec: 1}}}
+	if err := checkScaleRegression(ref, unknownSize, 5); err == nil {
+		t.Fatal("want error when no point is comparable (size mismatch)")
+	}
+}
+
+func statsFor(vehicles int, simSeconds float64) scalebench.Stats {
+	return scalebench.Stats{Vehicles: vehicles, SimSeconds: simSeconds}
+}

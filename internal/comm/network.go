@@ -74,7 +74,7 @@ type Network struct {
 
 type flight struct {
 	msg   *Message
-	event *sim.Event
+	event sim.Event
 	span  trace.SpanID
 }
 

@@ -136,7 +136,7 @@ func (e *Experiment) TrainOnData(id sim.AgentID, m *ml.Snapshot, examples []ml.E
 	span := e.tracer.Begin(trace.KindTrain, "train")
 	e.tracer.AttrUint(span, "agent", uint64(id))
 	e.tracer.AttrInt(span, "examples", int64(len(examples)))
-	var ev *sim.Event
+	var ev sim.Event
 	ev, err = e.engine.After(dur, func() {
 		e.removePending(id, ev)
 		net, err := ml.LoadSnapshot(m)
@@ -168,7 +168,7 @@ func (e *Experiment) TrainOnData(id sim.AgentID, m *ml.Snapshot, examples []ml.E
 
 // removePending drops one completed training event from the agent's slot
 // accounting.
-func (e *Experiment) removePending(id sim.AgentID, ev *sim.Event) {
+func (e *Experiment) removePending(id sim.AgentID, ev sim.Event) {
 	tasks := e.pending[id]
 	for i, candidate := range tasks {
 		if candidate.ev == ev {

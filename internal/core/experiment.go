@@ -48,8 +48,14 @@ type Experiment struct {
 
 	spatial *mobility.SpatialIndex
 	tracker *mobility.EncounterTracker
-	posBuf  []roadnet.Point
-	actBuf  []bool
+	tickCur *mobility.Cursor
+
+	// onState is the flat per-spatial-slot power state (vehicles first,
+	// then RSUs), maintained by the power-change listener so the tick loop
+	// reads a contiguous bool array instead of chasing agent pointers. It
+	// is initialized from the registry after construction-time transitions
+	// have already fired.
+	onState []bool
 
 	// agentIdx maps every positioned agent to its role and slot, so the
 	// comm layer's per-message position lookups are O(1) instead of
@@ -74,7 +80,7 @@ type Experiment struct {
 // event (cancelable on shutdown) and its trace span, so an abort can
 // close the span with the right status.
 type pendingTrain struct {
-	ev   *sim.Event
+	ev   sim.Event
 	span trace.SpanID
 }
 
@@ -196,7 +202,61 @@ func New(cfg Config, strat strategy.Strategy) (*Experiment, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := e.initTickState(graph); err != nil {
+		return nil, err
+	}
 	return e, nil
+}
+
+// initTickState fixes the spatial grid to the world bounding box and seeds
+// the per-slot power-state array. It must run last in New: the power-change
+// listener only observes transitions after its registration, so the array
+// is seeded from the registry once all construction-time transitions have
+// been applied.
+func (e *Experiment) initTickState(graph *roadnet.Graph) error {
+	min, max, ok := roadnet.Point{}, roadnet.Point{}, false
+	if graph != nil {
+		min, max, ok = graph.Bounds()
+	}
+	if !ok {
+		// Trace-file runs have no road network; the recorded samples bound
+		// every interpolated position instead.
+		min, max, ok = e.replayer.TraceSet().Bounds()
+	}
+	for _, p := range e.rsuPos {
+		if !ok {
+			min, max, ok = p, p, true
+			continue
+		}
+		if p.X < min.X {
+			min.X = p.X
+		}
+		if p.X > max.X {
+			max.X = p.X
+		}
+		if p.Y < min.Y {
+			min.Y = p.Y
+		}
+		if p.Y > max.Y {
+			max.Y = p.Y
+		}
+	}
+	if err := e.spatial.SetBounds(min, max); err != nil {
+		return err
+	}
+	total := len(e.vehicles) + len(e.rsus)
+	e.spatial.Reset(total)
+	e.tickCur = e.replayer.NewCursor()
+	e.onState = make([]bool, total)
+	for i, v := range e.vehicles {
+		a := e.registry.Get(v)
+		e.onState[i] = a != nil && a.On()
+	}
+	for j, r := range e.rsus {
+		a := e.registry.Get(r)
+		e.onState[len(e.vehicles)+j] = a != nil && a.On()
+	}
+	return nil
 }
 
 func (e *Experiment) loadMobility(root *sim.RNG) (*mobility.TraceSet, *roadnet.Graph, error) {
@@ -393,6 +453,13 @@ func (e *Experiment) schedulePower() error {
 // handlePowerChange aborts pending training of agents that shut off and
 // forwards the transition to the strategy.
 func (e *Experiment) handlePowerChange(id sim.AgentID, on bool) {
+	if ref, ok := e.agentIdx[id]; ok && e.onState != nil {
+		slot := ref.idx
+		if !ref.vehicle {
+			slot += len(e.vehicles)
+		}
+		e.onState[slot] = on
+	}
 	if !on {
 		if tasks, ok := e.pending[id]; ok {
 			delete(e.pending, id)
@@ -455,41 +522,37 @@ func (e *Experiment) countDelivered(msg *comm.Message) {
 }
 
 // tick runs the periodic core-simulator pass: update the encounter state
-// from current positions and notify the strategy of new encounters.
+// from current positions and notify the strategy of new encounters. The
+// pass is batched over contiguous per-slot arrays — cursor-based trace
+// replay, the listener-maintained onState array, and incremental spatial
+// updates — so its cost is O(fleet) with no per-agent pointer chasing, no
+// index rebuild, and no steady-state allocation.
 func (e *Experiment) tick() {
 	now := e.engine.Now()
 	tickSpan := e.tracer.Begin(trace.KindTick, "tick")
-	total := len(e.vehicles) + len(e.rsus)
-	if len(e.posBuf) != total {
-		e.posBuf = make([]roadnet.Point, total)
-		e.actBuf = make([]bool, total)
-	}
+	nVeh := len(e.vehicles)
 	onCount := 0
-	for i, v := range e.vehicles {
-		pos, _, err := e.replayer.At(i, now)
-		if err != nil {
-			// The slot's previous position would otherwise survive in
-			// posBuf; mark the vehicle inactive so a stale entry can never
-			// produce a phantom encounter.
-			e.actBuf[i] = false
-			continue
+	for i := 0; i < nVeh; i++ {
+		pos, _, err := e.replayer.AtCursor(e.tickCur, i, now)
+		// On a replay error the slot goes inactive, so a stale position can
+		// never produce a phantom encounter.
+		active := err == nil && e.onState[i]
+		if err := e.spatial.Update(i, pos, active); err != nil {
+			e.Logf("core: spatial update: %v", err)
+			e.tracer.EndWith(tickSpan, "status", "error")
+			return
 		}
-		e.posBuf[i] = pos
-		agent := e.registry.Get(v)
-		e.actBuf[i] = agent != nil && agent.On()
-		if e.actBuf[i] {
+		if active {
 			onCount++
 		}
 	}
-	for j, r := range e.rsus {
-		e.posBuf[len(e.vehicles)+j] = e.rsuPos[j]
-		agent := e.registry.Get(r)
-		e.actBuf[len(e.vehicles)+j] = agent != nil && agent.On()
-	}
-	if err := e.spatial.Rebuild(e.posBuf, e.actBuf); err != nil {
-		e.Logf("core: spatial rebuild: %v", err)
-		e.tracer.EndWith(tickSpan, "status", "error")
-		return
+	for j := range e.rsus {
+		slot := nVeh + j
+		if err := e.spatial.Update(slot, e.rsuPos[j], e.onState[slot]); err != nil {
+			e.Logf("core: spatial update: %v", err)
+			e.tracer.EndWith(tickSpan, "status", "error")
+			return
+		}
 	}
 	pairs := e.spatial.PairsWithin(e.cfg.Comm.V2X.RangeM)
 	begins, _ := e.tracker.Update(pairs)

@@ -58,6 +58,43 @@ func (r *Replayer) Positions(t sim.Time, dst []roadnet.Point, onDst []bool) ([]r
 	return dst, onDst
 }
 
+// Cursor caches each vehicle's last trace segment so monotone-in-time
+// replay (the tick loop) costs amortized O(1) per query instead of a
+// binary search over the whole trajectory. A cursor belongs to one reading
+// goroutine; the Replayer itself stays safe for concurrent readers.
+// Querying backwards in time is allowed — it just falls back to the
+// binary search.
+type Cursor struct {
+	seg []int
+}
+
+// NewCursor returns a cursor sized for the fleet, positioned at the start
+// of every trace.
+func (r *Replayer) NewCursor() *Cursor {
+	return &Cursor{seg: make([]int, r.ts.NumVehicles())}
+}
+
+// AtCursor is At with segment caching: bit-identical results, amortized
+// O(1) for non-decreasing query times per vehicle. A nil cursor degrades
+// to plain At.
+func (r *Replayer) AtCursor(c *Cursor, v int, t sim.Time) (roadnet.Point, bool, error) {
+	if v < 0 || v >= r.ts.NumVehicles() {
+		return roadnet.Point{}, false, fmt.Errorf("mobility: unknown vehicle %d", v)
+	}
+	hint := -1
+	if c != nil {
+		hint = c.seg[v]
+	}
+	pos, on, seg := r.ts.Traces[v].atSeg(t, hint)
+	if c != nil {
+		c.seg[v] = seg
+	}
+	return pos, on, nil
+}
+
+// TraceSet exposes the underlying trace set (read-only by convention).
+func (r *Replayer) TraceSet() *TraceSet { return r.ts }
+
 // Transitions returns vehicle v's ignition transitions in time order.
 func (r *Replayer) Transitions(v int) ([]Transition, error) {
 	if v < 0 || v >= r.ts.NumVehicles() {

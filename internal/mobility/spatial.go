@@ -8,94 +8,293 @@ import (
 	"roadrunner/internal/roadnet"
 )
 
-// SpatialIndex is a uniform-grid hash over vehicle positions, used by the
-// core simulator to find V2X-range vehicle pairs without an O(n²) scan per
-// tick. Rebuild it each tick, then query pairs or neighborhoods.
-type SpatialIndex struct {
-	cellSize float64
-	cells    map[cellKey][]int
-	pos      []roadnet.Point
-	active   []bool
+// maxTiles caps the dense tile array so a degenerate bounding box (huge
+// extent, tiny cell size) cannot explode memory: beyond the cap the
+// effective cell size is scaled up, which only widens candidate
+// neighborhoods — never changes results, since every candidate passes an
+// exact distance check.
+const maxTiles = 1 << 21
 
-	// pairsBuf and neighborsBuf back the slices returned by PairsWithin
-	// and Neighbors; both are reused, so each call invalidates the slice
-	// the previous call returned.
+// SpatialIndex is a flat tiled uniform grid over vehicle positions, used by
+// the core simulator to find V2X-range vehicle pairs without an O(n²) scan
+// per tick. The grid is a dense row-major tile array over a bounding box,
+// with per-tile occupancy counts and per-entry doubly-linked tile
+// membership, so a position update is an O(1) relink instead of a full
+// rebuild. Positions outside the box clamp into the border tiles, which is
+// safe: clamping is a contraction, so no in-range pair can land farther
+// apart in tile space than its true distance allows, and every candidate is
+// distance-checked exactly.
+//
+// Use it either batch-style (Rebuild each tick, as the paper-scale code
+// did) or incrementally (SetBounds + Reset once, then Update per entry per
+// tick); both produce identical query results. Steady-state operation
+// allocates nothing.
+type SpatialIndex struct {
+	cellSize float64 // requested cell size, meters
+	eff      float64 // effective cell size (≥ cellSize once tiles are capped)
+	minX     float64
+	minY     float64
+	nx, ny   int
+	bounded  bool // SetBounds fixed the box; Rebuild re-derives it otherwise
+
+	heads  []int32 // per tile: first entry, -1 when empty
+	counts []int32 // per tile: occupancy
+	next   []int32 // per entry: tile-list links
+	prev   []int32
+	cellOf []int32 // per entry: tile index, -1 when absent (inactive)
+	pos    []roadnet.Point
+	active []bool
+
+	// pairsBuf, neighborsBuf, and candBuf back the slices returned by
+	// PairsWithin and Neighbors; they are reused, so each call invalidates
+	// the slice the previous call returned.
 	pairsBuf     []Pair
 	neighborsBuf []int
+	candBuf      []int32
 }
-
-type cellKey struct{ cx, cy int }
 
 // NewSpatialIndex returns an index with the given cell size in meters.
 // Choosing the cell size equal to the largest query radius keeps candidate
-// sets small (a radius-r query then inspects at most 9 cells).
+// sets small (a radius-r query then inspects at most 9 tiles).
 func NewSpatialIndex(cellSize float64) (*SpatialIndex, error) {
 	if cellSize <= 0 || math.IsNaN(cellSize) || math.IsInf(cellSize, 0) {
 		return nil, fmt.Errorf("mobility: invalid spatial index cell size %v", cellSize)
 	}
-	return &SpatialIndex{cellSize: cellSize, cells: make(map[cellKey][]int)}, nil
+	return &SpatialIndex{cellSize: cellSize, eff: cellSize, nx: 1, ny: 1}, nil
+}
+
+// SetBounds fixes the tile grid to the given bounding box and clears the
+// index. Callers that know the world extent up front (e.g. the road
+// network's bounding box) should set it once and then drive the index
+// incrementally; without fixed bounds every Rebuild re-derives the box from
+// the data. Positions outside the box are clamped into border tiles.
+func (s *SpatialIndex) SetBounds(min, max roadnet.Point) error {
+	for _, v := range [4]float64{min.X, min.Y, max.X, max.Y} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("mobility: non-finite spatial bounds %v..%v", min, max)
+		}
+	}
+	if max.X < min.X || max.Y < min.Y {
+		return fmt.Errorf("mobility: inverted spatial bounds %v..%v", min, max)
+	}
+	s.setGrid(min.X, min.Y, max.X, max.Y)
+	s.bounded = true
+	s.Reset(len(s.cellOf))
+	return nil
+}
+
+// setGrid dimensions the dense tile array for the box, scaling the
+// effective cell size up when the box would need more than maxTiles tiles.
+func (s *SpatialIndex) setGrid(minX, minY, maxX, maxY float64) {
+	s.minX, s.minY = minX, minY
+	eff := s.cellSize
+	fx := math.Floor((maxX-minX)/eff) + 1
+	fy := math.Floor((maxY-minY)/eff) + 1
+	for fx*fy > maxTiles {
+		// The per-axis +1 can leave a sliver over the cap after one
+		// rescale; the slight overshoot factor makes the loop converge.
+		eff *= math.Sqrt(fx*fy/maxTiles) * 1.001
+		fx = math.Floor((maxX-minX)/eff) + 1
+		fy = math.Floor((maxY-minY)/eff) + 1
+	}
+	s.eff = eff
+	s.nx, s.ny = int(fx), int(fy)
+	if s.nx < 1 {
+		s.nx = 1
+	}
+	if s.ny < 1 {
+		s.ny = 1
+	}
+	tiles := s.nx * s.ny
+	if cap(s.heads) < tiles {
+		s.heads = make([]int32, tiles)
+		s.counts = make([]int32, tiles)
+	}
+	s.heads = s.heads[:tiles]
+	s.counts = s.counts[:tiles]
+}
+
+// Reset empties the index and sizes it for n entries (slots 0..n-1), all
+// initially absent. Entry storage and the tile array are reused across
+// resets once grown.
+func (s *SpatialIndex) Reset(n int) {
+	if cap(s.cellOf) < n {
+		s.cellOf = make([]int32, n)
+		s.next = make([]int32, n)
+		s.prev = make([]int32, n)
+		s.pos = make([]roadnet.Point, n)
+		s.active = make([]bool, n)
+	}
+	s.cellOf = s.cellOf[:n]
+	s.next = s.next[:n]
+	s.prev = s.prev[:n]
+	s.pos = s.pos[:n]
+	s.active = s.active[:n]
+	for i := range s.cellOf {
+		s.cellOf[i] = -1
+	}
+	for i := range s.heads {
+		s.heads[i] = -1
+		s.counts[i] = 0
+	}
+}
+
+// Len returns the number of entry slots (active or not).
+func (s *SpatialIndex) Len() int { return len(s.cellOf) }
+
+// clampCell maps a grid-relative coordinate to a tile axis index in
+// [0, n-1]. NaN and anything below the box map to 0; anything above maps to
+// the last tile.
+func clampCell(v float64, n int) int {
+	if !(v >= 0) { // also catches NaN
+		return 0
+	}
+	if c := int(v); c < n {
+		return c
+	}
+	return n - 1
+}
+
+// tileFor returns the dense tile index of a position, clamped into the box.
+func (s *SpatialIndex) tileFor(p roadnet.Point) int32 {
+	cx := clampCell((p.X-s.minX)/s.eff, s.nx)
+	cy := clampCell((p.Y-s.minY)/s.eff, s.ny)
+	return int32(cy*s.nx + cx)
+}
+
+// Update sets entry i's position and activity, relinking its tile
+// membership only when the tile actually changed. It is the incremental
+// per-tick path: O(1), allocation-free.
+func (s *SpatialIndex) Update(i int, p roadnet.Point, active bool) error {
+	if i < 0 || i >= len(s.cellOf) {
+		return fmt.Errorf("mobility: spatial update: entry %d out of range [0,%d)", i, len(s.cellOf))
+	}
+	s.pos[i] = p
+	s.active[i] = active
+	want := int32(-1)
+	if active {
+		want = s.tileFor(p)
+	}
+	have := s.cellOf[i]
+	if have == want {
+		return nil
+	}
+	if have >= 0 {
+		s.unlink(int32(i), have)
+	}
+	if want >= 0 {
+		s.link(int32(i), want)
+	}
+	s.cellOf[i] = want
+	return nil
+}
+
+func (s *SpatialIndex) link(i, tile int32) {
+	head := s.heads[tile]
+	s.prev[i] = -1
+	s.next[i] = head
+	if head >= 0 {
+		s.prev[head] = i
+	}
+	s.heads[tile] = i
+	s.counts[tile]++
+}
+
+func (s *SpatialIndex) unlink(i, tile int32) {
+	if p := s.prev[i]; p >= 0 {
+		s.next[p] = s.next[i]
+	} else {
+		s.heads[tile] = s.next[i]
+	}
+	if n := s.next[i]; n >= 0 {
+		s.prev[n] = s.prev[i]
+	}
+	s.counts[tile]--
 }
 
 // Rebuild re-populates the index with the given positions. Entries whose
 // active flag is false are excluded (e.g. powered-off vehicles, which do
-// not partake in V2X). The slices are retained until the next Rebuild and
-// must not be mutated by the caller in between.
+// not partake in V2X); a nil active slice means all entries are active.
+// The data is copied into index-owned storage, so the caller's slices may
+// be reused freely afterwards. Without fixed bounds (SetBounds) the tile
+// grid is re-derived from the positions, so long-gone regions never retain
+// tiles — the unbounded-map growth of the old hash-grid design cannot
+// occur.
 func (s *SpatialIndex) Rebuild(pos []roadnet.Point, active []bool) error {
 	if active != nil && len(active) != len(pos) {
 		return fmt.Errorf("mobility: rebuild: %d positions but %d active flags", len(pos), len(active))
 	}
-	// Keep the cell slices' capacity across rebuilds: the fleet moves a
-	// little per tick, so cell occupancy is nearly stable and steady-state
-	// rebuilds allocate nothing.
-	for k, c := range s.cells {
-		s.cells[k] = c[:0]
-	}
-	s.pos = pos
-	s.active = active
-	for i, p := range pos {
-		if active != nil && !active[i] {
-			continue
+	if !s.bounded {
+		minX, minY := math.Inf(1), math.Inf(1)
+		maxX, maxY := math.Inf(-1), math.Inf(-1)
+		for _, p := range pos {
+			// Non-finite positions are skipped for bounds purposes; they
+			// clamp into border tiles and fail every distance check.
+			if p.X < minX {
+				minX = p.X
+			}
+			if p.X > maxX {
+				maxX = p.X
+			}
+			if p.Y < minY {
+				minY = p.Y
+			}
+			if p.Y > maxY {
+				maxY = p.Y
+			}
 		}
-		k := s.key(p)
-		s.cells[k] = append(s.cells[k], i)
+		if minX > maxX || minY > maxY {
+			minX, minY, maxX, maxY = 0, 0, 0, 0
+		}
+		s.setGrid(minX, minY, maxX, maxY)
 	}
-	for k, c := range s.cells {
-		if len(c) == 0 {
-			delete(s.cells, k)
+	s.Reset(len(pos))
+	for i, p := range pos {
+		on := active == nil || active[i]
+		if err := s.Update(i, p, on); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-func (s *SpatialIndex) key(p roadnet.Point) cellKey {
-	return cellKey{
-		cx: int(math.Floor(p.X / s.cellSize)),
-		cy: int(math.Floor(p.Y / s.cellSize)),
+// TileStats reports grid shape and occupancy: total tiles, occupied tiles,
+// and the maximum entries in any one tile — the quantities that determine
+// query cost at scale.
+func (s *SpatialIndex) TileStats() (tiles, occupied int, maxOccupancy int32) {
+	tiles = len(s.counts)
+	for _, c := range s.counts {
+		if c > 0 {
+			occupied++
+			if c > maxOccupancy {
+				maxOccupancy = c
+			}
+		}
 	}
+	return tiles, occupied, maxOccupancy
 }
 
 // Neighbors returns the indices of active entries within radius of entry i
 // (excluding i itself), in ascending index order. The returned slice is
 // owned by the index and valid until the next Neighbors call.
 func (s *SpatialIndex) Neighbors(i int, radius float64) []int {
-	if i < 0 || i >= len(s.pos) || radius < 0 {
+	if i < 0 || i >= len(s.cellOf) || radius < 0 {
 		return nil
 	}
-	if s.active != nil && !s.active[i] {
+	if !s.active[i] {
 		return nil
 	}
 	p := s.pos[i]
-	reach := int(math.Ceil(radius / s.cellSize))
-	center := s.key(p)
+	reach := int(math.Ceil(radius / s.eff))
+	tile := int(s.cellOf[i])
+	cx, cy := tile%s.nx, tile/s.nx
 	out := s.neighborsBuf[:0]
-	for cx := center.cx - reach; cx <= center.cx+reach; cx++ {
-		for cy := center.cy - reach; cy <= center.cy+reach; cy++ {
-			for _, j := range s.cells[cellKey{cx, cy}] {
-				if j == i {
-					continue
-				}
-				if p.Dist(s.pos[j]) <= radius {
-					out = append(out, j)
+	for gy := maxInt(cy-reach, 0); gy <= minInt(cy+reach, s.ny-1); gy++ {
+		base := gy * s.nx
+		for gx := maxInt(cx-reach, 0); gx <= minInt(cx+reach, s.nx-1); gx++ {
+			for j := s.heads[base+gx]; j >= 0; j = s.next[j] {
+				if int(j) != i && p.Dist(s.pos[j]) <= radius {
+					out = append(out, int(j))
 				}
 			}
 		}
@@ -110,81 +309,66 @@ type Pair struct{ A, B int }
 
 // PairsWithin returns all active pairs at distance <= radius, each pair
 // once with A < B, sorted lexicographically. This is the per-tick encounter
-// candidate set. The returned slice is owned by the index and valid until
-// the next PairsWithin call.
+// candidate set. Emission walks entries in ascending index order and keeps
+// only greater-indexed partners, so the output is sorted by construction —
+// no map iteration, no global sort. The returned slice is owned by the
+// index and valid until the next PairsWithin call.
 func (s *SpatialIndex) PairsWithin(radius float64) []Pair {
 	if radius < 0 {
 		return nil
 	}
 	out := s.pairsBuf[:0]
-	reach := int(math.Ceil(radius / s.cellSize))
-	for k, members := range s.cells {
-		// Within-cell pairs.
-		for x := 0; x < len(members); x++ {
-			for y := x + 1; y < len(members); y++ {
-				a, b := members[x], members[y]
-				if s.pos[a].Dist(s.pos[b]) <= radius {
-					out = append(out, orderPair(a, b))
+	reach := int(math.Ceil(radius / s.eff))
+	for i := range s.cellOf {
+		tile := int(s.cellOf[i])
+		if tile < 0 {
+			continue
+		}
+		p := s.pos[i]
+		cx, cy := tile%s.nx, tile/s.nx
+		cand := s.candBuf[:0]
+		for gy := maxInt(cy-reach, 0); gy <= minInt(cy+reach, s.ny-1); gy++ {
+			base := gy * s.nx
+			for gx := maxInt(cx-reach, 0); gx <= minInt(cx+reach, s.nx-1); gx++ {
+				for j := s.heads[base+gx]; j >= 0; j = s.next[j] {
+					if int(j) > i && p.Dist(s.pos[j]) <= radius {
+						cand = append(cand, j)
+					}
 				}
 			}
 		}
-		// Cross-cell pairs: visit each unordered cell pair once by only
-		// looking at lexicographically greater neighbor cells. The usual
-		// radius == cellSize case reaches exactly the four greater
-		// neighbors, enumerated directly; other reaches scan the block.
-		// The appends are kept inline (collect-then-sort) so roadlint can
-		// see the map-iteration output is sorted before use.
-		if reach == 1 {
-			for _, nk := range [4]cellKey{
-				{k.cx, k.cy + 1},
-				{k.cx + 1, k.cy - 1},
-				{k.cx + 1, k.cy},
-				{k.cx + 1, k.cy + 1},
-			} {
-				others := s.cells[nk]
-				if len(others) == 0 {
-					continue
-				}
-				for _, a := range members {
-					pa := s.pos[a]
-					for _, b := range others {
-						if pa.Dist(s.pos[b]) <= radius {
-							out = append(out, orderPair(a, b))
-						}
-					}
-				}
+		// Tile-list order is arbitrary (it reflects update history); a
+		// small insertion sort restores ascending partner order.
+		for a := 1; a < len(cand); a++ {
+			v := cand[a]
+			b := a - 1
+			for b >= 0 && cand[b] > v {
+				cand[b+1] = cand[b]
+				b--
 			}
-		} else {
-			for dx := -reach; dx <= reach; dx++ {
-				for dy := -reach; dy <= reach; dy++ {
-					nk := cellKey{k.cx + dx, k.cy + dy}
-					if (dx == 0 && dy == 0) || !cellLess(k, nk) {
-						continue
-					}
-					others := s.cells[nk]
-					if len(others) == 0 {
-						continue
-					}
-					for _, a := range members {
-						pa := s.pos[a]
-						for _, b := range others {
-							if pa.Dist(s.pos[b]) <= radius {
-								out = append(out, orderPair(a, b))
-							}
-						}
-					}
-				}
-			}
+			cand[b+1] = v
+		}
+		s.candBuf = cand
+		for _, j := range cand {
+			out = append(out, Pair{A: i, B: int(j)})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
-		}
-		return out[i].B < out[j].B
-	})
 	s.pairsBuf = out
 	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func orderPair(a, b int) Pair {
@@ -192,13 +376,6 @@ func orderPair(a, b int) Pair {
 		a, b = b, a
 	}
 	return Pair{A: a, B: b}
-}
-
-func cellLess(a, b cellKey) bool {
-	if a.cx != b.cx {
-		return a.cx < b.cx
-	}
-	return a.cy < b.cy
 }
 
 // BruteForcePairs computes the same result as PairsWithin by checking every
@@ -227,47 +404,94 @@ func BruteForcePairs(pos []roadnet.Point, active []bool, radius float64) []Pair 
 // range and ends when it leaves range (or either vehicle deactivates).
 // Learning strategies such as the paper's OPP subscribe to these events to
 // trigger opportunistic V2X model exchanges.
+//
+// The tracker keeps the in-range set as a sorted slice and diffs
+// consecutive snapshots with a single merge pass, so steady-state updates
+// allocate nothing. The slices returned by Update are reused and valid
+// until the next Update call. Duplicate pairs in the input are coalesced.
 type EncounterTracker struct {
-	inRange map[Pair]bool
+	inRange []Pair // sorted, deduplicated
+	curBuf  []Pair
+	begins  []Pair
+	ends    []Pair
 }
 
 // NewEncounterTracker returns an empty tracker.
-func NewEncounterTracker() *EncounterTracker {
-	return &EncounterTracker{inRange: make(map[Pair]bool)}
-}
+func NewEncounterTracker() *EncounterTracker { return &EncounterTracker{} }
 
 // Update consumes the current in-range pair set and returns the encounters
-// that began and ended since the previous update, both sorted.
+// that began and ended since the previous update, both sorted. The input
+// need not be sorted; PairsWithin output (already sorted) is diffed without
+// re-sorting.
 func (e *EncounterTracker) Update(current []Pair) (begins, ends []Pair) {
-	cur := make(map[Pair]bool, len(current))
-	for _, p := range current {
-		cur[p] = true
-		if !e.inRange[p] {
-			begins = append(begins, p)
+	cur := append(e.curBuf[:0], current...)
+	if !pairsSorted(cur) {
+		sortPairs(cur)
+	}
+	cur = dedupePairs(cur)
+
+	e.begins = e.begins[:0]
+	e.ends = e.ends[:0]
+	i, j := 0, 0
+	for i < len(cur) && j < len(e.inRange) {
+		switch {
+		case cur[i] == e.inRange[j]:
+			i++
+			j++
+		case pairLess(cur[i], e.inRange[j]):
+			e.begins = append(e.begins, cur[i])
+			i++
+		default:
+			e.ends = append(e.ends, e.inRange[j])
+			j++
 		}
 	}
-	for p := range e.inRange {
-		if !cur[p] {
-			ends = append(ends, p)
-		}
-	}
+	e.begins = append(e.begins, cur[i:]...)
+	e.ends = append(e.ends, e.inRange[j:]...)
+
+	// Swap storage: the previous in-range slice becomes the next call's
+	// staging buffer.
+	e.curBuf = e.inRange[:0]
 	e.inRange = cur
-	sortPairs(begins)
-	sortPairs(ends)
-	return begins, ends
+	return e.begins, e.ends
 }
 
 // Active reports whether the pair is currently in an encounter.
-func (e *EncounterTracker) Active(p Pair) bool { return e.inRange[orderPair(p.A, p.B)] }
+func (e *EncounterTracker) Active(p Pair) bool {
+	q := orderPair(p.A, p.B)
+	i := sort.Search(len(e.inRange), func(k int) bool { return !pairLess(e.inRange[k], q) })
+	return i < len(e.inRange) && e.inRange[i] == q
+}
 
 // ActiveCount returns the number of ongoing encounters.
 func (e *EncounterTracker) ActiveCount() int { return len(e.inRange) }
 
-func sortPairs(ps []Pair) {
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].A != ps[j].A {
-			return ps[i].A < ps[j].A
+func pairLess(a, b Pair) bool {
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	return a.B < b.B
+}
+
+func pairsSorted(ps []Pair) bool {
+	for i := 1; i < len(ps); i++ {
+		if pairLess(ps[i], ps[i-1]) {
+			return false
 		}
-		return ps[i].B < ps[j].B
-	})
+	}
+	return true
+}
+
+func dedupePairs(ps []Pair) []Pair {
+	out := ps[:0]
+	for i, p := range ps {
+		if i == 0 || p != ps[i-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool { return pairLess(ps[i], ps[j]) })
 }

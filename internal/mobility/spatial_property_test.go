@@ -1,0 +1,247 @@
+package mobility
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"roadrunner/internal/roadnet"
+	"roadrunner/internal/sim"
+)
+
+// randomFleet draws a fleet engineered to hit the tiled index's edge cases:
+// duplicate positions, positions exactly on cell boundaries, positions
+// outside the nominal box (clamped into border tiles), and inactive
+// vehicles.
+func randomFleet(rng *sim.RNG, n int, cellSize float64) ([]roadnet.Point, []bool) {
+	pos := make([]roadnet.Point, n)
+	active := make([]bool, n)
+	for i := range pos {
+		switch rng.Intn(5) {
+		case 0: // exactly on a cell boundary
+			pos[i] = roadnet.Point{
+				X: float64(rng.Intn(8)) * cellSize,
+				Y: float64(rng.Intn(8)) * cellSize,
+			}
+		case 1: // duplicate of an earlier vehicle
+			if i > 0 {
+				pos[i] = pos[rng.Intn(i)]
+				break
+			}
+			fallthrough
+		case 2: // outside the bulk of the fleet (exercises clamping
+			// when bounds were fixed before this point existed)
+			pos[i] = roadnet.Point{X: rng.Range(-3, 12) * cellSize, Y: rng.Range(-3, 12) * cellSize}
+		default:
+			pos[i] = roadnet.Point{X: rng.Range(0, 8) * cellSize, Y: rng.Range(0, 8) * cellSize}
+		}
+		active[i] = rng.Bool(0.85)
+	}
+	return pos, active
+}
+
+// bruteNeighbors is the O(n) reference for SpatialIndex.Neighbors.
+func bruteNeighbors(pos []roadnet.Point, active []bool, i int, radius float64) []int {
+	if i < 0 || i >= len(pos) || radius < 0 || !active[i] {
+		return nil
+	}
+	var out []int
+	for j := range pos {
+		if j != i && active[j] && pos[i].Dist(pos[j]) <= radius {
+			out = append(out, j)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TestSpatialIndexPropertyVsBruteForce fuzzes randomized fleets through
+// Rebuild and checks PairsWithin and Neighbors against the O(n²) reference
+// across radii from zero to several cell widths.
+func TestSpatialIndexPropertyVsBruteForce(t *testing.T) {
+	rng := sim.NewRNG(1234)
+	const cellSize = 50.0
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(120)
+		pos, active := randomFleet(rng, n, cellSize)
+		s, err := NewSpatialIndex(cellSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Rebuild(pos, active); err != nil {
+			t.Fatal(err)
+		}
+		radius := rng.Range(0, 2.5*cellSize)
+		if rng.Bool(0.1) {
+			radius = 0 // duplicate positions make zero-radius pairs real
+		}
+		got := s.PairsWithin(radius)
+		want := BruteForcePairs(pos, active, radius)
+		if !samePairs(got, want) {
+			t.Fatalf("trial %d (n=%d r=%.2f): pairs %v, brute force %v", trial, n, radius, got, want)
+		}
+		if n > 0 {
+			i := rng.Intn(n)
+			gotN := s.Neighbors(i, radius)
+			wantN := bruteNeighbors(pos, active, i, radius)
+			if !sameInts(gotN, wantN) {
+				t.Fatalf("trial %d (n=%d r=%.2f): neighbors(%d) %v, brute force %v", trial, n, radius, i, gotN, wantN)
+			}
+		}
+	}
+}
+
+// TestSpatialIndexIncrementalMatchesRebuild drives one index incrementally
+// (fixed bounds, per-entry updates) and rebuilds a second from scratch after
+// every batch of moves; they must agree with each other and with the brute
+// force at every step. This is the equivalence core.Experiment relies on
+// when it switched from per-tick rebuilds to incremental updates.
+func TestSpatialIndexIncrementalMatchesRebuild(t *testing.T) {
+	rng := sim.NewRNG(99)
+	const cellSize = 40.0
+	const n = 80
+	pos, active := randomFleet(rng, n, cellSize)
+
+	inc, err := NewSpatialIndex(cellSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixed bounds deliberately tighter than the fleet's excursions, so
+	// clamped border tiles stay on the equivalence path too.
+	if err := inc.SetBounds(roadnet.Point{}, roadnet.Point{X: 8 * cellSize, Y: 8 * cellSize}); err != nil {
+		t.Fatal(err)
+	}
+	inc.Reset(n)
+	for i := range pos {
+		if err := inc.Update(i, pos[i], active[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for step := 0; step < 150; step++ {
+		// Mutate a random subset: moves, teleports, power toggles.
+		for k := rng.Intn(10); k >= 0; k-- {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				pos[i] = roadnet.Point{X: pos[i].X + rng.Range(-15, 15), Y: pos[i].Y + rng.Range(-15, 15)}
+			case 1:
+				pos[i] = roadnet.Point{X: rng.Range(-2, 10) * cellSize, Y: rng.Range(-2, 10) * cellSize}
+			default:
+				active[i] = !active[i]
+			}
+			if err := inc.Update(i, pos[i], active[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		radius := rng.Range(0, 2*cellSize)
+
+		fresh, err := NewSpatialIndex(cellSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.SetBounds(roadnet.Point{}, roadnet.Point{X: 8 * cellSize, Y: 8 * cellSize}); err != nil {
+			t.Fatal(err)
+		}
+		fresh.Reset(n)
+		for i := range pos {
+			if err := fresh.Update(i, pos[i], active[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		gotInc := append([]Pair(nil), inc.PairsWithin(radius)...)
+		gotFresh := fresh.PairsWithin(radius)
+		want := BruteForcePairs(pos, active, radius)
+		if !samePairs(gotInc, want) {
+			t.Fatalf("step %d (r=%.2f): incremental %v, brute force %v", step, radius, gotInc, want)
+		}
+		if !samePairs(gotFresh, gotInc) {
+			t.Fatalf("step %d (r=%.2f): fresh %v, incremental %v", step, radius, gotFresh, gotInc)
+		}
+	}
+}
+
+// TestSpatialIndexTinyCellsManyVehicles covers the tile-cap path: a cell
+// size far smaller than the extent forces the effective cell size up, which
+// must not change results.
+func TestSpatialIndexTinyCellsManyVehicles(t *testing.T) {
+	rng := sim.NewRNG(5)
+	const n = 300
+	pos := make([]roadnet.Point, n)
+	for i := range pos {
+		pos[i] = roadnet.Point{X: rng.Range(0, 1e6), Y: rng.Range(0, 1e6)}
+	}
+	s, err := NewSpatialIndex(0.25) // would need 1.6e13 tiles uncapped
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rebuild(pos, nil); err != nil {
+		t.Fatal(err)
+	}
+	tiles, _, _ := s.TileStats()
+	if tiles > 1<<21 {
+		t.Fatalf("tile cap not applied: %d tiles", tiles)
+	}
+	for _, radius := range []float64{0, 1000, 250000} {
+		got := s.PairsWithin(radius)
+		want := BruteForcePairs(pos, nil, radius)
+		if !samePairs(got, want) {
+			t.Fatalf("radius %v: got %d pairs, brute force %d", radius, len(got), len(want))
+		}
+	}
+}
+
+// TestSpatialIndexRebuildShrinksWithFleet pins the satellite fix for the
+// old hash-grid's unbounded growth: when the fleet contracts into a corner,
+// a rebuild without fixed bounds re-derives the grid, so tiles for
+// long-abandoned regions do not accumulate.
+func TestSpatialIndexRebuildShrinksWithFleet(t *testing.T) {
+	s, err := NewSpatialIndex(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := make([]roadnet.Point, 50)
+	rng := sim.NewRNG(3)
+	for i := range wide {
+		wide[i] = roadnet.Point{X: rng.Range(0, 5000), Y: rng.Range(0, 5000)}
+	}
+	if err := s.Rebuild(wide, nil); err != nil {
+		t.Fatal(err)
+	}
+	wideTiles, _, _ := s.TileStats()
+	tight := make([]roadnet.Point, 50)
+	for i := range tight {
+		tight[i] = roadnet.Point{X: rng.Range(0, 50), Y: rng.Range(0, 50)}
+	}
+	if err := s.Rebuild(tight, nil); err != nil {
+		t.Fatal(err)
+	}
+	tightTiles, occupied, _ := s.TileStats()
+	if tightTiles >= wideTiles {
+		t.Fatalf("grid did not shrink: %d tiles after contraction, %d before", tightTiles, wideTiles)
+	}
+	if occupied == 0 {
+		t.Fatal("contracted fleet occupies no tiles")
+	}
+}
+
+func samePairs(got, want []Pair) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	if len(got) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(got, want)
+}
+
+func sameInts(got, want []int) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	if len(got) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(got, want)
+}

@@ -138,3 +138,29 @@ func (g *Graph) OutEdges(id NodeID) []Edge {
 }
 
 func (g *Graph) valid(id NodeID) bool { return id >= 0 && int(id) < len(g.nodes) }
+
+// Bounds returns the axis-aligned bounding box of all intersections, and
+// ok=false for an empty graph. Vehicles move along segments between
+// intersections, so the box bounds every reachable position — the natural
+// extent for spatial indexing over the network.
+func (g *Graph) Bounds() (min, max Point, ok bool) {
+	if len(g.nodes) == 0 {
+		return Point{}, Point{}, false
+	}
+	min, max = g.nodes[0].Pos, g.nodes[0].Pos
+	for _, n := range g.nodes[1:] {
+		if n.Pos.X < min.X {
+			min.X = n.Pos.X
+		}
+		if n.Pos.X > max.X {
+			max.X = n.Pos.X
+		}
+		if n.Pos.Y < min.Y {
+			min.Y = n.Pos.Y
+		}
+		if n.Pos.Y > max.Y {
+			max.Y = n.Pos.Y
+		}
+	}
+	return min, max, true
+}

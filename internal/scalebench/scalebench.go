@@ -1,0 +1,310 @@
+// Package scalebench drives the core simulator's megacity hot path — the
+// discrete-event queue, trace replay, the tiled spatial index, and
+// encounter tracking — at configurable fleet sizes, without the ML and
+// communication stacks on top. It exists to answer one question with a
+// number: how does per-simulated-second cost grow with fleet size?
+//
+// The workload is the paper's replay architecture in miniature. A
+// deterministic synthetic fleet of random-waypoint traces (constant
+// density: the city area grows with the fleet, as a real megacity does) is
+// replayed through the same Replayer/SpatialIndex/EncounterTracker
+// machinery core.Experiment uses, with a periodic encounter tick and a
+// per-vehicle self-rescheduling beacon event keeping fleet-sized pending
+// sets in the event queue. Everything derives from Config.Seed, and every
+// run folds its observable behavior into a checksum, so two runs of the
+// same configuration must agree bit for bit — including the naive
+// reference mode, which computes the identical result with an O(n²) pair
+// scan and per-tick index rebuild and exists as the scaling baseline to
+// beat.
+//
+// Wall-clock timing deliberately lives with the caller (cmd/bench), not
+// here: this package stays free of wall-clock reads so the determinism
+// lint applies in full.
+package scalebench
+
+import (
+	"fmt"
+	"math"
+
+	"roadrunner/internal/mobility"
+	"roadrunner/internal/roadnet"
+	"roadrunner/internal/sim"
+)
+
+// Config parameterizes one scaling point.
+type Config struct {
+	// Vehicles is the fleet size.
+	Vehicles int
+	// Seed determines the fleet and all of its motion.
+	Seed uint64
+	// Horizon is the simulated duration. Default 300 s.
+	Horizon sim.Duration
+	// TickEvery is the encounter-scan period. Default 5 s (the core
+	// simulator's default tick).
+	TickEvery sim.Duration
+	// BeaconEvery is the per-vehicle event period: every vehicle keeps one
+	// self-rescheduling event in the queue, so the pending set scales with
+	// the fleet. Default 10 s.
+	BeaconEvery sim.Duration
+	// RangeM is the V2X range in meters, which is also the spatial index
+	// cell size, matching core.Experiment. Default 400 m.
+	RangeM float64
+	// DensityPerKm2 is the fleet density; the square city's area is
+	// Vehicles/DensityPerKm2, so density — and hence per-vehicle work — is
+	// held constant across fleet sizes. Default 40 vehicles/km².
+	DensityPerKm2 float64
+	// Naive switches pair detection to the O(n²) brute-force scan with a
+	// full per-tick index rebuild — the algorithmic shape the tiled index
+	// replaced. Results (and the checksum) are identical by construction;
+	// only the cost differs.
+	Naive bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Horizon == 0 {
+		c.Horizon = sim.DurationSeconds(300)
+	}
+	if c.TickEvery == 0 {
+		c.TickEvery = sim.DurationSeconds(5)
+	}
+	if c.BeaconEvery == 0 {
+		c.BeaconEvery = sim.DurationSeconds(10)
+	}
+	if c.RangeM == 0 {
+		c.RangeM = 400
+	}
+	if c.DensityPerKm2 == 0 {
+		c.DensityPerKm2 = 40
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Vehicles <= 0 {
+		return fmt.Errorf("scalebench: fleet size %d must be positive", c.Vehicles)
+	}
+	if c.Horizon <= 0 || !c.Horizon.IsValid() {
+		return fmt.Errorf("scalebench: invalid horizon %v", c.Horizon)
+	}
+	if c.TickEvery <= 0 || !c.TickEvery.IsValid() {
+		return fmt.Errorf("scalebench: invalid tick period %v", c.TickEvery)
+	}
+	if c.BeaconEvery <= 0 || !c.BeaconEvery.IsValid() {
+		return fmt.Errorf("scalebench: invalid beacon period %v", c.BeaconEvery)
+	}
+	if c.RangeM <= 0 || math.IsNaN(c.RangeM) || math.IsInf(c.RangeM, 0) {
+		return fmt.Errorf("scalebench: invalid range %v", c.RangeM)
+	}
+	if c.DensityPerKm2 <= 0 || math.IsNaN(c.DensityPerKm2) || math.IsInf(c.DensityPerKm2, 0) {
+		return fmt.Errorf("scalebench: invalid density %v", c.DensityPerKm2)
+	}
+	return nil
+}
+
+// Stats are one scaling point's deterministic outputs. Everything here is a
+// pure function of Config — wall-clock time is measured by the caller.
+type Stats struct {
+	Vehicles         int     `json:"vehicles"`
+	SimSeconds       float64 `json:"sim_seconds"`
+	AreaKm2          float64 `json:"area_km2"`
+	Ticks            uint64  `json:"ticks"`
+	Beacons          uint64  `json:"beacons"`
+	EventsProcessed  uint64  `json:"events_processed"`
+	PairObservations uint64  `json:"pair_observations"`
+	EncounterBegins  uint64  `json:"encounter_begins"`
+	EncounterEnds    uint64  `json:"encounter_ends"`
+	Tiles            int     `json:"tiles"`
+	OccupiedTiles    int     `json:"occupied_tiles"`
+	MaxTileOccupancy int     `json:"max_tile_occupancy"`
+	// Checksum folds every tick's pair set and power count, so identical
+	// configurations must produce identical checksums — across runs and
+	// across the naive/tiled implementations.
+	Checksum uint64 `json:"checksum"`
+}
+
+// Run executes one scaling point and returns its deterministic stats.
+func Run(cfg Config) (*Stats, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ts, sideM, err := generateFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := mobility.NewReplayer(ts)
+	if err != nil {
+		return nil, err
+	}
+	spatial, err := mobility.NewSpatialIndex(cfg.RangeM)
+	if err != nil {
+		return nil, err
+	}
+	if err := spatial.SetBounds(roadnet.Point{}, roadnet.Point{X: sideM, Y: sideM}); err != nil {
+		return nil, err
+	}
+	spatial.Reset(cfg.Vehicles)
+
+	engine := sim.NewEngine()
+	tracker := mobility.NewEncounterTracker()
+	cursor := rep.NewCursor()
+	horizon := sim.Time(0).Add(cfg.Horizon)
+	stats := &Stats{
+		Vehicles:   cfg.Vehicles,
+		SimSeconds: cfg.Horizon.Seconds(),
+		AreaKm2:    sideM * sideM / 1e6,
+		Checksum:   fnvOffset,
+	}
+
+	// Naive mode gathers positions into flat snapshots, rebuilding from
+	// scratch each tick like the pre-tiling design did.
+	var posBuf []roadnet.Point
+	var actBuf []bool
+	if cfg.Naive {
+		posBuf = make([]roadnet.Point, cfg.Vehicles)
+		actBuf = make([]bool, cfg.Vehicles)
+	}
+
+	var tick func()
+	tick = func() {
+		now := engine.Now()
+		onCount := 0
+		var pairs []mobility.Pair
+		if cfg.Naive {
+			for i := 0; i < cfg.Vehicles; i++ {
+				pos, on, err := rep.At(i, now)
+				if err != nil {
+					on = false
+				}
+				posBuf[i], actBuf[i] = pos, on
+				if on {
+					onCount++
+				}
+			}
+			pairs = mobility.BruteForcePairs(posBuf, actBuf, cfg.RangeM)
+		} else {
+			for i := 0; i < cfg.Vehicles; i++ {
+				pos, on, err := rep.AtCursor(cursor, i, now)
+				if err != nil {
+					on = false
+				}
+				if err := spatial.Update(i, pos, on); err != nil {
+					return
+				}
+				if on {
+					onCount++
+				}
+			}
+			pairs = spatial.PairsWithin(cfg.RangeM)
+		}
+		begins, ends := tracker.Update(pairs)
+		stats.Ticks++
+		stats.PairObservations += uint64(len(pairs))
+		stats.EncounterBegins += uint64(len(begins))
+		stats.EncounterEnds += uint64(len(ends))
+		stats.Checksum = fold(stats.Checksum, uint64(onCount))
+		stats.Checksum = fold(stats.Checksum, uint64(len(pairs)))
+		for _, b := range begins {
+			stats.Checksum = fold(stats.Checksum, uint64(b.A)<<32|uint64(uint32(b.B)))
+		}
+		if next := now.Add(cfg.TickEvery); next <= horizon {
+			if _, err := engine.Schedule(next, tick); err != nil {
+				return
+			}
+		}
+	}
+	if _, err := engine.Schedule(0, tick); err != nil {
+		return nil, err
+	}
+
+	// One beacon chain per vehicle, phase-staggered across the period so
+	// firings spread over simulated time the way real CAM beacons do.
+	for i := 0; i < cfg.Vehicles; i++ {
+		i := i
+		phase := sim.Time(float64(cfg.BeaconEvery) * float64(i%97) / 97)
+		var beacon func()
+		beacon = func() {
+			stats.Beacons++
+			stats.Checksum = fold(stats.Checksum, uint64(i))
+			if next := engine.Now().Add(cfg.BeaconEvery); next <= horizon {
+				if _, err := engine.Schedule(next, beacon); err != nil {
+					return
+				}
+			}
+		}
+		if _, err := engine.Schedule(phase, beacon); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := engine.Run(horizon); err != nil {
+		return nil, err
+	}
+	stats.EventsProcessed = engine.Processed()
+	tiles, occupied, maxOcc := spatial.TileStats()
+	stats.Tiles, stats.OccupiedTiles, stats.MaxTileOccupancy = tiles, occupied, int(maxOcc)
+	return stats, nil
+}
+
+// generateFleet builds a random-waypoint trace per vehicle over a square
+// city sized for constant density, with ignition churn: vehicles park
+// (ignition off) between some trips. Everything derives from cfg.Seed.
+func generateFleet(cfg Config) (*mobility.TraceSet, float64, error) {
+	sideM := math.Sqrt(float64(cfg.Vehicles)/cfg.DensityPerKm2) * 1000
+	horizon := sim.Time(0).Add(cfg.Horizon)
+	root := sim.NewRNG(cfg.Seed).Fork("fleet")
+	traces := make([]mobility.Trace, cfg.Vehicles)
+	for i := range traces {
+		rng := root.Fork("vehicle")
+		pos := roadnet.Point{X: rng.Range(0, sideM), Y: rng.Range(0, sideM)}
+		on := rng.Bool(0.9)
+		samples := []mobility.Sample{{T: 0, Pos: pos, On: on}}
+		t := sim.Time(0)
+		for t < horizon {
+			if !on {
+				// Parked: dwell in place, then restart the ignition.
+				t = t.Add(sim.DurationSeconds(rng.Range(10, 60)))
+				on = true
+				samples = append(samples, mobility.Sample{T: t, Pos: pos, On: true})
+				continue
+			}
+			if rng.Bool(0.15) {
+				// Park here: the off state holds until the dwell branch
+				// above turns the vehicle back on.
+				t = t.Add(sim.DurationSeconds(rng.Range(20, 90)))
+				on = false
+				samples = append(samples, mobility.Sample{T: t, Pos: pos, On: false})
+				continue
+			}
+			target := roadnet.Point{X: rng.Range(0, sideM), Y: rng.Range(0, sideM)}
+			speed := rng.Range(8, 20) // m/s: urban driving
+			dur := pos.Dist(target) / speed
+			if dur < 1 {
+				dur = 1
+			}
+			t = t.Add(sim.DurationSeconds(dur))
+			pos = target
+			samples = append(samples, mobility.Sample{T: t, Pos: pos, On: true})
+		}
+		traces[i] = mobility.Trace{Vehicle: i, Samples: samples}
+	}
+	ts := &mobility.TraceSet{Traces: traces, Horizon: horizon}
+	if err := ts.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return ts, sideM, nil
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fold mixes v into a running FNV-1a-style checksum.
+func fold(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * i)) & 0xff
+		h *= fnvPrime
+	}
+	return h
+}

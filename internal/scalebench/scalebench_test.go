@@ -1,0 +1,73 @@
+package scalebench
+
+import "testing"
+
+// TestDeterminism pins the same-seed contract: two runs of one
+// configuration agree on every stat, and a different seed disagrees on the
+// checksum (or the checksum would be vacuous).
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Vehicles: 150, Seed: 7, Horizon: 120}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("same config diverged:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed = 8
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Checksum == a.Checksum {
+		t.Fatalf("checksum did not respond to seed change: %#x", c.Checksum)
+	}
+}
+
+// TestNaiveEquivalence pins the load-bearing claim of the scaling
+// benchmark: the tiled spatial index and the O(n²) reference compute the
+// same pair sets tick for tick, so their speed difference is pure
+// implementation, not workload drift.
+func TestNaiveEquivalence(t *testing.T) {
+	cfg := Config{Vehicles: 200, Seed: 11, Horizon: 90}
+	fast, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Naive = true
+	naive, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Checksum != naive.Checksum {
+		t.Fatalf("tiled checksum %#x != naive checksum %#x", fast.Checksum, naive.Checksum)
+	}
+	if fast.PairObservations != naive.PairObservations ||
+		fast.EncounterBegins != naive.EncounterBegins ||
+		fast.EncounterEnds != naive.EncounterEnds {
+		t.Fatalf("pair accounting diverged: tiled %+v naive %+v", fast, naive)
+	}
+	if fast.PairObservations == 0 {
+		t.Fatal("workload produced no pairs; the equivalence check is vacuous")
+	}
+}
+
+// TestValidation rejects nonsense configurations.
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{Vehicles: 0},
+		{Vehicles: -5},
+		{Vehicles: 10, Horizon: -1},
+		{Vehicles: 10, RangeM: -3},
+		{Vehicles: 10, DensityPerKm2: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %+v: expected error", cfg)
+		}
+	}
+}

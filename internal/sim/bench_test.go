@@ -24,7 +24,7 @@ func BenchmarkEventQueue(b *testing.B) {
 // BenchmarkEventCancel measures cancellation overhead.
 func BenchmarkEventCancel(b *testing.B) {
 	e := NewEngine()
-	events := make([]*Event, b.N)
+	events := make([]Event, b.N)
 	for i := range events {
 		ev, err := e.Schedule(Time(i), func() {})
 		if err != nil {

@@ -18,10 +18,17 @@ var ErrStopped = errors.New("sim: engine stopped")
 // customary pattern is that the experiment driver calls Run once, and all
 // further Schedule/After/Cancel calls happen inside event callbacks.
 //
+// Event state lives in a slab (recs) recycled through a free list, and the
+// pending set is a monomorphic 4-ary heap of slot indices keyed inline by
+// (time, seq). Once the slab and heap have grown to a run's high-water
+// mark, the schedule→fire cycle allocates nothing.
+//
 // The zero value is a ready-to-use engine at time 0.
 type Engine struct {
 	now       Time
-	queue     eventHeap
+	queue     eventQueue
+	recs      []eventRecord
+	free      []int32
 	nextSeq   uint64
 	stopped   bool
 	processed uint64
@@ -35,36 +42,85 @@ func (e *Engine) Now() Time { return e.now }
 
 // Pending returns the number of events currently queued (canceled events
 // still count until they are popped).
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return e.queue.len() }
 
 // Processed returns the number of event callbacks executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
+
+// allocSlot takes a record slot from the free list, growing the slab only
+// when every slot is live.
+func (e *Engine) allocSlot() int32 {
+	if n := len(e.free); n > 0 {
+		slot := e.free[n-1]
+		e.free = e.free[:n-1]
+		return slot
+	}
+	e.recs = append(e.recs, eventRecord{})
+	return int32(len(e.recs) - 1)
+}
+
+// freeSlot recycles a record: the generation bump makes every outstanding
+// handle to the old tenant inert, and dropping fn releases the callback's
+// captures to the GC.
+func (e *Engine) freeSlot(slot int32) {
+	rec := &e.recs[slot]
+	rec.fn = nil
+	rec.gen++
+	e.free = append(e.free, slot)
+}
+
+// cancelEvent marks the slot canceled iff the handle's generation still
+// matches (i.e. the event is still pending).
+func (e *Engine) cancelEvent(slot int32, gen uint32) {
+	if int(slot) >= len(e.recs) {
+		return
+	}
+	rec := &e.recs[slot]
+	if rec.gen == gen {
+		rec.canceled = true
+	}
+}
+
+// eventCanceled reports whether the slot is still the handle's event and
+// canceled.
+func (e *Engine) eventCanceled(slot int32, gen uint32) bool {
+	if int(slot) >= len(e.recs) {
+		return false
+	}
+	rec := &e.recs[slot]
+	return rec.gen == gen && rec.canceled
+}
 
 // Schedule queues fn to run at the absolute instant at. It returns the
 // Event handle, which can be used to cancel the callback before it fires.
 // Scheduling strictly before Now is an error; scheduling exactly at Now is
 // allowed and runs after all previously queued events for that instant.
-func (e *Engine) Schedule(at Time, fn func()) (*Event, error) {
+func (e *Engine) Schedule(at Time, fn func()) (Event, error) {
 	if !at.IsValid() {
-		return nil, fmt.Errorf("sim: invalid event time %v", float64(at))
+		return Event{}, fmt.Errorf("sim: invalid event time %v", float64(at))
 	}
 	if at < e.now {
-		return nil, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, e.now)
+		return Event{}, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, e.now)
 	}
 	if fn == nil {
-		return nil, errors.New("sim: nil event callback")
+		return Event{}, errors.New("sim: nil event callback")
 	}
-	ev := &Event{at: at, seq: e.nextSeq, fn: fn}
+	slot := e.allocSlot()
+	rec := &e.recs[slot]
+	rec.fn = fn
+	rec.at = at
+	rec.seq = e.nextSeq
+	rec.canceled = false
 	e.nextSeq++
-	e.queue.push(ev)
-	return ev, nil
+	e.queue.push(heapNode{at: at, seq: rec.seq, slot: slot})
+	return Event{eng: e, slot: slot, gen: rec.gen, at: at}, nil
 }
 
 // After queues fn to run d after the current instant. A negative or invalid
 // d is an error.
-func (e *Engine) After(d Duration, fn func()) (*Event, error) {
+func (e *Engine) After(d Duration, fn func()) (Event, error) {
 	if !d.IsValid() || d < 0 {
-		return nil, fmt.Errorf("sim: invalid delay %v", float64(d))
+		return Event{}, fmt.Errorf("sim: invalid delay %v", float64(d))
 	}
 	return e.Schedule(e.now.Add(d), fn)
 }
@@ -81,19 +137,24 @@ func (e *Engine) Stopped() bool { return e.stopped }
 // its timestamp. It reports whether an event was executed (canceled events
 // are discarded without executing and without being reported).
 func (e *Engine) Step() bool {
-	for {
-		ev := e.queue.pop()
-		if ev == nil {
-			return false
-		}
-		if ev.canceled {
+	for e.queue.len() > 0 {
+		n := e.queue.pop()
+		rec := &e.recs[n.slot]
+		fn := rec.fn
+		canceled := rec.canceled
+		// Recycle before running: the callback may schedule new events,
+		// which can then reuse this slot without touching the free list's
+		// high-water mark.
+		e.freeSlot(n.slot)
+		if canceled {
 			continue
 		}
-		e.now = ev.at
+		e.now = n.at
 		e.processed++
-		ev.fn()
+		fn()
 		return true
 	}
+	return false
 }
 
 // Run executes events in timestamp order until the queue is empty, the next
@@ -109,8 +170,8 @@ func (e *Engine) Run(until Time) error {
 		return fmt.Errorf("sim: run horizon %v before now %v", until, e.now)
 	}
 	for !e.stopped {
-		next := e.queue.peek()
-		if next == nil {
+		next, ok := e.queue.peek()
+		if !ok {
 			return nil
 		}
 		if next.at > until {

@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"testing"
+)
+
+// nopEvent is package-level so scheduling it captures nothing; the
+// allocation test below must observe the engine's own allocations only.
+func nopEvent() {}
+
+// TestEventQueueMillionPending drives the queue to a million pending events
+// with interleaved cancellations, then drains it, checking time ordering,
+// FIFO at equal instants, that canceled events never fire, and that the
+// processed counter accounts exactly for the survivors.
+func TestEventQueueMillionPending(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-event stress skipped in -short")
+	}
+	const n = 1_000_000
+	e := NewEngine()
+	rng := NewRNG(42)
+	events := make([]Event, 0, n)
+	order := make([]uint64, 0, n)
+	fired := 0
+	var lastAt Time = -1
+	var lastSeq uint64
+	for i := 0; i < n; i++ {
+		i := i
+		// ~16 events per instant on average, so FIFO ties are everywhere.
+		at := Time(rng.Intn(n / 16))
+		ev, err := e.Schedule(at, func() {
+			if ev := events[i]; ev.At() != at {
+				t.Errorf("event %d reports at=%v, scheduled %v", i, ev.At(), at)
+			}
+			fired++
+			seq := order[i]
+			if e.Now() != at {
+				t.Fatalf("event %d fired at %v, scheduled %v", i, e.Now(), at)
+			}
+			if at < lastAt || (at == lastAt && seq <= lastSeq) {
+				t.Fatalf("ordering violated: (%v,%d) after (%v,%d)", at, seq, lastAt, lastSeq)
+			}
+			lastAt, lastSeq = at, seq
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+		order = append(order, uint64(i))
+	}
+	if e.Pending() != n {
+		t.Fatalf("pending %d, want %d", e.Pending(), n)
+	}
+	// Cancel a third of the set, scattered across the whole pending range.
+	canceled := 0
+	for i := 0; i < n; i += 3 {
+		events[i].Cancel()
+		canceled++
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != n-canceled {
+		t.Fatalf("fired %d events, want %d (%d canceled)", fired, n-canceled, canceled)
+	}
+	if got := e.Processed(); got != uint64(n-canceled) {
+		t.Fatalf("processed counter %d, want %d", got, n-canceled)
+	}
+}
+
+// TestEventQueueScheduleCancelInterleaved alternates schedule and cancel in
+// waves while the clock advances, so slots recycle constantly and stale
+// generations accumulate — the pattern that breaks naive slab reuse.
+func TestEventQueueScheduleCancelInterleaved(t *testing.T) {
+	const waves, perWave = 200, 500
+	e := NewEngine()
+	fired := 0
+	var live []Event
+	for w := 0; w < waves; w++ {
+		base := e.Now()
+		for i := 0; i < perWave; i++ {
+			ev, err := e.Schedule(base.Add(Duration(1+i%7)), func() { fired++ })
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, ev)
+		}
+		// Cancel every other event from this wave and re-cancel a stale
+		// handle from two waves back (must be inert).
+		for i := 0; i < perWave; i += 2 {
+			live[w*perWave+i].Cancel()
+		}
+		if w >= 2 {
+			live[(w-2)*perWave].Cancel()
+		}
+		if err := e.Run(base.Add(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := waves * perWave / 2
+	if fired != want {
+		t.Fatalf("fired %d, want %d", fired, want)
+	}
+}
+
+// TestStaleHandleCannotTouchRecycledSlot pins the generation-check
+// guarantee: a handle whose event already fired stays inert even after its
+// slab slot has been recycled by a new event.
+func TestStaleHandleCannotTouchRecycledSlot(t *testing.T) {
+	e := NewEngine()
+	stale, err := e.Schedule(1, nopEvent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Step() {
+		t.Fatal("first event did not fire")
+	}
+	// The freed slot is recycled by the next schedule.
+	fresh, err := e.Schedule(2, nopEvent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale.Cancel() // must not cancel the slot's new tenant
+	if stale.Canceled() {
+		t.Error("stale handle reports canceled")
+	}
+	if fresh.Canceled() {
+		t.Error("stale Cancel leaked onto the recycled slot")
+	}
+	if !e.Step() {
+		t.Fatal("recycled event did not fire; stale cancel reached it")
+	}
+}
+
+// TestSteadyStateSchedulingAllocates0 pins the slab design's core claim:
+// once the heap and slab have grown to the working-set size, the
+// schedule→fire cycle performs zero heap allocations.
+func TestSteadyStateSchedulingAllocates0(t *testing.T) {
+	e := NewEngine()
+	// Warm to the working-set high-water mark.
+	for i := 0; i < 4096; i++ {
+		if _, err := e.Schedule(Time(i), nopEvent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1024; i++ {
+		e.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := e.Schedule(e.Now()+4096, nopEvent); err != nil {
+			t.Fatal(err)
+		}
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+fire allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestCancelAllocates0 pins that cancellation is allocation-free too.
+func TestCancelAllocates0(t *testing.T) {
+	e := NewEngine()
+	const window = 4096
+	events := make([]Event, 0, window)
+	for i := 0; i < window; i++ {
+		ev, err := e.Schedule(Time(i), nopEvent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		events[i%window].Cancel()
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Cancel allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestFIFOAtSameInstantAtScale schedules thousands of events at one instant
+// and checks they fire in exact schedule order.
+func TestFIFOAtSameInstantAtScale(t *testing.T) {
+	const n = 10_000
+	e := NewEngine()
+	next := 0
+	for i := 0; i < n; i++ {
+		i := i
+		if _, err := e.Schedule(5, func() {
+			if i != next {
+				t.Fatalf("event %d fired, expected %d", i, next)
+			}
+			next++
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if next != n {
+		t.Fatalf("fired %d events, want %d", next, n)
+	}
+}
