@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race lint lint-baseline bench bench-check bench-scale bench-scale-check trace-demo cover e2e ci
+.PHONY: build vet test race lint lint-baseline bench bench-check bench-scale bench-scale-check trace-demo cover e2e e2e-cluster ci
 
 # COVER_FLOOR is the minimum total statement coverage; measured at 79.7%
 # when the floor was introduced, with a small margin for platform noise.
@@ -77,8 +77,15 @@ cover:
 
 # e2e smoke-tests the campaign service over real HTTP: cold campaign
 # executes, identical resubmission is 100% cache hits with byte-identical
-# served results.
+# served results. Ends with the cluster scenario (e2e-cluster) unless
+# E2E_SKIP_CLUSTER=1.
 e2e:
 	./scripts/e2e_smoke.sh
+
+# e2e-cluster starts a coordinator plus three worker processes, SIGKILLs
+# one worker holding claims mid-campaign, and asserts the cluster
+# recovers with a merged result byte-identical to a single-node run.
+e2e-cluster:
+	./scripts/e2e_cluster.sh
 
 ci: build vet test race lint cover e2e

@@ -22,6 +22,17 @@
 //	GET  /healthz                  liveness probe
 //
 // The -pprof flag additionally mounts net/http/pprof under /debug/pprof/.
+//
+// Cluster modes:
+//
+//	roadrunnerd -cluster               additionally serve the coordinator
+//	                                   API under /v1/cluster/ (see
+//	                                   internal/cluster) and advance the
+//	                                   cluster's logical lease clock
+//	roadrunnerd -join URL -node NAME   run as a worker: register with the
+//	                                   coordinator at URL, heartbeat, claim
+//	                                   runs, execute them against the
+//	                                   shared store, report outcomes
 package main
 
 import (
@@ -36,6 +47,7 @@ import (
 	"time"
 
 	"roadrunner/internal/campaign"
+	"roadrunner/internal/cluster"
 )
 
 func main() {
@@ -53,6 +65,14 @@ func run(args []string, out io.Writer) error {
 	attempts := fs.Int("max-attempts", 2, "executions per run before it is failed")
 	resume := fs.Bool("resume", false, "resume journaled campaigns at startup")
 	pprofEnabled := fs.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+	clusterMode := fs.Bool("cluster", false, "serve the cluster coordinator API under /v1/cluster/")
+	policyName := fs.String("policy", "round-robin", "cluster routing policy: round-robin, least-loaded, config-affinity")
+	leaseTTL := fs.Int("lease-ttl", 6, "cluster lease TTL in logical ticks")
+	stealAfter := fs.Int("steal-after", 3, "ticks an unstarted claim may idle before it is stealable")
+	tick := fs.Duration("tick", 500*time.Millisecond, "host interval between cluster clock ticks")
+	join := fs.String("join", "", "worker mode: coordinator base URL to join (e.g. http://127.0.0.1:8383)")
+	nodeName := fs.String("node", "", "worker mode: this node's name")
+	capacity := fs.Int("capacity", 2, "worker mode: max claims held at once")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +81,21 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+
+	if *join != "" {
+		if *nodeName == "" {
+			return fmt.Errorf("-join requires -node")
+		}
+		return runWorker(workerConfig{
+			join:     *join,
+			node:     *nodeName,
+			capacity: *capacity,
+			store:    store,
+			attempts: *attempts,
+			out:      out,
+		})
+	}
+
 	sched := campaign.NewScheduler(campaign.Options{
 		Workers:     *workers,
 		Store:       store,
@@ -75,11 +110,34 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "roadrunnerd: resumed %d journaled campaign(s)\n", n)
 	}
 
+	mux := srv.routes(*pprofEnabled)
+	var stopTicking func()
+	if *clusterMode {
+		policy, err := cluster.PolicyByName(*policyName)
+		if err != nil {
+			return err
+		}
+		co, err := cluster.NewCoordinator(cluster.Options{
+			Store:      store,
+			Policy:     policy,
+			LeaseTTL:   campaign.Tick(*leaseTTL),
+			StealAfter: campaign.Tick(*stealAfter),
+		})
+		if err != nil {
+			return err
+		}
+		co.Routes(mux)
+		stopTicking = startClusterClock(co, *tick)
+		defer co.Close()
+		fmt.Fprintf(out, "roadrunnerd: cluster coordinator enabled (policy %s, lease TTL %d ticks)\n",
+			policy.Name(), *leaseTTL)
+	}
+
 	fmt.Fprintf(out, "roadrunnerd: listening on %s (store %s, %d max attempts)\n",
 		*addr, *storeDir, *attempts)
 	hs := &http.Server{
 		Addr:    *addr,
-		Handler: srv.routes(*pprofEnabled),
+		Handler: mux,
 		// SSE streams stay open indefinitely, so only the header read is
 		// bounded; this is host-side service plumbing, not simulated time.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -95,6 +153,9 @@ func run(args []string, out io.Writer) error {
 	defer signal.Stop(sigCh)
 	select {
 	case err := <-serveErr:
+		if stopTicking != nil {
+			stopTicking()
+		}
 		srv.drain()
 		return err
 	case sig := <-sigCh:
@@ -102,7 +163,36 @@ func run(args []string, out io.Writer) error {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(ctx)
+		if stopTicking != nil {
+			stopTicking()
+		}
 		srv.drain()
 		return nil
+	}
+}
+
+// startClusterClock advances the coordinator's logical lease clock from
+// a host timer — the one place cluster timing touches the wall clock;
+// the lease protocol itself only ever sees tick counts. The returned
+// stop function joins the ticking goroutine.
+func startClusterClock(co *cluster.Coordinator, interval time.Duration) func() {
+	ticker := time.NewTicker(interval) //roadlint:allow wallclock cluster lease clock is driven from the service edge; the protocol only sees logical ticks
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-ticker.C:
+				co.Advance()
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return func() {
+		ticker.Stop()
+		close(stop)
+		<-done
 	}
 }

@@ -270,33 +270,65 @@ func (c *Campaign) subIDsLocked() []int {
 
 // update applies a scheduler notification to run i and broadcasts it.
 func (c *Campaign) update(i int, ev runEvent, tr *TaskResult) RunStatus {
+	var state RunState
+	switch ev {
+	case runStarted:
+		state = RunRunning
+	case runCached:
+		state = RunCached
+	case runDone:
+		state = RunDone
+	case runFailed:
+		state = RunFailed
+	}
+	var upd *RunUpdate
+	if tr != nil {
+		upd = &RunUpdate{Attempts: tr.Attempts}
+		if tr.Result != nil {
+			upd.FinalAccuracy = tr.Result.FinalAccuracy
+			upd.EndS = float64(tr.Result.End)
+		}
+		if tr.Err != nil {
+			upd.Error = tr.Err.Error()
+		}
+	}
+	return c.Transition(i, state, upd)
+}
+
+// RunUpdate carries the completion detail an external driver attaches to
+// a run transition.
+type RunUpdate struct {
+	Attempts      int
+	FinalAccuracy float64
+	EndS          float64
+	Error         string
+}
+
+// Transition applies an externally driven lifecycle change to run i and
+// broadcasts it — the hook the cluster coordinator drives remote
+// executions through (the in-process scheduler goes through the same
+// path). upd may be nil for a bare state change (started, re-queued
+// after a lease expiry).
+func (c *Campaign) Transition(i int, state RunState, upd *RunUpdate) RunStatus {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	run := &c.runs[i]
-	switch ev {
-	case runStarted:
-		run.State = RunRunning
-	case runCached:
-		run.State = RunCached
-	case runDone:
-		run.State = RunDone
-	case runFailed:
-		run.State = RunFailed
-	}
-	if tr != nil {
-		run.Attempts = tr.Attempts
-		if tr.Result != nil {
-			run.FinalAccuracy = tr.Result.FinalAccuracy
-			run.EndS = float64(tr.Result.End)
-		}
-		if tr.Err != nil {
-			run.Error = tr.Err.Error()
-		}
+	run.State = state
+	if upd != nil {
+		run.Attempts = upd.Attempts
+		run.FinalAccuracy = upd.FinalAccuracy
+		run.EndS = upd.EndS
+		run.Error = upd.Error
 	}
 	snapshot := *run
 	c.broadcastLocked(Event{Type: "run", Campaign: c.id, Run: ptr(snapshot)})
 	return snapshot
 }
+
+// Finish marks the campaign done, emits the terminal event, and closes
+// every subscription. It is idempotent; external drivers call it once
+// the last run reaches a terminal state.
+func (c *Campaign) Finish() { c.finish() }
 
 // finish marks the campaign done, emits the terminal event, and closes
 // every subscription.
@@ -334,19 +366,19 @@ func (s *Scheduler) RunCampaign(c *Campaign) ([]TaskResult, error) {
 		}
 		tasks[i] = t
 	}
-	var j *journal
+	var j *Journal
 	if s.store != nil {
 		var err error
 		j, err = openJournal(s.store.journalPath(c.id), c)
 		if err != nil {
 			return nil, err
 		}
-		defer j.close()
+		defer j.Close()
 	}
 	results := s.execute(tasks, func(idx int, ev runEvent, tr *TaskResult) {
 		snapshot := c.update(idx, ev, tr)
 		if j != nil && snapshot.State.Terminal() {
-			j.recordRun(snapshot)
+			j.RecordRun(snapshot)
 		}
 	})
 	c.finish()

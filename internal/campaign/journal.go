@@ -59,26 +59,93 @@ func (s *Store) JournaledCampaignIDs() ([]string, error) {
 	return ids, nil
 }
 
-// journal appends records for one running campaign.
-type journal struct {
+// Journal appends records for one running campaign. External drivers
+// (the cluster coordinator) obtain one via Store.OpenJournal and record
+// terminal run states through it, so cluster campaigns resume with the
+// same protocol as single-node ones.
+type Journal struct {
 	mu sync.Mutex
 	f  *os.File
 }
 
-// openJournal opens (or creates) the campaign's journal, writing the
-// manifest header record if the file is new or empty.
-func openJournal(path string, c *Campaign) (*journal, error) {
+// OpenJournal opens the campaign's journal inside the store, repairing a
+// torn tail and writing the manifest header if needed.
+func (s *Store) OpenJournal(c *Campaign) (*Journal, error) {
+	return openJournal(s.journalPath(c.ID()), c)
+}
+
+// repairJournal measures the journal's valid prefix: complete,
+// newline-terminated, parseable records starting with the manifest
+// header. Everything past it — a torn trailing write from a crash — must
+// be truncated before appending resumes, because a record appended after
+// a torn line concatenates onto it, and replay (which stops at the first
+// unparseable line) would then lose every record after the tear. That
+// failure mode is load-bearing for lease recovery: it would silently
+// un-journal completed runs on the second crash.
+func repairJournal(path string) (validSize int64, hasManifest bool, err error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("campaign: repair journal: %w", err)
+	}
+	for off := 0; off < len(data); {
+		nl := bytesIndexNewline(data[off:])
+		if nl < 0 {
+			break // torn tail: no terminating newline
+		}
+		line := data[off : off+nl]
+		if len(line) > 0 {
+			var rec journalRecord
+			if json.Unmarshal(line, &rec) != nil {
+				break
+			}
+			if !hasManifest {
+				// The first record must be the manifest header; a journal
+				// whose header is unreadable has no usable records at all.
+				if rec.Type != "manifest" || rec.Manifest == nil {
+					break
+				}
+				hasManifest = true
+			}
+		}
+		off += nl + 1
+		validSize = int64(off)
+	}
+	return validSize, hasManifest, nil
+}
+
+func bytesIndexNewline(b []byte) int {
+	for i, c := range b {
+		if c == '\n' {
+			return i
+		}
+	}
+	return -1
+}
+
+// openJournal opens (or creates) the campaign's journal, truncating any
+// torn tail from a previous crash and (re)writing the manifest header
+// record when the valid prefix lacks one.
+func openJournal(path string, c *Campaign) (*Journal, error) {
+	validSize, hasManifest, err := repairJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	if !hasManifest {
+		validSize = 0
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("campaign: open journal: %w", err)
 	}
-	j := &journal{f: f}
-	info, err := f.Stat()
-	if err != nil {
+	if err := f.Truncate(validSize); err != nil {
 		_ = f.Close()
 		return nil, fmt.Errorf("campaign: open journal: %w", err)
 	}
-	if info.Size() == 0 {
+	j := &Journal{f: f}
+	if validSize == 0 {
 		m := c.Manifest()
 		if err := j.append(journalRecord{Type: "manifest", ID: c.ID(), Manifest: &m}); err != nil {
 			_ = f.Close()
@@ -88,7 +155,7 @@ func openJournal(path string, c *Campaign) (*journal, error) {
 	return j, nil
 }
 
-func (j *journal) append(rec journalRecord) error {
+func (j *Journal) append(rec journalRecord) error {
 	data, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("campaign: journal: %w", err)
@@ -104,15 +171,16 @@ func (j *journal) append(rec journalRecord) error {
 	return nil
 }
 
-// recordRun journals a terminal run state. Journal write failures must not
+// RecordRun journals a terminal run state. Journal write failures must not
 // take down the campaign — the journal is an acceleration of resume, the
 // store itself remains the ground truth — so errors are swallowed after
 // best effort.
-func (j *journal) recordRun(run RunStatus) {
+func (j *Journal) RecordRun(run RunStatus) {
 	_ = j.append(journalRecord{Type: "run", Run: &run})
 }
 
-func (j *journal) close() { _ = j.f.Close() }
+// Close releases the journal's file handle.
+func (j *Journal) Close() { _ = j.f.Close() }
 
 // ReadJournal parses a campaign journal, returning the submitted manifest
 // and the terminal run states that were recorded before the process

@@ -66,6 +66,24 @@ func (r RunSpec) Key() (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// GroupKey returns the run's config-affinity group: the hash of its
+// canonical encoding with the seed zeroed. Runs that differ only by seed
+// share a group, which is exactly the set whose warm per-config state
+// (snapshot caches, model scratch, page cache for the same fleet shape)
+// a node reuses — the signal the cluster's config-affinity routing policy
+// keys on. Group membership never affects result bytes; it is purely a
+// placement hint.
+func (r RunSpec) GroupKey() (string, error) {
+	grouped := r
+	grouped.Config.Seed = 0
+	b, err := grouped.CanonicalBytes()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8]), nil
+}
+
 // Execute validates the spec, builds a fresh strategy instance, and runs
 // the experiment to completion.
 func (r RunSpec) Execute() (*core.Result, error) {

@@ -1,0 +1,426 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// The cluster work queue is the durable tier a coordinator fans campaigns
+// across worker nodes through. It is deliberately wall-clock-free: leases
+// expire on a logical tick counter the coordinator advances (in production
+// from a service-edge timer, in tests from the chaos harness's round
+// loop), so every claim/expiry/steal interleaving is enumerable and
+// reproducible.
+//
+// Protocol invariants (the property tests in internal/cluster/chaostest
+// replay the queue log to check them):
+//
+//   - at most one live lease exists per run ref at any moment;
+//   - execution is gated on Start, which only a live lease passes — a
+//     stolen or expired lease discovers that before running, not after;
+//   - Complete is accepted only from the lease that started the run, so a
+//     node whose lease expired mid-run cannot overwrite the re-issued
+//     attempt's outcome (its store Put is harmless: content addressing
+//     makes both writers' bytes identical);
+//   - an expired or stolen claim is re-queued at the front, so recovery
+//     work is re-issued before new work.
+
+// Tick is the queue's logical clock. The coordinator owns advancement;
+// nothing in the lease protocol reads the host clock.
+type Tick int64
+
+// LeaseID identifies one claim grant. IDs are never reused, which is what
+// lets Start and Complete detect stale claims after a steal or expiry.
+type LeaseID uint64
+
+// Queue errors distinguish protocol rejections from I/O failures.
+var (
+	// ErrStaleLease: the lease was expired, stolen, or already completed.
+	ErrStaleLease = errors.New("campaign: stale lease")
+	// ErrNotPending: the ref is not claimable (unknown, leased, or done).
+	ErrNotPending = errors.New("campaign: run not pending")
+	// ErrNotStealable: the lease is not live, already started, or owned by
+	// the would-be thief.
+	ErrNotStealable = errors.New("campaign: lease not stealable")
+)
+
+// QueueItem is one pending unit of cluster work: a campaign-scoped ref,
+// the run's content address, and the spec a node needs to execute it.
+type QueueItem struct {
+	Ref  string  `json:"ref"`
+	Key  string  `json:"key"`
+	Spec RunSpec `json:"spec"`
+}
+
+// Lease is one claim on a queued run. It carries the claimed spec
+// privately so an expired claim can re-enter the pending queue without a
+// side lookup.
+type Lease struct {
+	ID      LeaseID `json:"id"`
+	Ref     string  `json:"ref"`
+	Key     string  `json:"key"`
+	Node    string  `json:"node"`
+	Granted Tick    `json:"granted"`
+	Expires Tick    `json:"expires"`
+	Started bool    `json:"started,omitempty"`
+
+	runSpec RunSpec
+}
+
+// QueueRecord is one line of the queue log. Op is one of enqueue, claim,
+// start, complete, expire, steal. The log is both the queue's recovery
+// source and the evidence trail the chaos property tests replay.
+type QueueRecord struct {
+	Op    string   `json:"op"`
+	Ref   string   `json:"ref,omitempty"`
+	Key   string   `json:"key,omitempty"`
+	Node  string   `json:"node,omitempty"`
+	Lease LeaseID  `json:"lease,omitempty"`
+	Tick  Tick     `json:"tick,omitempty"`
+	State RunState `json:"state,omitempty"`
+	Spec  *RunSpec `json:"spec,omitempty"`
+}
+
+// Queue is a durable, lease-based work queue. Every state change appends
+// an fsync'd JSONL record, mirroring the campaign journal's discipline:
+// a coordinator crash mid-campaign recovers the queue by replaying the
+// log (live leases are invalidated on recovery — they belonged to the
+// dead coordinator's epoch). Lease extension on heartbeat is deliberately
+// NOT journaled: recovery re-issues outstanding claims anyway, so extends
+// are pure in-memory bookkeeping and the log stays proportional to the
+// number of runs, not heartbeats.
+type Queue struct {
+	mu      sync.Mutex
+	f       *os.File
+	pending []QueueItem
+	leases  map[string]*Lease   // ref -> live lease
+	byID    map[LeaseID]*Lease  // live leases by grant id
+	done    map[string]RunState // ref -> terminal state
+	known   map[string]bool     // every ref ever enqueued (dedup)
+	next    LeaseID
+}
+
+// QueueLogPath locates the cluster coordinator's durable queue log
+// inside the store — the queue shares the store's directory tier so a
+// coordinator restart finds both its results and its outstanding work in
+// one place.
+func (s *Store) QueueLogPath() string {
+	return filepath.Join(s.root, "cluster", "queue.jsonl")
+}
+
+// OpenQueue opens (creating if needed) the queue log at path and replays
+// it. Refs that were claimed but not completed when the previous
+// coordinator died return to pending, preserving enqueue order.
+func OpenQueue(path string) (*Queue, error) {
+	q := &Queue{
+		leases: make(map[string]*Lease),
+		byID:   make(map[LeaseID]*Lease),
+		done:   make(map[string]RunState),
+		known:  make(map[string]bool),
+	}
+	if err := q.replay(path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open queue: %w", err)
+	}
+	q.f = f
+	return q, nil
+}
+
+// replay rebuilds queue state from the log. A torn trailing record — the
+// crash case — is ignored, like the campaign journal's.
+func (q *Queue) replay(path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("campaign: replay queue: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	var order []string
+	specs := make(map[string]QueueItem)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec QueueRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // torn trailing write; nothing after it is reachable
+		}
+		switch rec.Op {
+		case "enqueue":
+			if rec.Spec != nil && !q.known[rec.Ref] {
+				q.known[rec.Ref] = true
+				order = append(order, rec.Ref)
+				specs[rec.Ref] = QueueItem{Ref: rec.Ref, Key: rec.Key, Spec: *rec.Spec}
+			}
+		case "claim", "steal":
+			if rec.Lease >= q.next {
+				q.next = rec.Lease + 1
+			}
+		case "complete":
+			if rec.Ref != "" {
+				q.done[rec.Ref] = rec.State
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
+		return fmt.Errorf("campaign: replay queue: %w", err)
+	}
+	for _, ref := range order {
+		if _, finished := q.done[ref]; !finished {
+			q.pending = append(q.pending, specs[ref])
+		}
+	}
+	return nil
+}
+
+// appendLocked journals a record with fsync, so a granted claim or a
+// completion is durable before the caller acts on it.
+func (q *Queue) appendLocked(rec QueueRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("campaign: queue log: %w", err)
+	}
+	if _, err := q.f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("campaign: queue log: %w", err)
+	}
+	if err := q.f.Sync(); err != nil {
+		return fmt.Errorf("campaign: queue log: %w", err)
+	}
+	return nil
+}
+
+// Close releases the queue log handle.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.f.Close()
+}
+
+// Enqueue adds a run to the queue. Refs are idempotent: re-enqueueing a
+// known ref (a resumed campaign re-fanning its manifest) is a no-op.
+func (q *Queue) Enqueue(ref, key string, spec RunSpec) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.known[ref] {
+		return nil
+	}
+	if err := q.appendLocked(QueueRecord{Op: "enqueue", Ref: ref, Key: key, Spec: &spec}); err != nil {
+		return err
+	}
+	q.known[ref] = true
+	q.pending = append(q.pending, QueueItem{Ref: ref, Key: key, Spec: spec})
+	return nil
+}
+
+// Pending returns a snapshot of the claimable items in queue order — the
+// routing policies' half of the (queue state, node stats) input.
+func (q *Queue) Pending() []QueueItem {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]QueueItem(nil), q.pending...)
+}
+
+// Leases returns a snapshot of the live leases, ordered by grant ID so
+// the view is deterministic.
+func (q *Queue) Leases() []Lease {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Lease, 0, len(q.byID))
+	for _, l := range q.byID {
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Claim grants a lease on a pending ref to node, expiring at now+ttl
+// unless extended by heartbeats. The ref must currently be pending (the
+// caller picked it from a Pending snapshot; a lost race reports
+// ErrNotPending and the caller re-picks).
+func (q *Queue) Claim(ref, node string, now, ttl Tick) (Lease, RunSpec, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	idx := -1
+	for i, it := range q.pending {
+		if it.Ref == ref {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return Lease{}, RunSpec{}, fmt.Errorf("%w: %s", ErrNotPending, ref)
+	}
+	item := q.pending[idx]
+	lease := &Lease{ID: q.next, Ref: item.Ref, Key: item.Key, Node: node, Granted: now, Expires: now + ttl, runSpec: item.Spec}
+	if err := q.appendLocked(QueueRecord{Op: "claim", Ref: item.Ref, Key: item.Key, Node: node, Lease: lease.ID, Tick: now}); err != nil {
+		return Lease{}, RunSpec{}, err
+	}
+	q.next++
+	q.pending = append(q.pending[:idx], q.pending[idx+1:]...)
+	q.leases[item.Ref] = lease
+	q.byID[lease.ID] = lease
+	return *lease, item.Spec, nil
+}
+
+// Extend refreshes every live lease held by node to expire at now+ttl —
+// the heartbeat path. Extends are in-memory only (see Queue's doc).
+func (q *Queue) Extend(node string, now, ttl Tick) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, l := range q.leases {
+		if l.Node == node {
+			l.Expires = now + ttl
+		}
+	}
+}
+
+// Start is the execution gate: it marks the lease's run as being executed
+// and fails with ErrStaleLease if the lease is no longer live (stolen,
+// expired, or superseded). A node must pass Start before running a
+// claimed spec — this is what keeps a stolen backlog entry from being
+// executed twice. The surviving lease is returned so callers can map it
+// back to campaign runs.
+func (q *Queue) Start(id LeaseID) (Lease, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	l, ok := q.byID[id]
+	if !ok {
+		return Lease{}, fmt.Errorf("%w: lease %d", ErrStaleLease, id)
+	}
+	if err := q.appendLocked(QueueRecord{Op: "start", Ref: l.Ref, Key: l.Key, Node: l.Node, Lease: id}); err != nil {
+		return Lease{}, err
+	}
+	l.Started = true
+	return *l, nil
+}
+
+// Complete finishes the lease's run with a terminal state. Only the live
+// lease can complete its ref; completions from expired or stolen leases
+// report ErrStaleLease and leave the re-issued attempt in charge.
+func (q *Queue) Complete(id LeaseID, state RunState) (Lease, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	l, ok := q.byID[id]
+	if !ok {
+		return Lease{}, fmt.Errorf("%w: lease %d", ErrStaleLease, id)
+	}
+	if !state.Terminal() {
+		return Lease{}, fmt.Errorf("campaign: complete with non-terminal state %q", state)
+	}
+	if err := q.appendLocked(QueueRecord{Op: "complete", Ref: l.Ref, Key: l.Key, Node: l.Node, Lease: id, State: state}); err != nil {
+		return Lease{}, err
+	}
+	delete(q.byID, id)
+	delete(q.leases, l.Ref)
+	q.done[l.Ref] = state
+	return *l, nil
+}
+
+// ExpireLeases revokes every lease whose expiry has passed and re-queues
+// its run at the front, returning the revoked leases in grant order. This
+// is the node-failure recovery path: a dead node stops heartbeating, its
+// leases expire, and its claims are re-issued to live nodes.
+func (q *Queue) ExpireLeases(now Tick) []Lease {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var expired []Lease
+	ids := make([]LeaseID, 0, len(q.byID))
+	for id := range q.byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		l := q.byID[id]
+		if l.Expires > now {
+			continue
+		}
+		if err := q.appendLocked(QueueRecord{Op: "expire", Ref: l.Ref, Key: l.Key, Node: l.Node, Lease: id, Tick: now}); err != nil {
+			continue // keep the lease; a later sweep retries the journal write
+		}
+		expired = append(expired, *l)
+		delete(q.byID, id)
+		delete(q.leases, l.Ref)
+		q.pending = append([]QueueItem{{Ref: l.Ref, Key: l.Key, Spec: l.runSpec}}, q.pending...)
+	}
+	return expired
+}
+
+// Steal revokes another node's live, not-yet-started lease and re-grants
+// the run to thief — the work-stealing path for stragglers. A started
+// lease is not stealable: the victim is executing, and revoking it would
+// make the "no run executes twice" property depend on racing the victim.
+func (q *Queue) Steal(ref, thief string, now, ttl Tick) (Lease, RunSpec, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	victim, ok := q.leases[ref]
+	if !ok || victim.Started || victim.Node == thief {
+		return Lease{}, RunSpec{}, fmt.Errorf("%w: %s", ErrNotStealable, ref)
+	}
+	lease := &Lease{ID: q.next, Ref: ref, Key: victim.Key, Node: thief, Granted: now, Expires: now + ttl, runSpec: victim.runSpec}
+	if err := q.appendLocked(QueueRecord{Op: "steal", Ref: ref, Key: victim.Key, Node: thief, Lease: lease.ID, Tick: now}); err != nil {
+		return Lease{}, RunSpec{}, err
+	}
+	q.next++
+	delete(q.byID, victim.ID)
+	q.leases[ref] = lease
+	q.byID[lease.ID] = lease
+	return *lease, lease.runSpec, nil
+}
+
+// Done reports a ref's terminal state, if it has one.
+func (q *Queue) Done(ref string) (RunState, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st, ok := q.done[ref]
+	return st, ok
+}
+
+// Depth reports how many runs are pending and how many are leased.
+func (q *Queue) Depth() (pending, leased int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending), len(q.leases)
+}
+
+// ReadQueueLog parses a queue log into its records — the evidence trail
+// the chaos property tests assert protocol invariants over. A torn
+// trailing record is dropped, mirroring replay.
+func ReadQueueLog(path string) ([]QueueRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: read queue log: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	var recs []QueueRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec QueueRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
+		return nil, fmt.Errorf("campaign: read queue log: %w", err)
+	}
+	return recs, nil
+}

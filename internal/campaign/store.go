@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"roadrunner/internal/comm"
@@ -56,6 +57,14 @@ type RunMeta struct {
 // bytes a fresh execution would produce.
 type Store struct {
 	root string
+	// stagePrefix namespaces this handle's staging paths. The store
+	// directory is a shared tier: cluster worker processes (and multiple
+	// handles within one process) publish into the same root, so staging
+	// names must be unique across writers — two handles whose per-handle
+	// seq counters collide would otherwise interleave writes into one
+	// staging directory and publish a torn entry. pid separates
+	// processes; the handle nonce separates handles within a process.
+	stagePrefix string
 
 	mu            sync.Mutex
 	puts          int
@@ -64,17 +73,23 @@ type Store struct {
 	seq           int
 }
 
+// storeHandles numbers Store handles within this process.
+var storeHandles atomic.Uint64
+
 // OpenStore opens (creating if needed) a store rooted at dir.
 func OpenStore(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("campaign: empty store dir")
 	}
-	for _, sub := range []string{"", "tmp", "campaigns"} {
+	for _, sub := range []string{"", "tmp", "campaigns", "cluster"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("campaign: open store: %w", err)
 		}
 	}
-	return &Store{root: dir}, nil
+	return &Store{
+		root:        dir,
+		stagePrefix: fmt.Sprintf("p%d.h%d", os.Getpid(), storeHandles.Add(1)),
+	}, nil
 }
 
 // Root returns the store's root directory.
@@ -138,7 +153,7 @@ func (s *Store) Put(key string, spec RunSpec, res *core.Result) error {
 		return ErrInjectedCrash
 	}
 	s.seq++
-	stage := filepath.Join(s.root, "tmp", fmt.Sprintf("%s.%d", key, s.seq))
+	stage := filepath.Join(s.root, "tmp", fmt.Sprintf("%s.%s.%d", key, s.stagePrefix, s.seq))
 	s.mu.Unlock()
 
 	canonical, err := res.CanonicalBytes()
@@ -313,7 +328,7 @@ func (s *Store) PutTraceBytes(key, format string, data []byte) error {
 	}
 	s.mu.Lock()
 	s.seq++
-	stage := filepath.Join(s.root, "tmp", fmt.Sprintf("%s.%s.%d", key, name, s.seq))
+	stage := filepath.Join(s.root, "tmp", fmt.Sprintf("%s.%s.%s.%d", key, name, s.stagePrefix, s.seq))
 	s.mu.Unlock()
 	if err := writeFileSync(stage, data); err != nil {
 		return fmt.Errorf("campaign: store trace %s: %w", key, err)

@@ -1,0 +1,147 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The store directory is the cluster's shared result tier: multiple
+// worker processes publish into the same root. These tests pin down the
+// two-writer contract: concurrent publishes of one key must converge to
+// a single verified entry, never a torn one.
+
+// TestStoreStagePathsUniqueAcrossHandles is the deterministic regression
+// guard for the staging collision: two handles (two "processes") whose
+// per-handle sequence counters both start at zero used to stage the same
+// key into the same tmp path and interleave writes mid-publish.
+func TestStoreStagePathsUniqueAcrossHandles(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.stagePrefix == b.stagePrefix {
+		t.Fatalf("two handles share staging prefix %q; concurrent Puts of one key would collide", a.stagePrefix)
+	}
+	if !strings.Contains(a.stagePrefix, "p") {
+		t.Fatalf("staging prefix %q carries no process component", a.stagePrefix)
+	}
+}
+
+// TestStoreConcurrentPutSameKeyConverges hammers the fsync+rename publish
+// path from two store handles at once: every writer publishes the same
+// content-addressed result, and the store must end with exactly one
+// verified entry whose bytes match what any single writer produced.
+func TestStoreConcurrentPutSameKeyConverges(t *testing.T) {
+	dir := t.TempDir()
+	handles := make([]*Store, 2)
+	for i := range handles {
+		s, err := OpenStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = s
+	}
+	spec := RunSpec{Name: "contend", Strategy: StrategySpec{Kind: "fedavg", Rounds: 2}}
+	key, err := spec.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := fakeResult(0.75)
+	want, err := res.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writersPerHandle = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, len(handles)*writersPerHandle)
+	for _, s := range handles {
+		for w := 0; w < writersPerHandle; w++ {
+			wg.Add(1)
+			go func(s *Store) {
+				defer wg.Done()
+				errs <- s.Put(key, spec, fakeResult(0.75))
+			}(s)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("contended put failed: %v", err)
+		}
+	}
+
+	// Every handle — and a fresh one, the "next process" — serves one
+	// verified entry with the canonical bytes.
+	fresh, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range append(handles, fresh) {
+		got, err := s.CanonicalBytes(key)
+		if err != nil {
+			t.Fatalf("handle %d: entry missing or corrupt after contention: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("handle %d: served bytes differ from canonical", i)
+		}
+		if res, meta := s.Get(key); res == nil || meta.SHA256 == "" {
+			t.Fatalf("handle %d: Get failed verification", i)
+		}
+		if n := s.Corruptions(); n != 0 {
+			t.Fatalf("handle %d: %d corruption evictions under contention", i, n)
+		}
+	}
+}
+
+// TestStoreConcurrentPutDistinctKeys runs two handles publishing disjoint
+// key sets concurrently — the common cluster steady state — and checks
+// every entry lands verified.
+func TestStoreConcurrentPutDistinctKeys(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specFor := func(i int) RunSpec {
+		return RunSpec{Name: "k", Strategy: StrategySpec{Kind: "fedavg", Rounds: i + 1}}
+	}
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int, s *Store) {
+			defer wg.Done()
+			spec := specFor(i)
+			key, err := spec.Key()
+			if err != nil {
+				panic(err)
+			}
+			if err := s.Put(key, spec, fakeResult(float64(i))); err != nil {
+				panic(err)
+			}
+		}(i, map[bool]*Store{true: a, false: b}[i%2 == 0])
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		key, err := specFor(i).Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Has(key) || !b.Has(key) {
+			t.Fatalf("key %d missing after concurrent distinct-key publish", i)
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package chaostest
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"roadrunner/internal/campaign"
+	"roadrunner/internal/cluster"
+)
+
+// chaosManifest is the tiny-scale workload all chaos scenarios run: two
+// strategies crossed with the given seeds, 2 rounds each.
+func chaosManifest(seeds ...uint64) campaign.Manifest {
+	return campaign.Manifest{
+		Name:   "chaos",
+		Env:    campaign.EnvTiny,
+		Rounds: 2,
+		Strategies: []campaign.StrategySpec{
+			{Kind: "fedavg"},
+			{Kind: "opp"},
+		},
+		Seeds: seeds,
+	}
+}
+
+// singleNodeReference computes the merged canonical artifact of a
+// manifest on a plain single-node scheduler — the byte-level ground
+// truth every cluster execution must reproduce.
+func singleNodeReference(t *testing.T, m campaign.Manifest) []byte {
+	t.Helper()
+	store, err := campaign.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := campaign.NewScheduler(campaign.Options{Workers: 1, Store: store, Backoff: func(int) {}})
+	c, err := campaign.NewCampaign("ref", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.RunCampaign(c); err != nil {
+		t.Fatal(err)
+	}
+	data, err := campaign.MergedCanonicalBytes(c.Specs(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// runCluster assembles a 3-node harness over a fresh shared store,
+// submits the manifest, runs the script to completion, and returns the
+// harness plus campaign ID.
+func runCluster(t *testing.T, m campaign.Manifest, cfg Config) (*Harness, string) {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	if len(cfg.Nodes) == 0 {
+		cfg.Nodes = []NodeConfig{{Name: "w1"}, {Name: "w2"}, {Name: "w3"}}
+	}
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	id, err := h.Submit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Run(); err != nil {
+		t.Fatalf("cluster run failed: %v\nlog:\n%s", err, logText(h))
+	}
+	return h, id
+}
+
+func logText(h *Harness) string {
+	var buf bytes.Buffer
+	for _, line := range h.Log() {
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+	}
+	return buf.String()
+}
+
+// assertHealthyFinish checks the campaign finished with zero failures
+// and its merged artifact is byte-identical to the single-node
+// reference.
+func assertHealthyFinish(t *testing.T, h *Harness, id string, want []byte) {
+	t.Helper()
+	c, err := h.Coordinator().Campaign(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Status()
+	if !st.Done || st.Failed != 0 {
+		t.Fatalf("campaign not cleanly done: %+v\nlog:\n%s", st, logText(h))
+	}
+	got, err := h.MergedResult(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merged artifact differs from single-node reference (%d vs %d bytes)\nlog:\n%s",
+			len(got), len(want), logText(h))
+	}
+}
+
+// TestClusterKillWorkerMatchesSingleNode is the headline chaos scenario:
+// a 3-node campaign loses one worker after its first completion, the
+// survivors absorb the re-queued work, and the merged canonical result
+// is byte-identical to a single-node run of the same manifest.
+func TestClusterKillWorkerMatchesSingleNode(t *testing.T) {
+	m := chaosManifest(1, 2, 3)
+	want := singleNodeReference(t, m)
+	h, id := runCluster(t, m, Config{
+		Script: Script{
+			{On: Trigger{Event: "complete", N: 1, Node: "w2"}, Do: Kill{Node: "w2"}},
+		},
+	})
+	assertHealthyFinish(t, h, id, want)
+	for key, n := range h.ExecCounts() {
+		if n > 1 {
+			t.Fatalf("run %.8s executed %d times", key, n)
+		}
+	}
+	checkQueueLogInvariants(t, h)
+}
+
+// TestClusterMidRunCrashRecovers kills a worker between the Start gate
+// and its completion report — the crash-mid-run case. The orphaned
+// started lease must expire, the run re-queues, a survivor executes it,
+// and the run key still executes at most once (the victim never ran it).
+func TestClusterMidRunCrashRecovers(t *testing.T) {
+	m := chaosManifest(1, 2, 3)
+	want := singleNodeReference(t, m)
+	h, id := runCluster(t, m, Config{
+		Script: Script{
+			{On: Trigger{Event: "complete", N: 1, Node: "w3"}, Do: Kill{Node: "w3", MidRun: true}},
+		},
+	})
+	assertHealthyFinish(t, h, id, want)
+	for key, n := range h.ExecCounts() {
+		if n > 1 {
+			t.Fatalf("run %.8s executed %d times after mid-run crash", key, n)
+		}
+	}
+	sawExpiry := false
+	for _, line := range h.Log() {
+		if bytes.Contains([]byte(line), []byte("lease-expired w3")) {
+			sawExpiry = true
+		}
+	}
+	if !sawExpiry {
+		t.Fatalf("mid-run crash never expired the orphaned lease\nlog:\n%s", logText(h))
+	}
+	checkQueueLogInvariants(t, h)
+}
+
+// TestClusterStealFromStalledNode stalls a node sitting on an unstarted
+// backlog claim; an idle survivor must steal it instead of waiting for
+// lease expiry. ConfigAffinity grants up to capacity per round, which is
+// what builds the stealable backlog.
+func TestClusterStealFromStalledNode(t *testing.T) {
+	m := chaosManifest(1, 2, 3)
+	want := singleNodeReference(t, m)
+	h, id := runCluster(t, m, Config{
+		Policy: cluster.ConfigAffinity{},
+		Script: Script{
+			{On: Trigger{Event: "claim", N: 1, Node: "w2"}, Do: Stall{Node: "w2", Rounds: 8}},
+		},
+	})
+	assertHealthyFinish(t, h, id, want)
+	sawSteal := false
+	for _, line := range h.Log() {
+		if bytes.Contains([]byte(line), []byte(" steal ")) {
+			sawSteal = true
+		}
+	}
+	if !sawSteal {
+		t.Fatalf("stalled backlog was never stolen\nlog:\n%s", logText(h))
+	}
+	for key, n := range h.ExecCounts() {
+		if n > 1 {
+			t.Fatalf("run %.8s executed %d times after steal", key, n)
+		}
+	}
+	checkQueueLogInvariants(t, h)
+}
+
+// TestClusterDuplicateCompleteIsIdempotent replays a completion report —
+// the retried-RPC case. The coordinator must reject the duplicate as a
+// stale lease and the campaign must finish byte-identical anyway.
+func TestClusterDuplicateCompleteIsIdempotent(t *testing.T) {
+	m := chaosManifest(1, 2)
+	want := singleNodeReference(t, m)
+	h, id := runCluster(t, m, Config{
+		Script: Script{
+			{On: Trigger{Event: "complete", N: 1}, Do: DuplicateComplete{}},
+		},
+	})
+	assertHealthyFinish(t, h, id, want)
+	if h.StaleCompletes() == 0 {
+		t.Fatalf("duplicated completion was not rejected\nlog:\n%s", logText(h))
+	}
+}
+
+// TestClusterCorruptEntrySelfHeals flips a byte inside a completed run's
+// stored bytes; verify-on-read must evict the damaged entry and the
+// merge must re-execute it, landing on the reference bytes regardless.
+func TestClusterCorruptEntrySelfHeals(t *testing.T) {
+	m := chaosManifest(1, 2)
+	want := singleNodeReference(t, m)
+	h, id := runCluster(t, m, Config{
+		Script: Script{
+			{On: Trigger{Event: "complete", N: 1}, Do: CorruptEntry{}},
+		},
+	})
+	assertHealthyFinish(t, h, id, want)
+	if n := h.Coordinator().Store().Corruptions(); n == 0 {
+		t.Fatalf("corrupted entry was never detected\nlog:\n%s", logText(h))
+	}
+}
+
+// TestClusterChaosScriptReproducible runs the identical script twice on
+// fresh stores: the harness must take the identical assertion path —
+// event-for-event identical logs — which is what "deterministic chaos
+// harness" means. No wall-clock sleeps exist to perturb it.
+func TestClusterChaosScriptReproducible(t *testing.T) {
+	m := chaosManifest(1, 2, 3)
+	script := Script{
+		{On: Trigger{Event: "complete", N: 2}, Do: Kill{Node: "w1"}},
+		{On: Trigger{Event: "complete", N: 3}, Do: DuplicateComplete{}},
+	}
+	var logs [][]string
+	for i := 0; i < 2; i++ {
+		h, _ := runCluster(t, m, Config{Script: append(Script(nil), script...)})
+		logs = append(logs, h.Log())
+	}
+	if len(logs[0]) != len(logs[1]) {
+		t.Fatalf("log lengths differ across identical runs: %d vs %d", len(logs[0]), len(logs[1]))
+	}
+	for i := range logs[0] {
+		if logs[0][i] != logs[1][i] {
+			t.Fatalf("assertion path diverged at line %d: %q vs %q", i, logs[0][i], logs[1][i])
+		}
+	}
+}
+
+// TestClusterPolicySweep runs the same fault-free campaign under every
+// routing policy: routing changes who executes what, never the merged
+// bytes.
+func TestClusterPolicySweep(t *testing.T) {
+	m := chaosManifest(1, 2)
+	want := singleNodeReference(t, m)
+	for _, pol := range []cluster.Policy{cluster.RoundRobin{}, cluster.LeastLoaded{}, cluster.ConfigAffinity{}} {
+		t.Run(pol.Name(), func(t *testing.T) {
+			h, id := runCluster(t, m, Config{Policy: pol})
+			assertHealthyFinish(t, h, id, want)
+		})
+	}
+}
+
+// TestClusterKillInterleavingsNeverDoubleExecute enumerates the fault
+// space deterministically: kill each node after each of the first three
+// completions. In every interleaving the campaign completes with the
+// reference bytes and no run key executes more than once — the property
+// the steal-only-unstarted and start-gate rules exist to uphold.
+func TestClusterKillInterleavingsNeverDoubleExecute(t *testing.T) {
+	m := chaosManifest(1, 2)
+	want := singleNodeReference(t, m)
+	for _, node := range []string{"w1", "w2", "w3"} {
+		for j := 1; j <= 3; j++ {
+			for _, midRun := range []bool{false, true} {
+				name := fmt.Sprintf("kill-%s-after-%d-midrun-%v", node, j, midRun)
+				t.Run(name, func(t *testing.T) {
+					h, id := runCluster(t, m, Config{
+						Script: Script{
+							{On: Trigger{Event: "complete", N: j}, Do: Kill{Node: node, MidRun: midRun}},
+						},
+					})
+					assertHealthyFinish(t, h, id, want)
+					for key, n := range h.ExecCounts() {
+						if n > 1 {
+							t.Fatalf("run %.8s executed %d times", key, n)
+						}
+					}
+					checkQueueLogInvariants(t, h)
+				})
+			}
+		}
+	}
+}
+
+// checkQueueLogInvariants replays the durable queue log — the protocol's
+// evidence trail — and asserts the lease rules held at every step: one
+// enqueue per ref, at most one live lease per ref, claims only from
+// pending, steals/expiries only against a live lease, starts and
+// completes only from the live lease, and completion exactly once.
+func checkQueueLogInvariants(t *testing.T, h *Harness) {
+	t.Helper()
+	recs, err := campaign.ReadQueueLog(h.Coordinator().Store().QueueLogPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type refState struct {
+		enqueued bool
+		lease    campaign.LeaseID
+		live     bool
+		done     bool
+	}
+	refs := make(map[string]*refState)
+	get := func(ref string) *refState {
+		if refs[ref] == nil {
+			refs[ref] = &refState{}
+		}
+		return refs[ref]
+	}
+	for i, r := range recs {
+		st := get(r.Ref)
+		switch r.Op {
+		case "enqueue":
+			if st.enqueued {
+				t.Fatalf("record %d: ref %.12s enqueued twice", i, r.Ref)
+			}
+			st.enqueued = true
+		case "claim":
+			if !st.enqueued || st.live || st.done {
+				t.Fatalf("record %d: claim of non-pending ref %.12s", i, r.Ref)
+			}
+			st.lease, st.live = r.Lease, true
+		case "steal":
+			if !st.live {
+				t.Fatalf("record %d: steal without a live lease on %.12s", i, r.Ref)
+			}
+			st.lease = r.Lease
+		case "expire":
+			if !st.live || r.Lease != st.lease {
+				t.Fatalf("record %d: expire of non-live lease %d on %.12s", i, r.Lease, r.Ref)
+			}
+			st.live = false
+		case "start":
+			if !st.live || r.Lease != st.lease {
+				t.Fatalf("record %d: start from stale lease %d on %.12s", i, r.Lease, r.Ref)
+			}
+		case "complete":
+			if !st.live || r.Lease != st.lease || st.done {
+				t.Fatalf("record %d: invalid complete (lease %d) on %.12s", i, r.Lease, r.Ref)
+			}
+			st.live, st.done = false, true
+		}
+	}
+	for ref, st := range refs {
+		if !st.done {
+			t.Fatalf("ref %.12s never completed in queue log", ref)
+		}
+	}
+}

@@ -1,0 +1,697 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"roadrunner/internal/campaign"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Store is the shared result tier. Required: the queue log and
+	// campaign journals live inside it.
+	Store *campaign.Store
+	// Policy routes pending runs to requesting nodes; nil selects
+	// RoundRobin.
+	Policy Policy
+	// LeaseTTL is how many ticks a claim stays live without a heartbeat;
+	// <= 0 selects 5. A node that misses LeaseTTL ticks of heartbeats is
+	// also marked dead.
+	LeaseTTL campaign.Tick
+	// StealAfter is how many ticks an unstarted claim may sit on a node
+	// before another idle node may steal it; <= 0 selects 3.
+	StealAfter campaign.Tick
+}
+
+// ErrUnknownNode reports a claim or completion from a node that never
+// registered (or a campaign lookup that missed).
+var ErrUnknownNode = errors.New("cluster: unknown node")
+
+// ErrUnknownCampaign reports a lookup for a campaign the coordinator
+// does not hold.
+var ErrUnknownCampaign = errors.New("cluster: unknown campaign")
+
+// node is the coordinator's book-keeping for one registered worker.
+type node struct {
+	name     string
+	capacity int
+	lastSeen campaign.Tick
+	alive    bool
+	inflight int
+	granted  int
+	executed int
+	cached   int
+	groups   map[string]bool
+}
+
+// runningCampaign binds a submitted campaign to its journal and its
+// outstanding work.
+type runningCampaign struct {
+	c       *campaign.Campaign
+	journal *campaign.Journal
+	// byRef maps each queue ref to the campaign run indices it resolves
+	// (duplicate specs inside one manifest share a ref).
+	byRef map[string][]int
+	// groups caches each ref's config-group fingerprint for routing.
+	groups map[string]string
+	// remaining counts refs not yet terminal; 0 means the campaign is done.
+	remaining int
+}
+
+// Coordinator owns the cluster's control plane: the durable queue,
+// campaign journals, node liveness, routing, and the merged event
+// stream. All methods are safe for concurrent use. Mutations collect
+// events under the lock and emit them after releasing it, so observers
+// (the chaos harness) may call back into the coordinator.
+type Coordinator struct {
+	store      *campaign.Store
+	queue      *campaign.Queue
+	policy     Policy
+	leaseTTL   campaign.Tick
+	stealAfter campaign.Tick
+
+	mu        sync.Mutex
+	now       campaign.Tick
+	seq       int
+	nodes     map[string]*node
+	campaigns map[string]*runningCampaign
+	order     []string
+
+	observers []func(Event)
+	subs      map[int]chan Event
+	nextSub   int
+}
+
+// NewCoordinator opens (or recovers) the coordinator state rooted in the
+// store: the durable queue log is replayed, so a restarted coordinator
+// finds the previous epoch's unfinished claims already re-queued.
+func NewCoordinator(opts Options) (*Coordinator, error) {
+	if opts.Store == nil {
+		return nil, fmt.Errorf("cluster: coordinator needs a store")
+	}
+	q, err := campaign.OpenQueue(opts.Store.QueueLogPath())
+	if err != nil {
+		return nil, err
+	}
+	pol := opts.Policy
+	if pol == nil {
+		pol = RoundRobin{}
+	}
+	ttl := opts.LeaseTTL
+	if ttl <= 0 {
+		ttl = 5
+	}
+	steal := opts.StealAfter
+	if steal <= 0 {
+		steal = 3
+	}
+	return &Coordinator{
+		store:      opts.Store,
+		queue:      q,
+		policy:     pol,
+		leaseTTL:   ttl,
+		stealAfter: steal,
+		nodes:      make(map[string]*node),
+		campaigns:  make(map[string]*runningCampaign),
+		subs:       make(map[int]chan Event),
+	}, nil
+}
+
+// Close releases the queue log and every open campaign journal.
+func (co *Coordinator) Close() {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for _, rc := range co.campaigns {
+		if rc.journal != nil {
+			rc.journal.Close()
+			rc.journal = nil
+		}
+	}
+	_ = co.queue.Close()
+}
+
+// Store returns the coordinator's shared result store.
+func (co *Coordinator) Store() *campaign.Store { return co.store }
+
+// Policy returns the active routing policy's name.
+func (co *Coordinator) Policy() string { return co.policy.Name() }
+
+// Now returns the current logical tick.
+func (co *Coordinator) Now() campaign.Tick {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.now
+}
+
+// Subscribe registers a cluster-event listener. Sends never block the
+// coordinator: a listener that stalls past the buffer loses events (the
+// SSE layer resynchronizes clients from status snapshots).
+func (co *Coordinator) Subscribe() (<-chan Event, func()) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	ch := make(chan Event, 256)
+	id := co.nextSub
+	co.nextSub++
+	co.subs[id] = ch
+	cancel := func() {
+		co.mu.Lock()
+		defer co.mu.Unlock()
+		if sub, ok := co.subs[id]; ok {
+			delete(co.subs, id)
+			close(sub)
+		}
+	}
+	return ch, cancel
+}
+
+// Observe attaches a synchronous event callback, invoked in order after
+// the emitting operation releases the coordinator lock. The chaos
+// harness drives its fault schedule through this hook.
+func (co *Coordinator) Observe(fn func(Event)) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.observers = append(co.observers, fn)
+}
+
+// emit delivers events after the coordinator lock is released.
+func (co *Coordinator) emit(events []Event) {
+	if len(events) == 0 {
+		return
+	}
+	co.mu.Lock()
+	obs := append(make([]func(Event), 0, len(co.observers)), co.observers...)
+	subIDs := make([]int, 0, len(co.subs))
+	for id := range co.subs {
+		subIDs = append(subIDs, id)
+	}
+	sort.Ints(subIDs)
+	chans := make([]chan Event, len(subIDs))
+	for i, id := range subIDs {
+		chans[i] = co.subs[id]
+	}
+	co.mu.Unlock()
+	for _, ev := range events {
+		for _, ch := range chans {
+			select {
+			case ch <- ev:
+			default:
+			}
+		}
+		for _, fn := range obs {
+			fn(ev)
+		}
+	}
+}
+
+// Submit expands and registers a manifest, fanning its runs into the
+// durable queue. Runs already present in the store complete immediately
+// as cache hits; a manifest whose every run is cached finishes without a
+// single claim.
+func (co *Coordinator) Submit(m campaign.Manifest) (string, error) {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return "", fmt.Errorf("cluster: submit: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	co.mu.Lock()
+	co.seq++
+	id := fmt.Sprintf("c%04d-%s", co.seq, hex.EncodeToString(sum[:4]))
+	co.mu.Unlock()
+	if err := co.submit(id, m); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// Resume re-registers a journaled campaign: the manifest re-expands to
+// the identical spec list, journaled-complete runs are store hits, and
+// only unfinished work re-enters the queue — the same resume protocol as
+// a single-node scheduler, driven by the cluster.
+func (co *Coordinator) Resume(id string) error {
+	m, _, err := campaign.ReadJournal(co.store.JournalPath(id))
+	if err != nil {
+		return err
+	}
+	return co.submit(id, m)
+}
+
+func (co *Coordinator) submit(id string, m campaign.Manifest) error {
+	c, err := campaign.NewCampaign(id, m)
+	if err != nil {
+		return err
+	}
+	j, err := co.store.OpenJournal(c)
+	if err != nil {
+		return err
+	}
+
+	co.mu.Lock()
+	if _, dup := co.campaigns[id]; dup {
+		co.mu.Unlock()
+		j.Close()
+		return fmt.Errorf("cluster: campaign %s already registered", id)
+	}
+	rc := &runningCampaign{
+		c:       c,
+		journal: j,
+		byRef:   make(map[string][]int),
+		groups:  make(map[string]string),
+	}
+	specs := c.Specs()
+	keys := c.Keys()
+	var events []Event
+	for i, spec := range specs {
+		ref := id + "/" + keys[i]
+		first := len(rc.byRef[ref]) == 0
+		rc.byRef[ref] = append(rc.byRef[ref], i)
+		if !first {
+			continue
+		}
+		group, err := spec.GroupKey()
+		if err != nil {
+			co.mu.Unlock()
+			j.Close()
+			return err
+		}
+		rc.groups[ref] = group
+		if res, _ := co.store.Get(keys[i]); res != nil {
+			snap := c.Transition(i, campaign.RunCached, &campaign.RunUpdate{
+				FinalAccuracy: res.FinalAccuracy,
+				EndS:          float64(res.End),
+			})
+			j.RecordRun(snap)
+			continue
+		}
+		if err := co.queue.Enqueue(ref, keys[i], spec); err != nil {
+			co.mu.Unlock()
+			j.Close()
+			return err
+		}
+		rc.remaining++
+	}
+	co.campaigns[id] = rc
+	co.order = append(co.order, id)
+	if rc.remaining == 0 {
+		events = append(events, co.finishLocked(id, rc)...)
+	}
+	co.mu.Unlock()
+	co.emit(events)
+	return nil
+}
+
+// finishLocked closes out a campaign whose last ref went terminal.
+func (co *Coordinator) finishLocked(id string, rc *runningCampaign) []Event {
+	rc.c.Finish()
+	if rc.journal != nil {
+		rc.journal.Close()
+		rc.journal = nil
+	}
+	return []Event{{Type: "campaign-done", Campaign: id, Tick: co.now}}
+}
+
+// RegisterNode adds (or revives) a worker. Capacity is the most runs the
+// node holds claims on at once; <= 0 selects 1.
+func (co *Coordinator) RegisterNode(name string, capacity int) {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	co.mu.Lock()
+	n, ok := co.nodes[name]
+	if !ok {
+		n = &node{name: name, groups: make(map[string]bool)}
+		co.nodes[name] = n
+	}
+	n.capacity = capacity
+	n.lastSeen = co.now
+	n.alive = true
+	ev := Event{Type: "node-join", Node: name, Tick: co.now}
+	co.mu.Unlock()
+	co.emit([]Event{ev})
+}
+
+// Heartbeat refreshes a node's liveness and extends its leases. A node
+// that was marked dead revives (its expired claims were already
+// re-queued; it simply starts claiming fresh work again).
+func (co *Coordinator) Heartbeat(name string) error {
+	co.mu.Lock()
+	n, ok := co.nodes[name]
+	if !ok {
+		co.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownNode, name)
+	}
+	n.lastSeen = co.now
+	var events []Event
+	if !n.alive {
+		n.alive = true
+		events = append(events, Event{Type: "node-revived", Node: name, Tick: co.now})
+	}
+	co.queue.Extend(name, co.now, co.leaseTTL)
+	co.mu.Unlock()
+	co.emit(events)
+	return nil
+}
+
+// nodeStatsLocked projects the fleet for the routing policy, sorted by
+// name so policies see a deterministic view.
+func (co *Coordinator) nodeStatsLocked() []NodeStats {
+	names := make([]string, 0, len(co.nodes))
+	for name := range co.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	stats := make([]NodeStats, len(names))
+	for i, name := range names {
+		n := co.nodes[name]
+		groups := make([]string, 0, len(n.groups))
+		for g := range n.groups {
+			groups = append(groups, g)
+		}
+		sort.Strings(groups)
+		stats[i] = NodeStats{
+			Name: n.name, Alive: n.alive,
+			Inflight: n.inflight, Capacity: n.capacity,
+			Granted: n.granted, Executed: n.executed, Cached: n.cached,
+			Groups: groups,
+		}
+	}
+	return stats
+}
+
+// pendingRunsLocked projects the queue for the routing policy.
+func (co *Coordinator) pendingRunsLocked() []PendingRun {
+	items := co.queue.Pending()
+	out := make([]PendingRun, len(items))
+	for i, it := range items {
+		out[i] = PendingRun{Ref: it.Ref, Key: it.Key, Group: co.groupOfLocked(it.Ref)}
+	}
+	return out
+}
+
+func (co *Coordinator) groupOfLocked(ref string) string {
+	if rc, ok := co.campaigns[campaignOfRef(ref)]; ok {
+		return rc.groups[ref]
+	}
+	return ""
+}
+
+func campaignOfRef(ref string) string {
+	for i := 0; i < len(ref); i++ {
+		if ref[i] == '/' {
+			return ref[:i]
+		}
+	}
+	return ref
+}
+
+// RequestWork grants up to max assignments to node, routing through the
+// policy and falling back to work-stealing when the queue is empty but
+// another node sits on stale unstarted claims.
+func (co *Coordinator) RequestWork(name string, max int) ([]Assignment, error) {
+	if max <= 0 {
+		max = 1
+	}
+	co.mu.Lock()
+	n, ok := co.nodes[name]
+	if !ok {
+		co.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, name)
+	}
+	var out []Assignment
+	var events []Event
+	// A work request is proof of liveness just like a heartbeat: refresh
+	// the node and revive it if a heartbeat gap got it marked dead.
+	n.lastSeen = co.now
+	if !n.alive {
+		n.alive = true
+		events = append(events, Event{Type: "node-revived", Node: name, Tick: co.now})
+	}
+	for len(out) < max && n.inflight < n.capacity {
+		pending := co.pendingRunsLocked()
+		idx := -1
+		if len(pending) > 0 {
+			idx = co.policy.Pick(pending, co.nodeStatsLocked(), name)
+			if idx >= len(pending) {
+				idx = len(pending) - 1
+			}
+		}
+		if idx >= 0 {
+			lease, spec, err := co.queue.Claim(pending[idx].Ref, name, co.now, co.leaseTTL)
+			if err != nil {
+				break
+			}
+			n.inflight++
+			n.granted++
+			out = append(out, Assignment{
+				Campaign: campaignOfRef(lease.Ref), Ref: lease.Ref, Key: lease.Key,
+				Lease: lease.ID, Spec: spec,
+			})
+			events = append(events, Event{Type: "claim", Node: name, Campaign: campaignOfRef(lease.Ref), Ref: lease.Ref, Key: lease.Key, Tick: co.now})
+			continue
+		}
+		// Queue drained (or policy deferred an empty view): steal the
+		// oldest unstarted claim another node has been sitting on.
+		asg, ev, stole := co.stealLocked(n)
+		if !stole {
+			break
+		}
+		out = append(out, asg)
+		events = append(events, ev)
+	}
+	co.mu.Unlock()
+	co.emit(events)
+	return out, nil
+}
+
+// stealLocked transfers the oldest sufficiently stale, unstarted foreign
+// lease to thief. Started leases are never stolen — the victim is
+// executing, and the no-double-execution property must not depend on
+// racing it.
+func (co *Coordinator) stealLocked(thief *node) (Assignment, Event, bool) {
+	for _, l := range co.queue.Leases() { // grant order: oldest first
+		if l.Node == thief.name || l.Started || co.now-l.Granted < co.stealAfter {
+			continue
+		}
+		lease, spec, err := co.queue.Steal(l.Ref, thief.name, co.now, co.leaseTTL)
+		if err != nil {
+			continue
+		}
+		if victim, ok := co.nodes[l.Node]; ok && victim.inflight > 0 {
+			victim.inflight--
+		}
+		thief.inflight++
+		thief.granted++
+		asg := Assignment{
+			Campaign: campaignOfRef(lease.Ref), Ref: lease.Ref, Key: lease.Key,
+			Lease: lease.ID, Spec: spec,
+		}
+		ev := Event{Type: "steal", Node: thief.name, Campaign: asg.Campaign, Ref: lease.Ref, Key: lease.Key, Tick: co.now, Detail: "from " + l.Node}
+		return asg, ev, true
+	}
+	return Assignment{}, Event{}, false
+}
+
+// StartRun is the execution gate: a node must pass it before running a
+// claimed spec. ErrStaleLease means the claim was stolen or expired —
+// the node drops the assignment without executing.
+func (co *Coordinator) StartRun(name string, id campaign.LeaseID) error {
+	co.mu.Lock()
+	lease, err := co.queue.Start(id)
+	var events []Event
+	if err == nil {
+		events = append(events, Event{Type: "start", Node: name, Campaign: campaignOfRef(lease.Ref), Ref: lease.Ref, Key: lease.Key, Tick: co.now})
+		if rc, ok := co.campaigns[campaignOfRef(lease.Ref)]; ok {
+			for _, i := range rc.byRef[lease.Ref] {
+				rc.c.Transition(i, campaign.RunRunning, nil)
+			}
+		}
+	} else if n, ok := co.nodes[name]; ok && n.inflight > 0 && errors.Is(err, campaign.ErrStaleLease) {
+		// The assignment died between claim and start; the slot frees up.
+		n.inflight--
+	}
+	co.mu.Unlock()
+	co.emit(events)
+	return err
+}
+
+// CompleteRun records a node's outcome for a started lease. A non-failed
+// outcome whose result is missing from the shared store is demoted to
+// failed — durability is part of the run contract, exactly as in the
+// single-node scheduler. Stale completions (the lease expired mid-run
+// and the work was re-issued) report ErrStaleLease and change nothing:
+// the node's store Put, if any, is harmless because content addressing
+// makes both writers' bytes identical.
+func (co *Coordinator) CompleteRun(name string, id campaign.LeaseID, out Outcome) error {
+	if !out.State.Terminal() {
+		return fmt.Errorf("cluster: complete with non-terminal state %q", out.State)
+	}
+	co.mu.Lock()
+	state := out.State
+	var detail string
+	if state != campaign.RunFailed {
+		if keyOf, ok := co.leaseKeyLocked(id); !ok || !co.store.Has(keyOf) {
+			state = campaign.RunFailed
+			detail = "completed without a stored result"
+		}
+	}
+	lease, err := co.queue.Complete(id, state)
+	if err != nil {
+		ev := Event{Type: "stale-complete", Node: name, Tick: co.now}
+		co.mu.Unlock()
+		co.emit([]Event{ev})
+		return err
+	}
+	var events []Event
+	events = append(events, Event{Type: "complete", Node: name, Campaign: campaignOfRef(lease.Ref), Ref: lease.Ref, Key: lease.Key, Tick: co.now, Detail: string(state)})
+	if n, ok := co.nodes[name]; ok {
+		if n.inflight > 0 {
+			n.inflight--
+		}
+		switch {
+		case out.Cached:
+			n.cached++
+		case state != campaign.RunFailed:
+			n.executed++
+		}
+	}
+	if rc, ok := co.campaigns[campaignOfRef(lease.Ref)]; ok {
+		upd := &campaign.RunUpdate{
+			Attempts:      out.Attempts,
+			FinalAccuracy: out.FinalAccuracy,
+			EndS:          out.EndS,
+			Error:         out.Error,
+		}
+		if detail != "" {
+			upd.Error = detail
+		}
+		for _, i := range rc.byRef[lease.Ref] {
+			snap := rc.c.Transition(i, state, upd)
+			if rc.journal != nil {
+				rc.journal.RecordRun(snap)
+			}
+		}
+		if n, ok := co.nodes[name]; ok {
+			if g, has := rc.groups[lease.Ref]; has && g != "" {
+				n.groups[g] = true
+			}
+		}
+		rc.remaining--
+		if rc.remaining == 0 {
+			events = append(events, co.finishLocked(campaignOfRef(lease.Ref), rc)...)
+		}
+	}
+	co.mu.Unlock()
+	co.emit(events)
+	return nil
+}
+
+// leaseKeyLocked resolves a live lease's run key.
+func (co *Coordinator) leaseKeyLocked(id campaign.LeaseID) (string, bool) {
+	for _, l := range co.queue.Leases() {
+		if l.ID == id {
+			return l.Key, true
+		}
+	}
+	return "", false
+}
+
+// Advance moves the logical clock one tick: leases past their expiry are
+// revoked (their runs re-queue at the front), and nodes silent for a
+// full lease TTL are marked dead. Production calls this from a
+// service-edge timer; the chaos harness calls it once per round.
+func (co *Coordinator) Advance() {
+	co.mu.Lock()
+	co.now++
+	var events []Event
+	for _, l := range co.queue.ExpireLeases(co.now) {
+		events = append(events, Event{Type: "lease-expired", Node: l.Node, Campaign: campaignOfRef(l.Ref), Ref: l.Ref, Key: l.Key, Tick: co.now})
+		if n, ok := co.nodes[l.Node]; ok && n.inflight > 0 {
+			n.inflight--
+		}
+		if rc, ok := co.campaigns[campaignOfRef(l.Ref)]; ok {
+			for _, i := range rc.byRef[l.Ref] {
+				rc.c.Transition(i, campaign.RunQueued, nil)
+			}
+		}
+	}
+	names := make([]string, 0, len(co.nodes))
+	for name := range co.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := co.nodes[name]
+		if n.alive && n.lastSeen+co.leaseTTL < co.now {
+			n.alive = false
+			events = append(events, Event{Type: "node-dead", Node: name, Tick: co.now})
+		}
+	}
+	co.mu.Unlock()
+	co.emit(events)
+}
+
+// Nodes returns the fleet's status, sorted by name.
+func (co *Coordinator) Nodes() []NodeStatus {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	names := make([]string, 0, len(co.nodes))
+	for name := range co.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]NodeStatus, len(names))
+	for i, name := range names {
+		n := co.nodes[name]
+		out[i] = NodeStatus{
+			Name: n.name, Alive: n.alive, Capacity: n.capacity,
+			Inflight: n.inflight, Granted: n.granted,
+			Executed: n.executed, Cached: n.cached, LastSeen: n.lastSeen,
+		}
+	}
+	return out
+}
+
+// Campaign looks up a registered campaign.
+func (co *Coordinator) Campaign(id string) (*campaign.Campaign, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	rc, ok := co.campaigns[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownCampaign, id)
+	}
+	return rc.c, nil
+}
+
+// Campaigns returns every registered campaign's status in submission
+// order.
+func (co *Coordinator) Campaigns() []campaign.Status {
+	co.mu.Lock()
+	ids := append([]string(nil), co.order...)
+	rcs := make([]*runningCampaign, len(ids))
+	for i, id := range ids {
+		rcs[i] = co.campaigns[id]
+	}
+	co.mu.Unlock()
+	out := make([]campaign.Status, len(rcs))
+	for i, rc := range rcs {
+		out[i] = rc.c.Status()
+	}
+	return out
+}
+
+// MergedResult renders the campaign's merged canonical artifact — a pure
+// function of the manifest, byte-identical to a single-node run's.
+func (co *Coordinator) MergedResult(id string) ([]byte, error) {
+	co.mu.Lock()
+	rc, ok := co.campaigns[id]
+	co.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownCampaign, id)
+	}
+	return campaign.MergedCanonicalBytes(rc.c.Specs(), co.store)
+}

@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"roadrunner/internal/campaign"
+)
+
+func tinyClusterManifest() campaign.Manifest {
+	return campaign.Manifest{
+		Name:   "cluster-tiny",
+		Env:    campaign.EnvTiny,
+		Rounds: 2,
+		Strategies: []campaign.StrategySpec{
+			{Kind: "fedavg"},
+			{Kind: "opp"},
+		},
+		Seeds: []uint64{1},
+	}
+}
+
+func newTestCoordinator(t *testing.T, dir string) *Coordinator {
+	t.Helper()
+	store, err := campaign.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := NewCoordinator(Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Close)
+	return co
+}
+
+// drive runs the full worker protocol — claim, start, execute, complete
+// — for one node until it receives no work.
+func drive(t *testing.T, co *Coordinator, runner *Runner, node string) int {
+	t.Helper()
+	ran := 0
+	for {
+		asgs, err := co.RequestWork(node, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(asgs) == 0 {
+			return ran
+		}
+		for _, asg := range asgs {
+			if err := co.StartRun(node, asg.Lease); err != nil {
+				continue
+			}
+			if err := co.CompleteRun(node, asg.Lease, runner.Run(asg)); err != nil {
+				t.Fatal(err)
+			}
+			ran++
+		}
+	}
+}
+
+// TestCoordinatorSingleWorkerLifecycle walks one node through the whole
+// protocol and checks the campaign lands done with a journal that makes
+// it resumable.
+func TestCoordinatorSingleWorkerLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	co := newTestCoordinator(t, dir)
+	co.RegisterNode("w1", 2)
+	id, err := co.Submit(tinyClusterManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerStore, err := campaign.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := NewRunner(workerStore, 2, func(int) {})
+	if ran := drive(t, co, runner, "w1"); ran != 2 {
+		t.Fatalf("worker ran %d assignments, want 2", ran)
+	}
+	c, err := co.Campaign(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Status()
+	if !st.Done || st.Completed != 2 || st.Failed != 0 {
+		t.Fatalf("campaign status: %+v", st)
+	}
+	// The journal proves both runs complete.
+	_, runs, err := campaign.ReadJournal(co.Store().JournalPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("journal replay found %d runs, want 2", len(runs))
+	}
+	nodes := co.Nodes()
+	if len(nodes) != 1 || nodes[0].Executed != 2 || nodes[0].Inflight != 0 {
+		t.Fatalf("node stats: %+v", nodes)
+	}
+}
+
+// TestCoordinatorCachedSubmitFinishesWithoutClaims submits a manifest
+// whose every run is already in the shared store: the campaign must
+// finish instantly as pure cache hits, enqueueing nothing.
+func TestCoordinatorCachedSubmitFinishesWithoutClaims(t *testing.T) {
+	dir := t.TempDir()
+	co := newTestCoordinator(t, dir)
+	co.RegisterNode("w1", 2)
+	workerStore, err := campaign.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := NewRunner(workerStore, 2, func(int) {})
+	if _, err := co.Submit(tinyClusterManifest()); err != nil {
+		t.Fatal(err)
+	}
+	drive(t, co, runner, "w1")
+
+	id2, err := co.Submit(tinyClusterManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := co.Campaign(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Status()
+	if !st.Done || st.Cached != 2 {
+		t.Fatalf("warm resubmission not a pure cache pass: %+v", st)
+	}
+	if asgs, _ := co.RequestWork("w1", 4); len(asgs) != 0 {
+		t.Fatalf("warm resubmission enqueued work: %+v", asgs)
+	}
+}
+
+// TestCoordinatorResumeAfterRestart kills the coordinator mid-campaign
+// and recovers on a fresh one: journal + queue log must leave only the
+// unfinished run claimable, and the merged artifact must match a
+// clean-run reference.
+func TestCoordinatorResumeAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	co := newTestCoordinator(t, dir)
+	co.RegisterNode("w1", 1)
+	id, err := co.Submit(tinyClusterManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerStore, err := campaign.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := NewRunner(workerStore, 2, func(int) {})
+	// Execute exactly one of the two runs, then "crash" the coordinator.
+	asgs, err := co.RequestWork("w1", 1)
+	if err != nil || len(asgs) != 1 {
+		t.Fatalf("claim: %v %v", asgs, err)
+	}
+	if err := co.StartRun("w1", asgs[0].Lease); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.CompleteRun("w1", asgs[0].Lease, runner.Run(asgs[0])); err != nil {
+		t.Fatal(err)
+	}
+	co.Close()
+
+	co2 := newTestCoordinator(t, dir)
+	co2.RegisterNode("w1", 1)
+	if err := co2.Resume(id); err != nil {
+		t.Fatal(err)
+	}
+	c, err := co2.Campaign(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Status(); st.Cached != 1 || st.Done {
+		t.Fatalf("resumed status before re-execution: %+v", st)
+	}
+	if ran := drive(t, co2, runner, "w1"); ran != 1 {
+		t.Fatalf("resume re-ran %d assignments, want 1", ran)
+	}
+	if st := c.Status(); !st.Done || st.Failed != 0 {
+		t.Fatalf("resumed campaign status: %+v", st)
+	}
+	got, err := co2.MergedResult(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: the same manifest on a fresh single-node scheduler.
+	refStore, err := campaign.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refC, err := campaign.NewCampaign("ref", tinyClusterManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := campaign.NewScheduler(campaign.Options{Workers: 1, Store: refStore, Backoff: func(int) {}})
+	if _, err := sched.RunCampaign(refC); err != nil {
+		t.Fatal(err)
+	}
+	want, err := campaign.MergedCanonicalBytes(refC.Specs(), refStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("resumed merge differs from reference (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestCoordinatorDemotesUnstoredCompletion: a node reporting success
+// without having published its result to the shared store is lying about
+// durability; the coordinator must demote the run to failed.
+func TestCoordinatorDemotesUnstoredCompletion(t *testing.T) {
+	dir := t.TempDir()
+	co := newTestCoordinator(t, dir)
+	co.RegisterNode("w1", 1)
+	id, err := co.Submit(tinyClusterManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	asgs, err := co.RequestWork("w1", 1)
+	if err != nil || len(asgs) != 1 {
+		t.Fatalf("claim: %v %v", asgs, err)
+	}
+	if err := co.StartRun("w1", asgs[0].Lease); err != nil {
+		t.Fatal(err)
+	}
+	// Report done without any store publish.
+	if err := co.CompleteRun("w1", asgs[0].Lease, Outcome{State: campaign.RunDone, Attempts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := co.Campaign(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range c.Status().Runs {
+		if run.Key == asgs[0].Key {
+			if run.State != campaign.RunFailed || run.Error == "" {
+				t.Fatalf("unstored completion not demoted: %+v", run)
+			}
+		}
+	}
+}
+
+// TestCoordinatorRejectsUnknownNodes: claims and heartbeats require
+// registration.
+func TestCoordinatorRejectsUnknownNodes(t *testing.T) {
+	co := newTestCoordinator(t, t.TempDir())
+	if err := co.Heartbeat("ghost"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("heartbeat err = %v", err)
+	}
+	if _, err := co.RequestWork("ghost", 1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("claim err = %v", err)
+	}
+	if _, err := co.Campaign("c9999-none"); !errors.Is(err, ErrUnknownCampaign) {
+		t.Fatalf("campaign err = %v", err)
+	}
+}
+
+// TestCoordinatorMarksSilentNodesDead advances the clock past the lease
+// TTL without heartbeats: the node must be declared dead and revive on
+// its next heartbeat.
+func TestCoordinatorMarksSilentNodesDead(t *testing.T) {
+	co := newTestCoordinator(t, t.TempDir())
+	co.RegisterNode("w1", 1)
+	events, cancel := co.Subscribe()
+	defer cancel()
+	for i := 0; i < 7; i++ {
+		co.Advance()
+	}
+	nodes := co.Nodes()
+	if len(nodes) != 1 || nodes[0].Alive {
+		t.Fatalf("silent node still alive: %+v", nodes)
+	}
+	if err := co.Heartbeat("w1"); err != nil {
+		t.Fatal(err)
+	}
+	if nodes := co.Nodes(); !nodes[0].Alive {
+		t.Fatalf("heartbeat did not revive node: %+v", nodes)
+	}
+	var types []string
+	for len(events) > 0 {
+		types = append(types, (<-events).Type)
+	}
+	var sawDead, sawRevived bool
+	for _, ty := range types {
+		switch ty {
+		case "node-dead":
+			sawDead = true
+		case "node-revived":
+			sawRevived = true
+		}
+	}
+	if !sawDead || !sawRevived {
+		t.Fatalf("events %v missing node-dead/node-revived", types)
+	}
+}

@@ -1,0 +1,325 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"roadrunner/internal/campaign"
+)
+
+// maxBodyBytes bounds every decoded request body.
+const maxBodyBytes = 1 << 20
+
+// Routes mounts the coordinator's HTTP API on mux:
+//
+//	POST /v1/cluster/campaigns           submit a manifest
+//	GET  /v1/cluster/campaigns           list campaign statuses
+//	GET  /v1/cluster/campaigns/{id}      one campaign's status
+//	GET  /v1/cluster/campaigns/{id}/events  merged SSE progress stream
+//	GET  /v1/cluster/campaigns/{id}/result  merged canonical artifact
+//	GET  /v1/cluster/nodes               fleet status
+//	POST /v1/cluster/register            worker join
+//	POST /v1/cluster/heartbeat           worker liveness
+//	POST /v1/cluster/claims              worker work request
+//	POST /v1/cluster/starts              execution gate (409 on stale lease)
+//	POST /v1/cluster/complete            outcome report (409 on stale lease)
+func (co *Coordinator) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/cluster/campaigns", co.handleSubmit)
+	mux.HandleFunc("GET /v1/cluster/campaigns", co.handleList)
+	mux.HandleFunc("GET /v1/cluster/campaigns/{id}", co.handleStatus)
+	mux.HandleFunc("GET /v1/cluster/campaigns/{id}/events", co.handleEvents)
+	mux.HandleFunc("GET /v1/cluster/campaigns/{id}/result", co.handleResult)
+	mux.HandleFunc("GET /v1/cluster/nodes", co.handleNodes)
+	mux.HandleFunc("POST /v1/cluster/register", co.handleRegister)
+	mux.HandleFunc("POST /v1/cluster/heartbeat", co.handleHeartbeat)
+	mux.HandleFunc("POST /v1/cluster/claims", co.handleClaims)
+	mux.HandleFunc("POST /v1/cluster/starts", co.handleStarts)
+	mux.HandleFunc("POST /v1/cluster/complete", co.handleComplete)
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func clusterJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func clusterError(w http.ResponseWriter, status int, err error) {
+	clusterJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var m campaign.Manifest
+	if err := decodeBody(w, r, &m); err != nil {
+		clusterError(w, http.StatusBadRequest, fmt.Errorf("decode manifest: %w", err))
+		return
+	}
+	id, err := co.Submit(m)
+	if err != nil {
+		clusterError(w, http.StatusBadRequest, err)
+		return
+	}
+	c, err := co.Campaign(id)
+	if err != nil {
+		clusterError(w, http.StatusInternalServerError, err)
+		return
+	}
+	clusterJSON(w, http.StatusAccepted, c.Status())
+}
+
+func (co *Coordinator) handleList(w http.ResponseWriter, _ *http.Request) {
+	statuses := co.Campaigns()
+	for i := range statuses {
+		statuses[i].Runs = nil // listings stay small; detail is one GET away
+	}
+	clusterJSON(w, http.StatusOK, map[string]any{"campaigns": statuses, "policy": co.Policy()})
+}
+
+func (co *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c, err := co.Campaign(r.PathValue("id"))
+	if err != nil {
+		clusterError(w, http.StatusNotFound, err)
+		return
+	}
+	clusterJSON(w, http.StatusOK, c.Status())
+}
+
+// handleEvents streams the campaign's run transitions merged with the
+// coordinator's cluster events (claims, steals, node deaths) as SSE. The
+// stream opens with a status snapshot and closes after the campaign's
+// terminal event.
+func (co *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	c, err := co.Campaign(r.PathValue("id"))
+	if err != nil {
+		clusterError(w, http.StatusNotFound, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		clusterError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	runEvents, cancelRuns := c.Subscribe()
+	defer cancelRuns()
+	clusterEvents, cancelCluster := co.Subscribe()
+	defer cancelCluster()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	writeEventSSE(w, map[string]any{"type": "snapshot", "status": c.Status()})
+	fl.Flush()
+	id := c.ID()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-runEvents:
+			if !open {
+				return // terminal campaign event delivered
+			}
+			writeEventSSE(w, ev)
+			fl.Flush()
+		case ev, open := <-clusterEvents:
+			if !open {
+				return
+			}
+			if ev.Campaign == "" || ev.Campaign == id {
+				writeEventSSE(w, ev)
+				fl.Flush()
+			}
+		}
+	}
+}
+
+func writeEventSSE(w http.ResponseWriter, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	_, _ = fmt.Fprintf(w, "data: %s\n\n", data)
+}
+
+func (co *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	data, err := co.MergedResult(r.PathValue("id"))
+	if err != nil {
+		if errors.Is(err, ErrUnknownCampaign) {
+			clusterError(w, http.StatusNotFound, err)
+			return
+		}
+		clusterError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write(data)
+}
+
+func (co *Coordinator) handleNodes(w http.ResponseWriter, _ *http.Request) {
+	clusterJSON(w, http.StatusOK, map[string]any{"now": co.Now(), "nodes": co.Nodes()})
+}
+
+// joinRequest is the worker-facing request envelope for register,
+// heartbeat, and claims.
+type joinRequest struct {
+	Node     string `json:"node"`
+	Capacity int    `json:"capacity,omitempty"`
+	Max      int    `json:"max,omitempty"`
+}
+
+func (co *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := decodeBody(w, r, &req); err != nil || req.Node == "" {
+		clusterError(w, http.StatusBadRequest, fmt.Errorf("register needs a node name"))
+		return
+	}
+	co.RegisterNode(req.Node, req.Capacity)
+	clusterJSON(w, http.StatusOK, map[string]any{"node": req.Node, "now": co.Now()})
+}
+
+func (co *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := decodeBody(w, r, &req); err != nil || req.Node == "" {
+		clusterError(w, http.StatusBadRequest, fmt.Errorf("heartbeat needs a node name"))
+		return
+	}
+	if err := co.Heartbeat(req.Node); err != nil {
+		clusterError(w, http.StatusNotFound, err)
+		return
+	}
+	clusterJSON(w, http.StatusOK, map[string]any{"node": req.Node, "now": co.Now()})
+}
+
+func (co *Coordinator) handleClaims(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := decodeBody(w, r, &req); err != nil || req.Node == "" {
+		clusterError(w, http.StatusBadRequest, fmt.Errorf("claims need a node name"))
+		return
+	}
+	asgs, err := co.RequestWork(req.Node, req.Max)
+	if err != nil {
+		clusterError(w, http.StatusNotFound, err)
+		return
+	}
+	clusterJSON(w, http.StatusOK, map[string]any{"assignments": asgs})
+}
+
+// leaseRequest is the worker-facing envelope for starts and completes.
+type leaseRequest struct {
+	Node    string           `json:"node"`
+	Lease   campaign.LeaseID `json:"lease"`
+	Outcome *Outcome         `json:"outcome,omitempty"`
+}
+
+func (co *Coordinator) handleStarts(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if err := decodeBody(w, r, &req); err != nil || req.Node == "" {
+		clusterError(w, http.StatusBadRequest, fmt.Errorf("start needs a node name and lease"))
+		return
+	}
+	if err := co.StartRun(req.Node, req.Lease); err != nil {
+		if errors.Is(err, campaign.ErrStaleLease) {
+			clusterError(w, http.StatusConflict, err)
+			return
+		}
+		clusterError(w, http.StatusBadRequest, err)
+		return
+	}
+	clusterJSON(w, http.StatusOK, map[string]string{"status": "started"})
+}
+
+func (co *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if err := decodeBody(w, r, &req); err != nil || req.Node == "" || req.Outcome == nil {
+		clusterError(w, http.StatusBadRequest, fmt.Errorf("complete needs a node name, lease, and outcome"))
+		return
+	}
+	if err := co.CompleteRun(req.Node, req.Lease, *req.Outcome); err != nil {
+		if errors.Is(err, campaign.ErrStaleLease) {
+			clusterError(w, http.StatusConflict, err)
+			return
+		}
+		clusterError(w, http.StatusBadRequest, err)
+		return
+	}
+	clusterJSON(w, http.StatusOK, map[string]string{"status": "completed"})
+}
+
+// Client is the worker side of the coordinator API.
+type Client struct {
+	base string
+	node string
+	hc   *http.Client
+}
+
+// NewClient builds a worker client for the coordinator at base (e.g.
+// "http://127.0.0.1:8383") identifying itself as node.
+func NewClient(base, node string) *Client {
+	return &Client{base: base, node: node, hc: &http.Client{}}
+}
+
+// post sends a JSON body and decodes a JSON reply. A 409 maps to
+// campaign.ErrStaleLease so the claim loop can drop dead assignments.
+func (c *Client) post(path string, body, reply any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer func() { _, _ = io.Copy(io.Discard, resp.Body); _ = resp.Body.Close() }()
+	if resp.StatusCode == http.StatusConflict {
+		return campaign.ErrStaleLease
+	}
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("cluster: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if reply == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(reply)
+}
+
+// Register joins the cluster with the given claim capacity.
+func (c *Client) Register(capacity int) error {
+	return c.post("/v1/cluster/register", joinRequest{Node: c.node, Capacity: capacity}, nil)
+}
+
+// Heartbeat refreshes liveness and extends this node's leases.
+func (c *Client) Heartbeat() error {
+	return c.post("/v1/cluster/heartbeat", joinRequest{Node: c.node}, nil)
+}
+
+// Claims requests up to max assignments.
+func (c *Client) Claims(max int) ([]Assignment, error) {
+	var reply struct {
+		Assignments []Assignment `json:"assignments"`
+	}
+	if err := c.post("/v1/cluster/claims", joinRequest{Node: c.node, Max: max}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Assignments, nil
+}
+
+// Start passes the execution gate for a lease. campaign.ErrStaleLease
+// means the assignment was stolen or expired; drop it without executing.
+func (c *Client) Start(lease campaign.LeaseID) error {
+	return c.post("/v1/cluster/starts", leaseRequest{Node: c.node, Lease: lease}, nil)
+}
+
+// Complete reports an assignment's outcome.
+func (c *Client) Complete(lease campaign.LeaseID, out Outcome) error {
+	return c.post("/v1/cluster/complete", leaseRequest{Node: c.node, Lease: lease, Outcome: &out}, nil)
+}

@@ -1,0 +1,268 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"roadrunner/internal/campaign"
+)
+
+// newTestServer mounts the coordinator API on an httptest server.
+func newTestServer(t *testing.T, co *Coordinator) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	co.Routes(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestHTTPWorkerProtocol walks a worker through the entire coordinator
+// API over real HTTP — register, heartbeat, claim, start, execute,
+// complete — and checks the campaign finishes with the merged result
+// served byte-identically to the coordinator's in-process view.
+func TestHTTPWorkerProtocol(t *testing.T) {
+	dir := t.TempDir()
+	co := newTestCoordinator(t, dir)
+	ts := newTestServer(t, co)
+
+	client := NewClient(ts.URL, "w1")
+	if err := client.Register(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Submit over HTTP.
+	manifest, err := json.Marshal(tinyClusterManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/cluster/campaigns", "application/json", strings.NewReader(string(manifest)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted campaign.Status
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || submitted.ID == "" {
+		t.Fatalf("submit: status %d, id %q", resp.StatusCode, submitted.ID)
+	}
+
+	workerStore, err := campaign.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := NewRunner(workerStore, 2, func(int) {})
+	ran := 0
+	for {
+		asgs, err := client.Claims(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(asgs) == 0 {
+			break
+		}
+		for _, asg := range asgs {
+			if err := client.Start(asg.Lease); err != nil {
+				t.Fatal(err)
+			}
+			if err := client.Complete(asg.Lease, runner.Run(asg)); err != nil {
+				t.Fatal(err)
+			}
+			ran++
+		}
+	}
+	if ran != 2 {
+		t.Fatalf("worker ran %d assignments over HTTP, want 2", ran)
+	}
+
+	// Status reflects completion.
+	var st campaign.Status
+	getJSON(t, ts.URL+"/v1/cluster/campaigns/"+submitted.ID, &st)
+	if !st.Done || st.Completed != 2 || st.Failed != 0 {
+		t.Fatalf("campaign status over HTTP: %+v", st)
+	}
+
+	// Nodes report the fleet.
+	var fleet struct {
+		Nodes []NodeStatus `json:"nodes"`
+	}
+	getJSON(t, ts.URL+"/v1/cluster/nodes", &fleet)
+	if len(fleet.Nodes) != 1 || fleet.Nodes[0].Executed != 2 {
+		t.Fatalf("fleet over HTTP: %+v", fleet.Nodes)
+	}
+
+	// The served merged artifact matches the in-process merge.
+	want, err := co.MergedResult(submitted.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := getBytes(t, ts.URL+"/v1/cluster/campaigns/"+submitted.ID+"/result")
+	if string(got) != string(want) {
+		t.Fatalf("served result differs from in-process merge (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// Listing includes the campaign without per-run detail.
+	var listing struct {
+		Campaigns []campaign.Status `json:"campaigns"`
+		Policy    string            `json:"policy"`
+	}
+	getJSON(t, ts.URL+"/v1/cluster/campaigns", &listing)
+	if len(listing.Campaigns) != 1 || listing.Campaigns[0].Runs != nil || listing.Policy == "" {
+		t.Fatalf("listing over HTTP: %+v", listing)
+	}
+}
+
+// TestHTTPStaleLeaseMapsToConflict: a start against a revoked lease must
+// surface as campaign.ErrStaleLease on the client side via HTTP 409.
+func TestHTTPStaleLeaseMapsToConflict(t *testing.T) {
+	dir := t.TempDir()
+	co := newTestCoordinator(t, dir)
+	ts := newTestServer(t, co)
+	client := NewClient(ts.URL, "w1")
+	if err := client.Register(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Submit(tinyClusterManifest()); err != nil {
+		t.Fatal(err)
+	}
+	asgs, err := client.Claims(1)
+	if err != nil || len(asgs) != 1 {
+		t.Fatalf("claims: %v %v", asgs, err)
+	}
+	// Expire the claim by advancing past the lease TTL with no heartbeat.
+	for i := 0; i < 8; i++ {
+		co.Advance()
+	}
+	if err := client.Start(asgs[0].Lease); !errors.Is(err, campaign.ErrStaleLease) {
+		t.Fatalf("start on expired lease err = %v, want ErrStaleLease", err)
+	}
+	if err := client.Complete(asgs[0].Lease, Outcome{State: campaign.RunDone}); !errors.Is(err, campaign.ErrStaleLease) {
+		t.Fatalf("complete on expired lease err = %v, want ErrStaleLease", err)
+	}
+}
+
+// TestHTTPValidation: malformed or incomplete requests get 4xx, unknown
+// campaigns 404.
+func TestHTTPValidation(t *testing.T) {
+	co := newTestCoordinator(t, t.TempDir())
+	ts := newTestServer(t, co)
+	for _, tc := range []struct {
+		name, path, body string
+		want             int
+	}{
+		{"bad manifest json", "/v1/cluster/campaigns", "{", http.StatusBadRequest},
+		{"empty manifest", "/v1/cluster/campaigns", "{}", http.StatusBadRequest},
+		{"register without node", "/v1/cluster/register", "{}", http.StatusBadRequest},
+		{"heartbeat unknown node", "/v1/cluster/heartbeat", `{"node":"ghost"}`, http.StatusNotFound},
+		{"claims unknown node", "/v1/cluster/claims", `{"node":"ghost"}`, http.StatusNotFound},
+		{"complete without outcome", "/v1/cluster/complete", `{"node":"w1","lease":1}`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/cluster/campaigns/c9999-none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown campaign status: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHTTPEventsStreamDeliversTerminal subscribes to the merged SSE
+// stream for a campaign that finishes warm from cache: the snapshot and
+// terminal campaign event must arrive and the stream must close.
+func TestHTTPEventsStreamDeliversTerminal(t *testing.T) {
+	dir := t.TempDir()
+	co := newTestCoordinator(t, dir)
+	co.RegisterNode("w1", 2)
+	workerStore, err := campaign.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := NewRunner(workerStore, 2, func(int) {})
+	if _, err := co.Submit(tinyClusterManifest()); err != nil {
+		t.Fatal(err)
+	}
+	drive(t, co, runner, "w1")
+
+	// Warm resubmission finishes during Submit, so the stream sees the
+	// snapshot (already done) and then closes on the terminal event.
+	id, err := co.Submit(tinyClusterManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, co)
+	resp, err := http.Get(ts.URL + "/v1/cluster/campaigns/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	buf := make([]byte, 1<<16)
+	var body strings.Builder
+	for {
+		n, err := resp.Body.Read(buf)
+		body.Write(buf[:n])
+		if err != nil {
+			break // stream closed after the terminal event
+		}
+	}
+	if !strings.Contains(body.String(), `"type":"snapshot"`) {
+		t.Fatalf("stream missing snapshot: %q", body.String())
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func getBytes(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return []byte(sb.String())
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"roadrunner/internal/campaign"
+)
+
+// Runner executes assignments on a worker node: a thin wrapper over the
+// single-node scheduler so cluster workers inherit its store-first
+// lookup, retry-with-backoff, panic isolation, and durable-put-before-
+// report contract unchanged.
+type Runner struct {
+	sched *campaign.Scheduler
+}
+
+// NewRunner builds a worker-side runner against the shared store.
+// MaxAttempts and Backoff follow campaign.Options semantics; the worker
+// pool is one — cluster concurrency comes from running many nodes, and
+// per-assignment execution stays serial so an assignment's attempts are
+// ordered.
+func NewRunner(store *campaign.Store, maxAttempts int, backoff func(int)) *Runner {
+	return &Runner{sched: campaign.NewScheduler(campaign.Options{
+		Workers:     1,
+		Store:       store,
+		MaxAttempts: maxAttempts,
+		Backoff:     backoff,
+	})}
+}
+
+// Stats exposes the underlying scheduler's accounting (the node's
+// /metrics source).
+func (r *Runner) Stats() campaign.Stats { return r.sched.Stats() }
+
+// Run executes one assignment's spec and reports the outcome. A store
+// hit skips execution (Cached); a fresh execution only reports done once
+// its result is durable in the shared store.
+func (r *Runner) Run(asg Assignment) Outcome {
+	task, err := campaign.TaskForSpec(asg.Spec)
+	if err != nil {
+		return Outcome{State: campaign.RunFailed, Error: err.Error()}
+	}
+	tr := r.sched.Execute([]campaign.Task{task})[0]
+	out := Outcome{Attempts: tr.Attempts}
+	switch {
+	case tr.Cached:
+		out.State = campaign.RunCached
+		out.Cached = true
+	case tr.Err != nil:
+		out.State = campaign.RunFailed
+		out.Error = tr.Err.Error()
+	default:
+		out.State = campaign.RunDone
+	}
+	if tr.Result != nil {
+		out.FinalAccuracy = tr.Result.FinalAccuracy
+		out.EndS = float64(tr.Result.End)
+	}
+	return out
+}

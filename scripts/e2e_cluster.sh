@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# End-to-end cluster test: starts a roadrunnerd coordinator plus three
+# worker processes sharing one durable store, submits an eight-run
+# campaign through roadctl, SIGKILLs one worker while it holds claims
+# mid-campaign, and asserts the cluster recovers — the campaign finishes
+# with zero failures, the dead node is reported dead, and the merged
+# canonical result is byte-identical to a single-node reference run.
+#
+# Wall-clock sleeps here are host-side polling at the service edge; the
+# lease protocol itself runs on the coordinator's logical tick clock and
+# is exercised deterministically by internal/cluster/chaostest.
+set -euo pipefail
+
+REF_ADDR="${ROADRUNNERD_REF_ADDR:-127.0.0.1:8399}"
+CO_ADDR="${ROADRUNNERD_CLUSTER_ADDR:-127.0.0.1:8400}"
+REF_BASE="http://$REF_ADDR"
+CO_BASE="http://$CO_ADDR"
+WORK="$(mktemp -d)"
+PIDS=()
+trap 'for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done; rm -rf "$WORK"' EXIT
+
+fail() { echo "e2e-cluster: FAIL: $*" >&2; exit 1; }
+
+go build -o "$WORK/roadrunnerd" ./cmd/roadrunnerd
+go build -o "$WORK/roadctl" ./cmd/roadctl
+
+# Eight runs: enough that one worker cannot finish the campaign before
+# we kill it, few enough to stay laptop-fast.
+MANIFEST='{"name":"ci-cluster","env":"tiny","rounds":2,"strategies":[{"kind":"fedavg"},{"kind":"opp"}],"seeds":[1,2,3,4]}'
+
+wait_healthy() { # wait_healthy BASE PID LOG
+    local base="$1" pid="$2" log="$3"
+    for _ in $(seq 1 100); do
+        curl -fsS "$base/healthz" >/dev/null 2>&1 && return 0
+        kill -0 "$pid" 2>/dev/null || { cat "$log" >&2; fail "server exited early"; }
+        sleep 0.1
+    done
+    cat "$log" >&2
+    fail "server at $base never became healthy"
+}
+
+extract_id() { grep -o '"id": *"[^"]*"' | head -1 | sed 's/.*"id": *"\([^"]*\)".*/\1/'; }
+
+# --- Reference: the same manifest on a classic single-node server. ---------
+"$WORK/roadrunnerd" -addr "$REF_ADDR" -store "$WORK/refstore" >"$WORK/ref.log" 2>&1 &
+REF_PID=$!; PIDS+=("$REF_PID")
+wait_healthy "$REF_BASE" "$REF_PID" "$WORK/ref.log"
+
+REF_ID="$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$MANIFEST" "$REF_BASE/v1/campaigns" | extract_id)"
+[ -n "$REF_ID" ] || fail "reference submission returned no campaign id"
+for _ in $(seq 1 300); do
+    curl -fsS "$REF_BASE/v1/campaigns/$REF_ID" >"$WORK/ref.json"
+    grep -q '"done": *true' "$WORK/ref.json" && break
+    sleep 0.2
+done
+grep -q '"done": *true' "$WORK/ref.json" || fail "reference campaign never finished"
+grep -q '"failed": *0' "$WORK/ref.json" || fail "reference campaign reported failures"
+curl -fsS "$REF_BASE/v1/campaigns/$REF_ID/result" >"$WORK/reference.bytes"
+[ -s "$WORK/reference.bytes" ] || fail "empty reference merged result"
+kill "$REF_PID"; wait "$REF_PID" 2>/dev/null || true
+
+# --- Cluster: coordinator + workers on a fresh shared store. ---------------
+# A 100ms tick keeps lease expiry (10 ticks = 1s) well under the poll
+# budget while staying above the workers' 500ms heartbeat interval, so
+# live workers never flap dead between heartbeats.
+"$WORK/roadrunnerd" -addr "$CO_ADDR" -cluster -policy config-affinity \
+    -tick 100ms -lease-ttl 10 -steal-after 2 -workers 1 \
+    -store "$WORK/store" >"$WORK/coordinator.log" 2>&1 &
+CO_PID=$!; PIDS+=("$CO_PID")
+wait_healthy "$CO_BASE" "$CO_PID" "$WORK/coordinator.log"
+
+start_worker() { # start_worker NAME CAPACITY -> pid
+    "$WORK/roadrunnerd" -join "$CO_BASE" -node "$1" -capacity "$2" \
+        -store "$WORK/store" >"$WORK/$1.log" 2>&1 &
+    PIDS+=("$!")
+    echo "$!"
+}
+
+# Only w2 is up at submission time, so it claims a backlog (capacity 4
+# under config-affinity) and is guaranteed to hold live claims when we
+# kill it after its first completion.
+W2_PID="$(start_worker w2 4)"
+
+ID="$("$WORK/roadctl" -addr "$CO_BASE" submit -f <(printf '%s' "$MANIFEST") | extract_id)"
+[ -n "$ID" ] || fail "cluster submission returned no campaign id"
+
+for _ in $(seq 1 200); do
+    grep -q "worker w2: done" "$WORK/w2.log" && break
+    kill -0 "$W2_PID" 2>/dev/null || { cat "$WORK/w2.log" >&2; fail "worker w2 exited before completing a run"; }
+    sleep 0.1
+done
+grep -q "worker w2: done" "$WORK/w2.log" || { cat "$WORK/w2.log" >&2; fail "worker w2 never completed a run"; }
+
+# SIGKILL: no drain, no deregistration — w2 dies holding claims. Its
+# leases must expire and the runs must be re-issued to the survivors.
+kill -9 "$W2_PID"
+
+start_worker w1 2 >/dev/null
+start_worker w3 2 >/dev/null
+
+for _ in $(seq 1 300); do
+    "$WORK/roadctl" -addr "$CO_BASE" status "$ID" >"$WORK/cluster.json" 2>/dev/null || true
+    grep -q '"done": *true' "$WORK/cluster.json" && break
+    sleep 0.2
+done
+grep -q '"done": *true' "$WORK/cluster.json" || { cat "$WORK/cluster.json" "$WORK/coordinator.log" >&2; fail "cluster campaign never finished after worker kill"; }
+grep -q '"failed": *0' "$WORK/cluster.json" || { cat "$WORK/cluster.json" >&2; fail "cluster campaign reported failures"; }
+
+# The fleet view must eventually show the killed node dead (its
+# heartbeats stopped, so it dies one lease TTL after its last contact)
+# while both survivors stay alive.
+for _ in $(seq 1 100); do
+    "$WORK/roadctl" -addr "$CO_BASE" nodes >"$WORK/nodes.json"
+    grep -A1 '"name": *"w2"' "$WORK/nodes.json" | grep -q '"alive": *false' && break
+    sleep 0.1
+done
+grep -q '"name": *"w2"' "$WORK/nodes.json" || fail "killed node missing from fleet view"
+grep -A1 '"name": *"w2"' "$WORK/nodes.json" | grep -q '"alive": *false' \
+    || { cat "$WORK/nodes.json" >&2; fail "killed node never declared dead"; }
+SURVIVORS="$(grep -c '"alive": *true' "$WORK/nodes.json" || true)"
+[ "$SURVIVORS" = "2" ] || { cat "$WORK/nodes.json" >&2; fail "expected 2 alive survivors, saw $SURVIVORS"; }
+
+# The merged artifact must match the single-node reference byte for byte.
+"$WORK/roadctl" -addr "$CO_BASE" result -o "$WORK/cluster.bytes" "$ID"
+cmp -s "$WORK/reference.bytes" "$WORK/cluster.bytes" \
+    || fail "cluster merged result differs from single-node reference ($(wc -c <"$WORK/reference.bytes") vs $(wc -c <"$WORK/cluster.bytes") bytes)"
+
+echo "e2e-cluster: OK — campaign $ID survived a SIGKILLed worker; merged result byte-identical to single-node reference ($(wc -c <"$WORK/cluster.bytes") bytes)"

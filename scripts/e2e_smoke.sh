@@ -10,7 +10,8 @@ set -euo pipefail
 ADDR="${ROADRUNNERD_ADDR:-127.0.0.1:8383}"
 BASE="http://$ADDR"
 WORK="$(mktemp -d)"
-trap 'kill "${SERVER_PID:-0}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+# kill 0 would signal the whole process group, so guard the unset/cleared case.
+trap '[ "${SERVER_PID:-0}" -gt 0 ] && kill "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
 
 fail() { echo "e2e: FAIL: $*" >&2; exit 1; }
 
@@ -87,3 +88,15 @@ for key in $KEYS; do
 done
 
 echo "e2e: OK — cold pass executed $EXECUTED runs ($SIM_EVENTS sim events), warm pass served both from cache byte-identically"
+
+# --- Multi-node cluster scenario. ------------------------------------------
+# Three workers, one SIGKILLed mid-campaign; the cluster must recover and
+# produce a merged result byte-identical to a single-node reference. Set
+# E2E_SKIP_CLUSTER=1 to run only the single-node smoke (CI runs the
+# cluster scenario as its own job).
+if [ "${E2E_SKIP_CLUSTER:-0}" != "1" ]; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=0
+    "$(dirname "$0")/e2e_cluster.sh"
+fi
