@@ -74,8 +74,8 @@ type Lease struct {
 }
 
 // QueueRecord is one line of the queue log. Op is one of enqueue, claim,
-// start, complete, expire, steal. The log is both the queue's recovery
-// source and the evidence trail the chaos property tests replay.
+// start, complete, expire, steal, retry. The log is both the queue's
+// recovery source and the evidence trail the chaos property tests replay.
 type QueueRecord struct {
 	Op    string   `json:"op"`
 	Ref   string   `json:"ref,omitempty"`
@@ -173,6 +173,15 @@ func (q *Queue) replay(path string) error {
 		case "complete":
 			if rec.Ref != "" {
 				q.done[rec.Ref] = rec.State
+			}
+		case "retry":
+			if rec.Ref != "" {
+				delete(q.done, rec.Ref)
+				if rec.Spec != nil && !q.known[rec.Ref] {
+					q.known[rec.Ref] = true
+					order = append(order, rec.Ref)
+					specs[rec.Ref] = QueueItem{Ref: rec.Ref, Key: rec.Key, Spec: *rec.Spec}
+				}
 			}
 		}
 	}
@@ -309,8 +318,9 @@ func (q *Queue) Start(id LeaseID) (Lease, error) {
 }
 
 // Complete finishes the lease's run with a terminal state. Only the live
-// lease can complete its ref; completions from expired or stolen leases
-// report ErrStaleLease and leave the re-issued attempt in charge.
+// lease that passed Start can complete its ref; completions from expired
+// or stolen leases — or from a lease that never started its run — report
+// ErrStaleLease and leave the re-issued attempt in charge.
 func (q *Queue) Complete(id LeaseID, state RunState) (Lease, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -321,6 +331,9 @@ func (q *Queue) Complete(id LeaseID, state RunState) (Lease, error) {
 	if !state.Terminal() {
 		return Lease{}, fmt.Errorf("campaign: complete with non-terminal state %q", state)
 	}
+	if !l.Started {
+		return Lease{}, fmt.Errorf("%w: lease %d never started its run", ErrStaleLease, id)
+	}
 	if err := q.appendLocked(QueueRecord{Op: "complete", Ref: l.Ref, Key: l.Key, Node: l.Node, Lease: id, State: state}); err != nil {
 		return Lease{}, err
 	}
@@ -328,6 +341,27 @@ func (q *Queue) Complete(id LeaseID, state RunState) (Lease, error) {
 	delete(q.leases, l.Ref)
 	q.done[l.Ref] = state
 	return *l, nil
+}
+
+// Retry clears a ref's terminal state and re-queues it — the resume path
+// for a run whose journaled outcome can no longer be served from the
+// store (a failed run, or a done run whose entry was evicted). The ref
+// becomes claimable again under a fresh lease; without this, a resumed
+// campaign would count the ref as outstanding while the queue forever
+// refused to re-issue it.
+func (q *Queue) Retry(ref, key string, spec RunSpec) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, done := q.done[ref]; !done {
+		return fmt.Errorf("campaign: retry of non-terminal ref %s", ref)
+	}
+	if err := q.appendLocked(QueueRecord{Op: "retry", Ref: ref, Key: key, Spec: &spec}); err != nil {
+		return err
+	}
+	delete(q.done, ref)
+	q.known[ref] = true
+	q.pending = append(q.pending, QueueItem{Ref: ref, Key: key, Spec: spec})
+	return nil
 }
 
 // ExpireLeases revokes every lease whose expiry has passed and re-queues

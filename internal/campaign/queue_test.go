@@ -79,6 +79,111 @@ func TestQueueClaimStartCompleteLifecycle(t *testing.T) {
 	}
 }
 
+// TestQueueCompleteRequiresStart enforces the documented invariant that
+// Complete is accepted only from the lease that started the run: a
+// claimed-but-unstarted lease cannot report an outcome.
+func TestQueueCompleteRequiresStart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.jsonl")
+	q, err := OpenQueue(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = q.Close() }()
+	refs := enqueueAll(t, q, queueSpecs(t))
+	lease, _, err := q.Claim(refs[0], "w1", 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Complete(lease.ID, RunDone); !errors.Is(err, ErrStaleLease) {
+		t.Fatalf("complete before start err = %v, want ErrStaleLease", err)
+	}
+	if st, ok := q.Done(refs[0]); ok {
+		t.Fatalf("unstarted complete recorded terminal state %v", st)
+	}
+	// The lease is still live and proceeds normally through the gate.
+	if _, err := q.Start(lease.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Complete(lease.ID, RunDone); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueRetryClearsTerminalState walks the resume-retry path: a ref
+// with a terminal state becomes claimable again under a fresh lease, the
+// retry survives log replay, and retrying a non-terminal ref is
+// rejected.
+func TestQueueRetryClearsTerminalState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.jsonl")
+	q, err := OpenQueue(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := queueSpecs(t)
+	refs := enqueueAll(t, q, specs)
+	if err := q.Retry(refs[0], "k", specs[0]); err == nil {
+		t.Fatal("retry of a pending ref succeeded")
+	}
+	lease, _, err := q.Claim(refs[0], "w1", 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Start(lease.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Complete(lease.ID, RunFailed); err != nil {
+		t.Fatal(err)
+	}
+	key := refs[0][len("c1/"):]
+	if err := q.Retry(refs[0], key, specs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.Done(refs[0]); ok {
+		t.Fatal("retry left the ref terminal")
+	}
+	// Re-enqueueing the retried ref stays a no-op (it is already pending).
+	if err := q.Enqueue(refs[0], key, specs[0]); err != nil {
+		t.Fatal(err)
+	}
+	pending := q.Pending()
+	count := 0
+	for _, it := range pending {
+		if it.Ref == refs[0] {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("retried ref pending %d times, want 1", count)
+	}
+	_ = q.Close()
+
+	// Recovery replays the retry: the ref must come back pending, not done.
+	q2, err := OpenQueue(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = q2.Close() }()
+	if _, ok := q2.Done(refs[0]); ok {
+		t.Fatal("replay resurrected the retried ref's terminal state")
+	}
+	lease2, spec, err := q2.Claim(refs[0], "w2", 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Strategy.Kind == "" {
+		t.Fatal("retried spec lost its strategy across replay")
+	}
+	if _, err := q2.Start(lease2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q2.Complete(lease2.ID, RunDone); err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := q2.Done(refs[0]); !ok || st != RunDone {
+		t.Fatalf("retried ref did not re-complete: %v %v", st, ok)
+	}
+}
+
 func TestQueueLeaseExpiryRequeuesAtFront(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "queue.jsonl")
 	q, err := OpenQueue(path)

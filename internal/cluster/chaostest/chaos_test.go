@@ -348,6 +348,11 @@ func checkQueueLogInvariants(t *testing.T, h *Harness) {
 				t.Fatalf("record %d: invalid complete (lease %d) on %.12s", i, r.Lease, r.Ref)
 			}
 			st.live, st.done = false, true
+		case "retry":
+			if !st.enqueued || !st.done || st.live {
+				t.Fatalf("record %d: retry of non-terminal ref %.12s", i, r.Ref)
+			}
+			st.done = false
 		}
 	}
 	for ref, st := range refs {

@@ -7,6 +7,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"roadrunner/internal/campaign"
@@ -111,12 +113,27 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 	if steal <= 0 {
 		steal = 3
 	}
+	// A restarted coordinator must not reuse a previous epoch's campaign
+	// IDs: a reminted ID would silently re-attach the new submission to
+	// the old epoch's journal and queue refs. Every submission opens its
+	// journal before enqueueing anything, so the journals on disk are a
+	// complete record of the IDs ever minted — re-derive the sequence
+	// floor from them.
+	seq := 0
+	if ids, err := opts.Store.JournaledCampaignIDs(); err == nil {
+		for _, id := range ids {
+			if n, ok := campaignSeq(id); ok && n > seq {
+				seq = n
+			}
+		}
+	}
 	return &Coordinator{
 		store:      opts.Store,
 		queue:      q,
 		policy:     pol,
 		leaseTTL:   ttl,
 		stealAfter: steal,
+		seq:        seq,
 		nodes:      make(map[string]*node),
 		campaigns:  make(map[string]*runningCampaign),
 		subs:       make(map[int]chan Event),
@@ -288,7 +305,20 @@ func (co *Coordinator) submit(id string, m campaign.Manifest) error {
 			j.RecordRun(snap)
 			continue
 		}
-		if err := co.queue.Enqueue(ref, keys[i], spec); err != nil {
+		if _, done := co.queue.Done(ref); done {
+			// The queue log says this ref already finished, but the store
+			// cannot serve it (a failed run, or a done run whose entry was
+			// evicted). Enqueue would be a no-op for the known ref, so clear
+			// the terminal state and re-issue the work — the cluster twin of
+			// single-node resume re-executing a store miss. Without this the
+			// ref counts toward remaining but no lease is ever granted, and
+			// the resumed campaign hangs forever.
+			if err := co.queue.Retry(ref, keys[i], spec); err != nil {
+				co.mu.Unlock()
+				j.Close()
+				return err
+			}
+		} else if err := co.queue.Enqueue(ref, keys[i], spec); err != nil {
 			co.mu.Unlock()
 			j.Close()
 			return err
@@ -409,6 +439,21 @@ func campaignOfRef(ref string) string {
 	return ref
 }
 
+// campaignSeq parses the numeric sequence out of a coordinator-minted
+// campaign ID (c%04d-%x). IDs in other formats — single-node campaigns
+// share the journal directory — report ok=false.
+func campaignSeq(id string) (int, bool) {
+	dash := strings.IndexByte(id, '-')
+	if dash < 2 || id[0] != 'c' {
+		return 0, false
+	}
+	n, err := strconv.Atoi(id[1:dash])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
 // RequestWork grants up to max assignments to node, routing through the
 // policy and falling back to work-stealing when the queue is empty but
 // another node sits on stale unstarted claims.
@@ -498,9 +543,15 @@ func (co *Coordinator) stealLocked(thief *node) (Assignment, Event, bool) {
 
 // StartRun is the execution gate: a node must pass it before running a
 // claimed spec. ErrStaleLease means the claim was stolen or expired —
-// the node drops the assignment without executing.
+// the node drops the assignment without executing. The node's inflight
+// slot is NOT released here: every path that makes a lease stale (steal,
+// expiry, completion) already freed the holder's slot exactly once.
 func (co *Coordinator) StartRun(name string, id campaign.LeaseID) error {
 	co.mu.Lock()
+	if held, ok := co.leaseLocked(id); ok && held.Node != name {
+		co.mu.Unlock()
+		return fmt.Errorf("%w: lease %d is held by %s, not %s", campaign.ErrStaleLease, id, held.Node, name)
+	}
 	lease, err := co.queue.Start(id)
 	var events []Event
 	if err == nil {
@@ -510,37 +561,41 @@ func (co *Coordinator) StartRun(name string, id campaign.LeaseID) error {
 				rc.c.Transition(i, campaign.RunRunning, nil)
 			}
 		}
-	} else if n, ok := co.nodes[name]; ok && n.inflight > 0 && errors.Is(err, campaign.ErrStaleLease) {
-		// The assignment died between claim and start; the slot frees up.
-		n.inflight--
 	}
 	co.mu.Unlock()
 	co.emit(events)
 	return err
 }
 
-// CompleteRun records a node's outcome for a started lease. A non-failed
-// outcome whose result is missing from the shared store is demoted to
-// failed — durability is part of the run contract, exactly as in the
-// single-node scheduler. Stale completions (the lease expired mid-run
-// and the work was re-issued) report ErrStaleLease and change nothing:
-// the node's store Put, if any, is harmless because content addressing
-// makes both writers' bytes identical.
+// CompleteRun records a node's outcome for a started lease it holds. A
+// non-failed outcome whose result is missing from the shared store is
+// demoted to failed — durability is part of the run contract, exactly as
+// in the single-node scheduler. Stale completions (the lease expired
+// mid-run and the work was re-issued, was never started, or belongs to
+// another node) report ErrStaleLease and change nothing: the node's
+// store Put, if any, is harmless because content addressing makes both
+// writers' bytes identical.
 func (co *Coordinator) CompleteRun(name string, id campaign.LeaseID, out Outcome) error {
 	if !out.State.Terminal() {
 		return fmt.Errorf("cluster: complete with non-terminal state %q", out.State)
 	}
 	co.mu.Lock()
+	held, ok := co.leaseLocked(id)
+	if !ok || held.Node != name {
+		ev := Event{Type: "stale-complete", Node: name, Tick: co.now}
+		co.mu.Unlock()
+		co.emit([]Event{ev})
+		return fmt.Errorf("%w: lease %d is not held by %s", campaign.ErrStaleLease, id, name)
+	}
 	state := out.State
 	var detail string
-	if state != campaign.RunFailed {
-		if keyOf, ok := co.leaseKeyLocked(id); !ok || !co.store.Has(keyOf) {
-			state = campaign.RunFailed
-			detail = "completed without a stored result"
-		}
+	if state != campaign.RunFailed && !co.store.Has(held.Key) {
+		state = campaign.RunFailed
+		detail = "completed without a stored result"
 	}
 	lease, err := co.queue.Complete(id, state)
 	if err != nil {
+		// Protocol rejection for a live, owned lease: never started.
 		ev := Event{Type: "stale-complete", Node: name, Tick: co.now}
 		co.mu.Unlock()
 		co.emit([]Event{ev})
@@ -590,14 +645,14 @@ func (co *Coordinator) CompleteRun(name string, id campaign.LeaseID, out Outcome
 	return nil
 }
 
-// leaseKeyLocked resolves a live lease's run key.
-func (co *Coordinator) leaseKeyLocked(id campaign.LeaseID) (string, bool) {
+// leaseLocked resolves a live lease by grant ID.
+func (co *Coordinator) leaseLocked(id campaign.LeaseID) (campaign.Lease, bool) {
 	for _, l := range co.queue.Leases() {
 		if l.ID == id {
-			return l.Key, true
+			return l, true
 		}
 	}
-	return "", false
+	return campaign.Lease{}, false
 }
 
 // Advance moves the logical clock one tick: leases past their expiry are

@@ -208,6 +208,206 @@ func TestCoordinatorResumeAfterRestart(t *testing.T) {
 	}
 }
 
+// TestCoordinatorResumeRetriesUnstoredTerminalRuns is the resume-hang
+// regression: a run that is terminal in the queue log but absent from
+// the store (here a completion demoted to failed) must be re-issued on
+// resume, not silently counted as outstanding forever. Before the fix,
+// Enqueue was a no-op for the known ref while remaining was still
+// incremented, so no lease was ever granted and the campaign never
+// finished.
+func TestCoordinatorResumeRetriesUnstoredTerminalRuns(t *testing.T) {
+	dir := t.TempDir()
+	co := newTestCoordinator(t, dir)
+	co.RegisterNode("w1", 1)
+	id, err := co.Submit(tinyClusterManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerStore, err := campaign.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := NewRunner(workerStore, 2, func(int) {})
+	// Execute the first run properly; report the second done without a
+	// store publish so the coordinator demotes it to failed — a ref that
+	// is terminal in the queue log with nothing servable in the store.
+	for i := 0; i < 2; i++ {
+		asgs, err := co.RequestWork("w1", 1)
+		if err != nil || len(asgs) != 1 {
+			t.Fatalf("claim %d: %v %v", i, asgs, err)
+		}
+		if err := co.StartRun("w1", asgs[0].Lease); err != nil {
+			t.Fatal(err)
+		}
+		out := Outcome{State: campaign.RunDone, Attempts: 1}
+		if i == 0 {
+			out = runner.Run(asgs[0])
+		}
+		if err := co.CompleteRun("w1", asgs[0].Lease, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := co.Campaign(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Status(); !st.Done || st.Failed != 1 {
+		t.Fatalf("pre-crash status: %+v", st)
+	}
+	co.Close()
+
+	co2 := newTestCoordinator(t, dir)
+	co2.RegisterNode("w1", 1)
+	if err := co2.Resume(id); err != nil {
+		t.Fatal(err)
+	}
+	// The failed run must be claimable again and the campaign must finish.
+	if ran := drive(t, co2, runner, "w1"); ran != 1 {
+		t.Fatalf("resume re-ran %d assignments, want 1", ran)
+	}
+	c2, err := co2.Campaign(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Status(); !st.Done || st.Failed != 0 || st.Completed+st.Cached != 2 {
+		t.Fatalf("resumed campaign status: %+v", st)
+	}
+	if _, err := co2.MergedResult(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoordinatorRestartMintsFreshCampaignIDs: the ID sequence must
+// survive a coordinator restart. Before the fix, the first submission of
+// a new epoch reproduced the previous epoch's c0001-<hash> for the same
+// manifest and silently re-attached to its journal and queue refs.
+func TestCoordinatorRestartMintsFreshCampaignIDs(t *testing.T) {
+	dir := t.TempDir()
+	co := newTestCoordinator(t, dir)
+	co.RegisterNode("w1", 2)
+	workerStore, err := campaign.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := NewRunner(workerStore, 2, func(int) {})
+	id1, err := co.Submit(tinyClusterManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, co, runner, "w1")
+	co.Close()
+
+	co2 := newTestCoordinator(t, dir)
+	co2.RegisterNode("w1", 2)
+	id2, err := co2.Submit(tinyClusterManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id1 {
+		t.Fatalf("restarted coordinator reused campaign ID %s", id1)
+	}
+	// The new campaign is its own registration: warm store, pure cache
+	// pass, and the old ID is resumable separately.
+	c, err := co2.Campaign(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Status(); !st.Done || st.Cached != 2 {
+		t.Fatalf("new-epoch resubmission status: %+v", st)
+	}
+}
+
+// TestCoordinatorRejectsForeignLeaseReports: start and completion are
+// accepted only from the node holding the lease, so one node cannot
+// complete another's claim or skew its counters.
+func TestCoordinatorRejectsForeignLeaseReports(t *testing.T) {
+	dir := t.TempDir()
+	co := newTestCoordinator(t, dir)
+	co.RegisterNode("w1", 1)
+	co.RegisterNode("w2", 1)
+	if _, err := co.Submit(tinyClusterManifest()); err != nil {
+		t.Fatal(err)
+	}
+	asgs, err := co.RequestWork("w1", 1)
+	if err != nil || len(asgs) != 1 {
+		t.Fatalf("claim: %v %v", asgs, err)
+	}
+	if err := co.StartRun("w2", asgs[0].Lease); !errors.Is(err, campaign.ErrStaleLease) {
+		t.Fatalf("foreign start err = %v, want ErrStaleLease", err)
+	}
+	// Completing before the start gate is rejected even by the holder.
+	if err := co.CompleteRun("w1", asgs[0].Lease, Outcome{State: campaign.RunDone}); !errors.Is(err, campaign.ErrStaleLease) {
+		t.Fatalf("unstarted complete err = %v, want ErrStaleLease", err)
+	}
+	if err := co.StartRun("w1", asgs[0].Lease); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.CompleteRun("w2", asgs[0].Lease, Outcome{State: campaign.RunDone}); !errors.Is(err, campaign.ErrStaleLease) {
+		t.Fatalf("foreign complete err = %v, want ErrStaleLease", err)
+	}
+	for _, n := range co.Nodes() {
+		switch n.Name {
+		case "w1":
+			if n.Inflight != 1 {
+				t.Fatalf("holder inflight = %d, want 1: %+v", n.Inflight, n)
+			}
+		case "w2":
+			if n.Inflight != 0 || n.Executed != 0 {
+				t.Fatalf("foreign node counters moved: %+v", n)
+			}
+		}
+	}
+}
+
+// TestCoordinatorStealFreesVictimSlotExactlyOnce: after a steal, the
+// victim's stale Start must not decrement its inflight a second time —
+// the steal already released that slot. Before the fix the double
+// decrement undercounted inflight, letting nodes claim past capacity.
+func TestCoordinatorStealFreesVictimSlotExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	co := newTestCoordinator(t, dir)
+	co.RegisterNode("w1", 2)
+	if _, err := co.Submit(tinyClusterManifest()); err != nil {
+		t.Fatal(err)
+	}
+	// w1 claims both runs, then sits on them past StealAfter. The thief
+	// registers afterwards so round-robin doesn't defer w1's claims.
+	asgs, err := co.RequestWork("w1", 2)
+	if err != nil || len(asgs) != 2 {
+		t.Fatalf("claim: %v %v", asgs, err)
+	}
+	co.RegisterNode("w2", 1)
+	for i := 0; i < 4; i++ {
+		co.Advance()
+		if err := co.Heartbeat("w1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stolen, err := co.RequestWork("w2", 1)
+	if err != nil || len(stolen) != 1 {
+		t.Fatalf("steal: %v %v", stolen, err)
+	}
+	// The victim tries to start the stolen assignment: stale, and its
+	// inflight stays at the one claim it still holds.
+	var victimLease campaign.LeaseID
+	for _, asg := range asgs {
+		if asg.Ref == stolen[0].Ref {
+			victimLease = asg.Lease
+		}
+	}
+	if err := co.StartRun("w1", victimLease); !errors.Is(err, campaign.ErrStaleLease) {
+		t.Fatalf("victim start err = %v, want ErrStaleLease", err)
+	}
+	for _, n := range co.Nodes() {
+		if n.Name == "w1" && n.Inflight != 1 {
+			t.Fatalf("victim inflight = %d after steal + stale start, want 1", n.Inflight)
+		}
+		if n.Name == "w2" && n.Inflight != 1 {
+			t.Fatalf("thief inflight = %d, want 1", n.Inflight)
+		}
+	}
+}
+
 // TestCoordinatorDemotesUnstoredCompletion: a node reporting success
 // without having published its result to the shared store is lying about
 // durability; the coordinator must demote the run to failed.

@@ -20,7 +20,7 @@ const maxBodyBytes = 1 << 20
 //	GET  /v1/cluster/campaigns           list campaign statuses
 //	GET  /v1/cluster/campaigns/{id}      one campaign's status
 //	GET  /v1/cluster/campaigns/{id}/events  merged SSE progress stream
-//	GET  /v1/cluster/campaigns/{id}/result  merged canonical artifact
+//	GET  /v1/cluster/campaigns/{id}/result  merged canonical artifact (409 while running)
 //	GET  /v1/cluster/nodes               fleet status
 //	POST /v1/cluster/register            worker join
 //	POST /v1/cluster/heartbeat           worker liveness
@@ -150,8 +150,21 @@ func writeEventSSE(w http.ResponseWriter, v any) {
 	_, _ = fmt.Fprintf(w, "data: %s\n\n", data)
 }
 
+// handleResult serves the merged canonical artifact, mirroring the
+// single-node endpoint's gate: 409 until the campaign is done. Merging
+// mid-campaign would let the self-heal path synchronously execute runs
+// still leased to workers, double-executing them inside the handler.
 func (co *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
-	data, err := co.MergedResult(r.PathValue("id"))
+	c, err := co.Campaign(r.PathValue("id"))
+	if err != nil {
+		clusterError(w, http.StatusNotFound, err)
+		return
+	}
+	if !c.Status().Done {
+		clusterError(w, http.StatusConflict, fmt.Errorf("campaign %q still running", c.ID()))
+		return
+	}
+	data, err := co.MergedResult(c.ID())
 	if err != nil {
 		if errors.Is(err, ErrUnknownCampaign) {
 			clusterError(w, http.StatusNotFound, err)

@@ -150,6 +150,37 @@ func TestHTTPStaleLeaseMapsToConflict(t *testing.T) {
 	}
 }
 
+// TestHTTPResultGatedUntilDone: the merged-result endpoint must return
+// 409 while the campaign is running, mirroring the single-node endpoint.
+// Serving it early would drive the merge's self-heal path to execute
+// runs currently leased to workers inside the handler.
+func TestHTTPResultGatedUntilDone(t *testing.T) {
+	dir := t.TempDir()
+	co := newTestCoordinator(t, dir)
+	co.RegisterNode("w1", 2)
+	ts := newTestServer(t, co)
+	id, err := co.Submit(tinyClusterManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/cluster/campaigns/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("mid-campaign result status %d, want 409", resp.StatusCode)
+	}
+	workerStore, err := campaign.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, co, NewRunner(workerStore, 2, func(int) {}), "w1")
+	if got := getBytes(t, ts.URL+"/v1/cluster/campaigns/"+id+"/result"); len(got) == 0 {
+		t.Fatal("finished campaign served an empty merged result")
+	}
+}
+
 // TestHTTPValidation: malformed or incomplete requests get 4xx, unknown
 // campaigns 404.
 func TestHTTPValidation(t *testing.T) {
