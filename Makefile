@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race lint lint-baseline bench bench-check bench-scale bench-scale-check trace-demo cover e2e e2e-cluster ci
+.PHONY: build vet test race lint lint-baseline bench bench-check bench-scale bench-scale-check trace-demo ablation-h cover e2e e2e-cluster ci
 
 # COVER_FLOOR is the minimum total statement coverage; measured at 79.7%
 # when the floor was introduced, with a small margin for platform noise.
@@ -46,6 +46,12 @@ bench-scale-check:
 # JSON + canonical CSV span timelines for a BASE and an OPP run.
 trace-demo:
 	$(GO) run ./cmd/figures -fig T -out results
+
+# ablation-h regenerates the tracked channel-model ablation: BASE and OPP
+# under analytic, radio, radio+queued, and a fitted oracle channel,
+# exercising the record -> chanfit -> replay pipeline end to end.
+ablation-h:
+	$(GO) run ./cmd/figures -fig H -out results
 
 vet:
 	$(GO) vet ./...

@@ -18,7 +18,9 @@
 // The report contains the measured ns/op, events/op, and simsec/wallsec of
 // the combined BASE+OPP Figure-4 run (the same quantity as the repo's
 // BenchmarkExperimentThroughput), alongside the tracked pre-optimisation
-// baseline, so the speedup ratio is part of the artifact itself.
+// baseline, so the speedup ratio is part of the artifact itself. It also
+// carries a channel-variant point — the same workload under the
+// radio+queued channel model — gated by -check like the analytic point.
 package main
 
 import (
@@ -29,8 +31,15 @@ import (
 	"runtime"
 	"time"
 
+	"roadrunner/internal/channel"
 	"roadrunner/internal/repro"
 )
+
+// channelVariantModel names the channel stack the report's channel-variant
+// point measures: radio pathloss/shadowing/fading composed with queueing
+// delay — the most expensive synthetic channel path, so its overhead over
+// the analytic point is the cost of channel realism.
+const channelVariantModel = channel.ModelRadioQueued
 
 // baselineMeasurement is the pre-optimisation reference: the repo's
 // BenchmarkExperimentThroughput (2 rounds) measured on the commit before
@@ -66,6 +75,17 @@ type Report struct {
 	Baseline Measurement `json:"baseline"`
 	Current  Measurement `json:"current"`
 	Speedup  float64     `json:"speedup_simsec_per_wallsec"`
+
+	// Channel is the channel-variant point: the same workload under the
+	// channelVariantModel channel stack, gated alongside Current by -check
+	// when both reports carry it.
+	Channel *ChannelVariant `json:"channel,omitempty"`
+}
+
+// ChannelVariant is the channel-model throughput point of the report.
+type ChannelVariant struct {
+	Model string `json:"model"`
+	Measurement
 }
 
 func main() {
@@ -108,7 +128,11 @@ func run(rounds, seeds, evalWorkers int, out, check string, tol float64) error {
 			return fmt.Errorf("read reference report: %w", err)
 		}
 	}
-	m, err := measure(rounds, seeds, evalWorkers)
+	m, err := measure(rounds, seeds, evalWorkers, nil)
+	if err != nil {
+		return err
+	}
+	chM, err := measure(rounds, seeds, evalWorkers, &channel.Config{Model: channelVariantModel})
 	if err != nil {
 		return err
 	}
@@ -122,6 +146,7 @@ func run(rounds, seeds, evalWorkers int, out, check string, tol float64) error {
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Baseline:    baselineMeasurement,
 		Current:     m,
+		Channel:     &ChannelVariant{Model: channelVariantModel, Measurement: chM},
 	}
 	if report.Baseline.SimsecPerWallsec > 0 {
 		report.Speedup = m.SimsecPerWallsec / report.Baseline.SimsecPerWallsec
@@ -137,9 +162,32 @@ func run(rounds, seeds, evalWorkers int, out, check string, tol float64) error {
 	fmt.Printf("%s: %.1f simsec/wallsec (baseline %.1f, %.2fx), %.0f events/op, %.0f ns/op over %d seed(s)\n",
 		out, m.SimsecPerWallsec, report.Baseline.SimsecPerWallsec, report.Speedup,
 		m.EventsPerOp, m.NsPerOp, seeds)
+	fmt.Printf("%s channel variant (%s): %.1f simsec/wallsec, %.0f events/op\n",
+		out, channelVariantModel, chM.SimsecPerWallsec, chM.EventsPerOp)
 	if ref != nil {
-		return checkRegression(ref, m, tol)
+		if err := checkRegression(ref, m, tol); err != nil {
+			return err
+		}
+		return checkChannelRegression(ref, chM, tol)
 	}
+	return nil
+}
+
+// checkChannelRegression gates the channel-variant point the same way
+// checkRegression gates the analytic point. Reference reports from before
+// the variant existed (or for a different model) pass vacuously.
+func checkChannelRegression(ref *Report, m Measurement, tol float64) error {
+	if ref.Channel == nil || ref.Channel.Model != channelVariantModel || ref.Channel.SimsecPerWallsec <= 0 {
+		return nil
+	}
+	dropPct := (1 - m.SimsecPerWallsec/ref.Channel.SimsecPerWallsec) * 100
+	floor := ref.Channel.SimsecPerWallsec * (1 - tol/100)
+	if m.SimsecPerWallsec < floor {
+		return fmt.Errorf("channel variant (%s) throughput regression: %.1f simsec/wallsec vs reference %.1f (-%.1f%%, tolerance %.1f%%)",
+			channelVariantModel, m.SimsecPerWallsec, ref.Channel.SimsecPerWallsec, dropPct, tol)
+	}
+	fmt.Printf("check: channel variant %.1f simsec/wallsec vs reference %.1f (%+.1f%%) within %.1f%% tolerance\n",
+		m.SimsecPerWallsec, ref.Channel.SimsecPerWallsec, -dropPct, tol)
 	return nil
 }
 
@@ -177,14 +225,15 @@ func checkRegression(ref *Report, m Measurement, tol float64) error {
 }
 
 // measure runs the Figure-4 experiment once per seed and aggregates the
-// throughput numbers. Wall-clock timing here is pure harness measurement;
-// nothing simulated depends on it.
-func measure(rounds, seeds, evalWorkers int) (Measurement, error) {
+// throughput numbers; a non-nil channel config swaps in that channel model.
+// Wall-clock timing here is pure harness measurement; nothing simulated
+// depends on it.
+func measure(rounds, seeds, evalWorkers int, ch *channel.Config) (Measurement, error) {
 	var events uint64
 	simSeconds := 0.0
 	start := time.Now() //roadlint:allow wallclock harness timing of the benchmark itself
 	for s := 1; s <= seeds; s++ {
-		out, err := repro.Fig4Workers(rounds, uint64(s), evalWorkers)
+		out, err := repro.Fig4Channel(rounds, uint64(s), evalWorkers, ch)
 		if err != nil {
 			return Measurement{}, fmt.Errorf("fig4 seed %d: %w", s, err)
 		}

@@ -37,6 +37,12 @@ func TestBenchWritesReport(t *testing.T) {
 	if r.Rounds != 1 || r.Seeds != 1 || r.EvalWorkers != 2 {
 		t.Fatalf("flag echo mismatch: %+v", r)
 	}
+	if r.Channel == nil || r.Channel.Model != channelVariantModel {
+		t.Fatalf("channel variant point missing: %+v", r.Channel)
+	}
+	if r.Channel.SimsecPerWallsec <= 0 || r.Channel.EventsPerOp <= 0 {
+		t.Fatalf("non-positive channel variant measurement: %+v", r.Channel)
+	}
 }
 
 func TestBenchRejectsBadArgs(t *testing.T) {
@@ -78,5 +84,24 @@ func TestCheckRegression(t *testing.T) {
 	}
 	if err := checkRegression(&Report{}, Measurement{SimsecPerWallsec: 100}, 5); err == nil {
 		t.Fatal("want error for reference without a measurement")
+	}
+}
+
+// TestCheckChannelRegression covers the channel-variant gate: vacuous for
+// references without the point, tolerant within -tol, failing beyond it.
+func TestCheckChannelRegression(t *testing.T) {
+	if err := checkChannelRegression(&Report{}, Measurement{SimsecPerWallsec: 50}, 5); err != nil {
+		t.Fatalf("reference without channel point must pass vacuously: %v", err)
+	}
+	other := &Report{Channel: &ChannelVariant{Model: "radio", Measurement: Measurement{SimsecPerWallsec: 100}}}
+	if err := checkChannelRegression(other, Measurement{SimsecPerWallsec: 1}, 5); err != nil {
+		t.Fatalf("reference for a different model must pass vacuously: %v", err)
+	}
+	ref := &Report{Channel: &ChannelVariant{Model: channelVariantModel, Measurement: Measurement{SimsecPerWallsec: 100}}}
+	if err := checkChannelRegression(ref, Measurement{SimsecPerWallsec: 96}, 5); err != nil {
+		t.Fatalf("within tolerance: %v", err)
+	}
+	if err := checkChannelRegression(ref, Measurement{SimsecPerWallsec: 90}, 5); err == nil {
+		t.Fatal("want error for channel variant regression")
 	}
 }

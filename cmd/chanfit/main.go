@@ -1,0 +1,125 @@
+// Command chanfit fits a data-driven channel table from a recorded channel
+// trace: it reads the canonical chantrace CSV a recorded run emits (see
+// `roadrunner -channel-record`), bins the samples by (kind, distance, size,
+// load), and writes the canonical chantable CSV the oracle channel model
+// replays.
+//
+// Usage:
+//
+//	chanfit -in trace.csv -out table.csv \
+//	        [-dist 50,150,300,600] [-size 32768,131072,524288] \
+//	        [-load 1,2,4,8] [-min-samples 1]
+//
+// The edge flags name the interior bin edges per axis; each axis implicitly
+// gains a tail bin to +Inf, and the distance axis an unknown-distance bin
+// for links without positions. Fitting is deterministic: the same trace and
+// the same edges produce a byte-identical table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"roadrunner/internal/channel"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "chanfit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("chanfit", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	in := fs.String("in", "", "input chantrace CSV (required)")
+	out := fs.String("out", "", "output chantable CSV (default: stdout)")
+	dist := fs.String("dist", "", "comma-separated interior distance bin edges in metres (default: fitter default)")
+	size := fs.String("size", "", "comma-separated interior payload-size bin edges in bytes (default: fitter default)")
+	load := fs.String("load", "", "comma-separated interior in-flight-load bin edges (default: fitter default)")
+	minSamples := fs.Int("min-samples", 0, "drop bins with fewer samples (0 = fitter default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+
+	fc := channel.DefaultFitConfig()
+	for _, ax := range []struct {
+		name string
+		raw  string
+		dst  *[]float64
+	}{
+		{"dist", *dist, &fc.DistEdgesM},
+		{"size", *size, &fc.SizeEdges},
+		{"load", *load, &fc.LoadEdges},
+	} {
+		if ax.raw == "" {
+			continue
+		}
+		edges, err := parseEdges(ax.raw)
+		if err != nil {
+			return fmt.Errorf("-%s: %w", ax.name, err)
+		}
+		*ax.dst = edges
+	}
+	if *minSamples > 0 {
+		fc.MinSamples = *minSamples
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return fmt.Errorf("open trace: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	samples, err := channel.ParseTrace(f)
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", *in, err)
+	}
+
+	table, err := channel.Fit(samples, fc)
+	if err != nil {
+		return err
+	}
+
+	if *out == "" {
+		return channel.WriteTable(stdout, table)
+	}
+	of, err := os.Create(*out)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", *out, err)
+	}
+	defer func() { _ = of.Close() }()
+	if err := channel.WriteTable(of, table); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "fitted %d samples into %d bins; wrote %s\n", len(samples), len(table.Bins), *out)
+	return nil
+}
+
+// parseEdges parses a comma-separated, strictly increasing, positive edge
+// list.
+func parseEdges(raw string) ([]float64, error) {
+	parts := strings.Split(raw, ",")
+	edges := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad edge %q", p)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("edge %v is not positive", v)
+		}
+		if n := len(edges); n > 0 && v <= edges[n-1] {
+			return nil, fmt.Errorf("edges must be strictly increasing at %v", v)
+		}
+		edges = append(edges, v)
+	}
+	return edges, nil
+}

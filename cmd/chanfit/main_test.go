@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"roadrunner/internal/channel"
+)
+
+// writeTrace writes a synthetic chantrace CSV with enough samples to
+// populate one v2c bin.
+func writeTrace(t *testing.T, dir string) string {
+	t.Helper()
+	samples := []channel.Sample{
+		{Kind: channel.KindV2C, T: 10, DistanceM: 120, SizeBytes: 60000, Load: 0, DurationS: 0.5, Outcome: channel.OutcomeDelivered},
+		{Kind: channel.KindV2C, T: 20, DistanceM: 130, SizeBytes: 60000, Load: 0, DurationS: 0.6, Outcome: channel.OutcomeDelivered},
+		{Kind: channel.KindV2C, T: 30, DistanceM: 125, SizeBytes: 60000, Load: 0, DurationS: 0, Outcome: channel.OutcomeChannel},
+		{Kind: channel.KindV2X, T: 40, DistanceM: 80, SizeBytes: 60000, Load: 1, DurationS: 0.3, Outcome: channel.OutcomeDelivered},
+	}
+	path := filepath.Join(dir, "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	if err := channel.WriteTrace(f, samples); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestChanfitRoundTrip drives the CLI end to end: fit a synthetic trace to
+// a file, re-parse the table, and check the fitted bins are replayable.
+func TestChanfitRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	trace := writeTrace(t, dir)
+	out := filepath.Join(dir, "table.csv")
+
+	var stdout bytes.Buffer
+	if err := run([]string{"-in", trace, "-out", out}, &stdout); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "wrote "+out) {
+		t.Errorf("stdout %q does not confirm the write", stdout.String())
+	}
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	table, err := channel.ParseTable(f)
+	if err != nil {
+		t.Fatalf("parse fitted table: %v", err)
+	}
+	if len(table.Bins) == 0 {
+		t.Fatal("fitted table has no bins")
+	}
+	if _, err := channel.NewOracle(&channel.OracleConfig{Table: table.Bins}); err != nil {
+		t.Fatalf("fitted table not replayable: %v", err)
+	}
+}
+
+// TestChanfitStdoutAndEdges checks the stdout path and custom bin edges.
+func TestChanfitStdoutAndEdges(t *testing.T) {
+	dir := t.TempDir()
+	trace := writeTrace(t, dir)
+
+	var stdout bytes.Buffer
+	if err := run([]string{"-in", trace, "-dist", "100,200", "-size", "1000", "-load", "2", "-min-samples", "1"}, &stdout); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.HasPrefix(stdout.String(), channel.TableHeader) {
+		t.Errorf("stdout does not start with the chantable header: %q", stdout.String())
+	}
+}
+
+func TestChanfitErrors(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-in", filepath.Join(t.TempDir(), "nope.csv")}, &bytes.Buffer{}); err == nil {
+		t.Error("missing trace file accepted")
+	}
+	trace := writeTrace(t, t.TempDir())
+	for _, edges := range []string{"x", "-5", "200,100", "0"} {
+		if err := run([]string{"-in", trace, "-dist", edges}, &bytes.Buffer{}); err == nil {
+			t.Errorf("bad edge list %q accepted", edges)
+		}
+	}
+}

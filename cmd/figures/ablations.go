@@ -181,6 +181,54 @@ func ablationG(rounds int, seed uint64, outDir string) error {
 	return writeFaultPointsCSV(filepath.Join(outDir, "ablation_g_faults.csv"), points)
 }
 
+func ablationH(rounds int, seed uint64, outDir string) error {
+	points, err := repro.AblationChannels(ablationRounds(rounds), seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Ablation H: channel models (BASE vs OPP under radio-realistic transfer times) ==")
+	var table [][]string
+	for _, p := range points {
+		table = append(table, []string{
+			p.Model, p.Strategy,
+			fmt.Sprintf("%.3f", p.FinalAcc),
+			fmt.Sprintf("%.0f", p.SimEnd),
+			fmt.Sprintf("%.2f", p.V2CMB),
+			fmt.Sprintf("%.2f", p.V2XMB),
+			fmt.Sprintf("%.0f", p.FailedMsgs),
+		})
+	}
+	fmt.Print(textplot.Table([]string{"model", "strategy", "acc", "end[s]", "v2c MB", "v2x MB", "failed"}, table))
+	fmt.Println()
+
+	return writeChannelPointsCSV(filepath.Join(outDir, "ablation_h_channels.csv"), points)
+}
+
+func writeChannelPointsCSV(path string, points []repro.ChannelPoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer func() { _ = f.Close() }()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"model", "strategy", "final_acc", "sim_end_s", "v2c_mb", "v2x_mb", "failed_msgs"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		row := []string{
+			p.Model, p.Strategy,
+			formatF(p.FinalAcc), formatF(p.SimEnd),
+			formatF(p.V2CMB), formatF(p.V2XMB), formatF(p.FailedMsgs),
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	fmt.Printf("wrote %s\n", path)
+	return w.Error()
+}
+
 func writeFaultPointsCSV(path string, points []repro.FaultPoint) error {
 	f, err := os.Create(path)
 	if err != nil {

@@ -107,3 +107,22 @@ func TestAblationGCSVGolden(t *testing.T) {
 	}
 	checkGolden(t, "ablation_g_faults.golden.csv", got)
 }
+
+// TestAblationHCSVGolden pins the results/ablation_h_channels.csv format.
+func TestAblationHCSVGolden(t *testing.T) {
+	points := []repro.ChannelPoint{
+		{Model: "analytic", Strategy: "BASE", FinalAcc: 0.5, SimEnd: 900, V2CMB: 1.25},
+		{Model: "radio", Strategy: "BASE", FinalAcc: 0.4375, SimEnd: 1100, V2CMB: 1, FailedMsgs: 7},
+		{Model: "radio+queued", Strategy: "OPP", FinalAcc: 0.375, SimEnd: 2000, V2CMB: 0.5, V2XMB: 2.5, FailedMsgs: 13},
+		{Model: "oracle", Strategy: "OPP", FinalAcc: 0.40625, SimEnd: 1900, V2CMB: 0.625, V2XMB: 2.25, FailedMsgs: 4},
+	}
+	path := filepath.Join(t.TempDir(), "ablation_h_channels.csv")
+	if err := writeChannelPointsCSV(path, points); err != nil {
+		t.Fatalf("writeChannelPointsCSV: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "ablation_h_channels.golden.csv", got)
+}

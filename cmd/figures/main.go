@@ -12,6 +12,7 @@
 //	figures -fig E            # ablation E: ignition churn
 //	figures -fig F            # ablation F: RSU deployment density (extension)
 //	figures -fig G            # ablation G: fault scenarios (BASE vs OPP under degradation)
+//	figures -fig H            # ablation H: channel models (analytic/radio/queued/oracle)
 //	figures -fig T            # trace T: simulated-time span timelines (Chrome JSON + CSV)
 //	figures -fig all          # everything
 //
@@ -34,7 +35,7 @@ func main() {
 }
 
 func run() error {
-	fig := flag.String("fig", "4", "figure to regenerate: 4, A, B, C, D, E, F, G, T, or all")
+	fig := flag.String("fig", "4", "figure to regenerate: 4, A, B, C, D, E, F, G, H, T, or all")
 	rounds := flag.Int("rounds", 0, "rounds per run (0 = figure default: 75 for Fig 4, 20 for ablations)")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	out := flag.String("out", "results", "output directory for CSV files")
@@ -62,6 +63,8 @@ func run() error {
 			return ablationF(*rounds, *seed, *out)
 		case "G", "g":
 			return ablationG(*rounds, *seed, *out)
+		case "H", "h":
+			return ablationH(*rounds, *seed, *out)
 		case "T", "t":
 			return figureT(*rounds, *seed, *out)
 		default:
@@ -69,7 +72,7 @@ func run() error {
 		}
 	}
 	if *fig == "all" {
-		for _, name := range []string{"4", "A", "B", "C", "D", "E", "F", "G", "T"} {
+		for _, name := range []string{"4", "A", "B", "C", "D", "E", "F", "G", "H", "T"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

@@ -5,6 +5,8 @@
 //
 //	roadrunner -strategy fedavg|opp|gossip|centralized|hybrid \
 //	           [-config config.json] [-rounds N] [-seed S] \
+//	           [-channel radio] [-channel-table table.csv] \
+//	           [-channel-record trace.csv] \
 //	           [-metrics out.csv] [-json out.json] [-v]
 //
 // Without -config, the paper's evaluation environment (DefaultConfig) is
@@ -19,6 +21,7 @@ import (
 	"io"
 	"os"
 
+	"roadrunner/internal/channel"
 	"roadrunner/internal/core"
 	"roadrunner/internal/metrics"
 	"roadrunner/internal/strategy"
@@ -37,6 +40,9 @@ func run() error {
 	configPath := flag.String("config", "", "JSON experiment config (default: the paper's evaluation environment)")
 	rounds := flag.Int("rounds", 0, "override the strategy's round count (0 = strategy default)")
 	seed := flag.Uint64("seed", 0, "override the experiment seed (0 = config value)")
+	chModel := flag.String("channel", "", "channel model: analytic, radio, queued, radio+queued, oracle (default: config value)")
+	chTable := flag.String("channel-table", "", "chantable CSV for -channel oracle (see cmd/chanfit)")
+	chRecord := flag.String("channel-record", "", "record the per-transfer channel trace to this chantrace CSV")
 	metricsOut := flag.String("metrics", "", "write metrics CSV to this path")
 	jsonOut := flag.String("json", "", "write metrics JSON to this path")
 	printConfig := flag.Bool("print-config", false, "print the default config JSON and exit")
@@ -69,6 +75,18 @@ func run() error {
 	if *verbose {
 		cfg.LogWriter = os.Stderr
 	}
+	if *chModel != "" {
+		ch := &channel.Config{Model: *chModel}
+		if *chTable != "" {
+			ch.Oracle = &channel.OracleConfig{TablePath: *chTable}
+		}
+		cfg.Comm.Channel = ch
+	} else if *chTable != "" {
+		return fmt.Errorf("-channel-table requires -channel oracle")
+	}
+	if *chRecord != "" {
+		cfg.ChannelRecord = true
+	}
 
 	strat, err := buildStrategy(*stratName, *rounds)
 	if err != nil {
@@ -86,6 +104,12 @@ func run() error {
 	}
 
 	printSummary(os.Stdout, strat.Name(), res)
+	if *chRecord != "" {
+		if err := writeTo(*chRecord, res.ChannelLog.WriteCSV); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d channel samples)\n", *chRecord, res.ChannelLog.Len())
+	}
 	if *metricsOut != "" {
 		if err := writeTo(*metricsOut, res.Metrics.WriteCSV); err != nil {
 			return err

@@ -1,0 +1,21 @@
+package channel
+
+import "roadrunner/internal/sim"
+
+// Analytic is the paper's flat transfer-time model lifted into the Model
+// interface: nominal rate, nominal latency, no model loss, no randomness.
+// The communication module never needs it — a nil Model selects the
+// original analytic code path — but it anchors composition (Queued wraps it
+// when no inner model is given) and lets tests prove the model path
+// reproduces the legacy path byte for byte.
+type Analytic struct{}
+
+// Name implements Model.
+func (Analytic) Name() string { return ModelAnalytic }
+
+// Outcome implements Model: the nominal channel, untouched. The returned
+// fields mirror Link's base parameters exactly, so the duration the comm
+// layer derives is float-identical to ChannelParams.TransferSecondsAt.
+func (Analytic) Outcome(link Link, _ *sim.RNG) Outcome {
+	return Outcome{KBps: link.BaseKBps, LatencyS: link.BaseLatencyS}
+}

@@ -1,0 +1,224 @@
+// Package channel models the radio channel underneath Roadrunner's
+// communication module. The paper evaluates learning strategies over a
+// single analytic transfer-time model; this package makes the channel a
+// first-class strategy-evaluation surface (ROADMAP item 3): a Model maps
+// one prospective transfer — link endpoints, distance, payload size,
+// current per-kind load — to an effective throughput, latency, and loss
+// probability, and internal/comm composes that outcome with the fault
+// layer's Conditions.
+//
+// Four model families ship with the framework:
+//
+//   - Analytic — the paper's flat ChannelParams model, retained as the
+//     byte-identical default (a nil Config selects it without even
+//     constructing a Model).
+//   - Radio — distance pathloss with a configurable exponent, log-normal
+//     shadowing, and Rayleigh fast fading, mapped to an effective rate via
+//     an SNR→rate step table (the V2X DRL exemplar's channel stack).
+//   - Queued — M/M/1-style ρ/(1−ρ) queueing delay driven by the live
+//     per-kind in-flight count, composable over Analytic or Radio.
+//   - Oracle — a DRIVE-style data-driven model replaying a binned
+//     indicator table fitted offline from recorded transfer traces
+//     (Sliwa & Wietfeld's end-to-end indicator approach).
+//
+// Every stochastic draw comes from a *sim.RNG the experiment forks as
+// root.Fork("channel") — after the "faults" fork, so fault-free analytic
+// runs consume exactly the root-RNG sequence they did before this package
+// existed and stay byte-identical.
+package channel
+
+import (
+	"fmt"
+	"strconv"
+
+	"roadrunner/internal/sim"
+)
+
+// Kind identifies a communication channel family. It lives here, at the
+// bottom of the comm stack, so channel models can switch on it without
+// importing internal/comm; comm aliases it (comm.Kind) for the rest of the
+// framework.
+type Kind int
+
+const (
+	// KindV2C is long-range cellular vehicle-to-cloud.
+	KindV2C Kind = iota + 1
+	// KindV2X is short-range vehicle-to-anything (V2V and vehicle-RSU).
+	KindV2X
+	// KindWired is the stationary RSU-to-cloud backhaul.
+	KindWired
+
+	// kindCount bounds int(Kind) for dense per-kind arrays.
+	kindCount
+)
+
+// NumKinds is the exclusive upper bound of int(Kind), for sizing dense
+// per-kind arrays (index 0 is unused).
+const NumKinds = int(kindCount)
+
+// AllKinds lists every channel kind, for metric iteration.
+func AllKinds() []Kind { return []Kind{KindV2C, KindV2X, KindWired} }
+
+// String returns the channel name.
+func (k Kind) String() string {
+	switch k {
+	case KindV2C:
+		return "v2c"
+	case KindV2X:
+		return "v2x"
+	case KindWired:
+		return "wired"
+	default:
+		return "unknown(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// ParseKind inverts String for the canonical kind names.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "v2c":
+		return KindV2C, nil
+	case "v2x":
+		return KindV2X, nil
+	case "wired":
+		return KindWired, nil
+	default:
+		return 0, fmt.Errorf("channel: unknown kind %q", s)
+	}
+}
+
+// Link describes one prospective transfer at send time: everything a
+// channel model may condition its outcome on.
+type Link struct {
+	// Now is the simulated send instant.
+	Now sim.Time
+	// Kind is the channel family carrying the transfer.
+	Kind Kind
+	// From and To are the endpoint agent IDs (informational; models must
+	// not derive randomness from them).
+	From, To uint64
+	// SizeBytes is the payload size.
+	SizeBytes int
+	// DistanceM is the sender–receiver distance in meters; negative when
+	// either endpoint has no position (the cloud server).
+	DistanceM float64
+	// InFlight counts transfers of this Kind already in the air when this
+	// one starts — the live load signal Queued's ρ/(1−ρ) delay feeds on.
+	InFlight int
+	// BaseKBps and BaseLatencyS are the configured nominal ChannelParams
+	// of the kind, the analytic reference the models modulate.
+	BaseKBps     float64
+	BaseLatencyS float64
+}
+
+// Outcome is a model's verdict on one transfer. The communication module
+// turns it into a delivery schedule: duration = LatencyS +
+// size/(KBps·1000·faultRateFactor), and samples DropProb at delivery time
+// (after the channel's base drop and any fault-window burst loss).
+type Outcome struct {
+	// KBps is the effective sustained throughput. Non-positive values are
+	// defensive nonsense; comm falls back to the nominal rate.
+	KBps float64
+	// LatencyS is the effective fixed latency in seconds, including any
+	// model-added queueing delay.
+	LatencyS float64
+	// DropProb is the model's additional loss probability in [0, 1],
+	// sampled once per transfer at delivery time from the channel RNG.
+	DropProb float64
+}
+
+// Model produces per-transfer channel outcomes. Implementations must be
+// deterministic in (link, rng-stream state): all randomness comes from the
+// supplied RNG, which the experiment forks from the run seed, and models
+// run on the single simulation goroutine.
+type Model interface {
+	// Name returns the model's selector name (Config.Model).
+	Name() string
+	// Outcome evaluates the channel for one transfer. rng is the
+	// experiment's dedicated channel stream; deterministic models must not
+	// touch it.
+	Outcome(link Link, rng *sim.RNG) Outcome
+}
+
+// Model selector names for Config.Model.
+const (
+	// ModelAnalytic is the paper's flat transfer-time model (the default).
+	ModelAnalytic = "analytic"
+	// ModelRadio is pathloss + shadowing + fading over an SNR→rate table.
+	ModelRadio = "radio"
+	// ModelQueued adds load-dependent queueing delay over the analytic rates.
+	ModelQueued = "queued"
+	// ModelRadioQueued composes Queued over Radio.
+	ModelRadioQueued = "radio+queued"
+	// ModelOracle replays a fitted data-driven indicator table.
+	ModelOracle = "oracle"
+)
+
+// Config selects and parameterizes a channel model. The zero value (and a
+// nil *Config) means the analytic default; comm.Params embeds it as an
+// omitempty pointer so configs predating this package keep their canonical
+// JSON — and therefore their campaign run keys — byte-identical.
+type Config struct {
+	// Model is one of the Model* selector names; empty means analytic.
+	Model string `json:"model"`
+	// Radio parameterizes the radio models (nil = DefaultRadioConfig).
+	Radio *RadioConfig `json:"radio,omitempty"`
+	// Queued parameterizes the queued models (nil = DefaultQueuedConfig).
+	Queued *QueuedConfig `json:"queued,omitempty"`
+	// Oracle parameterizes the oracle model (required for it).
+	Oracle *OracleConfig `json:"oracle,omitempty"`
+}
+
+// Validate reports whether the configuration is usable.
+func (c *Config) Validate() error {
+	if c == nil {
+		return nil
+	}
+	switch c.Model {
+	case "", ModelAnalytic:
+	case ModelRadio:
+		return c.Radio.validate()
+	case ModelQueued:
+		return c.Queued.validate()
+	case ModelRadioQueued:
+		if err := c.Radio.validate(); err != nil {
+			return err
+		}
+		return c.Queued.validate()
+	case ModelOracle:
+		if c.Oracle == nil {
+			return fmt.Errorf("channel: oracle model needs an oracle config (table path or inline table)")
+		}
+		return c.Oracle.validate()
+	default:
+		return fmt.Errorf("channel: unknown model %q", c.Model)
+	}
+	return nil
+}
+
+// New builds the configured model. A nil config, and the empty or
+// "analytic" selector, return a nil Model: the communication module treats
+// that as "use the original analytic code path", which keeps the default
+// byte-identical by construction rather than by equivalence.
+func New(c *Config) (Model, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return nil, nil
+	}
+	switch c.Model {
+	case "", ModelAnalytic:
+		return nil, nil
+	case ModelRadio:
+		return NewRadio(c.Radio), nil
+	case ModelQueued:
+		return NewQueued(c.Queued, nil), nil
+	case ModelRadioQueued:
+		return NewQueued(c.Queued, NewRadio(c.Radio)), nil
+	case ModelOracle:
+		return NewOracle(c.Oracle)
+	default:
+		return nil, fmt.Errorf("channel: unknown model %q", c.Model)
+	}
+}

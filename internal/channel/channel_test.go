@@ -1,0 +1,477 @@
+package channel
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"roadrunner/internal/sim"
+)
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for _, k := range AllKinds() {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKind("carrier-pigeon"); err == nil {
+		t.Fatal("ParseKind accepted an unknown kind")
+	}
+	if s := Kind(0).String(); !strings.Contains(s, "unknown") {
+		t.Fatalf("Kind(0).String() = %q, want an unknown marker", s)
+	}
+}
+
+func TestNewDispatch(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     *Config
+		want    string // expected Model.Name(); "" means nil model
+		wantErr bool
+	}{
+		{name: "nil config", cfg: nil, want: ""},
+		{name: "empty selector", cfg: &Config{}, want: ""},
+		{name: "analytic", cfg: &Config{Model: ModelAnalytic}, want: ""},
+		{name: "radio", cfg: &Config{Model: ModelRadio}, want: ModelRadio},
+		{name: "queued", cfg: &Config{Model: ModelQueued}, want: ModelQueued},
+		{name: "radio+queued", cfg: &Config{Model: ModelRadioQueued}, want: ModelRadioQueued},
+		{
+			name: "oracle inline",
+			cfg: &Config{Model: ModelOracle, Oracle: &OracleConfig{Table: []Bin{{
+				Kind: KindV2C, DistLo: 0, DistHi: math.Inf(1),
+				SizeLo: 0, SizeHi: math.Inf(1), LoadLo: 0, LoadHi: math.Inf(1),
+				KBps: 100, N: 1,
+			}}}},
+			want: ModelOracle,
+		},
+		{name: "oracle without table", cfg: &Config{Model: ModelOracle}, wantErr: true},
+		{name: "unknown model", cfg: &Config{Model: "smoke-signals"}, wantErr: true},
+		{name: "bad radio exponent", cfg: &Config{Model: ModelRadio, Radio: &RadioConfig{Exponent: 99}}, wantErr: true},
+		{name: "bad queue rho", cfg: &Config{Model: ModelQueued, Queued: &QueuedConfig{MaxRho: 2}}, wantErr: true},
+	}
+	for _, tc := range cases {
+		m, err := New(tc.cfg)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: New accepted a bad config", tc.name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: New: %v", tc.name, err)
+			continue
+		}
+		if tc.want == "" {
+			if m != nil {
+				t.Errorf("%s: New returned %T, want nil (analytic fast path)", tc.name, m)
+			}
+			continue
+		}
+		if m == nil || m.Name() != tc.want {
+			t.Errorf("%s: model name = %v, want %q", tc.name, m, tc.want)
+		}
+	}
+}
+
+func TestAnalyticMirrorsBase(t *testing.T) {
+	link := Link{Kind: DefaultLink().Kind, SizeBytes: 1 << 20, BaseKBps: 1000, BaseLatencyS: 0.05}
+	out := Analytic{}.Outcome(link, nil)
+	if out.KBps != link.BaseKBps || out.LatencyS != link.BaseLatencyS || out.DropProb != 0 {
+		t.Fatalf("analytic outcome %+v does not mirror the base channel", out)
+	}
+}
+
+// DefaultLink returns a representative V2C link for tests.
+func DefaultLink() Link {
+	return Link{Kind: KindV2C, SizeBytes: 1 << 18, DistanceM: 200, BaseKBps: 2000, BaseLatencyS: 0.05}
+}
+
+// goodput is the mean effective delivered rate over n draws: rate scaled by
+// the survival probability, so outage (DropProb 1) counts as zero.
+func goodput(t *testing.T, m Model, link Link, rng *sim.RNG, n int) float64 {
+	t.Helper()
+	var sum float64
+	for i := 0; i < n; i++ {
+		out := m.Outcome(link, rng)
+		if out.DropProb < 0 || out.DropProb > 1 {
+			t.Fatalf("DropProb %v outside [0, 1]", out.DropProb)
+		}
+		sum += out.KBps * (1 - out.DropProb)
+	}
+	return sum / float64(n)
+}
+
+func TestRadioGoodputMonotoneInDistance(t *testing.T) {
+	m := NewRadio(nil)
+	rng := sim.NewRNG(7)
+	const draws = 4000
+	dists := []float64{30, 100, 250, 600, 1500}
+	var prev float64
+	for i, d := range dists {
+		link := DefaultLink()
+		link.DistanceM = d
+		g := goodput(t, m, link, rng, draws)
+		if g <= 0 || g > link.BaseKBps {
+			t.Fatalf("dist %v m: goodput %v outside (0, base]", d, g)
+		}
+		if i > 0 && g >= prev {
+			t.Fatalf("goodput not monotone: %v KB/s at %v m vs %v KB/s at %v m", g, d, prev, dists[i-1])
+		}
+		prev = g
+	}
+}
+
+func TestRadioShadowingDistribution(t *testing.T) {
+	// With fading off, the SNR is a deterministic mean plus
+	// ShadowSigmaDB·N(0,1); check the sample moments at a fixed seed.
+	cfg := DefaultRadioConfig()
+	cfg.NoFading = true
+	m := NewRadio(&cfg)
+	rng := sim.NewRNG(11)
+	const (
+		draws = 20000
+		dist  = 200.0
+	)
+	want := cfg.TxPowerDBm - m.Pathloss(dist) - cfg.NoiseDBm
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		s := m.snr(dist, rng)
+		sum += s
+		sumSq += s * s
+	}
+	mean := sum / draws
+	std := math.Sqrt(sumSq/draws - mean*mean)
+	if math.Abs(mean-want) > 0.15 {
+		t.Errorf("shadowed SNR mean %v, want %v ± 0.15 dB", mean, want)
+	}
+	if math.Abs(std-cfg.ShadowSigmaDB) > 0.15 {
+		t.Errorf("shadowed SNR std %v dB, want %v ± 0.15", std, cfg.ShadowSigmaDB)
+	}
+}
+
+func TestRadioFadingMean(t *testing.T) {
+	// Rayleigh power fading in dB has mean 10·E[ln Exp(1)]/ln 10 =
+	// −10γ/ln 10 ≈ −2.507 dB; check it at a fixed seed with shadowing off.
+	cfg := DefaultRadioConfig()
+	cfg.NoShadow = true
+	m := NewRadio(&cfg)
+	rng := sim.NewRNG(13)
+	const (
+		draws = 20000
+		dist  = 200.0
+	)
+	base := cfg.TxPowerDBm - m.Pathloss(dist) - cfg.NoiseDBm
+	var sum float64
+	for i := 0; i < draws; i++ {
+		sum += m.snr(dist, rng) - base
+	}
+	const eulerGamma = 0.5772156649015329
+	want := -10 * eulerGamma / math.Ln10
+	if mean := sum / draws; math.Abs(mean-want) > 0.3 {
+		t.Errorf("fading mean %v dB, want %v ± 0.3", mean, want)
+	}
+}
+
+func TestRadioOutageAndWired(t *testing.T) {
+	m := NewRadio(nil)
+	rng := sim.NewRNG(3)
+	far := DefaultLink()
+	far.DistanceM = 1e7 // astronomically out of range: outage regardless of fading
+	out := m.Outcome(far, rng)
+	if out.DropProb != 1 {
+		t.Fatalf("outage DropProb = %v, want 1", out.DropProb)
+	}
+	if out.KBps <= 0 {
+		t.Fatalf("outage airtime rate %v, want positive (the loss still occupies the channel)", out.KBps)
+	}
+
+	wired := DefaultLink()
+	wired.Kind = KindWired
+	if got := m.Outcome(wired, rng); got.KBps != wired.BaseKBps || got.LatencyS != wired.BaseLatencyS || got.DropProb != 0 {
+		t.Fatalf("wired outcome %+v, want nominal passthrough", got)
+	}
+}
+
+func TestRadioWiredConsumesNoRandomness(t *testing.T) {
+	m := NewRadio(nil)
+	r1, r2 := sim.NewRNG(21), sim.NewRNG(21)
+	wired := DefaultLink()
+	wired.Kind = KindWired
+	m.Outcome(wired, r1)
+	if r1.Uint64() != r2.Uint64() {
+		t.Fatal("wired passthrough consumed channel randomness")
+	}
+}
+
+func TestRadioUnknownDistanceUsesDefault(t *testing.T) {
+	cfg := DefaultRadioConfig()
+	cfg.NoShadow = true
+	cfg.NoFading = true
+	m := NewRadio(&cfg)
+	known := DefaultLink()
+	known.DistanceM = cfg.DefaultDistM
+	unknown := DefaultLink()
+	unknown.DistanceM = -1
+	a := m.Outcome(known, sim.NewRNG(1))
+	b := m.Outcome(unknown, sim.NewRNG(1))
+	if a != b {
+		t.Fatalf("unknown distance outcome %+v, want the DefaultDistM outcome %+v", b, a)
+	}
+}
+
+func TestQueuedDelayShape(t *testing.T) {
+	m := NewQueued(nil, nil)
+	const service = 2.0
+	if d := m.Delay(service, 0); d != 0 {
+		t.Fatalf("delay at zero load = %v, want 0", d)
+	}
+	if d := m.Delay(service, -3); d != 0 {
+		t.Fatalf("delay at negative load = %v, want 0", d)
+	}
+	var prev float64
+	for load := 1; load <= 6; load++ {
+		d := m.Delay(service, load)
+		if d <= prev {
+			t.Fatalf("delay not strictly increasing below saturation: %v at load %d vs %v at %d", d, load, prev, load-1)
+		}
+		prev = d
+	}
+	// Past MaxRho the delay saturates instead of diverging.
+	capD := m.Delay(service, 1000000)
+	if sat := m.Delay(service, 8); capD != sat {
+		t.Fatalf("saturated delay %v differs from capped delay %v", sat, capD)
+	}
+	if math.IsInf(capD, 0) || math.IsNaN(capD) {
+		t.Fatalf("capped delay is %v", capD)
+	}
+}
+
+func TestQueuedOutcomeAddsLatencyOnly(t *testing.T) {
+	m := NewQueued(nil, nil)
+	link := DefaultLink()
+	idle := m.Outcome(link, nil)
+	link.InFlight = 5
+	busy := m.Outcome(link, nil)
+	if idle.KBps != busy.KBps || idle.KBps != link.BaseKBps {
+		t.Fatalf("queueing changed the rate: idle %v, busy %v", idle.KBps, busy.KBps)
+	}
+	if busy.LatencyS <= idle.LatencyS {
+		t.Fatalf("busy latency %v not above idle latency %v", busy.LatencyS, idle.LatencyS)
+	}
+}
+
+func TestQueuedComposedName(t *testing.T) {
+	if n := NewQueued(nil, nil).Name(); n != ModelQueued {
+		t.Fatalf("queued-over-analytic name %q, want %q", n, ModelQueued)
+	}
+	if n := NewQueued(nil, NewRadio(nil)).Name(); n != ModelRadioQueued {
+		t.Fatalf("queued-over-radio name %q, want %q", n, ModelRadioQueued)
+	}
+}
+
+func TestModelDeterminism(t *testing.T) {
+	// Identical seeds must reproduce the exact outcome sequence for every
+	// stochastic model.
+	models := func() []Model {
+		oracle, err := NewOracle(&OracleConfig{Table: []Bin{{
+			Kind: KindV2C, DistLo: 0, DistHi: math.Inf(1),
+			SizeLo: 0, SizeHi: math.Inf(1), LoadLo: 0, LoadHi: math.Inf(1),
+			KBps: 321, LatencyS: 0.01, DropProb: 0.25, N: 10,
+		}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []Model{NewRadio(nil), NewQueued(nil, nil), NewQueued(nil, NewRadio(nil)), oracle}
+	}
+	ma, mb := models(), models()
+	ra, rb := sim.NewRNG(99), sim.NewRNG(99)
+	for i := 0; i < len(ma); i++ {
+		for j := 0; j < 500; j++ {
+			link := DefaultLink()
+			link.DistanceM = float64(10 + 13*j%900)
+			link.InFlight = j % 7
+			a, b := ma[i].Outcome(link, ra), mb[i].Outcome(link, rb)
+			if a != b {
+				t.Fatalf("%s: outcome %d diverged: %+v vs %+v", ma[i].Name(), j, a, b)
+			}
+		}
+	}
+}
+
+func TestFitAndOracleRoundTrip(t *testing.T) {
+	size := 100000
+	samples := []Sample{
+		// One (v2c, [50,150), [32768,131072), [0,1)) bin: latency floor 1.0,
+		// effective rate mean of 100 and 200 KB/s, one channel loss in four.
+		{Kind: KindV2C, T: 1, DistanceM: 100, SizeBytes: size, Load: 0, DurationS: 1.0, Outcome: OutcomeDelivered},
+		{Kind: KindV2C, T: 2, DistanceM: 120, SizeBytes: size, Load: 0, DurationS: 2.0, Outcome: OutcomeDelivered},
+		{Kind: KindV2C, T: 3, DistanceM: 60, SizeBytes: size, Load: 0, DurationS: 1.5, Outcome: OutcomeDelivered},
+		{Kind: KindV2C, T: 4, DistanceM: 80, SizeBytes: size, Load: 0, DurationS: 0, Outcome: OutcomeChannel},
+		// Endpoint-attributable outcomes must not contaminate the fit.
+		{Kind: KindV2C, T: 5, DistanceM: 90, SizeBytes: size, Load: 0, DurationS: 0, Outcome: OutcomeOff},
+		{Kind: KindV2C, T: 6, DistanceM: 90, SizeBytes: size, Load: 0, DurationS: 0, Outcome: OutcomeRange},
+		// Unknown distance forms its own [-1, 0) bin.
+		{Kind: KindWired, T: 7, DistanceM: -1, SizeBytes: size, Load: 2, DurationS: 0.5, Outcome: OutcomeDelivered},
+	}
+	tab, err := Fit(samples, DefaultFitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Bins) != 2 {
+		t.Fatalf("fitted %d bins, want 2: %+v", len(tab.Bins), tab.Bins)
+	}
+	b := tab.Bins[0]
+	if b.Kind != KindV2C || b.DistLo != 50 || b.DistHi != 150 {
+		t.Fatalf("first bin box %+v, want the v2c [50,150) bin", b)
+	}
+	if b.N != 4 || b.DropProb != 0.25 {
+		t.Fatalf("bin N=%d drop=%v, want N=4 drop=0.25", b.N, b.DropProb)
+	}
+	if b.LatencyS != 1.0 {
+		t.Fatalf("bin latency %v, want the 1.0 s floor", b.LatencyS)
+	}
+	if want := 150.0; math.Abs(b.KBps-want) > 1e-9 {
+		t.Fatalf("bin rate %v KB/s, want %v", b.KBps, want)
+	}
+	if w := tab.Bins[1]; w.Kind != KindWired || w.DistLo != -1 || w.DistHi != 0 {
+		t.Fatalf("second bin %+v, want the wired unknown-distance bin", w)
+	}
+
+	// Table CSV round trip is byte-stable.
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseTable(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := WriteTable(&buf2, again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("table round trip unstable:\n%s\nvs\n%s", buf.String(), buf2.String())
+	}
+
+	// The oracle replays the fitted bin and falls back outside it.
+	oracle, err := NewOracle(&OracleConfig{Table: again.Bins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := Link{Kind: KindV2C, DistanceM: 100, SizeBytes: size, BaseKBps: 1, BaseLatencyS: 9}
+	out := oracle.Outcome(link, nil)
+	if out.KBps != b.KBps || out.LatencyS != b.LatencyS || out.DropProb != b.DropProb {
+		t.Fatalf("oracle outcome %+v does not replay bin %+v", out, b)
+	}
+	miss := link
+	miss.Kind = KindV2X
+	if got := oracle.Outcome(miss, nil); got.KBps != miss.BaseKBps || got.LatencyS != miss.BaseLatencyS || got.DropProb != 0 {
+		t.Fatalf("oracle miss outcome %+v, want nominal fallback", got)
+	}
+}
+
+func TestFitRejectsEmptyInput(t *testing.T) {
+	if _, err := Fit(nil, DefaultFitConfig()); err == nil {
+		t.Fatal("Fit accepted an empty trace")
+	}
+	endpointOnly := []Sample{{Kind: KindV2C, DistanceM: 10, SizeBytes: 1, DurationS: 0, Outcome: OutcomeOff}}
+	if _, err := Fit(endpointOnly, DefaultFitConfig()); err == nil {
+		t.Fatal("Fit accepted a trace with only endpoint-attributable samples")
+	}
+}
+
+func TestFitMinSamplesFloor(t *testing.T) {
+	samples := []Sample{
+		{Kind: KindV2C, DistanceM: 100, SizeBytes: 1000, DurationS: 1, Outcome: OutcomeDelivered},
+		{Kind: KindV2X, DistanceM: 100, SizeBytes: 1000, DurationS: 1, Outcome: OutcomeDelivered},
+		{Kind: KindV2X, DistanceM: 110, SizeBytes: 1000, DurationS: 2, Outcome: OutcomeDelivered},
+	}
+	fc := DefaultFitConfig()
+	fc.MinSamples = 2
+	tab, err := Fit(samples, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Bins) != 1 || tab.Bins[0].Kind != KindV2X {
+		t.Fatalf("fitted bins %+v, want only the 2-sample v2x bin", tab.Bins)
+	}
+	fc.MinSamples = 5
+	if _, err := Fit(samples, fc); err == nil {
+		t.Fatal("Fit produced a table with every bin below the sample floor")
+	}
+}
+
+func TestTraceRecordAndParse(t *testing.T) {
+	log := NewLog()
+	log.Record(Sample{Kind: KindV2C, T: 12.5, DistanceM: 88.25, SizeBytes: 4096, Load: 1, DurationS: 0.75, Outcome: OutcomeDelivered})
+	log.Record(Sample{Kind: KindWired, T: 13, DistanceM: -42, SizeBytes: 9, Load: 0, DurationS: 0.001, Outcome: OutcomeBlackout})
+	if log.Len() != 2 {
+		t.Fatalf("log length %d, want 2", log.Len())
+	}
+	if d := log.Samples()[1].DistanceM; d != -1 {
+		t.Fatalf("negative distance recorded as %v, want the canonical -1", d)
+	}
+	var buf bytes.Buffer
+	if err := log.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != log.Samples()[0] || got[1] != log.Samples()[1] {
+		t.Fatalf("parsed samples %+v, want %+v", got, log.Samples())
+	}
+}
+
+func TestParseTraceRejections(t *testing.T) {
+	rows := func(body string) string {
+		return TraceHeader + "\nkind,t_s,dist_m,size_bytes,load,duration_s,outcome\n" + body
+	}
+	bad := map[string]string{
+		"missing header":  "kind,t_s,dist_m,size_bytes,load,duration_s,outcome\n",
+		"wrong columns":   TraceHeader + "\nkind,t_s,dist_m,size_bytes,load,duration_s,result\n",
+		"unknown kind":    rows("warp,1,2,3,0,1,delivered\n"),
+		"unknown outcome": rows("v2c,1,2,3,0,1,vanished\n"),
+		"NaN time":        rows("v2c,NaN,2,3,0,1,delivered\n"),
+		"negative time":   rows("v2c,-1,2,3,0,1,delivered\n"),
+		"inf distance":    rows("v2c,1,+Inf,3,0,1,delivered\n"),
+		"zero size":       rows("v2c,1,2,0,0,1,delivered\n"),
+		"negative load":   rows("v2c,1,2,3,-1,1,delivered\n"),
+		"inf duration":    rows("v2c,1,2,3,0,+Inf,delivered\n"),
+		"short row":       rows("v2c,1,2,3,0,1\n"),
+	}
+	for name, input := range bad {
+		if _, err := ParseTrace(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: ParseTrace accepted %q", name, input)
+		}
+	}
+	ok := rows("v2c,1,-7,3,0,1,delivered\n")
+	samples, err := ParseTrace(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("ParseTrace rejected a valid trace: %v", err)
+	}
+	if samples[0].DistanceM != -1 {
+		t.Fatalf("negative distance parsed as %v, want -1", samples[0].DistanceM)
+	}
+}
+
+func TestParseTableRejections(t *testing.T) {
+	bad := map[string]string{
+		"missing header": strings.Join(tableColumns, ",") + "\n",
+		"empty table":    TableHeader + "\n" + strings.Join(tableColumns, ",") + "\n",
+		"bad drop":       TableHeader + "\n" + strings.Join(tableColumns, ",") + "\nv2c,0,100,0,1000,0,1,50,0.1,1.5,3\n",
+		"inverted box":   TableHeader + "\n" + strings.Join(tableColumns, ",") + "\nv2c,100,50,0,1000,0,1,50,0.1,0.5,3\n",
+	}
+	for name, input := range bad {
+		if _, err := ParseTable(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: ParseTable accepted %q", name, input)
+		}
+	}
+}

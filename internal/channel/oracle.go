@@ -1,0 +1,86 @@
+package channel
+
+import (
+	"fmt"
+	"os"
+
+	"roadrunner/internal/sim"
+)
+
+// OracleConfig selects the fitted indicator table the oracle model
+// replays: either inline bins (embedded in the experiment config, the
+// reproducible form) or a path to a fitted-table CSV written by
+// cmd/chanfit.
+type OracleConfig struct {
+	// TablePath is a fitted-table CSV (see TableHeader). Ignored when Table
+	// is non-empty.
+	TablePath string `json:"table_path,omitempty"`
+	// Table is the inline fitted table; takes precedence over TablePath.
+	Table []Bin `json:"table,omitempty"`
+}
+
+// validate reports whether the configuration names a table. Inline bins
+// are validated here; a path is validated when the file is read at
+// model-construction time.
+func (c *OracleConfig) validate() error {
+	if c == nil {
+		return fmt.Errorf("channel: oracle model needs an oracle config (table path or inline table)")
+	}
+	if len(c.Table) > 0 {
+		t := Table{Bins: c.Table}
+		return t.Validate()
+	}
+	if c.TablePath == "" {
+		return fmt.Errorf("channel: oracle config needs a table path or an inline table")
+	}
+	return nil
+}
+
+// Oracle is the data-driven model: the replay half of the DRIVE-style
+// pipeline. A recorded channel trace (Log/WriteTrace) is fitted offline
+// into a binned indicator table (Fit/cmd/chanfit); Oracle looks each
+// transfer up in that table and replays the fitted rate, latency floor,
+// and loss fraction. Transfers falling outside every bin — or into a bin
+// with no delivered samples — fall back to the nominal channel, so a
+// sparse table degrades toward the analytic model instead of failing.
+type Oracle struct {
+	table *Table
+}
+
+// NewOracle builds the model from inline bins or the table file.
+func NewOracle(cfg *OracleConfig) (*Oracle, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Table) > 0 {
+		t := &Table{Bins: cfg.Table}
+		return &Oracle{table: t}, nil
+	}
+	f, err := os.Open(cfg.TablePath)
+	if err != nil {
+		return nil, fmt.Errorf("channel: oracle table: %w", err)
+	}
+	defer f.Close()
+	t, err := ParseTable(f)
+	if err != nil {
+		return nil, fmt.Errorf("channel: oracle table %s: %w", cfg.TablePath, err)
+	}
+	return &Oracle{table: t}, nil
+}
+
+// Table exposes the replayed table (for tests and tooling).
+func (m *Oracle) Table() *Table { return m.table }
+
+// Name implements Model.
+func (m *Oracle) Name() string { return ModelOracle }
+
+// Outcome implements Model. The lookup is deterministic; the only
+// randomness an oracle run consumes is the delivery-time DropProb sample
+// the communication module draws.
+func (m *Oracle) Outcome(link Link, _ *sim.RNG) Outcome {
+	b, ok := m.table.Lookup(link.Kind, link.DistanceM, link.SizeBytes, link.InFlight)
+	if !ok || b.KBps <= 0 {
+		return Outcome{KBps: link.BaseKBps, LatencyS: link.BaseLatencyS}
+	}
+	return Outcome{KBps: b.KBps, LatencyS: b.LatencyS, DropProb: b.DropProb}
+}

@@ -1,0 +1,110 @@
+package channel
+
+import (
+	"fmt"
+
+	"roadrunner/internal/sim"
+)
+
+// QueuedConfig parameterizes the load-dependent queueing model.
+type QueuedConfig struct {
+	// Capacity is the number of concurrent transfers one channel kind
+	// sustains before queueing delay sets in: ρ = InFlight/Capacity.
+	// Default 8.
+	Capacity int `json:"capacity,omitempty"`
+	// MaxRho caps the utilization fed into the ρ/(1−ρ) term so a saturated
+	// channel degrades instead of diverging. Default 0.95.
+	MaxRho float64 `json:"max_rho,omitempty"`
+	// DelayScale scales the queueing delay; 1 is the M/M/1 mean-wait
+	// coefficient. Default 1.
+	DelayScale float64 `json:"delay_scale,omitempty"`
+}
+
+// DefaultQueuedConfig returns the defaults documented on the fields.
+func DefaultQueuedConfig() QueuedConfig {
+	return QueuedConfig{Capacity: 8, MaxRho: 0.95, DelayScale: 1}
+}
+
+// normalized fills defaulted fields; a nil receiver takes every default.
+func (c *QueuedConfig) normalized() QueuedConfig {
+	out := DefaultQueuedConfig()
+	if c == nil {
+		return out
+	}
+	if c.Capacity != 0 {
+		out.Capacity = c.Capacity
+	}
+	if c.MaxRho != 0 {
+		out.MaxRho = c.MaxRho
+	}
+	if c.DelayScale != 0 {
+		out.DelayScale = c.DelayScale
+	}
+	return out
+}
+
+// validate reports whether the (normalized) configuration is usable.
+func (c *QueuedConfig) validate() error {
+	n := c.normalized()
+	switch {
+	case n.Capacity < 1:
+		return fmt.Errorf("channel: queued capacity %d below 1", n.Capacity)
+	case n.MaxRho <= 0 || n.MaxRho >= 1:
+		return fmt.Errorf("channel: queued max rho %v outside (0, 1)", n.MaxRho)
+	case n.DelayScale <= 0:
+		return fmt.Errorf("channel: non-positive queued delay scale %v", n.DelayScale)
+	}
+	return nil
+}
+
+// Queued layers M/M/1-style queueing delay over an inner model: with the
+// channel at utilization ρ = InFlight/Capacity, a transfer waits an extra
+// ρ/(1−ρ) service times before its own airtime (the V2X DRL exemplar's
+// load model). The delay is a pure function of the live in-flight count,
+// so the model consumes randomness only through its inner model.
+type Queued struct {
+	cfg   QueuedConfig
+	inner Model
+}
+
+// NewQueued builds the model over inner; a nil inner queues over the
+// analytic channel, a nil config takes every default.
+func NewQueued(cfg *QueuedConfig, inner Model) *Queued {
+	if inner == nil {
+		inner = Analytic{}
+	}
+	return &Queued{cfg: cfg.normalized(), inner: inner}
+}
+
+// Name implements Model.
+func (m *Queued) Name() string {
+	if _, ok := m.inner.(Analytic); ok {
+		return ModelQueued
+	}
+	return m.inner.Name() + "+" + ModelQueued
+}
+
+// Delay returns the queueing delay in seconds for one transfer whose
+// unqueued service time is serviceS, at inFlight concurrent transfers.
+func (m *Queued) Delay(serviceS float64, inFlight int) float64 {
+	if inFlight <= 0 {
+		return 0
+	}
+	rho := float64(inFlight) / float64(m.cfg.Capacity)
+	if rho > m.cfg.MaxRho {
+		rho = m.cfg.MaxRho
+	}
+	return m.cfg.DelayScale * serviceS * rho / (1 - rho)
+}
+
+// Outcome implements Model.
+func (m *Queued) Outcome(link Link, rng *sim.RNG) Outcome {
+	out := m.inner.Outcome(link, rng)
+	kbps := out.KBps
+	if kbps <= 0 {
+		kbps = link.BaseKBps
+	}
+	service := out.LatencyS + float64(link.SizeBytes)/(kbps*1000)
+	out.LatencyS += m.Delay(service, link.InFlight)
+	return out
+}

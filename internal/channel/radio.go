@@ -1,0 +1,216 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+
+	"roadrunner/internal/sim"
+)
+
+// RadioConfig parameterizes the Radio model. Zero-valued fields take the
+// documented defaults at model-construction time, so a sparse JSON config
+// stays readable while the canonical config encoding keeps exactly what
+// the user wrote.
+type RadioConfig struct {
+	// Exponent is the pathloss exponent n (free space 2.0, urban 2.7–3.5).
+	// Default 2.9.
+	Exponent float64 `json:"exponent,omitempty"`
+	// RefDistM is the pathloss reference distance d0 in meters; distances
+	// below it see the reference loss. Default 10.
+	RefDistM float64 `json:"ref_dist_m,omitempty"`
+	// RefLossDB is the pathloss at the reference distance. Default 60.
+	RefLossDB float64 `json:"ref_loss_db,omitempty"`
+	// ShadowSigmaDB is the log-normal shadowing standard deviation in dB;
+	// zero disables shadowing. Default 4 (set NoShadow for a true zero).
+	ShadowSigmaDB float64 `json:"shadow_sigma_db,omitempty"`
+	// NoShadow disables log-normal shadowing regardless of ShadowSigmaDB.
+	NoShadow bool `json:"no_shadow,omitempty"`
+	// NoFading disables Rayleigh fast fading (on by default).
+	NoFading bool `json:"no_fading,omitempty"`
+	// TxPowerDBm is the transmit power. Default 23 (200 mW, C-V2X class).
+	TxPowerDBm float64 `json:"tx_power_dbm,omitempty"`
+	// NoiseDBm is the receiver noise floor. Default -95.
+	NoiseDBm float64 `json:"noise_dbm,omitempty"`
+	// DefaultDistM substitutes for links without positions (the V2C uplink
+	// terminates at the cloud; its radio hop is vehicle↔base station).
+	// Default 500.
+	DefaultDistM float64 `json:"default_dist_m,omitempty"`
+	// Table maps post-fading SNR to an effective rate; nil takes
+	// DefaultRateTable. Steps must be sorted by descending MinSNRDB; an
+	// SNR below the last step is an outage (the transfer is lost).
+	Table []RateStep `json:"table,omitempty"`
+}
+
+// RateStep is one rung of the SNR→rate ladder: at or above MinSNRDB the
+// channel sustains RateFrac of its nominal throughput. A crude stand-in
+// for an adaptive modulation-and-coding table.
+type RateStep struct {
+	MinSNRDB float64 `json:"min_snr_db"`
+	RateFrac float64 `json:"rate_frac"`
+}
+
+// DefaultRadioConfig is an urban C-V2X-flavored parameterization.
+func DefaultRadioConfig() RadioConfig {
+	return RadioConfig{
+		Exponent:      2.9,
+		RefDistM:      10,
+		RefLossDB:     60,
+		ShadowSigmaDB: 4,
+		TxPowerDBm:    23,
+		NoiseDBm:      -95,
+		DefaultDistM:  500,
+	}
+}
+
+// DefaultRateTable is the default SNR→rate ladder: full rate in strong
+// signal, graceful degradation toward the cell edge, outage below -5 dB.
+func DefaultRateTable() []RateStep {
+	return []RateStep{
+		{MinSNRDB: 22, RateFrac: 1.0},
+		{MinSNRDB: 15, RateFrac: 0.75},
+		{MinSNRDB: 10, RateFrac: 0.5},
+		{MinSNRDB: 5, RateFrac: 0.25},
+		{MinSNRDB: 0, RateFrac: 0.1},
+		{MinSNRDB: -5, RateFrac: 0.02},
+	}
+}
+
+// normalized fills defaulted fields. A nil receiver yields the full default
+// configuration.
+func (c *RadioConfig) normalized() RadioConfig {
+	out := DefaultRadioConfig()
+	if c == nil {
+		out.Table = DefaultRateTable()
+		return out
+	}
+	if c.Exponent != 0 {
+		out.Exponent = c.Exponent
+	}
+	if c.RefDistM != 0 {
+		out.RefDistM = c.RefDistM
+	}
+	if c.RefLossDB != 0 {
+		out.RefLossDB = c.RefLossDB
+	}
+	if c.ShadowSigmaDB != 0 {
+		out.ShadowSigmaDB = c.ShadowSigmaDB
+	}
+	if c.NoShadow {
+		out.ShadowSigmaDB = 0
+	}
+	out.NoShadow = c.NoShadow
+	out.NoFading = c.NoFading
+	if c.TxPowerDBm != 0 {
+		out.TxPowerDBm = c.TxPowerDBm
+	}
+	if c.NoiseDBm != 0 {
+		out.NoiseDBm = c.NoiseDBm
+	}
+	if c.DefaultDistM != 0 {
+		out.DefaultDistM = c.DefaultDistM
+	}
+	out.Table = DefaultRateTable()
+	if len(c.Table) > 0 {
+		out.Table = c.Table
+	}
+	return out
+}
+
+// validate reports whether the (normalized) configuration is usable.
+func (c *RadioConfig) validate() error {
+	n := c.normalized()
+	switch {
+	case n.Exponent < 1 || n.Exponent > 8:
+		return fmt.Errorf("channel: radio pathloss exponent %v outside [1, 8]", n.Exponent)
+	case n.RefDistM <= 0:
+		return fmt.Errorf("channel: non-positive radio reference distance %v", n.RefDistM)
+	case n.ShadowSigmaDB < 0:
+		return fmt.Errorf("channel: negative shadowing sigma %v", n.ShadowSigmaDB)
+	case n.DefaultDistM <= 0:
+		return fmt.Errorf("channel: non-positive radio default distance %v", n.DefaultDistM)
+	case len(n.Table) == 0:
+		return fmt.Errorf("channel: empty SNR rate table")
+	}
+	for i, s := range n.Table {
+		if s.RateFrac <= 0 || s.RateFrac > 1 {
+			return fmt.Errorf("channel: rate table step %d: fraction %v outside (0, 1]", i, s.RateFrac)
+		}
+		if i > 0 && s.MinSNRDB >= n.Table[i-1].MinSNRDB {
+			return fmt.Errorf("channel: rate table step %d: thresholds must strictly descend", i)
+		}
+	}
+	return nil
+}
+
+// Radio composes distance pathloss, log-normal shadowing, and Rayleigh
+// fast fading into a per-transfer SNR, then maps the SNR to an effective
+// rate through the step table. It shapes the two radio kinds (V2C, V2X)
+// and passes the wired backhaul through untouched.
+type Radio struct {
+	cfg RadioConfig
+}
+
+// NewRadio builds the model; a nil config takes every default.
+func NewRadio(cfg *RadioConfig) *Radio {
+	return &Radio{cfg: cfg.normalized()}
+}
+
+// Name implements Model.
+func (m *Radio) Name() string { return ModelRadio }
+
+// Pathloss returns the deterministic distance loss in dB at d meters
+// (log-distance model, clamped at the reference distance).
+func (m *Radio) Pathloss(d float64) float64 {
+	if d < m.cfg.RefDistM {
+		d = m.cfg.RefDistM
+	}
+	return m.cfg.RefLossDB + 10*m.cfg.Exponent*math.Log10(d/m.cfg.RefDistM)
+}
+
+// snr samples one transfer's post-fading SNR in dB. Draw order is fixed —
+// shadowing first, then fading — so the channel stream stays reproducible
+// as models evolve.
+func (m *Radio) snr(d float64, rng *sim.RNG) float64 {
+	sig := m.cfg.TxPowerDBm - m.Pathloss(d)
+	if m.cfg.ShadowSigmaDB > 0 {
+		sig += m.cfg.ShadowSigmaDB * rng.NormFloat64()
+	}
+	if !m.cfg.NoFading {
+		// Rayleigh amplitude fading is an exponential power gain with unit
+		// mean; in dB: 10·log10(g), g ~ Exp(1).
+		sig += 10 * math.Log10(rng.ExpFloat64())
+	}
+	return sig - m.cfg.NoiseDBm
+}
+
+// rateFrac maps an SNR to the table's rate fraction; ok is false below the
+// last rung (outage).
+func (m *Radio) rateFrac(snr float64) (float64, bool) {
+	for _, s := range m.cfg.Table {
+		if snr >= s.MinSNRDB {
+			return s.RateFrac, true
+		}
+	}
+	return 0, false
+}
+
+// Outcome implements Model.
+func (m *Radio) Outcome(link Link, rng *sim.RNG) Outcome {
+	if link.Kind == KindWired {
+		// The backhaul is a cable; pathloss does not apply.
+		return Outcome{KBps: link.BaseKBps, LatencyS: link.BaseLatencyS}
+	}
+	d := link.DistanceM
+	if d < 0 {
+		d = m.cfg.DefaultDistM
+	}
+	frac, ok := m.rateFrac(m.snr(d, rng))
+	if !ok {
+		// Outage: the transfer is scheduled at the table's worst sustained
+		// rate and lost at delivery time, so its airtime still occupies the
+		// channel (and the load signal downstream models see).
+		worst := m.cfg.Table[len(m.cfg.Table)-1].RateFrac
+		return Outcome{KBps: link.BaseKBps * worst, LatencyS: link.BaseLatencyS, DropProb: 1}
+	}
+	return Outcome{KBps: link.BaseKBps * frac, LatencyS: link.BaseLatencyS}
+}

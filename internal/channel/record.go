@@ -1,0 +1,210 @@
+package channel
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"roadrunner/internal/sim"
+)
+
+// TraceHeader is the version-stamped first line of a channel trace CSV.
+const TraceHeader = "# roadrunner-chantrace-v1"
+
+// traceColumns is the trace CSV column header row.
+var traceColumns = []string{"kind", "t_s", "dist_m", "size_bytes", "load", "duration_s", "outcome"}
+
+// Transfer outcomes recorded in channel traces. The vocabulary is closed:
+// the parser rejects anything else, so a fitted table can never silently
+// mix in misattributed rows.
+const (
+	// OutcomeDelivered marks a successful transfer.
+	OutcomeDelivered = "delivered"
+	// OutcomeDropped is the channel's base stochastic loss.
+	OutcomeDropped = "dropped"
+	// OutcomeChannel is a loss sampled from a channel model's DropProb.
+	OutcomeChannel = "channel"
+	// OutcomeBurst is a fault-window burst loss.
+	OutcomeBurst = "burst"
+	// OutcomeBlackout is a fault-window coverage blackout.
+	OutcomeBlackout = "blackout"
+	// OutcomeOff is an endpoint that shut down before delivery.
+	OutcomeOff = "off"
+	// OutcomeRange is a V2X pair that left radio range before delivery.
+	OutcomeRange = "range"
+	// OutcomeKilled is a scheduled mid-flight link kill.
+	OutcomeKilled = "killed"
+	// OutcomeError is any other failure.
+	OutcomeError = "error"
+)
+
+var validOutcomes = map[string]bool{
+	OutcomeDelivered: true, OutcomeDropped: true, OutcomeChannel: true,
+	OutcomeBurst: true, OutcomeBlackout: true, OutcomeOff: true,
+	OutcomeRange: true, OutcomeKilled: true, OutcomeError: true,
+}
+
+// Sample is one recorded transfer: the (distance, size, load, duration,
+// outcome) tuple the DRIVE-style oracle pipeline fits its indicator table
+// from. Distances are -1 when an endpoint had no position.
+type Sample struct {
+	Kind      Kind
+	T         sim.Time
+	DistanceM float64
+	SizeBytes int
+	Load      int
+	DurationS float64
+	Outcome   string
+}
+
+// Log collects samples during a run. It observes transfers without
+// consuming randomness or scheduling events, so recording never perturbs a
+// run — like the span tracer, it is result-invariant by construction.
+type Log struct {
+	samples []Sample
+}
+
+// NewLog returns an empty recorder.
+func NewLog() *Log { return &Log{} }
+
+// Record appends one sample. Negative distances normalize to -1 so the
+// canonical CSV has a single "unknown" spelling.
+func (l *Log) Record(s Sample) {
+	if s.DistanceM < 0 {
+		s.DistanceM = -1
+	}
+	l.samples = append(l.samples, s)
+}
+
+// Len returns the number of recorded samples.
+func (l *Log) Len() int { return len(l.samples) }
+
+// Samples returns the recorded samples in record order.
+func (l *Log) Samples() []Sample { return l.samples }
+
+// WriteCSV writes the canonical channel-trace CSV: version header, column
+// row, then one row per sample in record order (itself deterministic under
+// the reproducibility contract, so the bytes are too).
+func (l *Log) WriteCSV(w io.Writer) error {
+	return WriteTrace(w, l.samples)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteTrace writes samples as a canonical channel trace CSV.
+func WriteTrace(w io.Writer, samples []Sample) error {
+	if _, err := fmt.Fprintln(w, TraceHeader); err != nil {
+		return fmt.Errorf("channel: write trace: %w", err)
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceColumns); err != nil {
+		return fmt.Errorf("channel: write trace: %w", err)
+	}
+	for _, s := range samples {
+		dist := s.DistanceM
+		if dist < 0 {
+			dist = -1
+		}
+		row := []string{
+			s.Kind.String(),
+			formatFloat(float64(s.T)),
+			formatFloat(dist),
+			strconv.Itoa(s.SizeBytes),
+			strconv.Itoa(s.Load),
+			formatFloat(s.DurationS),
+			s.Outcome,
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("channel: write trace: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("channel: write trace: %w", err)
+	}
+	return nil
+}
+
+// ParseTrace reads a channel trace CSV, rejecting malformed input: wrong
+// version header, wrong column count, unknown kinds or outcomes, negative
+// sizes or loads, and non-finite or negative times and durations. Accepted
+// input round-trips byte-stably through WriteTrace.
+func ParseTrace(r io.Reader) ([]Sample, error) {
+	br := bufio.NewReader(r)
+	// The version stamp is a plain line above the CSV body, so it is read
+	// directly rather than through the CSV reader (whose field-count check
+	// would reject the single-field line).
+	header, err := br.ReadString('\n')
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("channel: trace header: %w", err)
+	}
+	if strings.TrimRight(header, "\r\n") != TraceHeader {
+		return nil, fmt.Errorf("channel: not a channel trace (missing %q header)", TraceHeader)
+	}
+	cr := csv.NewReader(br)
+	cr.FieldsPerRecord = len(traceColumns)
+	cols, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("channel: trace columns: %w", err)
+	}
+	for i, want := range traceColumns {
+		if cols[i] != want {
+			return nil, fmt.Errorf("channel: trace column %d is %q, want %q", i, cols[i], want)
+		}
+	}
+	var samples []Sample
+	for line := 3; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return samples, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("channel: trace line %d: %w", line, err)
+		}
+		s, err := parseSample(row)
+		if err != nil {
+			return nil, fmt.Errorf("channel: trace line %d: %w", line, err)
+		}
+		samples = append(samples, s)
+	}
+}
+
+func parseSample(row []string) (Sample, error) {
+	var s Sample
+	kind, err := ParseKind(row[0])
+	if err != nil {
+		return s, err
+	}
+	t, err := strconv.ParseFloat(row[1], 64)
+	if err != nil || math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+		return s, fmt.Errorf("bad time %q", row[1])
+	}
+	dist, err := strconv.ParseFloat(row[2], 64)
+	if err != nil || math.IsNaN(dist) || math.IsInf(dist, 0) {
+		return s, fmt.Errorf("bad distance %q", row[2])
+	}
+	if dist < 0 {
+		dist = -1
+	}
+	size, err := strconv.Atoi(row[3])
+	if err != nil || size <= 0 {
+		return s, fmt.Errorf("bad size %q", row[3])
+	}
+	load, err := strconv.Atoi(row[4])
+	if err != nil || load < 0 {
+		return s, fmt.Errorf("bad load %q", row[4])
+	}
+	dur, err := strconv.ParseFloat(row[5], 64)
+	if err != nil || math.IsNaN(dur) || math.IsInf(dur, 0) || dur < 0 {
+		return s, fmt.Errorf("bad duration %q", row[5])
+	}
+	if !validOutcomes[row[6]] {
+		return s, fmt.Errorf("unknown outcome %q", row[6])
+	}
+	s = Sample{Kind: kind, T: sim.Time(t), DistanceM: dist, SizeBytes: size, Load: load, DurationS: dur, Outcome: row[6]}
+	return s, nil
+}

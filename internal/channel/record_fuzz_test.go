@@ -1,0 +1,48 @@
+package channel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseChannelTrace throws arbitrary bytes at the channel-trace parser
+// (the mirror of mobility's FuzzParseTrace). The parser must never panic,
+// and anything it accepts must survive a write/re-read round trip with
+// byte-stable serialization — the property the oracle fitter depends on.
+func FuzzParseChannelTrace(f *testing.F) {
+	head := TraceHeader + "\nkind,t_s,dist_m,size_bytes,load,duration_s,outcome\n"
+	f.Add([]byte(head))
+	f.Add([]byte(head + "v2c,1,100,4096,0,0.5,delivered\n"))
+	f.Add([]byte(head + "v2x,2.5,12.25,1,3,0.001,channel\nwired,3,-1,65536,0,1e-3,burst\n"))
+	f.Add([]byte(head + "v2c,0,0,1,0,0,blackout\n"))
+	f.Add([]byte(head + "v2c,NaN,100,4096,0,0.5,delivered\n"))
+	f.Add([]byte(head + "v2c,1,+Inf,4096,0,0.5,delivered\n"))
+	f.Add([]byte(head + "v2c,1,100,-4,0,0.5,delivered\n"))
+	f.Add([]byte(head + "v2c,1,100,4096,0,0.5,vanished\n"))
+	f.Add([]byte(head + "warp,1,100,4096,0,0.5,delivered\n"))
+	f.Add([]byte(head + "v2c,1,-900,4096,0,0.5,off\n"))
+	f.Add([]byte("kind,t_s\n"))
+	f.Add([]byte("# roadrunner-chantrace-v0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		samples, err := ParseTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, samples); err != nil {
+			t.Fatalf("accepted trace fails to serialize: %v", err)
+		}
+		again, err := ParseTrace(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("serialized trace fails to re-parse: %v", err)
+		}
+		var buf2 bytes.Buffer
+		if err := WriteTrace(&buf2, again); err != nil {
+			t.Fatalf("re-parsed trace fails to serialize: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("round trip unstable:\nfirst:\n%s\nsecond:\n%s", buf.String(), buf2.String())
+		}
+	})
+}

@@ -22,39 +22,28 @@ package comm
 import (
 	"errors"
 	"fmt"
-	"strconv"
 
+	"roadrunner/internal/channel"
 	"roadrunner/internal/sim"
 )
 
-// Kind identifies a communication channel family.
-type Kind int
+// Kind identifies a communication channel family. It is an alias for
+// channel.Kind — the type lives at the bottom of the comm stack so channel
+// models can switch on it without importing this package — and the rest of
+// the framework keeps using comm.Kind unchanged.
+type Kind = channel.Kind
 
 const (
 	// KindV2C is long-range cellular vehicle-to-cloud.
-	KindV2C Kind = iota + 1
+	KindV2C = channel.KindV2C
 	// KindV2X is short-range vehicle-to-anything (V2V and vehicle-RSU).
-	KindV2X
+	KindV2X = channel.KindV2X
 	// KindWired is the stationary RSU-to-cloud backhaul.
-	KindWired
+	KindWired = channel.KindWired
 )
 
 // Kinds lists all channel kinds, for metric iteration.
-func Kinds() []Kind { return []Kind{KindV2C, KindV2X, KindWired} }
-
-// String returns the channel name.
-func (k Kind) String() string {
-	switch k {
-	case KindV2C:
-		return "v2c"
-	case KindV2X:
-		return "v2x"
-	case KindWired:
-		return "wired"
-	default:
-		return "unknown(" + strconv.Itoa(int(k)) + ")"
-	}
-}
+func Kinds() []Kind { return channel.AllKinds() }
 
 // ChannelParams models one channel family's physical properties.
 type ChannelParams struct {
@@ -93,9 +82,13 @@ func (p ChannelParams) TransferSeconds(sizeBytes int) float64 {
 
 // TransferSecondsAt is TransferSeconds under a degraded effective
 // throughput: rateFactor scales the channel's bandwidth (latency is
-// unaffected). Factors outside (0, 1] are treated as nominal.
+// unaffected). The clamp is explicit and total: only factors strictly
+// inside (0, 1) degrade the channel; zero, negative, >= 1, and NaN factors
+// all mean "nominal" and return exactly TransferSeconds. (A NaN previously
+// slipped through the degraded branch and produced a NaN duration that
+// poisoned the event queue; the positive comparison form rejects it.)
 func (p ChannelParams) TransferSecondsAt(sizeBytes int, rateFactor float64) float64 {
-	if rateFactor <= 0 || rateFactor >= 1 {
+	if !(rateFactor > 0 && rateFactor < 1) {
 		return p.TransferSeconds(sizeBytes)
 	}
 	return p.LatencyS + float64(sizeBytes)/(p.KBps*1000*rateFactor)
@@ -106,6 +99,11 @@ type Params struct {
 	V2C   ChannelParams `json:"v2c"`
 	V2X   ChannelParams `json:"v2x"`
 	Wired ChannelParams `json:"wired"`
+	// Channel selects a radio channel model layered over the nominal
+	// per-kind parameters (see internal/channel). nil — and therefore
+	// absent from the canonical JSON, keeping pre-model configs and their
+	// campaign run keys byte-identical — means the original analytic path.
+	Channel *channel.Config `json:"channel,omitempty"`
 }
 
 // DefaultParams models a 4G/LTE deployment with 200 m urban V2X range —
@@ -132,6 +130,9 @@ func (p Params) Validate() error {
 	}
 	if err := p.Wired.Validate(); err != nil {
 		return fmt.Errorf("wired: %w", err)
+	}
+	if err := p.Channel.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -197,4 +198,8 @@ var (
 	// ErrBurstDropped indicates a loss sampled from a fault window's
 	// ExtraDropProb rather than the channel's base drop probability.
 	ErrBurstDropped = errors.New("comm: transfer lost in burst-loss window")
+	// ErrChannelDropped indicates a loss sampled from a channel model's
+	// per-transfer DropProb (radio outage, fitted oracle loss) rather than
+	// the flat base drop probability.
+	ErrChannelDropped = errors.New("comm: transfer lost by channel model")
 )

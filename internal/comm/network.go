@@ -1,9 +1,11 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
+	"roadrunner/internal/channel"
 	"roadrunner/internal/roadnet"
 	"roadrunner/internal/sim"
 	"roadrunner/internal/trace"
@@ -67,15 +69,32 @@ type Network struct {
 	conditions ConditionsFunc
 	tracer     *trace.Tracer
 
+	// model, when non-nil, replaces the flat analytic duration with
+	// per-transfer channel outcomes; chRNG is its dedicated random stream
+	// (forked as "channel" by the experiment), kept separate from rng so
+	// enabling a model never perturbs the base drop sampling sequence.
+	model    channel.Model
+	chRNG    *sim.RNG
+	recorder *channel.Log
+
 	nextID   MsgID
 	inflight map[MsgID]*flight
-	stats    map[Kind]*Stats
+	// kindInFlight counts in-air transfers per channel kind — the live load
+	// signal channel models and the recorder condition on.
+	kindInFlight [channel.NumKinds]int
+	stats        map[Kind]*Stats
 }
 
 type flight struct {
 	msg   *Message
 	event sim.Event
 	span  trace.SpanID
+	// distM and load snapshot the link geometry and per-kind in-flight
+	// count at send time (distM is -1 when unknown); modelDrop is the
+	// channel model's loss probability, sampled at delivery time.
+	distM     float64
+	load      int
+	modelDrop float64
 }
 
 // NewNetwork wires a network to the engine and agent registry. position
@@ -126,6 +145,36 @@ func (n *Network) OnFail(fn FailureFunc) { n.onFail = fn }
 // and burst loss), so conditions are time-correlated across a transfer's
 // lifetime rather than sampled i.i.d.
 func (n *Network) SetConditions(fn ConditionsFunc) { n.conditions = fn }
+
+// SetChannel installs a channel model and its dedicated random stream. A
+// nil model (the default) keeps the original analytic code path — not an
+// equivalent one: the analytic branch is the exact pre-model code, so
+// default runs are byte-identical by construction. rng must be non-nil
+// when model is.
+func (n *Network) SetChannel(model channel.Model, rng *sim.RNG) error {
+	if model != nil && rng == nil {
+		return fmt.Errorf("comm: channel model %q needs a dedicated rng", model.Name())
+	}
+	n.model = model
+	n.chRNG = rng
+	return nil
+}
+
+// SetChannelRecorder installs a channel-trace recorder. Recording is
+// result-invariant: it snapshots link geometry and outcomes without
+// consuming randomness or scheduling events, so a recorded run is
+// byte-identical to the same run unrecorded.
+func (n *Network) SetChannelRecorder(log *channel.Log) { n.recorder = log }
+
+// InFlightByKind returns the number of transfers of one kind currently in
+// the air.
+func (n *Network) InFlightByKind(k Kind) int {
+	i := int(k)
+	if i < 0 || i >= channel.NumKinds {
+		return 0
+	}
+	return n.kindInFlight[i]
+}
 
 // SetTracer installs the experiment's span tracer. A nil tracer (the
 // default) disables transfer spans at the cost of one nil check per
@@ -204,7 +253,41 @@ func (n *Network) Send(from, to sim.AgentID, kind Kind, sizeBytes int, payload a
 	}
 
 	now := n.engine.Now()
+	// The analytic branch below is the exact pre-model code path, not a
+	// re-derivation: default runs stay byte-identical by construction.
+	distM := -1.0
+	load := n.kindInFlight[int(kind)]
+	var modelDrop float64
 	duration := sim.Duration(cp.TransferSecondsAt(sizeBytes, cond.RateFactor))
+	if n.model != nil || n.recorder != nil {
+		distM = n.linkDistance(from, to)
+	}
+	if n.model != nil {
+		out := n.model.Outcome(channel.Link{
+			Now:          now,
+			Kind:         kind,
+			From:         uint64(from),
+			To:           uint64(to),
+			SizeBytes:    sizeBytes,
+			DistanceM:    distM,
+			InFlight:     load,
+			BaseKBps:     cp.KBps,
+			BaseLatencyS: cp.LatencyS,
+		}, n.chRNG)
+		kbps := out.KBps
+		if kbps <= 0 {
+			kbps = cp.KBps
+		}
+		factor := cond.RateFactor
+		if !(factor > 0 && factor < 1) {
+			factor = 1
+		}
+		// Same expression shape as TransferSecondsAt so an Analytic model
+		// (kbps = cp.KBps, factor·1 exact) reproduces the analytic duration
+		// float for float.
+		duration = sim.Duration(out.LatencyS + float64(sizeBytes)/(kbps*1000*factor))
+		modelDrop = out.DropProb
+	}
 	n.nextID++
 	msg := &Message{
 		ID:        n.nextID,
@@ -226,72 +309,162 @@ func (n *Network) Send(from, to sim.AgentID, kind Kind, sizeBytes int, payload a
 	n.tracer.AttrUint(span, "to", uint64(to))
 	n.tracer.Attr(span, "kind", kind.String())
 	n.tracer.AttrInt(span, "bytes", int64(sizeBytes))
+	if n.model != nil {
+		n.tracer.Attr(span, "channel", n.model.Name())
+		n.tracer.AttrFloat(span, "dist_m", distM)
+		n.tracer.AttrInt(span, "load", int64(load))
+	}
 
 	ev, err := n.engine.Schedule(msg.DeliverAt, func() { n.complete(msg) })
 	if err != nil {
 		n.tracer.EndWith(span, "status", "error")
 		return 0, fmt.Errorf("comm: schedule delivery: %w", err)
 	}
-	n.inflight[msg.ID] = &flight{msg: msg, event: ev, span: span}
+	n.inflight[msg.ID] = &flight{msg: msg, event: ev, span: span, distM: distM, load: load, modelDrop: modelDrop}
+	n.kindInFlight[int(kind)]++
 	return msg.ID, nil
 }
 
+// linkDistance returns the sender-receiver distance, or -1 when either
+// endpoint has no position (the cloud server).
+func (n *Network) linkDistance(a, b sim.AgentID) float64 {
+	pa, ok := n.position(a)
+	if !ok {
+		return -1
+	}
+	pb, ok := n.position(b)
+	if !ok {
+		return -1
+	}
+	return pa.Dist(pb)
+}
+
 // complete finishes a transfer: it re-validates endpoint state and range,
-// samples the stochastic drop, and notifies the appropriate observer.
+// samples the stochastic drops — base channel drop, fault-window burst
+// loss, then the channel model's per-transfer loss, in that fixed order —
+// and notifies the appropriate observer.
 func (n *Network) complete(msg *Message) {
+	fl := n.remove(msg.ID)
 	var span trace.SpanID
-	if fl := n.inflight[msg.ID]; fl != nil {
+	if fl != nil {
 		span = fl.span
 	}
-	delete(n.inflight, msg.ID)
 	cp, err := n.params.ByKind(msg.Kind)
 	if err != nil {
-		n.fail(msg, span, err)
+		n.fail(msg, fl, err)
 		return
 	}
 	sender := n.registry.Get(msg.From)
 	receiver := n.registry.Get(msg.To)
 	switch {
 	case sender == nil || !sender.On():
-		n.fail(msg, span, ErrSenderOff)
+		n.fail(msg, fl, ErrSenderOff)
 		return
 	case receiver == nil || !receiver.On():
-		n.fail(msg, span, ErrReceiverOff)
+		n.fail(msg, fl, ErrReceiverOff)
 		return
 	}
 	if msg.Kind == KindV2X {
 		if err := n.checkRange(msg.From, msg.To, cp.RangeM); err != nil {
-			n.fail(msg, span, err)
+			n.fail(msg, fl, err)
 			return
 		}
 	}
 	cond := n.conditionsAt(msg.Kind, msg.From, msg.To)
 	if cond.Blocked {
-		n.fail(msg, span, ErrBlackout)
+		n.fail(msg, fl, ErrBlackout)
 		return
 	}
 	if cp.DropProb > 0 && n.rng.Bool(cp.DropProb) {
-		n.fail(msg, span, ErrDropped)
+		n.fail(msg, fl, ErrDropped)
 		return
 	}
 	if cond.ExtraDropProb > 0 && n.rng.Bool(cond.ExtraDropProb) {
-		n.fail(msg, span, ErrBurstDropped)
+		n.fail(msg, fl, ErrBurstDropped)
+		return
+	}
+	// The model drop draws from the dedicated channel stream, never n.rng,
+	// so enabling a model cannot shift the base drop sequence above. A
+	// DropProb of 1 (radio outage) short-circuits inside Bool without
+	// consuming randomness.
+	if fl != nil && fl.modelDrop > 0 && n.chRNG.Bool(fl.modelDrop) {
+		n.fail(msg, fl, ErrChannelDropped)
 		return
 	}
 	st := n.stats[msg.Kind]
 	st.MessagesDelivered++
 	st.BytesDelivered += int64(msg.SizeBytes)
+	n.record(msg, fl, channel.OutcomeDelivered)
 	n.tracer.EndWith(span, "status", "delivered")
 	if n.onDeliver != nil {
 		n.onDeliver(msg)
 	}
 }
 
+// remove takes a flight out of the in-flight set, keeping the per-kind
+// load counters consistent.
+func (n *Network) remove(id MsgID) *flight {
+	fl := n.inflight[id]
+	if fl != nil {
+		delete(n.inflight, id)
+		n.kindInFlight[int(fl.msg.Kind)]--
+	}
+	return fl
+}
+
+// record appends one sample to the channel recorder (a no-op without one).
+// The recorded duration is the transfer's actual time in the air, which for
+// mid-flight aborts is shorter than the scheduled duration.
+func (n *Network) record(msg *Message, fl *flight, outcome string) {
+	if n.recorder == nil || fl == nil {
+		return
+	}
+	n.recorder.Record(channel.Sample{
+		Kind:      msg.Kind,
+		T:         msg.SentAt,
+		DistanceM: fl.distM,
+		SizeBytes: msg.SizeBytes,
+		Load:      fl.load,
+		DurationS: n.engine.Now().Sub(msg.SentAt).Seconds(),
+		Outcome:   outcome,
+	})
+}
+
+// outcomeFor maps a failure reason onto the channel-trace outcome
+// vocabulary; unrecognized reasons take the caller's fallback.
+func outcomeFor(reason error, fallback string) string {
+	switch {
+	case errors.Is(reason, ErrDropped):
+		return channel.OutcomeDropped
+	case errors.Is(reason, ErrChannelDropped):
+		return channel.OutcomeChannel
+	case errors.Is(reason, ErrBurstDropped):
+		return channel.OutcomeBurst
+	case errors.Is(reason, ErrBlackout):
+		return channel.OutcomeBlackout
+	case errors.Is(reason, ErrSenderOff), errors.Is(reason, ErrReceiverOff):
+		return channel.OutcomeOff
+	case errors.Is(reason, ErrOutOfRange), errors.Is(reason, ErrNoPosition):
+		return channel.OutcomeRange
+	default:
+		return fallback
+	}
+}
+
 // fail closes the transfer's span with the failure reason before
 // notifying the observer, so observer-side spans (the core's fault-drop
 // markers, strategy reactions) order after the transfer itself.
-func (n *Network) fail(msg *Message, span trace.SpanID, reason error) {
+func (n *Network) fail(msg *Message, fl *flight, reason error) {
+	n.failOutcome(msg, fl, reason, channel.OutcomeError)
+}
+
+func (n *Network) failOutcome(msg *Message, fl *flight, reason error, fallback string) {
+	var span trace.SpanID
+	if fl != nil {
+		span = fl.span
+	}
 	n.stats[msg.Kind].MessagesFailed++
+	n.record(msg, fl, outcomeFor(reason, fallback))
 	n.tracer.AttrErr(span, "error", reason)
 	n.tracer.EndWith(span, "status", "failed")
 	if n.onFail != nil {
@@ -318,11 +491,11 @@ func (n *Network) handlePowerChange(id sim.AgentID, on bool) {
 	for _, fl := range doomed {
 		m := fl.msg
 		fl.event.Cancel()
-		delete(n.inflight, m.ID)
+		n.remove(m.ID)
 		if m.From == id {
-			n.fail(m, fl.span, ErrSenderOff)
+			n.fail(m, fl, ErrSenderOff)
 		} else {
-			n.fail(m, fl.span, ErrReceiverOff)
+			n.fail(m, fl, ErrReceiverOff)
 		}
 	}
 }
@@ -342,8 +515,11 @@ func (n *Network) FailInFlight(pred func(*Message) bool, reason error) int {
 	sort.Slice(doomed, func(i, j int) bool { return doomed[i].msg.ID < doomed[j].msg.ID })
 	for _, fl := range doomed {
 		fl.event.Cancel()
-		delete(n.inflight, fl.msg.ID)
-		n.fail(fl.msg, fl.span, reason)
+		n.remove(fl.msg.ID)
+		// Scheduled link kills come in with reasons this package does not
+		// know (faults.ErrLinkKilled); in a channel trace they are
+		// endpoint-attributable kills, not channel losses.
+		n.failOutcome(fl.msg, fl, reason, channel.OutcomeKilled)
 	}
 	return len(doomed)
 }

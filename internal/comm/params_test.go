@@ -1,0 +1,69 @@
+package comm
+
+import (
+	"math"
+	"testing"
+
+	"roadrunner/internal/channel"
+)
+
+// TestTransferSecondsAtClamping pins the documented clamp: only rate
+// factors strictly inside (0, 1) degrade the channel; every other value —
+// zero, negative, exactly 1, above 1, NaN, and infinities — means nominal
+// and must return exactly TransferSeconds. The NaN case is the regression
+// guard: it used to fall through both clamp branches and produce a NaN
+// duration.
+func TestTransferSecondsAtClamping(t *testing.T) {
+	p := ChannelParams{KBps: 2000, LatencyS: 0.05}
+	const size = 1 << 20
+	nominal := p.TransferSeconds(size)
+	if math.IsNaN(nominal) || nominal <= p.LatencyS {
+		t.Fatalf("nominal duration %v is not a sane baseline", nominal)
+	}
+	for _, factor := range []float64{0, -0.5, -1e308, 1, 1.0000001, 42, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := p.TransferSecondsAt(size, factor); got != nominal {
+			t.Errorf("factor %v: duration %v, want nominal %v", factor, got, nominal)
+		}
+	}
+	// Factors inside (0, 1) stretch the transfer by exactly 1/factor on the
+	// bandwidth term.
+	for _, factor := range []float64{0.5, 0.25, 1e-9, math.Nextafter(1, 0), math.Nextafter(0, 1)} {
+		got := p.TransferSecondsAt(size, factor)
+		want := p.LatencyS + float64(size)/(p.KBps*1000*factor)
+		if got != want {
+			t.Errorf("factor %v: duration %v, want %v", factor, got, want)
+		}
+		if math.IsNaN(got) || got < nominal {
+			t.Errorf("factor %v: degraded duration %v below nominal %v", factor, got, nominal)
+		}
+	}
+}
+
+// TestKindAliasing guards the comm.Kind = channel.Kind alias: the constants
+// must coincide and Kinds must enumerate them in channel order.
+func TestKindAliasing(t *testing.T) {
+	if KindV2C != channel.KindV2C || KindV2X != channel.KindV2X || KindWired != channel.KindWired {
+		t.Fatal("comm kind constants diverge from channel kind constants")
+	}
+	ks := Kinds()
+	if len(ks) != 3 || ks[0] != KindV2C || ks[1] != KindV2X || ks[2] != KindWired {
+		t.Fatalf("Kinds() = %v", ks)
+	}
+}
+
+// TestParamsValidateChannel asserts Params.Validate covers the embedded
+// channel-model config.
+func TestParamsValidateChannel(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	p.Channel = &channel.Config{Model: "smoke-signals"}
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted an unknown channel model")
+	}
+	p.Channel = &channel.Config{Model: channel.ModelRadio}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate rejected the default radio model: %v", err)
+	}
+}

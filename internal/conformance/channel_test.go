@@ -1,0 +1,259 @@
+package conformance
+
+import (
+	"bytes"
+	"testing"
+
+	"roadrunner/internal/channel"
+	"roadrunner/internal/core"
+	"roadrunner/internal/faults"
+	"roadrunner/internal/sim"
+)
+
+// runChannelCell executes one (strategy, channel-model) cell twice with the
+// same seed, asserting the same contract as runCell: completion, framework
+// invariants, and same-seed byte-identity.
+func runChannelCell(t *testing.T, c Case, m ChannelModel) []byte {
+	t.Helper()
+	canonical := func(label string) []byte {
+		res, err := RunChannel(c, m, ScenarioFaultFree, matrixSeed, 0)
+		if err != nil {
+			t.Fatalf("%s/%s%s: %v", c.Name, m.Name, label, err)
+		}
+		if err := CheckInvariants(res); err != nil {
+			t.Fatalf("%s/%s%s: %v", c.Name, m.Name, label, err)
+		}
+		b, err := res.CanonicalBytes()
+		if err != nil {
+			t.Fatalf("%s/%s%s: canonical encode: %v", c.Name, m.Name, label, err)
+		}
+		return b
+	}
+	a := canonical("")
+	if b := canonical(" (repeat)"); !bytes.Equal(a, b) {
+		t.Fatalf("%s/%s: same-seed runs are not byte-identical", c.Name, m.Name)
+	}
+	return a
+}
+
+// channelCases is the strategy subset the channel axis runs against: the
+// paper's two headline strategies plus the pure-V2X gossip strategy, so the
+// axis exercises V2C-heavy, mixed, and V2X-only traffic shapes.
+func channelCases(t *testing.T) []Case {
+	t.Helper()
+	var out []Case
+	for _, c := range Cases() {
+		switch c.Name {
+		case "fedavg", "opportunistic", "gossip":
+			out = append(out, c)
+		}
+	}
+	if len(out) != 3 {
+		t.Fatalf("channel axis found %d of its 3 strategies", len(out))
+	}
+	return out
+}
+
+// TestChannelModelMatrix runs the strategy x channel-model grid: every cell
+// completes, upholds the invariants, reproduces byte-identically at the
+// same seed — and every non-analytic model observably perturbs the run
+// relative to the analytic baseline (a model that changes nothing is
+// mis-wired, not conservative).
+func TestChannelModelMatrix(t *testing.T) {
+	models := ChannelModels()
+	if len(models) < 4 {
+		t.Fatalf("channel axis has %d models, want >= 4", len(models))
+	}
+	for _, c := range channelCases(t) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			var baseline []byte
+			for _, m := range models {
+				m := m
+				t.Run(m.Name, func(t *testing.T) {
+					got := runChannelCell(t, c, m)
+					if m.Config == nil {
+						baseline = got
+						return
+					}
+					if baseline == nil {
+						t.Fatal("analytic baseline must run first in the model list")
+					}
+					if bytes.Equal(got, baseline) {
+						t.Errorf("%s/%s: run is byte-identical to the analytic baseline; model had no effect", c.Name, m.Name)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestChannelWorkerInvariance asserts that parallel evaluation stays
+// result-invariant under every channel model: EvalWorkers 1 and 4 must
+// produce byte-identical results, or the channel streams have leaked into
+// a worker-count-dependent order.
+func TestChannelWorkerInvariance(t *testing.T) {
+	for _, c := range channelCases(t) {
+		if c.Name == "gossip" {
+			continue // fedavg + opportunistic cover serial and parallel eval paths
+		}
+		for _, m := range ChannelModels() {
+			serial, err := RunChannel(c, m, ScenarioFaultFree, matrixSeed, 1)
+			if err != nil {
+				t.Fatalf("%s/%s workers=1: %v", c.Name, m.Name, err)
+			}
+			parallel, err := RunChannel(c, m, ScenarioFaultFree, matrixSeed, 4)
+			if err != nil {
+				t.Fatalf("%s/%s workers=4: %v", c.Name, m.Name, err)
+			}
+			a, err := serial.CanonicalBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := parallel.CanonicalBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Errorf("%s/%s: EvalWorkers 1 vs 4 diverge under this channel model", c.Name, m.Name)
+			}
+		}
+	}
+}
+
+// TestChannelModelComposesWithFaults runs a stochastic channel model under
+// a fault scenario: the two layers must compose without breaking any
+// invariant, stay reproducible, and the faulted run must diverge from the
+// fault-free run under the same model.
+func TestChannelModelComposesWithFaults(t *testing.T) {
+	var c Case
+	for _, cand := range Cases() {
+		if cand.Name == "fedavg" {
+			c = cand
+		}
+	}
+	m := ChannelModels()[1] // radio
+	if m.Name != channel.ModelRadio {
+		t.Fatalf("expected radio at axis slot 1, got %s", m.Name)
+	}
+	run := func(scenario string) []byte {
+		res, err := RunChannel(c, m, scenario, matrixSeed, 0)
+		if err != nil {
+			t.Fatalf("%s/%s/%s: %v", c.Name, scenario, m.Name, err)
+		}
+		if err := CheckInvariants(res); err != nil {
+			t.Fatalf("%s/%s/%s: %v", c.Name, scenario, m.Name, err)
+		}
+		b, err := res.CanonicalBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	clean := run(ScenarioFaultFree)
+	faulted := run(faults.ScenarioBurstLoss)
+	if bytes.Equal(clean, faulted) {
+		t.Error("burst-loss scenario had no effect under the radio model")
+	}
+	if again := run(faults.ScenarioBurstLoss); !bytes.Equal(faulted, again) {
+		t.Error("faulted radio run is not reproducible at the same seed")
+	}
+}
+
+// TestExplicitAnalyticModelByteIdentical proves the model code path itself
+// reproduces the legacy analytic path float for float: a run with an
+// explicit channel.Analytic model installed (forcing every transfer
+// through the Link/Outcome machinery) is byte-identical to the default
+// run that never constructs a model.
+func TestExplicitAnalyticModelByteIdentical(t *testing.T) {
+	var c Case
+	for _, cand := range Cases() {
+		if cand.Name == "opportunistic" {
+			c = cand
+		}
+	}
+	run := func(install bool) []byte {
+		cfg := Config(matrixSeed)
+		strat, err := c.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp, err := core.New(cfg, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if install {
+			// The RNG seed is arbitrary: Analytic consumes no randomness and
+			// produces no model drop, so the stream is never read.
+			if err := exp.Network().SetChannel(channel.Analytic{}, sim.NewRNG(12345)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := exp.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := res.CanonicalBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if a, b := run(false), run(true); !bytes.Equal(a, b) {
+		t.Error("explicit Analytic model diverges from the legacy analytic code path")
+	}
+}
+
+// TestChannelRecordIsResultInvariant asserts the recorder contract: a
+// recorded run is byte-identical to the same run unrecorded, and the log it
+// returns is non-empty with channel-attributable outcomes.
+func TestChannelRecordIsResultInvariant(t *testing.T) {
+	var c Case
+	for _, cand := range Cases() {
+		if cand.Name == "fedavg" {
+			c = cand
+		}
+	}
+	run := func(record bool) (*core.Result, []byte) {
+		cfg := Config(matrixSeed)
+		cfg.Comm.Channel = &channel.Config{Model: channel.ModelRadio}
+		cfg.ChannelRecord = record
+		strat, err := c.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp, err := core.New(cfg, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := exp.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := res.CanonicalBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, b
+	}
+	plain, a := run(false)
+	recorded, b := run(true)
+	if !bytes.Equal(a, b) {
+		t.Fatal("recording the channel trace perturbed the run")
+	}
+	if plain.ChannelLog != nil {
+		t.Error("unrecorded run returned a channel log")
+	}
+	if recorded.ChannelLog == nil || recorded.ChannelLog.Len() == 0 {
+		t.Fatal("recorded run returned no channel samples")
+	}
+	var delivered int
+	for _, s := range recorded.ChannelLog.Samples() {
+		if s.Outcome == channel.OutcomeDelivered {
+			delivered++
+		}
+	}
+	if delivered == 0 {
+		t.Error("channel trace recorded no delivered transfers")
+	}
+}

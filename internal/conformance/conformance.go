@@ -14,7 +14,9 @@ package conformance
 
 import (
 	"fmt"
+	"math"
 
+	"roadrunner/internal/channel"
 	"roadrunner/internal/comm"
 	"roadrunner/internal/core"
 	"roadrunner/internal/dataset"
@@ -136,6 +138,73 @@ func Run(c Case, scenario string, seed uint64) (*core.Result, error) {
 	res, err := exp.Run()
 	if err != nil {
 		return nil, fmt.Errorf("conformance: %s/%s: %w", c.Name, scenario, err)
+	}
+	return res, nil
+}
+
+// ChannelModel is one cell of the channel-model conformance axis: a named
+// internal/channel configuration. A nil Config is the analytic default
+// (the original code path, not even a constructed model).
+type ChannelModel struct {
+	Name   string
+	Config *channel.Config
+}
+
+// ChannelModels returns the channel-model axis of the conformance matrix:
+// the analytic baseline, the two stochastic radio stacks, and a
+// data-driven oracle with a static inline table (so the axis needs no
+// fitted file and stays self-contained). Every strategy must uphold the
+// framework invariants — and same-seed byte-identity — under every model.
+func ChannelModels() []ChannelModel {
+	inf := math.Inf(1)
+	wide := func(k channel.Kind, kbps, lat, drop float64) channel.Bin {
+		// One all-covering box per kind (DistLo -1 also catches links
+		// without positions).
+		return channel.Bin{
+			Kind: k, DistLo: -1, DistHi: inf, SizeLo: 0, SizeHi: inf,
+			LoadLo: 0, LoadHi: inf, KBps: kbps, LatencyS: lat, DropProb: drop, N: 1,
+		}
+	}
+	return []ChannelModel{
+		{Name: channel.ModelAnalytic, Config: nil},
+		{Name: channel.ModelRadio, Config: &channel.Config{Model: channel.ModelRadio}},
+		{Name: channel.ModelRadioQueued, Config: &channel.Config{Model: channel.ModelRadioQueued}},
+		{Name: channel.ModelOracle, Config: &channel.Config{
+			Model: channel.ModelOracle,
+			Oracle: &channel.OracleConfig{Table: []channel.Bin{
+				wide(channel.KindV2C, 1500, 0.07, 0.02),
+				wide(channel.KindV2X, 2500, 0.03, 0.05),
+				wide(channel.KindWired, 100000, 0.005, 0),
+			}},
+		}},
+	}
+}
+
+// RunChannel executes one cell of the channel axis: the cased strategy
+// under the named fault scenario with the given channel model, evaluated
+// with evalWorkers goroutines (0 means serial).
+func RunChannel(c Case, m ChannelModel, scenario string, seed uint64, evalWorkers int) (*core.Result, error) {
+	cfg := Config(seed)
+	cfg.Comm.Channel = m.Config
+	cfg.EvalWorkers = evalWorkers
+	if scenario != ScenarioFaultFree {
+		plan, err := faults.ScenarioPlan(scenario, ScenarioHorizon)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Faults = &plan
+	}
+	strat, err := c.New()
+	if err != nil {
+		return nil, fmt.Errorf("conformance: %s: %w", c.Name, err)
+	}
+	exp, err := core.New(cfg, strat)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: %s/%s/%s: %w", c.Name, scenario, m.Name, err)
+	}
+	res, err := exp.Run()
+	if err != nil {
+		return nil, fmt.Errorf("conformance: %s/%s/%s: %w", c.Name, scenario, m.Name, err)
 	}
 	return res, nil
 }

@@ -82,9 +82,14 @@ func (r *Result) CanonicalBytes() ([]byte, error) {
 // recorded metric. Content-addressed run caching (internal/campaign) hashes
 // this encoding: two configs with equal CanonicalConfigJSON produce
 // byte-identical Result.CanonicalBytes for the same strategy.
+// ChannelRecord is zeroed for the same reason as Trace: the channel-trace
+// recorder observes transfers without consuming randomness. (The channel
+// *model* selection, Comm.Channel, is NOT normalized away — it changes
+// transfer durations and therefore results.)
 func CanonicalConfigJSON(cfg Config) ([]byte, error) {
 	cfg.EvalWorkers = 0
 	cfg.Trace = false
+	cfg.ChannelRecord = false
 	cfg.LogWriter = nil
 	out, err := json.Marshal(cfg)
 	if err != nil {

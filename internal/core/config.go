@@ -80,6 +80,15 @@ type Config struct {
 	// nil check per emission point and zero allocations.
 	Trace bool `json:"trace,omitempty"`
 
+	// ChannelRecord enables the channel-trace recorder: every transfer's
+	// (distance, size, load, duration, outcome) tuple is collected in
+	// Result.ChannelLog, the raw material the DRIVE-style oracle pipeline
+	// (internal/channel.Fit, cmd/chanfit) fits its indicator tables from.
+	// Like Trace it is result-invariant — the recorder observes transfers
+	// without consuming randomness — and is normalized away by
+	// CanonicalConfigJSON.
+	ChannelRecord bool `json:"channel_record,omitempty"`
+
 	// OBU, ServerHW, and RSUHW are the hardware-unit profiles.
 	OBU      hw.Profile `json:"obu"`
 	ServerHW hw.Profile `json:"server_hw"`

@@ -6,6 +6,7 @@ import (
 	"os"
 	"time"
 
+	"roadrunner/internal/channel"
 	"roadrunner/internal/comm"
 	"roadrunner/internal/dataset"
 	"roadrunner/internal/faults"
@@ -71,6 +72,9 @@ type Experiment struct {
 	// and untraced hot paths byte-identical in recorded results.
 	tracer *trace.Tracer
 
+	// chanLog is the channel-trace recorder, nil unless cfg.ChannelRecord.
+	chanLog *channel.Log
+
 	accCache *snapshotAccCache
 	horizon  sim.Time
 	ran      bool
@@ -104,6 +108,11 @@ type Result struct {
 	// encoding (trace.Trace.CanonicalBytes) with its own byte-identity
 	// regression tests.
 	Trace *trace.Trace
+	// ChannelLog is the run's channel trace, nil unless
+	// Config.ChannelRecord was set. Like Trace it is excluded from
+	// CanonicalBytes; its canonical form is the chantrace CSV
+	// (channel.Log.WriteCSV), which the oracle fitter consumes.
+	ChannelLog *channel.Log
 }
 
 // New builds an experiment from the configuration and strategy. All module
@@ -195,6 +204,26 @@ func New(cfg Config, strat strategy.Strategy) (*Experiment, error) {
 		if err := e.injector.Install(); err != nil {
 			return nil, err
 		}
+	}
+
+	// The channel stream forks unconditionally — after the conditional
+	// "faults" fork, and root is never read again below — so enabling a
+	// channel model cannot shift any other module's stream, and fault-free
+	// analytic runs consume exactly the root-RNG sequence they did before
+	// channel models existed.
+	chRNG := root.Fork("channel")
+	chModel, err := channel.New(cfg.Comm.Channel)
+	if err != nil {
+		return nil, err
+	}
+	if chModel != nil {
+		if err := e.network.SetChannel(chModel, chRNG); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.ChannelRecord {
+		e.chanLog = channel.NewLog()
+		e.network.SetChannelRecorder(e.chanLog)
 	}
 
 	cell := cfg.Comm.V2X.RangeM
@@ -616,6 +645,7 @@ func (e *Experiment) Run() (*Result, error) {
 		Wall:            time.Since(start), //roadlint:allow wallclock harness timing, reported as Result.Wall
 		EventsProcessed: e.engine.Processed(),
 		Trace:           e.tracer.Snapshot(),
+		ChannelLog:      e.chanLog,
 	}
 	for _, k := range comm.Kinds() {
 		res.Comm[k.String()] = e.network.StatsFor(k)
