@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race lint lint-baseline bench bench-check bench-scale bench-scale-check trace-demo ablation-h cover e2e e2e-cluster ci
+.PHONY: build vet test race lint lint-baseline bench bench-check bench-scale bench-scale-check bench-queue bench-queue-check trace-demo ablation-h cover e2e e2e-cluster ci
 
 # COVER_FLOOR is the minimum total statement coverage; measured at 79.7%
 # when the floor was introduced, with a small margin for platform noise.
@@ -41,6 +41,19 @@ bench-scale:
 bench-scale-check:
 	$(GO) run ./cmd/bench -scale 500 -scale-out /tmp/BENCH_scale_smoke.json -scale-check BENCH_scale.json -tol 8
 	$(GO) run ./cmd/bench -scale 50000 -scale-horizon 60 -scale-out /tmp/BENCH_scale_50k.json
+
+# bench-queue measures the cluster queue protocol and rewrites the
+# tracked BENCH_queue.json: batched lease verbs vs per-run verbs, and
+# snapshot+tail replay vs full-log replay.
+bench-queue:
+	$(GO) run ./cmd/bench -queue -queue-out BENCH_queue.json
+
+# bench-queue-check re-measures and fails unless both optimization
+# ratios — batched-verb throughput and snapshot replay reduction — still
+# clear a 10x floor. Ratios are measured single-host, so the gate holds
+# on shared CI where raw fsync rates would be too noisy to compare.
+bench-queue-check:
+	$(GO) run ./cmd/bench -queue -queue-out BENCH_queue.json -queue-check BENCH_queue.json -queue-min-ratio 10
 
 # trace-demo writes the sample observability artifact: Chrome trace_event
 # JSON + canonical CSV span timelines for a BASE and an OPP run.

@@ -14,6 +14,10 @@
 //	                           # fleet-size scaling curve -> BENCH_scale.json
 //	bench -scale 500 -scale-check BENCH_scale.json -tol 5
 //	                           # gate the sizes present in both reports
+//	bench -queue               # cluster queue protocol -> BENCH_queue.json
+//	bench -queue -queue-check BENCH_queue.json
+//	                           # fail unless batched verbs and snapshot
+//	                           # compaction still deliver >=10x
 //
 // The report contains the measured ns/op, events/op, and simsec/wallsec of
 // the combined BASE+OPP Figure-4 run (the same quantity as the repo's
@@ -100,8 +104,21 @@ func main() {
 	scaleCheck := flag.String("scale-check", "", "reference scaling report: gate sizes present in both reports")
 	scaleHorizon := flag.Float64("scale-horizon", 300, "simulated seconds per scaling point")
 	scaleSeed := flag.Uint64("scale-seed", 1, "seed for the scaling workload")
+	queue := flag.Bool("queue", false, "run the cluster queue protocol benchmark instead of Figure 4")
+	queueRuns := flag.Int("queue-runs", 2000, "queue benchmark: runs per protocol arm")
+	queueBatch := flag.Int("queue-batch", 256, "queue benchmark: refs per batched verb")
+	queueOut := flag.String("queue-out", "BENCH_queue.json", "queue report output path")
+	queueCheck := flag.String("queue-check", "", "reference queue report: gate the batching and compaction ratios")
+	queueMinRatio := flag.Float64("queue-min-ratio", 10, "minimum batched-verb speedup and replay reduction for -queue-check")
 	flag.Parse()
 
+	if *queue {
+		if err := runQueue(*queueRuns, *queueBatch, *queueOut, *queueCheck, *queueMinRatio); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *scale != "" {
 		if err := runScale(*scale, *scaleSeed, *scaleHorizon, *scaleOut, *scaleCheck, *tol); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestQueueBenchWritesReport runs the queue benchmark at smoke scale and
+// validates the BENCH_queue.json schema end to end.
+func TestQueueBenchWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_queue.json")
+	if err := runQueue(96, 16, out, "", 10); err != nil {
+		t.Fatalf("runQueue: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	var r QueueReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("parse report: %v", err)
+	}
+	if r.Schema != 1 || r.Benchmark == "" || r.GoVersion == "" {
+		t.Fatalf("incomplete report header: %+v", r)
+	}
+	if r.Runs != 96 || r.Batch != 16 {
+		t.Fatalf("flag echo mismatch: %+v", r)
+	}
+	if r.Single.RunsPerSec <= 0 || r.Batched.RunsPerSec <= 0 || r.BatchSpeedup <= 0 {
+		t.Fatalf("non-positive throughput arm: %+v", r)
+	}
+	if r.Single.Fsyncs != 4*96 {
+		t.Fatalf("single arm fsync accounting: got %d, want %d", r.Single.Fsyncs, 4*96)
+	}
+	if r.Batched.Fsyncs >= r.Single.Fsyncs {
+		t.Fatalf("batched arm did not amortize fsyncs: %d vs %d", r.Batched.Fsyncs, r.Single.Fsyncs)
+	}
+	// The full-log arm replays every per-ref entry the lifecycle wrote;
+	// the compacting arm must replay strictly less tail.
+	if r.Replay.FullEntries != 4*96 {
+		t.Fatalf("full replay entries: got %d, want %d", r.Replay.FullEntries, 4*96)
+	}
+	if r.Replay.TailEntries >= r.Replay.FullEntries || r.Replay.Reduction <= 1 {
+		t.Fatalf("snapshot replay did not reduce the tail: %+v", r.Replay)
+	}
+	if r.Replay.SnapshotRefs != 96 {
+		t.Fatalf("snapshot refs: got %d, want 96", r.Replay.SnapshotRefs)
+	}
+}
+
+func TestQueueBenchRejectsBadArgs(t *testing.T) {
+	if err := runQueue(0, 16, "unused.json", "", 10); err == nil {
+		t.Fatal("want error for zero runs")
+	}
+	if err := runQueue(16, 0, "unused.json", "", 10); err == nil {
+		t.Fatal("want error for zero batch")
+	}
+	if err := runQueue(16, 4, filepath.Join(t.TempDir(), "out.json"), filepath.Join(t.TempDir(), "missing.json"), 10); err == nil {
+		t.Fatal("want error for missing reference report")
+	}
+}
+
+// TestCheckQueueRegression exercises the ratio gate directly: both
+// ratios at or above the floor pass, either one below fails.
+func TestCheckQueueRegression(t *testing.T) {
+	ref := &QueueReport{BatchSpeedup: 30, Replay: QueueReplay{Reduction: 30}}
+	ok := &QueueReport{BatchSpeedup: 25, Replay: QueueReplay{Reduction: 20}}
+	if err := checkQueueRegression(ref, ok, 10); err != nil {
+		t.Fatalf("ratios above floor must pass: %v", err)
+	}
+	slowBatch := &QueueReport{BatchSpeedup: 4, Replay: QueueReplay{Reduction: 20}}
+	if err := checkQueueRegression(ref, slowBatch, 10); err == nil {
+		t.Fatal("want error when batched speedup falls below the floor")
+	}
+	slowReplay := &QueueReport{BatchSpeedup: 25, Replay: QueueReplay{Reduction: 3}}
+	if err := checkQueueRegression(ref, slowReplay, 10); err == nil {
+		t.Fatal("want error when replay reduction falls below the floor")
+	}
+	if err := checkQueueRegression(nil, ok, 10); err != nil {
+		t.Fatalf("nil reference must still gate the floors: %v", err)
+	}
+}

@@ -20,7 +20,9 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 )
 
 func main() {
@@ -83,9 +85,17 @@ func (c *client) pipe(resp *http.Response) error {
 	return err
 }
 
+// submitBackoff caps how long one 429 retry sleeps and how long the
+// whole retry loop persists before giving up.
+const (
+	submitRetryCap    = 10 * time.Second
+	submitRetryBudget = 5 * time.Minute
+)
+
 func (c *client) submit(args []string) error {
 	fs := flag.NewFlagSet("roadctl submit", flag.ContinueOnError)
 	file := fs.String("f", "", "manifest JSON file (- for stdin)")
+	wait := fs.Bool("wait", true, "on 429 (backlog full), retry with backoff until admitted")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,16 +112,41 @@ func (c *client) submit(args []string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(c.base+"/v1/cluster/campaigns", "application/json", bytes.NewReader(manifest))
-	if err != nil {
-		return err
+	// A 429 is admission backpressure, not failure: the coordinator's
+	// backlog is at its cap and the manifest should be resubmitted once
+	// workers drain it. Honor the Retry-After hint, doubling (capped)
+	// while the backlog stays full.
+	delay := time.Second
+	deadline := time.Now().Add(submitRetryBudget) //roadlint:allow wallclock CLI retry budget at the service edge
+	for {
+		resp, err := http.Post(c.base+"/v1/cluster/campaigns", "application/json", bytes.NewReader(manifest))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && *wait {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			_ = resp.Body.Close()
+			if hint, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && hint > 0 {
+				delay = time.Duration(hint) * time.Second
+			}
+			if delay > submitRetryCap {
+				delay = submitRetryCap
+			}
+			if time.Now().After(deadline) { //roadlint:allow wallclock CLI retry budget at the service edge
+				return fmt.Errorf("submit: backlog still full after %s: %s", submitRetryBudget, bytes.TrimSpace(msg))
+			}
+			fmt.Fprintf(c.out, "roadctl: backlog full, retrying in %s\n", delay)
+			time.Sleep(delay) //roadlint:allow wallclock CLI submit backoff pacing at the service edge
+			delay *= 2
+			continue
+		}
+		if resp.StatusCode/100 != 2 {
+			defer func() { _ = resp.Body.Close() }()
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			return fmt.Errorf("submit: %s: %s", resp.Status, bytes.TrimSpace(msg))
+		}
+		return c.pipe(resp)
 	}
-	if resp.StatusCode/100 != 2 {
-		defer func() { _ = resp.Body.Close() }()
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("submit: %s: %s", resp.Status, bytes.TrimSpace(msg))
-	}
-	return c.pipe(resp)
 }
 
 func (c *client) status(args []string) error {

@@ -69,6 +69,8 @@ func run(args []string, out io.Writer) error {
 	policyName := fs.String("policy", "round-robin", "cluster routing policy: round-robin, least-loaded, config-affinity")
 	leaseTTL := fs.Int("lease-ttl", 6, "cluster lease TTL in logical ticks")
 	stealAfter := fs.Int("steal-after", 3, "ticks an unstarted claim may idle before it is stealable")
+	maxOutstanding := fs.Int("max-outstanding", 0, "cluster admission cap on unfinished runs; submits past it get 429 (0 = uncapped)")
+	compactEvery := fs.Int("compact-every", 0, "queue-log entries between snapshot compactions (0 = default, negative disables)")
 	tick := fs.Duration("tick", 500*time.Millisecond, "host interval between cluster clock ticks")
 	join := fs.String("join", "", "worker mode: coordinator base URL to join (e.g. http://127.0.0.1:8383)")
 	nodeName := fs.String("node", "", "worker mode: this node's name")
@@ -118,10 +120,12 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		co, err := cluster.NewCoordinator(cluster.Options{
-			Store:      store,
-			Policy:     policy,
-			LeaseTTL:   campaign.Tick(*leaseTTL),
-			StealAfter: campaign.Tick(*stealAfter),
+			Store:          store,
+			Policy:         policy,
+			LeaseTTL:       campaign.Tick(*leaseTTL),
+			StealAfter:     campaign.Tick(*stealAfter),
+			MaxOutstanding: *maxOutstanding,
+			CompactEvery:   *compactEvery,
 		})
 		if err != nil {
 			return err

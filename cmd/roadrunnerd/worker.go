@@ -1,7 +1,6 @@
 package main
 
 import (
-	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -96,16 +95,34 @@ func runWorker(cfg workerConfig) error {
 			idle.Reset(idlePollInterval)
 			continue
 		}
-		for _, asg := range asgs {
-			if err := client.Start(asg.Lease); err != nil {
-				if errors.Is(err, campaign.ErrStaleLease) {
-					continue // stolen or expired before we began; drop it
-				}
-				continue
+		// One round-trip gates the whole batch; a stale slot (stolen or
+		// expired before we began) drops only its own assignment.
+		leases := make([]campaign.LeaseID, len(asgs))
+		for i, asg := range asgs {
+			leases[i] = asg.Lease
+		}
+		startErrs, err := client.StartBatch(leases)
+		if err != nil {
+			idle.Reset(idlePollInterval)
+			continue
+		}
+		var reports []cluster.CompletionReport
+		var ran []cluster.Assignment
+		for i, asg := range asgs {
+			if startErrs[i] != nil {
+				continue // stale or rejected; drop without executing
 			}
 			out := runner.Run(asg)
-			_ = client.Complete(asg.Lease, out)
-			fmt.Fprintf(cfg.out, "roadrunnerd: worker %s: %s %s (%.8s)\n", cfg.node, out.State, asg.Spec.Name, asg.Key)
+			reports = append(reports, cluster.CompletionReport{Lease: asg.Lease, Outcome: out})
+			ran = append(ran, asg)
+		}
+		if compErrs, err := client.CompleteBatch(reports); err == nil {
+			for i, asg := range ran {
+				if compErrs[i] != nil {
+					continue // lease expired mid-run; the re-issued claim will serve our stored result
+				}
+				fmt.Fprintf(cfg.out, "roadrunnerd: worker %s: %s %s (%.8s)\n", cfg.node, reports[i].Outcome.State, asg.Spec.Name, asg.Key)
+			}
 		}
 		idle.Reset(0) // more work may be waiting; claim again immediately
 	}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -30,6 +31,12 @@ import (
 //     makes both writers' bytes identical);
 //   - an expired or stolen claim is re-queued at the front, so recovery
 //     work is re-issued before new work.
+//
+// At manifest scales of 10^5-10^6 runs, two amortizations keep the queue
+// off the critical path: batched verbs (queue_batch.go) journal one
+// fsync'd multi-ref record for a whole batch of claims/starts/completes,
+// and snapshot compaction (queue_snapshot.go) bounds how much log a
+// restarted coordinator replays.
 
 // Tick is the queue's logical clock. The coordinator owns advancement;
 // nothing in the lease protocol reads the host clock.
@@ -73,37 +80,153 @@ type Lease struct {
 	runSpec RunSpec
 }
 
-// QueueRecord is one line of the queue log. Op is one of enqueue, claim,
-// start, complete, expire, steal, retry. The log is both the queue's
-// recovery source and the evidence trail the chaos property tests replay.
+// QueueRecord is one line of the queue log (or snapshot). Op is one of
+// the single-ref verbs — enqueue, claim, start, complete, expire, steal,
+// retry — a batched verb carrying per-ref entries — enqueue-batch,
+// claim-batch, start-batch, complete-batch, expire-batch — the log
+// generation marker gen, or a snapshot line (snap-begin, snap-ref,
+// snap-end). The log is both the queue's recovery source and the
+// evidence trail the chaos property tests replay.
 type QueueRecord struct {
-	Op    string   `json:"op"`
+	Op    string       `json:"op"`
+	Ref   string       `json:"ref,omitempty"`
+	Key   string       `json:"key,omitempty"`
+	Node  string       `json:"node,omitempty"`
+	Lease LeaseID      `json:"lease,omitempty"`
+	Tick  Tick         `json:"tick,omitempty"`
+	State RunState     `json:"state,omitempty"`
+	Spec  *RunSpec     `json:"spec,omitempty"`
+	Batch []BatchEntry `json:"batch,omitempty"`
+	// Gen is the log generation (gen and snap-begin records): a log tail
+	// belongs to the snapshot carrying the same generation.
+	Gen uint64 `json:"gen,omitempty"`
+	// Next is the next lease ID to grant (snap-begin records).
+	Next LeaseID `json:"next,omitempty"`
+	// Count is the number of refs a snapshot carries (snap-begin and
+	// snap-end records), the torn-snapshot tripwire.
+	Count int `json:"count,omitempty"`
+}
+
+// BatchEntry is one ref's slot inside a batched log record.
+type BatchEntry struct {
 	Ref   string   `json:"ref,omitempty"`
 	Key   string   `json:"key,omitempty"`
-	Node  string   `json:"node,omitempty"`
 	Lease LeaseID  `json:"lease,omitempty"`
-	Tick  Tick     `json:"tick,omitempty"`
 	State RunState `json:"state,omitempty"`
 	Spec  *RunSpec `json:"spec,omitempty"`
+}
+
+// itemNode is one deque slot; nodes are linked so claim-by-ref removal
+// through the ref index is O(1) instead of an O(n) pending scan.
+type itemNode struct {
+	item       QueueItem
+	prev, next *itemNode
+}
+
+// itemDeque is a doubly-linked pending deque with sentinel ends.
+type itemDeque struct {
+	head, tail itemNode // sentinels
+	n          int
+}
+
+func (d *itemDeque) init() {
+	d.head.next = &d.tail
+	d.tail.prev = &d.head
+	d.n = 0
+}
+
+func (d *itemDeque) insertAfter(at *itemNode, it QueueItem) *itemNode {
+	nd := &itemNode{item: it, prev: at, next: at.next}
+	at.next.prev = nd
+	at.next = nd
+	d.n++
+	return nd
+}
+
+func (d *itemDeque) pushBack(it QueueItem) *itemNode  { return d.insertAfter(d.tail.prev, it) }
+func (d *itemDeque) pushFront(it QueueItem) *itemNode { return d.insertAfter(&d.head, it) }
+
+func (d *itemDeque) remove(nd *itemNode) {
+	nd.prev.next = nd.next
+	nd.next.prev = nd.prev
+	nd.prev, nd.next = nil, nil
+	d.n--
+}
+
+// snapshot copies up to k items in queue order; k < 0 copies all.
+func (d *itemDeque) snapshot(k int) []QueueItem {
+	if k < 0 || k > d.n {
+		k = d.n
+	}
+	out := make([]QueueItem, 0, k)
+	for nd := d.head.next; nd != &d.tail && len(out) < k; nd = nd.next {
+		out = append(out, nd.item)
+	}
+	return out
+}
+
+// QueueOptions tunes a queue's durability amortization.
+type QueueOptions struct {
+	// CompactEvery triggers snapshot compaction after this many per-ref
+	// journal entries have accumulated since the last snapshot. 0 selects
+	// DefaultCompactEvery; negative disables compaction.
+	CompactEvery int
+}
+
+// DefaultCompactEvery is the compaction threshold used when none is
+// configured: large enough that small campaigns never compact, small
+// enough that a week-old coordinator replays a bounded tail.
+const DefaultCompactEvery = 1 << 14
+
+// ReplayStats reports what OpenQueue read to reconstruct state — the
+// evidence that snapshot+tail replay touches only the tail.
+type ReplayStats struct {
+	// UsedSnapshot reports whether a snapshot seeded the state.
+	UsedSnapshot bool `json:"used_snapshot"`
+	// SnapshotRefs counts refs loaded from the snapshot.
+	SnapshotRefs int `json:"snapshot_refs"`
+	// LogEntries counts per-ref entries replayed from the log (batch
+	// records count one entry per ref they carry).
+	LogEntries int `json:"log_entries"`
 }
 
 // Queue is a durable, lease-based work queue. Every state change appends
 // an fsync'd JSONL record, mirroring the campaign journal's discipline:
 // a coordinator crash mid-campaign recovers the queue by replaying the
-// log (live leases are invalidated on recovery — they belonged to the
-// dead coordinator's epoch). Lease extension on heartbeat is deliberately
-// NOT journaled: recovery re-issues outstanding claims anyway, so extends
-// are pure in-memory bookkeeping and the log stays proportional to the
-// number of runs, not heartbeats.
+// snapshot plus the log tail (live leases are invalidated on recovery —
+// they belonged to the dead coordinator's epoch). Lease extension on
+// heartbeat is deliberately NOT journaled: recovery re-issues outstanding
+// claims anyway, so extends are pure in-memory bookkeeping and the log
+// stays proportional to the number of runs, not heartbeats.
 type Queue struct {
-	mu      sync.Mutex
-	f       *os.File
-	pending []QueueItem
-	leases  map[string]*Lease   // ref -> live lease
-	byID    map[LeaseID]*Lease  // live leases by grant id
-	done    map[string]RunState // ref -> terminal state
-	known   map[string]bool     // every ref ever enqueued (dedup)
-	next    LeaseID
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	snapPath string
+
+	pending itemDeque
+	slots   map[string]*itemNode // ref -> pending deque node
+	leases  map[string]*Lease    // ref -> live lease
+	byID    map[LeaseID]*Lease   // live leases by grant id
+	done    map[string]RunState  // ref -> terminal state
+
+	// knownOrder/orderPos/itemOf mirror exactly what full-log replay
+	// reconstructs — every ref ever enqueued, in enqueue/retry order,
+	// with its latest key+spec — so a snapshot written from them is
+	// replay-equivalent by construction. Retries tombstone their old
+	// position ("") and append, matching replay's move-to-back.
+	knownOrder []string
+	orderPos   map[string]int
+	itemOf     map[string]QueueItem
+
+	next LeaseID
+
+	gen             uint64
+	compactEvery    int
+	tailEntries     int
+	compactFailures int
+	pendingRotate   uint64 // non-zero: log rotation to this gen still owed
+	stats           ReplayStats
 }
 
 // QueueLogPath locates the cluster coordinator's durable queue log
@@ -114,17 +237,49 @@ func (s *Store) QueueLogPath() string {
 	return filepath.Join(s.root, "cluster", "queue.jsonl")
 }
 
-// OpenQueue opens (creating if needed) the queue log at path and replays
-// it. Refs that were claimed but not completed when the previous
-// coordinator died return to pending, preserving enqueue order.
-func OpenQueue(path string) (*Queue, error) {
-	q := &Queue{
-		leases: make(map[string]*Lease),
-		byID:   make(map[LeaseID]*Lease),
-		done:   make(map[string]RunState),
-		known:  make(map[string]bool),
+// QueueSnapshotPath locates the queue's compaction snapshot beside the
+// log.
+func (s *Store) QueueSnapshotPath() string {
+	return queueSnapshotPath(s.QueueLogPath())
+}
+
+// queueSnapshotPath derives the snapshot path from the log path.
+func queueSnapshotPath(logPath string) string {
+	if base, ok := strings.CutSuffix(logPath, ".jsonl"); ok {
+		return base + ".snap.jsonl"
 	}
-	if err := q.replay(path); err != nil {
+	return logPath + ".snap"
+}
+
+// OpenQueue opens (creating if needed) the queue log at path and replays
+// it with default options. Refs that were claimed but not completed when
+// the previous coordinator died return to pending, preserving enqueue
+// order.
+func OpenQueue(path string) (*Queue, error) {
+	return OpenQueueWithOptions(path, QueueOptions{})
+}
+
+// OpenQueueWithOptions opens the queue log at path, loading the
+// compaction snapshot (if one exists) plus the log tail. A compaction
+// interrupted by a crash — snapshot renamed, log not yet rotated — is
+// finished here before the queue accepts writes.
+func OpenQueueWithOptions(path string, opts QueueOptions) (*Queue, error) {
+	q := &Queue{
+		path:     path,
+		snapPath: queueSnapshotPath(path),
+		slots:    make(map[string]*itemNode),
+		leases:   make(map[string]*Lease),
+		byID:     make(map[LeaseID]*Lease),
+		done:     make(map[string]RunState),
+		orderPos: make(map[string]int),
+		itemOf:   make(map[string]QueueItem),
+	}
+	q.pending.init()
+	q.compactEvery = opts.CompactEvery
+	if q.compactEvery == 0 {
+		q.compactEvery = DefaultCompactEvery
+	}
+	if err := q.load(); err != nil {
 		return nil, err
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -135,19 +290,59 @@ func OpenQueue(path string) (*Queue, error) {
 	return q, nil
 }
 
-// replay rebuilds queue state from the log. A torn trailing record — the
-// crash case — is ignored, like the campaign journal's.
-func (q *Queue) replay(path string) error {
+// load rebuilds queue state from the snapshot (if any) and the log tail.
+func (q *Queue) load() error {
+	snap, err := ReadQueueSnapshot(q.snapPath)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("campaign: queue snapshot: %w", err)
+	}
+	logGen, err := logGeneration(q.path)
+	if err != nil {
+		return err
+	}
+	switch {
+	case snap == nil && logGen == 0:
+		if err := q.replayLog(); err != nil {
+			return err
+		}
+	case snap == nil:
+		// A rotated log without its snapshot means compacted history is
+		// gone; refusing to open is the only honest answer.
+		return fmt.Errorf("campaign: queue log at generation %d but snapshot %s is missing", logGen, q.snapPath)
+	case logGen == snap.Gen:
+		q.applySnapshot(snap)
+		q.gen = snap.Gen
+		if err := q.replayLog(); err != nil {
+			return err
+		}
+	case logGen < snap.Gen:
+		// Crash between the snapshot rename and the log rotation: the
+		// snapshot already contains everything the stale log holds.
+		// Finish the interrupted compaction by rotating the log now.
+		q.applySnapshot(snap)
+		q.gen = snap.Gen
+		if err := q.rotateLogLocked(snap.Gen); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("campaign: queue log generation %d is ahead of snapshot generation %d", logGen, snap.Gen)
+	}
+	q.rebuildPendingLocked()
+	return nil
+}
+
+// logGeneration reads the log's generation marker — the first record of
+// a rotated log. Absent files, empty logs, and logs whose first record
+// is a normal verb (or torn) are generation 0.
+func logGeneration(path string) (uint64, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil
+		return 0, nil
 	}
 	if err != nil {
-		return fmt.Errorf("campaign: replay queue: %w", err)
+		return 0, fmt.Errorf("campaign: replay queue: %w", err)
 	}
 	defer func() { _ = f.Close() }()
-	var order []string
-	specs := make(map[string]QueueItem)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	for sc.Scan() {
@@ -156,49 +351,163 @@ func (q *Queue) replay(path string) error {
 			continue
 		}
 		var rec QueueRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			break // torn trailing write; nothing after it is reachable
+		if json.Unmarshal(line, &rec) != nil || rec.Op != "gen" {
+			return 0, nil
 		}
-		switch rec.Op {
-		case "enqueue":
-			if rec.Spec != nil && !q.known[rec.Ref] {
-				q.known[rec.Ref] = true
-				order = append(order, rec.Ref)
-				specs[rec.Ref] = QueueItem{Ref: rec.Ref, Key: rec.Key, Spec: *rec.Spec}
-			}
-		case "claim", "steal":
-			if rec.Lease >= q.next {
-				q.next = rec.Lease + 1
-			}
-		case "complete":
-			if rec.Ref != "" {
-				q.done[rec.Ref] = rec.State
-			}
-		case "retry":
-			if rec.Ref != "" {
-				delete(q.done, rec.Ref)
-				if rec.Spec != nil && !q.known[rec.Ref] {
-					q.known[rec.Ref] = true
-					order = append(order, rec.Ref)
-					specs[rec.Ref] = QueueItem{Ref: rec.Ref, Key: rec.Key, Spec: *rec.Spec}
-				}
-			}
-		}
+		return rec.Gen, nil
 	}
 	if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
+		return 0, fmt.Errorf("campaign: replay queue: %w", err)
+	}
+	// An oversized or unreadable first record is replayLog's to report.
+	return 0, nil
+}
+
+// replayLog rebuilds queue state from the log records. A torn trailing
+// record — the crash case — is ignored, like the campaign journal's; a
+// malformed record in the *middle* of the log is corruption, not a torn
+// write, and is an error: silently resuming past it would drop every
+// record after it and lose finished work.
+func (q *Queue) replayLog() error {
+	f, err := os.Open(q.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
 		return fmt.Errorf("campaign: replay queue: %w", err)
 	}
-	for _, ref := range order {
-		if _, finished := q.done[ref]; !finished {
-			q.pending = append(q.pending, specs[ref])
+	defer func() { _ = f.Close() }()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	lineNo, tornLine := 0, 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
 		}
+		if tornLine > 0 {
+			return fmt.Errorf("campaign: replay queue: corrupt record at line %d is followed by more records (line %d) — not a torn trailing write", tornLine, lineNo)
+		}
+		var rec QueueRecord
+		if json.Unmarshal(line, &rec) != nil {
+			tornLine = lineNo
+			continue
+		}
+		q.stats.LogEntries += q.applyReplayRecord(&rec)
+		q.tailEntries += recordEntries(&rec)
+	}
+	if err := sc.Err(); err != nil {
+		// bufio.ErrTooLong included: an oversized record truncates replay
+		// exactly like corruption would, so it must surface, not vanish.
+		return fmt.Errorf("campaign: replay queue: %w", err)
 	}
 	return nil
+}
+
+// recordEntries counts the per-ref entries a record carries — the unit
+// the compaction threshold is measured in.
+func recordEntries(rec *QueueRecord) int {
+	if len(rec.Batch) > 0 {
+		return len(rec.Batch)
+	}
+	if rec.Op == "gen" {
+		return 0
+	}
+	return 1
+}
+
+// applyReplayRecord folds one log record into recovery state and reports
+// how many per-ref entries it carried.
+func (q *Queue) applyReplayRecord(rec *QueueRecord) int {
+	switch rec.Op {
+	case "enqueue":
+		if rec.Spec != nil {
+			q.recordKnownLocked(QueueItem{Ref: rec.Ref, Key: rec.Key, Spec: *rec.Spec})
+		}
+	case "enqueue-batch":
+		for _, e := range rec.Batch {
+			if e.Spec != nil {
+				q.recordKnownLocked(QueueItem{Ref: e.Ref, Key: e.Key, Spec: *e.Spec})
+			}
+		}
+	case "claim", "steal":
+		if rec.Lease >= q.next {
+			q.next = rec.Lease + 1
+		}
+	case "claim-batch":
+		for _, e := range rec.Batch {
+			if e.Lease >= q.next {
+				q.next = e.Lease + 1
+			}
+		}
+	case "complete":
+		if rec.Ref != "" {
+			q.done[rec.Ref] = rec.State
+		}
+	case "complete-batch":
+		for _, e := range rec.Batch {
+			if e.Ref != "" {
+				q.done[e.Ref] = e.State
+			}
+		}
+	case "retry":
+		if rec.Ref != "" {
+			delete(q.done, rec.Ref)
+			if rec.Spec != nil {
+				// Honor the retry-time key/spec and its move-to-back: the
+				// live queue re-queued this item at the tail with the spec
+				// the retry carried, and replayed state must match it.
+				q.refreshKnownLocked(QueueItem{Ref: rec.Ref, Key: rec.Key, Spec: *rec.Spec})
+			}
+		}
+	}
+	return recordEntries(rec)
+}
+
+// recordKnownLocked registers a first-time ref in enqueue order; known
+// refs are left untouched (re-enqueue is a no-op).
+func (q *Queue) recordKnownLocked(it QueueItem) {
+	if _, known := q.orderPos[it.Ref]; known {
+		return
+	}
+	q.orderPos[it.Ref] = len(q.knownOrder)
+	q.knownOrder = append(q.knownOrder, it.Ref)
+	q.itemOf[it.Ref] = it
+}
+
+// refreshKnownLocked moves a ref to the back of the known order with a
+// fresh key+spec — the retry path. Unknown refs are added.
+func (q *Queue) refreshKnownLocked(it QueueItem) {
+	if pos, known := q.orderPos[it.Ref]; known {
+		q.knownOrder[pos] = "" // tombstone; skipped on iteration
+	}
+	q.orderPos[it.Ref] = len(q.knownOrder)
+	q.knownOrder = append(q.knownOrder, it.Ref)
+	q.itemOf[it.Ref] = it
+}
+
+// rebuildPendingLocked derives the pending deque from recovery state:
+// every known, non-terminal ref in order. Live leases from the previous
+// epoch were never loaded, so their refs land here — re-issued.
+func (q *Queue) rebuildPendingLocked() {
+	for _, ref := range q.knownOrder {
+		if ref == "" {
+			continue
+		}
+		if _, finished := q.done[ref]; finished {
+			continue
+		}
+		q.slots[ref] = q.pending.pushBack(q.itemOf[ref])
+	}
 }
 
 // appendLocked journals a record with fsync, so a granted claim or a
 // completion is durable before the caller acts on it.
 func (q *Queue) appendLocked(rec QueueRecord) error {
+	if err := q.ensureLogLocked(); err != nil {
+		return err
+	}
 	data, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("campaign: queue log: %w", err)
@@ -209,6 +518,22 @@ func (q *Queue) appendLocked(rec QueueRecord) error {
 	if err := q.f.Sync(); err != nil {
 		return fmt.Errorf("campaign: queue log: %w", err)
 	}
+	q.tailEntries += recordEntries(&rec)
+	return nil
+}
+
+// ensureLogLocked retries an owed log rotation before any append: once a
+// snapshot at generation G exists, appending to a log of generation < G
+// would write records that recovery discards.
+func (q *Queue) ensureLogLocked() error {
+	if q.pendingRotate == 0 {
+		return nil
+	}
+	gen := q.pendingRotate
+	if err := q.rotateLogLocked(gen); err != nil {
+		return fmt.Errorf("campaign: queue log rotation to generation %d still owed: %w", gen, err)
+	}
+	q.tailEntries = 0
 	return nil
 }
 
@@ -216,7 +541,34 @@ func (q *Queue) appendLocked(rec QueueRecord) error {
 func (q *Queue) Close() error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.f == nil {
+		return nil
+	}
 	return q.f.Close()
+}
+
+// ReplayStats reports what the queue read at open time.
+func (q *Queue) ReplayStats() ReplayStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+// Known reports whether a ref was ever enqueued (pending, leased, or
+// terminal).
+func (q *Queue) Known(ref string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	_, ok := q.itemOf[ref]
+	return ok
+}
+
+// Outstanding reports how many refs are admitted but not yet terminal —
+// the quantity admission backpressure caps.
+func (q *Queue) Outstanding() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pending.n + len(q.leases)
 }
 
 // Enqueue adds a run to the queue. Refs are idempotent: re-enqueueing a
@@ -224,14 +576,16 @@ func (q *Queue) Close() error {
 func (q *Queue) Enqueue(ref, key string, spec RunSpec) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.known[ref] {
+	if _, known := q.itemOf[ref]; known {
 		return nil
 	}
 	if err := q.appendLocked(QueueRecord{Op: "enqueue", Ref: ref, Key: key, Spec: &spec}); err != nil {
 		return err
 	}
-	q.known[ref] = true
-	q.pending = append(q.pending, QueueItem{Ref: ref, Key: key, Spec: spec})
+	it := QueueItem{Ref: ref, Key: key, Spec: spec}
+	q.recordKnownLocked(it)
+	q.slots[ref] = q.pending.pushBack(it)
+	q.maybeCompactLocked()
 	return nil
 }
 
@@ -240,7 +594,16 @@ func (q *Queue) Enqueue(ref, key string, spec RunSpec) error {
 func (q *Queue) Pending() []QueueItem {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return append([]QueueItem(nil), q.pending...)
+	return q.pending.snapshot(-1)
+}
+
+// PendingFront returns up to k claimable items from the front of the
+// queue — the bounded projection coordinators hand to routing policies
+// so a 10^5-deep backlog does not cost O(n) per work request.
+func (q *Queue) PendingFront(k int) []QueueItem {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pending.snapshot(k)
 }
 
 // Leases returns a snapshot of the live leases, ordered by grant ID so
@@ -256,6 +619,18 @@ func (q *Queue) Leases() []Lease {
 	return out
 }
 
+// LeaseByID resolves one live lease — the coordinator's O(1) ownership
+// check on start/complete reports.
+func (q *Queue) LeaseByID(id LeaseID) (Lease, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	l, ok := q.byID[id]
+	if !ok {
+		return Lease{}, false
+	}
+	return *l, true
+}
+
 // Claim grants a lease on a pending ref to node, expiring at now+ttl
 // unless extended by heartbeats. The ref must currently be pending (the
 // caller picked it from a Pending snapshot; a lost race reports
@@ -263,25 +638,21 @@ func (q *Queue) Leases() []Lease {
 func (q *Queue) Claim(ref, node string, now, ttl Tick) (Lease, RunSpec, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	idx := -1
-	for i, it := range q.pending {
-		if it.Ref == ref {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
+	nd, ok := q.slots[ref]
+	if !ok {
 		return Lease{}, RunSpec{}, fmt.Errorf("%w: %s", ErrNotPending, ref)
 	}
-	item := q.pending[idx]
+	item := nd.item
 	lease := &Lease{ID: q.next, Ref: item.Ref, Key: item.Key, Node: node, Granted: now, Expires: now + ttl, runSpec: item.Spec}
 	if err := q.appendLocked(QueueRecord{Op: "claim", Ref: item.Ref, Key: item.Key, Node: node, Lease: lease.ID, Tick: now}); err != nil {
 		return Lease{}, RunSpec{}, err
 	}
 	q.next++
-	q.pending = append(q.pending[:idx], q.pending[idx+1:]...)
+	q.pending.remove(nd)
+	delete(q.slots, item.Ref)
 	q.leases[item.Ref] = lease
 	q.byID[lease.ID] = lease
+	q.maybeCompactLocked()
 	return *lease, item.Spec, nil
 }
 
@@ -314,6 +685,7 @@ func (q *Queue) Start(id LeaseID) (Lease, error) {
 		return Lease{}, err
 	}
 	l.Started = true
+	q.maybeCompactLocked()
 	return *l, nil
 }
 
@@ -324,23 +696,39 @@ func (q *Queue) Start(id LeaseID) (Lease, error) {
 func (q *Queue) Complete(id LeaseID, state RunState) (Lease, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	l, ok := q.byID[id]
-	if !ok {
-		return Lease{}, fmt.Errorf("%w: lease %d", ErrStaleLease, id)
-	}
-	if !state.Terminal() {
-		return Lease{}, fmt.Errorf("campaign: complete with non-terminal state %q", state)
-	}
-	if !l.Started {
-		return Lease{}, fmt.Errorf("%w: lease %d never started its run", ErrStaleLease, id)
+	l, err := q.completableLocked(id, state)
+	if err != nil {
+		return Lease{}, err
 	}
 	if err := q.appendLocked(QueueRecord{Op: "complete", Ref: l.Ref, Key: l.Key, Node: l.Node, Lease: id, State: state}); err != nil {
 		return Lease{}, err
 	}
-	delete(q.byID, id)
+	q.finishLeaseLocked(l, state)
+	q.maybeCompactLocked()
+	return *l, nil
+}
+
+// completableLocked validates a completion attempt against the lease
+// protocol without applying it.
+func (q *Queue) completableLocked(id LeaseID, state RunState) (*Lease, error) {
+	l, ok := q.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: lease %d", ErrStaleLease, id)
+	}
+	if !state.Terminal() {
+		return nil, fmt.Errorf("campaign: complete with non-terminal state %q", state)
+	}
+	if !l.Started {
+		return nil, fmt.Errorf("%w: lease %d never started its run", ErrStaleLease, id)
+	}
+	return l, nil
+}
+
+// finishLeaseLocked retires a validated, journaled completion.
+func (q *Queue) finishLeaseLocked(l *Lease, state RunState) {
+	delete(q.byID, l.ID)
 	delete(q.leases, l.Ref)
 	q.done[l.Ref] = state
-	return *l, nil
 }
 
 // Retry clears a ref's terminal state and re-queues it — the resume path
@@ -359,37 +747,55 @@ func (q *Queue) Retry(ref, key string, spec RunSpec) error {
 		return err
 	}
 	delete(q.done, ref)
-	q.known[ref] = true
-	q.pending = append(q.pending, QueueItem{Ref: ref, Key: key, Spec: spec})
+	it := QueueItem{Ref: ref, Key: key, Spec: spec}
+	q.refreshKnownLocked(it)
+	q.slots[ref] = q.pending.pushBack(it)
+	q.maybeCompactLocked()
 	return nil
 }
 
 // ExpireLeases revokes every lease whose expiry has passed and re-queues
 // its run at the front, returning the revoked leases in grant order. This
 // is the node-failure recovery path: a dead node stops heartbeating, its
-// leases expire, and its claims are re-issued to live nodes.
+// leases expire, and its claims are re-issued to live nodes. All expiries
+// of one sweep share a single fsync'd expire-batch record, so a mass node
+// death at 10^5 leases is not 10^5 syncs.
 func (q *Queue) ExpireLeases(now Tick) []Lease {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	var expired []Lease
 	ids := make([]LeaseID, 0, len(q.byID))
-	for id := range q.byID {
-		ids = append(ids, id)
+	for id, l := range q.byID {
+		if l.Expires <= now {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	entries := make([]BatchEntry, len(ids))
+	for i, id := range ids {
+		l := q.byID[id]
+		entries[i] = BatchEntry{Ref: l.Ref, Key: l.Key, Lease: id}
+	}
+	rec := QueueRecord{Op: "expire-batch", Tick: now, Batch: entries}
+	if len(ids) == 1 {
+		// Single expiries keep the classic record shape for log readers.
+		l := q.byID[ids[0]]
+		rec = QueueRecord{Op: "expire", Ref: l.Ref, Key: l.Key, Node: l.Node, Lease: ids[0], Tick: now}
+	}
+	if err := q.appendLocked(rec); err != nil {
+		return nil // keep the leases; a later sweep retries the journal write
+	}
+	expired := make([]Lease, 0, len(ids))
 	for _, id := range ids {
 		l := q.byID[id]
-		if l.Expires > now {
-			continue
-		}
-		if err := q.appendLocked(QueueRecord{Op: "expire", Ref: l.Ref, Key: l.Key, Node: l.Node, Lease: id, Tick: now}); err != nil {
-			continue // keep the lease; a later sweep retries the journal write
-		}
 		expired = append(expired, *l)
 		delete(q.byID, id)
 		delete(q.leases, l.Ref)
-		q.pending = append([]QueueItem{{Ref: l.Ref, Key: l.Key, Spec: l.runSpec}}, q.pending...)
+		q.slots[l.Ref] = q.pending.pushFront(QueueItem{Ref: l.Ref, Key: l.Key, Spec: l.runSpec})
 	}
+	q.maybeCompactLocked()
 	return expired
 }
 
@@ -412,6 +818,7 @@ func (q *Queue) Steal(ref, thief string, now, ttl Tick) (Lease, RunSpec, error) 
 	delete(q.byID, victim.ID)
 	q.leases[ref] = lease
 	q.byID[lease.ID] = lease
+	q.maybeCompactLocked()
 	return *lease, lease.runSpec, nil
 }
 
@@ -427,12 +834,14 @@ func (q *Queue) Done(ref string) (RunState, bool) {
 func (q *Queue) Depth() (pending, leased int) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.pending), len(q.leases)
+	return q.pending.n, len(q.leases)
 }
 
 // ReadQueueLog parses a queue log into its records — the evidence trail
 // the chaos property tests assert protocol invariants over. A torn
-// trailing record is dropped, mirroring replay.
+// trailing record is dropped, mirroring replay; a malformed record
+// followed by further records is corruption and errors, also mirroring
+// replay.
 func ReadQueueLog(path string) ([]QueueRecord, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -442,18 +851,24 @@ func ReadQueueLog(path string) ([]QueueRecord, error) {
 	var recs []QueueRecord
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	lineNo, tornLine := 0, 0
 	for sc.Scan() {
+		lineNo++
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
+		if tornLine > 0 {
+			return nil, fmt.Errorf("campaign: read queue log: corrupt record at line %d is followed by more records (line %d)", tornLine, lineNo)
+		}
 		var rec QueueRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			break
+		if json.Unmarshal(line, &rec) != nil {
+			tornLine = lineNo
+			continue
 		}
 		recs = append(recs, rec)
 	}
-	if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
+	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("campaign: read queue log: %w", err)
 	}
 	return recs, nil

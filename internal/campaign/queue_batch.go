@@ -1,0 +1,226 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Batched verbs amortize the queue's durability cost: a whole batch of
+// enqueues/claims/starts/completes shares one journal append and one
+// fsync, where the single-ref verbs pay one each. Results carry per-ref
+// error slots — a stale lease or already-claimed ref in a batch rejects
+// only its own slot, never its siblings. The only whole-batch failure is
+// the journal write itself, in which case nothing was applied.
+
+// maxBatchRecordEntries chunks a batched journal append into records of
+// at most this many entries, keeping every log line far below the replay
+// scanner's 16 MB ceiling even with spec-carrying entries. All chunks of
+// one append share a single fsync.
+const maxBatchRecordEntries = 512
+
+// ClaimGrant is one ref's slot in a ClaimBatch result.
+type ClaimGrant struct {
+	Ref   string
+	Lease Lease
+	Spec  RunSpec
+	Err   error
+}
+
+// LeaseResult is one lease's slot in a StartBatch or CompleteBatch
+// result.
+type LeaseResult struct {
+	ID    LeaseID
+	Lease Lease
+	Err   error
+}
+
+// Completion pairs a lease with its terminal outcome for CompleteBatch.
+type Completion struct {
+	ID    LeaseID
+	State RunState
+}
+
+// appendBatchLocked journals one batched verb: the entries are chunked
+// into records, written, and made durable with a single fsync.
+func (q *Queue) appendBatchLocked(op, node string, tick Tick, entries []BatchEntry) error {
+	if err := q.ensureLogLocked(); err != nil {
+		return err
+	}
+	for start := 0; start < len(entries); start += maxBatchRecordEntries {
+		end := min(start+maxBatchRecordEntries, len(entries))
+		data, err := json.Marshal(QueueRecord{Op: op, Node: node, Tick: tick, Batch: entries[start:end]})
+		if err != nil {
+			return fmt.Errorf("campaign: queue log: %w", err)
+		}
+		if _, err := q.f.Write(append(data, '\n')); err != nil {
+			return fmt.Errorf("campaign: queue log: %w", err)
+		}
+	}
+	if err := q.f.Sync(); err != nil {
+		return fmt.Errorf("campaign: queue log: %w", err)
+	}
+	q.tailEntries += len(entries)
+	return nil
+}
+
+// EnqueueBatch adds a batch of runs under one fsync. Like Enqueue, known
+// refs (including duplicates within the batch) are skipped, so
+// re-submitting a manifest is idempotent.
+func (q *Queue) EnqueueBatch(items []QueueItem) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	fresh := make([]QueueItem, 0, len(items))
+	seen := make(map[string]bool, len(items))
+	entries := make([]BatchEntry, 0, len(items))
+	for _, it := range items {
+		if seen[it.Ref] {
+			continue
+		}
+		if _, known := q.itemOf[it.Ref]; known {
+			continue
+		}
+		seen[it.Ref] = true
+		spec := it.Spec
+		entries = append(entries, BatchEntry{Ref: it.Ref, Key: it.Key, Spec: &spec})
+		fresh = append(fresh, it)
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	if err := q.appendBatchLocked("enqueue-batch", "", 0, entries); err != nil {
+		return err
+	}
+	for _, it := range fresh {
+		q.recordKnownLocked(it)
+		q.slots[it.Ref] = q.pending.pushBack(it)
+	}
+	q.maybeCompactLocked()
+	return nil
+}
+
+// ClaimBatch grants leases on a batch of pending refs to node under one
+// journal append. Refs that are not pending — or repeated within the
+// batch — fail only their own slot with ErrNotPending. The returned
+// slice is positionally aligned with refs.
+func (q *Queue) ClaimBatch(refs []string, node string, now, ttl Tick) ([]ClaimGrant, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]ClaimGrant, len(refs))
+	granted := make([]*Lease, 0, len(refs))
+	grantIdx := make([]int, 0, len(refs))
+	entries := make([]BatchEntry, 0, len(refs))
+	seen := make(map[string]bool, len(refs))
+	id := q.next
+	for i, ref := range refs {
+		out[i].Ref = ref
+		nd, ok := q.slots[ref]
+		if !ok || seen[ref] {
+			out[i].Err = fmt.Errorf("%w: %s", ErrNotPending, ref)
+			continue
+		}
+		seen[ref] = true
+		item := nd.item
+		l := &Lease{ID: id, Ref: item.Ref, Key: item.Key, Node: node, Granted: now, Expires: now + ttl, runSpec: item.Spec}
+		id++
+		entries = append(entries, BatchEntry{Ref: item.Ref, Key: item.Key, Lease: l.ID})
+		granted = append(granted, l)
+		grantIdx = append(grantIdx, i)
+	}
+	if len(granted) == 0 {
+		return out, nil
+	}
+	if err := q.appendBatchLocked("claim-batch", node, now, entries); err != nil {
+		return nil, err
+	}
+	q.next = id
+	for k, l := range granted {
+		nd := q.slots[l.Ref]
+		q.pending.remove(nd)
+		delete(q.slots, l.Ref)
+		q.leases[l.Ref] = l
+		q.byID[l.ID] = l
+		out[grantIdx[k]].Lease = *l
+		out[grantIdx[k]].Spec = l.runSpec
+	}
+	q.maybeCompactLocked()
+	return out, nil
+}
+
+// StartBatch passes a batch of leases through the execution gate under
+// one journal append. Stale leases fail only their own slot with
+// ErrStaleLease. The returned slice is positionally aligned with ids.
+func (q *Queue) StartBatch(ids []LeaseID) ([]LeaseResult, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]LeaseResult, len(ids))
+	started := make([]*Lease, 0, len(ids))
+	startIdx := make([]int, 0, len(ids))
+	entries := make([]BatchEntry, 0, len(ids))
+	for i, id := range ids {
+		out[i].ID = id
+		l, ok := q.byID[id]
+		if !ok {
+			out[i].Err = fmt.Errorf("%w: lease %d", ErrStaleLease, id)
+			continue
+		}
+		entries = append(entries, BatchEntry{Ref: l.Ref, Key: l.Key, Lease: id})
+		started = append(started, l)
+		startIdx = append(startIdx, i)
+	}
+	if len(started) == 0 {
+		return out, nil
+	}
+	if err := q.appendBatchLocked("start-batch", "", 0, entries); err != nil {
+		return nil, err
+	}
+	for k, l := range started {
+		l.Started = true
+		out[startIdx[k]].Lease = *l
+	}
+	q.maybeCompactLocked()
+	return out, nil
+}
+
+// CompleteBatch finishes a batch of started leases under one journal
+// append. Stale, never-started, or within-batch-duplicated leases fail
+// only their own slot. The returned slice is positionally aligned with
+// completions.
+func (q *Queue) CompleteBatch(completions []Completion) ([]LeaseResult, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]LeaseResult, len(completions))
+	finished := make([]*Lease, 0, len(completions))
+	states := make([]RunState, 0, len(completions))
+	finIdx := make([]int, 0, len(completions))
+	entries := make([]BatchEntry, 0, len(completions))
+	seen := make(map[LeaseID]bool, len(completions))
+	for i, c := range completions {
+		out[i].ID = c.ID
+		if seen[c.ID] {
+			out[i].Err = fmt.Errorf("%w: lease %d completed earlier in batch", ErrStaleLease, c.ID)
+			continue
+		}
+		l, err := q.completableLocked(c.ID, c.State)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		seen[c.ID] = true
+		entries = append(entries, BatchEntry{Ref: l.Ref, Key: l.Key, Lease: c.ID, State: c.State})
+		finished = append(finished, l)
+		states = append(states, c.State)
+		finIdx = append(finIdx, i)
+	}
+	if len(finished) == 0 {
+		return out, nil
+	}
+	if err := q.appendBatchLocked("complete-batch", "", 0, entries); err != nil {
+		return nil, err
+	}
+	for k, l := range finished {
+		out[finIdx[k]].Lease = *l
+		q.finishLeaseLocked(l, states[k])
+	}
+	q.maybeCompactLocked()
+	return out, nil
+}

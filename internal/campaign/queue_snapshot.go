@@ -1,0 +1,279 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Snapshot compaction bounds restart-replay cost. A snapshot captures
+// the queue's *replay-equivalent* state — every known ref in
+// enqueue/retry order with its latest key+spec, the done map, and the
+// next lease ID — NOT the live pending order: live leases are
+// invalidated on recovery anyway, so a leased ref is recorded exactly
+// like a pending one and returns to pending on load, which is precisely
+// what full-log replay would produce.
+//
+// Crash safety is a two-step generation protocol:
+//
+//  1. write queue.snap.jsonl.tmp carrying generation G+1, fsync, rename
+//     over queue.snap.jsonl — the snapshot publishes atomically;
+//  2. rotate the log: write a fresh log whose first record is
+//     {"op":"gen","gen":G+1} via the same tmp+fsync+rename dance.
+//
+// On open, the snapshot generation is compared to the log's gen record:
+// equal means snapshot+tail; snapshot ahead means the crash hit between
+// steps 1 and 2, the stale log is wholly contained in the snapshot, and
+// recovery finishes the rotation; log ahead (or rotated log without its
+// snapshot) is real corruption and refuses to open.
+
+// QueueSnapshot is a parsed queue compaction snapshot.
+type QueueSnapshot struct {
+	// Gen is the generation this snapshot was compacted at; the log tail
+	// that extends it carries the same generation in its gen record.
+	Gen uint64
+	// Next is the next lease ID to grant — preserved so IDs stay
+	// never-reused across compactions.
+	Next LeaseID
+	// Items holds every known ref in enqueue/retry order with its latest
+	// key and spec.
+	Items []QueueItem
+	// Done maps terminal refs to their terminal state.
+	Done map[string]RunState
+}
+
+// ReadQueueSnapshot parses a queue snapshot file. Unlike the log, a
+// snapshot is published atomically, so *any* malformation — a bad line,
+// a missing snap-end trailer, a ref-count mismatch — is corruption and
+// errors. A missing file returns an error wrapping os.ErrNotExist.
+func ReadQueueSnapshot(path string) (*QueueSnapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	snap := &QueueSnapshot{Done: make(map[string]RunState)}
+	var begun, ended bool
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if ended {
+			return nil, fmt.Errorf("snapshot has records after snap-end (line %d)", lineNo)
+		}
+		var rec QueueRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("snapshot line %d: %w", lineNo, err)
+		}
+		switch rec.Op {
+		case "snap-begin":
+			if begun {
+				return nil, fmt.Errorf("snapshot line %d: duplicate snap-begin", lineNo)
+			}
+			begun = true
+			snap.Gen = rec.Gen
+			snap.Next = rec.Next
+		case "snap-ref":
+			if !begun {
+				return nil, fmt.Errorf("snapshot line %d: snap-ref before snap-begin", lineNo)
+			}
+			if rec.Spec == nil {
+				return nil, fmt.Errorf("snapshot line %d: snap-ref without spec", lineNo)
+			}
+			snap.Items = append(snap.Items, QueueItem{Ref: rec.Ref, Key: rec.Key, Spec: *rec.Spec})
+			if rec.State != "" {
+				snap.Done[rec.Ref] = rec.State
+			}
+		case "snap-end":
+			if !begun {
+				return nil, fmt.Errorf("snapshot line %d: snap-end before snap-begin", lineNo)
+			}
+			if rec.Count != len(snap.Items) {
+				return nil, fmt.Errorf("snapshot trailer counts %d refs, read %d", rec.Count, len(snap.Items))
+			}
+			ended = true
+		default:
+			return nil, fmt.Errorf("snapshot line %d: unexpected op %q", lineNo, rec.Op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	if !begun || !ended {
+		return nil, fmt.Errorf("snapshot is truncated (begin=%v end=%v)", begun, ended)
+	}
+	return snap, nil
+}
+
+// applySnapshot seeds recovery state from a parsed snapshot.
+func (q *Queue) applySnapshot(s *QueueSnapshot) {
+	for _, it := range s.Items {
+		q.recordKnownLocked(it)
+	}
+	for ref, st := range s.Done {
+		q.done[ref] = st
+	}
+	q.next = s.Next
+	q.stats.UsedSnapshot = true
+	q.stats.SnapshotRefs = len(s.Items)
+}
+
+// Gen reports the queue's current log generation — 0 until the first
+// compaction.
+func (q *Queue) Gen() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.gen
+}
+
+// CompactFailures counts threshold-triggered compactions that failed.
+// The triggering operation itself still succeeded — compaction is an
+// optimization, and a failed one only means the next open replays more
+// log than it had to.
+func (q *Queue) CompactFailures() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.compactFailures
+}
+
+// Compact forces a snapshot compaction now, regardless of threshold.
+func (q *Queue) Compact() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.compactLocked()
+}
+
+// maybeCompactLocked runs a compaction once the log tail has accumulated
+// enough per-ref entries. Called at the end of every mutating verb —
+// never mid-verb, so the snapshot always captures a fully applied state.
+func (q *Queue) maybeCompactLocked() {
+	if q.compactEvery <= 0 || q.tailEntries < q.compactEvery {
+		return
+	}
+	if err := q.compactLocked(); err != nil {
+		q.compactFailures++
+	}
+}
+
+// compactLocked snapshots the current state at generation+1 and rotates
+// the log. If the rotation fails after the snapshot published, the
+// rotation stays owed (pendingRotate) and every subsequent append
+// retries it first — appending to the superseded log would write records
+// that recovery discards.
+func (q *Queue) compactLocked() error {
+	gen := q.gen + 1
+	if err := q.writeSnapshotLocked(gen); err != nil {
+		return fmt.Errorf("campaign: queue snapshot: %w", err)
+	}
+	q.gen = gen
+	q.pendingRotate = gen
+	if err := q.rotateLogLocked(gen); err != nil {
+		return fmt.Errorf("campaign: queue log rotation: %w", err)
+	}
+	q.tailEntries = 0
+	return nil
+}
+
+// writeSnapshotLocked publishes a snapshot at gen via tmp+fsync+rename,
+// the store's atomic-publish idiom.
+func (q *Queue) writeSnapshotLocked(gen uint64) error {
+	live := 0
+	for _, ref := range q.knownOrder {
+		if ref != "" {
+			live++
+		}
+	}
+	tmp := q.snapPath + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	writeRec := func(rec QueueRecord) error {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+		return w.WriteByte('\n')
+	}
+	werr := writeRec(QueueRecord{Op: "snap-begin", Gen: gen, Next: q.next, Count: live})
+	for _, ref := range q.knownOrder {
+		if werr != nil {
+			break
+		}
+		if ref == "" {
+			continue
+		}
+		it := q.itemOf[ref]
+		spec := it.Spec
+		werr = writeRec(QueueRecord{Op: "snap-ref", Ref: it.Ref, Key: it.Key, State: q.done[ref], Spec: &spec})
+	}
+	if werr == nil {
+		werr = writeRec(QueueRecord{Op: "snap-end", Count: live})
+	}
+	if werr == nil {
+		werr = w.Flush()
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = os.Remove(tmp)
+		return werr
+	}
+	return os.Rename(tmp, q.snapPath)
+}
+
+// rotateLogLocked replaces the log with a fresh one whose sole record is
+// the generation marker, via tmp+fsync+rename. The append handle is
+// re-opened onto the new log when one was open.
+func (q *Queue) rotateLogLocked(gen uint64) error {
+	data, err := json.Marshal(QueueRecord{Op: "gen", Gen: gen})
+	if err != nil {
+		return err
+	}
+	tmp := q.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(append(data, '\n'))
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = os.Remove(tmp)
+		return werr
+	}
+	if q.f != nil {
+		_ = q.f.Close()
+		q.f = nil
+		if err := os.Rename(tmp, q.path); err != nil {
+			return err
+		}
+		nf, err := os.OpenFile(q.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		q.f = nf
+	} else if err := os.Rename(tmp, q.path); err != nil {
+		return err
+	}
+	q.pendingRotate = 0
+	return nil
+}

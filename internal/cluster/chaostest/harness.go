@@ -42,7 +42,10 @@ type Action interface {
 // Kill stops a node permanently: no more heartbeats, claims, or
 // executions. With MidRun set, the node dies immediately after passing
 // the Start gate on its next run — the lease is started but never
-// completed, the crash-mid-run case lease expiry must recover.
+// completed, the crash-mid-run case lease expiry must recover. Under
+// BatchVerbs the MidRun death lands after the node gates its whole
+// backlog through one StartRuns call, orphaning every started lease in
+// the batch at once — the kill-mid-batch case.
 type Kill struct {
 	Node   string
 	MidRun bool
@@ -54,6 +57,30 @@ func (k Kill) Describe() string {
 		return "kill-mid-run " + k.Node
 	}
 	return "kill " + k.Node
+}
+
+// RestartCoordinator closes the coordinator and reopens it from the
+// shared store — the coordinator-crash case. The durable queue replays
+// (snapshot + tail when a compaction has run), nodes re-register, and
+// campaigns resume by ID. Leases granted by the dead epoch are
+// invalidated by replay, so workers holding old assignments drop them at
+// the Start gate.
+//
+// With CrashCompaction set, the restart first simulates a crash inside
+// the compaction window: a snapshot is force-published and the
+// pre-compaction log bytes are restored over the rotated log, leaving
+// the snapshot one generation ahead of the log — recovery must detect
+// the half-finished compaction and complete the rotation itself.
+type RestartCoordinator struct {
+	CrashCompaction bool
+}
+
+// Describe implements Action.
+func (r RestartCoordinator) Describe() string {
+	if r.CrashCompaction {
+		return "restart-coordinator crash-mid-compaction"
+	}
+	return "restart-coordinator"
 }
 
 // Stall freezes a node for Rounds rounds: no heartbeats (so its leases
@@ -112,6 +139,15 @@ type Config struct {
 	// harness defaults 4 and 2.
 	LeaseTTL   campaign.Tick
 	StealAfter campaign.Tick
+	// BatchVerbs routes execution through the batched protocol verbs:
+	// each node gates its whole backlog through one StartRuns call and
+	// reports every outcome through one CompleteRuns call per round,
+	// instead of one Start/Complete round-trip per run.
+	BatchVerbs bool
+	// CompactEvery and MaxOutstanding forward to cluster.Options: the
+	// queue's snapshot-compaction threshold and the admission cap.
+	CompactEvery   int
+	MaxOutstanding int
 	// MaxRounds bounds the round loop; <= 0 selects 200.
 	MaxRounds int
 	Script    Script
@@ -143,19 +179,21 @@ type completion struct {
 
 // Harness drives a simulated cluster deterministically.
 type Harness struct {
-	dir       string
-	co        *cluster.Coordinator
-	nodes     map[string]*workerNode
-	order     []string
-	script    []scriptStep
-	due       []Action
-	log       []string
-	execCount map[string]int
-	completes []completion
-	stale     int
-	maxRounds int
-	campaigns []string
-	rounds    int
+	dir        string
+	co         *cluster.Coordinator
+	opts       cluster.Options // for RestartCoordinator re-opens
+	batchVerbs bool
+	nodes      map[string]*workerNode
+	order      []string
+	script     []scriptStep
+	due        []Action
+	log        []string
+	execCount  map[string]int
+	completes  []completion
+	stale      int
+	maxRounds  int
+	campaigns  []string
+	rounds     int
 }
 
 type scriptStep struct {
@@ -182,9 +220,11 @@ func New(cfg Config) (*Harness, error) {
 	if steal <= 0 {
 		steal = 2
 	}
-	co, err := cluster.NewCoordinator(cluster.Options{
+	opts := cluster.Options{
 		Store: store, Policy: cfg.Policy, LeaseTTL: ttl, StealAfter: steal,
-	})
+		CompactEvery: cfg.CompactEvery, MaxOutstanding: cfg.MaxOutstanding,
+	}
+	co, err := cluster.NewCoordinator(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -193,11 +233,13 @@ func New(cfg Config) (*Harness, error) {
 		maxRounds = 200
 	}
 	h := &Harness{
-		dir:       cfg.Dir,
-		co:        co,
-		nodes:     make(map[string]*workerNode),
-		execCount: make(map[string]int),
-		maxRounds: maxRounds,
+		dir:        cfg.Dir,
+		co:         co,
+		opts:       opts,
+		batchVerbs: cfg.BatchVerbs,
+		nodes:      make(map[string]*workerNode),
+		execCount:  make(map[string]int),
+		maxRounds:  maxRounds,
 	}
 	for _, s := range cfg.Script {
 		h.script = append(h.script, scriptStep{step: s})
@@ -343,7 +385,11 @@ func (h *Harness) Run() error {
 			if skip[name] || len(n.backlog) == 0 {
 				continue
 			}
-			h.executeOne(n, round)
+			if h.batchVerbs {
+				h.executeBatch(n, round)
+			} else {
+				h.executeOne(n, round)
+			}
 		}
 		h.co.Advance()
 
@@ -383,6 +429,105 @@ func (h *Harness) executeOne(n *workerNode, round int) {
 	}
 }
 
+// executeBatch drains the node's whole backlog through the batched
+// protocol: one StartRuns call gates every claim (stale slots drop only
+// themselves), admitted runs execute, and one CompleteRuns call reports
+// every outcome — the same shape a batched roadrunnerd worker uses.
+func (h *Harness) executeBatch(n *workerNode, round int) {
+	batch := n.backlog
+	n.backlog = nil
+	leases := make([]campaign.LeaseID, len(batch))
+	for i, asg := range batch {
+		leases[i] = asg.Lease
+	}
+	startErrs := h.co.StartRuns(n.name, leases)
+	if n.killMidRun {
+		// The kill-mid-batch case: every lease that just passed the Start
+		// gate is orphaned at once; lease expiry must recover them all.
+		n.killMidRun = false
+		n.alive = false
+		h.log = append(h.log, fmt.Sprintf("act r%02d died-mid-batch %s %d-leases", round, n.name, len(batch)))
+		return
+	}
+	var reports []cluster.CompletionReport
+	var ran []cluster.Assignment
+	for i, asg := range batch {
+		if startErrs[i] != nil {
+			h.log = append(h.log, fmt.Sprintf("act r%02d drop-stale %s %s", round, n.name, shortKey(asg.Key)))
+			continue
+		}
+		out := n.runner.Run(asg)
+		if out.State == campaign.RunDone && !out.Cached {
+			h.execCount[asg.Key]++
+		}
+		h.completes = append(h.completes, completion{node: n.name, lease: asg.Lease, key: asg.Key, out: out})
+		reports = append(reports, cluster.CompletionReport{Lease: asg.Lease, Outcome: out})
+		ran = append(ran, asg)
+	}
+	for i, err := range h.co.CompleteRuns(n.name, reports) {
+		if err != nil {
+			h.stale++
+			h.log = append(h.log, fmt.Sprintf("act r%02d complete-stale %s %s", round, n.name, shortKey(ran[i].Key)))
+		}
+	}
+}
+
+// restartCoordinator swaps in a fresh coordinator over the same shared
+// directory: the durable queue replays, every node re-registers, and the
+// submitted campaigns resume under their original IDs. With
+// crashCompaction, the restart first manufactures the crash window
+// inside compaction — snapshot published, log rotation lost — by
+// force-compacting a direct queue handle and then restoring the
+// pre-compaction log bytes.
+func (h *Harness) restartCoordinator(crashCompaction bool) error {
+	logPath := h.co.Store().QueueLogPath()
+	h.co.Close()
+	if crashCompaction {
+		before, err := os.ReadFile(logPath)
+		if err != nil {
+			return err
+		}
+		q, err := campaign.OpenQueueWithOptions(logPath, campaign.QueueOptions{CompactEvery: -1})
+		if err != nil {
+			return err
+		}
+		if err := q.Compact(); err != nil {
+			_ = q.Close()
+			return err
+		}
+		if err := q.Close(); err != nil {
+			return err
+		}
+		// Roll the log back to its pre-compaction content: the snapshot is
+		// now one generation ahead, exactly the state a crash between
+		// snapshot publish and log rotation leaves behind.
+		if err := os.WriteFile(logPath, before, 0o644); err != nil {
+			return err
+		}
+	}
+	store, err := campaign.OpenStore(h.dir)
+	if err != nil {
+		return err
+	}
+	opts := h.opts
+	opts.Store = store
+	co, err := cluster.NewCoordinator(opts)
+	if err != nil {
+		return err
+	}
+	co.Observe(h.observe)
+	h.co = co
+	for _, name := range h.order {
+		co.RegisterNode(name, h.nodes[name].capacity)
+	}
+	for _, id := range h.campaigns {
+		if err := co.Resume(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // applyDue applies every action triggered since the previous round, in
 // trigger order.
 func (h *Harness) applyDue(round int) {
@@ -410,6 +555,10 @@ func (h *Harness) applyDue(round int) {
 					h.stale++
 					h.log = append(h.log, fmt.Sprintf("act r%02d duplicate-rejected %s", round, shortKey(last.key)))
 				}
+			}
+		case RestartCoordinator:
+			if err := h.restartCoordinator(a.CrashCompaction); err != nil {
+				h.log = append(h.log, fmt.Sprintf("act r%02d restart-failed %v", round, err))
 			}
 		case CorruptEntry:
 			if len(h.completes) > 0 {

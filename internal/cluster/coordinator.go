@@ -29,6 +29,14 @@ type Options struct {
 	// StealAfter is how many ticks an unstarted claim may sit on a node
 	// before another idle node may steal it; <= 0 selects 3.
 	StealAfter campaign.Tick
+	// CompactEvery is the queue's snapshot-compaction threshold in
+	// journal entries; 0 selects the queue default, negative disables.
+	CompactEvery int
+	// MaxOutstanding caps admitted-but-unfinished runs (pending+leased)
+	// across all campaigns. A Submit that would push past the cap is
+	// rejected with ErrBacklogFull — admission backpressure for
+	// manifests that outnumber fleet capacity. <= 0 means uncapped.
+	MaxOutstanding int
 }
 
 // ErrUnknownNode reports a claim or completion from a node that never
@@ -38,6 +46,12 @@ var ErrUnknownNode = errors.New("cluster: unknown node")
 // ErrUnknownCampaign reports a lookup for a campaign the coordinator
 // does not hold.
 var ErrUnknownCampaign = errors.New("cluster: unknown campaign")
+
+// ErrBacklogFull reports a submission rejected by admission
+// backpressure: the queue already holds MaxOutstanding unfinished runs.
+// The HTTP layer maps this to 429 with a Retry-After hint; the manifest
+// is safe to resubmit verbatim once the backlog drains.
+var ErrBacklogFull = errors.New("cluster: backlog full")
 
 // node is the coordinator's book-keeping for one registered worker.
 type node struct {
@@ -72,11 +86,12 @@ type runningCampaign struct {
 // events under the lock and emit them after releasing it, so observers
 // (the chaos harness) may call back into the coordinator.
 type Coordinator struct {
-	store      *campaign.Store
-	queue      *campaign.Queue
-	policy     Policy
-	leaseTTL   campaign.Tick
-	stealAfter campaign.Tick
+	store          *campaign.Store
+	queue          *campaign.Queue
+	policy         Policy
+	leaseTTL       campaign.Tick
+	stealAfter     campaign.Tick
+	maxOutstanding int
 
 	mu        sync.Mutex
 	now       campaign.Tick
@@ -97,7 +112,7 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 	if opts.Store == nil {
 		return nil, fmt.Errorf("cluster: coordinator needs a store")
 	}
-	q, err := campaign.OpenQueue(opts.Store.QueueLogPath())
+	q, err := campaign.OpenQueueWithOptions(opts.Store.QueueLogPath(), campaign.QueueOptions{CompactEvery: opts.CompactEvery})
 	if err != nil {
 		return nil, err
 	}
@@ -128,15 +143,16 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 		}
 	}
 	return &Coordinator{
-		store:      opts.Store,
-		queue:      q,
-		policy:     pol,
-		leaseTTL:   ttl,
-		stealAfter: steal,
-		seq:        seq,
-		nodes:      make(map[string]*node),
-		campaigns:  make(map[string]*runningCampaign),
-		subs:       make(map[int]chan Event),
+		store:          opts.Store,
+		queue:          q,
+		policy:         pol,
+		leaseTTL:       ttl,
+		stealAfter:     steal,
+		maxOutstanding: opts.MaxOutstanding,
+		seq:            seq,
+		nodes:          make(map[string]*node),
+		campaigns:      make(map[string]*runningCampaign),
+		subs:           make(map[int]chan Event),
 	}, nil
 }
 
@@ -155,6 +171,11 @@ func (co *Coordinator) Close() {
 
 // Store returns the coordinator's shared result store.
 func (co *Coordinator) Store() *campaign.Store { return co.store }
+
+// QueueReplayStats reports how the coordinator's queue recovered at
+// open: whether a snapshot seeded the replay and how much log tail was
+// replayed on top of it.
+func (co *Coordinator) QueueReplayStats() campaign.ReplayStats { return co.queue.ReplayStats() }
 
 // Policy returns the active routing policy's name.
 func (co *Coordinator) Policy() string { return co.policy.Name() }
@@ -263,26 +284,26 @@ func (co *Coordinator) submit(id string, m campaign.Manifest) error {
 	if err != nil {
 		return err
 	}
-	j, err := co.store.OpenJournal(c)
-	if err != nil {
-		return err
-	}
 
 	co.mu.Lock()
 	if _, dup := co.campaigns[id]; dup {
 		co.mu.Unlock()
-		j.Close()
 		return fmt.Errorf("cluster: campaign %s already registered", id)
 	}
 	rc := &runningCampaign{
-		c:       c,
-		journal: j,
-		byRef:   make(map[string][]int),
-		groups:  make(map[string]string),
+		c:      c,
+		byRef:  make(map[string][]int),
+		groups: make(map[string]string),
 	}
 	specs := c.Specs()
 	keys := c.Keys()
-	var events []Event
+
+	// Pass 1 — classify every distinct ref without touching the journal
+	// or the queue, so admission can reject the whole manifest before any
+	// durable side effect.
+	var cachedRuns []int             // run indices served from the store
+	var retries []campaign.QueueItem // terminal in the queue but not servable
+	var fresh []campaign.QueueItem   // refs the queue has never seen
 	for i, spec := range specs {
 		ref := id + "/" + keys[i]
 		first := len(rc.byRef[ref]) == 0
@@ -293,18 +314,14 @@ func (co *Coordinator) submit(id string, m campaign.Manifest) error {
 		group, err := spec.GroupKey()
 		if err != nil {
 			co.mu.Unlock()
-			j.Close()
 			return err
 		}
 		rc.groups[ref] = group
 		if res, _ := co.store.Get(keys[i]); res != nil {
-			snap := c.Transition(i, campaign.RunCached, &campaign.RunUpdate{
-				FinalAccuracy: res.FinalAccuracy,
-				EndS:          float64(res.End),
-			})
-			j.RecordRun(snap)
+			cachedRuns = append(cachedRuns, i)
 			continue
 		}
+		item := campaign.QueueItem{Ref: ref, Key: keys[i], Spec: spec}
 		if _, done := co.queue.Done(ref); done {
 			// The queue log says this ref already finished, but the store
 			// cannot serve it (a failed run, or a done run whose entry was
@@ -313,18 +330,61 @@ func (co *Coordinator) submit(id string, m campaign.Manifest) error {
 			// single-node resume re-executing a store miss. Without this the
 			// ref counts toward remaining but no lease is ever granted, and
 			// the resumed campaign hangs forever.
-			if err := co.queue.Retry(ref, keys[i], spec); err != nil {
-				co.mu.Unlock()
-				j.Close()
-				return err
-			}
-		} else if err := co.queue.Enqueue(ref, keys[i], spec); err != nil {
+			retries = append(retries, item)
+		} else if !co.queue.Known(ref) {
+			fresh = append(fresh, item)
+		}
+		// A known, non-terminal ref (a resumed campaign whose work is
+		// still queued or leased) re-attaches without re-enqueueing.
+		rc.remaining++
+	}
+
+	// Admission backpressure: count only refs this submission would add
+	// to the backlog — already-outstanding refs of a resume are in.
+	if adding := len(fresh) + len(retries); co.maxOutstanding > 0 && adding > 0 {
+		if co.queue.Outstanding()+adding > co.maxOutstanding {
+			co.mu.Unlock()
+			return fmt.Errorf("%w: %d outstanding + %d submitted > cap %d",
+				ErrBacklogFull, co.queue.Outstanding(), adding, co.maxOutstanding)
+		}
+	}
+
+	// Pass 2 — admitted: open the journal, record the cache hits, and fan
+	// the remainder into the queue under one batched append.
+	j, err := co.store.OpenJournal(c)
+	if err != nil {
+		co.mu.Unlock()
+		return err
+	}
+	rc.journal = j
+	for _, i := range cachedRuns {
+		res, _ := co.store.Get(keys[i])
+		if res == nil {
+			// The store entry vanished between passes; fail the submit
+			// rather than silently marking a run cached without a result.
+			co.mu.Unlock()
+			j.Close()
+			return fmt.Errorf("cluster: submit: result %s disappeared mid-admission", keys[i])
+		}
+		snap := c.Transition(i, campaign.RunCached, &campaign.RunUpdate{
+			FinalAccuracy: res.FinalAccuracy,
+			EndS:          float64(res.End),
+		})
+		j.RecordRun(snap)
+	}
+	for _, item := range retries {
+		if err := co.queue.Retry(item.Ref, item.Key, item.Spec); err != nil {
 			co.mu.Unlock()
 			j.Close()
 			return err
 		}
-		rc.remaining++
 	}
+	if err := co.queue.EnqueueBatch(fresh); err != nil {
+		co.mu.Unlock()
+		j.Close()
+		return err
+	}
+	var events []Event
 	co.campaigns[id] = rc
 	co.order = append(co.order, id)
 	if rc.remaining == 0 {
@@ -413,9 +473,16 @@ func (co *Coordinator) nodeStatsLocked() []NodeStats {
 	return stats
 }
 
-// pendingRunsLocked projects the queue for the routing policy.
+// pendingWindow bounds the queue projection handed to routing policies:
+// policies rank claimable work from the front of the queue, and at
+// 10^5-deep backlogs a full O(n) snapshot per work request would swamp
+// the control plane for no routing benefit.
+const pendingWindow = 1024
+
+// pendingRunsLocked projects up to pendingWindow queued runs for the
+// routing policy.
 func (co *Coordinator) pendingRunsLocked() []PendingRun {
-	items := co.queue.Pending()
+	items := co.queue.PendingFront(pendingWindow)
 	out := make([]PendingRun, len(items))
 	for i, it := range items {
 		out[i] = PendingRun{Ref: it.Ref, Key: it.Key, Group: co.groupOfLocked(it.Ref)}
@@ -476,31 +543,55 @@ func (co *Coordinator) RequestWork(name string, max int) ([]Assignment, error) {
 		n.alive = true
 		events = append(events, Event{Type: "node-revived", Node: name, Tick: co.now})
 	}
+	// Pick phase: the policy ranks a bounded projection of the queue;
+	// node stats are updated provisionally between picks so each pick
+	// sees the fleet as if the previous grants already landed. All picks
+	// then share one batched claim — one journal append and one fsync
+	// whether the node asked for one run or five hundred.
+	pending := co.pendingRunsLocked()
+	var picks []PendingRun
+	for len(picks) < max && n.inflight < n.capacity && len(pending) > 0 {
+		idx := co.policy.Pick(pending, co.nodeStatsLocked(), name)
+		if idx < 0 {
+			break
+		}
+		if idx >= len(pending) {
+			idx = len(pending) - 1
+		}
+		picks = append(picks, pending[idx])
+		pending = append(pending[:idx], pending[idx+1:]...)
+		n.inflight++
+		n.granted++
+	}
+	if len(picks) > 0 {
+		refs := make([]string, len(picks))
+		for i, p := range picks {
+			refs[i] = p.Ref
+		}
+		grants, err := co.queue.ClaimBatch(refs, name, co.now, co.leaseTTL)
+		if err != nil {
+			// Journal append failed: nothing was claimed, roll back the
+			// provisional stats.
+			n.inflight -= len(picks)
+			n.granted -= len(picks)
+		} else {
+			for _, g := range grants {
+				if g.Err != nil {
+					n.inflight--
+					n.granted--
+					continue
+				}
+				out = append(out, Assignment{
+					Campaign: campaignOfRef(g.Lease.Ref), Ref: g.Lease.Ref, Key: g.Lease.Key,
+					Lease: g.Lease.ID, Spec: g.Spec,
+				})
+				events = append(events, Event{Type: "claim", Node: name, Campaign: campaignOfRef(g.Lease.Ref), Ref: g.Lease.Ref, Key: g.Lease.Key, Tick: co.now})
+			}
+		}
+	}
+	// Queue drained (or the policy deferred): steal the oldest unstarted
+	// claims other nodes have been sitting on.
 	for len(out) < max && n.inflight < n.capacity {
-		pending := co.pendingRunsLocked()
-		idx := -1
-		if len(pending) > 0 {
-			idx = co.policy.Pick(pending, co.nodeStatsLocked(), name)
-			if idx >= len(pending) {
-				idx = len(pending) - 1
-			}
-		}
-		if idx >= 0 {
-			lease, spec, err := co.queue.Claim(pending[idx].Ref, name, co.now, co.leaseTTL)
-			if err != nil {
-				break
-			}
-			n.inflight++
-			n.granted++
-			out = append(out, Assignment{
-				Campaign: campaignOfRef(lease.Ref), Ref: lease.Ref, Key: lease.Key,
-				Lease: lease.ID, Spec: spec,
-			})
-			events = append(events, Event{Type: "claim", Node: name, Campaign: campaignOfRef(lease.Ref), Ref: lease.Ref, Key: lease.Key, Tick: co.now})
-			continue
-		}
-		// Queue drained (or policy deferred an empty view): steal the
-		// oldest unstarted claim another node has been sitting on.
 		asg, ev, stole := co.stealLocked(n)
 		if !stole {
 			break
@@ -541,68 +632,138 @@ func (co *Coordinator) stealLocked(thief *node) (Assignment, Event, bool) {
 	return Assignment{}, Event{}, false
 }
 
-// StartRun is the execution gate: a node must pass it before running a
-// claimed spec. ErrStaleLease means the claim was stolen or expired —
-// the node drops the assignment without executing. The node's inflight
-// slot is NOT released here: every path that makes a lease stale (steal,
-// expiry, completion) already freed the holder's slot exactly once.
+// StartRun is the single-lease execution gate; see StartRuns.
 func (co *Coordinator) StartRun(name string, id campaign.LeaseID) error {
+	return co.StartRuns(name, []campaign.LeaseID{id})[0]
+}
+
+// StartRuns is the execution gate: a node must pass each claimed lease
+// through it before running the spec. The whole batch shares one journal
+// append; each lease gets its own error slot, and ErrStaleLease in a
+// slot (the claim was stolen or expired — the node drops that assignment
+// without executing) never poisons its siblings. Inflight slots are NOT
+// released on stale starts: every path that makes a lease stale (steal,
+// expiry, completion) already freed the holder's slot exactly once.
+func (co *Coordinator) StartRuns(name string, ids []campaign.LeaseID) []error {
+	errs := make([]error, len(ids))
 	co.mu.Lock()
-	if held, ok := co.leaseLocked(id); ok && held.Node != name {
-		co.mu.Unlock()
-		return fmt.Errorf("%w: lease %d is held by %s, not %s", campaign.ErrStaleLease, id, held.Node, name)
+	gate := make([]campaign.LeaseID, 0, len(ids))
+	gateIdx := make([]int, 0, len(ids))
+	for i, id := range ids {
+		if held, ok := co.queue.LeaseByID(id); ok && held.Node != name {
+			errs[i] = fmt.Errorf("%w: lease %d is held by %s, not %s", campaign.ErrStaleLease, id, held.Node, name)
+			continue
+		}
+		gate = append(gate, id)
+		gateIdx = append(gateIdx, i)
 	}
-	lease, err := co.queue.Start(id)
 	var events []Event
-	if err == nil {
-		events = append(events, Event{Type: "start", Node: name, Campaign: campaignOfRef(lease.Ref), Ref: lease.Ref, Key: lease.Key, Tick: co.now})
-		if rc, ok := co.campaigns[campaignOfRef(lease.Ref)]; ok {
-			for _, i := range rc.byRef[lease.Ref] {
-				rc.c.Transition(i, campaign.RunRunning, nil)
+	if len(gate) > 0 {
+		results, err := co.queue.StartBatch(gate)
+		if err != nil {
+			for _, i := range gateIdx {
+				errs[i] = err
+			}
+		} else {
+			for k, r := range results {
+				if r.Err != nil {
+					errs[gateIdx[k]] = r.Err
+					continue
+				}
+				lease := r.Lease
+				events = append(events, Event{Type: "start", Node: name, Campaign: campaignOfRef(lease.Ref), Ref: lease.Ref, Key: lease.Key, Tick: co.now})
+				if rc, ok := co.campaigns[campaignOfRef(lease.Ref)]; ok {
+					for _, i := range rc.byRef[lease.Ref] {
+						rc.c.Transition(i, campaign.RunRunning, nil)
+					}
+				}
 			}
 		}
 	}
 	co.mu.Unlock()
 	co.emit(events)
-	return err
+	return errs
 }
 
-// CompleteRun records a node's outcome for a started lease it holds. A
-// non-failed outcome whose result is missing from the shared store is
-// demoted to failed — durability is part of the run contract, exactly as
-// in the single-node scheduler. Stale completions (the lease expired
-// mid-run and the work was re-issued, was never started, or belongs to
-// another node) report ErrStaleLease and change nothing: the node's
+// CompletionReport pairs a lease with the outcome its node produced,
+// for CompleteRuns.
+type CompletionReport struct {
+	Lease   campaign.LeaseID
+	Outcome Outcome
+}
+
+// CompleteRun records a single lease's outcome; see CompleteRuns.
+func (co *Coordinator) CompleteRun(name string, id campaign.LeaseID, out Outcome) error {
+	return co.CompleteRuns(name, []CompletionReport{{Lease: id, Outcome: out}})[0]
+}
+
+// CompleteRuns records a node's outcomes for started leases it holds,
+// all under one journal append. A non-failed outcome whose result is
+// missing from the shared store is demoted to failed — durability is
+// part of the run contract, exactly as in the single-node scheduler.
+// Each report gets its own error slot: stale completions (the lease
+// expired mid-run and the work was re-issued, was never started, or
+// belongs to another node) report ErrStaleLease in their slot, change
+// nothing, and never poison the batch's valid siblings — the node's
 // store Put, if any, is harmless because content addressing makes both
 // writers' bytes identical.
-func (co *Coordinator) CompleteRun(name string, id campaign.LeaseID, out Outcome) error {
-	if !out.State.Terminal() {
-		return fmt.Errorf("cluster: complete with non-terminal state %q", out.State)
-	}
+func (co *Coordinator) CompleteRuns(name string, reports []CompletionReport) []error {
+	errs := make([]error, len(reports))
 	co.mu.Lock()
-	held, ok := co.leaseLocked(id)
-	if !ok || held.Node != name {
-		ev := Event{Type: "stale-complete", Node: name, Tick: co.now}
-		co.mu.Unlock()
-		co.emit([]Event{ev})
-		return fmt.Errorf("%w: lease %d is not held by %s", campaign.ErrStaleLease, id, name)
-	}
-	state := out.State
-	var detail string
-	if state != campaign.RunFailed && !co.store.Has(held.Key) {
-		state = campaign.RunFailed
-		detail = "completed without a stored result"
-	}
-	lease, err := co.queue.Complete(id, state)
-	if err != nil {
-		// Protocol rejection for a live, owned lease: never started.
-		ev := Event{Type: "stale-complete", Node: name, Tick: co.now}
-		co.mu.Unlock()
-		co.emit([]Event{ev})
-		return err
-	}
 	var events []Event
-	events = append(events, Event{Type: "complete", Node: name, Campaign: campaignOfRef(lease.Ref), Ref: lease.Ref, Key: lease.Key, Tick: co.now, Detail: string(state)})
+	comps := make([]campaign.Completion, 0, len(reports))
+	compIdx := make([]int, 0, len(reports))
+	details := make([]string, 0, len(reports))
+	for i, rep := range reports {
+		if !rep.Outcome.State.Terminal() {
+			errs[i] = fmt.Errorf("cluster: complete with non-terminal state %q", rep.Outcome.State)
+			continue
+		}
+		held, ok := co.queue.LeaseByID(rep.Lease)
+		if !ok || held.Node != name {
+			events = append(events, Event{Type: "stale-complete", Node: name, Tick: co.now})
+			errs[i] = fmt.Errorf("%w: lease %d is not held by %s", campaign.ErrStaleLease, rep.Lease, name)
+			continue
+		}
+		state := rep.Outcome.State
+		var detail string
+		if state != campaign.RunFailed && !co.store.Has(held.Key) {
+			state = campaign.RunFailed
+			detail = "completed without a stored result"
+		}
+		comps = append(comps, campaign.Completion{ID: rep.Lease, State: state})
+		compIdx = append(compIdx, i)
+		details = append(details, detail)
+	}
+	if len(comps) > 0 {
+		results, err := co.queue.CompleteBatch(comps)
+		if err != nil {
+			for _, i := range compIdx {
+				errs[i] = err
+			}
+		} else {
+			for k, r := range results {
+				i := compIdx[k]
+				if r.Err != nil {
+					// Protocol rejection for a live, owned lease: never
+					// started, or completed earlier in this batch.
+					events = append(events, Event{Type: "stale-complete", Node: name, Tick: co.now})
+					errs[i] = r.Err
+					continue
+				}
+				events = append(events, co.completedLocked(name, r.Lease, comps[k].State, reports[i].Outcome, details[k])...)
+			}
+		}
+	}
+	co.mu.Unlock()
+	co.emit(events)
+	return errs
+}
+
+// completedLocked applies the campaign/node bookkeeping for one
+// journaled completion and returns its events.
+func (co *Coordinator) completedLocked(name string, lease campaign.Lease, state campaign.RunState, out Outcome, detail string) []Event {
+	events := []Event{{Type: "complete", Node: name, Campaign: campaignOfRef(lease.Ref), Ref: lease.Ref, Key: lease.Key, Tick: co.now, Detail: string(state)}}
 	if n, ok := co.nodes[name]; ok {
 		if n.inflight > 0 {
 			n.inflight--
@@ -640,19 +801,7 @@ func (co *Coordinator) CompleteRun(name string, id campaign.LeaseID, out Outcome
 			events = append(events, co.finishLocked(campaignOfRef(lease.Ref), rc)...)
 		}
 	}
-	co.mu.Unlock()
-	co.emit(events)
-	return nil
-}
-
-// leaseLocked resolves a live lease by grant ID.
-func (co *Coordinator) leaseLocked(id campaign.LeaseID) (campaign.Lease, bool) {
-	for _, l := range co.queue.Leases() {
-		if l.ID == id {
-			return l, true
-		}
-	}
-	return campaign.Lease{}, false
+	return events
 }
 
 // Advance moves the logical clock one tick: leases past their expiry are

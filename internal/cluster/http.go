@@ -24,9 +24,18 @@ const maxBodyBytes = 1 << 20
 //	GET  /v1/cluster/nodes               fleet status
 //	POST /v1/cluster/register            worker join
 //	POST /v1/cluster/heartbeat           worker liveness
-//	POST /v1/cluster/claims              worker work request
+//	POST /v1/cluster/claims              worker work request (batched: one call grants many)
 //	POST /v1/cluster/starts              execution gate (409 on stale lease)
 //	POST /v1/cluster/complete            outcome report (409 on stale lease)
+//
+// starts and complete accept either the single-lease envelope
+// ({"node","lease"} / {"node","lease","outcome"}) or the batched one
+// ({"node","leases":[...]} / {"node","completes":[{"lease","outcome"},...]}).
+// Batched requests always answer 200 with a per-slot results array —
+// a stale lease flags only its own slot ("stale":true), never the
+// siblings — while the single-lease envelope keeps the 409 contract.
+// Submissions rejected by admission backpressure answer 429 with a
+// Retry-After hint.
 func (co *Coordinator) Routes(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/cluster/campaigns", co.handleSubmit)
 	mux.HandleFunc("GET /v1/cluster/campaigns", co.handleList)
@@ -67,6 +76,13 @@ func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := co.Submit(m)
 	if err != nil {
+		if errors.Is(err, ErrBacklogFull) {
+			// Backpressure, not a bad request: the manifest is fine and
+			// should be resubmitted verbatim once the backlog drains.
+			w.Header().Set("Retry-After", "1")
+			clusterError(w, http.StatusTooManyRequests, err)
+			return
+		}
 		clusterError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -226,17 +242,53 @@ func (co *Coordinator) handleClaims(w http.ResponseWriter, r *http.Request) {
 	clusterJSON(w, http.StatusOK, map[string]any{"assignments": asgs})
 }
 
-// leaseRequest is the worker-facing envelope for starts and completes.
-type leaseRequest struct {
-	Node    string           `json:"node"`
+// completionWire is one lease's outcome inside a batched complete.
+type completionWire struct {
 	Lease   campaign.LeaseID `json:"lease"`
-	Outcome *Outcome         `json:"outcome,omitempty"`
+	Outcome *Outcome         `json:"outcome"`
+}
+
+// leaseRequest is the worker-facing envelope for starts and completes.
+// The single-lease fields and the batched arrays are mutually exclusive;
+// a non-nil array selects the batched form.
+type leaseRequest struct {
+	Node      string             `json:"node"`
+	Lease     campaign.LeaseID   `json:"lease,omitempty"`
+	Outcome   *Outcome           `json:"outcome,omitempty"`
+	Leases    []campaign.LeaseID `json:"leases,omitempty"`
+	Completes []completionWire   `json:"completes,omitempty"`
+}
+
+// leaseSlot is one lease's result inside a batched starts/complete
+// reply. Stale marks campaign.ErrStaleLease rejections so clients can
+// drop the assignment without string-matching.
+type leaseSlot struct {
+	Lease campaign.LeaseID `json:"lease"`
+	Error string           `json:"error,omitempty"`
+	Stale bool             `json:"stale,omitempty"`
+}
+
+func leaseSlots(ids []campaign.LeaseID, errs []error) []leaseSlot {
+	slots := make([]leaseSlot, len(errs))
+	for i, err := range errs {
+		slots[i].Lease = ids[i]
+		if err != nil {
+			slots[i].Error = err.Error()
+			slots[i].Stale = errors.Is(err, campaign.ErrStaleLease)
+		}
+	}
+	return slots
 }
 
 func (co *Coordinator) handleStarts(w http.ResponseWriter, r *http.Request) {
 	var req leaseRequest
 	if err := decodeBody(w, r, &req); err != nil || req.Node == "" {
 		clusterError(w, http.StatusBadRequest, fmt.Errorf("start needs a node name and lease"))
+		return
+	}
+	if req.Leases != nil {
+		errs := co.StartRuns(req.Node, req.Leases)
+		clusterJSON(w, http.StatusOK, map[string]any{"results": leaseSlots(req.Leases, errs)})
 		return
 	}
 	if err := co.StartRun(req.Node, req.Lease); err != nil {
@@ -252,7 +304,26 @@ func (co *Coordinator) handleStarts(w http.ResponseWriter, r *http.Request) {
 
 func (co *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	var req leaseRequest
-	if err := decodeBody(w, r, &req); err != nil || req.Node == "" || req.Outcome == nil {
+	if err := decodeBody(w, r, &req); err != nil || req.Node == "" {
+		clusterError(w, http.StatusBadRequest, fmt.Errorf("complete needs a node name, lease, and outcome"))
+		return
+	}
+	if req.Completes != nil {
+		reports := make([]CompletionReport, len(req.Completes))
+		ids := make([]campaign.LeaseID, len(req.Completes))
+		for i, c := range req.Completes {
+			if c.Outcome == nil {
+				clusterError(w, http.StatusBadRequest, fmt.Errorf("complete slot %d has no outcome", i))
+				return
+			}
+			reports[i] = CompletionReport{Lease: c.Lease, Outcome: *c.Outcome}
+			ids[i] = c.Lease
+		}
+		errs := co.CompleteRuns(req.Node, reports)
+		clusterJSON(w, http.StatusOK, map[string]any{"results": leaseSlots(ids, errs)})
+		return
+	}
+	if req.Outcome == nil {
 		clusterError(w, http.StatusBadRequest, fmt.Errorf("complete needs a node name, lease, and outcome"))
 		return
 	}
@@ -335,4 +406,60 @@ func (c *Client) Start(lease campaign.LeaseID) error {
 // Complete reports an assignment's outcome.
 func (c *Client) Complete(lease campaign.LeaseID, out Outcome) error {
 	return c.post("/v1/cluster/complete", leaseRequest{Node: c.node, Lease: lease, Outcome: &out}, nil)
+}
+
+// slotErrors converts a batched reply's per-slot results back into
+// errors aligned with the request, mapping stale slots to
+// campaign.ErrStaleLease.
+func slotErrors(slots []leaseSlot, want int) ([]error, error) {
+	if len(slots) != want {
+		return nil, fmt.Errorf("cluster: batched reply carries %d slots, want %d", len(slots), want)
+	}
+	errs := make([]error, len(slots))
+	for i, s := range slots {
+		switch {
+		case s.Stale:
+			errs[i] = fmt.Errorf("%w: %s", campaign.ErrStaleLease, s.Error)
+		case s.Error != "":
+			errs[i] = errors.New(s.Error)
+		}
+	}
+	return errs, nil
+}
+
+// StartBatch passes a whole batch of leases through the execution gate
+// in one round-trip. The returned slice aligns with leases: a stale slot
+// carries campaign.ErrStaleLease (drop that assignment without
+// executing) and never poisons its siblings.
+func (c *Client) StartBatch(leases []campaign.LeaseID) ([]error, error) {
+	if len(leases) == 0 {
+		return nil, nil
+	}
+	var reply struct {
+		Results []leaseSlot `json:"results"`
+	}
+	if err := c.post("/v1/cluster/starts", leaseRequest{Node: c.node, Leases: leases}, &reply); err != nil {
+		return nil, err
+	}
+	return slotErrors(reply.Results, len(leases))
+}
+
+// CompleteBatch reports a whole batch of outcomes in one round-trip.
+// The returned slice aligns with reports; per-slot semantics match
+// Complete.
+func (c *Client) CompleteBatch(reports []CompletionReport) ([]error, error) {
+	if len(reports) == 0 {
+		return nil, nil
+	}
+	completes := make([]completionWire, len(reports))
+	for i := range reports {
+		completes[i] = completionWire{Lease: reports[i].Lease, Outcome: &reports[i].Outcome}
+	}
+	var reply struct {
+		Results []leaseSlot `json:"results"`
+	}
+	if err := c.post("/v1/cluster/complete", leaseRequest{Node: c.node, Completes: completes}, &reply); err != nil {
+		return nil, err
+	}
+	return slotErrors(reply.Results, len(reports))
 }

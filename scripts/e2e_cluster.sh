@@ -6,6 +6,20 @@
 # with zero failures, the dead node is reported dead, and the merged
 # canonical result is byte-identical to a single-node reference run.
 #
+# The coordinator runs with an aggressive snapshot-compaction threshold
+# and an admission cap, so the scenario additionally asserts that
+# compaction publishes a snapshot and rotates the log onto a generation
+# marker mid-campaign, and that a manifest larger than the admission cap
+# is rejected with backpressure while a fitting one is still admitted
+# afterwards. A second coordinator with the (quiescent) default
+# compaction threshold then replays the same manifest so the un-rotated
+# queue log can prove the batched protocol end to end: enqueue-batch /
+# claim-batch / start-batch / complete-batch records on disk, merged
+# result again byte-identical to the single-node reference. (Under the
+# aggressive threshold those records are compacted away within the same
+# locked call that crosses the threshold, so only a quiescent log can
+# assert them deterministically.)
+#
 # Wall-clock sleeps here are host-side polling at the service edge; the
 # lease protocol itself runs on the coordinator's logical tick clock and
 # is exercised deterministically by internal/cluster/chaostest.
@@ -13,8 +27,10 @@ set -euo pipefail
 
 REF_ADDR="${ROADRUNNERD_REF_ADDR:-127.0.0.1:8399}"
 CO_ADDR="${ROADRUNNERD_CLUSTER_ADDR:-127.0.0.1:8400}"
+BATCH_ADDR="${ROADRUNNERD_BATCH_ADDR:-127.0.0.1:8401}"
 REF_BASE="http://$REF_ADDR"
 CO_BASE="http://$CO_ADDR"
+BATCH_BASE="http://$BATCH_ADDR"
 WORK="$(mktemp -d)"
 PIDS=()
 trap 'for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done; rm -rf "$WORK"' EXIT
@@ -63,8 +79,12 @@ kill "$REF_PID"; wait "$REF_PID" 2>/dev/null || true
 # A 100ms tick keeps lease expiry (10 ticks = 1s) well under the poll
 # budget while staying above the workers' 500ms heartbeat interval, so
 # live workers never flap dead between heartbeats.
+# -compact-every 16 forces at least one snapshot compaction inside the
+# ~32-entry campaign; -max-outstanding 8 admits the 8-run manifest
+# exactly and rejects anything larger.
 "$WORK/roadrunnerd" -addr "$CO_ADDR" -cluster -policy config-affinity \
     -tick 100ms -lease-ttl 10 -steal-after 2 -workers 1 \
+    -compact-every 16 -max-outstanding 8 \
     -store "$WORK/store" >"$WORK/coordinator.log" 2>&1 &
 CO_PID=$!; PIDS+=("$CO_PID")
 wait_healthy "$CO_BASE" "$CO_PID" "$WORK/coordinator.log"
@@ -125,4 +145,78 @@ SURVIVORS="$(grep -c '"alive": *true' "$WORK/nodes.json" || true)"
 cmp -s "$WORK/reference.bytes" "$WORK/cluster.bytes" \
     || fail "cluster merged result differs from single-node reference ($(wc -c <"$WORK/reference.bytes") vs $(wc -c <"$WORK/cluster.bytes") bytes)"
 
-echo "e2e-cluster: OK — campaign $ID survived a SIGKILLed worker; merged result byte-identical to single-node reference ($(wc -c <"$WORK/cluster.bytes") bytes)"
+# --- Snapshot compaction evidence. -----------------------------------------
+# The ~32-entry campaign crossed the 16-entry threshold at least once:
+# a snapshot must exist and the live log must start at its generation.
+QUEUE_LOG="$WORK/store/cluster/queue.jsonl"
+SNAP="$WORK/store/cluster/queue.snap.jsonl"
+[ -s "$SNAP" ] || fail "compaction never published a queue snapshot"
+grep -q '"op":"snap-begin"' "$SNAP" || fail "queue snapshot lacks its snap-begin header"
+grep -q '"op":"snap-end"' "$SNAP" || fail "queue snapshot lacks its snap-end trailer"
+head -1 "$QUEUE_LOG" | grep -q '"op":"gen"' \
+    || { head -1 "$QUEUE_LOG" >&2; fail "rotated queue log does not start with its generation marker"; }
+
+# --- Admission backpressure. -----------------------------------------------
+# Ten fresh runs exceed the cap of 8: the submit must be rejected with
+# 429 backpressure (-wait=false surfaces it instead of retrying).
+BIG='{"name":"ci-overflow","env":"tiny","rounds":2,"strategies":[{"kind":"fedavg"},{"kind":"opp"}],"seeds":[11,12,13,14,15]}'
+if "$WORK/roadctl" -addr "$CO_BASE" submit -wait=false -f <(printf '%s' "$BIG") >"$WORK/big.out" 2>&1; then
+    cat "$WORK/big.out" >&2
+    fail "manifest larger than -max-outstanding was admitted"
+fi
+grep -qi "backlog\|429" "$WORK/big.out" \
+    || { cat "$WORK/big.out" >&2; fail "over-cap rejection did not cite backpressure"; }
+
+# A fitting manifest is still admitted after the rejection and completes
+# cleanly — rejection has no durable side effects.
+SMALL='{"name":"ci-fits","env":"tiny","rounds":2,"strategies":[{"kind":"fedavg"},{"kind":"opp"}],"seeds":[11]}'
+ID2="$("$WORK/roadctl" -addr "$CO_BASE" submit -f <(printf '%s' "$SMALL") | extract_id)"
+[ -n "$ID2" ] || fail "fitting manifest rejected after backpressure"
+for _ in $(seq 1 300); do
+    "$WORK/roadctl" -addr "$CO_BASE" status "$ID2" >"$WORK/small.json" 2>/dev/null || true
+    grep -q '"done": *true' "$WORK/small.json" && break
+    sleep 0.2
+done
+grep -q '"done": *true' "$WORK/small.json" || { cat "$WORK/small.json" >&2; fail "post-backpressure campaign never finished"; }
+grep -q '"failed": *0' "$WORK/small.json" || { cat "$WORK/small.json" >&2; fail "post-backpressure campaign reported failures"; }
+
+# --- Batched protocol evidence (quiescent log). ----------------------------
+# A fresh coordinator at the default compaction threshold never rotates
+# a campaign this small, so its queue log retains every record: the
+# batched verbs the coordinator and worker actually spoke. Under the
+# aggressive threshold above this cannot be asserted — a record whose
+# append crosses the threshold is compacted away within the same call.
+"$WORK/roadrunnerd" -addr "$BATCH_ADDR" -cluster -policy config-affinity \
+    -tick 100ms -lease-ttl 10 -steal-after 2 -workers 1 \
+    -store "$WORK/batchstore" >"$WORK/batchco.log" 2>&1 &
+BATCH_PID=$!; PIDS+=("$BATCH_PID")
+wait_healthy "$BATCH_BASE" "$BATCH_PID" "$WORK/batchco.log"
+
+"$WORK/roadrunnerd" -join "$BATCH_BASE" -node b1 -capacity 4 \
+    -store "$WORK/batchstore" >"$WORK/b1.log" 2>&1 &
+PIDS+=("$!")
+
+BID="$("$WORK/roadctl" -addr "$BATCH_BASE" submit -f <(printf '%s' "$MANIFEST") | extract_id)"
+[ -n "$BID" ] || fail "batch-evidence submission returned no campaign id"
+for _ in $(seq 1 300); do
+    "$WORK/roadctl" -addr "$BATCH_BASE" status "$BID" >"$WORK/batch.json" 2>/dev/null || true
+    grep -q '"done": *true' "$WORK/batch.json" && break
+    sleep 0.2
+done
+grep -q '"done": *true' "$WORK/batch.json" || { cat "$WORK/batch.json" "$WORK/batchco.log" >&2; fail "batch-evidence campaign never finished"; }
+grep -q '"failed": *0' "$WORK/batch.json" || { cat "$WORK/batch.json" >&2; fail "batch-evidence campaign reported failures"; }
+
+BATCH_LOG="$WORK/batchstore/cluster/queue.jsonl"
+for op in enqueue-batch claim-batch start-batch complete-batch; do
+    grep -q "\"op\":\"$op\"" "$BATCH_LOG" \
+        || { cat "$BATCH_LOG" >&2; fail "queue log never recorded a $op record"; }
+done
+[ -e "$WORK/batchstore/cluster/queue.snap.jsonl" ] \
+    && fail "default-threshold coordinator compacted a 32-entry log"
+
+# Byte-identity holds through the purely batched, never-compacted path too.
+"$WORK/roadctl" -addr "$BATCH_BASE" result -o "$WORK/batch.bytes" "$BID"
+cmp -s "$WORK/reference.bytes" "$WORK/batch.bytes" \
+    || fail "batched-protocol merged result differs from single-node reference"
+
+echo "e2e-cluster: OK — campaign $ID survived a SIGKILLed worker; merged results byte-identical to single-node reference ($(wc -c <"$WORK/cluster.bytes") bytes) through both the compacting and the quiescent batched-protocol paths; snapshot compaction and admission backpressure verified"
